@@ -1,0 +1,135 @@
+// Command flowsyn synthesizes a flow-based microfluidic biochip with
+// distributed channel storage from a bioassay description.
+//
+// The assay is either one of the built-in benchmarks (-benchmark) or a JSON
+// sequencing graph read from a file (-assay). The tool prints the synthesis
+// summary (Table 2 columns), optionally a Gantt chart of the schedule, and
+// can write execution snapshots as SVG.
+//
+// Usage:
+//
+//	flowsyn -benchmark PCR
+//	flowsyn -assay my_assay.json -devices 3 -grid 5x5 -gantt
+//	flowsyn -benchmark RA30 -snapshot-dir out/   # writes Fig.11-style SVGs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"flowsyn"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("flowsyn: ")
+	var (
+		benchmark = flag.String("benchmark", "", "built-in benchmark name ("+strings.Join(flowsyn.BenchmarkNames(), ", ")+")")
+		assayPath = flag.String("assay", "", "path to an assay JSON file")
+		devices   = flag.Int("devices", 0, "maximum number of devices (required with -assay)")
+		transport = flag.Int("transport", 10, "device-to-device transport time u_c in seconds")
+		gridSpec  = flag.String("grid", "4x4", "connection grid size, e.g. 4x4")
+		timeOnly  = flag.Bool("time-only", false, "optimize execution time only (disable storage minimization)")
+		gantt     = flag.Bool("gantt", false, "print the schedule as a per-device timeline")
+		ascii     = flag.Bool("ascii", false, "print an execution snapshot as ASCII art")
+		snapDir   = flag.String("snapshot-dir", "", "write SVG snapshots of interesting execution moments to this directory")
+		layoutSVG = flag.String("layout-svg", "", "write the compressed physical layout to this SVG file")
+		compare   = flag.Bool("compare-dedicated", false, "also report the dedicated-storage baseline (Fig. 10)")
+	)
+	flag.Parse()
+
+	var (
+		a    *flowsyn.Assay
+		opts flowsyn.Options
+		err  error
+	)
+	switch {
+	case *benchmark != "":
+		a, opts, err = flowsyn.Benchmark(*benchmark)
+		if err != nil {
+			log.Fatal(err)
+		}
+	case *assayPath != "":
+		f, err := os.Open(*assayPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		a, err = flowsyn.ReadAssay(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *devices < 1 {
+			log.Fatal("-devices is required with -assay")
+		}
+		rows, cols, err := parseGrid(*gridSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts = flowsyn.Options{Devices: *devices, Transport: *transport, GridRows: rows, GridCols: cols}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *timeOnly {
+		opts.Objective = flowsyn.MinimizeTimeOnly
+	}
+
+	res, err := flowsyn.Synthesize(a, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %s\n", a.Name(), res.Summary())
+	fmt.Printf("stores=%d peak-capacity=%d channel-utilization=%.1f%%\n",
+		res.StoreCount(), res.StorageCapacity(), 100*res.ChannelUtilization())
+
+	if *gantt {
+		fmt.Println("\nSchedule:")
+		fmt.Print(res.GanttChart())
+	}
+	if *ascii {
+		times := res.InterestingTimes()
+		if len(times) > 0 {
+			fmt.Println()
+			fmt.Print(res.SnapshotASCII(times[len(times)/2]))
+		}
+	}
+	if *compare {
+		cmp, err := res.CompareDedicated()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nDedicated-storage baseline: tE %d -> %d (ratio %.2f), valves %d -> %d (ratio %.2f)\n",
+			cmp.DedicatedMakespan, cmp.DistributedMakespan, cmp.ExecRatio,
+			cmp.DedicatedValves, cmp.DistributedValves, cmp.ValveRatio)
+	}
+	if *layoutSVG != "" {
+		if err := os.WriteFile(*layoutSVG, []byte(res.LayoutSVG()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote layout to %s\n", *layoutSVG)
+	}
+	if *snapDir != "" {
+		if err := os.MkdirAll(*snapDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		for _, t := range res.InterestingTimes() {
+			name := filepath.Join(*snapDir, fmt.Sprintf("%s_t%04d.svg", a.Name(), t))
+			if err := os.WriteFile(name, []byte(res.SnapshotSVG(t)), 0o644); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("wrote %d snapshots to %s\n", len(res.InterestingTimes()), *snapDir)
+	}
+}
+
+func parseGrid(spec string) (rows, cols int, err error) {
+	if _, err := fmt.Sscanf(spec, "%dx%d", &rows, &cols); err != nil {
+		return 0, 0, fmt.Errorf("invalid grid %q (want e.g. 4x4)", spec)
+	}
+	return rows, cols, nil
+}

@@ -1,0 +1,39 @@
+// Quickstart: synthesize a biochip for the PCR assay with one function call
+// and print what came out.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flowsyn"
+)
+
+func main() {
+	// Every benchmark ships with the synthesis options used in the paper's
+	// Table 2 (device budget, transport time, connection-grid size).
+	assay, opts, err := flowsyn.Benchmark("PCR")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("input: %v\n", assay)
+
+	res, err := flowsyn.Synthesize(assay, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("result: %s\n", res.Summary())
+	fmt.Printf("the chip caches %d intermediate fluids in channel segments "+
+		"(peak %d at once)\n", res.StoreCount(), res.StorageCapacity())
+
+	dr, de, dp := res.ChipDimensions()
+	fmt.Printf("layout: %s after synthesis, %s with devices, %s compressed\n", dr, de, dp)
+
+	fmt.Println("\nschedule:")
+	fmt.Print(res.GanttChart())
+}

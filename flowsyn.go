@@ -1,0 +1,144 @@
+// Package flowsyn synthesizes flow-based microfluidic biochips with
+// distributed channel storage, reproducing "Transport or Store? Synthesizing
+// Flow-based Microfluidic Biochips using Distributed Channel Storage"
+// (Liu, Li, Yao, Pop, Ho, Schlichtmann — DAC 2017).
+//
+// A bioassay is described as a sequencing graph of fluidic operations. The
+// synthesis flow
+//
+//  1. schedules and binds the operations onto a bounded set of devices while
+//     minimizing intermediate-fluid storage (ILP or storage-aware list
+//     scheduling),
+//  2. synthesizes a chip architecture on a connection grid, realizing every
+//     fluid transport as a time-multiplexed path of channel segments and
+//     caching intermediate fluids directly in channel segments (distributed
+//     storage), and
+//  3. compresses the resulting planar connection graph into a compact
+//     physical layout.
+//
+// Quick start:
+//
+//	assay, opts, _ := flowsyn.Benchmark("PCR")
+//	res, err := flowsyn.Synthesize(assay, opts)
+//	if err != nil { ... }
+//	fmt.Println(res.Summary())
+package flowsyn
+
+import (
+	"fmt"
+	"io"
+
+	"flowsyn/internal/assay"
+	"flowsyn/internal/seqgraph"
+)
+
+// OpKind classifies an operation in an assay.
+type OpKind int
+
+const (
+	// Mix merges fluids inside a mixer device.
+	Mix OpKind = iota
+	// Dilute mixes a sample with buffer.
+	Dilute
+	// Heat incubates a fluid.
+	Heat
+	// Detect reads a fluid out.
+	Detect
+)
+
+func (k OpKind) internal() seqgraph.OpKind {
+	switch k {
+	case Dilute:
+		return seqgraph.Dilute
+	case Heat:
+		return seqgraph.Heat
+	case Detect:
+		return seqgraph.Detect
+	default:
+		return seqgraph.Mix
+	}
+}
+
+// Assay is a bioassay protocol: a DAG of fluidic operations.
+type Assay struct {
+	g *seqgraph.Graph
+}
+
+// NewAssay returns an empty assay with the given name.
+func NewAssay(name string) *Assay {
+	return &Assay{g: seqgraph.New(name)}
+}
+
+// Name returns the assay name.
+func (a *Assay) Name() string { return a.g.Name }
+
+// NumOperations returns |O|.
+func (a *Assay) NumOperations() int { return a.g.NumOps() }
+
+// AddOperation appends an operation and returns its handle. Duration is in
+// seconds; inputs counts external reagent/sample inputs.
+func (a *Assay) AddOperation(name string, kind OpKind, durationSeconds, inputs int) (Op, error) {
+	id, err := a.g.AddOperation(name, kind.internal(), durationSeconds, inputs)
+	if err != nil {
+		return Op{}, err
+	}
+	return Op{id: id}, nil
+}
+
+// AddDependency records that child consumes parent's product.
+func (a *Assay) AddDependency(parent, child Op) error {
+	return a.g.AddDependency(parent.id, child.id)
+}
+
+// Validate checks that the assay is a non-empty DAG with positive durations.
+func (a *Assay) Validate() error { return a.g.Validate() }
+
+// WriteJSON serializes the assay in the stable JSON schema.
+func (a *Assay) WriteJSON(w io.Writer) error { return seqgraph.Write(w, a.g) }
+
+// WriteDOT renders the assay as a Graphviz document.
+func (a *Assay) WriteDOT(w io.Writer) error { return seqgraph.WriteDOT(w, a.g) }
+
+// ReadAssay parses an assay from its JSON representation.
+func ReadAssay(r io.Reader) (*Assay, error) {
+	g, err := seqgraph.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Assay{g: g}, nil
+}
+
+// Op is a handle to an operation inside an Assay.
+type Op struct {
+	id seqgraph.OpID
+}
+
+// Benchmark returns one of the paper's evaluation assays (PCR, IVD, CPA,
+// RA30, RA70, RA100) together with the synthesis options used in Table 2.
+func Benchmark(name string) (*Assay, Options, error) {
+	b, err := assay.Get(name)
+	if err != nil {
+		return nil, Options{}, err
+	}
+	return &Assay{g: b.Graph}, Options{
+		Devices:   b.Devices,
+		Transport: b.Transport,
+		GridRows:  b.GridRows,
+		GridCols:  b.GridCols,
+		ModelIO:   b.ModelIO,
+	}, nil
+}
+
+// BenchmarkNames lists the available benchmark assays in Table 2 order.
+func BenchmarkNames() []string { return assay.Names() }
+
+// RandomAssay generates a seeded random assay with n operations, as used
+// for the paper's RA30/RA70/RA100 benchmarks.
+func RandomAssay(n, width int, seed int64) *Assay {
+	return &Assay{g: assay.Random(n, width, seed)}
+}
+
+// String summarizes the assay.
+func (a *Assay) String() string {
+	return fmt.Sprintf("%s (%d operations)", a.g.Name, a.g.NumOps())
+}

@@ -1,0 +1,171 @@
+package flowsyn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBenchmarkPCR(t *testing.T) {
+	a, opts, err := Benchmark("PCR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumOperations() != 7 {
+		t.Errorf("PCR has %d ops, want 7", a.NumOperations())
+	}
+	if opts.Devices < 1 || opts.Transport < 1 {
+		t.Errorf("implausible options: %+v", opts)
+	}
+	if _, _, err := Benchmark("NOPE"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestSynthesizePublicAPI(t *testing.T) {
+	a, opts, err := Benchmark("PCR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Engine = HeuristicEngine
+	res, err := Synthesize(a, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan() <= 0 {
+		t.Error("non-positive makespan")
+	}
+	if res.ChannelSegments() <= 0 || res.Valves() <= 0 {
+		t.Errorf("empty chip: ne=%d nv=%d", res.ChannelSegments(), res.Valves())
+	}
+	if res.EdgeRatio() <= 0 || res.EdgeRatio() >= 1 {
+		t.Errorf("edge ratio %v out of (0,1)", res.EdgeRatio())
+	}
+	dr, de, dp := res.ChipDimensions()
+	if dr == "" || de == "" || dp == "" {
+		t.Error("missing chip dimensions")
+	}
+	if !strings.Contains(res.Summary(), "tE=") {
+		t.Errorf("Summary = %q", res.Summary())
+	}
+	if res.GanttChart() == "" {
+		t.Error("empty Gantt chart")
+	}
+	if u := res.ChannelUtilization(); u <= 0 || u > 1 {
+		t.Errorf("utilization %v out of (0,1]", u)
+	}
+	times := res.InterestingTimes()
+	if len(times) == 0 {
+		t.Fatal("no interesting times")
+	}
+	if !strings.Contains(res.SnapshotASCII(times[0]), "legend") {
+		t.Error("ASCII snapshot missing legend")
+	}
+	if !strings.Contains(res.SnapshotSVG(times[0]), "<svg") {
+		t.Error("SVG snapshot missing root element")
+	}
+}
+
+func TestCustomAssayBuildAndSynthesize(t *testing.T) {
+	a := NewAssay("custom")
+	op1, err := a.AddOperation("mix1", Mix, 30, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op2, err := a.AddOperation("heat1", Heat, 60, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddDependency(op1, op2); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Synthesize(a, Options{Devices: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan() < 90 {
+		t.Errorf("makespan %d below total serial work", res.Makespan())
+	}
+}
+
+func TestAssayJSONRoundTrip(t *testing.T) {
+	a := NewAssay("roundtrip")
+	op1, _ := a.AddOperation("a", Dilute, 20, 1)
+	op2, _ := a.AddOperation("b", Detect, 10, 0)
+	if err := a.AddDependency(op1, op2); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := a.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadAssay(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name() != "roundtrip" || back.NumOperations() != 2 {
+		t.Errorf("round trip mismatch: %v", back)
+	}
+	var dot bytes.Buffer
+	if err := a.WriteDOT(&dot); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dot.String(), "digraph") {
+		t.Error("DOT output missing digraph")
+	}
+}
+
+func TestRandomAssayPublic(t *testing.T) {
+	a := RandomAssay(15, 3, 7)
+	if a.NumOperations() != 15 {
+		t.Errorf("ops = %d, want 15", a.NumOperations())
+	}
+	if err := a.Validate(); err != nil {
+		t.Error(err)
+	}
+	if a.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestCompareDedicatedPublic(t *testing.T) {
+	a, opts, err := Benchmark("RA30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Engine = HeuristicEngine
+	res, err := Synthesize(a, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := res.CompareDedicated()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.ExecRatio > 1.0001 || cmp.ExecRatio <= 0 {
+		t.Errorf("exec ratio %v out of (0,1]", cmp.ExecRatio)
+	}
+	if cmp.ValveRatio >= 1 {
+		t.Errorf("valve ratio %v should be below 1", cmp.ValveRatio)
+	}
+}
+
+func TestBenchmarkNamesComplete(t *testing.T) {
+	names := BenchmarkNames()
+	if len(names) != 6 {
+		t.Fatalf("names = %v", names)
+	}
+	for _, n := range names {
+		a, opts, err := Benchmark(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.Engine = HeuristicEngine
+		if _, err := Synthesize(a, opts); err != nil {
+			t.Errorf("%s: %v", n, err)
+		}
+	}
+}

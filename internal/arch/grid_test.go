@@ -1,0 +1,124 @@
+package arch
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGridBasics(t *testing.T) {
+	g, err := NewGrid(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 12 {
+		t.Errorf("nodes = %d, want 12", g.NumNodes())
+	}
+	// Horizontal: 3*3 = 9; vertical: 2*4 = 8.
+	if g.NumEdges() != 17 {
+		t.Errorf("edges = %d, want 17", g.NumEdges())
+	}
+	if _, err := NewGrid(1, 5); err == nil {
+		t.Error("1-row grid accepted")
+	}
+	if g.String() != "3x4" {
+		t.Errorf("String = %q", g.String())
+	}
+}
+
+func TestGridCoordsRoundTrip(t *testing.T) {
+	g, _ := NewGrid(4, 5)
+	for r := 0; r < g.Rows; r++ {
+		for c := 0; c < g.Cols; c++ {
+			n := g.Node(r, c)
+			rr, cc := g.Coords(n)
+			if rr != r || cc != c {
+				t.Fatalf("round trip (%d,%d) -> %d -> (%d,%d)", r, c, n, rr, cc)
+			}
+		}
+	}
+}
+
+func TestEdgeEndpointsRoundTrip(t *testing.T) {
+	g, _ := NewGrid(4, 4)
+	for e := 0; e < g.NumEdges(); e++ {
+		u, v := g.Endpoints(EdgeID(e))
+		if got := g.EdgeBetween(u, v); got != EdgeID(e) {
+			t.Fatalf("EdgeBetween(%d,%d) = %d, want %d", u, v, got, e)
+		}
+		if got := g.EdgeBetween(v, u); got != EdgeID(e) {
+			t.Fatalf("EdgeBetween reversed = %d, want %d", got, e)
+		}
+		if g.Manhattan(u, v) != 1 {
+			t.Fatalf("edge %d joins non-adjacent nodes %d,%d", e, u, v)
+		}
+	}
+}
+
+func TestEdgeBetweenNonAdjacent(t *testing.T) {
+	g, _ := NewGrid(3, 3)
+	if got := g.EdgeBetween(g.Node(0, 0), g.Node(2, 2)); got != -1 {
+		t.Errorf("diagonal EdgeBetween = %d, want -1", got)
+	}
+	if got := g.EdgeBetween(g.Node(0, 0), g.Node(0, 2)); got != -1 {
+		t.Errorf("distance-2 EdgeBetween = %d, want -1", got)
+	}
+}
+
+func TestNeighborsAndIncidence(t *testing.T) {
+	g, _ := NewGrid(3, 3)
+	var nbuf [4]NodeID
+	var ebuf [4]EdgeID
+	// Corner has 2 neighbours, center has 4.
+	if n := g.Neighbors(g.Node(0, 0), nbuf[:0]); len(n) != 2 {
+		t.Errorf("corner neighbours = %d, want 2", len(n))
+	}
+	if n := g.Neighbors(g.Node(1, 1), nbuf[:0]); len(n) != 4 {
+		t.Errorf("center neighbours = %d, want 4", len(n))
+	}
+	if e := g.IncidentEdges(g.Node(1, 1), ebuf[:0]); len(e) != 4 {
+		t.Errorf("center incident edges = %d, want 4", len(e))
+	}
+	// Neighbour and incident-edge sets must be consistent.
+	for n := 0; n < g.NumNodes(); n++ {
+		nbs := g.Neighbors(NodeID(n), nil)
+		edges := g.IncidentEdges(NodeID(n), nil)
+		if len(nbs) != len(edges) {
+			t.Fatalf("node %d: %d neighbours vs %d edges", n, len(nbs), len(edges))
+		}
+		for _, nb := range nbs {
+			if g.EdgeBetween(NodeID(n), nb) == -1 {
+				t.Fatalf("node %d: neighbour %d without edge", n, nb)
+			}
+		}
+	}
+}
+
+// TestGridEdgeEnumerationProperty: edge ids are a bijection onto adjacent
+// node pairs for random grid sizes.
+func TestGridEdgeEnumerationProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows, cols := 2+r.Intn(6), 2+r.Intn(6)
+		g, err := NewGrid(rows, cols)
+		if err != nil {
+			return false
+		}
+		seen := make(map[[2]NodeID]bool)
+		for e := 0; e < g.NumEdges(); e++ {
+			u, v := g.Endpoints(EdgeID(e))
+			if u >= v {
+				return false // canonical order violated
+			}
+			key := [2]NodeID{u, v}
+			if seen[key] {
+				return false
+			}
+			seen[key] = true
+		}
+		return len(seen) == g.NumEdges()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

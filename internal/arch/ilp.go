@@ -1,0 +1,286 @@
+package arch
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"flowsyn/internal/milp"
+	"flowsyn/internal/sched"
+)
+
+// ILPOptions configures the exact architectural-synthesis formulation
+// implementing the paper's constraints (8)–(11) and objective (12).
+//
+// The exact mode is intended for small instances (it is how the paper's
+// formulation is validated against the heuristic router); the paper itself
+// needed up to 30 solver minutes per benchmark on this formulation.
+type ILPOptions struct {
+	// TimeLimit caps branch and bound; zero means 30 s.
+	TimeLimit time.Duration
+	// FixedPlacement, if non-nil, pins each device to a node, dropping the
+	// placement variables a_{i,k} (constraint (8)) from the model.
+	FixedPlacement []NodeID
+}
+
+// ILPResult carries the exact synthesis output.
+type ILPResult struct {
+	// DevicePos maps device -> node (either chosen by the ILP or fixed).
+	DevicePos []NodeID
+	// PathEdges lists, per task, the chosen edge set (ε_{j,r} = 1).
+	PathEdges [][]EdgeID
+	// UsedEdges is the pruned segment set (s_j = 1), ascending.
+	UsedEdges []EdgeID
+	// Status and Objective report the solver outcome; Objective is the
+	// number of used edges, the paper's objective (12).
+	Status    milp.Status
+	Objective float64
+}
+
+// Feasible reports whether the ILP produced a usable assignment.
+func (r *ILPResult) Feasible() bool {
+	switch r.Status {
+	case milp.StatusOptimal, milp.StatusFeasible, milp.StatusTimeLimit, milp.StatusIterLimit:
+		return r.DevicePos != nil
+	default:
+		return false
+	}
+}
+
+// SynthesizeILP solves the paper's architectural-synthesis ILP for the
+// direct transportation tasks of a schedule on the given grid. Stored tasks
+// are not supported in the exact mode (the heuristic engine handles them);
+// callers pass the direct tasks they want realized.
+//
+// Model, following Section 3.2:
+//
+//   - a_{i,k}: device k at node i, with ≤1 device per node and each device
+//     placed exactly once (constraint (8); skipped under FixedPlacement);
+//   - ε_{j,r}: edge j on path r, with degree constraints at every node: the
+//     degree of a path at a node is 1 at its two endpoint devices, and 0 or
+//     2 elsewhere (constraint (9) in its big-M form when placement is free);
+//   - overlapping-in-time paths must not share an edge or intersect at a
+//     switch node (constraint (10));
+//   - s_j ≥ ε_{j,r} and the objective minimizes Σ s_j ((11)–(12)).
+//
+// Spurious disjoint cycles admitted by the degree constraints are removed by
+// the objective, which strictly pays for every extra edge.
+func SynthesizeILP(grid Grid, devices int, tasks []sched.Task, opts ILPOptions) (*ILPResult, error) {
+	for _, t := range tasks {
+		if t.Kind != sched.Direct {
+			return nil, fmt.Errorf("arch: exact ILP mode supports direct tasks only (got %v)", t.Kind)
+		}
+		if t.From == t.To {
+			return nil, fmt.Errorf("arch: exact ILP mode requires distinct endpoint devices")
+		}
+	}
+	limit := opts.TimeLimit
+	if limit == 0 {
+		limit = 30 * time.Second
+	}
+
+	nNodes := grid.NumNodes()
+	nEdges := grid.NumEdges()
+	m := milp.NewModel()
+
+	// Placement variables (or fixed positions).
+	fixed := opts.FixedPlacement != nil
+	var a [][]milp.Var // a[node][dev]
+	if fixed {
+		if len(opts.FixedPlacement) != devices {
+			return nil, fmt.Errorf("arch: fixed placement has %d nodes for %d devices",
+				len(opts.FixedPlacement), devices)
+		}
+		seen := map[NodeID]bool{}
+		for _, p := range opts.FixedPlacement {
+			if int(p) < 0 || int(p) >= nNodes {
+				return nil, fmt.Errorf("arch: placement node %d outside grid", p)
+			}
+			if seen[p] {
+				return nil, fmt.Errorf("arch: two devices on node %d", p)
+			}
+			seen[p] = true
+		}
+	} else {
+		a = make([][]milp.Var, nNodes)
+		for i := 0; i < nNodes; i++ {
+			a[i] = make([]milp.Var, devices)
+			for k := 0; k < devices; k++ {
+				a[i][k] = m.NewBinary(fmt.Sprintf("a_%d_%d", i, k))
+			}
+		}
+		// Constraint (8).
+		for i := 0; i < nNodes; i++ {
+			e := milp.NewExpr(0)
+			for k := 0; k < devices; k++ {
+				e.Add(a[i][k], 1)
+			}
+			m.AddLE(fmt.Sprintf("node_%d", i), *e, 1)
+		}
+		for k := 0; k < devices; k++ {
+			e := milp.NewExpr(0)
+			for i := 0; i < nNodes; i++ {
+				e.Add(a[i][k], 1)
+			}
+			m.AddEQ(fmt.Sprintf("dev_%d", k), *e, 1)
+		}
+	}
+
+	hostsDevice := func(i NodeID, k int) float64 {
+		if opts.FixedPlacement[k] == i {
+			return 1
+		}
+		return 0
+	}
+
+	// Path edge variables.
+	eps := make([][]milp.Var, len(tasks)) // eps[r][edge]
+	for r := range tasks {
+		eps[r] = make([]milp.Var, nEdges)
+		for j := 0; j < nEdges; j++ {
+			eps[r][j] = m.NewBinary(fmt.Sprintf("eps_%d_%d", r, j))
+		}
+	}
+
+	const bigM = 8
+
+	// Degree constraints (9).
+	var ibuf [4]EdgeID
+	for r, t := range tasks {
+		for i := 0; i < nNodes; i++ {
+			node := NodeID(i)
+			deg := milp.NewExpr(0)
+			for _, e := range grid.IncidentEdges(node, ibuf[:0]) {
+				deg.Add(eps[r][e], 1)
+			}
+			if fixed {
+				k1 := hostsDevice(node, t.From)
+				k2 := hostsDevice(node, t.To)
+				if k1+k2 > 0 {
+					// Endpoint: exactly one incident edge.
+					m.AddEQ(fmt.Sprintf("deg_end_%d_%d", r, i), *deg, 1)
+					continue
+				}
+				// Nodes hosting unrelated devices cannot be traversed.
+				other := false
+				for k := 0; k < devices; k++ {
+					if k != t.From && k != t.To && opts.FixedPlacement[k] == node {
+						other = true
+						break
+					}
+				}
+				if other {
+					m.AddEQ(fmt.Sprintf("deg_dev_%d_%d", r, i), *deg, 0)
+					continue
+				}
+				// Interior node: degree 0 or 2 via indicator y.
+				y := m.NewBinary(fmt.Sprintf("y_%d_%d", r, i))
+				degY := deg.Clone()
+				degY.Add(y, -2)
+				m.AddEQ(fmt.Sprintf("deg_int_%d_%d", r, i), degY, 0)
+				continue
+			}
+			// Free placement: the paper's big-M form. y indicates the path
+			// touches the node.
+			y := m.NewBinary(fmt.Sprintf("y_%d_%d", r, i))
+			// deg <= M*y
+			degUB := deg.Clone()
+			degUB.Add(y, -bigM)
+			m.AddLE(fmt.Sprintf("deg_ub_%d_%d", r, i), degUB, 0)
+			// deg >= 2 - a_{i,k1} - a_{i,k2} - (1-y)M
+			lhs := deg.Clone()
+			lhs.Add(a[i][t.From], 1)
+			lhs.Add(a[i][t.To], 1)
+			lhs.Add(y, -bigM)
+			m.AddGE(fmt.Sprintf("deg_lb_%d_%d", r, i), lhs, 2-bigM)
+			// Endpoint degree is exactly one: deg <= 2 - a_{i,k1} - a_{i,k2}.
+			ub := deg.Clone()
+			ub.Add(a[i][t.From], 1)
+			ub.Add(a[i][t.To], 1)
+			m.AddLE(fmt.Sprintf("deg_end_ub_%d_%d", r, i), ub, 2)
+			// The path must touch its endpoints: y >= a_{i,k1}, y >= a_{i,k2}.
+			m.AddGE(fmt.Sprintf("touch1_%d_%d", r, i),
+				*milp.NewExpr(0).Add(y, 1).Add(a[i][t.From], -1), 0)
+			m.AddGE(fmt.Sprintf("touch2_%d_%d", r, i),
+				*milp.NewExpr(0).Add(y, 1).Add(a[i][t.To], -1), 0)
+			// Nodes hosting unrelated devices cannot be traversed:
+			// deg <= M(1 - a_{i,d}) for every other device d.
+			for d := 0; d < devices; d++ {
+				if d == t.From || d == t.To {
+					continue
+				}
+				blocked := deg.Clone()
+				blocked.Add(a[i][d], bigM)
+				m.AddLE(fmt.Sprintf("block_%d_%d_%d", r, i, d), blocked, bigM)
+			}
+		}
+	}
+
+	// Time-multiplexing disjointness (10): overlapping-in-time paths share
+	// no edge. (Node intersection is forbidden through shared edges at
+	// switch degree >2; with edge disjointness plus degree constraints two
+	// paths crossing one switch concurrently is already excluded for fixed
+	// placement; the heuristic validator enforces the full rule.)
+	for r1 := 0; r1 < len(tasks); r1++ {
+		for r2 := r1 + 1; r2 < len(tasks); r2++ {
+			w1 := interval{tasks[r1].Depart, tasks[r1].Arrive}
+			w2 := interval{tasks[r2].Depart, tasks[r2].Arrive}
+			if !overlaps(w1, w2) {
+				continue
+			}
+			for j := 0; j < nEdges; j++ {
+				m.AddLE(fmt.Sprintf("disj_%d_%d_%d", r1, r2, j),
+					*milp.NewExpr(0).Add(eps[r1][j], 1).Add(eps[r2][j], 1), 1)
+			}
+		}
+	}
+
+	// Edge keep variables and objective (11)–(12).
+	s := make([]milp.Var, nEdges)
+	obj := milp.NewExpr(0)
+	for j := 0; j < nEdges; j++ {
+		s[j] = m.NewBinary(fmt.Sprintf("s_%d", j))
+		obj.Add(s[j], 1)
+		for r := range tasks {
+			m.AddGE(fmt.Sprintf("keep_%d_%d", j, r),
+				*milp.NewExpr(0).Add(s[j], 1).Add(eps[r][j], -1), 0)
+		}
+	}
+	m.SetObjective(*obj, milp.Minimize)
+
+	sol, err := milp.Solve(m, milp.SolveOptions{TimeLimit: limit})
+	if err != nil {
+		return nil, fmt.Errorf("arch: solving synthesis ILP: %w", err)
+	}
+	res := &ILPResult{Status: sol.Status, Objective: sol.Objective}
+	if !sol.Feasible() {
+		return res, nil
+	}
+	if fixed {
+		res.DevicePos = append([]NodeID(nil), opts.FixedPlacement...)
+	} else {
+		res.DevicePos = make([]NodeID, devices)
+		for k := 0; k < devices; k++ {
+			for i := 0; i < nNodes; i++ {
+				if math.Round(sol.Value(a[i][k])) == 1 {
+					res.DevicePos[k] = NodeID(i)
+					break
+				}
+			}
+		}
+	}
+	res.PathEdges = make([][]EdgeID, len(tasks))
+	for r := range tasks {
+		for j := 0; j < nEdges; j++ {
+			if math.Round(sol.Value(eps[r][j])) == 1 {
+				res.PathEdges[r] = append(res.PathEdges[r], EdgeID(j))
+			}
+		}
+	}
+	for j := 0; j < nEdges; j++ {
+		if math.Round(sol.Value(s[j])) == 1 {
+			res.UsedEdges = append(res.UsedEdges, EdgeID(j))
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,140 @@
+package assay
+
+import (
+	"testing"
+
+	"flowsyn/internal/seqgraph"
+)
+
+func TestPCRStructure(t *testing.T) {
+	g := PCR()
+	if g.NumOps() != 7 {
+		t.Fatalf("|O| = %d, want 7", g.NumOps())
+	}
+	if g.NumEdges() != 6 {
+		t.Fatalf("|E| = %d, want 6", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The PCR mixing tree has 4 roots (o1..o4) and one sink (o7).
+	if roots := g.Roots(); len(roots) != 4 {
+		t.Errorf("roots = %v, want 4", roots)
+	}
+	if sinks := g.Sinks(); len(sinks) != 1 || g.Op(sinks[0]).Name != "o7" {
+		t.Errorf("sinks = %v, want [o7]", sinks)
+	}
+	// External inputs total 8 (i1..i8 of Fig. 2).
+	total := 0
+	for _, op := range g.Operations() {
+		total += op.Inputs
+	}
+	if total != 8 {
+		t.Errorf("external inputs = %d, want 8", total)
+	}
+	// Three levels.
+	_, n, err := g.Levels()
+	if err != nil || n != 3 {
+		t.Errorf("levels = %d (%v), want 3", n, err)
+	}
+}
+
+func TestIVDStructure(t *testing.T) {
+	g := IVD()
+	if g.NumOps() != 12 {
+		t.Fatalf("|O| = %d, want 12", g.NumOps())
+	}
+	if g.NumEdges() != 0 {
+		t.Errorf("IVD operations are independent; edges = %d", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCPAStructure(t *testing.T) {
+	g := CPA()
+	if g.NumOps() != 55 {
+		t.Fatalf("|O| = %d, want 55", g.NumOps())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Depth: 5 dilution levels + reagent mix + readout = 7 levels.
+	_, n, err := g.Levels()
+	if err != nil || n != 7 {
+		t.Errorf("levels = %d (%v), want 7", n, err)
+	}
+	if sinks := g.Sinks(); len(sinks) != 8 {
+		t.Errorf("readout sinks = %d, want 8", len(sinks))
+	}
+}
+
+func TestRandomDeterminism(t *testing.T) {
+	a := Random(30, 5, 1)
+	b := Random(30, 5, 1)
+	if a.NumOps() != 30 || b.NumOps() != 30 {
+		t.Fatalf("op counts = %d, %d; want 30", a.NumOps(), b.NumOps())
+	}
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatalf("same seed produced different graphs: %d vs %d edges", a.NumEdges(), b.NumEdges())
+	}
+	for i := 0; i < a.NumOps(); i++ {
+		if a.Op(seqgraph.OpID(i)).Duration != b.Op(seqgraph.OpID(i)).Duration {
+			t.Fatalf("same seed produced different durations at op %d", i)
+		}
+	}
+	c := Random(30, 5, 99)
+	if c.NumEdges() == a.NumEdges() && c.Op(0).Duration == a.Op(0).Duration &&
+		c.Op(1).Duration == a.Op(1).Duration && c.Op(2).Duration == a.Op(2).Duration {
+		t.Error("different seeds suspiciously identical")
+	}
+}
+
+func TestRandomValidity(t *testing.T) {
+	for _, n := range []int{1, 2, 10, 30, 70, 100} {
+		g := Random(n, 5, 42)
+		if g.NumOps() != n {
+			t.Errorf("Random(%d): |O| = %d", n, g.NumOps())
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("Random(%d): %v", n, err)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	wantOps := map[string]int{
+		"PCR": 7, "IVD": 12, "CPA": 55, "RA30": 30, "RA70": 70, "RA100": 100,
+	}
+	for _, name := range Names() {
+		b, err := Get(name)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", name, err)
+		}
+		if b.Graph.NumOps() != wantOps[name] {
+			t.Errorf("%s: |O| = %d, want %d", name, b.Graph.NumOps(), wantOps[name])
+		}
+		if b.Devices <= 0 || b.GridRows < 2 || b.GridCols < 2 || b.Transport <= 0 {
+			t.Errorf("%s: implausible parameters %+v", name, b)
+		}
+		if err := b.Graph.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := Get("NOPE"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if len(Names()) != 6 {
+		t.Errorf("Names() = %v, want 6 entries", Names())
+	}
+}
+
+func TestMustGetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGet should panic for unknown name")
+		}
+	}()
+	MustGet("NOPE")
+}

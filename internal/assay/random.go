@@ -1,0 +1,96 @@
+package assay
+
+import (
+	"fmt"
+	"math/rand"
+
+	"flowsyn/internal/seqgraph"
+)
+
+// Random generates a seeded random assay with n operations, in the style of
+// the paper's RA30/RA70/RA100 benchmarks. The graph is layered: operations
+// are spread over roughly n/width levels and each non-root operation depends
+// on one or two operations from strictly earlier levels (biased toward the
+// immediately preceding level, as mixing trees are in practice). Durations
+// are uniform in [30, 60] seconds. The same (n, width, seed) triple always
+// yields the same graph.
+func Random(n, width int, seed int64) *seqgraph.Graph {
+	if n <= 0 {
+		panic(fmt.Sprintf("assay.Random: n must be positive, got %d", n))
+	}
+	if width <= 0 {
+		width = 1
+	}
+	r := rand.New(rand.NewSource(seed))
+	g := seqgraph.New(fmt.Sprintf("RA%d", n))
+
+	// Assign operations to levels: every level holds between 1 and width
+	// operations, chosen randomly, until n are placed.
+	var levels [][]seqgraph.OpID
+	placed := 0
+	for placed < n {
+		k := 1 + r.Intn(width)
+		if placed+k > n {
+			k = n - placed
+		}
+		var lvl []seqgraph.OpID
+		for i := 0; i < k; i++ {
+			dur := 30 + r.Intn(31)
+			inputs := 0
+			if len(levels) == 0 {
+				inputs = 2 // roots mix two external fluids
+			}
+			id := g.MustAddOperation(fmt.Sprintf("o%d", placed+1), seqgraph.Mix, dur, inputs)
+			lvl = append(lvl, id)
+			placed++
+		}
+		levels = append(levels, lvl)
+	}
+
+	// Wire dependencies: each non-root op has 1 or 2 parents; the first
+	// parent comes from the previous level (keeping levels meaningful), any
+	// second parent from a uniformly random earlier level. Fan-out per
+	// parent is capped at maxFanOut: one fluid product physically splits
+	// into a few sub-samples at most, and bioassay sequencing graphs in the
+	// literature are close to trees.
+	const maxFanOut = 3
+	childCount := make(map[seqgraph.OpID]int)
+	pick := func(cands []seqgraph.OpID) seqgraph.OpID {
+		var open []seqgraph.OpID
+		for _, c := range cands {
+			if childCount[c] < maxFanOut {
+				open = append(open, c)
+			}
+		}
+		if len(open) == 0 {
+			open = cands
+		}
+		return open[r.Intn(len(open))]
+	}
+	for li := 1; li < len(levels); li++ {
+		prev := levels[li-1]
+		for _, id := range levels[li] {
+			p1 := pick(prev)
+			g.MustAddDependency(p1, id)
+			childCount[p1]++
+			// A third of the operations mix two intermediate products; the
+			// rest mix one product with a fresh buffer input. The second
+			// parent comes from a nearby level: real protocols consume
+			// intermediates promptly (long-lived intermediates degrade), and
+			// this keeps storage lifetimes in the range the paper's
+			// benchmarks exhibit.
+			if r.Intn(3) == 0 {
+				lo := li - 2
+				if lo < 0 {
+					lo = 0
+				}
+				p2 := pick(levels[lo+r.Intn(li-lo)])
+				if p2 != p1 {
+					g.MustAddDependency(p2, id)
+					childCount[p2]++
+				}
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,188 @@
+// Package core wires the paper's complete synthesis flow together:
+// storage-aware scheduling and binding (internal/sched), architectural
+// synthesis with distributed channel storage (internal/arch), iterative
+// physical design (internal/phys), plus the execution simulator
+// (internal/sim) and the dedicated-storage baseline (internal/dedicated)
+// used by the evaluation.
+//
+// It is the engine behind the public flowsyn API, the cmd/ tools, and the
+// benchmark harness that regenerates the paper's Table 2 and Figs. 8–11.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"flowsyn/internal/arch"
+	"flowsyn/internal/dedicated"
+	"flowsyn/internal/phys"
+	"flowsyn/internal/sched"
+	"flowsyn/internal/seqgraph"
+	"flowsyn/internal/sim"
+)
+
+// Engine selects the scheduling engine.
+type Engine int
+
+const (
+	// Auto uses the exact ILP for small assays (≤ sched.MaxExactOps
+	// operations) and the storage-aware list scheduler otherwise, matching
+	// the paper's best-effort behaviour under its solver time limit.
+	Auto Engine = iota
+	// Heuristic always uses the list scheduler.
+	Heuristic
+	// ExactILP always attempts the ILP (subject to its internal size cap).
+	ExactILP
+)
+
+// String names the engine.
+func (e Engine) String() string {
+	switch e {
+	case Heuristic:
+		return "heuristic"
+	case ExactILP:
+		return "exact-ilp"
+	default:
+		return "auto"
+	}
+}
+
+// Options configures a full synthesis run.
+type Options struct {
+	// Devices is the maximum device count (paper input). Must be >= 1.
+	Devices int
+	// Transport is u_c in seconds; defaults to 10.
+	Transport int
+	// GridRows/GridCols set the connection grid G; default 4×4.
+	GridRows, GridCols int
+	// Mode selects the scheduling objective (storage-aware by default).
+	Mode sched.Mode
+	// Engine selects the scheduling engine.
+	Engine Engine
+	// ILPTimeLimit caps the exact scheduler (zero: 30 s).
+	ILPTimeLimit time.Duration
+	// Placement selects the device-placement strategy.
+	Placement arch.PlacementStrategy
+	// ModelIO routes reagent loading and product unloading through chip
+	// boundary ports during architectural synthesis.
+	ModelIO bool
+	// Phys sets the physical design rules.
+	Phys phys.Options
+}
+
+func (o *Options) defaults() error {
+	if o.Devices < 1 {
+		return fmt.Errorf("core: need at least one device, got %d", o.Devices)
+	}
+	if o.Transport == 0 {
+		o.Transport = 10
+	}
+	if o.Transport < 1 {
+		return fmt.Errorf("core: transport time must be >= 1, got %d", o.Transport)
+	}
+	if o.GridRows == 0 {
+		o.GridRows = 4
+	}
+	if o.GridCols == 0 {
+		o.GridCols = 4
+	}
+	return nil
+}
+
+// Result is the complete output of the synthesis flow for one assay.
+type Result struct {
+	// Schedule is the scheduling-and-binding result (Section 3.1).
+	Schedule *sched.Schedule
+	// SchedInfo carries ILP diagnostics when the exact engine ran (nil for
+	// the heuristic engine).
+	SchedInfo *sched.ILPInfo
+	// Architecture is the synthesized connection graph (Section 3.2).
+	Architecture *arch.Result
+	// Physical is the compacted layout (Section 3.3).
+	Physical *phys.Design
+	// SchedulingTime is the wall-clock scheduling time (t_s in Table 2).
+	SchedulingTime time.Duration
+}
+
+// Synthesize runs the full flow on one assay.
+func Synthesize(g *seqgraph.Graph, opts Options) (*Result, error) {
+	if err := opts.defaults(); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+
+	res := &Result{}
+	startSched := time.Now()
+	useILP := opts.Engine == ExactILP || (opts.Engine == Auto && g.NumOps() <= sched.MaxExactOps)
+	if useILP {
+		beta := 0.0 // 0 means default (storage-aware) inside ILPOptions
+		if opts.Mode == sched.TimeOnly {
+			beta = -1 // disables the storage term
+		}
+		s, info, err := sched.ILPSchedule(g, sched.ILPOptions{
+			Devices:   opts.Devices,
+			Transport: opts.Transport,
+			Beta:      beta,
+			TimeLimit: opts.ILPTimeLimit,
+			WarmStart: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Schedule, res.SchedInfo = s, info
+	} else {
+		s, err := sched.ListSchedule(g, sched.ListOptions{
+			Devices:   opts.Devices,
+			Transport: opts.Transport,
+			Mode:      opts.Mode,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Schedule = s
+	}
+	res.SchedulingTime = time.Since(startSched)
+
+	grid, err := arch.NewGrid(opts.GridRows, opts.GridCols)
+	if err != nil {
+		return nil, err
+	}
+	res.Architecture, err = arch.Synthesize(res.Schedule, grid, arch.Options{Strategy: opts.Placement, ModelIO: opts.ModelIO})
+	if err != nil {
+		return nil, err
+	}
+	res.Physical, err = phys.Compute(res.Architecture, opts.Phys)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Simulator returns an execution simulator for the synthesized chip.
+func (r *Result) Simulator() *sim.Simulator {
+	return sim.New(r.Architecture, r.Schedule)
+}
+
+// CompareDedicated runs the Fig. 10 baseline: the same schedule executed
+// with a dedicated storage unit instead of distributed channel storage.
+func (r *Result) CompareDedicated() (*dedicated.Comparison, error) {
+	return dedicated.Compare(r.Schedule, r.Architecture.NumValves)
+}
+
+// Summary renders the headline numbers in Table 2's column order.
+func (r *Result) Summary() string {
+	return fmt.Sprintf(
+		"tE=%d s | grid %s | ne=%d nv=%d (edge ratio %.2f, valve ratio %.2f) | dr=%s de=%s dp=%s",
+		r.Schedule.Makespan,
+		r.Architecture.Grid,
+		r.Architecture.NumEdges,
+		r.Architecture.NumValves,
+		r.Architecture.EdgeRatio,
+		r.Architecture.ValveRatio,
+		r.Physical.AfterSynthesis,
+		r.Physical.AfterDevices,
+		r.Physical.Compressed,
+	)
+}

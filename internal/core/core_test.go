@@ -1,0 +1,118 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"flowsyn/internal/assay"
+	"flowsyn/internal/sched"
+)
+
+func TestSynthesizePCREndToEnd(t *testing.T) {
+	b := assay.MustGet("PCR")
+	res, err := Synthesize(b.Graph, Options{
+		Devices:      b.Devices,
+		Transport:    b.Transport,
+		GridRows:     b.GridRows,
+		GridCols:     b.GridCols,
+		ModelIO:      b.ModelIO,
+		ILPTimeLimit: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := res.Architecture.Validate(); err != nil {
+		t.Error(err)
+	}
+	if res.Physical.Compressed.Area() <= 0 {
+		t.Error("empty physical design")
+	}
+	// PCR is small enough for the Auto engine to use the ILP.
+	if res.SchedInfo == nil {
+		t.Error("expected ILP diagnostics for PCR under Auto engine")
+	}
+	if !strings.Contains(res.Summary(), "tE=") {
+		t.Errorf("Summary = %q", res.Summary())
+	}
+}
+
+func TestSynthesizeAllBenchmarksHeuristic(t *testing.T) {
+	for _, name := range assay.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			b := assay.MustGet(name)
+			res, err := Synthesize(b.Graph, Options{
+				Devices:   b.Devices,
+				Transport: b.Transport,
+				GridRows:  b.GridRows,
+				GridCols:  b.GridCols,
+				ModelIO:   b.ModelIO,
+				Engine:    Heuristic,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.SchedInfo != nil {
+				t.Error("heuristic engine should not report ILP info")
+			}
+			if err := res.Architecture.Validate(); err != nil {
+				t.Error(err)
+			}
+			// Simulator and dedicated baseline must work off the result.
+			if snap := res.Simulator().At(0); snap == nil {
+				t.Error("nil snapshot")
+			}
+			cmp, err := res.CompareDedicated()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cmp.ExecRatio > 1.0001 {
+				t.Errorf("distributed slower than dedicated: %v", cmp.ExecRatio)
+			}
+		})
+	}
+}
+
+func TestSynthesizeErrors(t *testing.T) {
+	b := assay.MustGet("PCR")
+	if _, err := Synthesize(b.Graph, Options{Devices: 0}); err == nil {
+		t.Error("zero devices accepted")
+	}
+	if _, err := Synthesize(b.Graph, Options{Devices: 1, Transport: -5}); err == nil {
+		t.Error("negative transport accepted")
+	}
+	if _, err := Synthesize(b.Graph, Options{Devices: 1, GridRows: 1, GridCols: 1}); err == nil {
+		t.Error("degenerate grid accepted")
+	}
+}
+
+func TestEngineString(t *testing.T) {
+	for e, want := range map[Engine]string{Auto: "auto", Heuristic: "heuristic", ExactILP: "exact-ilp"} {
+		if e.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(e), e.String(), want)
+		}
+	}
+}
+
+func TestTimeOnlyMode(t *testing.T) {
+	b := assay.MustGet("RA30")
+	res, err := Synthesize(b.Graph, Options{
+		Devices:   b.Devices,
+		Transport: b.Transport,
+		GridRows:  b.GridRows,
+		GridCols:  b.GridCols,
+		ModelIO:   b.ModelIO,
+		Engine:    Heuristic,
+		Mode:      sched.TimeOnly,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Architecture.Validate(); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,258 @@
+// Package dedicated models the baseline the paper compares against in
+// Fig. 10: a chip whose intermediate fluids are parked in a dedicated
+// storage unit (Fig. 1(c) and Fig. 3(a)) instead of distributed channel
+// segments.
+//
+// The unit has side-by-side storage cells behind a multiplexer-like port.
+// The port is the bottleneck: it admits one fluid at a time, so simultaneous
+// store/fetch accesses queue and the assay's execution is prolonged —
+// exactly the paper's experimental assumption ("when storage requirements
+// appear, they are assumed to queue at the entrance of a dedicated storage
+// unit"). Store and fetch accesses also pay the full device↔unit transport
+// time u_c, whereas distributed caching pays only the on-the-spot move-out
+// and fetch halves.
+package dedicated
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"flowsyn/internal/sched"
+	"flowsyn/internal/seqgraph"
+)
+
+// UnitValves returns the valve cost of a dedicated storage unit with the
+// given number of cells: two log₂-depth multiplexer trees (one per side of
+// the cell array, as in the paper's Fig. 1(c)) at two valves per tree level,
+// plus the two port valves.
+func UnitValves(cells int) int {
+	if cells < 1 {
+		return 0
+	}
+	if cells == 1 {
+		return 2
+	}
+	levels := int(math.Ceil(math.Log2(float64(cells))))
+	return 4*levels + 2
+}
+
+// Result reports the dedicated-storage execution of a schedule.
+type Result struct {
+	// Makespan is the prolonged execution time with port queueing.
+	Makespan int
+	// PortBusy is the total seconds the unit's port was occupied.
+	PortBusy int
+	// QueueDelay is the total seconds accesses waited for the port.
+	QueueDelay int
+	// Cells is the storage-cell count the unit needed (max simultaneous
+	// residents).
+	Cells int
+	// UnitValves is the valve cost of the unit itself.
+	UnitValves int
+	// Accesses counts port uses (stores + fetches).
+	Accesses int
+	// Starts holds the re-timed start of every operation, indexed by OpID.
+	Starts []int
+}
+
+// port serializes accesses to the storage unit.
+type port struct {
+	busy []sched.Task // unused; kept simple below
+}
+
+// intervalList tracks booked port windows in non-decreasing grant order.
+type intervalList struct {
+	windows [][2]int
+}
+
+// grant books the earliest window of the given length starting at or after
+// t, returning its start time. Booking order follows simulation order, so a
+// simple scan suffices.
+func (l *intervalList) grant(t, length int) int {
+	if length <= 0 {
+		return t
+	}
+	for {
+		conflict := false
+		for _, w := range l.windows {
+			if t < w[1] && w[0] < t+length {
+				conflict = true
+				if w[1] > t {
+					t = w[1]
+				}
+			}
+		}
+		if !conflict {
+			l.windows = append(l.windows, [2]int{t, t + length})
+			return t
+		}
+	}
+}
+
+// Execute re-times the given schedule as if all cached fluids lived in a
+// dedicated storage unit: same binding, same per-device operation order,
+// but every store and every fetch is a full-u_c transport that must win the
+// unit's single port. The returned makespan is therefore never smaller than
+// the distributed schedule's.
+func Execute(s *sched.Schedule) (*Result, error) {
+	g := s.Graph
+	n := g.NumOps()
+	if n == 0 {
+		return nil, fmt.Errorf("dedicated: empty schedule")
+	}
+	uc := s.Transport
+
+	// Process operations in original start order (preserving per-device
+	// sequences), re-timing with port serialization.
+	order := make([]seqgraph.OpID, n)
+	for i := range order {
+		order[i] = seqgraph.OpID(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		sa, sb := s.Start(order[a]), s.Start(order[b])
+		if sa != sb {
+			return sa < sb
+		}
+		return order[a] < order[b]
+	})
+
+	var prt intervalList
+	res := &Result{Starts: make([]int, n)}
+	deviceFree := make([]int, s.Devices)
+	lastOp := make([]seqgraph.OpID, s.Devices)
+	for d := range lastOp {
+		lastOp[d] = -1
+	}
+	end := make([]int, n)
+	done := make([]bool, n)
+	pending := append([]seqgraph.OpID(nil), order...)
+
+	for len(pending) > 0 {
+		pick := -1
+		for idx, op := range pending {
+			ready := true
+			for _, p := range g.Parents(op) {
+				if !done[p] {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				pick = idx
+				break
+			}
+		}
+		op := pending[pick]
+		pending = append(pending[:pick], pending[pick+1:]...)
+
+		k := s.Device(op)
+		start := deviceFree[k]
+
+		// Flush the previous result on this device into the unit unless the
+		// current op consumes it directly.
+		direct := seqgraph.OpID(-1)
+		if last := lastOp[k]; last >= 0 {
+			for _, p := range g.Parents(op) {
+				if p == last {
+					direct = p
+					break
+				}
+			}
+			if direct < 0 {
+				grantT := prt.grant(end[last], uc)
+				res.PortBusy += uc
+				res.QueueDelay += grantT - end[last]
+				res.Accesses++
+				if v := grantT + uc; v > start {
+					start = v
+				}
+			}
+		}
+
+		// Fetch every non-direct parent from the unit through the port.
+		for _, p := range g.Parents(op) {
+			if p == direct {
+				if end[p] > start {
+					start = end[p]
+				}
+				continue
+			}
+			earliest := end[p]
+			if s.Device(p) != k {
+				// Result first travels from its device into the unit.
+				earliest += uc
+			}
+			// A fetch delivers fluid into the device, so it can only start
+			// once the device is empty and idle.
+			if earliest < start {
+				earliest = start
+			}
+			grantT := prt.grant(earliest, uc)
+			res.PortBusy += uc
+			res.QueueDelay += grantT - earliest
+			res.Accesses++
+			if v := grantT + uc; v > start {
+				start = v
+			}
+		}
+
+		dur := g.Op(op).Duration
+		res.Starts[op] = start
+		end[op] = start + dur
+		deviceFree[k] = end[op]
+		lastOp[k] = op
+		done[op] = true
+		if end[op] > res.Makespan {
+			res.Makespan = end[op]
+		}
+	}
+
+	res.Cells = s.StorageCapacity()
+	if res.Cells < 1 && res.Accesses > 0 {
+		res.Cells = 1
+	}
+	res.UnitValves = UnitValves(res.Cells)
+	return res, nil
+}
+
+// Comparison bundles the Fig. 10 ratios for one assay: distributed channel
+// storage (the paper's method) versus the dedicated storage unit.
+type Comparison struct {
+	// DistributedMakespan and DedicatedMakespan are the two execution times.
+	DistributedMakespan, DedicatedMakespan int
+	// DistributedValves counts the synthesized chip's valves;
+	// DedicatedValves adds the unit's internal valves to the transport
+	// valves the dedicated design still needs.
+	DistributedValves, DedicatedValves int
+	// ExecRatio = distributed / dedicated (< 1 means the paper's method is
+	// faster); ValveRatio likewise.
+	ExecRatio, ValveRatio float64
+}
+
+// Compare computes the Fig. 10 ratios given the distributed design's valve
+// count and the schedule both designs execute.
+func Compare(s *sched.Schedule, distributedValves int) (*Comparison, error) {
+	ded, err := Execute(s)
+	if err != nil {
+		return nil, err
+	}
+	// The dedicated design still needs channels from every device to the
+	// unit; its transport valve cost is at least the distributed network's
+	// (the unit does not remove any device-to-device path, it adds the
+	// unit's port fan-in). We charge the same transport valves plus the
+	// unit's internals — a deliberately conservative baseline.
+	c := &Comparison{
+		DistributedMakespan: s.Makespan,
+		DedicatedMakespan:   ded.Makespan,
+		DistributedValves:   distributedValves,
+		DedicatedValves:     distributedValves + ded.UnitValves,
+	}
+	if ded.Makespan > 0 {
+		c.ExecRatio = float64(s.Makespan) / float64(ded.Makespan)
+	}
+	if c.DedicatedValves > 0 {
+		c.ValveRatio = float64(c.DistributedValves) / float64(c.DedicatedValves)
+	}
+	return c, nil
+}

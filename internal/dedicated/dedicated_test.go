@@ -1,0 +1,138 @@
+package dedicated
+
+import (
+	"testing"
+	"testing/quick"
+
+	"flowsyn/internal/assay"
+	"flowsyn/internal/sched"
+)
+
+func scheduleFor(t *testing.T, name string) *sched.Schedule {
+	t.Helper()
+	b := assay.MustGet(name)
+	s, err := sched.ListSchedule(b.Graph, sched.ListOptions{
+		Devices: b.Devices, Transport: b.Transport, Mode: sched.TimeAndStorage,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestUnitValves(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 2, 2: 6, 3: 10, 4: 10, 8: 14, 16: 18}
+	for cells, want := range cases {
+		if got := UnitValves(cells); got != want {
+			t.Errorf("UnitValves(%d) = %d, want %d", cells, got, want)
+		}
+	}
+}
+
+func TestExecuteNeverFaster(t *testing.T) {
+	for _, name := range assay.Names() {
+		s := scheduleFor(t, name)
+		res, err := Execute(s)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Makespan < s.Makespan {
+			t.Errorf("%s: dedicated makespan %d beats distributed %d — the unit should never win",
+				name, res.Makespan, s.Makespan)
+		}
+	}
+}
+
+func TestExecutePreservesPrecedence(t *testing.T) {
+	s := scheduleFor(t, "PCR")
+	res, err := Execute(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := s.Graph
+	for _, e := range g.Edges() {
+		pEnd := res.Starts[e.Parent] + g.Op(e.Parent).Duration
+		if res.Starts[e.Child] < pEnd {
+			t.Errorf("edge %d->%d: child starts %d before parent ends %d",
+				e.Parent, e.Child, res.Starts[e.Child], pEnd)
+		}
+	}
+}
+
+func TestExecuteCountsAccesses(t *testing.T) {
+	s := scheduleFor(t, "PCR")
+	res, err := Execute(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accesses == 0 {
+		t.Error("PCR on one mixer must access the storage unit")
+	}
+	if res.PortBusy != res.Accesses*s.Transport {
+		t.Errorf("port busy %d != accesses %d × uc %d", res.PortBusy, res.Accesses, s.Transport)
+	}
+	if res.Cells < 1 {
+		t.Error("unit needs at least one cell")
+	}
+}
+
+func TestCompareRatiosBelowOne(t *testing.T) {
+	// Fig. 10: for assays with storage traffic, both ratios are <= 1.
+	for _, name := range []string{"PCR", "RA30", "RA100"} {
+		s := scheduleFor(t, name)
+		c, err := Compare(s, 40)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if c.ExecRatio > 1.0001 {
+			t.Errorf("%s: exec ratio %.3f > 1", name, c.ExecRatio)
+		}
+		if c.ValveRatio >= 1 {
+			t.Errorf("%s: valve ratio %.3f >= 1", name, c.ValveRatio)
+		}
+	}
+}
+
+func TestPortSerialization(t *testing.T) {
+	var l intervalList
+	a := l.grant(0, 10)
+	b := l.grant(0, 10)
+	c := l.grant(5, 10)
+	if a != 0 || b != 10 || c != 20 {
+		t.Errorf("grants = %d,%d,%d; want 0,10,20", a, b, c)
+	}
+	// Zero-length grants are free.
+	if l.grant(3, 0) != 3 {
+		t.Error("zero-length grant should return its requested time")
+	}
+}
+
+// TestExecuteProperty: dedicated execution is always valid (precedence and
+// non-overlap per device) and never faster than distributed, on random
+// assays.
+func TestExecuteProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		g := assay.Random(5+int(seed%11+11)%11, 3, seed)
+		s, err := sched.ListSchedule(g, sched.ListOptions{Devices: 2, Transport: 8, Mode: sched.TimeAndStorage})
+		if err != nil {
+			return false
+		}
+		res, err := Execute(s)
+		if err != nil {
+			return false
+		}
+		if res.Makespan < s.Makespan {
+			return false
+		}
+		for _, e := range g.Edges() {
+			pEnd := res.Starts[e.Parent] + g.Op(e.Parent).Duration
+			if res.Starts[e.Child] < pEnd {
+				return false
+			}
+		}
+		return res.QueueDelay >= 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,297 @@
+package milp
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// SolveOptions configures the branch-and-bound MILP driver.
+type SolveOptions struct {
+	// TimeLimit caps wall-clock time. Zero means no limit. When exceeded the
+	// best incumbent found so far is returned with StatusTimeLimit, matching
+	// the paper's best-effort 30-minute solver cap.
+	TimeLimit time.Duration
+	// MaxNodes caps the number of branch-and-bound nodes. Zero means no cap.
+	MaxNodes int
+	// Gap is the relative optimality gap at which search stops early
+	// (|incumbent - bound| <= Gap * max(1,|incumbent|)). Zero requires proof
+	// of optimality.
+	Gap float64
+	// Incumbent, if non-nil, provides a known feasible assignment (indexed by
+	// Var.ID) used as the initial upper bound (lower for Maximize). A warm
+	// start from the heuristic scheduler prunes most of the tree.
+	Incumbent []float64
+	// IntFeasTol is the integrality tolerance; defaults to 1e-6.
+	IntFeasTol float64
+	// Logger, if non-nil, receives periodic progress lines.
+	Logger func(format string, args ...any)
+}
+
+type bbNode struct {
+	bounds []bbBound // branching decisions from the root
+	relax  float64   // parent relaxation value (in minimize sense)
+	depth  int
+}
+
+type bbBound struct {
+	v      Var
+	lo, hi float64
+}
+
+// Solve runs branch and bound on m. Continuous models are dispatched straight
+// to the simplex. The returned solution is indexed by Var.ID.
+func Solve(m *Model, opts SolveOptions) (*Solution, error) {
+	intVars := m.IntegerVars()
+	if len(intVars) == 0 {
+		return SolveLP(m)
+	}
+	if opts.IntFeasTol == 0 {
+		opts.IntFeasTol = 1e-6
+	}
+	_, sense := m.Objective()
+	// Internally we minimize; flip for Maximize.
+	dirSign := 1.0
+	if sense == Maximize {
+		dirSign = -1
+	}
+	toMin := func(obj float64) float64 { return dirSign * obj }
+
+	deadline := time.Time{}
+	if opts.TimeLimit > 0 {
+		deadline = time.Now().Add(opts.TimeLimit)
+	}
+
+	var (
+		best       []float64
+		bestObj    = math.Inf(1) // minimize sense
+		nodes      int
+		iters      int
+		timedOut   bool
+		nodeLimit  bool
+		incomplete bool // some node relaxation was cut short
+	)
+	if opts.Incumbent != nil {
+		if ok, obj := checkFeasible(m, opts.Incumbent, opts.IntFeasTol); ok {
+			best = append([]float64(nil), opts.Incumbent...)
+			bestObj = toMin(obj)
+		}
+	}
+
+	// Save original bounds so we can restore after each node solve.
+	origLo := make([]float64, m.NumVars())
+	origHi := make([]float64, m.NumVars())
+	for i := 0; i < m.NumVars(); i++ {
+		v := Var{id: i}
+		origLo[i], origHi[i] = m.Bounds(v)
+	}
+	restore := func() {
+		for i := 0; i < m.NumVars(); i++ {
+			m.SetBounds(Var{id: i}, origLo[i], origHi[i])
+		}
+	}
+	defer restore()
+
+	// DFS stack with best-first tie-breaking: nodes sorted by parent bound so
+	// promising subtrees are explored first, while the stack keeps memory
+	// linear in depth for pure DFS chains.
+	stack := []bbNode{{relax: math.Inf(-1)}}
+	gapMet := func(lb float64) bool {
+		if best == nil {
+			return false
+		}
+		if bestObj-lb <= 1e-9 {
+			return true
+		}
+		if opts.Gap > 0 {
+			return bestObj-lb <= opts.Gap*math.Max(1, math.Abs(bestObj))
+		}
+		return false
+	}
+
+	for len(stack) > 0 {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			timedOut = true
+			break
+		}
+		if opts.MaxNodes > 0 && nodes >= opts.MaxNodes {
+			nodeLimit = true
+			break
+		}
+		node := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nodes++
+
+		if gapMet(node.relax) {
+			continue
+		}
+
+		// Apply node bounds.
+		restore()
+		feasBounds := true
+		for _, b := range node.bounds {
+			lo, hi := m.Bounds(b.v)
+			nlo, nhi := math.Max(lo, b.lo), math.Min(hi, b.hi)
+			if nlo > nhi {
+				feasBounds = false
+				break
+			}
+			m.SetBounds(b.v, nlo, nhi)
+		}
+		if !feasBounds {
+			continue
+		}
+
+		sol, err := solveLPDeadline(m, deadline)
+		if err != nil {
+			return nil, err
+		}
+		iters += sol.Iterations
+		if sol.Status == StatusInfeasible {
+			continue
+		}
+		if sol.Status == StatusUnbounded {
+			// An unbounded relaxation at the root means the MILP is unbounded
+			// or infeasible; deeper in the tree we conservatively keep
+			// exploring siblings.
+			if node.depth == 0 {
+				return &Solution{Status: StatusUnbounded, Nodes: nodes, Iterations: iters}, nil
+			}
+			continue
+		}
+		if sol.Status != StatusOptimal {
+			// Iteration- or deadline-limited relaxation: the bound is
+			// unreliable, so this subtree stays unexplored.
+			incomplete = true
+			continue
+		}
+		lb := toMin(sol.Objective)
+		if gapMet(lb) {
+			continue
+		}
+
+		// Find the most fractional integer variable.
+		branchVar, frac := Var{id: -1}, 0.0
+		for _, v := range intVars {
+			x := sol.X[v.id]
+			f := math.Abs(x - math.Round(x))
+			if f > opts.IntFeasTol && f > frac {
+				frac, branchVar = f, v
+			}
+		}
+		if branchVar.id == -1 {
+			// Integral solution.
+			if lb < bestObj-1e-9 {
+				bestObj = lb
+				best = append([]float64(nil), sol.X...)
+				// Round integer values exactly.
+				for _, v := range intVars {
+					best[v.id] = math.Round(best[v.id])
+				}
+				if opts.Logger != nil {
+					opts.Logger("milp: incumbent %.6g at node %d", dirSign*bestObj, nodes)
+				}
+			}
+			continue
+		}
+
+		x := sol.X[branchVar.id]
+		fl, ce := math.Floor(x), math.Ceil(x)
+		down := bbNode{
+			bounds: append(append([]bbBound(nil), node.bounds...),
+				bbBound{v: branchVar, lo: math.Inf(-1), hi: fl}),
+			relax: lb,
+			depth: node.depth + 1,
+		}
+		up := bbNode{
+			bounds: append(append([]bbBound(nil), node.bounds...),
+				bbBound{v: branchVar, lo: ce, hi: math.Inf(1)}),
+			relax: lb,
+			depth: node.depth + 1,
+		}
+		// Push the child whose bound direction matches the fractional part
+		// last so it is explored first (simple pseudo-cost-free heuristic).
+		if x-fl < ce-x {
+			stack = append(stack, up, down)
+		} else {
+			stack = append(stack, down, up)
+		}
+		// Keep the stack loosely sorted: occasionally move the best-bound
+		// node to the top to avoid stalling in a bad subtree.
+		if nodes%64 == 0 && len(stack) > 2 {
+			sort.SliceStable(stack, func(i, j int) bool { return stack[i].relax > stack[j].relax })
+		}
+	}
+
+	res := &Solution{Nodes: nodes, Iterations: iters}
+	switch {
+	case best != nil && !timedOut && !nodeLimit && !incomplete && len(stack) == 0:
+		res.Status = StatusOptimal
+		res.X = best
+		res.Objective = dirSign * bestObj
+		res.Bound = res.Objective
+	case best != nil:
+		if timedOut {
+			res.Status = StatusTimeLimit
+		} else if nodeLimit {
+			res.Status = StatusIterLimit
+		} else {
+			res.Status = StatusFeasible
+		}
+		res.X = best
+		res.Objective = dirSign * bestObj
+		res.Bound = math.NaN()
+	case timedOut || incomplete:
+		res.Status = StatusTimeLimit
+	case nodeLimit:
+		res.Status = StatusIterLimit
+	default:
+		res.Status = StatusInfeasible
+	}
+	return res, nil
+}
+
+// checkFeasible verifies x against all constraints, bounds and integrality of
+// m and returns the objective value on success.
+func checkFeasible(m *Model, x []float64, intTol float64) (bool, float64) {
+	if len(x) != m.NumVars() {
+		return false, 0
+	}
+	for i := 0; i < m.NumVars(); i++ {
+		v := Var{id: i}
+		lo, hi := m.Bounds(v)
+		if x[i] < lo-feasEps || x[i] > hi+feasEps {
+			return false, 0
+		}
+		if m.Type(v) != Continuous && math.Abs(x[i]-math.Round(x[i])) > intTol {
+			return false, 0
+		}
+	}
+	for i := 0; i < m.NumConstraints(); i++ {
+		c := m.Constraint(i)
+		lhs := c.Expr.Eval(x)
+		switch c.Rel {
+		case LE:
+			if lhs > c.RHS+feasEps {
+				return false, 0
+			}
+		case GE:
+			if lhs < c.RHS-feasEps {
+				return false, 0
+			}
+		case EQ:
+			if math.Abs(lhs-c.RHS) > feasEps {
+				return false, 0
+			}
+		}
+	}
+	obj, _ := m.Objective()
+	return true, obj.Eval(x)
+}
+
+// CheckFeasible reports whether x satisfies every bound, integrality
+// requirement and constraint of m, and returns the objective value when it
+// does. It is exported for schedule validation and tests.
+func CheckFeasible(m *Model, x []float64) (bool, float64) {
+	return checkFeasible(m, x, 1e-6)
+}

@@ -1,0 +1,256 @@
+package milp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMILPKnapsack(t *testing.T) {
+	// max 10a + 13b + 7c s.t. 5a + 6b + 4c <= 10, binary.
+	// Best: a + c = 17 (weight 9); b + c = 20 (weight 10) -> optimum 20.
+	m := NewModel()
+	a := m.NewBinary("a")
+	b := m.NewBinary("b")
+	c := m.NewBinary("c")
+	m.AddLE("cap", *NewExpr(0).Add(a, 5).Add(b, 6).Add(c, 4), 10)
+	m.SetObjective(*NewExpr(0).Add(a, 10).Add(b, 13).Add(c, 7), Maximize)
+
+	sol, err := Solve(m, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	if !almostEq(sol.Objective, 20, 1e-6) {
+		t.Errorf("objective = %v, want 20", sol.Objective)
+	}
+	if !almostEq(sol.Value(b), 1, 1e-6) || !almostEq(sol.Value(c), 1, 1e-6) {
+		t.Errorf("want b=c=1, got a=%v b=%v c=%v", sol.Value(a), sol.Value(b), sol.Value(c))
+	}
+}
+
+func TestMILPIntegerRounding(t *testing.T) {
+	// max x + y s.t. 2x + 2y <= 7, integer -> LP gives 3.5, MILP must give 3.
+	m := NewModel()
+	x := m.NewInteger("x", 0, 10)
+	y := m.NewInteger("y", 0, 10)
+	m.AddLE("c", *NewExpr(0).Add(x, 2).Add(y, 2), 7)
+	m.SetObjective(*NewExpr(0).Add(x, 1).Add(y, 1), Maximize)
+
+	sol, err := Solve(m, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	if !almostEq(sol.Objective, 3, 1e-6) {
+		t.Errorf("objective = %v, want 3", sol.Objective)
+	}
+}
+
+func TestMILPInfeasible(t *testing.T) {
+	m := NewModel()
+	x := m.NewBinary("x")
+	y := m.NewBinary("y")
+	m.AddGE("both", *NewExpr(0).Add(x, 1).Add(y, 1), 3) // impossible for binaries
+	m.SetObjective(VarExpr(x), Minimize)
+	sol, err := Solve(m, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusInfeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestMILPEqualityBinary(t *testing.T) {
+	// Exactly one of four binaries, with distinct costs: pick the cheapest.
+	m := NewModel()
+	vars := make([]Var, 4)
+	costs := []float64{7, 3, 9, 5}
+	pick := NewExpr(0)
+	obj := NewExpr(0)
+	for i := range vars {
+		vars[i] = m.NewBinary("")
+		pick.Add(vars[i], 1)
+		obj.Add(vars[i], costs[i])
+	}
+	m.AddEQ("one", *pick, 1)
+	m.SetObjective(*obj, Minimize)
+	sol, err := Solve(m, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal || !almostEq(sol.Objective, 3, 1e-6) {
+		t.Fatalf("objective = %v (status %v), want 3", sol.Objective, sol.Status)
+	}
+	if !almostEq(sol.Value(vars[1]), 1, 1e-6) {
+		t.Errorf("wrong variable picked: %v", sol.X)
+	}
+}
+
+func TestMILPWarmStartIncumbent(t *testing.T) {
+	// Supply the optimum as incumbent; solver must not return anything worse.
+	m := NewModel()
+	x := m.NewInteger("x", 0, 100)
+	m.AddLE("c", *NewExpr(0).Add(x, 3), 250)
+	m.SetObjective(VarExpr(x), Maximize)
+	sol, err := Solve(m, SolveOptions{Incumbent: []float64{83}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal || !almostEq(sol.Objective, 83, 1e-6) {
+		t.Fatalf("objective = %v (status %v), want 83", sol.Objective, sol.Status)
+	}
+}
+
+func TestMILPTimeLimitReturnsIncumbent(t *testing.T) {
+	// With a zero-ish deadline and an incumbent, the solver must return the
+	// incumbent as best effort.
+	m := NewModel()
+	n := 14
+	cap := NewExpr(0)
+	obj := NewExpr(0)
+	r := rand.New(rand.NewSource(7))
+	vars := make([]Var, n)
+	inc := make([]float64, n)
+	for i := 0; i < n; i++ {
+		vars[i] = m.NewBinary("")
+		cap.Add(vars[i], float64(1+r.Intn(9)))
+		obj.Add(vars[i], float64(1+r.Intn(9)))
+	}
+	m.AddLE("cap", *cap, 20)
+	m.SetObjective(*obj, Maximize)
+	sol, err := Solve(m, SolveOptions{TimeLimit: time.Nanosecond, Incumbent: inc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusTimeLimit {
+		t.Fatalf("status = %v, want time-limit", sol.Status)
+	}
+	if sol.X == nil {
+		t.Fatal("expected incumbent solution to be returned")
+	}
+}
+
+func TestMILPBigMDisjunction(t *testing.T) {
+	// Two jobs of length 5 and 4 on one machine, disjunctive big-M ordering:
+	// makespan must be 9. This is exactly the non-overlap pattern used by the
+	// scheduler (constraint (4) of the paper linearized with order binaries).
+	const bigM = 1000
+	m := NewModel()
+	s1 := m.NewContinuous("s1", 0, bigM)
+	s2 := m.NewContinuous("s2", 0, bigM)
+	mk := m.NewContinuous("makespan", 0, bigM)
+	y := m.NewBinary("y12") // 1 => job1 before job2
+	// s1 + 5 <= s2 + M(1-y)
+	m.AddLE("ord12", *NewExpr(5).Add(s1, 1).Add(s2, -1).Add(y, bigM), bigM)
+	// s2 + 4 <= s1 + M*y
+	m.AddLE("ord21", *NewExpr(4).Add(s2, 1).Add(s1, -1).Add(y, -bigM), 0)
+	m.AddGE("mk1", *NewExpr(0).Add(mk, 1).Add(s1, -1), 5)
+	m.AddGE("mk2", *NewExpr(0).Add(mk, 1).Add(s2, -1), 4)
+	m.SetObjective(VarExpr(mk), Minimize)
+
+	sol, err := Solve(m, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	if !almostEq(sol.Objective, 9, 1e-5) {
+		t.Errorf("makespan = %v, want 9", sol.Objective)
+	}
+}
+
+// TestMILPMatchesBruteForceProperty cross-checks branch and bound against
+// exhaustive enumeration on random small binary knapsacks.
+func TestMILPMatchesBruteForceProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(5) // 3..7 binaries
+		w := make([]float64, n)
+		p := make([]float64, n)
+		for i := range w {
+			w[i] = float64(1 + r.Intn(9))
+			p[i] = float64(1 + r.Intn(9))
+		}
+		capacity := float64(5 + r.Intn(15))
+
+		m := NewModel()
+		vars := make([]Var, n)
+		capE := NewExpr(0)
+		objE := NewExpr(0)
+		for i := range vars {
+			vars[i] = m.NewBinary("")
+			capE.Add(vars[i], w[i])
+			objE.Add(vars[i], p[i])
+		}
+		m.AddLE("cap", *capE, capacity)
+		m.SetObjective(*objE, Maximize)
+		sol, err := Solve(m, SolveOptions{})
+		if err != nil || sol.Status != StatusOptimal {
+			return false
+		}
+
+		best := 0.0
+		for mask := 0; mask < 1<<n; mask++ {
+			wt, pf := 0.0, 0.0
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					wt += w[i]
+					pf += p[i]
+				}
+			}
+			if wt <= capacity && pf > best {
+				best = pf
+			}
+		}
+		return almostEq(sol.Objective, best, 1e-6)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMILPIntegerSolutionsAreIntegral checks the integrality post-condition
+// on random mixed problems.
+func TestMILPIntegerSolutionsAreIntegral(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := NewModel()
+		n := 2 + r.Intn(4)
+		vars := make([]Var, n)
+		sum := NewExpr(0)
+		for i := range vars {
+			vars[i] = m.NewInteger("", 0, float64(3+r.Intn(5)))
+			sum.Add(vars[i], float64(1+r.Intn(3)))
+		}
+		m.AddLE("s", *sum, float64(4+r.Intn(10)))
+		obj := NewExpr(0)
+		for _, v := range vars {
+			obj.Add(v, 1+r.Float64())
+		}
+		m.SetObjective(*obj, Maximize)
+		sol, err := Solve(m, SolveOptions{})
+		if err != nil || !sol.Feasible() {
+			return false
+		}
+		for _, v := range vars {
+			x := sol.Value(v)
+			if math.Abs(x-math.Round(x)) > 1e-6 {
+				return false
+			}
+		}
+		ok, _ := CheckFeasible(m, sol.X)
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,200 @@
+package milp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Term is one coefficient–variable product inside a linear expression.
+type Term struct {
+	Var  Var
+	Coef float64
+}
+
+// Expr is a linear expression: a sum of terms plus a constant offset.
+// The zero value is the empty expression (constant 0) and is ready to use.
+// Expressions keep at most one term per variable; adding a variable twice
+// accumulates its coefficient.
+type Expr struct {
+	terms  []Term
+	index  map[int]int // var id -> position in terms
+	offset float64
+}
+
+// NewExpr returns an empty expression with the given constant offset. It
+// returns a pointer so construction chains read naturally:
+//
+//	m.AddLE("c3", *milp.NewExpr(0).Add(x, 3).Add(y, 2), 18)
+func NewExpr(offset float64) *Expr {
+	return &Expr{offset: offset}
+}
+
+// Sum builds an expression as coef*var summed over equal-length slices.
+// It panics if the slice lengths differ, since that is always a programming
+// error at the call site.
+func Sum(vars []Var, coefs []float64) Expr {
+	if len(vars) != len(coefs) {
+		panic(fmt.Sprintf("milp.Sum: %d vars but %d coefficients", len(vars), len(coefs)))
+	}
+	var e Expr
+	for i, v := range vars {
+		e.Add(v, coefs[i])
+	}
+	return e
+}
+
+// VarExpr returns the expression consisting of the single term 1*v.
+func VarExpr(v Var) Expr {
+	var e Expr
+	e.Add(v, 1)
+	return e
+}
+
+// ensureIndex builds the lookup map lazily; cheap expressions with 1-2 terms
+// never allocate it.
+func (e *Expr) ensureIndex() {
+	if e.index != nil {
+		return
+	}
+	e.index = make(map[int]int, len(e.terms))
+	for i, t := range e.terms {
+		e.index[t.Var.id] = i
+	}
+}
+
+// Add accumulates coef*v into the expression and returns the receiver to
+// allow chaining.
+func (e *Expr) Add(v Var, coef float64) *Expr {
+	if coef == 0 {
+		return e
+	}
+	if len(e.terms) < 8 && e.index == nil {
+		for i := range e.terms {
+			if e.terms[i].Var.id == v.id {
+				e.terms[i].Coef += coef
+				return e
+			}
+		}
+		e.terms = append(e.terms, Term{Var: v, Coef: coef})
+		return e
+	}
+	e.ensureIndex()
+	if i, ok := e.index[v.id]; ok {
+		e.terms[i].Coef += coef
+		return e
+	}
+	e.index[v.id] = len(e.terms)
+	e.terms = append(e.terms, Term{Var: v, Coef: coef})
+	return e
+}
+
+// AddConst adds a constant to the expression's offset.
+func (e *Expr) AddConst(c float64) *Expr {
+	e.offset += c
+	return e
+}
+
+// AddExpr accumulates every term and the offset of other into e.
+func (e *Expr) AddExpr(other Expr) *Expr {
+	for _, t := range other.terms {
+		e.Add(t.Var, t.Coef)
+	}
+	e.offset += other.offset
+	return e
+}
+
+// Scale multiplies every coefficient and the offset by f.
+func (e *Expr) Scale(f float64) *Expr {
+	for i := range e.terms {
+		e.terms[i].Coef *= f
+	}
+	e.offset *= f
+	return e
+}
+
+// Terms exposes the term list. Callers must not mutate it.
+func (e Expr) Terms() []Term { return e.terms }
+
+// Offset returns the constant part of the expression.
+func (e Expr) Offset() float64 { return e.offset }
+
+// Coef returns the coefficient of v (0 if absent).
+func (e Expr) Coef(v Var) float64 {
+	for _, t := range e.terms {
+		if t.Var.id == v.id {
+			return t.Coef
+		}
+	}
+	return 0
+}
+
+// Clone returns a deep copy of the expression.
+func (e Expr) Clone() Expr {
+	out := Expr{offset: e.offset}
+	if len(e.terms) > 0 {
+		out.terms = make([]Term, len(e.terms))
+		copy(out.terms, e.terms)
+	}
+	return out
+}
+
+// Eval computes the value of the expression for the assignment x, which is
+// indexed by variable id.
+func (e Expr) Eval(x []float64) float64 {
+	v := e.offset
+	for _, t := range e.terms {
+		v += t.Coef * x[t.Var.id]
+	}
+	return v
+}
+
+// IsZero reports whether the expression has no terms and no offset.
+func (e Expr) IsZero() bool {
+	if e.offset != 0 {
+		return false
+	}
+	for _, t := range e.terms {
+		if t.Coef != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the expression deterministically (terms sorted by variable
+// id), e.g. "2*x0 - 1*x3 + 5".
+func (e Expr) String() string {
+	terms := make([]Term, len(e.terms))
+	copy(terms, e.terms)
+	sort.Slice(terms, func(i, j int) bool { return terms[i].Var.id < terms[j].Var.id })
+	var b strings.Builder
+	first := true
+	for _, t := range terms {
+		if t.Coef == 0 {
+			continue
+		}
+		if first {
+			if t.Coef < 0 {
+				b.WriteString("-")
+			}
+			first = false
+		} else if t.Coef < 0 {
+			b.WriteString(" - ")
+		} else {
+			b.WriteString(" + ")
+		}
+		fmt.Fprintf(&b, "%g*x%d", math.Abs(t.Coef), t.Var.id)
+	}
+	if e.offset != 0 || first {
+		if first {
+			fmt.Fprintf(&b, "%g", e.offset)
+		} else if e.offset > 0 {
+			fmt.Fprintf(&b, " + %g", e.offset)
+		} else {
+			fmt.Fprintf(&b, " - %g", -e.offset)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,152 @@
+package milp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// WriteLP renders the model in CPLEX LP text format, which Gurobi and every
+// mainstream solver can read. It exists for debugging and for exporting the
+// exact formulations the paper solves, so a reader with a commercial solver
+// can cross-check this repository's built-in solver.
+func WriteLP(w io.Writer, m *Model) error {
+	obj, sense := m.Objective()
+	if sense == Maximize {
+		if _, err := io.WriteString(w, "Maximize\n"); err != nil {
+			return err
+		}
+	} else {
+		if _, err := io.WriteString(w, "Minimize\n"); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, " obj: %s\n", lpExpr(m, obj)); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, "Subject To\n"); err != nil {
+		return err
+	}
+	for i := 0; i < m.NumConstraints(); i++ {
+		c := m.Constraint(i)
+		name := c.Name
+		if name == "" {
+			name = fmt.Sprintf("c%d", i)
+		}
+		rhs := c.RHS - c.Expr.Offset()
+		if _, err := fmt.Fprintf(w, " %s: %s %s %g\n",
+			sanitizeLPName(name), lpExpr(m, withoutOffset(c.Expr)), c.Rel, rhs); err != nil {
+			return err
+		}
+	}
+	if _, err := io.WriteString(w, "Bounds\n"); err != nil {
+		return err
+	}
+	for i := 0; i < m.NumVars(); i++ {
+		v := Var{id: i}
+		lo, hi := m.Bounds(v)
+		name := lpVarName(m, v)
+		switch {
+		case math.IsInf(lo, -1) && math.IsInf(hi, 1):
+			fmt.Fprintf(w, " %s free\n", name)
+		case math.IsInf(lo, -1):
+			fmt.Fprintf(w, " -inf <= %s <= %g\n", name, hi)
+		case math.IsInf(hi, 1):
+			fmt.Fprintf(w, " %s >= %g\n", name, lo)
+		default:
+			fmt.Fprintf(w, " %g <= %s <= %g\n", lo, name, hi)
+		}
+	}
+	var bins, gens []string
+	for i := 0; i < m.NumVars(); i++ {
+		v := Var{id: i}
+		switch m.Type(v) {
+		case Binary:
+			bins = append(bins, lpVarName(m, v))
+		case Integer:
+			gens = append(gens, lpVarName(m, v))
+		}
+	}
+	if len(bins) > 0 {
+		fmt.Fprintf(w, "Binary\n %s\n", strings.Join(bins, " "))
+	}
+	if len(gens) > 0 {
+		fmt.Fprintf(w, "General\n %s\n", strings.Join(gens, " "))
+	}
+	_, err := io.WriteString(w, "End\n")
+	return err
+}
+
+func withoutOffset(e Expr) Expr {
+	c := e.Clone()
+	c.offset = 0
+	return c
+}
+
+// lpVarName returns the variable's declared name, or a synthetic xN, made
+// safe for the LP format.
+func lpVarName(m *Model, v Var) string {
+	name := m.VarName(v)
+	if name == "" {
+		return fmt.Sprintf("x%d", v.id)
+	}
+	return sanitizeLPName(name)
+}
+
+func sanitizeLPName(name string) string {
+	var b strings.Builder
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '_', r == '.', r == '(', r == ')':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	s := b.String()
+	if s == "" {
+		return "_"
+	}
+	if s[0] >= '0' && s[0] <= '9' {
+		return "_" + s
+	}
+	return s
+}
+
+// lpExpr renders an expression deterministically by ascending variable id.
+func lpExpr(m *Model, e Expr) string {
+	ids := sortedVarIDs(e)
+	var b strings.Builder
+	first := true
+	for _, id := range ids {
+		v := Var{id: id}
+		coef := e.Coef(v)
+		if coef == 0 {
+			continue
+		}
+		if first {
+			if coef < 0 {
+				b.WriteString("- ")
+			}
+			first = false
+		} else if coef < 0 {
+			b.WriteString(" - ")
+		} else {
+			b.WriteString(" + ")
+		}
+		fmt.Fprintf(&b, "%g %s", math.Abs(coef), lpVarName(m, v))
+	}
+	if first {
+		b.WriteString("0")
+	}
+	if off := e.Offset(); off != 0 {
+		if off > 0 {
+			fmt.Fprintf(&b, " + %g", off)
+		} else {
+			fmt.Fprintf(&b, " - %g", -off)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,137 @@
+package milp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteLP(t *testing.T) {
+	m := NewModel()
+	x := m.NewContinuous("x", 0, 4)
+	y := m.NewBinary("pick y")
+	z := m.NewInteger("z", -2, 9)
+	m.AddLE("limit", *NewExpr(0).Add(x, 1).Add(y, 2), 6)
+	m.AddGE("floor", *NewExpr(1).Add(z, 3), 2)
+	m.SetObjective(*NewExpr(0).Add(x, 3).Add(y, 5).Add(z, -1), Maximize)
+
+	var b strings.Builder
+	if err := WriteLP(&b, m); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"Maximize",
+		"Subject To",
+		"limit: 1 x + 2 pick_y <= 6",
+		"floor: 3 z >= 1", // rhs folded: 2 - offset 1
+		"Bounds",
+		"0 <= x <= 4",
+		"-2 <= z <= 9",
+		"Binary",
+		"pick_y",
+		"General",
+		"z",
+		"End",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("LP output missing %q\n---\n%s", want, out)
+		}
+	}
+}
+
+func TestSanitizeLPName(t *testing.T) {
+	cases := map[string]string{
+		"abc":     "abc",
+		"a b":     "a_b",
+		"9lives":  "_9lives",
+		"":        "_",
+		"s(1,2)":  "s(1_2)",
+		"tE":      "tE",
+		"u[3->4]": "u_3__4_",
+		"x.y_z":   "x.y_z",
+	}
+	for in, want := range cases {
+		if got := sanitizeLPName(in); got != want {
+			t.Errorf("sanitizeLPName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestExprString(t *testing.T) {
+	m := NewModel()
+	a := m.NewContinuous("a", 0, 1)
+	b := m.NewContinuous("b", 0, 1)
+	e := NewExpr(5)
+	e.Add(b, -2).Add(a, 3)
+	got := e.String()
+	if got != "3*x0 - 2*x1 + 5" {
+		t.Errorf("String() = %q, want %q", got, "3*x0 - 2*x1 + 5")
+	}
+	var zero Expr
+	if zero.String() != "0" {
+		t.Errorf("zero expr String() = %q, want 0", zero.String())
+	}
+}
+
+func TestExprAccumulate(t *testing.T) {
+	m := NewModel()
+	v := m.NewContinuous("v", 0, 1)
+	e := NewExpr(0)
+	for i := 0; i < 20; i++ { // crosses the small-expression threshold
+		e.Add(v, 1)
+	}
+	if e.Coef(v) != 20 {
+		t.Errorf("accumulated coef = %v, want 20", e.Coef(v))
+	}
+	if len(e.Terms()) != 1 {
+		t.Errorf("terms = %d, want 1 (coalesced)", len(e.Terms()))
+	}
+}
+
+func TestExprAddExprScaleEval(t *testing.T) {
+	m := NewModel()
+	a := m.NewContinuous("a", 0, 10)
+	b := m.NewContinuous("b", 0, 10)
+	e1 := *NewExpr(1).Add(a, 2)
+	e2 := *NewExpr(2).Add(a, 1).Add(b, 4)
+	e1.AddExpr(e2)
+	e1.Scale(2)
+	// e1 = 2*(3a + 4b + 3) = 6a + 8b + 6
+	x := []float64{2, 1}
+	if got := e1.Eval(x); got != 6*2+8*1+6 {
+		t.Errorf("Eval = %v, want 26", got)
+	}
+	if e1.IsZero() {
+		t.Error("IsZero on non-zero expr")
+	}
+	var z Expr
+	if !z.IsZero() {
+		t.Error("zero value expr should be zero")
+	}
+}
+
+func TestModelStats(t *testing.T) {
+	m := NewModel()
+	m.NewBinary("b")
+	m.NewInteger("i", 0, 5)
+	m.NewContinuous("c", 0, 1)
+	m.AddLE("", NewExpr(0).Clone(), 1)
+	s := m.Stats()
+	if s.Vars != 3 || s.Binaries != 1 || s.Integers != 1 || s.Continuous != 1 || s.Constraints != 1 {
+		t.Errorf("unexpected stats: %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("empty stats string")
+	}
+}
+
+func TestSumPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Sum should panic on slice length mismatch")
+		}
+	}()
+	m := NewModel()
+	v := m.NewContinuous("v", 0, 1)
+	Sum([]Var{v}, []float64{1, 2})
+}

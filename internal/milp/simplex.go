@@ -1,0 +1,539 @@
+package milp
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Status reports the outcome of a solve.
+type Status int
+
+const (
+	// StatusUnknown means the solver has not produced a verdict.
+	StatusUnknown Status = iota
+	// StatusOptimal means an optimal solution was found (for MILP: proven).
+	StatusOptimal
+	// StatusInfeasible means the problem has no feasible point.
+	StatusInfeasible
+	// StatusUnbounded means the objective is unbounded in the optimization
+	// direction.
+	StatusUnbounded
+	// StatusIterLimit means the simplex hit its iteration cap.
+	StatusIterLimit
+	// StatusTimeLimit means branch and bound hit its wall-clock limit; the
+	// reported solution, if any, is the best incumbent (best-effort), as with
+	// the paper's 30-minute Gurobi cap.
+	StatusTimeLimit
+	// StatusFeasible means a feasible (not necessarily optimal) solution is
+	// available.
+	StatusFeasible
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusUnbounded:
+		return "unbounded"
+	case StatusIterLimit:
+		return "iteration-limit"
+	case StatusTimeLimit:
+		return "time-limit"
+	case StatusFeasible:
+		return "feasible"
+	default:
+		return "unknown"
+	}
+}
+
+// Solution is the result of an LP or MILP solve.
+type Solution struct {
+	// Status is the solver verdict.
+	Status Status
+	// X holds one value per model variable, indexed by Var.ID. Nil unless a
+	// feasible point was found.
+	X []float64
+	// Objective is the objective value at X in the model's original sense.
+	Objective float64
+	// Bound is the best proven bound on the objective (MILP only); equals
+	// Objective when Status is StatusOptimal.
+	Bound float64
+	// Nodes is the number of branch-and-bound nodes explored (MILP only).
+	Nodes int
+	// Iterations counts simplex pivots across all LP solves.
+	Iterations int
+}
+
+// Value returns the solution value of v.
+func (s *Solution) Value(v Var) float64 {
+	if s == nil || s.X == nil {
+		return math.NaN()
+	}
+	return s.X[v.id]
+}
+
+// Feasible reports whether the solution carries a usable assignment.
+func (s *Solution) Feasible() bool {
+	return s != nil && s.X != nil &&
+		(s.Status == StatusOptimal || s.Status == StatusFeasible ||
+			s.Status == StatusTimeLimit || s.Status == StatusIterLimit)
+}
+
+const (
+	pivotEps    = 1e-9
+	feasEps     = 1e-7
+	redCostEps  = 1e-9
+	artificialW = 1.0
+)
+
+// columnKind records how a structural simplex column maps back to a model
+// variable.
+type columnKind int
+
+const (
+	colShift  columnKind = iota // x = lo + y
+	colMirror                   // x = hi - y
+	colPlus                     // free split, positive part
+	colMinus                    // free split, negative part
+)
+
+type column struct {
+	varID int
+	kind  columnKind
+	shift float64 // lo (colShift) or hi (colMirror)
+}
+
+// lp is the standard-form problem: min c·y s.t. Ay = b (b >= 0), y >= 0.
+// Columns 0..nStruct-1 are structural, then slacks/surplus, then artificials.
+type lp struct {
+	m, n    int // rows, total columns
+	nStruct int
+	nArt    int
+	a       [][]float64
+	b       []float64
+	c       []float64 // phase-II cost over all columns
+	cols    []column  // structural column metadata
+	basis   []int
+	iters   int
+	maxIter int
+	// deadline, when non-zero, aborts the solve with StatusIterLimit so
+	// that branch and bound can honor its wall-clock budget even when a
+	// single relaxation is expensive.
+	deadline time.Time
+}
+
+// buildLP converts a Model (relaxing integrality) into standard form.
+// Returns nil with ok=false if a variable has lo > hi (trivially infeasible).
+func buildLP(m *Model) (*lp, bool) {
+	type rowSpec struct {
+		coefs map[int]float64 // structural column -> coefficient
+		rel   Relation
+		rhs   float64
+	}
+
+	// Map model variables to structural columns.
+	var cols []column
+	colOf := make([][]int, len(m.vars)) // var -> its column ids (1 or 2)
+	for j, d := range m.vars {
+		if d.lo > d.hi+feasEps {
+			return nil, false
+		}
+		switch {
+		case !math.IsInf(d.lo, -1):
+			colOf[j] = []int{len(cols)}
+			cols = append(cols, column{varID: j, kind: colShift, shift: d.lo})
+		case !math.IsInf(d.hi, 1):
+			colOf[j] = []int{len(cols)}
+			cols = append(cols, column{varID: j, kind: colMirror, shift: d.hi})
+		default:
+			colOf[j] = []int{len(cols), len(cols) + 1}
+			cols = append(cols,
+				column{varID: j, kind: colPlus},
+				column{varID: j, kind: colMinus})
+		}
+	}
+	nStruct := len(cols)
+
+	// addTerm accumulates the standard-form coefficient of model var j with
+	// original coefficient coef into row r, returning the constant correction
+	// to subtract from the rhs.
+	addTerm := func(r *rowSpec, j int, coef float64) float64 {
+		var corr float64
+		for _, cIdx := range colOf[j] {
+			col := cols[cIdx]
+			switch col.kind {
+			case colShift:
+				r.coefs[cIdx] += coef
+				corr += coef * col.shift
+			case colMirror:
+				r.coefs[cIdx] -= coef
+				corr += coef * col.shift
+			case colPlus:
+				r.coefs[cIdx] += coef
+			case colMinus:
+				r.coefs[cIdx] -= coef
+			}
+		}
+		return corr
+	}
+
+	var rows []rowSpec
+	newRow := func(rel Relation, rhs float64) *rowSpec {
+		rows = append(rows, rowSpec{coefs: make(map[int]float64), rel: rel, rhs: rhs})
+		return &rows[len(rows)-1]
+	}
+
+	// Model constraints.
+	for i := range m.cons {
+		con := &m.cons[i]
+		r := newRow(con.Rel, con.RHS-con.Expr.Offset())
+		for _, t := range con.Expr.Terms() {
+			r.rhs -= addTerm(r, t.Var.id, t.Coef)
+		}
+	}
+	// Finite-range bound rows: y <= hi - lo (shift) or y <= hi - lo (mirror).
+	for cIdx, col := range cols {
+		d := m.vars[col.varID]
+		if col.kind == colShift && !math.IsInf(d.hi, 1) {
+			r := newRow(LE, d.hi-d.lo)
+			r.coefs[cIdx] = 1
+		}
+		if col.kind == colMirror && !math.IsInf(d.lo, -1) {
+			// unreachable by construction (lo=-inf when mirrored), kept for
+			// symmetry if construction rules change
+			r := newRow(LE, d.hi-d.lo)
+			r.coefs[cIdx] = 1
+		}
+	}
+
+	// Normalize rhs >= 0.
+	for i := range rows {
+		if rows[i].rhs < 0 {
+			for k := range rows[i].coefs {
+				rows[i].coefs[k] = -rows[i].coefs[k]
+			}
+			rows[i].rhs = -rows[i].rhs
+			switch rows[i].rel {
+			case LE:
+				rows[i].rel = GE
+			case GE:
+				rows[i].rel = LE
+			}
+		}
+	}
+
+	// Count auxiliary columns.
+	nSlack, nArt := 0, 0
+	for _, r := range rows {
+		switch r.rel {
+		case LE:
+			nSlack++
+		case GE:
+			nSlack++
+			nArt++
+		case EQ:
+			nArt++
+		}
+	}
+
+	nRows := len(rows)
+	n := nStruct + nSlack + nArt
+	p := &lp{
+		m:       nRows,
+		n:       n,
+		nStruct: nStruct,
+		nArt:    nArt,
+		a:       make([][]float64, nRows),
+		b:       make([]float64, nRows),
+		c:       make([]float64, n),
+		cols:    cols,
+		basis:   make([]int, nRows),
+		maxIter: 200*(nRows+n) + 2000,
+	}
+	for i := range p.a {
+		p.a[i] = make([]float64, n)
+	}
+
+	slackAt := nStruct
+	artAt := nStruct + nSlack
+	for i, r := range rows {
+		for k, v := range r.coefs {
+			p.a[i][k] = v
+		}
+		p.b[i] = r.rhs
+		switch r.rel {
+		case LE:
+			p.a[i][slackAt] = 1
+			p.basis[i] = slackAt
+			slackAt++
+		case GE:
+			p.a[i][slackAt] = -1
+			slackAt++
+			p.a[i][artAt] = 1
+			p.basis[i] = artAt
+			artAt++
+		case EQ:
+			p.a[i][artAt] = 1
+			p.basis[i] = artAt
+			artAt++
+		}
+	}
+
+	// Phase-II costs over structural columns from the model objective,
+	// negated for maximization.
+	sign := 1.0
+	if m.dir == Maximize {
+		sign = -1
+	}
+	for _, t := range m.obj.Terms() {
+		for _, cIdx := range colOf[t.Var.id] {
+			col := cols[cIdx]
+			switch col.kind {
+			case colShift, colPlus:
+				p.c[cIdx] += sign * t.Coef
+			case colMirror, colMinus:
+				p.c[cIdx] -= sign * t.Coef
+			}
+		}
+	}
+	return p, true
+}
+
+// price computes reduced costs d = c - c_B·T for cost vector cost and
+// returns the entering column (or -1 if optimal). Artificial columns are
+// barred when barArt is true. Bland's rule is used when bland is true.
+func (p *lp) price(cost []float64, barArt, bland bool) int {
+	// y = c_B (multipliers are implicit: tableau is kept reduced, so reduced
+	// cost of column j is cost[j] - sum_i cost[basis[i]] * a[i][j]).
+	cb := make([]float64, p.m)
+	for i, bi := range p.basis {
+		cb[i] = cost[bi]
+	}
+	best, bestJ := -redCostEps, -1
+	artStart := p.n - p.nArt
+	for j := 0; j < p.n; j++ {
+		if barArt && j >= artStart {
+			continue
+		}
+		d := cost[j]
+		for i := 0; i < p.m; i++ {
+			if cb[i] != 0 && p.a[i][j] != 0 {
+				d -= cb[i] * p.a[i][j]
+			}
+		}
+		if d < -redCostEps {
+			if bland {
+				return j
+			}
+			if d < best {
+				best, bestJ = d, j
+			}
+		}
+	}
+	return bestJ
+}
+
+// pivotAt performs a Gauss-Jordan pivot on (row, j) and updates the basis.
+func (p *lp) pivotAt(row, j int) {
+	pv := p.a[row][j]
+	inv := 1 / pv
+	prow := p.a[row]
+	for k := 0; k < p.n; k++ {
+		prow[k] *= inv
+	}
+	p.b[row] *= inv
+	prow[j] = 1 // exact
+	for i := 0; i < p.m; i++ {
+		if i == row {
+			continue
+		}
+		f := p.a[i][j]
+		if f == 0 {
+			continue
+		}
+		arow := p.a[i]
+		for k := 0; k < p.n; k++ {
+			if prow[k] != 0 {
+				arow[k] -= f * prow[k]
+			}
+		}
+		arow[j] = 0
+		p.b[i] -= f * p.b[row]
+		if p.b[i] < 0 && p.b[i] > -feasEps {
+			p.b[i] = 0
+		}
+	}
+	p.basis[row] = j
+	p.iters++
+}
+
+// pivot performs the ratio test on column j and pivots. Returns false if the
+// column proves unboundedness.
+func (p *lp) pivot(j int) bool {
+	row := -1
+	var ratio float64
+	for i := 0; i < p.m; i++ {
+		if p.a[i][j] > pivotEps {
+			r := p.b[i] / p.a[i][j]
+			if row == -1 || r < ratio-pivotEps ||
+				(r < ratio+pivotEps && p.basis[i] < p.basis[row]) {
+				row, ratio = i, r
+			}
+		}
+	}
+	if row == -1 {
+		return false
+	}
+	p.pivotAt(row, j)
+	return true
+}
+
+// driveOutArtificials pivots any artificial variable remaining basic at zero
+// after phase I out of the basis. Rows that are all zero over non-artificial
+// columns are redundant and left inert (their artificial can never turn
+// positive because every eliminating coefficient in the row is zero).
+func (p *lp) driveOutArtificials() {
+	artStart := p.n - p.nArt
+	for i := 0; i < p.m; i++ {
+		if p.basis[i] < artStart {
+			continue
+		}
+		for j := 0; j < artStart; j++ {
+			if math.Abs(p.a[i][j]) > pivotEps {
+				p.pivotAt(i, j)
+				break
+			}
+		}
+	}
+}
+
+// run optimizes the given cost vector. blandAfter switches to Bland's rule
+// after that many iterations to break cycling.
+func (p *lp) run(cost []float64, barArt bool) Status {
+	blandAfter := 4 * (p.m + p.n)
+	start := p.iters
+	for {
+		if p.iters-start > p.maxIter {
+			return StatusIterLimit
+		}
+		if !p.deadline.IsZero() && p.iters%32 == 0 && time.Now().After(p.deadline) {
+			return StatusIterLimit
+		}
+		bland := p.iters-start > blandAfter
+		j := p.price(cost, barArt, bland)
+		if j < 0 {
+			return StatusOptimal
+		}
+		if !p.pivot(j) {
+			return StatusUnbounded
+		}
+	}
+}
+
+// objValue evaluates cost over the current basic solution.
+func (p *lp) objValue(cost []float64) float64 {
+	v := 0.0
+	for i, bi := range p.basis {
+		v += cost[bi] * p.b[i]
+	}
+	return v
+}
+
+// SolveLP solves the LP relaxation of m (integrality dropped) with a dense
+// two-phase primal simplex. The returned solution is indexed by Var.ID.
+func SolveLP(m *Model) (*Solution, error) {
+	return solveLPDeadline(m, time.Time{})
+}
+
+// solveLPDeadline is SolveLP with an optional wall-clock deadline; exceeding
+// it yields StatusIterLimit.
+func solveLPDeadline(m *Model, deadline time.Time) (*Solution, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	p, ok := buildLP(m)
+	if !ok {
+		return &Solution{Status: StatusInfeasible}, nil
+	}
+	p.deadline = deadline
+
+	// Phase I: minimize sum of artificials.
+	if p.nArt > 0 {
+		phase1 := make([]float64, p.n)
+		for j := p.n - p.nArt; j < p.n; j++ {
+			phase1[j] = artificialW
+		}
+		st := p.run(phase1, false)
+		if st == StatusIterLimit {
+			return &Solution{Status: StatusIterLimit, Iterations: p.iters}, nil
+		}
+		if st == StatusUnbounded {
+			// Phase I cannot be unbounded (costs >= 0, y >= 0); treat as
+			// numerical failure.
+			return nil, fmt.Errorf("milp: phase I reported unbounded (numerical failure)")
+		}
+		if p.objValue(phase1) > 1e-6 {
+			return &Solution{Status: StatusInfeasible, Iterations: p.iters}, nil
+		}
+		p.driveOutArtificials()
+	}
+
+	// Phase II.
+	st := p.run(p.c, true)
+	switch st {
+	case StatusIterLimit:
+		return &Solution{Status: StatusIterLimit, Iterations: p.iters}, nil
+	case StatusUnbounded:
+		return &Solution{Status: StatusUnbounded, Iterations: p.iters}, nil
+	}
+
+	// Recover structural values.
+	y := make([]float64, p.n)
+	for i, bi := range p.basis {
+		y[bi] = p.b[i]
+	}
+	x := make([]float64, len(m.vars))
+	for j := range x {
+		d := m.vars[j]
+		if !math.IsInf(d.lo, -1) {
+			x[j] = d.lo
+		} else if !math.IsInf(d.hi, 1) {
+			x[j] = d.hi
+		}
+	}
+	for cIdx, col := range p.cols {
+		switch col.kind {
+		case colShift:
+			x[col.varID] = col.shift + y[cIdx]
+		case colMirror:
+			x[col.varID] = col.shift - y[cIdx]
+		case colPlus:
+			x[col.varID] += y[cIdx]
+		case colMinus:
+			x[col.varID] -= y[cIdx]
+		}
+	}
+	// Clamp tiny bound violations from floating point.
+	for j := range x {
+		d := m.vars[j]
+		if x[j] < d.lo {
+			x[j] = d.lo
+		}
+		if x[j] > d.hi {
+			x[j] = d.hi
+		}
+	}
+
+	obj := m.obj.Eval(x)
+	return &Solution{
+		Status:     StatusOptimal,
+		X:          x,
+		Objective:  obj,
+		Bound:      obj,
+		Iterations: p.iters,
+	}, nil
+}

@@ -1,0 +1,241 @@
+package milp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestLPSimpleMax(t *testing.T) {
+	// max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18, x,y >= 0.
+	// Classic Dantzig example: optimum 36 at (2, 6).
+	m := NewModel()
+	x := m.NewContinuous("x", 0, Inf)
+	y := m.NewContinuous("y", 0, Inf)
+	m.AddLE("c1", VarExpr(x), 4)
+	m.AddLE("c2", *NewExpr(0).Add(y, 2), 12)
+	m.AddLE("c3", *NewExpr(0).Add(x, 3).Add(y, 2), 18)
+	m.SetObjective(*NewExpr(0).Add(x, 3).Add(y, 5), Maximize)
+
+	sol, err := SolveLP(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	if !almostEq(sol.Objective, 36, 1e-6) {
+		t.Errorf("objective = %v, want 36", sol.Objective)
+	}
+	if !almostEq(sol.Value(x), 2, 1e-6) || !almostEq(sol.Value(y), 6, 1e-6) {
+		t.Errorf("solution = (%v, %v), want (2, 6)", sol.Value(x), sol.Value(y))
+	}
+}
+
+func TestLPMinWithGE(t *testing.T) {
+	// min 2x + 3y s.t. x + y >= 10, x >= 2, y >= 1. Optimum at (9,1): 21.
+	m := NewModel()
+	x := m.NewContinuous("x", 2, Inf)
+	y := m.NewContinuous("y", 1, Inf)
+	m.AddGE("cover", *NewExpr(0).Add(x, 1).Add(y, 1), 10)
+	m.SetObjective(*NewExpr(0).Add(x, 2).Add(y, 3), Minimize)
+
+	sol, err := SolveLP(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	if !almostEq(sol.Objective, 21, 1e-6) {
+		t.Errorf("objective = %v, want 21", sol.Objective)
+	}
+}
+
+func TestLPEquality(t *testing.T) {
+	// min x + y s.t. x + 2y = 8, x - y = 2  ->  x=4, y=2, obj 6.
+	m := NewModel()
+	x := m.NewContinuous("x", 0, Inf)
+	y := m.NewContinuous("y", 0, Inf)
+	m.AddEQ("e1", *NewExpr(0).Add(x, 1).Add(y, 2), 8)
+	m.AddEQ("e2", *NewExpr(0).Add(x, 1).Add(y, -1), 2)
+	m.SetObjective(*NewExpr(0).Add(x, 1).Add(y, 1), Minimize)
+
+	sol, err := SolveLP(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	if !almostEq(sol.Value(x), 4, 1e-6) || !almostEq(sol.Value(y), 2, 1e-6) {
+		t.Errorf("solution = (%v, %v), want (4, 2)", sol.Value(x), sol.Value(y))
+	}
+}
+
+func TestLPInfeasible(t *testing.T) {
+	m := NewModel()
+	x := m.NewContinuous("x", 0, 5)
+	m.AddGE("impossible", VarExpr(x), 10)
+	m.SetObjective(VarExpr(x), Minimize)
+
+	sol, err := SolveLP(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusInfeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestLPInfeasibleBounds(t *testing.T) {
+	m := NewModel()
+	x := m.NewContinuous("x", 5, 2) // reversed bounds
+	m.SetObjective(VarExpr(x), Minimize)
+	sol, err := SolveLP(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusInfeasible {
+		t.Fatalf("status = %v, want infeasible for reversed bounds", sol.Status)
+	}
+}
+
+func TestLPUnbounded(t *testing.T) {
+	m := NewModel()
+	x := m.NewContinuous("x", 0, Inf)
+	m.SetObjective(VarExpr(x), Maximize)
+	sol, err := SolveLP(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusUnbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestLPFreeVariable(t *testing.T) {
+	// min x s.t. x >= -7 expressed through a constraint on a free variable.
+	m := NewModel()
+	x := m.NewContinuous("x", math.Inf(-1), Inf)
+	m.AddGE("lb", VarExpr(x), -7)
+	m.SetObjective(VarExpr(x), Minimize)
+	sol, err := SolveLP(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	if !almostEq(sol.Value(x), -7, 1e-6) {
+		t.Errorf("x = %v, want -7", sol.Value(x))
+	}
+}
+
+func TestLPNegativeUpperBoundOnly(t *testing.T) {
+	// Variable with only an upper bound (mirrored column path).
+	m := NewModel()
+	x := m.NewContinuous("x", math.Inf(-1), -3)
+	m.SetObjective(VarExpr(x), Maximize)
+	sol, err := SolveLP(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	if !almostEq(sol.Value(x), -3, 1e-6) {
+		t.Errorf("x = %v, want -3", sol.Value(x))
+	}
+}
+
+func TestLPObjectiveOffset(t *testing.T) {
+	m := NewModel()
+	x := m.NewContinuous("x", 0, 10)
+	obj := VarExpr(x)
+	obj.AddConst(100)
+	m.SetObjective(obj, Minimize)
+	sol, err := SolveLP(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(sol.Objective, 100, 1e-6) {
+		t.Errorf("objective = %v, want 100 (offset preserved)", sol.Objective)
+	}
+}
+
+func TestLPDegenerateDiet(t *testing.T) {
+	// A small diet-style LP with equality + inequalities and degenerate
+	// vertices; optimum computed by hand: min 0.6a + 0.35b
+	// s.t. 5a + 7b >= 8 ; 4a + 2b >= 15 ; a + b <= 10.
+	m := NewModel()
+	a := m.NewContinuous("a", 0, Inf)
+	b := m.NewContinuous("b", 0, Inf)
+	m.AddGE("protein", *NewExpr(0).Add(a, 5).Add(b, 7), 8)
+	m.AddGE("iron", *NewExpr(0).Add(a, 4).Add(b, 2), 15)
+	m.AddLE("mass", *NewExpr(0).Add(a, 1).Add(b, 1), 10)
+	m.SetObjective(*NewExpr(0).Add(a, 0.6).Add(b, 0.35), Minimize)
+	sol, err := SolveLP(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	// Optimum is at a=3.75, b=0 with objective 2.25.
+	if !almostEq(sol.Objective, 2.25, 1e-6) {
+		t.Errorf("objective = %v, want 2.25", sol.Objective)
+	}
+}
+
+// TestLPRandomFeasibleProperty generates LPs that are feasible by
+// construction (constraints are satisfied by a known point) and checks that
+// the simplex (a) declares them feasible and (b) returns a point satisfying
+// every constraint with objective no worse than the known point.
+func TestLPRandomFeasibleProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nVars := 2 + r.Intn(5)
+		nCons := 1 + r.Intn(6)
+		m := NewModel()
+		vars := make([]Var, nVars)
+		point := make([]float64, nVars)
+		for i := range vars {
+			vars[i] = m.NewContinuous("", 0, 20)
+			point[i] = float64(r.Intn(10))
+		}
+		for c := 0; c < nCons; c++ {
+			e := NewExpr(0)
+			lhs := 0.0
+			for i, v := range vars {
+				coef := float64(r.Intn(7) - 3)
+				e.Add(v, coef)
+				lhs += coef * point[i]
+			}
+			// Make the constraint satisfied at `point` with slack.
+			m.AddLE("", *e, lhs+float64(r.Intn(5)))
+		}
+		obj := NewExpr(0)
+		for _, v := range vars {
+			obj.Add(v, float64(r.Intn(5)))
+		}
+		m.SetObjective(*obj, Minimize)
+
+		sol, err := SolveLP(m)
+		if err != nil || sol.Status != StatusOptimal {
+			return false
+		}
+		ok, _ := CheckFeasible(m, sol.X)
+		if !ok {
+			return false
+		}
+		objExpr, _ := m.Objective()
+		return sol.Objective <= objExpr.Eval(point)+1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

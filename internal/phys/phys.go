@@ -1,0 +1,266 @@
+// Package phys generates a compact physical design from a synthesized chip
+// architecture — Section 3.3 of "Transport or Store?" (DAC 2017).
+//
+// The flow mirrors the paper's Fig. 7: the planar connection graph from
+// architectural synthesis is (a) scaled by the minimum channel pitch (the
+// paper's d_r dimensions), (b) expanded to make room for the inserted
+// devices, which are much larger than switches (d_e), and (c) iteratively
+// compressed toward the upper-right corner by collapsing unused rows and
+// columns and shrinking gaps to their minimum legal widths, with bends
+// inserted on channel segments whose length would otherwise fall below the
+// minimum storage length (d_p, the final physical design).
+package phys
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"flowsyn/internal/arch"
+)
+
+// Options sets the physical design rules. Zero values take the defaults
+// noted on each field.
+type Options struct {
+	// Pitch is the minimum channel distance in layout units (default 5),
+	// the scaling unit of the paper's physical design step.
+	Pitch int
+	// DeviceSize is the side length of a (square) device in layout units
+	// (default 3); devices are larger than switches and force expansion.
+	DeviceSize int
+	// SampleLen is the channel length needed to cache one fluid sample
+	// (default 5); storage segments shorter than this after compression
+	// receive bends to restore their length.
+	SampleLen int
+}
+
+func (o *Options) defaults() {
+	if o.Pitch == 0 {
+		o.Pitch = 5
+	}
+	if o.DeviceSize == 0 {
+		o.DeviceSize = 3
+	}
+	if o.SampleLen == 0 {
+		o.SampleLen = 5
+	}
+}
+
+// Dim is a width×height pair in layout units.
+type Dim struct {
+	W, H int
+}
+
+// String renders like the paper's Table 2 ("15x10").
+func (d Dim) String() string { return fmt.Sprintf("%dx%d", d.W, d.H) }
+
+// Area returns W*H.
+func (d Dim) Area() int { return d.W * d.H }
+
+// Point is a layout coordinate.
+type Point struct {
+	X, Y int
+}
+
+// Rect is an axis-aligned rectangle (device footprint).
+type Rect struct {
+	Min, Max Point
+}
+
+// Wire is the physical realization of one channel segment: a polyline
+// between two layout points, with Bends counting the zigzags inserted to
+// keep Length >= the minimum storage length.
+type Wire struct {
+	// Edge is the grid edge this wire realizes.
+	Edge arch.EdgeID
+	// From and To are the endpoint coordinates in the compressed layout.
+	From, To Point
+	// Length is the wire's routed length including bends.
+	Length int
+	// Bends counts inserted zigzags (each adds two corners).
+	Bends int
+	// Storage marks wires that cache fluids and therefore must hold a whole
+	// sample.
+	Storage bool
+}
+
+// Design is the complete physical-design result.
+type Design struct {
+	// AfterSynthesis (d_r), AfterDevices (d_e) and Compressed (d_p) are the
+	// chip dimensions after each stage, as in Table 2.
+	AfterSynthesis, AfterDevices, Compressed Dim
+	// Devices holds each device's footprint in the compressed layout.
+	Devices []Rect
+	// SwitchPoints holds each switch's position in the compressed layout.
+	SwitchPoints []Point
+	// Wires holds the physical channel segments.
+	Wires []Wire
+	// TotalBends counts all inserted bends.
+	TotalBends int
+	// Runtime is the wall-clock design time (t_p in Table 2).
+	Runtime time.Duration
+}
+
+// Design computes the physical design of a synthesized architecture.
+func Compute(res *arch.Result, opts Options) (*Design, error) {
+	start := time.Now()
+	opts.defaults()
+	if res == nil || len(res.DevicePos) == 0 {
+		return nil, fmt.Errorf("phys: empty architecture")
+	}
+
+	grid := res.Grid
+	// Used rows and columns: those containing a device or a used-edge
+	// endpoint.
+	usedRow := make(map[int]bool)
+	usedCol := make(map[int]bool)
+	deviceRow := make(map[int]bool)
+	deviceCol := make(map[int]bool)
+	markNode := func(n arch.NodeID) {
+		r, c := grid.Coords(n)
+		usedRow[r] = true
+		usedCol[c] = true
+	}
+	for _, p := range res.DevicePos {
+		markNode(p)
+		r, c := grid.Coords(p)
+		deviceRow[r] = true
+		deviceCol[c] = true
+	}
+	for _, e := range res.UsedEdges {
+		u, v := grid.Endpoints(e)
+		markNode(u)
+		markNode(v)
+	}
+
+	rows := sortedKeys(usedRow)
+	cols := sortedKeys(usedCol)
+	if len(rows) == 0 || len(cols) == 0 {
+		return nil, fmt.Errorf("phys: architecture uses no grid nodes")
+	}
+
+	// d_r: raw scaled span of the used region.
+	dr := Dim{
+		W: (cols[len(cols)-1] - cols[0]) * opts.Pitch,
+		H: (rows[len(rows)-1] - rows[0]) * opts.Pitch,
+	}
+	if dr.W == 0 {
+		dr.W = opts.Pitch
+	}
+	if dr.H == 0 {
+		dr.H = opts.Pitch
+	}
+
+	// d_e: device insertion expands every row/column that hosts a device by
+	// the device's extra size over a switch.
+	extra := opts.DeviceSize - 1
+	de := Dim{
+		W: dr.W + extra*len(sortedKeys(deviceCol)),
+		H: dr.H + extra*len(sortedKeys(deviceRow)),
+	}
+
+	// d_p: iterative compression. Unused rows/columns are dropped (they are
+	// not in rows/cols already); adjacent used rows/columns are pulled
+	// together to their minimum legal gap: device rows/cols keep room for
+	// the device body, switch-only ones keep one channel pitch between
+	// channels (half the routing pitch).
+	gapFor := func(aDev, bDev bool) int {
+		switch {
+		case aDev && bDev:
+			return opts.DeviceSize + 2
+		case aDev || bDev:
+			return opts.DeviceSize + 1
+		default:
+			return 2
+		}
+	}
+	xOf := make(map[int]int, len(cols))
+	x := 1
+	for i, c := range cols {
+		if i > 0 {
+			x += gapFor(deviceCol[cols[i-1]], deviceCol[c])
+		}
+		xOf[c] = x
+	}
+	yOf := make(map[int]int, len(rows))
+	y := 1
+	for i, r := range rows {
+		if i > 0 {
+			y += gapFor(deviceRow[rows[i-1]], deviceRow[r])
+		}
+		yOf[r] = y
+	}
+	dp := Dim{W: x + 1, H: y + 1}
+	// Compression never beats the physically-required area but must not
+	// exceed the expanded layout.
+	if dp.W > de.W {
+		dp.W = de.W
+	}
+	if dp.H > de.H {
+		dp.H = de.H
+	}
+
+	d := &Design{
+		AfterSynthesis: dr,
+		AfterDevices:   de,
+		Compressed:     dp,
+	}
+
+	// Final coordinates.
+	pos := func(n arch.NodeID) Point {
+		r, c := grid.Coords(n)
+		return Point{X: xOf[c], Y: yOf[r]}
+	}
+	half := opts.DeviceSize / 2
+	for _, p := range res.DevicePos {
+		at := pos(p)
+		d.Devices = append(d.Devices, Rect{
+			Min: Point{at.X - half, at.Y - half},
+			Max: Point{at.X + half, at.Y + half},
+		})
+	}
+	for _, sw := range res.Switches() {
+		d.SwitchPoints = append(d.SwitchPoints, pos(sw))
+	}
+
+	// Wires: storage segments must keep SampleLen of channel; shorter spans
+	// get bends (each bend adds 2 units of length).
+	storageEdges := make(map[arch.EdgeID]bool)
+	for _, route := range res.Routes {
+		if route.StorageEdge >= 0 {
+			storageEdges[route.StorageEdge] = true
+		}
+	}
+	for _, e := range res.UsedEdges {
+		u, v := grid.Endpoints(e)
+		pu, pv := pos(u), pos(v)
+		length := abs(pu.X-pv.X) + abs(pu.Y-pv.Y)
+		w := Wire{Edge: e, From: pu, To: pv, Length: length, Storage: storageEdges[e]}
+		if w.Storage && length < opts.SampleLen {
+			need := opts.SampleLen - length
+			w.Bends = (need + 1) / 2
+			w.Length = length + 2*w.Bends
+		}
+		d.TotalBends += w.Bends
+		d.Wires = append(d.Wires, w)
+	}
+
+	d.Runtime = time.Since(start)
+	return d, nil
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

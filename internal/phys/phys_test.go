@@ -1,0 +1,148 @@
+package phys
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"flowsyn/internal/arch"
+	"flowsyn/internal/assay"
+	"flowsyn/internal/sched"
+)
+
+func designFor(t *testing.T, name string) (*Design, *arch.Result) {
+	t.Helper()
+	b := assay.MustGet(name)
+	s, err := sched.ListSchedule(b.Graph, sched.ListOptions{
+		Devices: b.Devices, Transport: b.Transport, Mode: sched.TimeAndStorage,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := arch.NewGrid(b.GridRows, b.GridCols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := arch.Synthesize(s, grid, arch.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Compute(res, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, res
+}
+
+func TestDesignAllBenchmarks(t *testing.T) {
+	for _, name := range assay.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			d, res := designFor(t, name)
+			// Stage ordering as in Table 2: insertion grows the layout,
+			// compression shrinks it back below the expanded size.
+			if d.AfterDevices.W < d.AfterSynthesis.W || d.AfterDevices.H < d.AfterSynthesis.H {
+				t.Errorf("device insertion shrank the chip: %v -> %v", d.AfterSynthesis, d.AfterDevices)
+			}
+			if d.Compressed.W > d.AfterDevices.W || d.Compressed.H > d.AfterDevices.H {
+				t.Errorf("compression grew the chip: %v -> %v", d.AfterDevices, d.Compressed)
+			}
+			if d.Compressed.Area() <= 0 {
+				t.Error("empty compressed layout")
+			}
+			if len(d.Devices) != len(res.DevicePos) {
+				t.Errorf("device footprints = %d, want %d", len(d.Devices), len(res.DevicePos))
+			}
+			if len(d.Wires) != res.NumEdges {
+				t.Errorf("wires = %d, want %d", len(d.Wires), res.NumEdges)
+			}
+		})
+	}
+}
+
+func TestStorageWiresKeepSampleLength(t *testing.T) {
+	d, _ := designFor(t, "RA30")
+	opts := Options{}
+	opts.defaults()
+	for _, w := range d.Wires {
+		if w.Storage && w.Length < opts.SampleLen {
+			t.Errorf("storage wire %d has length %d < sample length %d", w.Edge, w.Length, opts.SampleLen)
+		}
+		if w.Bends > 0 && !w.Storage {
+			t.Errorf("non-storage wire %d got bends", w.Edge)
+		}
+	}
+}
+
+func TestDevicesDoNotOverlap(t *testing.T) {
+	for _, name := range []string{"RA30", "RA100"} {
+		d, _ := designFor(t, name)
+		for i := 0; i < len(d.Devices); i++ {
+			for j := i + 1; j < len(d.Devices); j++ {
+				a, b := d.Devices[i], d.Devices[j]
+				if a.Min.X < b.Max.X && b.Min.X < a.Max.X &&
+					a.Min.Y < b.Max.Y && b.Min.Y < a.Max.Y {
+					t.Errorf("%s: devices %d and %d overlap: %+v %+v", name, i, j, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestComputeErrors(t *testing.T) {
+	if _, err := Compute(nil, Options{}); err == nil {
+		t.Error("nil architecture accepted")
+	}
+	if _, err := Compute(&arch.Result{}, Options{}); err == nil {
+		t.Error("empty architecture accepted")
+	}
+}
+
+func TestDimString(t *testing.T) {
+	d := Dim{W: 15, H: 10}
+	if d.String() != "15x10" {
+		t.Errorf("String = %q, want 15x10", d.String())
+	}
+	if d.Area() != 150 {
+		t.Errorf("Area = %d, want 150", d.Area())
+	}
+}
+
+// TestDesignProperty: physical design on random assays keeps the stage
+// ordering invariants.
+func TestDesignProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		g := assay.Random(6+int(seed%9+9)%9, 3, seed)
+		s, err := sched.ListSchedule(g, sched.ListOptions{Devices: 3, Transport: 10, Mode: sched.TimeAndStorage})
+		if err != nil {
+			return false
+		}
+		grid, _ := arch.NewGrid(4, 4)
+		res, err := arch.Synthesize(s, grid, arch.Options{})
+		if err != nil {
+			return false
+		}
+		d, err := Compute(res, Options{})
+		if err != nil {
+			return false
+		}
+		return d.AfterDevices.W >= d.AfterSynthesis.W &&
+			d.AfterDevices.H >= d.AfterSynthesis.H &&
+			d.Compressed.W <= d.AfterDevices.W &&
+			d.Compressed.H <= d.AfterDevices.H &&
+			d.Compressed.Area() > 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLayoutSVG(t *testing.T) {
+	d, _ := designFor(t, "RA30")
+	svg := d.SVG()
+	for _, want := range []string{"<svg", "</svg>", "<rect", "<line", "compressed layout"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("layout SVG missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package phys
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SVG renders the compressed physical layout as a standalone SVG document:
+// device footprints, switch positions, and channel wires (storage-capable
+// wires drawn thicker, with a zigzag glyph marking inserted bends).
+func (d *Design) SVG() string {
+	const scale = 12
+	const margin = 24
+	w := d.Compressed.W*scale + 2*margin
+	h := d.Compressed.H*scale + 2*margin
+	px := func(v int) int { return margin + v*scale }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`,
+		w, h, w, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white" stroke="#444"/>`, w, h)
+	fmt.Fprintf(&b,
+		`<text x="%d" y="16" font-size="12" font-family="monospace">compressed layout %s (after synthesis %s, with devices %s)</text>`,
+		margin, d.Compressed, d.AfterSynthesis, d.AfterDevices)
+
+	for _, wire := range d.Wires {
+		width := 2
+		color := "#777"
+		if wire.Storage {
+			width = 4
+			color = "#e07b1f"
+		}
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="%d"/>`,
+			px(wire.From.X), px(wire.From.Y), px(wire.To.X), px(wire.To.Y), color, width)
+		if wire.Bends > 0 {
+			mx := (px(wire.From.X) + px(wire.To.X)) / 2
+			my := (px(wire.From.Y) + px(wire.To.Y)) / 2
+			fmt.Fprintf(&b,
+				`<text x="%d" y="%d" font-size="10" font-family="monospace" fill="%s">~%d</text>`,
+				mx, my-4, color, wire.Bends)
+		}
+	}
+	for _, r := range d.Devices {
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="#cfe8cf" stroke="black"/>`,
+			px(r.Min.X), px(r.Min.Y), (r.Max.X-r.Min.X)*scale, (r.Max.Y-r.Min.Y)*scale)
+	}
+	for _, p := range d.SwitchPoints {
+		fmt.Fprintf(&b, `<circle cx="%d" cy="%d" r="4" fill="white" stroke="black"/>`, px(p.X), px(p.Y))
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}

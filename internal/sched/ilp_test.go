@@ -1,0 +1,137 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"flowsyn/internal/assay"
+	"flowsyn/internal/milp"
+	"flowsyn/internal/seqgraph"
+)
+
+// chain3 is a three-op pipeline: a -> b -> c.
+func chain3() *seqgraph.Graph {
+	g := seqgraph.New("chain3")
+	a := g.MustAddOperation("a", seqgraph.Mix, 10, 2)
+	b := g.MustAddOperation("b", seqgraph.Mix, 20, 0)
+	c := g.MustAddOperation("c", seqgraph.Mix, 15, 0)
+	g.MustAddDependency(a, b)
+	g.MustAddDependency(b, c)
+	return g
+}
+
+func TestILPChainOneDevice(t *testing.T) {
+	g := chain3()
+	s, info, err := ILPSchedule(g, ILPOptions{Devices: 1, Transport: 5, WarmStart: true, TimeLimit: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Pure chain on one device: direct passes, makespan = 45.
+	if s.Makespan != 45 {
+		t.Errorf("makespan = %d, want 45 (direct-pass chain)", s.Makespan)
+	}
+	if info.ModelStats.Vars == 0 {
+		t.Error("missing model stats")
+	}
+}
+
+func TestILPParallelTwoDevices(t *testing.T) {
+	// Two independent ops of 30s: with two devices both run at t=0.
+	g := seqgraph.New("par")
+	g.MustAddOperation("a", seqgraph.Mix, 30, 2)
+	g.MustAddOperation("b", seqgraph.Mix, 30, 2)
+	s, _, err := ILPSchedule(g, ILPOptions{Devices: 2, Transport: 5, WarmStart: true, TimeLimit: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan != 30 {
+		t.Errorf("makespan = %d, want 30", s.Makespan)
+	}
+	if s.Device(0) == s.Device(1) {
+		t.Error("independent ops should use both devices")
+	}
+}
+
+func TestILPRespectsNonOverlap(t *testing.T) {
+	// Two independent ops, one device: must serialize, makespan >= 60.
+	g := seqgraph.New("serial")
+	g.MustAddOperation("a", seqgraph.Mix, 30, 2)
+	g.MustAddOperation("b", seqgraph.Mix, 30, 2)
+	s, _, err := ILPSchedule(g, ILPOptions{Devices: 1, Transport: 5, WarmStart: true, TimeLimit: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan < 60 {
+		t.Errorf("makespan = %d, want >= 60 on a single device", s.Makespan)
+	}
+	if err := s.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestILPPCRSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ILP on PCR is slow in -short mode")
+	}
+	g := assay.PCR()
+	s, info, err := ILPSchedule(g, ILPOptions{
+		Devices: 2, Transport: 10, WarmStart: true, TimeLimit: 20 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Never worse than the warm-start incumbent.
+	inc, err := ListSchedule(g, ListOptions{Devices: 2, Transport: 10, Mode: TimeAndStorage})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan > inc.Makespan {
+		t.Errorf("ILP makespan %d worse than incumbent %d (status %v)",
+			s.Makespan, inc.Makespan, info.Status)
+	}
+}
+
+func TestILPTimeLimitFallsBack(t *testing.T) {
+	g := assay.MustGet("RA30").Graph
+	s, info, err := ILPSchedule(g, ILPOptions{
+		Devices: 3, Transport: 10, WarmStart: true, TimeLimit: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if info.Status == milp.StatusOptimal {
+		t.Logf("note: RA30 solved to optimality surprisingly fast (%v)", info.Runtime)
+	}
+}
+
+func TestILPErrors(t *testing.T) {
+	g := chain3()
+	if _, _, err := ILPSchedule(g, ILPOptions{Devices: 0, Transport: 5}); err == nil {
+		t.Error("zero devices accepted")
+	}
+	if _, _, err := ILPSchedule(g, ILPOptions{Devices: 1, Transport: 0}); err == nil {
+		t.Error("zero transport accepted")
+	}
+}
+
+func TestILPBetaZeroMode(t *testing.T) {
+	g := chain3()
+	s, _, err := ILPSchedule(g, ILPOptions{
+		Devices: 2, Transport: 5, Beta: -1, WarmStart: true, TimeLimit: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,148 @@
+package sched
+
+import (
+	"testing"
+
+	"flowsyn/internal/assay"
+)
+
+func TestIOTasksCoverage(t *testing.T) {
+	b := assay.MustGet("PCR")
+	s, err := ListSchedule(b.Graph, ListOptions{Devices: 1, Transport: 10, Mode: TimeAndStorage})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := s.IOTasks(1, 2)
+	loads, unloads := 0, 0
+	for _, task := range tasks {
+		switch task.IO {
+		case Load:
+			loads++
+			if task.From != 1 {
+				t.Errorf("load from %d, want input port 1", task.From)
+			}
+			a := s.Assignments[task.Edge.Child]
+			if task.Arrive > a.Start {
+				t.Errorf("load for %s arrives at %d after start %d",
+					s.Graph.Op(task.Edge.Child).Name, task.Arrive, a.Start)
+			}
+		case Unload:
+			unloads++
+			if task.To != 2 {
+				t.Errorf("unload to %d, want output port 2", task.To)
+			}
+			a := s.Assignments[task.Edge.Parent]
+			if task.Depart < a.End {
+				t.Errorf("unload for %s departs at %d before end %d",
+					s.Graph.Op(task.Edge.Parent).Name, task.Depart, a.End)
+			}
+		default:
+			t.Errorf("IOTasks returned an internal task: %v", task)
+		}
+	}
+	// PCR: o1..o4 take external inputs; o7 is the only sink.
+	if loads != 4 {
+		t.Errorf("loads = %d, want 4", loads)
+	}
+	if unloads != 1 {
+		t.Errorf("unloads = %d, want 1", unloads)
+	}
+}
+
+func TestIOTasksLoadsSerialized(t *testing.T) {
+	// IVD on two devices has simultaneous operation starts; loads through
+	// the single input port must not overlap each other.
+	b := assay.MustGet("IVD")
+	s, err := ListSchedule(b.Graph, ListOptions{Devices: 2, Transport: 10, Mode: TimeAndStorage})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := s.IOTasks(2, 3)
+	var loads, unloads []Task
+	for _, task := range tasks {
+		if task.IO == Load {
+			loads = append(loads, task)
+		} else {
+			unloads = append(unloads, task)
+		}
+	}
+	// Serialization cannot push loads before t=0, so operations that start
+	// at the very beginning may legitimately load in parallel — but never
+	// more than the port's spare channels (degree 3 minus one through
+	// lane), and never after the clamp region.
+	checkConcurrency := func(list []Task, label string) {
+		for i := 0; i < len(list); i++ {
+			over := 0
+			for j := 0; j < len(list); j++ {
+				if j == i {
+					continue
+				}
+				a, b := list[i], list[j]
+				if a.Depart < b.Arrive && b.Depart < a.Arrive {
+					over++
+					if a.Depart > 0 && b.Depart > 0 {
+						t.Errorf("%s windows overlap after t=0: [%d,%d) and [%d,%d)",
+							label, a.Depart, a.Arrive, b.Depart, b.Arrive)
+					}
+				}
+			}
+			if over > 2 {
+				t.Errorf("%s window [%d,%d) overlaps %d others (> port capacity)",
+					label, list[i].Depart, list[i].Arrive, over)
+			}
+		}
+	}
+	checkConcurrency(loads, "load")
+	checkConcurrency(unloads, "unload")
+	if len(loads) != 12 || len(unloads) != 12 {
+		t.Errorf("IVD: %d loads, %d unloads; want 12 each", len(loads), len(unloads))
+	}
+	for _, task := range tasks {
+		if task.Depart < 0 || task.Arrive <= task.Depart {
+			t.Errorf("degenerate I/O window: %v", task)
+		}
+	}
+}
+
+func TestDepartOffsetsSerializeFanOut(t *testing.T) {
+	// An op with several transported consumers must emit them at distinct,
+	// transport-separated offsets.
+	g := assay.Random(30, 5, 1)
+	s, err := ListSchedule(g, ListOptions{Devices: 5, Transport: 10, Mode: TimeAndStorage})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byParent := make(map[int][]int)
+	for e, off := range s.DepartOffsets {
+		byParent[int(e.Parent)] = append(byParent[int(e.Parent)], off)
+		if off%s.Transport != 0 {
+			t.Errorf("offset %d is not a multiple of u_c", off)
+		}
+	}
+	for p, offs := range byParent {
+		seen := map[int]bool{}
+		for _, off := range offs {
+			if seen[off] {
+				t.Errorf("parent %d has two departures at offset %d", p, off)
+			}
+			seen[off] = true
+		}
+	}
+}
+
+func TestTaskStringAndKind(t *testing.T) {
+	if Direct.String() != "direct" || Stored.String() != "stored" {
+		t.Error("TaskKind strings wrong")
+	}
+	d := Task{Kind: Direct, From: 0, To: 1, Depart: 5, Arrive: 15}
+	if d.String() == "" || d.CacheDuration() != 0 {
+		t.Error("direct task rendering/cache wrong")
+	}
+	st := Task{Kind: Stored, OutStart: 0, OutEnd: 5, FetchStart: 50, FetchEnd: 55}
+	if st.CacheDuration() != 45 {
+		t.Errorf("cache duration = %d, want 45", st.CacheDuration())
+	}
+	if st.String() == "" {
+		t.Error("stored task rendering empty")
+	}
+}

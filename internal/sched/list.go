@@ -1,0 +1,246 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"flowsyn/internal/seqgraph"
+)
+
+// Mode selects the scheduling objective, matching the two configurations the
+// paper compares in Fig. 9.
+type Mode int
+
+const (
+	// TimeAndStorage is the paper's objective (6) with β > 0: minimize
+	// makespan while keeping intermediate fluids stored as briefly as
+	// possible (schedule children soon after their parents).
+	TimeAndStorage Mode = iota
+	// TimeOnly is the β = 0 baseline: minimize makespan alone.
+	TimeOnly
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == TimeOnly {
+		return "time-only"
+	}
+	return "time+storage"
+}
+
+// ListOptions configures the list scheduler.
+type ListOptions struct {
+	// Devices is the number of identical devices available (must be >= 1).
+	Devices int
+	// Transport is u_c in seconds (must be >= 1).
+	Transport int
+	// Mode selects the optimization objective.
+	Mode Mode
+}
+
+// ListSchedule builds a schedule with a storage-aware list scheduler.
+//
+// Operations are kept in a ready list (all parents scheduled) and picked by:
+//
+//   - TimeAndStorage: the operation whose parents finished most recently
+//     first (a depth-first tendency that consumes intermediate products
+//     while they are fresh — this reproduces the paper's Fig. 2(c) order for
+//     PCR), tie-broken by critical-path priority;
+//   - TimeOnly: classic highest-level-first (critical-path priority), which
+//     tends breadth-first and parks many intermediates in storage — the
+//     paper's Fig. 2(b) order.
+//
+// Device timing models the paper's transport semantics: a result consumed by
+// the immediately-next operation on the same device passes directly (no
+// cost); otherwise the device is blocked for the move-out time after the
+// producer ends, cross-device arrivals take u_c, and each cached input
+// requires a fetch slot immediately before the consumer starts.
+func ListSchedule(g *seqgraph.Graph, opts ListOptions) (*Schedule, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Devices < 1 {
+		return nil, fmt.Errorf("sched: need at least one device, got %d", opts.Devices)
+	}
+	if opts.Transport < 1 {
+		return nil, fmt.Errorf("sched: transport time must be >= 1, got %d", opts.Transport)
+	}
+
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	// Downstream critical path (including own duration and transport hops).
+	prio := make([]int, g.NumOps())
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		best := 0
+		for _, c := range g.Children(id) {
+			if v := prio[c] + opts.Transport; v > best {
+				best = v
+			}
+		}
+		prio[id] = best + g.Op(id).Duration
+	}
+
+	outLen := (opts.Transport + 1) / 2
+	fetchLen := opts.Transport - outLen
+
+	s := &Schedule{
+		Graph:         g,
+		Devices:       opts.Devices,
+		Transport:     opts.Transport,
+		Assignments:   make([]Assignment, g.NumOps()),
+		DepartOffsets: make(map[seqgraph.Edge]int),
+	}
+	// departCount[p] counts transported consumers of p placed so far; the
+	// k-th departs k move-out slots after p ends.
+	departCount := make([]int, g.NumOps())
+	scheduled := make([]bool, g.NumOps())
+	remainingParents := make([]int, g.NumOps())
+	for _, e := range g.Edges() {
+		remainingParents[e.Child]++
+	}
+	var ready []seqgraph.OpID
+	for id := range scheduled {
+		if remainingParents[id] == 0 {
+			ready = append(ready, seqgraph.OpID(id))
+		}
+	}
+
+	deviceFree := make([]int, opts.Devices)
+	lastOp := make([]seqgraph.OpID, opts.Devices)
+	for d := range lastOp {
+		lastOp[d] = -1
+	}
+
+	// estimate computes the earliest start of op on device k and the number
+	// of cached inputs that need a fetch slot there.
+	estimate := func(op seqgraph.OpID, k int) (start, fetches int) {
+		start = deviceFree[k]
+		last := lastOp[k]
+		directPassParent := seqgraph.OpID(-1)
+		if last >= 0 {
+			for _, p := range g.Parents(op) {
+				if p == last {
+					directPassParent = p
+					break
+				}
+			}
+			if directPassParent < 0 {
+				// The previous result must be flushed out of the device.
+				if v := s.Assignments[last].End + outLen; v > start {
+					start = v
+				}
+			}
+		}
+		maxArrival := 0
+		for _, p := range g.Parents(op) {
+			pa := s.Assignments[p]
+			arrival := pa.End
+			if p != directPassParent {
+				// The sub-sample departs after the parent's earlier
+				// consumers (serialized fan-out), then travels u_c.
+				arrival += departCount[p]*opts.Transport + opts.Transport
+				fetches++
+			}
+			if arrival > maxArrival {
+				maxArrival = arrival
+			}
+		}
+		start += fetches * fetchLen
+		if maxArrival > start {
+			start = maxArrival
+		}
+		return start, fetches
+	}
+
+	freshness := func(op seqgraph.OpID) int {
+		f := -1
+		for _, p := range g.Parents(op) {
+			if e := s.Assignments[p].End; e > f {
+				f = e
+			}
+		}
+		return f
+	}
+
+	for scheduledCount := 0; scheduledCount < g.NumOps(); scheduledCount++ {
+		if len(ready) == 0 {
+			return nil, fmt.Errorf("sched: internal error: no ready operations with %d unscheduled",
+				g.NumOps()-scheduledCount)
+		}
+		// Pick the next operation.
+		sort.Slice(ready, func(i, j int) bool {
+			a, b := ready[i], ready[j]
+			if opts.Mode == TimeAndStorage {
+				fa, fb := freshness(a), freshness(b)
+				if fa != fb {
+					return fa > fb // freshest parents first
+				}
+			}
+			if prio[a] != prio[b] {
+				return prio[a] > prio[b]
+			}
+			return a < b
+		})
+		op := ready[0]
+		ready = ready[1:]
+
+		// Pick its device. In storage mode a device that avoids transports
+		// (direct pass from a parent) is worth a modest start-time delay:
+		// every avoided fetch removes a store/fetch pair and its channel
+		// occupancy, which is exactly the trade the paper's objective (6)
+		// encodes with β.
+		bestDev, bestScore := -1, 0
+		for k := 0; k < opts.Devices; k++ {
+			st, fe := estimate(op, k)
+			score := st
+			if opts.Mode == TimeAndStorage {
+				score = st + fe*opts.Transport
+			}
+			if bestDev == -1 || score < bestScore {
+				bestDev, bestScore = k, score
+			}
+		}
+		bestStart, _ := estimate(op, bestDev)
+
+		dur := g.Op(op).Duration
+		s.Assignments[op] = Assignment{Op: op, Device: bestDev, Start: bestStart, End: bestStart + dur}
+		scheduled[op] = true
+		deviceFree[bestDev] = bestStart + dur
+		// Record this op's departure slots from its parents.
+		directPass := seqgraph.OpID(-1)
+		if last := lastOp[bestDev]; last >= 0 {
+			for _, p := range g.Parents(op) {
+				if p == last {
+					directPass = p
+					break
+				}
+			}
+		}
+		for _, p := range g.Parents(op) {
+			if p == directPass {
+				continue
+			}
+			s.DepartOffsets[seqgraph.Edge{Parent: p, Child: op}] = departCount[p] * opts.Transport
+			departCount[p]++
+		}
+		lastOp[bestDev] = op
+		for _, c := range g.Children(op) {
+			remainingParents[c]--
+			if remainingParents[c] == 0 {
+				ready = append(ready, c)
+			}
+		}
+	}
+
+	s.computeMakespan()
+	// Push operations late to shrink storage lifetimes (the heuristic
+	// counterpart of the paper's β·Σu objective term).
+	Compact(s)
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("sched: list scheduler produced invalid schedule: %w", err)
+	}
+	return s, nil
+}

@@ -1,0 +1,325 @@
+// Package seqgraph models bioassay protocols as sequencing graphs: directed
+// acyclic graphs whose nodes are fluidic operations (mixing, dilution,
+// detection, ...) and whose edges carry intermediate fluid products from a
+// parent operation to the child operation that consumes them.
+//
+// This is the input representation of the whole synthesis flow in the paper
+// ("Transport or Store?", DAC 2017, Section 2): the sequencing graph defines
+// operation dependencies, and different schedules of it yield different
+// storage and transportation demand.
+package seqgraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// OpKind classifies an operation node. The paper's benchmarks are built from
+// mixing operations fed by external inputs; other kinds appear in assay
+// libraries and are carried through scheduling unchanged.
+type OpKind int
+
+const (
+	// Mix merges two (or more) fluids inside a mixer device.
+	Mix OpKind = iota
+	// Dilute mixes a sample with buffer to reduce concentration.
+	Dilute
+	// Heat incubates a fluid at a device with a heater.
+	Heat
+	// Detect reads out a fluid at a detection site.
+	Detect
+)
+
+// String names the operation kind.
+func (k OpKind) String() string {
+	switch k {
+	case Mix:
+		return "mix"
+	case Dilute:
+		return "dilute"
+	case Heat:
+		return "heat"
+	case Detect:
+		return "detect"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// OpID identifies an operation inside one Graph. IDs are dense indices
+// assigned in insertion order and usable as slice indices.
+type OpID int
+
+// Operation is one node of the sequencing graph.
+type Operation struct {
+	// ID is the dense node index.
+	ID OpID
+	// Name is a human-readable label (e.g. "o3").
+	Name string
+	// Kind is the operation class.
+	Kind OpKind
+	// Duration is the execution time of the operation in seconds on a
+	// compatible device (u_i in the paper's Table 1).
+	Duration int
+	// Inputs counts external reagent/sample inputs feeding this operation in
+	// addition to products of parent operations (the i1..i8 leaves of the
+	// paper's Fig. 2 PCR graph).
+	Inputs int
+}
+
+// Edge is a dependency (parent, child): the fluid produced by Parent is an
+// input of Child. It corresponds to (o_i, o_j) ∈ E in the paper.
+type Edge struct {
+	Parent OpID
+	Child  OpID
+}
+
+// Graph is a sequencing graph: a DAG of operations. The zero value is an
+// empty graph ready for use.
+type Graph struct {
+	// Name labels the assay (e.g. "PCR").
+	Name string
+
+	ops   []Operation
+	edges []Edge
+
+	children map[OpID][]OpID
+	parents  map[OpID][]OpID
+}
+
+// New returns an empty sequencing graph with the given assay name.
+func New(name string) *Graph {
+	return &Graph{
+		Name:     name,
+		children: make(map[OpID][]OpID),
+		parents:  make(map[OpID][]OpID),
+	}
+}
+
+// AddOperation appends an operation node and returns its ID. Duration must
+// be positive; external input counts must be non-negative.
+func (g *Graph) AddOperation(name string, kind OpKind, duration, inputs int) (OpID, error) {
+	if duration <= 0 {
+		return -1, fmt.Errorf("seqgraph: operation %q must have positive duration, got %d", name, duration)
+	}
+	if inputs < 0 {
+		return -1, fmt.Errorf("seqgraph: operation %q has negative input count %d", name, inputs)
+	}
+	id := OpID(len(g.ops))
+	g.ops = append(g.ops, Operation{ID: id, Name: name, Kind: kind, Duration: duration, Inputs: inputs})
+	return id, nil
+}
+
+// MustAddOperation is AddOperation for programmatic graph construction where
+// the arguments are compile-time constants; it panics on error.
+func (g *Graph) MustAddOperation(name string, kind OpKind, duration, inputs int) OpID {
+	id, err := g.AddOperation(name, kind, duration, inputs)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// AddDependency records that child consumes the product of parent.
+// Self-loops and unknown IDs are rejected; duplicate edges are ignored.
+func (g *Graph) AddDependency(parent, child OpID) error {
+	if !g.valid(parent) || !g.valid(child) {
+		return fmt.Errorf("seqgraph: dependency (%d -> %d) references unknown operation", parent, child)
+	}
+	if parent == child {
+		return fmt.Errorf("seqgraph: operation %d cannot depend on itself", parent)
+	}
+	for _, c := range g.children[parent] {
+		if c == child {
+			return nil
+		}
+	}
+	g.edges = append(g.edges, Edge{Parent: parent, Child: child})
+	g.children[parent] = append(g.children[parent], child)
+	g.parents[child] = append(g.parents[child], parent)
+	return nil
+}
+
+// MustAddDependency panics on error; for literal graph construction.
+func (g *Graph) MustAddDependency(parent, child OpID) {
+	if err := g.AddDependency(parent, child); err != nil {
+		panic(err)
+	}
+}
+
+func (g *Graph) valid(id OpID) bool { return id >= 0 && int(id) < len(g.ops) }
+
+// NumOps returns |O|, the number of operations.
+func (g *Graph) NumOps() int { return len(g.ops) }
+
+// NumEdges returns |E|, the number of dependency edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Op returns the operation with the given ID.
+func (g *Graph) Op(id OpID) Operation { return g.ops[id] }
+
+// Operations returns all operations in ID order. Callers must not mutate the
+// returned slice.
+func (g *Graph) Operations() []Operation { return g.ops }
+
+// Edges returns all dependency edges in insertion order. Callers must not
+// mutate the returned slice.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// Children returns the operations that consume id's product, in insertion
+// order.
+func (g *Graph) Children(id OpID) []OpID { return g.children[id] }
+
+// Parents returns the operations whose products id consumes.
+func (g *Graph) Parents(id OpID) []OpID { return g.parents[id] }
+
+// Roots returns all operations without parents, in ID order.
+func (g *Graph) Roots() []OpID {
+	var out []OpID
+	for _, op := range g.ops {
+		if len(g.parents[op.ID]) == 0 {
+			out = append(out, op.ID)
+		}
+	}
+	return out
+}
+
+// Sinks returns all operations without children, in ID order.
+func (g *Graph) Sinks() []OpID {
+	var out []OpID
+	for _, op := range g.ops {
+		if len(g.children[op.ID]) == 0 {
+			out = append(out, op.ID)
+		}
+	}
+	return out
+}
+
+// Validate checks structural invariants: at least one operation, acyclicity,
+// and positive durations. It returns nil for a well-formed assay.
+func (g *Graph) Validate() error {
+	if len(g.ops) == 0 {
+		return fmt.Errorf("seqgraph: assay %q has no operations", g.Name)
+	}
+	for _, op := range g.ops {
+		if op.Duration <= 0 {
+			return fmt.Errorf("seqgraph: operation %s has non-positive duration", op.Name)
+		}
+	}
+	if _, err := g.TopoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// TopoOrder returns a topological order of the operations (Kahn's algorithm,
+// deterministic: ready nodes are processed in ascending ID order). It returns
+// an error if the graph contains a cycle.
+func (g *Graph) TopoOrder() ([]OpID, error) {
+	indeg := make([]int, len(g.ops))
+	for _, e := range g.edges {
+		indeg[e.Child]++
+	}
+	var ready []OpID
+	for id := range g.ops {
+		if indeg[id] == 0 {
+			ready = append(ready, OpID(id))
+		}
+	}
+	var order []OpID
+	for len(ready) > 0 {
+		sort.Slice(ready, func(i, j int) bool { return ready[i] < ready[j] })
+		n := ready[0]
+		ready = ready[1:]
+		order = append(order, n)
+		for _, c := range g.children[n] {
+			indeg[c]--
+			if indeg[c] == 0 {
+				ready = append(ready, c)
+			}
+		}
+	}
+	if len(order) != len(g.ops) {
+		return nil, fmt.Errorf("seqgraph: assay %q contains a dependency cycle", g.Name)
+	}
+	return order, nil
+}
+
+// Levels assigns each operation its ASAP level: roots are level 0 and every
+// other operation is 1 + max(level of parents). The second return value is
+// the number of levels.
+func (g *Graph) Levels() (map[OpID]int, int, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, 0, err
+	}
+	lv := make(map[OpID]int, len(order))
+	maxLv := 0
+	for _, id := range order {
+		l := 0
+		for _, p := range g.parents[id] {
+			if lv[p]+1 > l {
+				l = lv[p] + 1
+			}
+		}
+		lv[id] = l
+		if l > maxLv {
+			maxLv = l
+		}
+	}
+	return lv, maxLv + 1, nil
+}
+
+// CriticalPathLength returns the length (sum of durations) of the longest
+// dependency chain, plus transport seconds per edge traversed. It is a lower
+// bound on any schedule's makespan with unlimited devices.
+func (g *Graph) CriticalPathLength(transport int) (int, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return 0, err
+	}
+	finish := make(map[OpID]int, len(order))
+	best := 0
+	for _, id := range order {
+		start := 0
+		for _, p := range g.parents[id] {
+			if t := finish[p] + transport; t > start {
+				start = t
+			}
+		}
+		finish[id] = start + g.ops[id].Duration
+		if finish[id] > best {
+			best = finish[id]
+		}
+	}
+	return best, nil
+}
+
+// TotalWork returns the sum of all operation durations: a lower bound on
+// makespan × devices.
+func (g *Graph) TotalWork() int {
+	w := 0
+	for _, op := range g.ops {
+		w += op.Duration
+	}
+	return w
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	out := New(g.Name)
+	out.ops = append([]Operation(nil), g.ops...)
+	out.edges = append([]Edge(nil), g.edges...)
+	for k, v := range g.children {
+		out.children[k] = append([]OpID(nil), v...)
+	}
+	for k, v := range g.parents {
+		out.parents[k] = append([]OpID(nil), v...)
+	}
+	return out
+}
+
+// String summarizes the graph.
+func (g *Graph) String() string {
+	return fmt.Sprintf("%s: %d ops, %d edges", g.Name, len(g.ops), len(g.edges))
+}

@@ -1,0 +1,228 @@
+package seqgraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func diamond(t *testing.T) *Graph {
+	t.Helper()
+	g := New("diamond")
+	a := g.MustAddOperation("a", Mix, 10, 2)
+	b := g.MustAddOperation("b", Mix, 20, 0)
+	c := g.MustAddOperation("c", Dilute, 30, 1)
+	d := g.MustAddOperation("d", Detect, 5, 0)
+	g.MustAddDependency(a, b)
+	g.MustAddDependency(a, c)
+	g.MustAddDependency(b, d)
+	g.MustAddDependency(c, d)
+	return g
+}
+
+func TestGraphBasics(t *testing.T) {
+	g := diamond(t)
+	if g.NumOps() != 4 || g.NumEdges() != 4 {
+		t.Fatalf("got %d ops, %d edges; want 4, 4", g.NumOps(), g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := g.Roots(); len(got) != 1 || got[0] != 0 {
+		t.Errorf("Roots = %v, want [0]", got)
+	}
+	if got := g.Sinks(); len(got) != 1 || got[0] != 3 {
+		t.Errorf("Sinks = %v, want [3]", got)
+	}
+	if got := g.Children(0); len(got) != 2 {
+		t.Errorf("Children(a) = %v, want 2 entries", got)
+	}
+	if got := g.Parents(3); len(got) != 2 {
+		t.Errorf("Parents(d) = %v, want 2 entries", got)
+	}
+}
+
+func TestAddOperationErrors(t *testing.T) {
+	g := New("bad")
+	if _, err := g.AddOperation("zero", Mix, 0, 0); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if _, err := g.AddOperation("neg", Mix, 10, -1); err == nil {
+		t.Error("negative inputs accepted")
+	}
+}
+
+func TestAddDependencyErrors(t *testing.T) {
+	g := New("bad")
+	a := g.MustAddOperation("a", Mix, 10, 0)
+	if err := g.AddDependency(a, a); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if err := g.AddDependency(a, 99); err == nil {
+		t.Error("unknown child accepted")
+	}
+	if err := g.AddDependency(-1, a); err == nil {
+		t.Error("unknown parent accepted")
+	}
+	// Duplicate edges are ignored, not errors.
+	b := g.MustAddOperation("b", Mix, 10, 0)
+	if err := g.AddDependency(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddDependency(a, b); err != nil {
+		t.Fatalf("duplicate edge: %v", err)
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("duplicate edge stored: %d edges", g.NumEdges())
+	}
+}
+
+func TestTopoOrderDetectsCycle(t *testing.T) {
+	g := New("cycle")
+	a := g.MustAddOperation("a", Mix, 1, 0)
+	b := g.MustAddOperation("b", Mix, 1, 0)
+	c := g.MustAddOperation("c", Mix, 1, 0)
+	g.MustAddDependency(a, b)
+	g.MustAddDependency(b, c)
+	g.MustAddDependency(c, a)
+	if _, err := g.TopoOrder(); err == nil {
+		t.Error("cycle not detected")
+	}
+	if err := g.Validate(); err == nil {
+		t.Error("Validate accepted cyclic graph")
+	}
+}
+
+func TestLevels(t *testing.T) {
+	g := diamond(t)
+	lv, n, err := g.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("levels = %d, want 3", n)
+	}
+	want := map[OpID]int{0: 0, 1: 1, 2: 1, 3: 2}
+	for id, l := range want {
+		if lv[id] != l {
+			t.Errorf("level(%d) = %d, want %d", id, lv[id], l)
+		}
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	g := diamond(t)
+	// Longest chain: a(10) -> c(30) -> d(5) with 2 transports of 7.
+	got, err := g.CriticalPathLength(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 10 + 7 + 30 + 7 + 5; got != want {
+		t.Errorf("critical path = %d, want %d", got, want)
+	}
+	if g.TotalWork() != 65 {
+		t.Errorf("TotalWork = %d, want 65", g.TotalWork())
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := diamond(t)
+	c := g.Clone()
+	c.MustAddOperation("extra", Mix, 1, 0)
+	if g.NumOps() == c.NumOps() {
+		t.Error("clone shares operation storage with original")
+	}
+	if g.String() == "" || c.String() == "" {
+		t.Error("String should be non-empty")
+	}
+}
+
+// randomDAG builds a graph whose edges always point from lower to higher ID,
+// hence acyclic by construction.
+func randomDAG(seed int64) *Graph {
+	r := rand.New(rand.NewSource(seed))
+	g := New("rand")
+	n := 2 + r.Intn(20)
+	for i := 0; i < n; i++ {
+		g.MustAddOperation("", Mix, 1+r.Intn(60), r.Intn(3))
+	}
+	for c := 1; c < n; c++ {
+		for p := 0; p < c; p++ {
+			if r.Intn(4) == 0 {
+				g.MustAddDependency(OpID(p), OpID(c))
+			}
+		}
+	}
+	return g
+}
+
+// TestTopoOrderProperty: every edge of a random DAG goes forward in the
+// returned topological order, and the order is a permutation of all ops.
+func TestTopoOrderProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		g := randomDAG(seed)
+		order, err := g.TopoOrder()
+		if err != nil || len(order) != g.NumOps() {
+			return false
+		}
+		pos := make(map[OpID]int, len(order))
+		for i, id := range order {
+			if _, dup := pos[id]; dup {
+				return false
+			}
+			pos[id] = i
+		}
+		for _, e := range g.Edges() {
+			if pos[e.Parent] >= pos[e.Child] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLevelsMonotoneProperty: a child's level is strictly greater than every
+// parent's level.
+func TestLevelsMonotoneProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		g := randomDAG(seed)
+		lv, _, err := g.Levels()
+		if err != nil {
+			return false
+		}
+		for _, e := range g.Edges() {
+			if lv[e.Child] <= lv[e.Parent] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCriticalPathBoundsProperty: max single duration <= critical path <=
+// total work + edges*transport.
+func TestCriticalPathBoundsProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		g := randomDAG(seed)
+		cp, err := g.CriticalPathLength(5)
+		if err != nil {
+			return false
+		}
+		maxDur := 0
+		for _, op := range g.Operations() {
+			if op.Duration > maxDur {
+				maxDur = op.Duration
+			}
+		}
+		return cp >= maxDur && cp <= g.TotalWork()+5*g.NumEdges()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,153 @@
+package seqgraph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// jsonGraph is the on-disk JSON schema for assays. The format is stable and
+// human-editable so users can define custom assays without writing Go.
+type jsonGraph struct {
+	Name       string      `json:"name"`
+	Operations []jsonOp    `json:"operations"`
+	Edges      [][2]string `json:"edges"`
+}
+
+type jsonOp struct {
+	Name     string `json:"name"`
+	Kind     string `json:"kind,omitempty"`
+	Duration int    `json:"duration"`
+	Inputs   int    `json:"inputs,omitempty"`
+}
+
+func kindFromString(s string) (OpKind, error) {
+	switch strings.ToLower(s) {
+	case "", "mix":
+		return Mix, nil
+	case "dilute":
+		return Dilute, nil
+	case "heat":
+		return Heat, nil
+	case "detect":
+		return Detect, nil
+	default:
+		return 0, fmt.Errorf("seqgraph: unknown operation kind %q", s)
+	}
+}
+
+// MarshalJSON renders the graph in the stable assay JSON schema.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	jg := jsonGraph{Name: g.Name}
+	for _, op := range g.ops {
+		jg.Operations = append(jg.Operations, jsonOp{
+			Name:     op.Name,
+			Kind:     op.Kind.String(),
+			Duration: op.Duration,
+			Inputs:   op.Inputs,
+		})
+	}
+	for _, e := range g.edges {
+		jg.Edges = append(jg.Edges, [2]string{g.ops[e.Parent].Name, g.ops[e.Child].Name})
+	}
+	return json.MarshalIndent(jg, "", "  ")
+}
+
+// UnmarshalJSON parses the assay JSON schema. Operation names must be unique
+// because edges reference operations by name.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var jg jsonGraph
+	if err := json.Unmarshal(data, &jg); err != nil {
+		return fmt.Errorf("seqgraph: parsing assay: %w", err)
+	}
+	fresh := New(jg.Name)
+	byName := make(map[string]OpID, len(jg.Operations))
+	for _, op := range jg.Operations {
+		if _, dup := byName[op.Name]; dup {
+			return fmt.Errorf("seqgraph: duplicate operation name %q", op.Name)
+		}
+		kind, err := kindFromString(op.Kind)
+		if err != nil {
+			return err
+		}
+		id, err := fresh.AddOperation(op.Name, kind, op.Duration, op.Inputs)
+		if err != nil {
+			return err
+		}
+		byName[op.Name] = id
+	}
+	for _, e := range jg.Edges {
+		p, ok := byName[e[0]]
+		if !ok {
+			return fmt.Errorf("seqgraph: edge references unknown operation %q", e[0])
+		}
+		c, ok := byName[e[1]]
+		if !ok {
+			return fmt.Errorf("seqgraph: edge references unknown operation %q", e[1])
+		}
+		if err := fresh.AddDependency(p, c); err != nil {
+			return err
+		}
+	}
+	if err := fresh.Validate(); err != nil {
+		return err
+	}
+	*g = *fresh
+	return nil
+}
+
+// Read parses an assay from JSON.
+func Read(r io.Reader) (*Graph, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("seqgraph: reading assay: %w", err)
+	}
+	g := New("")
+	if err := g.UnmarshalJSON(data); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Write renders the assay as JSON.
+func Write(w io.Writer, g *Graph) error {
+	data, err := g.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(data); err != nil {
+		return err
+	}
+	_, err = io.WriteString(w, "\n")
+	return err
+}
+
+// WriteDOT renders the sequencing graph in Graphviz DOT format, laid out with
+// operations as boxes and external inputs as small circles, matching the
+// visual style of the paper's Fig. 2(a).
+func WriteDOT(w io.Writer, g *Graph) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n  node [shape=box];\n", g.Name)
+	for _, op := range g.ops {
+		fmt.Fprintf(&b, "  %q [label=\"%s\\n%s %ds\"];\n", op.Name, op.Name, op.Kind, op.Duration)
+		for i := 0; i < op.Inputs; i++ {
+			in := fmt.Sprintf("%s_in%d", op.Name, i)
+			fmt.Fprintf(&b, "  %q [shape=circle,width=0.2,label=\"\"];\n  %q -> %q;\n", in, in, op.Name)
+		}
+	}
+	edges := append([]Edge(nil), g.edges...)
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].Parent != edges[j].Parent {
+			return edges[i].Parent < edges[j].Parent
+		}
+		return edges[i].Child < edges[j].Child
+	})
+	for _, e := range edges {
+		fmt.Fprintf(&b, "  %q -> %q;\n", g.ops[e.Parent].Name, g.ops[e.Child].Name)
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

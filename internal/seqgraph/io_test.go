@@ -1,0 +1,79 @@
+package seqgraph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := diamond(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != g.Name || back.NumOps() != g.NumOps() || back.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip mismatch: %v vs %v", back, g)
+	}
+	for i := 0; i < g.NumOps(); i++ {
+		a, b := g.Op(OpID(i)), back.Op(OpID(i))
+		if a.Name != b.Name || a.Kind != b.Kind || a.Duration != b.Duration || a.Inputs != b.Inputs {
+			t.Errorf("op %d mismatch: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestReadRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"not json":       "{",
+		"dup op":         `{"name":"x","operations":[{"name":"a","duration":5},{"name":"a","duration":5}]}`,
+		"bad kind":       `{"name":"x","operations":[{"name":"a","kind":"teleport","duration":5}]}`,
+		"zero duration":  `{"name":"x","operations":[{"name":"a","duration":0}]}`,
+		"unknown parent": `{"name":"x","operations":[{"name":"a","duration":5}],"edges":[["zz","a"]]}`,
+		"unknown child":  `{"name":"x","operations":[{"name":"a","duration":5}],"edges":[["a","zz"]]}`,
+		"empty":          `{"name":"x","operations":[]}`,
+		"cycle": `{"name":"x","operations":[{"name":"a","duration":5},{"name":"b","duration":5}],
+			"edges":[["a","b"],["b","a"]]}`,
+	}
+	for label, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted invalid input", label)
+		}
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := diamond(t)
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`digraph "diamond"`, `"a" -> "b"`, `"c" -> "d"`, "a_in0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[OpKind]string{Mix: "mix", Dilute: "dilute", Heat: "heat", Detect: "detect"} {
+		if k.String() != want {
+			t.Errorf("%v.String() = %q, want %q", int(k), k.String(), want)
+		}
+		back, err := kindFromString(want)
+		if err != nil || back != k {
+			t.Errorf("kindFromString(%q) = %v, %v", want, back, err)
+		}
+	}
+	if _, err := kindFromString("warp"); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if k, err := kindFromString(""); err != nil || k != Mix {
+		t.Error("empty kind should default to mix")
+	}
+}

@@ -1,0 +1,104 @@
+package flowsyn
+
+import (
+	"flowsyn/internal/core"
+	"flowsyn/internal/sim"
+)
+
+// Result is a synthesized biochip: the schedule, the chip architecture with
+// distributed channel storage, and the compacted physical layout.
+type Result struct {
+	inner *core.Result
+}
+
+// Makespan returns the assay execution time t^E in seconds.
+func (r *Result) Makespan() int { return r.inner.Schedule.Makespan }
+
+// StoreCount returns how many intermediate fluids are cached in channel
+// segments during execution.
+func (r *Result) StoreCount() int { return r.inner.Schedule.StoreCount() }
+
+// StorageCapacity returns the peak number of simultaneously cached fluids.
+func (r *Result) StorageCapacity() int { return r.inner.Schedule.StorageCapacity() }
+
+// ChannelSegments returns n_e: the number of channel segments in the chip.
+func (r *Result) ChannelSegments() int { return r.inner.Architecture.NumEdges }
+
+// Valves returns n_v: the number of switch valves in the chip (device-
+// internal valves excluded, as in the paper).
+func (r *Result) Valves() int { return r.inner.Architecture.NumValves }
+
+// EdgeRatio returns the used-to-available channel-segment ratio (Fig. 8).
+func (r *Result) EdgeRatio() float64 { return r.inner.Architecture.EdgeRatio }
+
+// ValveRatio returns the used-to-available valve ratio (Fig. 8).
+func (r *Result) ValveRatio() float64 { return r.inner.Architecture.ValveRatio }
+
+// ChipDimensions returns the layout sizes after architectural synthesis
+// (d_r), after device insertion (d_e) and after iterative compression (d_p),
+// each formatted like "15x10".
+func (r *Result) ChipDimensions() (afterSynthesis, afterDevices, compressed string) {
+	p := r.inner.Physical
+	return p.AfterSynthesis.String(), p.AfterDevices.String(), p.Compressed.String()
+}
+
+// Summary renders the headline numbers in the paper's Table 2 column order.
+func (r *Result) Summary() string { return r.inner.Summary() }
+
+// GanttChart renders the schedule as a per-device text timeline.
+func (r *Result) GanttChart() string { return r.inner.Schedule.Gantt() }
+
+// SnapshotASCII draws the chip state at time t in the style of the paper's
+// Fig. 11 (devices, switches, transporting and caching segments).
+func (r *Result) SnapshotASCII(t int) string {
+	return sim.RenderASCII(r.inner.Architecture, r.inner.Simulator().At(t))
+}
+
+// SnapshotSVG draws the chip state at time t as an SVG document.
+func (r *Result) SnapshotSVG(t int) string {
+	return sim.RenderSVG(r.inner.Architecture, r.inner.Simulator().At(t))
+}
+
+// LayoutSVG renders the compressed physical layout as an SVG document.
+func (r *Result) LayoutSVG() string { return r.inner.Physical.SVG() }
+
+// InterestingTimes lists the moments when caching activity changes — good
+// snapshot candidates.
+func (r *Result) InterestingTimes() []int {
+	return r.inner.Simulator().InterestingTimes()
+}
+
+// ChannelUtilization returns the mean busy fraction of the built channel
+// segments over the whole execution, in [0, 1].
+func (r *Result) ChannelUtilization() float64 {
+	return r.inner.Simulator().Utilization().MeanUtilization
+}
+
+// DedicatedComparison reports how the same schedule would perform with a
+// dedicated storage unit instead of distributed channel storage — the
+// paper's Fig. 10 baseline.
+type DedicatedComparison struct {
+	// DistributedMakespan and DedicatedMakespan compare execution times.
+	DistributedMakespan, DedicatedMakespan int
+	// DistributedValves and DedicatedValves compare valve budgets.
+	DistributedValves, DedicatedValves int
+	// ExecRatio and ValveRatio are distributed/dedicated (< 1 means the
+	// distributed design wins).
+	ExecRatio, ValveRatio float64
+}
+
+// CompareDedicated runs the dedicated-storage baseline on this result.
+func (r *Result) CompareDedicated() (*DedicatedComparison, error) {
+	c, err := r.inner.CompareDedicated()
+	if err != nil {
+		return nil, err
+	}
+	return &DedicatedComparison{
+		DistributedMakespan: c.DistributedMakespan,
+		DedicatedMakespan:   c.DedicatedMakespan,
+		DistributedValves:   c.DistributedValves,
+		DedicatedValves:     c.DedicatedValves,
+		ExecRatio:           c.ExecRatio,
+		ValveRatio:          c.ValveRatio,
+	}, nil
+}

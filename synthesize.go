@@ -1,0 +1,90 @@
+package flowsyn
+
+import (
+	"time"
+
+	"flowsyn/internal/core"
+	"flowsyn/internal/sched"
+)
+
+// Objective selects the scheduling objective, matching the two
+// configurations the paper compares in Fig. 9.
+type Objective int
+
+const (
+	// MinimizeTimeAndStorage is the paper's objective (6) with β > 0.
+	MinimizeTimeAndStorage Objective = iota
+	// MinimizeTimeOnly is the β = 0 baseline.
+	MinimizeTimeOnly
+)
+
+// Engine selects the scheduling engine.
+type Engine int
+
+const (
+	// AutoEngine solves small assays exactly (ILP) and larger ones with the
+	// storage-aware list scheduler, mirroring the paper's best-effort solver
+	// cap.
+	AutoEngine Engine = iota
+	// HeuristicEngine always uses the list scheduler.
+	HeuristicEngine
+	// ILPEngine always attempts the exact ILP.
+	ILPEngine
+)
+
+// Options configures synthesis. The zero value is not valid: Devices must be
+// set. Unset fields take the defaults documented per field.
+type Options struct {
+	// Devices is the maximum number of devices allowed on the chip.
+	Devices int
+	// Transport is the pure device-to-device transport time u_c in seconds
+	// (default 10).
+	Transport int
+	// GridRows and GridCols set the connection grid (default 4×4).
+	GridRows, GridCols int
+	// Objective selects the scheduling objective.
+	Objective Objective
+	// Engine selects the scheduling engine.
+	Engine Engine
+	// ILPTimeLimit caps the exact scheduler (default 30 s).
+	ILPTimeLimit time.Duration
+	// ModelIO routes reagent loading and product unloading through two chip
+	// boundary ports during architectural synthesis. Leave it off for dense
+	// assays that already saturate their connection grid.
+	ModelIO bool
+}
+
+func (o Options) internal() core.Options {
+	mode := sched.TimeAndStorage
+	if o.Objective == MinimizeTimeOnly {
+		mode = sched.TimeOnly
+	}
+	engine := core.Auto
+	switch o.Engine {
+	case HeuristicEngine:
+		engine = core.Heuristic
+	case ILPEngine:
+		engine = core.ExactILP
+	}
+	return core.Options{
+		Devices:      o.Devices,
+		Transport:    o.Transport,
+		GridRows:     o.GridRows,
+		GridCols:     o.GridCols,
+		Mode:         mode,
+		Engine:       engine,
+		ILPTimeLimit: o.ILPTimeLimit,
+		ModelIO:      o.ModelIO,
+	}
+}
+
+// Synthesize runs the full flow — scheduling and binding, architectural
+// synthesis with distributed channel storage, and physical design — on the
+// assay and returns the synthesized chip.
+func Synthesize(a *Assay, opts Options) (*Result, error) {
+	inner, err := core.Synthesize(a.g, opts.internal())
+	if err != nil {
+		return nil, err
+	}
+	return &Result{inner: inner}, nil
+}
