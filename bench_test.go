@@ -13,7 +13,9 @@
 package flowsyn
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"flowsyn/internal/arch"
@@ -279,6 +281,41 @@ func BenchmarkMILPSolver(b *testing.B) {
 		}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkBatchRunner measures the concurrent batch runner over all Table 2
+// assays (heuristic engine) with one worker versus GOMAXPROCS workers — the
+// wall-clock gap is the batch-level speedup on multi-core.
+func BenchmarkBatchRunner(b *testing.B) {
+	var jobs []Job
+	for _, name := range assay.Names() {
+		a, opts, err := Benchmark(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts.Engine = HeuristicEngine
+		jobs = append(jobs, Job{Name: name, Assay: a, Options: opts})
+	}
+	workerCounts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, workers := range workerCounts {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				results, err := SynthesizeBatch(context.Background(), jobs, BatchOptions{Concurrency: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range results {
+					if r.Err != nil {
+						b.Fatalf("%s: %v", r.Job.Name, r.Err)
+					}
+				}
+			}
+		})
 	}
 }
 

@@ -14,10 +14,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 
@@ -79,8 +82,17 @@ func main() {
 		opts.Objective = flowsyn.MinimizeTimeOnly
 	}
 
-	res, err := flowsyn.Synthesize(a, opts)
+	// An interrupt cancels the synthesis cleanly: the pipeline observes the
+	// context all the way down to the MILP solver and exits within
+	// milliseconds.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	res, err := flowsyn.SynthesizeContext(ctx, a, opts)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			log.Fatal("interrupted")
+		}
 		log.Fatal(err)
 	}
 	fmt.Printf("%s: %s\n", a.Name(), res.Summary())

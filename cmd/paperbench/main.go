@@ -2,6 +2,13 @@
 // Store?" (DAC 2017): Table 2 and Figures 8, 9, 10 and 11. Each experiment
 // prints a text table with the same rows/series the paper reports.
 //
+// The per-assay experiments run on the concurrent batch runner; -j sets the
+// worker count. Results print in benchmark order regardless of parallelism;
+// the heuristic-engine numbers are fully deterministic under any -j, and the
+// exact-ILP rows are stable in practice because the warm-start incumbent
+// dominates within the time limit (the ts/tr/tp wall-clock columns do vary
+// run to run). Ctrl-C cancels the whole run cleanly.
+//
 // Usage:
 //
 //	paperbench -table2          # scheduling / architecture / physical design
@@ -9,171 +16,216 @@
 //	paperbench -fig9            # storage optimization on/off comparison
 //	paperbench -fig10           # channel caching vs dedicated storage unit
 //	paperbench -fig11           # execution snapshots of RA30
-//	paperbench -all             # everything
+//	paperbench -all -j 4        # everything, four synthesis workers
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"text/tabwriter"
 	"time"
 
+	"flowsyn"
 	"flowsyn/internal/assay"
 	"flowsyn/internal/core"
-	"flowsyn/internal/dedicated"
-	"flowsyn/internal/sched"
 	"flowsyn/internal/sim"
 )
 
 func main() {
 	var (
-		table2 = flag.Bool("table2", false, "reproduce Table 2")
-		fig8   = flag.Bool("fig8", false, "reproduce Fig. 8 (edge/valve ratios)")
-		fig9   = flag.Bool("fig9", false, "reproduce Fig. 9 (storage optimization)")
-		fig10  = flag.Bool("fig10", false, "reproduce Fig. 10 (dedicated storage baseline)")
-		fig11  = flag.Bool("fig11", false, "reproduce Fig. 11 (execution snapshots)")
-		all    = flag.Bool("all", false, "reproduce everything")
+		table2  = flag.Bool("table2", false, "reproduce Table 2")
+		fig8    = flag.Bool("fig8", false, "reproduce Fig. 8 (edge/valve ratios)")
+		fig9    = flag.Bool("fig9", false, "reproduce Fig. 9 (storage optimization)")
+		fig10   = flag.Bool("fig10", false, "reproduce Fig. 10 (dedicated storage baseline)")
+		fig11   = flag.Bool("fig11", false, "reproduce Fig. 11 (execution snapshots)")
+		all     = flag.Bool("all", false, "reproduce everything")
+		workers = flag.Int("j", 1, "parallel synthesis workers (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	if !*table2 && !*fig8 && !*fig9 && !*fig10 && !*fig11 && !*all {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	// ctx.Err() guards stop the run at the next experiment once Ctrl-C
+	// lands, instead of spraying per-assay cancellation errors for every
+	// remaining figure.
 	if *table2 || *all {
-		runTable2()
+		runTable2(ctx, *workers)
 	}
-	if *fig8 || *all {
-		runFig8()
+	if (*fig8 || *all) && ctx.Err() == nil {
+		runFig8(ctx, *workers)
 	}
-	if *fig9 || *all {
-		runFig9()
+	if (*fig9 || *all) && ctx.Err() == nil {
+		runFig9(ctx, *workers)
 	}
-	if *fig10 || *all {
-		runFig10()
+	if (*fig10 || *all) && ctx.Err() == nil {
+		runFig10(ctx, *workers)
 	}
-	if *fig11 || *all {
-		runFig11()
+	if (*fig11 || *all) && ctx.Err() == nil {
+		runFig11(ctx)
+	}
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "paperbench: interrupted")
+		os.Exit(1)
 	}
 }
 
-// synthesize runs the full flow for one benchmark with the given objective.
-// extraGrid enlarges the connection grid by that many rows and columns.
-func synthesize(name string, mode sched.Mode, extraGrid int) (*core.Result, assay.Benchmark, error) {
-	b, err := assay.Get(name)
+// benchmarkJobs builds one synthesis job per benchmark with the Table 2
+// options. extraGrid enlarges the connection grid by that many rows and
+// columns for the named assays.
+func benchmarkJobs(names []string, objective flowsyn.Objective, extraGrid map[string]int) ([]flowsyn.Job, error) {
+	jobs := make([]flowsyn.Job, 0, len(names))
+	for _, name := range names {
+		a, opts, err := flowsyn.Benchmark(name)
+		if err != nil {
+			return nil, err
+		}
+		extra := extraGrid[name]
+		opts.GridRows += extra
+		opts.GridCols += extra
+		opts.Objective = objective
+		opts.ILPTimeLimit = 20 * time.Second
+		jobs = append(jobs, flowsyn.Job{Name: name, Assay: a, Options: opts})
+	}
+	return jobs, nil
+}
+
+// runBatch synthesizes the jobs on the batch runner and returns the results
+// in job order.
+func runBatch(ctx context.Context, jobs []flowsyn.Job, workers int) []flowsyn.JobResult {
+	results, err := flowsyn.SynthesizeBatch(ctx, jobs, flowsyn.BatchOptions{Concurrency: workers})
 	if err != nil {
-		return nil, b, err
+		fmt.Fprintf(os.Stderr, "batch: %v\n", err)
 	}
-	b.GridRows += extraGrid
-	b.GridCols += extraGrid
-	res, err := core.Synthesize(b.Graph, core.Options{
-		Devices:      b.Devices,
-		Transport:    b.Transport,
-		GridRows:     b.GridRows,
-		GridCols:     b.GridCols,
-		Mode:         mode,
-		Engine:       core.Auto,
-		ModelIO:      b.ModelIO,
-		ILPTimeLimit: 20 * time.Second,
-	})
-	return res, b, err
+	return results
 }
 
-func runTable2() {
+func runTable2(ctx context.Context, workers int) {
 	fmt.Println("== Table 2: Results of Scheduling and Synthesis ==")
+	jobs, err := benchmarkJobs(flowsyn.BenchmarkNames(), flowsyn.MinimizeTimeAndStorage, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "Assay\t|O|\ttE\tts(s)\tG\tne\tnv\ttr(s)\tdr\tde\tdp\ttp(s)")
-	for _, name := range assay.Names() {
-		res, b, err := synthesize(name, sched.TimeAndStorage, 0)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+	for _, jr := range runBatch(ctx, jobs, workers) {
+		if jr.Err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", jr.Job.Name, jr.Err)
 			continue
 		}
-		p := res.Physical
+		res := jr.Result
+		dr, de, dp := res.ChipDimensions()
 		fmt.Fprintf(w, "%s\t%d\t%d\t%.2f\t%dx%d\t%d\t%d\t%.3f\t%s\t%s\t%s\t%.3f\n",
-			name,
-			b.Graph.NumOps(),
-			res.Schedule.Makespan,
-			res.SchedulingTime.Seconds(),
-			b.GridRows, b.GridCols,
-			res.Architecture.NumEdges,
-			res.Architecture.NumValves,
-			res.Architecture.Runtime.Seconds(),
-			p.AfterSynthesis, p.AfterDevices, p.Compressed,
-			p.Runtime.Seconds(),
+			jr.Job.Name,
+			jr.Job.Assay.NumOperations(),
+			res.Makespan(),
+			res.SchedulingTime().Seconds(),
+			jr.Job.Options.GridRows, jr.Job.Options.GridCols,
+			res.ChannelSegments(),
+			res.Valves(),
+			res.StageDuration(flowsyn.StageArch).Seconds(),
+			dr, de, dp,
+			res.StageDuration(flowsyn.StagePhys).Seconds(),
 		)
 	}
 	w.Flush()
 	fmt.Println()
 }
 
-func runFig8() {
+func runFig8(ctx context.Context, workers int) {
 	fmt.Println("== Fig. 8: Edge and valve ratios (used / full grid) ==")
+	jobs, err := benchmarkJobs(flowsyn.BenchmarkNames(), flowsyn.MinimizeTimeAndStorage, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "Assay\tEdgeRatio\tValveRatio")
-	for _, name := range assay.Names() {
-		res, _, err := synthesize(name, sched.TimeAndStorage, 0)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+	for _, jr := range runBatch(ctx, jobs, workers) {
+		if jr.Err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", jr.Job.Name, jr.Err)
 			continue
 		}
-		fmt.Fprintf(w, "%s\t%.2f\t%.2f\n", name, res.Architecture.EdgeRatio, res.Architecture.ValveRatio)
+		fmt.Fprintf(w, "%s\t%.2f\t%.2f\n", jr.Job.Name, jr.Result.EdgeRatio(), jr.Result.ValveRatio())
 	}
 	w.Flush()
 	fmt.Println()
 }
 
-func runFig9() {
+func runFig9(ctx context.Context, workers int) {
 	fmt.Println("== Fig. 9: Optimize execution time only vs time and storage ==")
+	names := []string{"CPA", "RA30", "IVD", "PCR"}
+	// CPA's time-only baseline parks 12 fluids at once — it needs one extra
+	// grid row/column to route at all; both modes are compared on the same
+	// enlarged grid.
+	extra := map[string]int{"CPA": 2}
+	timeJobs, err := benchmarkJobs(names, flowsyn.MinimizeTimeOnly, extra)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	bothJobs, err := benchmarkJobs(names, flowsyn.MinimizeTimeAndStorage, extra)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	// One combined batch keeps all 2×len(names) independent jobs in flight
+	// at once; results come back in job order, so the halves split cleanly.
+	combined := runBatch(ctx, append(append([]flowsyn.Job(nil), timeJobs...), bothJobs...), workers)
+	timeRes, bothRes := combined[:len(names)], combined[len(names):]
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "Assay\ttE(time)\ttE(t+s)\tne(time)\tne(t+s)\tnv(time)\tnv(t+s)\tstores(time)\tstores(t+s)")
-	for _, name := range []string{"CPA", "RA30", "IVD", "PCR"} {
-		// CPA's time-only baseline parks 12 fluids at once — it needs one
-		// extra grid row/column to route at all; both modes are compared on
-		// the same enlarged grid.
-		extra := 0
-		if name == "CPA" {
-			extra = 2
-		}
-		timeOnly, _, err := synthesize(name, sched.TimeOnly, extra)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s (time-only): %v\n", name, err)
+	for i, name := range names {
+		to, ts := timeRes[i], bothRes[i]
+		if to.Err != nil {
+			fmt.Fprintf(os.Stderr, "%s (time-only): %v\n", name, to.Err)
 			continue
 		}
-		both, _, err := synthesize(name, sched.TimeAndStorage, extra)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s (time+storage): %v\n", name, err)
+		if ts.Err != nil {
+			fmt.Fprintf(os.Stderr, "%s (time+storage): %v\n", name, ts.Err)
 			continue
 		}
 		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
 			name,
-			timeOnly.Schedule.Makespan, both.Schedule.Makespan,
-			timeOnly.Architecture.NumEdges, both.Architecture.NumEdges,
-			timeOnly.Architecture.NumValves, both.Architecture.NumValves,
-			timeOnly.Schedule.StoreCount(), both.Schedule.StoreCount(),
+			to.Result.Makespan(), ts.Result.Makespan(),
+			to.Result.ChannelSegments(), ts.Result.ChannelSegments(),
+			to.Result.Valves(), ts.Result.Valves(),
+			to.Result.StoreCount(), ts.Result.StoreCount(),
 		)
 	}
 	w.Flush()
 	fmt.Println()
 }
 
-func runFig10() {
+func runFig10(ctx context.Context, workers int) {
 	fmt.Println("== Fig. 10: Channel caching vs dedicated storage unit ==")
+	jobs, err := benchmarkJobs(flowsyn.BenchmarkNames(), flowsyn.MinimizeTimeAndStorage, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "Assay\ttE(dist)\ttE(ded)\tExecRatio\tnv(dist)\tnv(ded)\tValveRatio")
-	for _, name := range assay.Names() {
-		res, _, err := synthesize(name, sched.TimeAndStorage, 0)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+	for _, jr := range runBatch(ctx, jobs, workers) {
+		if jr.Err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", jr.Job.Name, jr.Err)
 			continue
 		}
-		cmp, err := dedicated.Compare(res.Schedule, res.Architecture.NumValves)
+		cmp, err := jr.Result.CompareDedicated()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			fmt.Fprintf(os.Stderr, "%s: %v\n", jr.Job.Name, err)
 			continue
 		}
 		fmt.Fprintf(w, "%s\t%d\t%d\t%.2f\t%d\t%d\t%.2f\n",
-			name,
+			jr.Job.Name,
 			cmp.DistributedMakespan, cmp.DedicatedMakespan, cmp.ExecRatio,
 			cmp.DistributedValves, cmp.DedicatedValves, cmp.ValveRatio,
 		)
@@ -182,9 +234,23 @@ func runFig10() {
 	fmt.Println()
 }
 
-func runFig11() {
+func runFig11(ctx context.Context) {
 	fmt.Println("== Fig. 11: Execution snapshots of RA30 ==")
-	res, _, err := synthesize("RA30", sched.TimeAndStorage, 0)
+	// The snapshot picker needs the simulator internals (cached-sample and
+	// active-route counts), so this one experiment runs on the core API.
+	b, err := assay.Get("RA30")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "RA30: %v\n", err)
+		return
+	}
+	res, err := core.SynthesizeContext(ctx, b.Graph, core.Options{
+		Devices:      b.Devices,
+		Transport:    b.Transport,
+		GridRows:     b.GridRows,
+		GridCols:     b.GridCols,
+		ModelIO:      b.ModelIO,
+		ILPTimeLimit: 20 * time.Second,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "RA30: %v\n", err)
 		return

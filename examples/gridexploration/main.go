@@ -3,12 +3,17 @@
 // the resource-confinement effect behind the paper's Fig. 8 (used resources
 // stay a fraction of the grid as it grows).
 //
+// The sweep runs on the concurrent batch runner: every grid size is
+// synthesized in its own worker, and the results come back in deterministic
+// ascending-size order.
+//
 // Run with:
 //
 //	go run ./examples/gridexploration
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -23,18 +28,24 @@ func main() {
 		log.Fatal(err)
 	}
 
+	sweep, err := flowsyn.ExploreGrids(context.Background(), assay, opts, flowsyn.GridRange{
+		MinSize: 4,
+		MaxSize: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "Grid\tsegments used\tvalves\tedge ratio\tvalve ratio\tutilization")
-	for _, size := range []int{4, 5, 6, 7} {
-		o := opts
-		o.GridRows, o.GridCols = size, size
-		res, err := flowsyn.Synthesize(assay, o)
-		if err != nil {
-			fmt.Fprintf(w, "%dx%d\t(%v)\n", size, size, err)
+	for _, p := range sweep {
+		if p.Err != nil {
+			fmt.Fprintf(w, "%dx%d\t(%v)\n", p.Rows, p.Cols, p.Err)
 			continue
 		}
+		res := p.Result
 		fmt.Fprintf(w, "%dx%d\t%d\t%d\t%.2f\t%.2f\t%.1f%%\n",
-			size, size,
+			p.Rows, p.Cols,
 			res.ChannelSegments(), res.Valves(),
 			res.EdgeRatio(), res.ValveRatio(),
 			100*res.ChannelUtilization())

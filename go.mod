@@ -1,0 +1,3 @@
+module flowsyn
+
+go 1.24

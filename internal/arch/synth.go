@@ -1,6 +1,7 @@
 package arch
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -102,6 +103,13 @@ func (r *Result) Switches() []NodeID {
 // connection graph (only segments used at least once are kept, the paper's
 // constraint (11) and objective (12)).
 func Synthesize(s *sched.Schedule, grid Grid, opts Options) (*Result, error) {
+	return SynthesizeContext(context.Background(), s, grid, opts)
+}
+
+// SynthesizeContext is Synthesize bounded by a context: cancellation is
+// observed before every routed task, so congested instances abort promptly
+// with ctx.Err().
+func SynthesizeContext(ctx context.Context, s *sched.Schedule, grid Grid, opts Options) (*Result, error) {
 	start := time.Now()
 	if opts.ReuseCost == 0 {
 		opts.ReuseCost = 10
@@ -199,6 +207,9 @@ func Synthesize(s *sched.Schedule, grid Grid, opts Options) (*Result, error) {
 		routes = make([]Route, 0, len(tasks))
 		routedOK = true
 		for i, t := range tasks {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			src, dst := pos[t.From], pos[t.To]
 			route, err := r.routeTask(i, t, src, dst)
 			if err != nil {

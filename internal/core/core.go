@@ -10,6 +10,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -86,6 +87,11 @@ func (o *Options) defaults() error {
 	if o.GridCols == 0 {
 		o.GridCols = 4
 	}
+	if o.GridRows < 2 || o.GridCols < 2 {
+		// Reject degenerate grids up front, before the expensive schedule
+		// stage runs (the arch stage would reject them anyway).
+		return fmt.Errorf("core: connection grid must be at least 2x2, got %dx%d", o.GridRows, o.GridCols)
+	}
 	return nil
 }
 
@@ -96,68 +102,34 @@ type Result struct {
 	// SchedInfo carries ILP diagnostics when the exact engine ran (nil for
 	// the heuristic engine).
 	SchedInfo *sched.ILPInfo
+	// Binding summarizes the transportation workload derived by the Bind
+	// stage.
+	Binding Binding
 	// Architecture is the synthesized connection graph (Section 3.2).
 	Architecture *arch.Result
 	// Physical is the compacted layout (Section 3.3).
 	Physical *phys.Design
-	// SchedulingTime is the wall-clock scheduling time (t_s in Table 2).
+	// Stages records per-stage wall-clock time in pipeline order.
+	Stages []StageTiming
+	// SchedulingTime is the wall-clock scheduling time (t_s in Table 2),
+	// equal to the StageSchedule entry of Stages.
 	SchedulingTime time.Duration
+}
+
+// StageDuration returns the recorded wall-clock of the named stage (zero when
+// the stage did not run).
+func (r *Result) StageDuration(name string) time.Duration {
+	for _, s := range r.Stages {
+		if s.Name == name {
+			return s.Duration
+		}
+	}
+	return 0
 }
 
 // Synthesize runs the full flow on one assay.
 func Synthesize(g *seqgraph.Graph, opts Options) (*Result, error) {
-	if err := opts.defaults(); err != nil {
-		return nil, err
-	}
-	if err := g.Validate(); err != nil {
-		return nil, err
-	}
-
-	res := &Result{}
-	startSched := time.Now()
-	useILP := opts.Engine == ExactILP || (opts.Engine == Auto && g.NumOps() <= sched.MaxExactOps)
-	if useILP {
-		beta := 0.0 // 0 means default (storage-aware) inside ILPOptions
-		if opts.Mode == sched.TimeOnly {
-			beta = -1 // disables the storage term
-		}
-		s, info, err := sched.ILPSchedule(g, sched.ILPOptions{
-			Devices:   opts.Devices,
-			Transport: opts.Transport,
-			Beta:      beta,
-			TimeLimit: opts.ILPTimeLimit,
-			WarmStart: true,
-		})
-		if err != nil {
-			return nil, err
-		}
-		res.Schedule, res.SchedInfo = s, info
-	} else {
-		s, err := sched.ListSchedule(g, sched.ListOptions{
-			Devices:   opts.Devices,
-			Transport: opts.Transport,
-			Mode:      opts.Mode,
-		})
-		if err != nil {
-			return nil, err
-		}
-		res.Schedule = s
-	}
-	res.SchedulingTime = time.Since(startSched)
-
-	grid, err := arch.NewGrid(opts.GridRows, opts.GridCols)
-	if err != nil {
-		return nil, err
-	}
-	res.Architecture, err = arch.Synthesize(res.Schedule, grid, arch.Options{Strategy: opts.Placement, ModelIO: opts.ModelIO})
-	if err != nil {
-		return nil, err
-	}
-	res.Physical, err = phys.Compute(res.Architecture, opts.Phys)
-	if err != nil {
-		return nil, err
-	}
-	return res, nil
+	return SynthesizeContext(context.Background(), g, opts)
 }
 
 // Simulator returns an execution simulator for the synthesized chip.

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -10,6 +12,9 @@ import (
 )
 
 func TestSynthesizePCREndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exact ILP on PCR is slow in -short mode")
+	}
 	b := assay.MustGet("PCR")
 	res, err := Synthesize(b.Graph, Options{
 		Devices:      b.Devices,
@@ -17,7 +22,7 @@ func TestSynthesizePCREndToEnd(t *testing.T) {
 		GridRows:     b.GridRows,
 		GridCols:     b.GridCols,
 		ModelIO:      b.ModelIO,
-		ILPTimeLimit: 10 * time.Second,
+		ILPTimeLimit: 3 * time.Second,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -95,6 +100,58 @@ func TestEngineString(t *testing.T) {
 		if e.String() != want {
 			t.Errorf("%d.String() = %q, want %q", int(e), e.String(), want)
 		}
+	}
+}
+
+func TestStageTimingsRecorded(t *testing.T) {
+	b := assay.MustGet("RA30")
+	res, err := Synthesize(b.Graph, Options{
+		Devices:   b.Devices,
+		Transport: b.Transport,
+		GridRows:  b.GridRows,
+		GridCols:  b.GridCols,
+		ModelIO:   b.ModelIO,
+		Engine:    Heuristic,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{StageSchedule, StageBind, StageArch, StagePhys}
+	if len(res.Stages) != len(want) {
+		t.Fatalf("got %d stage timings, want %d: %+v", len(res.Stages), len(want), res.Stages)
+	}
+	for i, name := range want {
+		if res.Stages[i].Name != name {
+			t.Errorf("stage %d = %q, want %q", i, res.Stages[i].Name, name)
+		}
+		if res.Stages[i].Duration < 0 {
+			t.Errorf("stage %q has negative duration", name)
+		}
+	}
+	if res.SchedulingTime != res.StageDuration(StageSchedule) {
+		t.Errorf("SchedulingTime %v != schedule stage duration %v",
+			res.SchedulingTime, res.StageDuration(StageSchedule))
+	}
+	if res.Binding.Transports == 0 {
+		t.Error("bind stage recorded no transports for RA30")
+	}
+	if res.Binding.Stored != res.Schedule.StoreCount() {
+		t.Errorf("bind stage counted %d stored tasks, schedule reports %d",
+			res.Binding.Stored, res.Schedule.StoreCount())
+	}
+}
+
+func TestSynthesizeContextPreCancelled(t *testing.T) {
+	b := assay.MustGet("RA30")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := SynthesizeContext(ctx, b.Graph, Options{
+		Devices:   b.Devices,
+		Transport: b.Transport,
+		Engine:    Heuristic,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
 

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"flowsyn/internal/arch"
+	"flowsyn/internal/phys"
+	"flowsyn/internal/sched"
+	"flowsyn/internal/seqgraph"
+)
+
+// Stage names, in pipeline order.
+const (
+	// StageSchedule produces the scheduling-and-binding result (Section 3.1).
+	StageSchedule = "schedule"
+	// StageBind validates the binding and derives the transportation tasks
+	// that drive architectural synthesis.
+	StageBind = "bind"
+	// StageArch synthesizes the connection graph with distributed channel
+	// storage (Section 3.2).
+	StageArch = "arch"
+	// StagePhys compacts the planar connection graph into a physical layout
+	// (Section 3.3).
+	StagePhys = "phys"
+)
+
+// StageTiming records the wall-clock duration of one pipeline stage; the
+// schedule/arch/phys entries correspond to the paper's t_s, t_r and t_p
+// columns of Table 2.
+type StageTiming struct {
+	// Name is one of the Stage* constants.
+	Name string
+	// Duration is the stage's wall-clock time.
+	Duration time.Duration
+}
+
+// Binding summarizes what the Bind stage derived from the schedule: the
+// transportation workload handed to architectural synthesis.
+type Binding struct {
+	// Transports counts device-to-device transportation tasks (direct and
+	// stored).
+	Transports int
+	// Stored counts the tasks that cache their fluid in a channel segment —
+	// the paper's distributed storage events.
+	Stored int
+}
+
+// stageState carries intermediate products between pipeline stages.
+type stageState struct {
+	graph *seqgraph.Graph
+	opts  Options
+	res   *Result
+}
+
+// stage is one named step of the synthesis pipeline. Each stage reads and
+// extends the shared state; the driver records its wall-clock time.
+type stage struct {
+	name string
+	run  func(ctx context.Context, st *stageState) error
+}
+
+// pipeline returns the synthesis stages in execution order.
+func pipeline() []stage {
+	return []stage{
+		{name: StageSchedule, run: runScheduleStage},
+		{name: StageBind, run: runBindStage},
+		{name: StageArch, run: runArchStage},
+		{name: StagePhys, run: runPhysStage},
+	}
+}
+
+// runScheduleStage schedules and binds the assay with the selected engine.
+// The Auto engine races the exact ILP against the list scheduler (portfolio
+// mode) at sizes where the ILP is worth attempting, instead of the former
+// sequential try-ILP-then-fall-back pass.
+func runScheduleStage(ctx context.Context, st *stageState) error {
+	opts := st.opts
+	g := st.graph
+	beta := 0.0 // 0 means default (storage-aware) inside ILPOptions
+	if opts.Mode == sched.TimeOnly {
+		beta = -1 // disables the storage term
+	}
+	ilpOpts := sched.ILPOptions{
+		Devices:   opts.Devices,
+		Transport: opts.Transport,
+		Beta:      beta,
+		TimeLimit: opts.ILPTimeLimit,
+		WarmStart: true,
+	}
+	switch {
+	case opts.Engine == ExactILP:
+		s, info, err := sched.ILPScheduleContext(ctx, g, ilpOpts)
+		if err != nil {
+			return err
+		}
+		st.res.Schedule, st.res.SchedInfo = s, info
+	case opts.Engine == Auto && g.NumOps() <= sched.MaxExactOps:
+		s, info, err := sched.PortfolioSchedule(ctx, g, ilpOpts)
+		if err != nil {
+			return err
+		}
+		st.res.Schedule, st.res.SchedInfo = s, info
+	default:
+		s, err := sched.ListScheduleContext(ctx, g, sched.ListOptions{
+			Devices:   opts.Devices,
+			Transport: opts.Transport,
+			Mode:      opts.Mode,
+		})
+		if err != nil {
+			return err
+		}
+		st.res.Schedule = s
+	}
+	return nil
+}
+
+// runBindStage re-checks the binding against the paper's constraints (Table
+// 1) independently of the engine that produced it, and summarizes the
+// transportation workload for the next stage.
+func runBindStage(_ context.Context, st *stageState) error {
+	if err := st.res.Schedule.Validate(); err != nil {
+		return err
+	}
+	tasks := st.res.Schedule.Tasks()
+	st.res.Binding.Transports = len(tasks)
+	for _, t := range tasks {
+		if t.Kind == sched.Stored {
+			st.res.Binding.Stored++
+		}
+	}
+	return nil
+}
+
+// runArchStage synthesizes the chip architecture on the connection grid.
+func runArchStage(ctx context.Context, st *stageState) error {
+	grid, err := arch.NewGrid(st.opts.GridRows, st.opts.GridCols)
+	if err != nil {
+		return err
+	}
+	st.res.Architecture, err = arch.SynthesizeContext(ctx, st.res.Schedule, grid, arch.Options{
+		Strategy: st.opts.Placement,
+		ModelIO:  st.opts.ModelIO,
+	})
+	return err
+}
+
+// runPhysStage compacts the architecture into the physical layout.
+func runPhysStage(ctx context.Context, st *stageState) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	var err error
+	st.res.Physical, err = phys.Compute(st.res.Architecture, st.opts.Phys)
+	return err
+}
+
+// SynthesizeContext runs the full staged flow — Schedule, Bind, Arch, Phys —
+// on one assay, recording per-stage wall-clock in Result.Stages. Cancelling
+// ctx aborts the pipeline promptly (every long-running stage observes the
+// context down to the MILP branch-and-bound loop) with ctx.Err() wrapped in
+// the stage error.
+func SynthesizeContext(ctx context.Context, g *seqgraph.Graph, opts Options) (*Result, error) {
+	if err := opts.defaults(); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	st := &stageState{graph: g, opts: opts, res: &Result{}}
+	for _, sg := range pipeline() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		if err := sg.run(ctx, st); err != nil {
+			return nil, fmt.Errorf("core: %s stage: %w", sg.name, err)
+		}
+		d := time.Since(start)
+		st.res.Stages = append(st.res.Stages, StageTiming{Name: sg.name, Duration: d})
+		if sg.name == StageSchedule {
+			st.res.SchedulingTime = d
+		}
+	}
+	return st.res, nil
+}

@@ -1,6 +1,7 @@
 package milp
 
 import (
+	"context"
 	"math"
 	"sort"
 	"time"
@@ -8,9 +9,10 @@ import (
 
 // SolveOptions configures the branch-and-bound MILP driver.
 type SolveOptions struct {
-	// TimeLimit caps wall-clock time. Zero means no limit. When exceeded the
-	// best incumbent found so far is returned with StatusTimeLimit, matching
-	// the paper's best-effort 30-minute solver cap.
+	// TimeLimit caps wall-clock time. Zero means no limit. It is implemented
+	// as a context.WithTimeout derived from the caller's context; when it
+	// fires the best incumbent found so far is returned with StatusTimeLimit,
+	// matching the paper's best-effort 30-minute solver cap.
 	TimeLimit time.Duration
 	// MaxNodes caps the number of branch-and-bound nodes. Zero means no cap.
 	MaxNodes int
@@ -42,9 +44,34 @@ type bbBound struct {
 // Solve runs branch and bound on m. Continuous models are dispatched straight
 // to the simplex. The returned solution is indexed by Var.ID.
 func Solve(m *Model, opts SolveOptions) (*Solution, error) {
+	return SolveContext(context.Background(), m, opts)
+}
+
+// SolveContext is Solve bounded by a context. Cancelling ctx mid-solve stops
+// the search promptly (within one node relaxation check, typically well under
+// 100 ms) and returns the best incumbent with StatusInterrupted, or a
+// solution with no assignment when none was found. opts.TimeLimit is layered
+// on top of ctx as a derived context.WithTimeout.
+func SolveContext(ctx context.Context, m *Model, opts SolveOptions) (*Solution, error) {
 	intVars := m.IntegerVars()
 	if len(intVars) == 0 {
-		return SolveLP(m)
+		lpCtx := ctx
+		if opts.TimeLimit > 0 {
+			var cancel context.CancelFunc
+			lpCtx, cancel = context.WithTimeout(ctx, opts.TimeLimit)
+			defer cancel()
+		}
+		sol, err := solveLPContext(lpCtx, m)
+		// The simplex reports any context abort as StatusIterLimit;
+		// distinguish caller cancellation from the derived time limit.
+		if err == nil && sol.Status == StatusIterLimit && lpCtx.Err() != nil {
+			if ctx.Err() != nil {
+				sol.Status = StatusInterrupted
+			} else {
+				sol.Status = StatusTimeLimit
+			}
+		}
+		return sol, err
 	}
 	if opts.IntFeasTol == 0 {
 		opts.IntFeasTol = 1e-6
@@ -57,9 +84,14 @@ func Solve(m *Model, opts SolveOptions) (*Solution, error) {
 	}
 	toMin := func(obj float64) float64 { return dirSign * obj }
 
-	deadline := time.Time{}
+	// The wall-clock budget is a context derived from the caller's: a parent
+	// cancellation and a time limit interrupt the search the same way, and
+	// every node relaxation observes both.
+	solveCtx := ctx
 	if opts.TimeLimit > 0 {
-		deadline = time.Now().Add(opts.TimeLimit)
+		var cancel context.CancelFunc
+		solveCtx, cancel = context.WithTimeout(ctx, opts.TimeLimit)
+		defer cancel()
 	}
 
 	var (
@@ -67,6 +99,7 @@ func Solve(m *Model, opts SolveOptions) (*Solution, error) {
 		bestObj    = math.Inf(1) // minimize sense
 		nodes      int
 		iters      int
+		cancelled  bool // the caller's ctx was cancelled
 		timedOut   bool
 		nodeLimit  bool
 		incomplete bool // some node relaxation was cut short
@@ -110,8 +143,12 @@ func Solve(m *Model, opts SolveOptions) (*Solution, error) {
 	}
 
 	for len(stack) > 0 {
-		if !deadline.IsZero() && time.Now().After(deadline) {
-			timedOut = true
+		if solveCtx.Err() != nil {
+			if ctx.Err() != nil {
+				cancelled = true
+			} else {
+				timedOut = true
+			}
 			break
 		}
 		if opts.MaxNodes > 0 && nodes >= opts.MaxNodes {
@@ -142,7 +179,7 @@ func Solve(m *Model, opts SolveOptions) (*Solution, error) {
 			continue
 		}
 
-		sol, err := solveLPDeadline(m, deadline)
+		sol, err := solveLPContext(solveCtx, m)
 		if err != nil {
 			return nil, err
 		}
@@ -223,15 +260,30 @@ func Solve(m *Model, opts SolveOptions) (*Solution, error) {
 		}
 	}
 
+	// A context abort that lands on the last stack node escapes the
+	// top-of-loop check (the aborted relaxation marks the search incomplete
+	// and the loop exits on the empty stack), so classify it here. A search
+	// that genuinely completed (no subtree dropped) keeps its verdict even
+	// if the context expired a moment later.
+	if incomplete && !cancelled && !timedOut && solveCtx.Err() != nil {
+		if ctx.Err() != nil {
+			cancelled = true
+		} else {
+			timedOut = true
+		}
+	}
+
 	res := &Solution{Nodes: nodes, Iterations: iters}
 	switch {
-	case best != nil && !timedOut && !nodeLimit && !incomplete && len(stack) == 0:
+	case best != nil && !cancelled && !timedOut && !nodeLimit && !incomplete && len(stack) == 0:
 		res.Status = StatusOptimal
 		res.X = best
 		res.Objective = dirSign * bestObj
 		res.Bound = res.Objective
 	case best != nil:
-		if timedOut {
+		if cancelled {
+			res.Status = StatusInterrupted
+		} else if timedOut {
 			res.Status = StatusTimeLimit
 		} else if nodeLimit {
 			res.Status = StatusIterLimit
@@ -241,6 +293,8 @@ func Solve(m *Model, opts SolveOptions) (*Solution, error) {
 		res.X = best
 		res.Objective = dirSign * bestObj
 		res.Bound = math.NaN()
+	case cancelled:
+		res.Status = StatusInterrupted
 	case timedOut || incomplete:
 		res.Status = StatusTimeLimit
 	case nodeLimit:

@@ -1,6 +1,7 @@
 package milp
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -135,6 +136,73 @@ func TestMILPTimeLimitReturnsIncumbent(t *testing.T) {
 	}
 	if sol.X == nil {
 		t.Fatal("expected incumbent solution to be returned")
+	}
+}
+
+// hardKnapsack builds a strongly-correlated knapsack (profits equal weights,
+// even weights, odd capacity) whose optimality proof needs an exponential
+// branch-and-bound tree — the LP bound stays half a unit above any integral
+// solution — plus a trivially feasible all-zero incumbent.
+func hardKnapsack(n int) (*Model, []float64) {
+	m := NewModel()
+	r := rand.New(rand.NewSource(42))
+	capE := NewExpr(0)
+	objE := NewExpr(0)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		w := float64(2 * (5 + r.Intn(45)))
+		total += w
+		v := m.NewBinary("")
+		capE.Add(v, w)
+		objE.Add(v, w)
+	}
+	capacity := math.Floor(total / 2)
+	if math.Mod(capacity, 2) == 0 {
+		capacity++
+	}
+	m.AddLE("cap", *capE, capacity)
+	m.SetObjective(*objE, Maximize)
+	return m, make([]float64, m.NumVars())
+}
+
+func TestMILPCancelledContextReturnsIncumbentPromptly(t *testing.T) {
+	m, inc := hardKnapsack(40)
+	ctx, cancel := context.WithCancel(context.Background())
+	const after = 50 * time.Millisecond
+	time.AfterFunc(after, cancel)
+
+	start := time.Now()
+	sol, err := SolveContext(ctx, m, SolveOptions{Incumbent: inc})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusInterrupted {
+		t.Fatalf("status = %v, want interrupted (solve finished in %v: instance too easy?)", sol.Status, elapsed)
+	}
+	if sol.X == nil {
+		t.Fatal("expected the incumbent to be returned on cancellation")
+	}
+	// Cancellation must be honored promptly (the acceptance bar is ~100 ms;
+	// allow slack for loaded CI machines).
+	if overshoot := elapsed - after; overshoot > 400*time.Millisecond {
+		t.Errorf("solve returned %v after cancellation, want ~100ms", overshoot)
+	}
+}
+
+func TestMILPPreCancelledContext(t *testing.T) {
+	m, _ := hardKnapsack(20)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sol, err := SolveContext(ctx, m, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusInterrupted {
+		t.Fatalf("status = %v, want interrupted", sol.Status)
+	}
+	if sol.X != nil {
+		t.Error("no incumbent was supplied, yet a solution came back")
 	}
 }
 

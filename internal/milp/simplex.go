@@ -1,9 +1,9 @@
 package milp
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"time"
 )
 
 // Status reports the outcome of a solve.
@@ -28,6 +28,9 @@ const (
 	// StatusFeasible means a feasible (not necessarily optimal) solution is
 	// available.
 	StatusFeasible
+	// StatusInterrupted means the caller's context was cancelled mid-solve;
+	// the reported solution, if any, is the best incumbent found so far.
+	StatusInterrupted
 )
 
 // String names the status.
@@ -45,6 +48,8 @@ func (s Status) String() string {
 		return "time-limit"
 	case StatusFeasible:
 		return "feasible"
+	case StatusInterrupted:
+		return "interrupted"
 	default:
 		return "unknown"
 	}
@@ -80,7 +85,8 @@ func (s *Solution) Value(v Var) float64 {
 func (s *Solution) Feasible() bool {
 	return s != nil && s.X != nil &&
 		(s.Status == StatusOptimal || s.Status == StatusFeasible ||
-			s.Status == StatusTimeLimit || s.Status == StatusIterLimit)
+			s.Status == StatusTimeLimit || s.Status == StatusIterLimit ||
+			s.Status == StatusInterrupted)
 }
 
 const (
@@ -120,10 +126,10 @@ type lp struct {
 	basis   []int
 	iters   int
 	maxIter int
-	// deadline, when non-zero, aborts the solve with StatusIterLimit so
-	// that branch and bound can honor its wall-clock budget even when a
-	// single relaxation is expensive.
-	deadline time.Time
+	// ctx, when non-nil, aborts the solve with StatusIterLimit once the
+	// context is done, so that branch and bound can honor its cancellation
+	// and wall-clock budget even when a single relaxation is expensive.
+	ctx context.Context
 }
 
 // buildLP converts a Model (relaxing integrality) into standard form.
@@ -420,7 +426,7 @@ func (p *lp) run(cost []float64, barArt bool) Status {
 		if p.iters-start > p.maxIter {
 			return StatusIterLimit
 		}
-		if !p.deadline.IsZero() && p.iters%32 == 0 && time.Now().After(p.deadline) {
+		if p.ctx != nil && p.iters%32 == 0 && p.ctx.Err() != nil {
 			return StatusIterLimit
 		}
 		bland := p.iters-start > blandAfter
@@ -446,12 +452,12 @@ func (p *lp) objValue(cost []float64) float64 {
 // SolveLP solves the LP relaxation of m (integrality dropped) with a dense
 // two-phase primal simplex. The returned solution is indexed by Var.ID.
 func SolveLP(m *Model) (*Solution, error) {
-	return solveLPDeadline(m, time.Time{})
+	return solveLPContext(context.Background(), m)
 }
 
-// solveLPDeadline is SolveLP with an optional wall-clock deadline; exceeding
-// it yields StatusIterLimit.
-func solveLPDeadline(m *Model, deadline time.Time) (*Solution, error) {
+// solveLPContext is SolveLP bounded by a context; once ctx is done the solve
+// aborts with StatusIterLimit.
+func solveLPContext(ctx context.Context, m *Model) (*Solution, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
@@ -459,7 +465,7 @@ func solveLPDeadline(m *Model, deadline time.Time) (*Solution, error) {
 	if !ok {
 		return &Solution{Status: StatusInfeasible}, nil
 	}
-	p.deadline = deadline
+	p.ctx = ctx
 
 	// Phase I: minimize sum of artificials.
 	if p.nArt > 0 {

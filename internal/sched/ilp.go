@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -34,6 +35,23 @@ type ILPOptions struct {
 	WarmStart bool
 }
 
+// weights normalizes the objective weights of the paper's objective (6):
+// zero values default to α=100, β=1 (makespan-dominant), and a negative Beta
+// selects the pure-makespan baseline (β = 0). Shared by the ILP formulation
+// and the portfolio's arm-selection score so both always agree.
+func (o ILPOptions) weights() (alpha, beta float64) {
+	alpha, beta = o.Alpha, o.Beta
+	if alpha == 0 {
+		alpha = 100
+	}
+	if beta == 0 {
+		beta = 1
+	} else if beta < 0 {
+		beta = 0
+	}
+	return alpha, beta
+}
+
 // ILPInfo reports solver diagnostics alongside an ILP schedule.
 type ILPInfo struct {
 	// Status is the MILP solver verdict (optimal, time-limit, ...).
@@ -63,6 +81,14 @@ type ILPInfo struct {
 // order with the exact transport semantics shared with the list scheduler,
 // so the returned schedule always passes Validate.
 func ILPSchedule(g *seqgraph.Graph, opts ILPOptions) (*Schedule, *ILPInfo, error) {
+	return ILPScheduleContext(context.Background(), g, opts)
+}
+
+// ILPScheduleContext is ILPSchedule bounded by a context. The TimeLimit cap
+// still yields the best-effort incumbent, but cancelling ctx aborts the whole
+// solve and returns ctx.Err() promptly (the branch-and-bound loop observes
+// cancellation within one node relaxation).
+func ILPScheduleContext(ctx context.Context, g *seqgraph.Graph, opts ILPOptions) (*Schedule, *ILPInfo, error) {
 	if err := g.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -72,22 +98,14 @@ func ILPSchedule(g *seqgraph.Graph, opts ILPOptions) (*Schedule, *ILPInfo, error
 	if opts.Transport < 1 {
 		return nil, nil, fmt.Errorf("sched: transport time must be >= 1, got %d", opts.Transport)
 	}
-	alpha, beta := opts.Alpha, opts.Beta
-	if alpha == 0 {
-		alpha = 100
-	}
-	if beta == 0 {
-		beta = 1
-	} else if beta < 0 {
-		beta = 0
-	}
+	alpha, beta := opts.weights()
 	limit := opts.TimeLimit
 	if limit == 0 {
 		limit = 30 * time.Second
 	}
 
 	// Incumbent for warm start and horizon.
-	incumbent, err := ListSchedule(g, ListOptions{
+	incumbent, err := ListScheduleContext(ctx, g, ListOptions{
 		Devices: opts.Devices, Transport: opts.Transport, Mode: TimeAndStorage,
 	})
 	if err != nil {
@@ -222,9 +240,14 @@ func ILPSchedule(g *seqgraph.Graph, opts ILPOptions) (*Schedule, *ILPInfo, error
 	}
 
 	startT := time.Now()
-	sol, err := milp.Solve(m, milp.SolveOptions{TimeLimit: limit, Incumbent: warm})
+	sol, err := milp.SolveContext(ctx, m, milp.SolveOptions{TimeLimit: limit, Incumbent: warm})
 	if err != nil {
 		return nil, nil, fmt.Errorf("sched: solving scheduling ILP: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		// The caller cancelled the whole synthesis: propagate instead of
+		// falling back to the best-effort incumbent.
+		return nil, nil, err
 	}
 	info := &ILPInfo{
 		Status:     sol.Status,

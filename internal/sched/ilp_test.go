@@ -78,7 +78,7 @@ func TestILPPCRSmall(t *testing.T) {
 	}
 	g := assay.PCR()
 	s, info, err := ILPSchedule(g, ILPOptions{
-		Devices: 2, Transport: 10, WarmStart: true, TimeLimit: 20 * time.Second,
+		Devices: 2, Transport: 10, WarmStart: true, TimeLimit: 5 * time.Second,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -56,6 +57,13 @@ type ListOptions struct {
 // producer ends, cross-device arrivals take u_c, and each cached input
 // requires a fetch slot immediately before the consumer starts.
 func ListSchedule(g *seqgraph.Graph, opts ListOptions) (*Schedule, error) {
+	return ListScheduleContext(context.Background(), g, opts)
+}
+
+// ListScheduleContext is ListSchedule bounded by a context: cancellation is
+// observed once per scheduled operation, so even very large assays abort
+// promptly with ctx.Err().
+func ListScheduleContext(ctx context.Context, g *seqgraph.Graph, opts ListOptions) (*Schedule, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
@@ -166,6 +174,9 @@ func ListSchedule(g *seqgraph.Graph, opts ListOptions) (*Schedule, error) {
 	}
 
 	for scheduledCount := 0; scheduledCount < g.NumOps(); scheduledCount++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if len(ready) == 0 {
 			return nil, fmt.Errorf("sched: internal error: no ready operations with %d unscheduled",
 				g.NumOps()-scheduledCount)

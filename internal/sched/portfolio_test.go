@@ -1,0 +1,64 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"flowsyn/internal/assay"
+)
+
+func TestPortfolioNeverWorseThanHeuristic(t *testing.T) {
+	g := assay.PCR()
+	opts := ILPOptions{Devices: 2, Transport: 10, WarmStart: true, TimeLimit: 2 * time.Second}
+	s, info, err := PortfolioSchedule(context.Background(), g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if info == nil {
+		t.Error("portfolio ran the ILP arm but reported no diagnostics")
+	}
+	list, err := ListSchedule(g, ListOptions{Devices: 2, Transport: 10, Mode: TimeAndStorage})
+	if err != nil {
+		t.Fatal(err)
+	}
+	score := func(s *Schedule) int { return 100*s.Makespan + s.StorageTime() }
+	if score(s) > score(list) {
+		t.Errorf("portfolio score %d worse than pure heuristic %d", score(s), score(list))
+	}
+}
+
+func TestPortfolioDeterministicPick(t *testing.T) {
+	// The chain instance solves to optimality instantly in both arms, so
+	// repeated races must pick the identical schedule.
+	g := chain3()
+	opts := ILPOptions{Devices: 1, Transport: 5, WarmStart: true, TimeLimit: 5 * time.Second}
+	first, _, err := PortfolioSchedule(context.Background(), g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		s, _, err := PortfolioSchedule(context.Background(), g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Makespan != first.Makespan || s.StorageTime() != first.StorageTime() {
+			t.Fatalf("run %d picked (tE=%d, Σu=%d), first run picked (tE=%d, Σu=%d)",
+				i, s.Makespan, s.StorageTime(), first.Makespan, first.StorageTime())
+		}
+	}
+}
+
+func TestPortfolioCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := PortfolioSchedule(ctx, assay.PCR(), ILPOptions{
+		Devices: 2, Transport: 10, TimeLimit: time.Minute,
+	}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -1,6 +1,8 @@
 package flowsyn
 
 import (
+	"time"
+
 	"flowsyn/internal/core"
 	"flowsyn/internal/sim"
 )
@@ -44,6 +46,54 @@ func (r *Result) ChipDimensions() (afterSynthesis, afterDevices, compressed stri
 
 // Summary renders the headline numbers in the paper's Table 2 column order.
 func (r *Result) Summary() string { return r.inner.Summary() }
+
+// Stage names of the synthesis pipeline, in execution order.
+const (
+	// StageSchedule schedules and binds the assay (t_s in Table 2).
+	StageSchedule = core.StageSchedule
+	// StageBind validates the binding and derives the transport workload.
+	StageBind = core.StageBind
+	// StageArch synthesizes the connection graph (t_r in Table 2).
+	StageArch = core.StageArch
+	// StagePhys compacts the physical layout (t_p in Table 2).
+	StagePhys = core.StagePhys
+)
+
+// StageTiming reports the wall-clock duration of one synthesis pipeline
+// stage ("schedule", "bind", "arch" or "phys").
+type StageTiming struct {
+	// Name identifies the stage.
+	Name string
+	// Duration is the stage's wall-clock time.
+	Duration time.Duration
+}
+
+// StageTimings returns per-stage wall-clock durations in pipeline order. The
+// schedule, arch and phys entries correspond to the paper's t_s, t_r and t_p
+// columns of Table 2.
+func (r *Result) StageTimings() []StageTiming {
+	out := make([]StageTiming, len(r.inner.Stages))
+	for i, s := range r.inner.Stages {
+		out[i] = StageTiming{Name: s.Name, Duration: s.Duration}
+	}
+	return out
+}
+
+// StageDuration returns the recorded wall-clock of the named stage (zero when
+// the stage did not run).
+func (r *Result) StageDuration(name string) time.Duration {
+	return r.inner.StageDuration(name)
+}
+
+// SchedulingTime returns the wall-clock scheduling time (t_s in Table 2).
+func (r *Result) SchedulingTime() time.Duration {
+	return r.inner.SchedulingTime
+}
+
+// Transports returns the total number of device-to-device transportation
+// tasks derived from the schedule by the Bind stage. The stored subset is
+// StoreCount.
+func (r *Result) Transports() int { return r.inner.Binding.Transports }
 
 // GanttChart renders the schedule as a per-device text timeline.
 func (r *Result) GanttChart() string { return r.inner.Schedule.Gantt() }

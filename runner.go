@@ -1,0 +1,155 @@
+package flowsyn
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Job is one (assay, options) synthesis request in a batch.
+type Job struct {
+	// Name labels the job in results and reports; defaults to the assay name.
+	Name string
+	// Assay is the bioassay to synthesize.
+	Assay *Assay
+	// Options configures the synthesis flow for this job.
+	Options Options
+}
+
+// JobResult pairs one batch job with its outcome. Exactly one of Result and
+// Err is meaningful.
+type JobResult struct {
+	// Job echoes the submitted job (with Name defaulted).
+	Job Job
+	// Result is the synthesized chip, nil when Err is set.
+	Result *Result
+	// Err is the synthesis error, including ctx.Err() for jobs cancelled or
+	// never started when the batch context ends.
+	Err error
+	// Runtime is the job's wall-clock time inside its worker.
+	Runtime time.Duration
+}
+
+// BatchOptions configures SynthesizeBatch.
+type BatchOptions struct {
+	// Concurrency is the number of worker goroutines; 0 or negative means
+	// runtime.GOMAXPROCS(0).
+	Concurrency int
+}
+
+// SynthesizeBatch synthesizes many jobs concurrently on a worker pool and
+// returns one JobResult per job, in job order regardless of completion order
+// — results are deterministic under any Concurrency for deterministic
+// engines. Individual job failures are reported per result and do not stop
+// the batch; cancelling ctx stops workers promptly, marks unfinished jobs
+// with ctx.Err(), and returns ctx.Err().
+func SynthesizeBatch(ctx context.Context, jobs []Job, opts BatchOptions) ([]JobResult, error) {
+	workers := opts.Concurrency
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	results := make([]JobResult, len(jobs))
+	for i, job := range jobs {
+		if job.Name == "" && job.Assay != nil {
+			job.Name = job.Assay.Name()
+		}
+		results[i] = JobResult{Job: job}
+	}
+	if len(jobs) == 0 {
+		return results, ctx.Err()
+	}
+
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				r := &results[i]
+				start := time.Now()
+				if r.Job.Assay == nil {
+					r.Err = fmt.Errorf("flowsyn: batch job %d (%s) has no assay", i, r.Job.Name)
+					continue
+				}
+				r.Result, r.Err = SynthesizeContext(ctx, r.Job.Assay, r.Job.Options)
+				r.Runtime = time.Since(start)
+			}
+		}()
+	}
+
+feed:
+	for i := range jobs {
+		select {
+		case idxCh <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idxCh)
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		for i := range results {
+			if results[i].Result == nil && results[i].Err == nil {
+				results[i].Err = err
+			}
+		}
+		return results, err
+	}
+	return results, nil
+}
+
+// GridRange describes a square connection-grid sweep for ExploreGrids.
+type GridRange struct {
+	// MinSize and MaxSize bound the square grid sizes to explore,
+	// inclusive. Both must be >= 2.
+	MinSize, MaxSize int
+	// Concurrency is the worker count, as in BatchOptions.
+	Concurrency int
+}
+
+// GridResult is the outcome of synthesizing one grid size in a sweep.
+type GridResult struct {
+	// Rows and Cols are the explored connection-grid dimensions.
+	Rows, Cols int
+	// Result is the synthesized chip, nil when Err is set (e.g. when the
+	// assay does not route on a grid this small).
+	Result *Result
+	// Err is the synthesis error for this grid size.
+	Err error
+}
+
+// ExploreGrids synthesizes the assay once per square grid size in r,
+// concurrently, and returns the outcomes ordered by ascending size — the
+// scenario sweep behind the paper's Fig. 8 resource-confinement claim. opts
+// carries the non-grid synthesis options; its GridRows/GridCols are
+// overridden per scenario.
+func ExploreGrids(ctx context.Context, a *Assay, opts Options, r GridRange) ([]GridResult, error) {
+	if r.MinSize < 2 || r.MaxSize < r.MinSize {
+		return nil, fmt.Errorf("flowsyn: invalid grid range [%d, %d]", r.MinSize, r.MaxSize)
+	}
+	jobs := make([]Job, 0, r.MaxSize-r.MinSize+1)
+	for size := r.MinSize; size <= r.MaxSize; size++ {
+		o := opts
+		o.GridRows, o.GridCols = size, size
+		jobs = append(jobs, Job{
+			Name:    fmt.Sprintf("%s@%dx%d", a.Name(), size, size),
+			Assay:   a,
+			Options: o,
+		})
+	}
+	batch, err := SynthesizeBatch(ctx, jobs, BatchOptions{Concurrency: r.Concurrency})
+	out := make([]GridResult, len(batch))
+	for i, b := range batch {
+		size := r.MinSize + i
+		out[i] = GridResult{Rows: size, Cols: size, Result: b.Result, Err: b.Err}
+	}
+	return out, err
+}

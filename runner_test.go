@@ -1,0 +1,230 @@
+package flowsyn
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// heuristicJobs builds one deterministic (heuristic-engine) job per Table 2
+// benchmark.
+func heuristicJobs(t *testing.T) []Job {
+	t.Helper()
+	names := BenchmarkNames()
+	jobs := make([]Job, 0, len(names))
+	for _, name := range names {
+		a, opts, err := Benchmark(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.Engine = HeuristicEngine
+		jobs = append(jobs, Job{Name: name, Assay: a, Options: opts})
+	}
+	return jobs
+}
+
+// report renders the deterministic per-job outcome columns (everything in
+// Summary: makespan, architecture size, ratios, physical dimensions).
+func report(t *testing.T, results []JobResult) string {
+	t.Helper()
+	var b strings.Builder
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Job.Name, r.Err)
+		}
+		b.WriteString(r.Job.Name)
+		b.WriteString(": ")
+		b.WriteString(r.Result.Summary())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func TestSynthesizeBatchDeterministicUnderParallelism(t *testing.T) {
+	sequential, err := SynthesizeBatch(context.Background(), heuristicJobs(t), BatchOptions{Concurrency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := report(t, sequential)
+
+	for _, workers := range []int{2, runtime.GOMAXPROCS(0), 2 * runtime.GOMAXPROCS(0)} {
+		parallel, err := SynthesizeBatch(context.Background(), heuristicJobs(t), BatchOptions{Concurrency: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := report(t, parallel); got != want {
+			t.Errorf("concurrency %d changed the report.\nsequential:\n%s\nparallel:\n%s", workers, want, got)
+		}
+	}
+}
+
+func TestSynthesizeBatchMatchesSequentialAPI(t *testing.T) {
+	jobs := heuristicJobs(t)
+	results, err := SynthesizeBatch(context.Background(), jobs, BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, jr := range results {
+		direct, err := Synthesize(jobs[i].Assay, jobs[i].Options)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if jr.Result.Summary() != direct.Summary() {
+			t.Errorf("%s: batch %q != direct %q", jobs[i].Name, jr.Result.Summary(), direct.Summary())
+		}
+	}
+}
+
+func TestSynthesizeBatchReportsJobErrors(t *testing.T) {
+	a, opts, err := Benchmark("PCR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Engine = HeuristicEngine
+	bad := opts
+	bad.Devices = -1
+	results, err := SynthesizeBatch(context.Background(), []Job{
+		{Name: "ok", Assay: a, Options: opts},
+		{Name: "bad-devices", Assay: a, Options: bad},
+		{Name: "no-assay"},
+	}, BatchOptions{Concurrency: 2})
+	if err != nil {
+		t.Fatalf("job failures must not fail the batch: %v", err)
+	}
+	if results[0].Err != nil || results[0].Result == nil {
+		t.Errorf("healthy job failed: %v", results[0].Err)
+	}
+	if results[1].Err == nil {
+		t.Error("invalid options slipped through")
+	}
+	if results[2].Err == nil {
+		t.Error("missing assay slipped through")
+	}
+}
+
+func TestSynthesizeBatchCancellation(t *testing.T) {
+	// Enough slow-ish jobs that cancellation lands mid-batch.
+	var jobs []Job
+	for i := 0; i < 16; i++ {
+		for _, j := range heuristicJobs(t) {
+			jobs = append(jobs, j)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(5*time.Millisecond, cancel)
+	start := time.Now()
+	results, err := SynthesizeBatch(ctx, jobs, BatchOptions{Concurrency: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("batch took %v to honor cancellation", elapsed)
+	}
+	cancelledCount := 0
+	for _, r := range results {
+		if r.Result == nil && r.Err == nil {
+			t.Fatalf("%s: neither result nor error", r.Job.Name)
+		}
+		if r.Err != nil && errors.Is(r.Err, context.Canceled) {
+			cancelledCount++
+		}
+	}
+	if cancelledCount == 0 {
+		t.Error("no job reported the cancellation")
+	}
+}
+
+func TestSynthesizeContextCancelledMidILP(t *testing.T) {
+	a, opts, err := Benchmark("PCR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Engine = ILPEngine
+	opts.ILPTimeLimit = time.Minute // cancellation, not the limit, must end it
+	ctx, cancel := context.WithCancel(context.Background())
+	const after = 50 * time.Millisecond
+	time.AfterFunc(after, cancel)
+	start := time.Now()
+	_, err = SynthesizeContext(ctx, a, opts)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The MILP branch-and-bound loop must observe cancellation promptly (the
+	// acceptance bar is ~100 ms; allow slack for loaded CI machines).
+	if overshoot := elapsed - after; overshoot > 400*time.Millisecond {
+		t.Errorf("synthesis returned %v after cancellation, want ~100ms", overshoot)
+	}
+}
+
+func TestExploreGridsSweep(t *testing.T) {
+	a, opts, err := Benchmark("RA30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Engine = HeuristicEngine
+	sweep, err := ExploreGrids(context.Background(), a, opts, GridRange{MinSize: 4, MaxSize: 6, Concurrency: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep) != 3 {
+		t.Fatalf("got %d sweep points, want 3", len(sweep))
+	}
+	for i, p := range sweep {
+		if want := 4 + i; p.Rows != want || p.Cols != want {
+			t.Errorf("point %d is %dx%d, want %dx%d", i, p.Rows, p.Cols, want, want)
+		}
+		if p.Err != nil {
+			t.Errorf("%dx%d: %v", p.Rows, p.Cols, p.Err)
+			continue
+		}
+		// Per-scenario results must match a direct run on the same grid.
+		o := opts
+		o.GridRows, o.GridCols = p.Rows, p.Cols
+		direct, err := Synthesize(a, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Result.Summary() != direct.Summary() {
+			t.Errorf("%dx%d: sweep %q != direct %q", p.Rows, p.Cols, p.Result.Summary(), direct.Summary())
+		}
+	}
+
+	if _, err := ExploreGrids(context.Background(), a, opts, GridRange{MinSize: 6, MaxSize: 4}); err == nil {
+		t.Error("inverted grid range accepted")
+	}
+}
+
+func TestStageTimingsPublicAPI(t *testing.T) {
+	a, opts, err := Benchmark("RA30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Engine = HeuristicEngine
+	res, err := Synthesize(a, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	timings := res.StageTimings()
+	want := []string{StageSchedule, StageBind, StageArch, StagePhys}
+	if len(timings) != len(want) {
+		t.Fatalf("got %d stages, want %d", len(timings), len(want))
+	}
+	for i, name := range want {
+		if timings[i].Name != name {
+			t.Errorf("stage %d = %q, want %q", i, timings[i].Name, name)
+		}
+	}
+	if res.SchedulingTime() != res.StageDuration(StageSchedule) {
+		t.Error("SchedulingTime disagrees with the schedule stage duration")
+	}
+	if res.Transports() == 0 {
+		t.Error("no transports recorded for RA30")
+	}
+	if res.Transports() < res.StoreCount() {
+		t.Errorf("Transports %d below stored subset %d", res.Transports(), res.StoreCount())
+	}
+}

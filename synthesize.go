@@ -1,6 +1,7 @@
 package flowsyn
 
 import (
+	"context"
 	"time"
 
 	"flowsyn/internal/core"
@@ -82,7 +83,14 @@ func (o Options) internal() core.Options {
 // synthesis with distributed channel storage, and physical design — on the
 // assay and returns the synthesized chip.
 func Synthesize(a *Assay, opts Options) (*Result, error) {
-	inner, err := core.Synthesize(a.g, opts.internal())
+	return SynthesizeContext(context.Background(), a, opts)
+}
+
+// SynthesizeContext is Synthesize bounded by a context. Cancelling ctx aborts
+// the pipeline promptly — every stage down to the MILP branch-and-bound loop
+// observes the context — and the returned error wraps ctx.Err().
+func SynthesizeContext(ctx context.Context, a *Assay, opts Options) (*Result, error) {
+	inner, err := core.SynthesizeContext(ctx, a.g, opts.internal())
 	if err != nil {
 		return nil, err
 	}
