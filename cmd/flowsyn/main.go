@@ -42,6 +42,7 @@ func main() {
 		snapDir   = flag.String("snapshot-dir", "", "write SVG snapshots of interesting execution moments to this directory")
 		layoutSVG = flag.String("layout-svg", "", "write the compressed physical layout to this SVG file")
 		compare   = flag.Bool("compare-dedicated", false, "also report the dedicated-storage baseline (Fig. 10)")
+		doVerify  = flag.Bool("verify", false, "re-check the result with the independent invariant checker")
 	)
 	flag.Parse()
 
@@ -81,6 +82,7 @@ func main() {
 	if *timeOnly {
 		opts.Objective = flowsyn.MinimizeTimeOnly
 	}
+	opts.Verify = *doVerify
 
 	// An interrupt cancels the synthesis cleanly: the pipeline observes the
 	// context all the way down to the MILP solver and exits within
@@ -98,6 +100,9 @@ func main() {
 	fmt.Printf("%s: %s\n", a.Name(), res.Summary())
 	fmt.Printf("stores=%d peak-capacity=%d channel-utilization=%.1f%%\n",
 		res.StoreCount(), res.StorageCapacity(), 100*res.ChannelUtilization())
+	if *doVerify {
+		fmt.Println("verified: all invariants hold (precedence, exclusivity, storage, metrics, sim agreement)")
+	}
 
 	if *gantt {
 		fmt.Println("\nSchedule:")

@@ -44,6 +44,8 @@ func main() {
 		all     = flag.Bool("all", false, "reproduce everything")
 		workers = flag.Int("j", 1, "parallel synthesis workers (0 = GOMAXPROCS)")
 	)
+	flag.BoolVar(&verifyResults, "verify", false,
+		"re-check every result with the independent invariant checker")
 	flag.Parse()
 	if !*table2 && !*fig8 && !*fig9 && !*fig10 && !*fig11 && !*all {
 		flag.Usage()
@@ -97,10 +99,17 @@ func benchmarkJobs(names []string, objective flowsyn.Objective, extraGrid map[st
 	return jobs, nil
 }
 
+// verifyResults, set by -verify, forces the verification stage onto every
+// synthesis this command runs.
+var verifyResults bool
+
 // runBatch synthesizes the jobs on the batch runner and returns the results
 // in job order.
 func runBatch(ctx context.Context, jobs []flowsyn.Job, workers int) []flowsyn.JobResult {
-	results, err := flowsyn.SynthesizeBatch(ctx, jobs, flowsyn.BatchOptions{Concurrency: workers})
+	results, err := flowsyn.SynthesizeBatch(ctx, jobs, flowsyn.BatchOptions{
+		Concurrency: workers,
+		Verify:      verifyResults,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "batch: %v\n", err)
 	}
@@ -250,6 +259,7 @@ func runFig11(ctx context.Context) {
 		GridCols:     b.GridCols,
 		ModelIO:      b.ModelIO,
 		ILPTimeLimit: 20 * time.Second,
+		Verify:       verifyResults,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "RA30: %v\n", err)

@@ -118,21 +118,13 @@ func SynthesizeContext(ctx context.Context, s *sched.Schedule, grid Grid, opts O
 		opts.NewCost = 30
 	}
 	internalTasks := s.Tasks()
-	tasks := internalTasks
 	nPlaced := s.Devices
 	ports := 0
 	if opts.ModelIO {
 		ports = 2
-		tasks = append(append([]sched.Task(nil), tasks...), s.IOTasks(s.Devices, s.Devices+1)...)
-		sort.SliceStable(tasks, func(i, j int) bool {
-			si, sj := taskStart(tasks[i]), taskStart(tasks[j])
-			if si != sj {
-				return si < sj
-			}
-			return tasks[i].Edge.Parent < tasks[j].Edge.Parent
-		})
 		nPlaced += ports
 	}
+	tasks := expectedTasks(s, internalTasks, ports)
 
 	// Candidate placements: the requested one, then fallbacks (a different
 	// strategy often unblocks a congested instance).
@@ -273,6 +265,33 @@ func SynthesizeContext(ctx context.Context, s *sched.Schedule, grid Grid, opts O
 		res.ValveRatio = float64(res.NumValves) / float64(totalValves)
 	}
 	return res, nil
+}
+
+// ExpectedTasks returns the complete transportation workload of the schedule
+// in routing order: the internal device-to-device tasks plus, when ports is
+// 2, the chip-boundary I/O tasks (input port at pseudo-device s.Devices,
+// output port at s.Devices+1), merged by the time their first movement
+// starts. It is the exact task list SynthesizeContext routes, exposed so an
+// independent checker (internal/verify) can re-derive it.
+func ExpectedTasks(s *sched.Schedule, ports int) []sched.Task {
+	return expectedTasks(s, s.Tasks(), ports)
+}
+
+// expectedTasks merges the precomputed internal workload with the I/O tasks,
+// letting SynthesizeContext reuse the task list it already derived.
+func expectedTasks(s *sched.Schedule, internal []sched.Task, ports int) []sched.Task {
+	if ports == 0 {
+		return internal
+	}
+	tasks := append(append([]sched.Task(nil), internal...), s.IOTasks(s.Devices, s.Devices+1)...)
+	sort.SliceStable(tasks, func(i, j int) bool {
+		si, sj := taskStart(tasks[i]), taskStart(tasks[j])
+		if si != sj {
+			return si < sj
+		}
+		return tasks[i].Edge.Parent < tasks[j].Edge.Parent
+	})
+	return tasks
 }
 
 // countValves counts one valve per (edge, endpoint) incidence whose endpoint

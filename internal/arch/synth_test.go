@@ -68,6 +68,33 @@ func TestSynthesizeAllBenchmarks(t *testing.T) {
 	}
 }
 
+func TestExpectedTasksMatchesRoutedWorkload(t *testing.T) {
+	for _, name := range assay.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			res, s := synthesizeBenchmark(t, name)
+			tasks := ExpectedTasks(s, res.Ports)
+			if len(tasks) != len(res.Routes) {
+				t.Fatalf("ExpectedTasks returns %d tasks, synthesis routed %d", len(tasks), len(res.Routes))
+			}
+			for i, task := range tasks {
+				if res.Routes[i].Task != task {
+					t.Fatalf("task %d: expected %v, routed %v", i, task, res.Routes[i].Task)
+				}
+			}
+			// Without ports the workload is exactly the internal task list.
+			if res.Ports == 0 {
+				internal := s.Tasks()
+				for i, task := range tasks {
+					if internal[i] != task {
+						t.Fatalf("portless task %d diverges from Schedule.Tasks", i)
+					}
+				}
+			}
+		})
+	}
+}
+
 func TestSynthesizeDeterministic(t *testing.T) {
 	a, _ := synthesizeBenchmark(t, "RA30")
 	b, _ := synthesizeBenchmark(t, "RA30")

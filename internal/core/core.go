@@ -20,6 +20,7 @@ import (
 	"flowsyn/internal/sched"
 	"flowsyn/internal/seqgraph"
 	"flowsyn/internal/sim"
+	"flowsyn/internal/verify"
 )
 
 // Engine selects the scheduling engine.
@@ -67,6 +68,11 @@ type Options struct {
 	// ModelIO routes reagent loading and product unloading through chip
 	// boundary ports during architectural synthesis.
 	ModelIO bool
+	// Verify appends the verify stage to the pipeline: after physical design,
+	// the result is re-checked from first principles by the independent
+	// invariant checker (internal/verify), including the simulator
+	// cross-check. A violation fails the synthesis with a *verify.Error.
+	Verify bool
 	// Phys sets the physical design rules.
 	Phys phys.Options
 }
@@ -114,6 +120,8 @@ type Result struct {
 	// SchedulingTime is the wall-clock scheduling time (t_s in Table 2),
 	// equal to the StageSchedule entry of Stages.
 	SchedulingTime time.Duration
+	// Verified reports that the verify stage ran and found no violation.
+	Verified bool
 }
 
 // StageDuration returns the recorded wall-clock of the named stage (zero when
@@ -135,6 +143,41 @@ func Synthesize(g *seqgraph.Graph, opts Options) (*Result, error) {
 // Simulator returns an execution simulator for the synthesized chip.
 func (r *Result) Simulator() *sim.Simulator {
 	return sim.New(r.Architecture, r.Schedule)
+}
+
+// Verify re-checks the result from first principles with the independent
+// invariant checker (internal/verify): scheduling constraints, route cover
+// and exclusivity, metric recomputation, and the simulator cross-check. It
+// returns a *verify.Error describing every violation, or nil; on success the
+// result is marked Verified.
+func (r *Result) Verify() error {
+	r.Verified = false
+	rep, err := verify.CheckAll(r.Schedule, r.Architecture)
+	if err != nil {
+		return err
+	}
+	// The Bind stage's summary must agree with the checker's recomputed
+	// transportation workload.
+	var extra []verify.Violation
+	if r.Binding.Transports != rep.Transports {
+		extra = append(extra, verify.Violation{
+			Invariant: verify.InvMetrics,
+			Detail: fmt.Sprintf("bind stage reported %d transports, checker recomputed %d",
+				r.Binding.Transports, rep.Transports),
+		})
+	}
+	if r.Binding.Stored != rep.Stored {
+		extra = append(extra, verify.Violation{
+			Invariant: verify.InvMetrics,
+			Detail: fmt.Sprintf("bind stage reported %d stored tasks, checker recomputed %d",
+				r.Binding.Stored, rep.Stored),
+		})
+	}
+	if len(extra) > 0 {
+		return &verify.Error{Violations: extra}
+	}
+	r.Verified = true
+	return nil
 }
 
 // CompareDedicated runs the Fig. 10 baseline: the same schedule executed

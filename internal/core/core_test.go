@@ -9,6 +9,7 @@ import (
 
 	"flowsyn/internal/assay"
 	"flowsyn/internal/sched"
+	"flowsyn/internal/verify"
 )
 
 func TestSynthesizePCREndToEnd(t *testing.T) {
@@ -138,6 +139,58 @@ func TestStageTimingsRecorded(t *testing.T) {
 	if res.Binding.Stored != res.Schedule.StoreCount() {
 		t.Errorf("bind stage counted %d stored tasks, schedule reports %d",
 			res.Binding.Stored, res.Schedule.StoreCount())
+	}
+}
+
+func TestVerifyStageRunsAndRecordsTiming(t *testing.T) {
+	b := assay.MustGet("RA30")
+	res, err := Synthesize(b.Graph, Options{
+		Devices:   b.Devices,
+		Transport: b.Transport,
+		GridRows:  b.GridRows,
+		GridCols:  b.GridCols,
+		ModelIO:   b.ModelIO,
+		Engine:    Heuristic,
+		Verify:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Error("verify stage ran but result not marked Verified")
+	}
+	want := []string{StageSchedule, StageBind, StageArch, StagePhys, StageVerify}
+	if len(res.Stages) != len(want) || res.Stages[len(res.Stages)-1].Name != StageVerify {
+		t.Errorf("stages = %+v, want trailing %q", res.Stages, StageVerify)
+	}
+}
+
+func TestVerifyCatchesBindingMismatch(t *testing.T) {
+	b := assay.MustGet("RA30")
+	res, err := Synthesize(b.Graph, Options{
+		Devices:   b.Devices,
+		Transport: b.Transport,
+		GridRows:  b.GridRows,
+		GridCols:  b.GridCols,
+		ModelIO:   b.ModelIO,
+		Engine:    Heuristic,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verified {
+		t.Error("result marked Verified without a verify run")
+	}
+	if err := res.Verify(); err != nil {
+		t.Fatalf("valid result rejected: %v", err)
+	}
+	if !res.Verified {
+		t.Error("Verify succeeded but result not marked Verified")
+	}
+	res.Binding.Stored++
+	var verr *verify.Error
+	if err := res.Verify(); !errors.As(err, &verr) {
+		t.Fatalf("binding mismatch not caught: %v", err)
 	}
 }
 

@@ -24,6 +24,10 @@ const (
 	// StagePhys compacts the planar connection graph into a physical layout
 	// (Section 3.3).
 	StagePhys = "phys"
+	// StageVerify re-checks the finished result against the paper's
+	// constraint system with the independent invariant checker
+	// (internal/verify). Appended when Options.Verify is set.
+	StageVerify = "verify"
 )
 
 // StageTiming records the wall-clock duration of one pipeline stage; the
@@ -62,13 +66,17 @@ type stage struct {
 }
 
 // pipeline returns the synthesis stages in execution order.
-func pipeline() []stage {
-	return []stage{
+func pipeline(opts Options) []stage {
+	stages := []stage{
 		{name: StageSchedule, run: runScheduleStage},
 		{name: StageBind, run: runBindStage},
 		{name: StageArch, run: runArchStage},
 		{name: StagePhys, run: runPhysStage},
 	}
+	if opts.Verify {
+		stages = append(stages, stage{name: StageVerify, run: runVerifyStage})
+	}
+	return stages
 }
 
 // runScheduleStage schedules and binds the assay with the selected engine.
@@ -156,6 +164,15 @@ func runPhysStage(ctx context.Context, st *stageState) error {
 	return err
 }
 
+// runVerifyStage re-derives the correctness of the finished result from
+// first principles, independently of the engines that produced it.
+func runVerifyStage(ctx context.Context, st *stageState) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return st.res.Verify()
+}
+
 // SynthesizeContext runs the full staged flow — Schedule, Bind, Arch, Phys —
 // on one assay, recording per-stage wall-clock in Result.Stages. Cancelling
 // ctx aborts the pipeline promptly (every long-running stage observes the
@@ -169,7 +186,7 @@ func SynthesizeContext(ctx context.Context, g *seqgraph.Graph, opts Options) (*R
 		return nil, err
 	}
 	st := &stageState{graph: g, opts: opts, res: &Result{}}
-	for _, sg := range pipeline() {
+	for _, sg := range pipeline(opts) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}

@@ -361,6 +361,43 @@ func TestStorageModeNoWorseOnAverage(t *testing.T) {
 	}
 }
 
+func TestCloneIsDeepAndEqual(t *testing.T) {
+	g := assay.Random(12, 3, 7)
+	s, err := ListSchedule(g, ListOptions{Devices: 3, Transport: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.Clone()
+	if c.Graph != s.Graph {
+		t.Error("clone should share the graph")
+	}
+	if c.Makespan != s.Makespan || c.Devices != s.Devices || c.Transport != s.Transport {
+		t.Error("clone differs in scalar fields")
+	}
+	if len(c.Assignments) != len(s.Assignments) {
+		t.Fatal("clone differs in assignment count")
+	}
+	for i := range s.Assignments {
+		if c.Assignments[i] != s.Assignments[i] {
+			t.Fatalf("clone assignment %d differs", i)
+		}
+	}
+	// Mutating the clone must not touch the original.
+	c.Assignments[0].Start += 5
+	if s.Assignments[0].Start == c.Assignments[0].Start {
+		t.Error("clone shares its assignment slice with the original")
+	}
+	if len(s.DepartOffsets) > 0 {
+		for e := range c.DepartOffsets {
+			c.DepartOffsets[e] += 99
+			if s.DepartOffsets[e] == c.DepartOffsets[e] {
+				t.Error("clone shares its DepartOffsets map with the original")
+			}
+			break
+		}
+	}
+}
+
 func TestGanttAndString(t *testing.T) {
 	s, err := ListSchedule(assay.PCR(), ListOptions{Devices: 2, Transport: 10, Mode: TimeAndStorage})
 	if err != nil {

@@ -155,6 +155,26 @@ func (s *Schedule) StorageTime() int {
 	return total
 }
 
+// Clone returns a deep copy of the schedule (the underlying graph is shared:
+// schedules never mutate their graph). Useful for what-if edits, e.g. the
+// mutation tests of internal/verify.
+func (s *Schedule) Clone() *Schedule {
+	out := &Schedule{
+		Graph:       s.Graph,
+		Devices:     s.Devices,
+		Transport:   s.Transport,
+		Assignments: append([]Assignment(nil), s.Assignments...),
+		Makespan:    s.Makespan,
+	}
+	if s.DepartOffsets != nil {
+		out.DepartOffsets = make(map[seqgraph.Edge]int, len(s.DepartOffsets))
+		for e, d := range s.DepartOffsets {
+			out.DepartOffsets[e] = d
+		}
+	}
+	return out
+}
+
 // String summarizes the schedule.
 func (s *Schedule) String() string {
 	return fmt.Sprintf("schedule of %s on %d devices: makespan %d", s.Graph.Name, s.Devices, s.Makespan)

@@ -1,0 +1,105 @@
+package seqgraph
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the *.golden.json files under testdata from current Write output")
+
+// graphsEqual compares two graphs structurally: name, operations in ID order
+// (name, kind, duration, inputs) and edges in insertion order.
+func graphsEqual(t *testing.T, a, b *Graph) {
+	t.Helper()
+	if a.Name != b.Name {
+		t.Errorf("name %q != %q", a.Name, b.Name)
+	}
+	if a.NumOps() != b.NumOps() {
+		t.Fatalf("op count %d != %d", a.NumOps(), b.NumOps())
+	}
+	for _, op := range a.Operations() {
+		other := b.Op(op.ID)
+		if op != other {
+			t.Errorf("op %d: %+v != %+v", op.ID, op, other)
+		}
+	}
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatalf("edge count %d != %d", a.NumEdges(), b.NumEdges())
+	}
+	for i, e := range a.Edges() {
+		if b.Edges()[i] != e {
+			t.Errorf("edge %d: %v != %v", i, e, b.Edges()[i])
+		}
+	}
+}
+
+// TestGoldenRoundTrip checks every fixture under testdata: parsing, writing
+// and re-parsing must reproduce the same graph, and the written form must
+// match its golden file byte for byte. Canonical fixtures are their own
+// golden (Write(Read(f)) == f); non-canonical ones (different field order,
+// omitted defaults, compact whitespace) carry a separate <name>.golden.json.
+func TestGoldenRoundTrip(t *testing.T) {
+	fixtures, err := filepath.Glob(filepath.Join("testdata", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixtures) == 0 {
+		t.Fatal("no fixtures under testdata")
+	}
+	for _, path := range fixtures {
+		if strings.HasSuffix(path, ".golden.json") {
+			continue
+		}
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := Read(bytes.NewReader(raw))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			var written bytes.Buffer
+			if err := Write(&written, g); err != nil {
+				t.Fatalf("write: %v", err)
+			}
+			again, err := Read(bytes.NewReader(written.Bytes()))
+			if err != nil {
+				t.Fatalf("re-parse of written form: %v", err)
+			}
+			graphsEqual(t, g, again)
+
+			goldenPath := strings.TrimSuffix(path, ".json") + ".golden.json"
+			if _, err := os.Stat(goldenPath); os.IsNotExist(err) {
+				goldenPath = path // canonical fixture: golden is the fixture itself
+			}
+			if *updateGolden && goldenPath != path {
+				if err := os.WriteFile(goldenPath, written.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			golden, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(written.Bytes(), golden) {
+				t.Errorf("written form diverges from %s:\n--- got ---\n%s\n--- want ---\n%s",
+					goldenPath, written.Bytes(), golden)
+			}
+
+			// Writing the re-parsed graph must be a fixed point.
+			var twice bytes.Buffer
+			if err := Write(&twice, again); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(written.Bytes(), twice.Bytes()) {
+				t.Error("Write is not a fixed point after one round trip")
+			}
+		})
+	}
+}

@@ -1,0 +1,201 @@
+package verify
+
+import (
+	"flowsyn/internal/arch"
+	"flowsyn/internal/sched"
+	"flowsyn/internal/sim"
+)
+
+// SegmentRole is the checker's classification of a channel segment at one
+// instant. It mirrors sim.SegmentState for built segments, but is computed
+// by a structurally different algorithm — the routes' task windows are
+// flattened once into per-segment interval claims, which are then evaluated
+// per instant — so drift in either implementation shows up as disagreement.
+type SegmentRole int
+
+const (
+	// RoleIdle means the segment is built but carries nothing at the instant.
+	RoleIdle SegmentRole = iota
+	// RoleTransporting means a fluid moves through the segment.
+	RoleTransporting
+	// RoleCaching means the segment holds a stored fluid.
+	RoleCaching
+)
+
+// String names the role.
+func (r SegmentRole) String() string {
+	switch r {
+	case RoleTransporting:
+		return "transporting"
+	case RoleCaching:
+		return "caching"
+	default:
+		return "idle"
+	}
+}
+
+// roleWindow claims one segment for [start, end) in the given role.
+type roleWindow struct {
+	start, end int
+	role       SegmentRole
+}
+
+// Accounting is the checker's per-instant view of a synthesized chip: every
+// route's task windows flattened into per-segment interval claims, built
+// once and evaluated at any instant.
+type Accounting struct {
+	edges   []arch.EdgeID
+	windows map[arch.EdgeID][]roleWindow
+	// caches holds every caching window, for the cached-fluid count.
+	caches []roleWindow
+	// horizon is the last instant anything can still be live on the chip:
+	// the end of the latest claim (transports may outlive the makespan, e.g.
+	// product unloading).
+	horizon int
+}
+
+// NewAccounting flattens the architecture's routes into interval claims.
+// Claims are recorded in route order, later routes after earlier ones, so
+// evaluation resolves overlaps exactly like the simulator's route replay.
+func NewAccounting(a *arch.Result) *Accounting {
+	ac := &Accounting{
+		edges:   a.UsedEdges,
+		windows: make(map[arch.EdgeID][]roleWindow, len(a.UsedEdges)),
+	}
+	add := func(e arch.EdgeID, w roleWindow) {
+		if w.start < w.end {
+			ac.windows[e] = append(ac.windows[e], w)
+			if w.end > ac.horizon {
+				ac.horizon = w.end
+			}
+		}
+	}
+	for _, route := range a.Routes {
+		t := route.Task
+		if t.Kind == sched.Direct {
+			for _, e := range route.OutEdges {
+				add(e, roleWindow{t.Depart, t.Arrive, RoleTransporting})
+			}
+			continue
+		}
+		for _, e := range route.OutEdges {
+			add(e, roleWindow{t.OutStart, t.OutEnd, RoleTransporting})
+		}
+		add(route.StorageEdge, roleWindow{t.OutStart, t.OutEnd, RoleTransporting})
+		add(route.StorageEdge, roleWindow{t.OutEnd, t.FetchStart, RoleCaching})
+		if t.OutEnd < t.FetchStart {
+			ac.caches = append(ac.caches, roleWindow{t.OutEnd, t.FetchStart, RoleCaching})
+		}
+		add(route.StorageEdge, roleWindow{t.FetchStart, t.FetchEnd, RoleTransporting})
+		for _, e := range route.FetchEdges {
+			add(e, roleWindow{t.FetchStart, t.FetchEnd, RoleTransporting})
+		}
+	}
+	return ac
+}
+
+// At evaluates the claims at time t: the role of every built segment plus
+// the number of cached fluids.
+func (ac *Accounting) At(t int) (states map[arch.EdgeID]SegmentRole, cached int) {
+	states = make(map[arch.EdgeID]SegmentRole, len(ac.edges))
+	for _, e := range ac.edges {
+		role := RoleIdle
+		// Later claims win, mirroring the simulator's route-order replay;
+		// on a valid chip the claims are disjoint anyway.
+		for _, w := range ac.windows[e] {
+			if t >= w.start && t < w.end {
+				role = w.role
+			}
+		}
+		states[e] = role
+	}
+	for _, w := range ac.caches {
+		if t >= w.start && t < w.end {
+			cached++
+		}
+	}
+	return states, cached
+}
+
+// StatesAt recomputes the role of every built channel segment at time t,
+// plus the number of cached fluids. One-shot convenience around Accounting.
+func StatesAt(a *arch.Result, t int) (states map[arch.EdgeID]SegmentRole, cached int) {
+	return NewAccounting(a).At(t)
+}
+
+// Horizon returns the last instant at which anything can still be live on
+// the chip: the makespan, extended by transports that outlive it (e.g.
+// product unloading).
+func Horizon(s *sched.Schedule, a *arch.Result) int {
+	h := s.Makespan
+	if ah := NewAccounting(a).horizon; ah > h {
+		h = ah
+	}
+	return h
+}
+
+// CheckSim replays the result through the execution simulator (internal/sim)
+// and asserts that the simulator's snapshot agrees with the checker's
+// interval accounting — segment by segment and cached-fluid count — at every
+// instant from 0 through the horizon. The two sides read the same routed
+// tasks but evaluate them with different algorithms (per-route window replay
+// vs. flattened interval claims), so an off-by-one or semantic drift in
+// either one surfaces as a sim-agreement violation.
+func CheckSim(s *sched.Schedule, a *arch.Result) error {
+	r := &Report{}
+	simulator := sim.New(a, s)
+	ac := NewAccounting(a)
+	horizon := s.Makespan
+	if ac.horizon > horizon {
+		horizon = ac.horizon
+	}
+	for t := 0; t <= horizon; t++ {
+		snap := simulator.At(t)
+		states, cached := ac.At(t)
+		if snap.CachedSamples != cached {
+			r.addf(InvSimAgreement, "t=%d: simulator reports %d cached fluids, checker %d",
+				t, snap.CachedSamples, cached)
+		}
+		if len(snap.Segment) != len(states) {
+			r.addf(InvSimAgreement, "t=%d: simulator tracks %d segments, checker %d",
+				t, len(snap.Segment), len(states))
+		}
+		for e, role := range states {
+			simState, ok := snap.Segment[e]
+			if !ok {
+				r.addf(InvSimAgreement, "t=%d: segment %d missing from the simulator snapshot", t, e)
+				continue
+			}
+			if simState.String() != role.String() {
+				r.addf(InvSimAgreement, "t=%d: segment %d is %v in the simulator but %v for the checker",
+					t, e, simState, role)
+			}
+		}
+		// A handful of disagreements pins the bug; a full horizon of them
+		// would bury it.
+		if len(r.Violations) > 20 {
+			r.addf(InvSimAgreement, "stopping after %d disagreements (t=%d of %d)", len(r.Violations), t, horizon)
+			break
+		}
+	}
+	return r.Err()
+}
+
+// CheckAll runs the full verification: every structural invariant (Check)
+// plus the simulator cross-check (CheckSim) when an architecture is present.
+// Reported counts can be compared by the caller via the returned report.
+func CheckAll(s *sched.Schedule, a *arch.Result) (*Report, error) {
+	rep := Check(s, a)
+	if err := rep.Err(); err != nil {
+		return rep, err
+	}
+	if a != nil {
+		if err := CheckSim(s, a); err != nil {
+			if verr, ok := err.(*Error); ok {
+				rep.Violations = append(rep.Violations, verr.Violations...)
+			}
+			return rep, err
+		}
+	}
+	return rep, nil
+}

@@ -1,10 +1,13 @@
 package flowsyn
 
 import (
+	"errors"
+	"fmt"
 	"time"
 
 	"flowsyn/internal/core"
 	"flowsyn/internal/sim"
+	"flowsyn/internal/verify"
 )
 
 // Result is a synthesized biochip: the schedule, the chip architecture with
@@ -57,10 +60,70 @@ const (
 	StageArch = core.StageArch
 	// StagePhys compacts the physical layout (t_p in Table 2).
 	StagePhys = core.StagePhys
+	// StageVerify re-checks the result with the independent invariant
+	// checker (runs when Options.Verify is set).
+	StageVerify = core.StageVerify
 )
 
+// VerifyError reports the invariants a result verification found broken.
+// Synthesis with Options.Verify and Result.Verify both return it (wrapped)
+// when the checker rejects a result.
+type VerifyError struct {
+	// Violations lists every broken invariant as "<invariant>: <detail>",
+	// e.g. "precedence: edge o1->o3: parent ends 80, child starts 75, ...".
+	Violations []string
+}
+
+// Error summarizes the violations.
+func (e *VerifyError) Error() string {
+	switch len(e.Violations) {
+	case 0:
+		return "flowsyn: verification failed"
+	case 1:
+		return "flowsyn: verification failed: " + e.Violations[0]
+	default:
+		return fmt.Sprintf("flowsyn: verification failed with %d violations: %s; ...",
+			len(e.Violations), e.Violations[0])
+	}
+}
+
+// publicVerifyError converts an internal checker error into the exported
+// *VerifyError, passing every other error through unchanged.
+func publicVerifyError(err error) error {
+	var verr *verify.Error
+	if !errors.As(err, &verr) {
+		return err
+	}
+	out := &VerifyError{Violations: make([]string, len(verr.Violations))}
+	for i, v := range verr.Violations {
+		out.Violations[i] = v.Error()
+	}
+	return out
+}
+
+// Verify re-checks this result from first principles with the independent
+// invariant checker: precedence with transport latencies, device and channel
+// exclusivity, storage accounting, metric recomputation, and agreement of
+// the execution simulator with the checker's per-instant accounting. It
+// returns nil for a correct result and a *VerifyError otherwise.
+//
+// Synthesizing with Options.Verify runs the same check as a pipeline stage;
+// this method re-runs it on demand.
+func (r *Result) Verify() error {
+	err := r.inner.Verify()
+	if err == nil {
+		return nil
+	}
+	return publicVerifyError(err)
+}
+
+// Verified reports whether this result has passed verification — either via
+// the verify pipeline stage (Options.Verify) or a Verify call.
+func (r *Result) Verified() bool { return r.inner.Verified }
+
 // StageTiming reports the wall-clock duration of one synthesis pipeline
-// stage ("schedule", "bind", "arch" or "phys").
+// stage ("schedule", "bind", "arch", "phys" or, with Options.Verify,
+// "verify").
 type StageTiming struct {
 	// Name identifies the stage.
 	Name string

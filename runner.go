@@ -37,6 +37,10 @@ type BatchOptions struct {
 	// Concurrency is the number of worker goroutines; 0 or negative means
 	// runtime.GOMAXPROCS(0).
 	Concurrency int
+	// Verify forces the verification stage on for every job in the batch
+	// (see Options.Verify), regardless of the per-job option — the mode the
+	// property-based test harness and paperbench -verify run in.
+	Verify bool
 }
 
 // SynthesizeBatch synthesizes many jobs concurrently on a worker pool and
@@ -58,6 +62,9 @@ func SynthesizeBatch(ctx context.Context, jobs []Job, opts BatchOptions) ([]JobR
 	for i, job := range jobs {
 		if job.Name == "" && job.Assay != nil {
 			job.Name = job.Assay.Name()
+		}
+		if opts.Verify {
+			job.Options.Verify = true
 		}
 		results[i] = JobResult{Job: job}
 	}

@@ -53,6 +53,12 @@ type Options struct {
 	// boundary ports during architectural synthesis. Leave it off for dense
 	// assays that already saturate their connection grid.
 	ModelIO bool
+	// Verify appends a verification stage to the pipeline: the finished
+	// result is re-checked from first principles by an independent invariant
+	// checker (precedence with transport latencies, device and channel
+	// exclusivity, storage accounting, metric recomputation, simulator
+	// cross-check). Any violation fails the synthesis with a VerifyError.
+	Verify bool
 }
 
 func (o Options) internal() core.Options {
@@ -76,6 +82,7 @@ func (o Options) internal() core.Options {
 		Engine:       engine,
 		ILPTimeLimit: o.ILPTimeLimit,
 		ModelIO:      o.ModelIO,
+		Verify:       o.Verify,
 	}
 }
 
@@ -92,7 +99,9 @@ func Synthesize(a *Assay, opts Options) (*Result, error) {
 func SynthesizeContext(ctx context.Context, a *Assay, opts Options) (*Result, error) {
 	inner, err := core.SynthesizeContext(ctx, a.g, opts.internal())
 	if err != nil {
-		return nil, err
+		// A verify-stage rejection surfaces as the exported *VerifyError so
+		// callers can tell "the result is wrong" from "synthesis failed".
+		return nil, publicVerifyError(err)
 	}
 	return &Result{inner: inner}, nil
 }

@@ -1,0 +1,70 @@
+package flowsyn
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzSynthesizeVerify drives the whole pipeline with fuzzer-chosen assay
+// shapes and synthesis options, verification forced on. Synthesis may
+// legitimately fail (e.g. the connection grid is too small for the traffic
+// the schedule generates) — but if it claims success, the independent
+// invariant checker must accept the result; a *VerifyError is always a bug.
+//
+// Run it as a smoke job with
+//
+//	go test -fuzz=FuzzSynthesizeVerify -fuzztime=30s -run='^$' .
+func FuzzSynthesizeVerify(f *testing.F) {
+	f.Add(int64(1), 8, 2, 3, 6, 10, false)
+	f.Add(int64(42), 20, 3, 4, 5, 7, true)
+	f.Add(int64(7), 12, 4, 2, 4, 12, false)
+	f.Add(int64(-3), 1, 1, 1, 4, 1, true)
+	f.Fuzz(func(t *testing.T, seed int64, n, width, devices, grid, transport int, timeOnly bool) {
+		// Clamp the fuzzed shape into ranges where a single synthesis stays
+		// fast on one core; the heuristic engine keeps each execution in the
+		// low milliseconds.
+		n = 1 + mod(n, 24)
+		width = 1 + mod(width, 4)
+		devices = 1 + mod(devices, 4)
+		grid = 4 + mod(grid, 4)
+		transport = 1 + mod(transport, 15)
+
+		opts := Options{
+			Devices:   devices,
+			Transport: transport,
+			GridRows:  grid,
+			GridCols:  grid,
+			Engine:    HeuristicEngine,
+			Verify:    true,
+		}
+		if timeOnly {
+			opts.Objective = MinimizeTimeOnly
+		}
+		res, err := Synthesize(RandomAssay(n, width, seed), opts)
+		if err != nil {
+			var verr *VerifyError
+			if errors.As(err, &verr) {
+				t.Fatalf("n=%d width=%d devices=%d grid=%d transport=%d timeOnly=%v: synthesized result failed verification: %v",
+					n, width, devices, grid, transport, timeOnly, verr)
+			}
+			// Any other failure (routing congestion, infeasible options) is a
+			// legitimate rejection, not a correctness bug.
+			t.Skip()
+		}
+		if !res.Verified() {
+			t.Fatal("verify stage did not run despite Options.Verify")
+		}
+		if err := res.Verify(); err != nil {
+			t.Fatalf("re-verification failed: %v", err)
+		}
+	})
+}
+
+// mod is a non-negative modulus for fuzzer-chosen ints.
+func mod(x, m int) int {
+	r := x % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}
