@@ -23,6 +23,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"flowsyn"
 )
@@ -100,6 +101,13 @@ func main() {
 	fmt.Printf("%s: %s\n", a.Name(), res.Summary())
 	fmt.Printf("stores=%d peak-capacity=%d channel-utilization=%.1f%%\n",
 		res.StoreCount(), res.StorageCapacity(), 100*res.ChannelUtilization())
+	if sv := res.SolverStats(); sv != nil {
+		fmt.Printf("solver: %s in %v | model %dv/%dc | %d nodes, %d pivots, warm-start %.0f%%, gap %s | presolve -%d cols -%d rows\n",
+			sv.Status, sv.Runtime.Round(time.Millisecond),
+			sv.ModelVars, sv.ModelConstraints,
+			sv.Nodes, sv.Iterations, 100*sv.WarmStartRate, gapString(sv.Gap),
+			sv.PresolveFixedCols, sv.PresolveRemovedRows)
+	}
 	if *doVerify {
 		fmt.Println("verified: all invariants hold (precedence, exclusivity, storage, metrics, sim agreement)")
 	}
@@ -142,6 +150,14 @@ func main() {
 		}
 		fmt.Printf("wrote %d snapshots to %s\n", len(res.InterestingTimes()), *snapDir)
 	}
+}
+
+// gapString renders a relative MIP gap, with -1 meaning no bound survived.
+func gapString(g float64) string {
+	if g < 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2f%%", 100*g)
 }
 
 func parseGrid(spec string) (rows, cols int, err error) {

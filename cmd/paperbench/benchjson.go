@@ -1,0 +1,139 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"flowsyn"
+)
+
+// benchRun is one (assay, engine) measurement in the -bench-json output.
+type benchRun struct {
+	Assay  string `json:"assay"`
+	Engine string `json:"engine"`
+	Ops    int    `json:"ops"`
+
+	WallMS  float64 `json:"wall_ms"`  // full pipeline wall-clock
+	SchedMS float64 `json:"sched_ms"` // schedule stage (the paper's t_s)
+
+	Makespan int `json:"makespan"`
+	Stores   int `json:"stores"`
+	Segments int `json:"segments"`
+	Valves   int `json:"valves"`
+
+	// Solver is present exactly when the exact engine ran; its numeric
+	// fields deliberately avoid omitempty so a proven-optimal gap of 0 (or
+	// an all-cold warm-start rate of 0) stays distinguishable from missing
+	// data in the trajectory.
+	Solver *benchSolver `json:"solver,omitempty"`
+}
+
+// benchSolver is the MILP diagnostics block of one exact-engine run.
+type benchSolver struct {
+	Status        string  `json:"status"`
+	Nodes         int     `json:"nodes"`
+	Iterations    int     `json:"iterations"`
+	WarmStartRate float64 `json:"warm_start_rate"`
+	Gap           float64 `json:"gap"`
+	PresolveCols  int     `json:"presolve_cols"`
+	PresolveRows  int     `json:"presolve_rows"`
+	Workers       int     `json:"workers"`
+	Winner        string  `json:"winner"`
+}
+
+// benchFile is the schema of the machine-readable benchmark artifact; the
+// perf trajectory across PRs compares these files.
+type benchFile struct {
+	Schema     string     `json:"schema"`
+	Generated  string     `json:"generated"`
+	GoVersion  string     `json:"go"`
+	GOMAXPROCS int        `json:"gomaxprocs"`
+	Notes      string     `json:"notes,omitempty"`
+	Runs       []benchRun `json:"runs"`
+}
+
+// runBenchJSON synthesizes every requested assay once per engine, collecting
+// wall-clock and solver statistics, and writes the JSON artifact.
+func runBenchJSON(ctx context.Context, path, assays, notes string) error {
+	names := flowsyn.BenchmarkNames()
+	if assays != "" {
+		names = nil
+		for _, n := range strings.Split(assays, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	}
+	out := benchFile{
+		Schema:     "flowsyn-bench/v1",
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Notes:      notes,
+	}
+	for _, name := range names {
+		for _, eng := range []struct {
+			label  string
+			engine flowsyn.Engine
+		}{
+			{"heuristic", flowsyn.HeuristicEngine},
+			{"exact-ilp", flowsyn.ILPEngine},
+		} {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			a, opts, err := flowsyn.Benchmark(name)
+			if err != nil {
+				return err
+			}
+			opts.Engine = eng.engine
+			opts.ILPTimeLimit = 20 * time.Second
+			start := time.Now()
+			res, err := flowsyn.SynthesizeContext(ctx, a, opts)
+			wall := time.Since(start)
+			if err != nil {
+				return fmt.Errorf("%s/%s: %w", name, eng.label, err)
+			}
+			run := benchRun{
+				Assay:    name,
+				Engine:   eng.label,
+				Ops:      a.NumOperations(),
+				WallMS:   float64(wall.Microseconds()) / 1e3,
+				SchedMS:  float64(res.SchedulingTime().Microseconds()) / 1e3,
+				Makespan: res.Makespan(),
+				Stores:   res.StoreCount(),
+				Segments: res.ChannelSegments(),
+				Valves:   res.Valves(),
+			}
+			if sv := res.SolverStats(); sv != nil {
+				run.Solver = &benchSolver{
+					Status:        sv.Status,
+					Nodes:         sv.Nodes,
+					Iterations:    sv.Iterations,
+					WarmStartRate: sv.WarmStartRate,
+					Gap:           sv.Gap,
+					PresolveCols:  sv.PresolveFixedCols,
+					PresolveRows:  sv.PresolveRemovedRows,
+					Workers:       sv.Workers,
+					Winner:        sv.Winner,
+				}
+			}
+			out.Runs = append(out.Runs, run)
+		}
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d benchmark runs to %s\n", len(out.Runs), path)
+	return nil
+}

@@ -36,18 +36,21 @@ import (
 
 func main() {
 	var (
-		table2  = flag.Bool("table2", false, "reproduce Table 2")
-		fig8    = flag.Bool("fig8", false, "reproduce Fig. 8 (edge/valve ratios)")
-		fig9    = flag.Bool("fig9", false, "reproduce Fig. 9 (storage optimization)")
-		fig10   = flag.Bool("fig10", false, "reproduce Fig. 10 (dedicated storage baseline)")
-		fig11   = flag.Bool("fig11", false, "reproduce Fig. 11 (execution snapshots)")
-		all     = flag.Bool("all", false, "reproduce everything")
-		workers = flag.Int("j", 1, "parallel synthesis workers (0 = GOMAXPROCS)")
+		table2      = flag.Bool("table2", false, "reproduce Table 2")
+		fig8        = flag.Bool("fig8", false, "reproduce Fig. 8 (edge/valve ratios)")
+		fig9        = flag.Bool("fig9", false, "reproduce Fig. 9 (storage optimization)")
+		fig10       = flag.Bool("fig10", false, "reproduce Fig. 10 (dedicated storage baseline)")
+		fig11       = flag.Bool("fig11", false, "reproduce Fig. 11 (execution snapshots)")
+		all         = flag.Bool("all", false, "reproduce everything")
+		workers     = flag.Int("j", 1, "parallel synthesis workers (0 = GOMAXPROCS)")
+		benchJSON   = flag.String("bench-json", "", "write machine-readable per-assay per-engine benchmark results (wall-clock, solver nodes/iterations, makespan) to this JSON file")
+		benchAssays = flag.String("bench-assays", "", "comma-separated assay subset for -bench-json (default: all benchmarks)")
+		benchNotes  = flag.String("bench-notes", "", "free-form note embedded in the -bench-json output")
 	)
 	flag.BoolVar(&verifyResults, "verify", false,
 		"re-check every result with the independent invariant checker")
 	flag.Parse()
-	if !*table2 && !*fig8 && !*fig9 && !*fig10 && !*fig11 && !*all {
+	if !*table2 && !*fig8 && !*fig9 && !*fig10 && !*fig11 && !*all && *benchJSON == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -58,7 +61,15 @@ func main() {
 	// ctx.Err() guards stop the run at the next experiment once Ctrl-C
 	// lands, instead of spraying per-assay cancellation errors for every
 	// remaining figure.
-	if *table2 || *all {
+	if *benchJSON != "" {
+		if err := runBenchJSON(ctx, *benchJSON, *benchAssays, *benchNotes); err != nil {
+			fmt.Fprintf(os.Stderr, "bench-json: %v\n", err)
+			if ctx.Err() == nil {
+				os.Exit(1)
+			}
+		}
+	}
+	if (*table2 || *all) && ctx.Err() == nil {
 		runTable2(ctx, *workers)
 	}
 	if (*fig8 || *all) && ctx.Err() == nil {
@@ -125,7 +136,8 @@ func runTable2(ctx context.Context, workers int) {
 	}
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "Assay\t|O|\ttE\tts(s)\tG\tne\tnv\ttr(s)\tdr\tde\tdp\ttp(s)")
-	for _, jr := range runBatch(ctx, jobs, workers) {
+	results := runBatch(ctx, jobs, workers)
+	for _, jr := range results {
 		if jr.Err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", jr.Job.Name, jr.Err)
 			continue
@@ -146,6 +158,16 @@ func runTable2(ctx context.Context, workers int) {
 		)
 	}
 	w.Flush()
+	// Solver diagnostics for the assays the exact engine attempted (the Auto
+	// engine races the ILP only below the exact size cap).
+	for _, jr := range results {
+		if jr.Err != nil {
+			continue
+		}
+		if sv := jr.Result.SolverSummary(); sv != "" {
+			fmt.Printf("  %s solver: %s\n", jr.Job.Name, sv)
+		}
+	}
 	fmt.Println()
 }
 

@@ -35,6 +35,11 @@ type ILPResult struct {
 	// number of used edges, the paper's objective (12).
 	Status    milp.Status
 	Objective float64
+	// Stats carries the MILP solver diagnostics (nodes, pivots, warm-start
+	// rate, presolve reductions, MIP gap).
+	Stats milp.SolveStats
+	// Runtime is the wall-clock solve time.
+	Runtime time.Duration
 }
 
 // Feasible reports whether the ILP produced a usable assignment.
@@ -248,11 +253,13 @@ func SynthesizeILP(grid Grid, devices int, tasks []sched.Task, opts ILPOptions) 
 	}
 	m.SetObjective(*obj, milp.Minimize)
 
+	startT := time.Now()
 	sol, err := milp.Solve(m, milp.SolveOptions{TimeLimit: limit})
 	if err != nil {
 		return nil, fmt.Errorf("arch: solving synthesis ILP: %w", err)
 	}
-	res := &ILPResult{Status: sol.Status, Objective: sol.Objective}
+	res := &ILPResult{Status: sol.Status, Objective: sol.Objective,
+		Stats: sol.Stats, Runtime: time.Since(startT)}
 	if !sol.Feasible() {
 		return res, nil
 	}

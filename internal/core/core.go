@@ -186,9 +186,10 @@ func (r *Result) CompareDedicated() (*dedicated.Comparison, error) {
 	return dedicated.Compare(r.Schedule, r.Architecture.NumValves)
 }
 
-// Summary renders the headline numbers in Table 2's column order.
+// Summary renders the headline numbers in Table 2's column order, followed
+// by the MILP solver diagnostics when the exact engine ran.
 func (r *Result) Summary() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"tE=%d s | grid %s | ne=%d nv=%d (edge ratio %.2f, valve ratio %.2f) | dr=%s de=%s dp=%s",
 		r.Schedule.Makespan,
 		r.Architecture.Grid,
@@ -200,4 +201,30 @@ func (r *Result) Summary() string {
 		r.Physical.AfterDevices,
 		r.Physical.Compressed,
 	)
+	if sv := r.SolverSummary(); sv != "" {
+		s += " | " + sv
+	}
+	return s
+}
+
+// SolverSummary renders the exact engine's solver diagnostics in one line,
+// or "" when the heuristic engine scheduled (no ILP ran).
+func (r *Result) SolverSummary() string {
+	info := r.SchedInfo
+	if info == nil {
+		return ""
+	}
+	s := fmt.Sprintf("ilp %s: %d nodes, %d pivots, warm %.0f%%",
+		info.Status, info.Solver.Nodes, info.Solver.SimplexIters,
+		100*info.Solver.WarmStartRate())
+	if g := info.Solver.Gap; g >= 0 {
+		s += fmt.Sprintf(", gap %.2f%%", 100*g)
+	}
+	if p := info.Solver.Presolve; p.FixedCols > 0 || p.RemovedRows > 0 {
+		s += fmt.Sprintf(", presolve -%dc/-%dr", p.FixedCols, p.RemovedRows)
+	}
+	if info.Winner != "" {
+		s += ", winner " + info.Winner
+	}
+	return s
 }

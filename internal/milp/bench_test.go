@@ -1,0 +1,171 @@
+package milp
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// schedLikeLP builds a disjunctive big-M scheduling model shaped like the
+// paper's formulation (the dense-era stress profile): n jobs on k machines,
+// start-time continuous variables, machine-difference and ordering binaries.
+// relaxed=true drops integrality so the model benches the pure LP path.
+func schedLikeLP(n, k int, relaxed bool) *Model {
+	const horizon = 1000
+	const bigM = 1100
+	m := NewModel()
+	r := rand.New(rand.NewSource(11))
+	dur := make([]float64, n)
+	ts := make([]Var, n)
+	te := make([]Var, n)
+	asg := make([][]Var, n)
+	typ := Binary
+	if relaxed {
+		typ = Continuous
+	}
+	for i := 0; i < n; i++ {
+		dur[i] = float64(10 + r.Intn(50))
+		ts[i] = m.NewContinuous(fmt.Sprintf("ts%d", i), 0, horizon)
+		te[i] = m.NewContinuous(fmt.Sprintf("te%d", i), 0, horizon)
+		m.AddEQ(fmt.Sprintf("dur%d", i), *NewExpr(0).Add(te[i], 1).Add(ts[i], -1), dur[i])
+		asg[i] = make([]Var, k)
+		row := NewExpr(0)
+		for d := 0; d < k; d++ {
+			asg[i][d] = m.NewVar(fmt.Sprintf("a%d_%d", i, d), 0, 1, typ)
+			row.Add(asg[i][d], 1)
+		}
+		m.AddEQ(fmt.Sprintf("uniq%d", i), *row, 1)
+	}
+	mk := m.NewContinuous("mk", 0, horizon)
+	obj := NewExpr(0).Add(mk, 1)
+	for i := 0; i < n; i++ {
+		m.AddLE(fmt.Sprintf("mk%d", i), *NewExpr(0).Add(te[i], 1).Add(mk, -1), 0)
+		for j := i + 1; j < n; j++ {
+			y := m.NewVar(fmt.Sprintf("y%d_%d", i, j), 0, 1, typ)
+			m.AddLE(fmt.Sprintf("o1_%d_%d", i, j),
+				*NewExpr(0).Add(te[i], 1).Add(ts[j], -1).Add(y, bigM), bigM)
+			m.AddLE(fmt.Sprintf("o2_%d_%d", i, j),
+				*NewExpr(0).Add(te[j], 1).Add(ts[i], -1).Add(y, -bigM), 0)
+		}
+	}
+	m.SetObjective(*obj, Minimize)
+	return m
+}
+
+// BenchmarkSimplexSchedLP measures one cold LP solve of the scheduling-shaped
+// relaxation at the sizes the dense-era solver was benchmarked on.
+func BenchmarkSimplexSchedLP(b *testing.B) {
+	for _, size := range []struct{ n, k int }{{6, 2}, {10, 3}, {14, 4}} {
+		b.Run(fmt.Sprintf("n%d_k%d", size.n, size.k), func(b *testing.B) {
+			m := schedLikeLP(size.n, size.k, true)
+			var iters int
+			for i := 0; i < b.N; i++ {
+				sol, err := SolveLP(m)
+				if err != nil || sol.Status != StatusOptimal {
+					b.Fatalf("status %v err %v", sol.Status, err)
+				}
+				iters = sol.Iterations
+			}
+			b.ReportMetric(float64(iters), "pivots")
+		})
+	}
+}
+
+// BenchmarkWarmVsColdResolve measures the dual-simplex warm start against a
+// from-scratch solve after a single bound change — the branch-and-bound
+// child-node pattern.
+func BenchmarkWarmVsColdResolve(b *testing.B) {
+	m := schedLikeLP(10, 3, true)
+	in, st := compile(m, false)
+	if st == StatusInfeasible {
+		b.Fatal("fixture infeasible")
+	}
+	base := newState(in)
+	if st := base.solveCold(); st != StatusOptimal {
+		b.Fatalf("cold solve: %v", st)
+	}
+	// The bound change to replay: halve the first structural column's range.
+	col := 0
+	newHi := (in.lo[col] + in.hi[col]) / 2
+
+	b.Run("warm", func(b *testing.B) {
+		s := newState(in)
+		if st := s.solveCold(); st != StatusOptimal {
+			b.Fatalf("cold solve: %v", st)
+		}
+		basic := append([]int32(nil), s.basic...)
+		stat := append([]int8(nil), s.stat...)
+		var pivots int
+		for i := 0; i < b.N; i++ {
+			copy(s.basic, basic)
+			copy(s.stat, stat)
+			for j := range s.pos {
+				s.pos[j] = -1
+			}
+			for r, c := range s.basic {
+				s.pos[c] = int32(r)
+			}
+			s.resetBounds()
+			s.hi[col] = newHi
+			s.iters = 0
+			if st := s.solveWarm(); st != StatusOptimal && st != StatusInfeasible {
+				b.Fatalf("warm: %v", st)
+			}
+			pivots = s.iters
+		}
+		b.ReportMetric(float64(pivots), "pivots")
+	})
+	b.Run("cold", func(b *testing.B) {
+		s := newState(in)
+		var pivots int
+		for i := 0; i < b.N; i++ {
+			s.resetBounds()
+			s.hi[col] = newHi
+			s.iters = 0
+			if st := s.solveCold(); st != StatusOptimal && st != StatusInfeasible {
+				b.Fatalf("cold: %v", st)
+			}
+			pivots = s.iters
+		}
+		b.ReportMetric(float64(pivots), "pivots")
+	})
+}
+
+// BenchmarkBranchBoundNodeThroughput measures branch-and-bound node
+// throughput (nodes explored per second) on a proof-resistant knapsack with a
+// fixed node budget.
+func BenchmarkBranchBoundNodeThroughput(b *testing.B) {
+	const budget = 2000
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var nodes int
+			for i := 0; i < b.N; i++ {
+				m, inc := hardKnapsack(32)
+				sol, err := Solve(m, SolveOptions{MaxNodes: budget, Incumbent: inc, Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				nodes = sol.Nodes
+			}
+			b.ReportMetric(float64(nodes), "nodes_per_op")
+			b.ReportMetric(float64(nodes)*float64(b.N)/b.Elapsed().Seconds(), "nodes/s")
+		})
+	}
+}
+
+// BenchmarkMILPSchedModel solves the full mixed-integer scheduling-shaped
+// model end to end, the closest in-package proxy for the paper's PCR solve.
+func BenchmarkMILPSchedModel(b *testing.B) {
+	m := schedLikeLP(6, 2, false)
+	var stats SolveStats
+	for i := 0; i < b.N; i++ {
+		sol, err := Solve(m, SolveOptions{})
+		if err != nil || sol.Status != StatusOptimal {
+			b.Fatalf("status %v err %v", sol.Status, err)
+		}
+		stats = sol.Stats
+	}
+	b.ReportMetric(float64(stats.Nodes), "nodes")
+	b.ReportMetric(float64(stats.SimplexIters), "pivots")
+	b.ReportMetric(stats.WarmStartRate(), "warm_rate")
+}

@@ -1,9 +1,11 @@
 package milp
 
 import (
+	"container/heap"
 	"context"
 	"math"
-	"sort"
+	"runtime"
+	"sync"
 	"time"
 )
 
@@ -28,17 +30,95 @@ type SolveOptions struct {
 	IntFeasTol float64
 	// Logger, if non-nil, receives periodic progress lines.
 	Logger func(format string, args ...any)
+	// Workers bounds the parallel branch-and-bound worker pool. Zero selects
+	// min(GOMAXPROCS, 8); one recovers a fully sequential search.
+	Workers int
 }
 
+// bbNode is one open subproblem: the bound changes accumulated from the root
+// and the parent's optimal basis, from which the node's relaxation is
+// warm-started with a dual-simplex cleanup.
 type bbNode struct {
-	bounds []bbBound // branching decisions from the root
-	relax  float64   // parent relaxation value (in minimize sense)
-	depth  int
+	seq     int64
+	bound   float64 // parent relaxation value, minimize sense
+	depth   int
+	changes []bndChange
+	basic   []int32 // parent basis snapshot (nil for the root: cold solve)
+	stat    []int8
 }
 
-type bbBound struct {
-	v      Var
-	lo, hi float64
+// nodeHeap is a best-bound priority queue (ties broken by creation order so
+// single-worker searches stay deterministic).
+type nodeHeap []*bbNode
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].bound != h[j].bound {
+		return h[i].bound < h[j].bound
+	}
+	return h[i].seq < h[j].seq
+}
+func (h nodeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x any)   { *h = append(*h, x.(*bbNode)) }
+func (h *nodeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return x
+}
+
+// bbShared is the coordinator state shared by the worker pool.
+type bbShared struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	open        nodeHeap
+	outstanding int
+	seq         int64
+
+	best    []float64
+	bestObj float64 // minimize sense; +inf when no incumbent
+
+	nodes, lpIters, warm, cold int
+
+	// lostLB is the smallest bound of any subtree dropped without a full
+	// proof: pruned by the Gap option, or abandoned when the search stopped.
+	// It caps the global dual bound alongside the open queue.
+	lostLB float64
+
+	nodeLimit     bool
+	incomplete    bool
+	rootUnbounded bool
+	stopped       bool
+}
+
+func (sh *bbShared) wake() { sh.cond.Broadcast() }
+
+// gapMetLocked reports whether a subtree with the given bound cannot improve
+// the incumbent enough to be worth exploring. Callers hold sh.mu.
+func (sh *bbShared) gapMetLocked(lb, gap float64) bool {
+	if sh.best == nil {
+		return false
+	}
+	if sh.bestObj-lb <= 1e-9 {
+		return true
+	}
+	if gap > 0 && sh.bestObj-lb <= gap*math.Max(1, math.Abs(sh.bestObj)) {
+		if lb < sh.lostLB {
+			sh.lostLB = lb
+		}
+		return true
+	}
+	return false
+}
+
+// noteLostLocked records the bound of a subtree dropped without proof.
+func (sh *bbShared) noteLostLocked(lb float64) {
+	if lb < sh.lostLB {
+		sh.lostLB = lb
+	}
 }
 
 // Solve runs branch and bound on m. Continuous models are dispatched straight
@@ -48,261 +128,445 @@ func Solve(m *Model, opts SolveOptions) (*Solution, error) {
 }
 
 // SolveContext is Solve bounded by a context. Cancelling ctx mid-solve stops
-// the search promptly (within one node relaxation check, typically well under
+// the search promptly (within a few simplex pivots, typically well under
 // 100 ms) and returns the best incumbent with StatusInterrupted, or a
 // solution with no assignment when none was found. opts.TimeLimit is layered
 // on top of ctx as a derived context.WithTimeout.
+//
+// The search is a best-bound branch and bound over a compiled sparse LP:
+// each popped node warm-starts from its parent's basis with a dual-simplex
+// cleanup (cold primal solve only on numerical failure), then dives on one
+// child in place — no refactorization, just a bound change — while the other
+// child joins the shared queue. opts.Workers such workers run concurrently
+// against a shared incumbent.
 func SolveContext(ctx context.Context, m *Model, opts SolveOptions) (*Solution, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
 	intVars := m.IntegerVars()
+	solveCtx, cancel := solveDeadline(ctx, opts.TimeLimit)
+	defer cancel()
+
 	if len(intVars) == 0 {
-		lpCtx := ctx
-		if opts.TimeLimit > 0 {
-			var cancel context.CancelFunc
-			lpCtx, cancel = context.WithTimeout(ctx, opts.TimeLimit)
-			defer cancel()
-		}
-		sol, err := solveLPContext(lpCtx, m)
+		sol, err := solveLPContext(solveCtx, m)
 		// The simplex reports any context abort as StatusIterLimit;
 		// distinguish caller cancellation from the derived time limit.
-		if err == nil && sol.Status == StatusIterLimit && lpCtx.Err() != nil {
-			if ctx.Err() != nil {
-				sol.Status = StatusInterrupted
-			} else {
-				sol.Status = StatusTimeLimit
-			}
+		if err == nil && sol.Status == StatusIterLimit && solveCtx.Err() != nil {
+			sol.Status = abortStatus(ctx, solveCtx)
 		}
 		return sol, err
 	}
+
 	if opts.IntFeasTol == 0 {
 		opts.IntFeasTol = 1e-6
 	}
 	_, sense := m.Objective()
-	// Internally we minimize; flip for Maximize.
 	dirSign := 1.0
 	if sense == Maximize {
 		dirSign = -1
 	}
-	toMin := func(obj float64) float64 { return dirSign * obj }
 
-	// The wall-clock budget is a context derived from the caller's: a parent
-	// cancellation and a time limit interrupt the search the same way, and
-	// every node relaxation observes both.
-	solveCtx := ctx
-	if opts.TimeLimit > 0 {
-		var cancel context.CancelFunc
-		solveCtx, cancel = context.WithTimeout(ctx, opts.TimeLimit)
-		defer cancel()
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = min(runtime.GOMAXPROCS(0), 8)
 	}
 
-	var (
-		best       []float64
-		bestObj    = math.Inf(1) // minimize sense
-		nodes      int
-		iters      int
-		cancelled  bool // the caller's ctx was cancelled
-		timedOut   bool
-		nodeLimit  bool
-		incomplete bool // some node relaxation was cut short
-	)
+	sh := &bbShared{bestObj: math.Inf(1), lostLB: math.Inf(1)}
+	sh.cond = sync.NewCond(&sh.mu)
 	if opts.Incumbent != nil {
 		if ok, obj := checkFeasible(m, opts.Incumbent, opts.IntFeasTol); ok {
-			best = append([]float64(nil), opts.Incumbent...)
-			bestObj = toMin(obj)
+			sh.best = append([]float64(nil), opts.Incumbent...)
+			sh.bestObj = dirSign * obj
 		}
 	}
 
-	// Save original bounds so we can restore after each node solve.
-	origLo := make([]float64, m.NumVars())
-	origHi := make([]float64, m.NumVars())
-	for i := 0; i < m.NumVars(); i++ {
-		v := Var{id: i}
-		origLo[i], origHi[i] = m.Bounds(v)
+	in, decided := compile(m, true)
+	stats := SolveStats{Presolve: in.pre, Workers: workers, Gap: -1}
+	if decided == StatusInfeasible {
+		// Presolve proved the model empty before any search. A feasible user
+		// incumbent contradicting that can only mean tolerance disagreement;
+		// trust the incumbent over the proof.
+		if sh.best != nil {
+			return &Solution{Status: StatusFeasible, X: sh.best, Objective: dirSign * sh.bestObj,
+				Bound: math.NaN(), Stats: stats}, nil
+		}
+		stats.Gap = 0
+		return &Solution{Status: StatusInfeasible, Stats: stats}, nil
 	}
-	restore := func() {
-		for i := 0; i < m.NumVars(); i++ {
-			m.SetBounds(Var{id: i}, origLo[i], origHi[i])
-		}
-	}
-	defer restore()
-
-	// DFS stack with best-first tie-breaking: nodes sorted by parent bound so
-	// promising subtrees are explored first, while the stack keeps memory
-	// linear in depth for pure DFS chains.
-	stack := []bbNode{{relax: math.Inf(-1)}}
-	gapMet := func(lb float64) bool {
-		if best == nil {
-			return false
-		}
-		if bestObj-lb <= 1e-9 {
-			return true
-		}
-		if opts.Gap > 0 {
-			return bestObj-lb <= opts.Gap*math.Max(1, math.Abs(bestObj))
-		}
-		return false
+	if solveCtx.Err() != nil {
+		return finishAborted(abortStatus(ctx, solveCtx), sh, dirSign, stats), nil
 	}
 
-	for len(stack) > 0 {
-		if solveCtx.Err() != nil {
-			if ctx.Err() != nil {
-				cancelled = true
-			} else {
-				timedOut = true
+	sh.open = nodeHeap{{bound: math.Inf(-1)}}
+	obj, _ := m.Objective()
+
+	// A context abort must also wake workers parked on the condition
+	// variable; the watcher exits when the solve finishes (cancel above).
+	go func() {
+		<-solveCtx.Done()
+		sh.mu.Lock()
+		sh.stopped = true
+		sh.wake()
+		sh.mu.Unlock()
+	}()
+
+	var wg sync.WaitGroup
+	for wid := 0; wid < workers; wid++ {
+		wg.Add(1)
+		go func(wid int) {
+			defer wg.Done()
+			w := &bbWorker{
+				sh: sh, in: in, m: m, obj: obj, opts: opts,
+				dirSign: dirSign, intVars: intVars, id: wid,
+				st: newState(in),
 			}
-			break
-		}
-		if opts.MaxNodes > 0 && nodes >= opts.MaxNodes {
-			nodeLimit = true
-			break
-		}
-		node := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		nodes++
+			w.st.ctx = solveCtx
+			w.run()
+		}(wid)
+	}
+	wg.Wait()
 
-		if gapMet(node.relax) {
-			continue
-		}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	stats.Nodes = sh.nodes
+	stats.SimplexIters = sh.lpIters
+	stats.WarmStarts = sh.warm
+	stats.ColdStarts = sh.cold
 
-		// Apply node bounds.
-		restore()
-		feasBounds := true
-		for _, b := range node.bounds {
-			lo, hi := m.Bounds(b.v)
-			nlo, nhi := math.Max(lo, b.lo), math.Min(hi, b.hi)
-			if nlo > nhi {
-				feasBounds = false
+	if sh.rootUnbounded {
+		return &Solution{Status: StatusUnbounded, Nodes: sh.nodes, Iterations: sh.lpIters, Stats: stats}, nil
+	}
+
+	cancelled := ctx.Err() != nil
+	timedOut := !cancelled && solveCtx.Err() != nil
+	drained := len(sh.open) == 0 && !sh.incomplete && !sh.nodeLimit
+
+	// Global dual bound: the weakest of everything still open or dropped
+	// without proof.
+	globalLB := sh.lostLB
+	for _, n := range sh.open {
+		if n.bound < globalLB {
+			globalLB = n.bound
+		}
+	}
+
+	res := &Solution{Nodes: sh.nodes, Iterations: sh.lpIters, Stats: stats}
+	switch {
+	case sh.best != nil && drained:
+		res.Status = StatusOptimal
+		res.X = sh.best
+		res.Objective = dirSign * sh.bestObj
+		res.Bound = res.Objective
+		res.Stats.Gap = 0
+		if !math.IsInf(sh.lostLB, 1) {
+			// Optimal only up to the requested gap: subtrees below the
+			// incumbent were pruned unproven, so the honest dual bound is
+			// theirs, not the incumbent's, and the residual gap is reported.
+			res.Bound = dirSign * math.Min(sh.lostLB, sh.bestObj)
+			res.Stats.Gap = relGap(sh.bestObj, sh.lostLB)
+		}
+	case sh.best != nil:
+		switch {
+		case cancelled:
+			res.Status = StatusInterrupted
+		case timedOut:
+			res.Status = StatusTimeLimit
+		case sh.nodeLimit:
+			res.Status = StatusIterLimit
+		default:
+			res.Status = StatusFeasible
+		}
+		res.X = sh.best
+		res.Objective = dirSign * sh.bestObj
+		res.Bound = math.NaN()
+		if !math.IsInf(globalLB, 0) {
+			res.Bound = dirSign * globalLB
+			res.Stats.Gap = relGap(sh.bestObj, globalLB)
+		}
+	case cancelled:
+		res.Status = StatusInterrupted
+	case timedOut || sh.incomplete:
+		res.Status = StatusTimeLimit
+	case sh.nodeLimit:
+		res.Status = StatusIterLimit
+	default:
+		res.Status = StatusInfeasible
+		res.Stats.Gap = 0
+	}
+	return res, nil
+}
+
+// relGap is the relative optimality gap between an incumbent and a dual
+// bound, both in minimize sense.
+func relGap(best, lb float64) float64 {
+	g := (best - lb) / math.Max(1, math.Abs(best))
+	if g < 0 {
+		return 0
+	}
+	return g
+}
+
+// finishAborted builds the best-effort result for a solve whose context was
+// already done before the search started.
+func finishAborted(status Status, sh *bbShared, dirSign float64, stats SolveStats) *Solution {
+	res := &Solution{Status: status, Stats: stats}
+	if sh.best != nil {
+		res.X = sh.best
+		res.Objective = dirSign * sh.bestObj
+		res.Bound = math.NaN()
+	}
+	return res
+}
+
+// bbWorker is one branch-and-bound worker: it pops best-bound nodes from the
+// shared queue, solves them warm from the parent basis, and dives.
+type bbWorker struct {
+	sh      *bbShared
+	in      *instance
+	m       *Model
+	obj     Expr
+	opts    SolveOptions
+	dirSign float64
+	intVars []Var
+	id      int
+	st      *simplexState
+}
+
+func (w *bbWorker) run() {
+	sh := w.sh
+	for {
+		sh.mu.Lock()
+		for {
+			if sh.stopped || sh.nodeLimit || sh.rootUnbounded {
+				sh.mu.Unlock()
+				return
+			}
+			// Drop queued nodes the incumbent has since pruned.
+			for len(sh.open) > 0 && sh.gapMetLocked(sh.open[0].bound, w.opts.Gap) {
+				heap.Pop(&sh.open)
+			}
+			if len(sh.open) > 0 {
 				break
 			}
-			m.SetBounds(b.v, nlo, nhi)
-		}
-		if !feasBounds {
-			continue
-		}
-
-		sol, err := solveLPContext(solveCtx, m)
-		if err != nil {
-			return nil, err
-		}
-		iters += sol.Iterations
-		if sol.Status == StatusInfeasible {
-			continue
-		}
-		if sol.Status == StatusUnbounded {
-			// An unbounded relaxation at the root means the MILP is unbounded
-			// or infeasible; deeper in the tree we conservatively keep
-			// exploring siblings.
-			if node.depth == 0 {
-				return &Solution{Status: StatusUnbounded, Nodes: nodes, Iterations: iters}, nil
+			if sh.outstanding == 0 {
+				sh.wake()
+				sh.mu.Unlock()
+				return
 			}
-			continue
+			sh.cond.Wait()
 		}
-		if sol.Status != StatusOptimal {
-			// Iteration- or deadline-limited relaxation: the bound is
-			// unreliable, so this subtree stays unexplored.
-			incomplete = true
-			continue
-		}
-		lb := toMin(sol.Objective)
-		if gapMet(lb) {
-			continue
-		}
+		node := heap.Pop(&sh.open).(*bbNode)
+		sh.outstanding++
+		sh.mu.Unlock()
 
-		// Find the most fractional integer variable.
+		w.processSubtree(node)
+
+		sh.mu.Lock()
+		sh.outstanding--
+		if sh.outstanding == 0 && len(sh.open) == 0 {
+			sh.wake()
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// applyChanges installs the node's bounds on the worker state. Returns false
+// when a bound pair crossed (the node is trivially infeasible).
+func (w *bbWorker) applyChanges(changes []bndChange) bool {
+	w.st.resetBounds()
+	for _, ch := range changes {
+		c := int(ch.col)
+		nlo := math.Max(w.st.lo[c], ch.lo)
+		nhi := math.Min(w.st.hi[c], ch.hi)
+		if nlo > nhi {
+			return false
+		}
+		w.st.lo[c], w.st.hi[c] = nlo, nhi
+	}
+	return true
+}
+
+// solveRelax runs the given warm attempt and falls back to a from-scratch
+// solve when it failed numerically or stalled on degeneracy while the clock
+// is still running. The bool reports whether the warm start was used.
+func (w *bbWorker) solveRelax(warmAttempt func() Status) (Status, bool) {
+	st := warmAttempt()
+	if st == statusNumFail || (st == StatusIterLimit && w.st.ctx.Err() == nil) {
+		return w.st.solveCold(), false
+	}
+	return st, true
+}
+
+// processSubtree solves the popped node and dives down one child chain,
+// pushing the sibling of every branching step onto the shared queue. Dive
+// steps reuse the live basis and inverse — the child differs by one bound
+// change, so the dual simplex continues in place without refactorization.
+func (w *bbWorker) processSubtree(node *bbNode) {
+	st := w.st
+	if !w.applyChanges(node.changes) {
+		return
+	}
+
+	var status Status
+	var warmed bool
+	if node.basic != nil {
+		copy(st.basic, node.basic)
+		copy(st.stat, node.stat)
+		for j := range st.pos {
+			st.pos[j] = -1
+		}
+		for i, col := range st.basic {
+			st.pos[col] = int32(i)
+		}
+		status, warmed = w.solveRelax(st.solveWarm)
+	} else {
+		status, warmed = st.solveCold(), false
+	}
+
+	depth := node.depth
+	changes := node.changes
+	curBound := node.bound
+	for {
+		iters := st.iters
+		st.iters = 0
+		var x []float64
+		lb := curBound
+		if status == StatusOptimal {
+			x = st.extract()
+			lb = w.dirSign * w.obj.Eval(x)
+		}
+		if !w.accountNode(status, warmed, iters, depth, lb) {
+			return
+		}
+		curBound = lb
+
+		// Optimal relaxation: check integrality, otherwise branch and dive.
 		branchVar, frac := Var{id: -1}, 0.0
-		for _, v := range intVars {
-			x := sol.X[v.id]
-			f := math.Abs(x - math.Round(x))
-			if f > opts.IntFeasTol && f > frac {
+		for _, v := range w.intVars {
+			f := math.Abs(x[v.id] - math.Round(x[v.id]))
+			if f > w.opts.IntFeasTol && f > frac {
 				frac, branchVar = f, v
 			}
 		}
 		if branchVar.id == -1 {
-			// Integral solution.
-			if lb < bestObj-1e-9 {
-				bestObj = lb
-				best = append([]float64(nil), sol.X...)
-				// Round integer values exactly.
-				for _, v := range intVars {
-					best[v.id] = math.Round(best[v.id])
-				}
-				if opts.Logger != nil {
-					opts.Logger("milp: incumbent %.6g at node %d", dirSign*bestObj, nodes)
-				}
-			}
-			continue
+			w.foundIncumbent(x, lb)
+			return
 		}
 
-		x := sol.X[branchVar.id]
-		fl, ce := math.Floor(x), math.Ceil(x)
-		down := bbNode{
-			bounds: append(append([]bbBound(nil), node.bounds...),
-				bbBound{v: branchVar, lo: math.Inf(-1), hi: fl}),
-			relax: lb,
-			depth: node.depth + 1,
+		col := int32(w.in.varCol[branchVar.id])
+		xv := x[branchVar.id]
+		fl, ce := math.Floor(xv), math.Ceil(xv)
+		down := bndChange{col: col, lo: math.Inf(-1), hi: fl}
+		up := bndChange{col: col, lo: ce, hi: math.Inf(1)}
+		diveCh, pushCh := down, up
+		if xv-fl >= ce-xv {
+			diveCh, pushCh = up, down
 		}
-		up := bbNode{
-			bounds: append(append([]bbBound(nil), node.bounds...),
-				bbBound{v: branchVar, lo: ce, hi: math.Inf(1)}),
-			relax: lb,
-			depth: node.depth + 1,
+
+		// The sibling gets a snapshot of this node's optimal basis to warm
+		// start from; the dive child keeps the live basis and inverse.
+		sib := &bbNode{
+			bound:   lb,
+			depth:   depth + 1,
+			changes: append(append([]bndChange(nil), changes...), pushCh),
+			basic:   append([]int32(nil), st.basic...),
+			stat:    append([]int8(nil), st.stat...),
 		}
-		// Push the child whose bound direction matches the fractional part
-		// last so it is explored first (simple pseudo-cost-free heuristic).
-		if x-fl < ce-x {
-			stack = append(stack, up, down)
-		} else {
-			stack = append(stack, down, up)
+		sh := w.sh
+		sh.mu.Lock()
+		sh.seq++
+		sib.seq = sh.seq
+		heap.Push(&sh.open, sib)
+		sh.cond.Signal()
+		sh.mu.Unlock()
+
+		changes = append(changes, diveCh)
+		depth++
+		c := int(diveCh.col)
+		nlo := math.Max(st.lo[c], diveCh.lo)
+		nhi := math.Min(st.hi[c], diveCh.hi)
+		if nlo > nhi {
+			return
 		}
-		// Keep the stack loosely sorted: occasionally move the best-bound
-		// node to the top to avoid stalling in a bad subtree.
-		if nodes%64 == 0 && len(stack) > 2 {
-			sort.SliceStable(stack, func(i, j int) bool { return stack[i].relax > stack[j].relax })
-		}
+		st.lo[c], st.hi[c] = nlo, nhi
+		status, warmed = w.solveRelax(st.dual)
+	}
+}
+
+// accountNode books one solved relaxation with the coordinator and decides
+// whether the subtree continues (true = keep going). lb is the node's bound
+// in minimize sense — the fresh relaxation value when status is optimal, the
+// inherited parent bound otherwise — and is recorded as lost when the
+// subtree is dropped without proof.
+func (w *bbWorker) accountNode(status Status, warmed bool, iters, depth int, lb float64) bool {
+	sh := w.sh
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.nodes++
+	sh.lpIters += iters
+	if warmed {
+		sh.warm++
+	} else {
+		sh.cold++
+	}
+	// The stop decision intentionally precedes the node-cap update: the node
+	// that reaches MaxNodes was already solved, so its relaxation is used in
+	// full (integrality check, incumbent) — only further nodes are cut off.
+	stop := sh.stopped || sh.nodeLimit || sh.rootUnbounded
+	if w.opts.MaxNodes > 0 && sh.nodes >= w.opts.MaxNodes && !sh.nodeLimit {
+		sh.nodeLimit = true
+		sh.wake()
 	}
 
-	// A context abort that lands on the last stack node escapes the
-	// top-of-loop check (the aborted relaxation marks the search incomplete
-	// and the loop exits on the empty stack), so classify it here. A search
-	// that genuinely completed (no subtree dropped) keeps its verdict even
-	// if the context expired a moment later.
-	if incomplete && !cancelled && !timedOut && solveCtx.Err() != nil {
-		if ctx.Err() != nil {
-			cancelled = true
-		} else {
-			timedOut = true
+	switch status {
+	case StatusOptimal:
+		if stop {
+			// The subtree still had work; its bound survives only as a cap
+			// on the proof, and the search can no longer claim optimality.
+			sh.incomplete = true
+			sh.noteLostLocked(lb)
+			return false
 		}
-	}
-
-	res := &Solution{Nodes: nodes, Iterations: iters}
-	switch {
-	case best != nil && !cancelled && !timedOut && !nodeLimit && !incomplete && len(stack) == 0:
-		res.Status = StatusOptimal
-		res.X = best
-		res.Objective = dirSign * bestObj
-		res.Bound = res.Objective
-	case best != nil:
-		if cancelled {
-			res.Status = StatusInterrupted
-		} else if timedOut {
-			res.Status = StatusTimeLimit
-		} else if nodeLimit {
-			res.Status = StatusIterLimit
-		} else {
-			res.Status = StatusFeasible
+		if sh.gapMetLocked(lb, w.opts.Gap) {
+			return false
 		}
-		res.X = best
-		res.Objective = dirSign * bestObj
-		res.Bound = math.NaN()
-	case cancelled:
-		res.Status = StatusInterrupted
-	case timedOut || incomplete:
-		res.Status = StatusTimeLimit
-	case nodeLimit:
-		res.Status = StatusIterLimit
+		return true
+	case StatusInfeasible:
+		return false
+	case StatusUnbounded:
+		// An unbounded relaxation at the root means the MILP is unbounded or
+		// infeasible; deeper in the tree we conservatively drop the subtree.
+		if depth == 0 {
+			sh.rootUnbounded = true
+			sh.wake()
+		}
+		return false
 	default:
-		res.Status = StatusInfeasible
+		// Iteration-/deadline-limited or numerically failed relaxation: the
+		// bound is unreliable, so this subtree stays unexplored.
+		sh.incomplete = true
+		sh.noteLostLocked(lb)
+		return false
 	}
-	return res, nil
+}
+
+// foundIncumbent installs an integral relaxation solution as the new
+// incumbent if it improves on the shared best.
+func (w *bbWorker) foundIncumbent(x []float64, lb float64) {
+	// Round the integer coordinates exactly.
+	for _, v := range w.intVars {
+		x[v.id] = math.Round(x[v.id])
+	}
+	sh := w.sh
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if lb < sh.bestObj-1e-9 {
+		sh.bestObj = lb
+		sh.best = x
+		if w.opts.Logger != nil {
+			w.opts.Logger("milp: incumbent %.6g at node %d", w.dirSign*lb, sh.nodes)
+		}
+	}
 }
 
 // checkFeasible verifies x against all constraints, bounds and integrality of

@@ -1,0 +1,456 @@
+package milp
+
+import "math"
+
+// Presolve and compilation tolerances.
+const (
+	// preViolTol is the constraint violation beyond which presolve declares
+	// the model infeasible (scaled by the row's right-hand side).
+	preViolTol = 1e-6
+	// preRedTol is the slack margin required to drop a row as redundant.
+	preRedTol = 1e-9
+	// intRoundTol is the integrality rounding tolerance for integer bounds.
+	intRoundTol = 1e-6
+	// preMaxRounds caps the bound-propagation fixpoint iteration.
+	preMaxRounds = 25
+)
+
+// bndChange is one branching decision: replace the bounds of a structural
+// column. Branch and bound applies lists of these on top of the root bounds.
+type bndChange struct {
+	col    int32
+	lo, hi float64
+}
+
+// instance is the compiled sparse LP the simplex operates on:
+//
+//	minimize  c·x   subject to   A·x + s = b,   lo <= (x, s) <= hi
+//
+// where x are the nStruct structural columns (model variables that survived
+// presolve) and s are m slack columns, one per row. Slack bounds encode the
+// row relation: [0, +inf) for <=, (-inf, 0] for >=, [0, 0] for =. The matrix
+// A is stored column-major (CSC); slack columns are implicit unit vectors.
+// Bounds are handled natively by the simplex, so no free-variable split and
+// no artificial columns exist. The struct is immutable after compile; branch
+// and bound workers keep their own bound arrays.
+type instance struct {
+	m       int // rows
+	nStruct int // structural columns
+	n       int // total columns = nStruct + m
+
+	colPtr []int32
+	rowIdx []int32
+	val    []float64
+
+	b  []float64
+	c  []float64 // length n (slack costs are zero), minimize sense
+	lo []float64 // length n, root bounds after presolve
+	hi []float64
+
+	intCol []bool // per structural column: integer-constrained?
+	colVar []int  // structural column -> model variable id
+	varCol []int  // model variable id -> structural column, -1 if eliminated
+	fixed  []float64
+
+	flip float64 // +1 minimize, -1 maximize (already folded into c)
+	pre  PresolveStats
+}
+
+// colDot returns y·A_j for column j (slack columns are unit vectors).
+func (in *instance) colDot(y []float64, j int) float64 {
+	if j >= in.nStruct {
+		return y[j-in.nStruct]
+	}
+	v := 0.0
+	for p := in.colPtr[j]; p < in.colPtr[j+1]; p++ {
+		v += y[in.rowIdx[p]] * in.val[p]
+	}
+	return v
+}
+
+// preRow is one constraint during presolve; terms over model variable ids.
+type preRow struct {
+	cols []int
+	coef []float64
+	rel  Relation
+	rhs  float64
+	live bool
+}
+
+// compiler carries the presolve working state.
+type compiler struct {
+	m        *Model
+	integral bool
+	lo, hi   []float64
+	isInt    []bool
+	rows     []preRow
+	fixedVal []float64
+	isFixed  []bool
+	pre      PresolveStats
+	infeas   bool
+	changed  bool
+}
+
+// compile lowers a validated model into a sparse instance, running presolve
+// (bound propagation, redundant-row removal, fixed-variable elimination) on
+// the way. When integral is true, Integer/Binary bounds are rounded and
+// propagation may round implied bounds — valid for the MILP but not for the
+// pure LP relaxation, which passes false.
+//
+// The returned status is StatusInfeasible when presolve proves the model
+// empty (the instance still carries the presolve stats), StatusUnknown
+// otherwise.
+func compile(m *Model, integral bool) (*instance, Status) {
+	nv := m.NumVars()
+	co := &compiler{
+		m:        m,
+		integral: integral,
+		lo:       make([]float64, nv),
+		hi:       make([]float64, nv),
+		isInt:    make([]bool, nv),
+		fixedVal: make([]float64, nv),
+		isFixed:  make([]bool, nv),
+	}
+	for j := 0; j < nv; j++ {
+		v := Var{id: j}
+		co.lo[j], co.hi[j] = m.Bounds(v)
+		co.isInt[j] = integral && m.Type(v) != Continuous
+		if co.isInt[j] {
+			co.lo[j] = math.Ceil(co.lo[j] - intRoundTol)
+			co.hi[j] = math.Floor(co.hi[j] + intRoundTol)
+		}
+		if co.lo[j] > co.hi[j]+feasEps {
+			return &instance{pre: co.pre, flip: flipOf(m)}, StatusInfeasible
+		}
+	}
+
+	co.rows = make([]preRow, 0, m.NumConstraints())
+	for i := 0; i < m.NumConstraints(); i++ {
+		c := m.Constraint(i)
+		r := preRow{rel: c.Rel, rhs: c.RHS - c.Expr.Offset(), live: true}
+		for _, t := range c.Expr.Terms() {
+			if t.Coef == 0 {
+				continue
+			}
+			r.cols = append(r.cols, t.Var.id)
+			r.coef = append(r.coef, t.Coef)
+		}
+		co.rows = append(co.rows, r)
+	}
+
+	co.propagate()
+	if co.infeas {
+		return &instance{pre: co.pre, flip: flipOf(m)}, StatusInfeasible
+	}
+	return co.build(), StatusUnknown
+}
+
+func flipOf(m *Model) float64 {
+	if _, dir := m.Objective(); dir == Maximize {
+		return -1
+	}
+	return 1
+}
+
+// propagate runs activity-based bound propagation, redundancy elimination and
+// fixed-variable substitution to a fixpoint (or the round cap).
+func (co *compiler) propagate() {
+	for round := 0; round < preMaxRounds; round++ {
+		co.changed = false
+		for ri := range co.rows {
+			if co.infeas {
+				return
+			}
+			co.visitRow(&co.rows[ri])
+		}
+		if co.infeas {
+			return
+		}
+		// Collapse variables whose bounds met into fixed values.
+		for j := range co.lo {
+			if co.isFixed[j] || math.IsInf(co.lo[j], -1) || co.hi[j]-co.lo[j] > preRedTol {
+				continue
+			}
+			v := (co.lo[j] + co.hi[j]) / 2
+			if co.isInt[j] {
+				r := math.Round(v)
+				if math.Abs(r-v) > intRoundTol {
+					co.infeas = true
+					return
+				}
+				v = r
+			}
+			co.isFixed[j] = true
+			co.fixedVal[j] = v
+			co.pre.FixedCols++
+			co.changed = true
+		}
+		if !co.changed {
+			return
+		}
+	}
+}
+
+// visitRow substitutes fixed variables, checks feasibility/redundancy, and
+// propagates implied bounds for one row.
+func (co *compiler) visitRow(r *preRow) {
+	if !r.live {
+		return
+	}
+	// Fold fixed columns into the right-hand side.
+	w := 0
+	for k, j := range r.cols {
+		if co.isFixed[j] {
+			r.rhs -= r.coef[k] * co.fixedVal[j]
+			co.changed = true
+			continue
+		}
+		r.cols[w], r.coef[w] = j, r.coef[k]
+		w++
+	}
+	r.cols, r.coef = r.cols[:w], r.coef[:w]
+
+	tol := preViolTol * (1 + math.Abs(r.rhs))
+	leLike := r.rel == LE || r.rel == EQ
+	geLike := r.rel == GE || r.rel == EQ
+	if len(r.cols) == 0 {
+		// Constant row: verify 0 rel rhs and drop.
+		if (leLike && 0 > r.rhs+tol) || (geLike && 0 < r.rhs-tol) {
+			co.infeas = true
+			return
+		}
+		r.live = false
+		co.pre.RemovedRows++
+		co.changed = true
+		return
+	}
+
+	// Activity bounds with infinite-contribution counting.
+	var minA, maxA float64
+	minInf, maxInf := 0, 0
+	for k, j := range r.cols {
+		a := r.coef[k]
+		l, h := co.lo[j], co.hi[j]
+		if a < 0 {
+			l, h = h, l // contribution bounds swap for negative coefficients
+		}
+		if math.IsInf(l, 0) {
+			minInf++
+		} else {
+			minA += a * l
+		}
+		if math.IsInf(h, 0) {
+			maxInf++
+		} else {
+			maxA += a * h
+		}
+	}
+
+	if leLike && minInf == 0 && minA > r.rhs+tol {
+		co.infeas = true
+		return
+	}
+	if geLike && maxInf == 0 && maxA < r.rhs-tol {
+		co.infeas = true
+		return
+	}
+	redLE := !leLike || (maxInf == 0 && maxA <= r.rhs+preRedTol)
+	redGE := !geLike || (minInf == 0 && minA >= r.rhs-preRedTol)
+	if redLE && redGE {
+		r.live = false
+		co.pre.RemovedRows++
+		co.changed = true
+		return
+	}
+
+	// Implied bounds: for a·x <= rhs - (min activity of the rest), and the
+	// mirrored form for >=.
+	for k, j := range r.cols {
+		a := r.coef[k]
+		if leLike {
+			if rest, ok := restActivity(minA, minInf, a, co.lo, co.hi, j, true); ok {
+				implied := (r.rhs - rest) / a
+				if a > 0 {
+					co.tightenHi(j, implied)
+				} else {
+					co.tightenLo(j, implied)
+				}
+			}
+		}
+		if co.infeas {
+			return
+		}
+		if geLike {
+			if rest, ok := restActivity(maxA, maxInf, a, co.lo, co.hi, j, false); ok {
+				implied := (r.rhs - rest) / a
+				if a > 0 {
+					co.tightenLo(j, implied)
+				} else {
+					co.tightenHi(j, implied)
+				}
+			}
+		}
+		if co.infeas {
+			return
+		}
+	}
+}
+
+// restActivity returns the activity of the row excluding column j's own
+// contribution, on the min side (wantMin) or max side. ok is false when an
+// infinite contribution other than j's blocks the bound.
+func restActivity(act float64, nInf int, a float64, lo, hi []float64, j int, wantMin bool) (float64, bool) {
+	// Column j contributes a*lo (a>0, min side) etc.; pick the bound that
+	// enters the requested activity side.
+	b := lo[j]
+	if (a < 0) == wantMin {
+		b = hi[j]
+	}
+	if math.IsInf(b, 0) {
+		// j is itself an infinite contributor: usable only if it is the sole one.
+		return act, nInf == 1
+	}
+	if nInf != 0 {
+		return 0, false
+	}
+	return act - a*b, true
+}
+
+func (co *compiler) tightenHi(j int, v float64) {
+	if math.IsInf(v, 1) {
+		return
+	}
+	if co.isInt[j] {
+		v = math.Floor(v + intRoundTol)
+	}
+	// Require a meaningful improvement: implied bounds are exact in real
+	// arithmetic but carry float noise, and noise-sized cuts are absorbed by
+	// the simplex feasibility tolerance anyway.
+	if v >= co.hi[j]-preRedTol*(1+math.Abs(co.hi[j])) {
+		return
+	}
+	co.hi[j] = v
+	co.pre.TightenedBounds++
+	co.changed = true
+	co.checkCross(j)
+}
+
+func (co *compiler) tightenLo(j int, v float64) {
+	if math.IsInf(v, -1) {
+		return
+	}
+	if co.isInt[j] {
+		v = math.Ceil(v - intRoundTol)
+	}
+	if v <= co.lo[j]+preRedTol*(1+math.Abs(co.lo[j])) {
+		return
+	}
+	co.lo[j] = v
+	co.pre.TightenedBounds++
+	co.changed = true
+	co.checkCross(j)
+}
+
+func (co *compiler) checkCross(j int) {
+	switch {
+	case co.lo[j] > co.hi[j]+feasEps:
+		co.infeas = true
+	case co.lo[j] > co.hi[j]:
+		co.hi[j] = co.lo[j] // collapse sub-tolerance crossings to a fixing
+	}
+}
+
+// build assembles the sparse instance from the surviving rows and columns.
+func (co *compiler) build() *instance {
+	nv := len(co.lo)
+	varCol := make([]int, nv)
+	var colVar []int
+	for j := 0; j < nv; j++ {
+		if co.isFixed[j] {
+			varCol[j] = -1
+			continue
+		}
+		varCol[j] = len(colVar)
+		colVar = append(colVar, j)
+	}
+	nStruct := len(colVar)
+
+	var liveRows []int
+	for ri := range co.rows {
+		if co.rows[ri].live {
+			liveRows = append(liveRows, ri)
+		}
+	}
+	mRows := len(liveRows)
+
+	in := &instance{
+		m:       mRows,
+		nStruct: nStruct,
+		n:       nStruct + mRows,
+		b:       make([]float64, mRows),
+		c:       make([]float64, nStruct+mRows),
+		lo:      make([]float64, nStruct+mRows),
+		hi:      make([]float64, nStruct+mRows),
+		intCol:  make([]bool, nStruct),
+		colVar:  colVar,
+		varCol:  varCol,
+		fixed:   co.fixedVal,
+		flip:    flipOf(co.m),
+		pre:     co.pre,
+	}
+	for k, j := range colVar {
+		in.lo[k], in.hi[k] = co.lo[j], co.hi[j]
+		in.intCol[k] = co.isInt[j]
+	}
+	for i, ri := range liveRows {
+		in.b[i] = co.rows[ri].rhs
+		s := nStruct + i
+		switch co.rows[ri].rel {
+		case LE:
+			in.lo[s], in.hi[s] = 0, math.Inf(1)
+		case GE:
+			in.lo[s], in.hi[s] = math.Inf(-1), 0
+		case EQ:
+			in.lo[s], in.hi[s] = 0, 0
+		}
+	}
+
+	// CSC assembly: count entries per column, prefix-sum, then fill row by
+	// row so each column's entries come out sorted by row index.
+	count := make([]int32, nStruct+1)
+	nnz := 0
+	for _, ri := range liveRows {
+		for _, j := range co.rows[ri].cols {
+			count[varCol[j]+1]++
+			nnz++
+		}
+	}
+	for k := 0; k < nStruct; k++ {
+		count[k+1] += count[k]
+	}
+	in.colPtr = count
+	in.rowIdx = make([]int32, nnz)
+	in.val = make([]float64, nnz)
+	cursor := make([]int32, nStruct)
+	for k := 0; k < nStruct; k++ {
+		cursor[k] = in.colPtr[k]
+	}
+	for i, ri := range liveRows {
+		r := &co.rows[ri]
+		for k, j := range r.cols {
+			col := varCol[j]
+			p := cursor[col]
+			in.rowIdx[p] = int32(i)
+			in.val[p] = r.coef[k]
+			cursor[col] = p + 1
+		}
+	}
+
+	obj, _ := co.m.Objective()
+	for _, t := range obj.Terms() {
+		if col := varCol[t.Var.id]; col >= 0 {
+			in.c[col] += in.flip * t.Coef
+		}
+	}
+	return in
+}

@@ -1,0 +1,34 @@
+package milp
+
+import (
+	"context"
+	"time"
+)
+
+// solveDeadline derives the solver's working context from the caller's
+// context plus an optional wall-clock limit. A zero limit returns a plain
+// cancellable child, so callers always get a uniform context/cancel pair.
+// This is the single place the SolveOptions.TimeLimit contract is
+// implemented; every solve entry point routes through it.
+func solveDeadline(ctx context.Context, limit time.Duration) (context.Context, context.CancelFunc) {
+	if limit > 0 {
+		return context.WithTimeout(ctx, limit)
+	}
+	return context.WithCancel(ctx)
+}
+
+// abortStatus classifies a solver abort against the two contexts of a solve:
+// the caller's ctx and the derived working context. A cancelled caller means
+// the whole solve was interrupted (StatusInterrupted); otherwise an expired
+// working context means the wall-clock budget ran out (StatusTimeLimit).
+// StatusUnknown is returned when neither context has fired, i.e. the abort
+// had some other cause.
+func abortStatus(caller, solve context.Context) Status {
+	if caller.Err() != nil {
+		return StatusInterrupted
+	}
+	if solve.Err() != nil {
+		return StatusTimeLimit
+	}
+	return StatusUnknown
+}

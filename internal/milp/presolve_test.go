@@ -1,0 +1,239 @@
+package milp
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestPresolveSingletonRowBecomesBound(t *testing.T) {
+	// 3x <= 250 with x integer in [0,100] must become hi=83 and vanish.
+	m := NewModel()
+	x := m.NewInteger("x", 0, 100)
+	m.AddLE("c", *NewExpr(0).Add(x, 3), 250)
+	m.SetObjective(VarExpr(x), Maximize)
+
+	in, st := compile(m, true)
+	if st == StatusInfeasible {
+		t.Fatal("presolve declared a feasible model infeasible")
+	}
+	if in.m != 0 {
+		t.Errorf("rows after presolve = %d, want 0 (singleton absorbed)", in.m)
+	}
+	if in.pre.RemovedRows != 1 {
+		t.Errorf("RemovedRows = %d, want 1", in.pre.RemovedRows)
+	}
+	if in.pre.TightenedBounds == 0 {
+		t.Error("expected a tightened bound from the singleton row")
+	}
+	sol, err := Solve(m, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal || !almostEq(sol.Objective, 83, 1e-9) {
+		t.Errorf("objective = %v (%v), want 83", sol.Objective, sol.Status)
+	}
+}
+
+func TestPresolveFixesVariables(t *testing.T) {
+	// x + y = 2 with binaries forces x = y = 1; the whole model presolves away.
+	m := NewModel()
+	x := m.NewBinary("x")
+	y := m.NewBinary("y")
+	m.AddEQ("both", *NewExpr(0).Add(x, 1).Add(y, 1), 2)
+	m.SetObjective(*NewExpr(0).Add(x, 3).Add(y, 5), Minimize)
+
+	in, st := compile(m, true)
+	if st == StatusInfeasible {
+		t.Fatal("feasible model declared infeasible")
+	}
+	if in.pre.FixedCols != 2 {
+		t.Errorf("FixedCols = %d, want 2", in.pre.FixedCols)
+	}
+	sol, err := Solve(m, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal || !almostEq(sol.Objective, 8, 1e-9) {
+		t.Errorf("objective = %v (%v), want 8", sol.Objective, sol.Status)
+	}
+	if !almostEq(sol.Value(x), 1, 1e-9) || !almostEq(sol.Value(y), 1, 1e-9) {
+		t.Errorf("solution = (%v, %v), want (1, 1)", sol.Value(x), sol.Value(y))
+	}
+	if sol.Stats.Presolve.FixedCols != 2 {
+		t.Errorf("Stats.Presolve.FixedCols = %d, want 2", sol.Stats.Presolve.FixedCols)
+	}
+}
+
+func TestPresolveInfeasibleByPropagation(t *testing.T) {
+	// x + y <= 1 with x >= 1 and y >= 1 (integers): propagation alone proves
+	// infeasibility, so branch and bound must report it with zero nodes.
+	m := NewModel()
+	x := m.NewInteger("x", 1, 10)
+	y := m.NewInteger("y", 1, 10)
+	m.AddLE("cap", *NewExpr(0).Add(x, 1).Add(y, 1), 1)
+	m.SetObjective(VarExpr(x), Minimize)
+
+	sol, err := Solve(m, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusInfeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+	if sol.Stats.Nodes != 0 {
+		t.Errorf("nodes = %d, want 0 (presolve should decide before search)", sol.Stats.Nodes)
+	}
+}
+
+func TestPresolveIntegerRoundingInfeasible(t *testing.T) {
+	// An integer variable confined to (0.3, 0.7) has no integral value.
+	m := NewModel()
+	x := m.NewInteger("x", 0.3, 0.7)
+	m.SetObjective(VarExpr(x), Minimize)
+	sol, err := Solve(m, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusInfeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+	// The pure LP relaxation of the same model is feasible: rounding must
+	// only apply to the MILP path.
+	lp, err := SolveLP(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lp.Status != StatusOptimal || !almostEq(lp.Value(x), 0.3, 1e-9) {
+		t.Errorf("LP relaxation = %v (%v), want x=0.3 optimal", lp.Value(x), lp.Status)
+	}
+}
+
+func TestPresolveRedundantRowRemoved(t *testing.T) {
+	// x + y <= 100 is implied by the bounds x,y in [0,10].
+	m := NewModel()
+	x := m.NewContinuous("x", 0, 10)
+	y := m.NewContinuous("y", 0, 10)
+	m.AddLE("loose", *NewExpr(0).Add(x, 1).Add(y, 1), 100)
+	m.AddLE("tight", *NewExpr(0).Add(x, 1).Add(y, 1), 5)
+	m.SetObjective(*NewExpr(0).Add(x, -1).Add(y, -1), Minimize) // max x+y
+
+	in, st := compile(m, false)
+	if st == StatusInfeasible {
+		t.Fatal("feasible model declared infeasible")
+	}
+	if in.m != 1 {
+		t.Errorf("rows after presolve = %d, want 1 (loose row dropped)", in.m)
+	}
+	sol, err := SolveLP(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal || !almostEq(sol.Objective, -5, 1e-9) {
+		t.Errorf("objective = %v (%v), want -5", sol.Objective, sol.Status)
+	}
+}
+
+func TestPresolvePropagationChain(t *testing.T) {
+	// A chain of equalities x1 = 1, x2 = x1 + 1, x3 = x2 + 1 collapses
+	// completely by repeated substitution rounds.
+	m := NewModel()
+	x1 := m.NewContinuous("x1", 0, 100)
+	x2 := m.NewContinuous("x2", 0, 100)
+	x3 := m.NewContinuous("x3", 0, 100)
+	m.AddEQ("e1", VarExpr(x1), 1)
+	m.AddEQ("e2", *NewExpr(0).Add(x2, 1).Add(x1, -1), 1)
+	m.AddEQ("e3", *NewExpr(0).Add(x3, 1).Add(x2, -1), 1)
+	m.SetObjective(VarExpr(x3), Minimize)
+
+	in, st := compile(m, false)
+	if st == StatusInfeasible {
+		t.Fatal("feasible model declared infeasible")
+	}
+	if in.nStruct != 0 || in.m != 0 {
+		t.Errorf("instance %dx%d after presolve, want empty (full collapse)", in.m, in.nStruct)
+	}
+	sol, err := SolveLP(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal || !almostEq(sol.Value(x3), 3, 1e-6) {
+		t.Errorf("x3 = %v (%v), want 3", sol.Value(x3), sol.Status)
+	}
+}
+
+func TestPresolveKeepsUnboundedColumns(t *testing.T) {
+	// A variable outside every constraint with an unbounded improving
+	// direction must stay in the LP so the simplex can prove unboundedness.
+	m := NewModel()
+	x := m.NewContinuous("x", 0, Inf)
+	y := m.NewContinuous("y", 0, 1)
+	m.AddLE("cy", VarExpr(y), 1)
+	m.SetObjective(*NewExpr(0).Add(x, 1).Add(y, 1), Maximize)
+	sol, err := SolveLP(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusUnbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestSolveDeadlineHelper(t *testing.T) {
+	// Zero limit: plain cancellable child of the caller.
+	ctx, cancel := solveDeadline(t.Context(), 0)
+	if _, ok := ctx.Deadline(); ok {
+		t.Error("zero limit must not set a deadline")
+	}
+	if st := abortStatus(t.Context(), ctx); st != StatusUnknown {
+		t.Errorf("abortStatus with live contexts = %v, want unknown", st)
+	}
+	cancel()
+	if st := abortStatus(t.Context(), ctx); st != StatusTimeLimit {
+		t.Errorf("abortStatus with expired solve ctx = %v, want time-limit", st)
+	}
+
+	// Positive limit: deadline derived from the caller.
+	ctx2, cancel2 := solveDeadline(t.Context(), time.Minute)
+	defer cancel2()
+	if _, ok := ctx2.Deadline(); !ok {
+		t.Error("positive limit must set a deadline")
+	}
+
+	// A cancelled caller dominates the classification.
+	caller, cancelCaller := context.WithCancel(context.Background())
+	ctx3, cancel3 := solveDeadline(caller, time.Nanosecond)
+	defer cancel3()
+	cancelCaller()
+	if st := abortStatus(caller, ctx3); st != StatusInterrupted {
+		t.Errorf("abortStatus with cancelled caller = %v, want interrupted", st)
+	}
+}
+
+func TestCompileBoundsNativeNoArtificials(t *testing.T) {
+	// The compiled instance must carry exactly nStruct+m columns — bounds
+	// are native, so no split free variables and no artificial columns.
+	m := NewModel()
+	x := m.NewContinuous("x", -5, 5)
+	y := m.NewContinuous("y", math.Inf(-1), Inf) // free
+	m.AddGE("g", *NewExpr(0).Add(x, 1).Add(y, 1), 1)
+	m.AddEQ("e", *NewExpr(0).Add(x, 2).Add(y, -1), 0)
+	m.SetObjective(*NewExpr(0).Add(x, 1).Add(y, 2), Minimize)
+
+	in, st := compile(m, false)
+	if st == StatusInfeasible {
+		t.Fatal("feasible model declared infeasible")
+	}
+	if in.n != in.nStruct+in.m {
+		t.Errorf("columns = %d, want nStruct+m = %d", in.n, in.nStruct+in.m)
+	}
+	sol, err := SolveLP(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x + y >= 1 and y = 2x meet at x = 1/3, y = 2/3: objective 1/3 + 4/3.
+	if sol.Status != StatusOptimal || !almostEq(sol.Objective, 5.0/3, 1e-6) {
+		t.Errorf("objective = %v (%v), want 5/3", sol.Objective, sol.Status)
+	}
+}

@@ -31,6 +31,11 @@ const (
 	// StatusInterrupted means the caller's context was cancelled mid-solve;
 	// the reported solution, if any, is the best incumbent found so far.
 	StatusInterrupted
+
+	// statusNumFail is the internal verdict for a numerical breakdown
+	// (singular basis, vanishing pivot). Warm starts fall back to a cold
+	// solve on it; a cold solve maps it to an error or an incomplete node.
+	statusNumFail Status = -1
 )
 
 // String names the status.
@@ -65,12 +70,20 @@ type Solution struct {
 	// Objective is the objective value at X in the model's original sense.
 	Objective float64
 	// Bound is the best proven bound on the objective (MILP only); equals
-	// Objective when Status is StatusOptimal.
+	// Objective when Status is StatusOptimal with a full proof (it can
+	// trail by up to the requested SolveOptions.Gap when early gap stopping
+	// pruned subtrees), and is NaN when the search stopped before any
+	// subproblem bound survived.
 	Bound float64
-	// Nodes is the number of branch-and-bound nodes explored (MILP only).
+	// Nodes is the number of branch-and-bound nodes explored (MILP only);
+	// mirrors Stats.Nodes.
 	Nodes int
-	// Iterations counts simplex pivots across all LP solves.
+	// Iterations counts simplex pivots across all LP solves; mirrors
+	// Stats.SimplexIters.
 	Iterations int
+	// Stats carries the full solver diagnostics (warm-start rate, presolve
+	// reductions, MIP gap, worker count).
+	Stats SolveStats
 }
 
 // Value returns the solution value of v.
@@ -89,457 +102,822 @@ func (s *Solution) Feasible() bool {
 			s.Status == StatusInterrupted)
 }
 
+// Simplex tolerances.
 const (
-	pivotEps    = 1e-9
-	feasEps     = 1e-7
-	redCostEps  = 1e-9
-	artificialW = 1.0
+	pivotEps   = 1e-9
+	feasEps    = 1e-7
+	redCostEps = 1e-9
+	// refactorEvery bounds the number of product-form (eta) updates applied
+	// to the basis inverse before a fresh factorization, for numerical
+	// hygiene.
+	refactorEvery = 64
 )
 
-// columnKind records how a structural simplex column maps back to a model
-// variable.
-type columnKind int
-
+// Nonbasic / basic status of a column.
 const (
-	colShift  columnKind = iota // x = lo + y
-	colMirror                   // x = hi - y
-	colPlus                     // free split, positive part
-	colMinus                    // free split, negative part
+	nbBasic int8 = iota
+	nbLower      // nonbasic at its (finite) lower bound
+	nbUpper      // nonbasic at its (finite) upper bound
+	nbFree       // nonbasic free variable, parked at zero
 )
 
-type column struct {
-	varID int
-	kind  columnKind
-	shift float64 // lo (colShift) or hi (colMirror)
+// simplexState is one worker's in-place solver over an instance: working
+// bounds (mutated by branch and bound), the current basis with a dense basis
+// inverse maintained by eta updates and periodic refactorization, and scratch
+// vectors. It implements a bounded-variable primal simplex (two-phase, no
+// artificial columns) and a bounded-variable dual simplex used for warm
+// starts after bound changes.
+type simplexState struct {
+	in     *instance
+	lo, hi []float64 // working bounds, length n
+	basic  []int32   // length m: column in basis row i
+	pos    []int32   // length n: basis row of column, -1 when nonbasic
+	stat   []int8    // length n
+
+	binv      []float64 // m×m row-major basis inverse
+	xB        []float64 // basic variable values
+	y, d      []float64 // duals / reduced costs scratch
+	w         []float64 // FTRAN result
+	rowBuf    []float64
+	cbBuf     []float64
+	factorBuf []float64
+
+	iters       int
+	sinceFactor int
+	ctx         context.Context
 }
 
-// lp is the standard-form problem: min c·y s.t. Ay = b (b >= 0), y >= 0.
-// Columns 0..nStruct-1 are structural, then slacks/surplus, then artificials.
-type lp struct {
-	m, n    int // rows, total columns
-	nStruct int
-	nArt    int
-	a       [][]float64
-	b       []float64
-	c       []float64 // phase-II cost over all columns
-	cols    []column  // structural column metadata
-	basis   []int
-	iters   int
-	maxIter int
-	// ctx, when non-nil, aborts the solve with StatusIterLimit once the
-	// context is done, so that branch and bound can honor its cancellation
-	// and wall-clock budget even when a single relaxation is expensive.
-	ctx context.Context
+func newState(in *instance) *simplexState {
+	s := &simplexState{
+		in:        in,
+		lo:        append([]float64(nil), in.lo...),
+		hi:        append([]float64(nil), in.hi...),
+		basic:     make([]int32, in.m),
+		pos:       make([]int32, in.n),
+		stat:      make([]int8, in.n),
+		binv:      make([]float64, in.m*in.m),
+		xB:        make([]float64, in.m),
+		y:         make([]float64, in.m),
+		d:         make([]float64, in.n),
+		w:         make([]float64, in.m),
+		rowBuf:    make([]float64, in.m),
+		cbBuf:     make([]float64, in.m),
+		factorBuf: make([]float64, in.m*in.m),
+	}
+	return s
 }
 
-// buildLP converts a Model (relaxing integrality) into standard form.
-// Returns nil with ok=false if a variable has lo > hi (trivially infeasible).
-func buildLP(m *Model) (*lp, bool) {
-	type rowSpec struct {
-		coefs map[int]float64 // structural column -> coefficient
-		rel   Relation
-		rhs   float64
-	}
-
-	// Map model variables to structural columns.
-	var cols []column
-	colOf := make([][]int, len(m.vars)) // var -> its column ids (1 or 2)
-	for j, d := range m.vars {
-		if d.lo > d.hi+feasEps {
-			return nil, false
-		}
-		switch {
-		case !math.IsInf(d.lo, -1):
-			colOf[j] = []int{len(cols)}
-			cols = append(cols, column{varID: j, kind: colShift, shift: d.lo})
-		case !math.IsInf(d.hi, 1):
-			colOf[j] = []int{len(cols)}
-			cols = append(cols, column{varID: j, kind: colMirror, shift: d.hi})
-		default:
-			colOf[j] = []int{len(cols), len(cols) + 1}
-			cols = append(cols,
-				column{varID: j, kind: colPlus},
-				column{varID: j, kind: colMinus})
-		}
-	}
-	nStruct := len(cols)
-
-	// addTerm accumulates the standard-form coefficient of model var j with
-	// original coefficient coef into row r, returning the constant correction
-	// to subtract from the rhs.
-	addTerm := func(r *rowSpec, j int, coef float64) float64 {
-		var corr float64
-		for _, cIdx := range colOf[j] {
-			col := cols[cIdx]
-			switch col.kind {
-			case colShift:
-				r.coefs[cIdx] += coef
-				corr += coef * col.shift
-			case colMirror:
-				r.coefs[cIdx] -= coef
-				corr += coef * col.shift
-			case colPlus:
-				r.coefs[cIdx] += coef
-			case colMinus:
-				r.coefs[cIdx] -= coef
-			}
-		}
-		return corr
-	}
-
-	var rows []rowSpec
-	newRow := func(rel Relation, rhs float64) *rowSpec {
-		rows = append(rows, rowSpec{coefs: make(map[int]float64), rel: rel, rhs: rhs})
-		return &rows[len(rows)-1]
-	}
-
-	// Model constraints.
-	for i := range m.cons {
-		con := &m.cons[i]
-		r := newRow(con.Rel, con.RHS-con.Expr.Offset())
-		for _, t := range con.Expr.Terms() {
-			r.rhs -= addTerm(r, t.Var.id, t.Coef)
-		}
-	}
-	// Finite-range bound rows: y <= hi - lo (shift) or y <= hi - lo (mirror).
-	for cIdx, col := range cols {
-		d := m.vars[col.varID]
-		if col.kind == colShift && !math.IsInf(d.hi, 1) {
-			r := newRow(LE, d.hi-d.lo)
-			r.coefs[cIdx] = 1
-		}
-		if col.kind == colMirror && !math.IsInf(d.lo, -1) {
-			// unreachable by construction (lo=-inf when mirrored), kept for
-			// symmetry if construction rules change
-			r := newRow(LE, d.hi-d.lo)
-			r.coefs[cIdx] = 1
-		}
-	}
-
-	// Normalize rhs >= 0.
-	for i := range rows {
-		if rows[i].rhs < 0 {
-			for k := range rows[i].coefs {
-				rows[i].coefs[k] = -rows[i].coefs[k]
-			}
-			rows[i].rhs = -rows[i].rhs
-			switch rows[i].rel {
-			case LE:
-				rows[i].rel = GE
-			case GE:
-				rows[i].rel = LE
-			}
-		}
-	}
-
-	// Count auxiliary columns.
-	nSlack, nArt := 0, 0
-	for _, r := range rows {
-		switch r.rel {
-		case LE:
-			nSlack++
-		case GE:
-			nSlack++
-			nArt++
-		case EQ:
-			nArt++
-		}
-	}
-
-	nRows := len(rows)
-	n := nStruct + nSlack + nArt
-	p := &lp{
-		m:       nRows,
-		n:       n,
-		nStruct: nStruct,
-		nArt:    nArt,
-		a:       make([][]float64, nRows),
-		b:       make([]float64, nRows),
-		c:       make([]float64, n),
-		cols:    cols,
-		basis:   make([]int, nRows),
-		maxIter: 200*(nRows+n) + 2000,
-	}
-	for i := range p.a {
-		p.a[i] = make([]float64, n)
-	}
-
-	slackAt := nStruct
-	artAt := nStruct + nSlack
-	for i, r := range rows {
-		for k, v := range r.coefs {
-			p.a[i][k] = v
-		}
-		p.b[i] = r.rhs
-		switch r.rel {
-		case LE:
-			p.a[i][slackAt] = 1
-			p.basis[i] = slackAt
-			slackAt++
-		case GE:
-			p.a[i][slackAt] = -1
-			slackAt++
-			p.a[i][artAt] = 1
-			p.basis[i] = artAt
-			artAt++
-		case EQ:
-			p.a[i][artAt] = 1
-			p.basis[i] = artAt
-			artAt++
-		}
-	}
-
-	// Phase-II costs over structural columns from the model objective,
-	// negated for maximization.
-	sign := 1.0
-	if m.dir == Maximize {
-		sign = -1
-	}
-	for _, t := range m.obj.Terms() {
-		for _, cIdx := range colOf[t.Var.id] {
-			col := cols[cIdx]
-			switch col.kind {
-			case colShift, colPlus:
-				p.c[cIdx] += sign * t.Coef
-			case colMirror, colMinus:
-				p.c[cIdx] -= sign * t.Coef
-			}
-		}
-	}
-	return p, true
+// resetBounds restores the root bounds of the instance.
+func (s *simplexState) resetBounds() {
+	copy(s.lo, s.in.lo)
+	copy(s.hi, s.in.hi)
 }
 
-// price computes reduced costs d = c - c_B·T for cost vector cost and
-// returns the entering column (or -1 if optimal). Artificial columns are
-// barred when barArt is true. Bland's rule is used when bland is true.
-func (p *lp) price(cost []float64, barArt, bland bool) int {
-	// y = c_B (multipliers are implicit: tableau is kept reduced, so reduced
-	// cost of column j is cost[j] - sum_i cost[basis[i]] * a[i][j]).
-	cb := make([]float64, p.m)
-	for i, bi := range p.basis {
-		cb[i] = cost[bi]
+// callLimit is the per-call pivot budget.
+func (s *simplexState) callLimit() int {
+	return 300*(s.in.m+s.in.n) + 1000
+}
+
+// aborted reports whether the solve context has fired. It is checked every
+// pivot: a context Err read costs nanoseconds against the O(m²) pivot, and
+// on large models a single pivot can take milliseconds, so coarser checks
+// would make cancellation sluggish.
+func (s *simplexState) aborted() bool {
+	return s.ctx != nil && s.ctx.Err() != nil
+}
+
+// nbValue is the current value of a nonbasic column.
+func (s *simplexState) nbValue(j int) float64 {
+	switch s.stat[j] {
+	case nbLower:
+		return s.lo[j]
+	case nbUpper:
+		return s.hi[j]
+	default:
+		return 0
 	}
-	best, bestJ := -redCostEps, -1
-	artStart := p.n - p.nArt
-	for j := 0; j < p.n; j++ {
-		if barArt && j >= artStart {
+}
+
+// computeXB refreshes the basic variable values from the current bounds and
+// nonbasic statuses: x_B = B⁻¹(b − N·x_N).
+func (s *simplexState) computeXB() {
+	in := s.in
+	m := in.m
+	if m == 0 {
+		return
+	}
+	r := s.rowBuf
+	copy(r, in.b)
+	for j := 0; j < in.n; j++ {
+		if s.stat[j] == nbBasic {
 			continue
 		}
-		d := cost[j]
-		for i := 0; i < p.m; i++ {
-			if cb[i] != 0 && p.a[i][j] != 0 {
-				d -= cb[i] * p.a[i][j]
-			}
-		}
-		if d < -redCostEps {
-			if bland {
-				return j
-			}
-			if d < best {
-				best, bestJ = d, j
-			}
-		}
-	}
-	return bestJ
-}
-
-// pivotAt performs a Gauss-Jordan pivot on (row, j) and updates the basis.
-func (p *lp) pivotAt(row, j int) {
-	pv := p.a[row][j]
-	inv := 1 / pv
-	prow := p.a[row]
-	for k := 0; k < p.n; k++ {
-		prow[k] *= inv
-	}
-	p.b[row] *= inv
-	prow[j] = 1 // exact
-	for i := 0; i < p.m; i++ {
-		if i == row {
+		xj := s.nbValue(j)
+		if xj == 0 {
 			continue
 		}
-		f := p.a[i][j]
-		if f == 0 {
-			continue
-		}
-		arow := p.a[i]
-		for k := 0; k < p.n; k++ {
-			if prow[k] != 0 {
-				arow[k] -= f * prow[k]
+		if j < in.nStruct {
+			for p := in.colPtr[j]; p < in.colPtr[j+1]; p++ {
+				r[in.rowIdx[p]] -= in.val[p] * xj
 			}
-		}
-		arow[j] = 0
-		p.b[i] -= f * p.b[row]
-		if p.b[i] < 0 && p.b[i] > -feasEps {
-			p.b[i] = 0
+		} else {
+			r[j-in.nStruct] -= xj
 		}
 	}
-	p.basis[row] = j
-	p.iters++
+	for i := 0; i < m; i++ {
+		row := s.binv[i*m : (i+1)*m]
+		v := 0.0
+		for k, rk := range r {
+			if rk != 0 {
+				v += row[k] * rk
+			}
+		}
+		s.xB[i] = v
+	}
 }
 
-// pivot performs the ratio test on column j and pivots. Returns false if the
-// column proves unboundedness.
-func (p *lp) pivot(j int) bool {
-	row := -1
-	var ratio float64
-	for i := 0; i < p.m; i++ {
-		if p.a[i][j] > pivotEps {
-			r := p.b[i] / p.a[i][j]
-			if row == -1 || r < ratio-pivotEps ||
-				(r < ratio+pivotEps && p.basis[i] < p.basis[row]) {
-				row, ratio = i, r
+// ftran computes w = B⁻¹·A_j for column j.
+func (s *simplexState) ftran(j int) {
+	in := s.in
+	m := in.m
+	for i := range s.w {
+		s.w[i] = 0
+	}
+	if m == 0 {
+		return
+	}
+	if j >= in.nStruct {
+		r := j - in.nStruct
+		for i := 0; i < m; i++ {
+			s.w[i] = s.binv[i*m+r]
+		}
+		return
+	}
+	for p := in.colPtr[j]; p < in.colPtr[j+1]; p++ {
+		r, v := int(in.rowIdx[p]), in.val[p]
+		for i := 0; i < m; i++ {
+			s.w[i] += v * s.binv[i*m+r]
+		}
+	}
+}
+
+// computeDuals fills y = cBᵀ·B⁻¹ from per-row basic costs cb and the reduced
+// cost d_j = cost(j) − y·A_j for every nonbasic column.
+func (s *simplexState) computeDuals(cb []float64, cost func(int) float64) {
+	in := s.in
+	m := in.m
+	for k := 0; k < m; k++ {
+		s.y[k] = 0
+	}
+	for i := 0; i < m; i++ {
+		cbi := cb[i]
+		if cbi == 0 {
+			continue
+		}
+		row := s.binv[i*m : (i+1)*m]
+		for k, v := range row {
+			if v != 0 {
+				s.y[k] += cbi * v
 			}
 		}
 	}
-	if row == -1 {
-		return false
+	for j := 0; j < in.n; j++ {
+		if s.stat[j] == nbBasic {
+			s.d[j] = 0
+			continue
+		}
+		s.d[j] = cost(j) - in.colDot(s.y, j)
 	}
-	p.pivotAt(row, j)
+}
+
+func (s *simplexState) objCost(j int) float64 { return s.in.c[j] }
+
+func zeroCost(int) float64 { return 0 }
+
+// factorize rebuilds the dense basis inverse from the current basis by
+// Gauss-Jordan elimination with partial pivoting. Returns false on a
+// (numerically) singular basis.
+func (s *simplexState) factorize() bool {
+	in := s.in
+	m := in.m
+	s.sinceFactor = 0
+	if m == 0 {
+		return true
+	}
+	a := s.factorBuf
+	for i := range a {
+		a[i] = 0
+	}
+	for k := 0; k < m; k++ {
+		j := int(s.basic[k])
+		if j >= in.nStruct {
+			a[(j-in.nStruct)*m+k] = 1
+			continue
+		}
+		for p := in.colPtr[j]; p < in.colPtr[j+1]; p++ {
+			a[int(in.rowIdx[p])*m+k] = in.val[p]
+		}
+	}
+	binv := s.binv
+	for i := range binv {
+		binv[i] = 0
+	}
+	for i := 0; i < m; i++ {
+		binv[i*m+i] = 1
+	}
+	for k := 0; k < m; k++ {
+		// A full factorization is O(m³); honor cancellation mid-way on large
+		// bases (the false return cascades into a prompt iteration-limit).
+		if k&7 == 0 && s.aborted() {
+			return false
+		}
+		// Partial pivoting over rows k..m-1 of column k.
+		p, best := -1, 1e-10
+		for i := k; i < m; i++ {
+			if v := math.Abs(a[i*m+k]); v > best {
+				p, best = i, v
+			}
+		}
+		if p < 0 {
+			return false
+		}
+		if p != k {
+			swapRows(a, m, p, k)
+			swapRows(binv, m, p, k)
+		}
+		inv := 1 / a[k*m+k]
+		scaleRow(a, m, k, inv)
+		scaleRow(binv, m, k, inv)
+		for i := 0; i < m; i++ {
+			if i == k {
+				continue
+			}
+			f := a[i*m+k]
+			if f == 0 {
+				continue
+			}
+			axpyRow(a, m, i, k, -f)
+			axpyRow(binv, m, i, k, -f)
+		}
+	}
 	return true
 }
 
-// driveOutArtificials pivots any artificial variable remaining basic at zero
-// after phase I out of the basis. Rows that are all zero over non-artificial
-// columns are redundant and left inert (their artificial can never turn
-// positive because every eliminating coefficient in the row is zero).
-func (p *lp) driveOutArtificials() {
-	artStart := p.n - p.nArt
-	for i := 0; i < p.m; i++ {
-		if p.basis[i] < artStart {
+func swapRows(a []float64, m, i, j int) {
+	ri, rj := a[i*m:(i+1)*m], a[j*m:(j+1)*m]
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}
+
+func scaleRow(a []float64, m, i int, f float64) {
+	ri := a[i*m : (i+1)*m]
+	for k := range ri {
+		ri[k] *= f
+	}
+}
+
+func axpyRow(a []float64, m, i, j int, f float64) {
+	ri, rj := a[i*m:(i+1)*m], a[j*m:(j+1)*m]
+	for k := range rj {
+		if rj[k] != 0 {
+			ri[k] += f * rj[k]
+		}
+	}
+}
+
+// etaUpdate applies the product-form update of the basis inverse for a pivot
+// on basis row r with entering column q, where w = B⁻¹·A_q must already be in
+// s.w. Returns false when the pivot element is numerically unusable.
+func (s *simplexState) etaUpdate(r int) bool {
+	m := s.in.m
+	piv := s.w[r]
+	if math.Abs(piv) < 1e-11 {
+		return false
+	}
+	inv := 1 / piv
+	rowR := s.binv[r*m : (r+1)*m]
+	for k := range rowR {
+		rowR[k] *= inv
+	}
+	for i := 0; i < m; i++ {
+		if i == r {
 			continue
 		}
-		for j := 0; j < artStart; j++ {
-			if math.Abs(p.a[i][j]) > pivotEps {
-				p.pivotAt(i, j)
-				break
+		f := s.w[i]
+		if f == 0 {
+			continue
+		}
+		rowI := s.binv[i*m : (i+1)*m]
+		for k, v := range rowR {
+			if v != 0 {
+				rowI[k] -= f * v
 			}
 		}
 	}
+	return true
 }
 
-// run optimizes the given cost vector. blandAfter switches to Bland's rule
-// after that many iterations to break cycling.
-func (p *lp) run(cost []float64, barArt bool) Status {
-	blandAfter := 4 * (p.m + p.n)
-	start := p.iters
+// pivot replaces basis row r with column q (w already FTRANed) and marks the
+// leaving column nonbasic at leaveStat. Returns false on numerical failure.
+func (s *simplexState) pivot(q, r int, leaveStat int8) bool {
+	if !s.etaUpdate(r) {
+		return false
+	}
+	old := int(s.basic[r])
+	s.stat[old] = leaveStat
+	s.pos[old] = -1
+	s.basic[r] = int32(q)
+	s.pos[q] = int32(r)
+	s.stat[q] = nbBasic
+	s.iters++
+	s.sinceFactor++
+	if s.sinceFactor >= refactorEvery {
+		if !s.factorize() {
+			return false
+		}
+	}
+	return true
+}
+
+// priceEntering picks the entering column from the current reduced costs.
+// Returns the column and the movement direction (+1 away from the lower
+// bound, -1 away from the upper bound), or -1 when no candidate improves.
+// Under Bland's rule the lowest-index eligible column is returned, which
+// guarantees termination on degenerate models.
+func (s *simplexState) priceEntering(bland bool) (int, float64) {
+	bestJ, bestScore, bestDir := -1, redCostEps, 0.0
+	for j := 0; j < s.in.n; j++ {
+		var dir float64
+		switch s.stat[j] {
+		case nbLower:
+			if s.d[j] < -redCostEps {
+				dir = 1
+			}
+		case nbUpper:
+			if s.d[j] > redCostEps {
+				dir = -1
+			}
+		case nbFree:
+			if s.d[j] < -redCostEps {
+				dir = 1
+			} else if s.d[j] > redCostEps {
+				dir = -1
+			}
+		}
+		if dir == 0 {
+			continue
+		}
+		if bland {
+			return j, dir
+		}
+		if sc := math.Abs(s.d[j]); sc > bestScore {
+			bestJ, bestScore, bestDir = j, sc, dir
+		}
+	}
+	return bestJ, bestDir
+}
+
+// primalRatio runs the bounded-variable ratio test for entering column q
+// moving in direction dir (w already FTRANed). phase1 admits the composite
+// phase-1 rules: an infeasible basic variable limits the step only at the
+// bound it is converging to (first breakpoint). Returns the step, the leaving
+// basis row (-1 for a bound flip of q itself), and the leaving column's new
+// status.
+func (s *simplexState) primalRatio(q int, dir float64, phase1, bland bool) (float64, int, int8) {
+	t := math.Inf(1)
+	leave, leaveStat := -1, int8(nbLower)
+	if r := s.hi[q] - s.lo[q]; !math.IsInf(r, 1) {
+		t = r // bound flip
+	}
+	better := func(ti float64, i int) bool {
+		if ti < t-pivotEps {
+			return true
+		}
+		if ti >= t+pivotEps || leave < 0 {
+			return false
+		}
+		if bland {
+			return s.basic[i] < s.basic[leave]
+		}
+		return math.Abs(s.w[i]) > math.Abs(s.w[leave])
+	}
+	for i := 0; i < s.in.m; i++ {
+		wi := s.w[i]
+		rate := -dir * wi // movement of x_B[i] per unit step of x_q
+		if rate < pivotEps && rate > -pivotEps {
+			continue
+		}
+		bcol := int(s.basic[i])
+		x := s.xB[i]
+		loB, hiB := s.lo[bcol], s.hi[bcol]
+		var ti float64
+		var st int8
+		switch {
+		case phase1 && x < loB-feasEps:
+			// Below its lower bound: only a step that carries it up to lo
+			// limits the move (first breakpoint; it becomes feasible there).
+			if rate <= 0 {
+				continue
+			}
+			ti, st = (loB-x)/rate, nbLower
+		case phase1 && x > hiB+feasEps:
+			if rate >= 0 {
+				continue
+			}
+			ti, st = (x-hiB)/(-rate), nbUpper
+		case rate > 0:
+			if math.IsInf(hiB, 1) {
+				continue
+			}
+			ti, st = (hiB-x)/rate, nbUpper
+		default:
+			if math.IsInf(loB, -1) {
+				continue
+			}
+			ti, st = (x-loB)/(-rate), nbLower
+		}
+		if ti < 0 {
+			ti = 0
+		}
+		if better(ti, i) {
+			t, leave, leaveStat = ti, i, st
+		}
+	}
+	return t, leave, leaveStat
+}
+
+// applyPrimalStep performs the chosen primal step: a bound flip of the
+// entering column or a basis change. Returns false on numerical failure.
+func (s *simplexState) applyPrimalStep(q, leave int, leaveStat int8) bool {
+	if leave < 0 {
+		if s.stat[q] == nbLower {
+			s.stat[q] = nbUpper
+		} else {
+			s.stat[q] = nbLower
+		}
+		s.iters++
+		return true
+	}
+	return s.pivot(q, leave, leaveStat)
+}
+
+// phase1Costs classifies the basic variables against their bounds, filling
+// the composite phase-1 cost vector (-1 below lo, +1 above hi) and returning
+// the number of infeasible basics.
+func (s *simplexState) phase1Costs() int {
+	nInf := 0
+	for i := 0; i < s.in.m; i++ {
+		bcol := int(s.basic[i])
+		x := s.xB[i]
+		switch {
+		case x < s.lo[bcol]-feasEps:
+			s.cbBuf[i] = -1
+			nInf++
+		case x > s.hi[bcol]+feasEps:
+			s.cbBuf[i] = 1
+			nInf++
+		default:
+			s.cbBuf[i] = 0
+		}
+	}
+	return nInf
+}
+
+// primalPhase1 drives the basis to primal feasibility by minimizing the sum
+// of bound violations with a composite cost vector. Returns StatusOptimal
+// once feasible, StatusInfeasible at a phase-1 optimum with violations left,
+// StatusIterLimit on the pivot budget or context, statusNumFail on numerical
+// breakdown.
+func (s *simplexState) primalPhase1() Status {
+	start := s.iters
+	limit := s.callLimit()
+	blandAt := 4*(s.in.m+s.in.n) + 50
 	for {
-		if p.iters-start > p.maxIter {
+		if s.iters-start > limit || s.aborted() {
 			return StatusIterLimit
 		}
-		if p.ctx != nil && p.iters%32 == 0 && p.ctx.Err() != nil {
-			return StatusIterLimit
-		}
-		bland := p.iters-start > blandAfter
-		j := p.price(cost, barArt, bland)
-		if j < 0 {
+		s.computeXB()
+		if s.phase1Costs() == 0 {
 			return StatusOptimal
 		}
-		if !p.pivot(j) {
-			return StatusUnbounded
+		s.computeDuals(s.cbBuf, zeroCost)
+		bland := s.iters-start > blandAt
+		q, dir := s.priceEntering(bland)
+		if q < 0 {
+			return StatusInfeasible
+		}
+		s.ftran(q)
+		t, leave, leaveStat := s.primalRatio(q, dir, true, bland)
+		if math.IsInf(t, 1) {
+			// The infeasibility sum is bounded below by zero, so an unbounded
+			// improving ray is a numerical contradiction.
+			return statusNumFail
+		}
+		if !s.applyPrimalStep(q, leave, leaveStat) {
+			return statusNumFail
 		}
 	}
 }
 
-// objValue evaluates cost over the current basic solution.
-func (p *lp) objValue(cost []float64) float64 {
-	v := 0.0
-	for i, bi := range p.basis {
-		v += cost[bi] * p.b[i]
+// primalPhase2 optimizes the real objective from a primal-feasible basis.
+func (s *simplexState) primalPhase2() Status {
+	start := s.iters
+	limit := s.callLimit()
+	blandAt := 4*(s.in.m+s.in.n) + 50
+	for {
+		if s.iters-start > limit || s.aborted() {
+			return StatusIterLimit
+		}
+		s.computeXB()
+		for i := 0; i < s.in.m; i++ {
+			s.cbBuf[i] = s.in.c[s.basic[i]]
+		}
+		s.computeDuals(s.cbBuf, s.objCost)
+		bland := s.iters-start > blandAt
+		q, dir := s.priceEntering(bland)
+		if q < 0 {
+			return StatusOptimal
+		}
+		s.ftran(q)
+		t, leave, leaveStat := s.primalRatio(q, dir, false, bland)
+		if math.IsInf(t, 1) {
+			return StatusUnbounded
+		}
+		if !s.applyPrimalStep(q, leave, leaveStat) {
+			return statusNumFail
+		}
 	}
-	return v
 }
 
-// SolveLP solves the LP relaxation of m (integrality dropped) with a dense
-// two-phase primal simplex. The returned solution is indexed by Var.ID.
+// dual runs the bounded-variable dual simplex from the current basis, which
+// must be dual feasible (reduced costs consistent with the nonbasic
+// statuses). It restores primal feasibility bound violation by bound
+// violation; when none remains the basis is optimal. StatusInfeasible means
+// the subproblem has no feasible point (the usual warm-start outcome for a
+// pruned branch-and-bound child).
+func (s *simplexState) dual() Status {
+	in := s.in
+	m := in.m
+	start := s.iters
+	limit := s.callLimit()
+	blandAt := 4*(m+in.n) + 50
+	for {
+		if s.iters-start > limit || s.aborted() {
+			return StatusIterLimit
+		}
+		s.computeXB()
+		// Leaving row: the most violated basic variable.
+		r, below := -1, false
+		worst := feasEps
+		for i := 0; i < m; i++ {
+			bcol := int(s.basic[i])
+			if v := s.lo[bcol] - s.xB[i]; v > worst {
+				r, below, worst = i, true, v
+			}
+			if v := s.xB[i] - s.hi[bcol]; v > worst {
+				r, below, worst = i, false, v
+			}
+		}
+		if r < 0 {
+			return StatusOptimal
+		}
+		for i := 0; i < m; i++ {
+			s.cbBuf[i] = in.c[s.basic[i]]
+		}
+		s.computeDuals(s.cbBuf, s.objCost)
+		rho := s.binv[r*m : (r+1)*m]
+		bland := s.iters-start > blandAt
+		// Entering column: the dual ratio test over columns that can move
+		// x_B[r] toward its violated bound while keeping the reduced costs
+		// dual feasible; the smallest |d/alpha| binds.
+		q, bestTheta, bestAlpha := -1, 0.0, 0.0
+		for j := 0; j < in.n; j++ {
+			st := s.stat[j]
+			if st == nbBasic {
+				continue
+			}
+			alpha := in.colDot(rho, j)
+			if math.Abs(alpha) < feasEps {
+				continue
+			}
+			var ok bool
+			if below {
+				ok = (st == nbLower && alpha < 0) || (st == nbUpper && alpha > 0) || st == nbFree
+			} else {
+				ok = (st == nbLower && alpha > 0) || (st == nbUpper && alpha < 0) || st == nbFree
+			}
+			if !ok {
+				continue
+			}
+			dj := s.d[j]
+			switch st {
+			case nbLower: // dual feasibility means dj >= 0; clamp drift
+				if dj < 0 {
+					dj = 0
+				}
+			case nbUpper:
+				if dj > 0 {
+					dj = 0
+				}
+			}
+			theta := math.Abs(dj / alpha)
+			switch {
+			case q < 0 || theta < bestTheta-redCostEps:
+				q, bestTheta, bestAlpha = j, theta, alpha
+			case theta < bestTheta+redCostEps:
+				if bland {
+					if j < q {
+						q, bestTheta, bestAlpha = j, theta, alpha
+					}
+				} else if math.Abs(alpha) > math.Abs(bestAlpha) {
+					q, bestTheta, bestAlpha = j, theta, alpha
+				}
+			}
+		}
+		if q < 0 {
+			return StatusInfeasible
+		}
+		s.ftran(q)
+		if math.Abs(s.w[r]) < 1e-9 {
+			return statusNumFail
+		}
+		leaveStat := int8(nbUpper)
+		if below {
+			leaveStat = nbLower
+		}
+		if !s.pivot(q, r, leaveStat) {
+			return statusNumFail
+		}
+	}
+}
+
+// installSlackBasis resets the state to the all-slack basis with structural
+// columns nonbasic. When byCost is true, finite bounds are chosen by the sign
+// of the objective coefficient, which makes the slack basis dual feasible
+// whenever possible; the return value reports whether it succeeded for every
+// column. When false (or for columns where the cost-preferred bound is
+// infinite), any finite bound is used.
+func (s *simplexState) installSlackBasis(byCost bool) bool {
+	in := s.in
+	dualOK := true
+	for j := 0; j < in.nStruct; j++ {
+		cj := in.c[j]
+		loF, hiF := !math.IsInf(s.lo[j], -1), !math.IsInf(s.hi[j], 1)
+		switch {
+		case byCost && cj > redCostEps:
+			if loF {
+				s.stat[j] = nbLower
+			} else {
+				dualOK = false
+				s.stat[j] = pickBound(loF, hiF)
+			}
+		case byCost && cj < -redCostEps:
+			if hiF {
+				s.stat[j] = nbUpper
+			} else {
+				dualOK = false
+				s.stat[j] = pickBound(loF, hiF)
+			}
+		default:
+			s.stat[j] = pickBound(loF, hiF)
+		}
+		s.pos[j] = -1
+	}
+	m := in.m
+	for i := 0; i < m; i++ {
+		col := in.nStruct + i
+		s.basic[i] = int32(col)
+		s.stat[col] = nbBasic
+		s.pos[col] = int32(i)
+	}
+	// The slack basis inverse is the identity.
+	for i := range s.binv {
+		s.binv[i] = 0
+	}
+	for i := 0; i < m; i++ {
+		s.binv[i*m+i] = 1
+	}
+	s.sinceFactor = 0
+	return dualOK
+}
+
+func pickBound(loF, hiF bool) int8 {
+	switch {
+	case loF:
+		return nbLower
+	case hiF:
+		return nbUpper
+	default:
+		return nbFree
+	}
+}
+
+// solveCold solves the LP from scratch: a dual simplex from the all-slack
+// basis when that basis can be made dual feasible (the common case for the
+// paper's fully-bounded formulations), otherwise a two-phase primal.
+func (s *simplexState) solveCold() Status {
+	if s.installSlackBasis(true) {
+		st := s.dual()
+		if st != statusNumFail {
+			return st
+		}
+		// Numerical breakdown: retry with the primal path below.
+	}
+	s.installSlackBasis(false)
+	if st := s.ctxStatus(s.primalPhase1()); st != StatusOptimal {
+		return st
+	}
+	return s.ctxStatus(s.primalPhase2())
+}
+
+// ctxStatus converts a numerical-failure verdict caused by a mid-operation
+// context abort (e.g. a cancelled factorization) into the iteration-limit
+// verdict the abort classification expects.
+func (s *simplexState) ctxStatus(st Status) Status {
+	if st == statusNumFail && s.aborted() {
+		return StatusIterLimit
+	}
+	return st
+}
+
+// solveWarm re-solves after bound changes from an inherited basis: refactor
+// the basis inverse and clean up primal feasibility with the dual simplex.
+// The caller falls back to solveCold when it reports statusNumFail.
+func (s *simplexState) solveWarm() Status {
+	if !s.factorize() {
+		return statusNumFail
+	}
+	return s.dual()
+}
+
+// extract maps the current basic solution back to model-variable space,
+// including presolve-fixed variables, clamping floating-point noise into the
+// working bounds. computeXB must reflect the final basis (both simplex loops
+// leave it fresh on StatusOptimal).
+func (s *simplexState) extract() []float64 {
+	in := s.in
+	x := make([]float64, len(in.varCol))
+	for v, col := range in.varCol {
+		if col < 0 {
+			x[v] = in.fixed[v]
+			continue
+		}
+		var xv float64
+		switch s.stat[col] {
+		case nbBasic:
+			xv = s.xB[s.pos[col]]
+		case nbLower:
+			xv = s.lo[col]
+		case nbUpper:
+			xv = s.hi[col]
+		}
+		if xv < s.lo[col] {
+			xv = s.lo[col]
+		}
+		if xv > s.hi[col] {
+			xv = s.hi[col]
+		}
+		x[v] = xv
+	}
+	return x
+}
+
+// SolveLP solves the LP relaxation of m (integrality dropped) with the
+// sparse bounded-variable simplex. The returned solution is indexed by
+// Var.ID.
 func SolveLP(m *Model) (*Solution, error) {
 	return solveLPContext(context.Background(), m)
 }
 
 // solveLPContext is SolveLP bounded by a context; once ctx is done the solve
-// aborts with StatusIterLimit.
+// aborts with StatusIterLimit (callers classify the abort).
 func solveLPContext(ctx context.Context, m *Model) (*Solution, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
-	p, ok := buildLP(m)
-	if !ok {
-		return &Solution{Status: StatusInfeasible}, nil
+	in, decided := compile(m, false)
+	if decided == StatusInfeasible {
+		return &Solution{Status: StatusInfeasible, Stats: SolveStats{Presolve: in.pre}}, nil
 	}
-	p.ctx = ctx
-
-	// Phase I: minimize sum of artificials.
-	if p.nArt > 0 {
-		phase1 := make([]float64, p.n)
-		for j := p.n - p.nArt; j < p.n; j++ {
-			phase1[j] = artificialW
-		}
-		st := p.run(phase1, false)
-		if st == StatusIterLimit {
-			return &Solution{Status: StatusIterLimit, Iterations: p.iters}, nil
-		}
-		if st == StatusUnbounded {
-			// Phase I cannot be unbounded (costs >= 0, y >= 0); treat as
-			// numerical failure.
-			return nil, fmt.Errorf("milp: phase I reported unbounded (numerical failure)")
-		}
-		if p.objValue(phase1) > 1e-6 {
-			return &Solution{Status: StatusInfeasible, Iterations: p.iters}, nil
-		}
-		p.driveOutArtificials()
+	s := newState(in)
+	s.ctx = ctx
+	status := s.solveCold()
+	sol := &Solution{
+		Status:     status,
+		Iterations: s.iters,
+		Stats:      SolveStats{SimplexIters: s.iters, Presolve: in.pre, ColdStarts: 1, Workers: 1},
 	}
-
-	// Phase II.
-	st := p.run(p.c, true)
-	switch st {
-	case StatusIterLimit:
-		return &Solution{Status: StatusIterLimit, Iterations: p.iters}, nil
-	case StatusUnbounded:
-		return &Solution{Status: StatusUnbounded, Iterations: p.iters}, nil
+	sol.Stats.Gap = -1
+	switch status {
+	case statusNumFail:
+		return nil, fmt.Errorf("milp: simplex numerical failure (singular basis)")
+	case StatusOptimal:
+		sol.X = s.extract()
+		obj, _ := m.Objective()
+		sol.Objective = obj.Eval(sol.X)
+		sol.Bound = sol.Objective
+		sol.Stats.Gap = 0
 	}
-
-	// Recover structural values.
-	y := make([]float64, p.n)
-	for i, bi := range p.basis {
-		y[bi] = p.b[i]
-	}
-	x := make([]float64, len(m.vars))
-	for j := range x {
-		d := m.vars[j]
-		if !math.IsInf(d.lo, -1) {
-			x[j] = d.lo
-		} else if !math.IsInf(d.hi, 1) {
-			x[j] = d.hi
-		}
-	}
-	for cIdx, col := range p.cols {
-		switch col.kind {
-		case colShift:
-			x[col.varID] = col.shift + y[cIdx]
-		case colMirror:
-			x[col.varID] = col.shift - y[cIdx]
-		case colPlus:
-			x[col.varID] += y[cIdx]
-		case colMinus:
-			x[col.varID] -= y[cIdx]
-		}
-	}
-	// Clamp tiny bound violations from floating point.
-	for j := range x {
-		d := m.vars[j]
-		if x[j] < d.lo {
-			x[j] = d.lo
-		}
-		if x[j] > d.hi {
-			x[j] = d.hi
-		}
-	}
-
-	obj := m.obj.Eval(x)
-	return &Solution{
-		Status:     StatusOptimal,
-		X:          x,
-		Objective:  obj,
-		Bound:      obj,
-		Iterations: p.iters,
-	}, nil
+	return sol, nil
 }

@@ -1,0 +1,50 @@
+package milp
+
+// PresolveStats summarizes what the root presolve pass removed from a model
+// before the simplex ever saw it.
+type PresolveStats struct {
+	// FixedCols counts variables eliminated because presolve proved them
+	// fixed (bounds collapsed, singleton equalities, propagation).
+	FixedCols int
+	// RemovedRows counts constraints dropped as redundant, constant, or
+	// absorbed into variable bounds (singleton rows).
+	RemovedRows int
+	// TightenedBounds counts individual variable-bound improvements derived
+	// by activity-based bound propagation.
+	TightenedBounds int
+}
+
+// SolveStats carries the solver diagnostics of one Solve/SolveLP call. It is
+// threaded through the scheduling and architecture ILP layers up to the
+// pipeline result so reports and CLIs can show how the solve went.
+type SolveStats struct {
+	// Nodes is the number of branch-and-bound nodes explored (MILP only).
+	Nodes int
+	// SimplexIters counts simplex pivots across all LP solves.
+	SimplexIters int
+	// WarmStarts counts node relaxations solved by warm-starting the parent
+	// basis with a dual-simplex cleanup (including in-place dives).
+	WarmStarts int
+	// ColdStarts counts node relaxations that needed a from-scratch solve:
+	// the root, and any node whose warm start failed numerically.
+	ColdStarts int
+	// Presolve reports the root presolve reductions.
+	Presolve PresolveStats
+	// Workers is the number of branch-and-bound workers used.
+	Workers int
+	// Gap is the relative MIP gap at termination:
+	// |incumbent - bound| / max(1, |incumbent|). It is 0 for a proven
+	// optimum and -1 when no bound information survived (e.g. no feasible
+	// point, or the search aborted before any relaxation finished).
+	Gap float64
+}
+
+// WarmStartRate is the fraction of node relaxations served by a warm start,
+// in [0, 1]. It returns 0 when no node LP was solved.
+func (s SolveStats) WarmStartRate() float64 {
+	tot := s.WarmStarts + s.ColdStarts
+	if tot == 0 {
+		return 0
+	}
+	return float64(s.WarmStarts) / float64(tot)
+}

@@ -1,0 +1,278 @@
+package milp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// buildBoundedLP returns a compiled instance and state for a small LP with
+// every variable boxed, ready for warm-start experiments.
+func buildBoundedLP(t *testing.T) (*Model, *instance, *simplexState) {
+	t.Helper()
+	m := NewModel()
+	x := m.NewContinuous("x", 0, 10)
+	y := m.NewContinuous("y", 0, 10)
+	z := m.NewContinuous("z", 0, 10)
+	m.AddLE("c1", *NewExpr(0).Add(x, 1).Add(y, 2).Add(z, 1), 14)
+	m.AddLE("c2", *NewExpr(0).Add(x, 3).Add(y, 1), 15)
+	m.AddGE("c3", *NewExpr(0).Add(x, 1).Add(y, 1).Add(z, 1), 4)
+	m.SetObjective(*NewExpr(0).Add(x, -2).Add(y, -3).Add(z, -1), Minimize) // max 2x+3y+z
+	in, st := compile(m, false)
+	if st == StatusInfeasible {
+		t.Fatal("feasible model declared infeasible")
+	}
+	s := newState(in)
+	return m, in, s
+}
+
+// TestWarmStartAfterBoundTightening solves an LP cold, tightens a bound the
+// optimum sits on, and re-solves warm from the same basis: the dual cleanup
+// must agree with a from-scratch solve.
+func TestWarmStartAfterBoundTightening(t *testing.T) {
+	m, in, s := buildBoundedLP(t)
+	if st := s.solveCold(); st != StatusOptimal {
+		t.Fatalf("cold solve: %v", st)
+	}
+	coldObj := objOf(m, s)
+
+	// Tighten the binding variable's upper bound and clean up warm.
+	xCol := in.varCol[0]
+	s.hi[xCol] = 2
+	itersBefore := s.iters
+	if st := s.solveWarm(); st != StatusOptimal {
+		t.Fatalf("warm re-solve: %v", st)
+	}
+	warmIters := s.iters - itersBefore
+	warmObj := objOf(m, s)
+
+	// Cross-check against a cold solve of the modified instance.
+	s2 := newState(in)
+	s2.hi[xCol] = 2
+	if st := s2.solveCold(); st != StatusOptimal {
+		t.Fatalf("cold re-solve: %v", st)
+	}
+	if !almostEq(warmObj, objOf(m, s2), 1e-6) {
+		t.Errorf("warm objective %v != cold objective %v", warmObj, objOf(m, s2))
+	}
+	if warmObj <= coldObj-1e-9 {
+		t.Errorf("tightening a bound improved the objective: %v -> %v", coldObj, warmObj)
+	}
+	if warmIters > s2.iters {
+		t.Logf("note: warm start used %d pivots vs cold %d", warmIters, s2.iters)
+	}
+}
+
+// TestWarmStartFallbackOnSingularBasis loads a nonsense basis (a repeated
+// column, hence singular) and checks the warm path reports numerical failure
+// so branch and bound falls back to a cold solve — then verifies the
+// fallback indeed recovers the optimum.
+func TestWarmStartFallbackOnSingularBasis(t *testing.T) {
+	m, _, s := buildBoundedLP(t)
+	if st := s.solveCold(); st != StatusOptimal {
+		t.Fatalf("cold solve: %v", st)
+	}
+	want := objOf(m, s)
+
+	// Corrupt: make every basis row reference the same column.
+	for i := range s.basic {
+		s.basic[i] = s.basic[0]
+	}
+	if st := s.solveWarm(); st != statusNumFail {
+		t.Fatalf("singular warm start = %v, want numerical failure", st)
+	}
+	if st := s.solveCold(); st != StatusOptimal {
+		t.Fatalf("cold fallback: %v", st)
+	}
+	if got := objOf(m, s); !almostEq(got, want, 1e-6) {
+		t.Errorf("fallback objective %v, want %v", got, want)
+	}
+}
+
+func objOf(m *Model, s *simplexState) float64 {
+	obj, _ := m.Objective()
+	return obj.Eval(s.extract())
+}
+
+// TestMILPWarmStartStats checks that a real branch-and-bound run predominantly
+// warm-starts its node relaxations.
+func TestMILPWarmStartStats(t *testing.T) {
+	m, _ := hardKnapsack(16)
+	sol, err := Solve(m, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	st := sol.Stats
+	if st.Nodes == 0 || st.Nodes != sol.Nodes {
+		t.Errorf("Stats.Nodes = %d (Solution.Nodes %d), want equal and > 0", st.Nodes, sol.Nodes)
+	}
+	if st.SimplexIters != sol.Iterations {
+		t.Errorf("Stats.SimplexIters = %d != Iterations %d", st.SimplexIters, sol.Iterations)
+	}
+	if st.WarmStarts == 0 {
+		t.Error("expected warm-started node relaxations")
+	}
+	if st.ColdStarts == 0 {
+		t.Error("expected at least the root cold solve to be counted")
+	}
+	if rate := st.WarmStartRate(); rate < 0.5 {
+		t.Errorf("warm-start rate %.2f, want >= 0.5 (diving should dominate)", rate)
+	}
+	if st.Gap != 0 {
+		t.Errorf("gap = %v for a proven optimum, want 0", st.Gap)
+	}
+}
+
+// TestLPBlandDegenerate solves Beale's classic cycling example, on which the
+// plain Dantzig rule loops forever; the Bland fallback must terminate at the
+// known optimum -1/20.
+func TestLPBlandDegenerate(t *testing.T) {
+	m := NewModel()
+	x1 := m.NewContinuous("x1", 0, Inf)
+	x2 := m.NewContinuous("x2", 0, Inf)
+	x3 := m.NewContinuous("x3", 0, Inf)
+	x4 := m.NewContinuous("x4", 0, Inf)
+	m.AddLE("r1", *NewExpr(0).Add(x1, 0.25).Add(x2, -60).Add(x3, -1.0/25).Add(x4, 9), 0)
+	m.AddLE("r2", *NewExpr(0).Add(x1, 0.5).Add(x2, -90).Add(x3, -1.0/50).Add(x4, 3), 0)
+	m.AddLE("r3", VarExpr(x3), 1)
+	m.SetObjective(*NewExpr(0).Add(x1, -0.75).Add(x2, 150).Add(x3, -1.0/50).Add(x4, 6), Minimize)
+
+	sol, err := SolveLP(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status = %v, want optimal (degenerate cycling guard)", sol.Status)
+	}
+	if !almostEq(sol.Objective, -0.05, 1e-9) {
+		t.Errorf("objective = %v, want -0.05", sol.Objective)
+	}
+}
+
+// TestMILPParallelWorkersRace exercises the shared-incumbent worker pool
+// under the race detector: several concurrent Solves, each with a worker
+// pool, must all agree with brute force.
+func TestMILPParallelWorkersRace(t *testing.T) {
+	var wg sync.WaitGroup
+	for run := 0; run < 4; run++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			n := 8 + r.Intn(4)
+			w := make([]float64, n)
+			p := make([]float64, n)
+			capE, objE := NewExpr(0), NewExpr(0)
+			m := NewModel()
+			for i := 0; i < n; i++ {
+				w[i] = float64(1 + r.Intn(9))
+				p[i] = float64(1 + r.Intn(9))
+				v := m.NewBinary(fmt.Sprintf("v%d", i))
+				capE.Add(v, w[i])
+				objE.Add(v, p[i])
+			}
+			capacity := float64(5 + r.Intn(20))
+			m.AddLE("cap", *capE, capacity)
+			m.SetObjective(*objE, Maximize)
+
+			sol, err := Solve(m, SolveOptions{Workers: 4})
+			if err != nil {
+				t.Errorf("seed %d: %v", seed, err)
+				return
+			}
+			if sol.Status != StatusOptimal {
+				t.Errorf("seed %d: status %v", seed, sol.Status)
+				return
+			}
+			if sol.Stats.Workers != 4 {
+				t.Errorf("seed %d: Stats.Workers = %d, want 4", seed, sol.Stats.Workers)
+			}
+			best := 0.0
+			for mask := 0; mask < 1<<n; mask++ {
+				wt, pf := 0.0, 0.0
+				for i := 0; i < n; i++ {
+					if mask&(1<<i) != 0 {
+						wt += w[i]
+						pf += p[i]
+					}
+				}
+				if wt <= capacity && pf > best {
+					best = pf
+				}
+			}
+			if !almostEq(sol.Objective, best, 1e-6) {
+				t.Errorf("seed %d: objective %v, want %v", seed, sol.Objective, best)
+			}
+		}(int64(run + 1))
+	}
+	wg.Wait()
+}
+
+// TestMILPSequentialDeterministic pins the single-worker search: same model,
+// same trajectory, bit-identical node and pivot counts.
+func TestMILPSequentialDeterministic(t *testing.T) {
+	solveOnce := func() *Solution {
+		m, _ := hardKnapsack(14)
+		sol, err := Solve(m, SolveOptions{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sol
+	}
+	a, b := solveOnce(), solveOnce()
+	if a.Status != StatusOptimal || b.Status != StatusOptimal {
+		t.Fatalf("statuses %v / %v, want optimal", a.Status, b.Status)
+	}
+	if a.Nodes != b.Nodes || a.Iterations != b.Iterations {
+		t.Errorf("nondeterministic sequential search: %d/%d nodes, %d/%d pivots",
+			a.Nodes, b.Nodes, a.Iterations, b.Iterations)
+	}
+	if math.Abs(a.Objective-b.Objective) > 1e-12 {
+		t.Errorf("objective drifted: %v vs %v", a.Objective, b.Objective)
+	}
+}
+
+// TestMILPMaxNodesKeepsLastRelaxation pins the node-cap semantics: the node
+// that reaches MaxNodes was already solved, so its integral solution must be
+// kept rather than discarded with the cap.
+func TestMILPMaxNodesKeepsLastRelaxation(t *testing.T) {
+	m := NewModel()
+	x := m.NewInteger("x", 0, 10)
+	y := m.NewInteger("y", 0, 10)
+	// A second variable keeps presolve from deciding the model outright.
+	m.AddLE("c", *NewExpr(0).Add(x, 1).Add(y, 1), 5)
+	m.SetObjective(*NewExpr(0).Add(x, 1).Add(y, 1), Maximize)
+	sol, err := Solve(m, SolveOptions{MaxNodes: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The root relaxation is integral (x+y=5), so one node suffices; the cap
+	// must not erase its incumbent.
+	if sol.X == nil {
+		t.Fatalf("status %v with no solution; the capped node's relaxation was discarded", sol.Status)
+	}
+	if !almostEq(sol.Objective, 5, 1e-9) {
+		t.Errorf("objective = %v, want 5", sol.Objective)
+	}
+}
+
+// TestMILPGapOption verifies early stop at a relative gap still reports a
+// bound and a gap measurement.
+func TestMILPGapOption(t *testing.T) {
+	m, inc := hardKnapsack(24)
+	sol, err := Solve(m, SolveOptions{Gap: 0.5, Incumbent: inc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Feasible() {
+		t.Fatalf("status = %v with no assignment", sol.Status)
+	}
+	if g := sol.Stats.Gap; g < 0 || g > 0.5+1e-9 {
+		t.Errorf("reported gap %v, want within [0, 0.5]", g)
+	}
+}

@@ -64,6 +64,13 @@ type ILPInfo struct {
 	Runtime time.Duration
 	// ModelStats summarizes the formulation size.
 	ModelStats milp.Stats
+	// Solver carries the full MILP solver diagnostics: warm-start rate,
+	// presolve reductions, MIP gap, and worker count.
+	Solver milp.SolveStats
+	// Winner names the engine whose schedule was returned: "ilp" for the
+	// exact solution, "list" for the list-scheduler incumbent (size cap,
+	// solver fallback, or a portfolio race won by the heuristic arm).
+	Winner string
 }
 
 // ILPSchedule builds and solves the paper's scheduling-and-binding ILP
@@ -120,6 +127,7 @@ func ILPScheduleContext(ctx context.Context, g *seqgraph.Graph, opts ILPOptions)
 		return incumbent, &ILPInfo{
 			Status:    milp.StatusTimeLimit,
 			Objective: alpha*float64(incumbent.Makespan) + beta*float64(incumbent.StorageTime()),
+			Winner:    "list",
 		}, nil
 	}
 	horizon := float64(incumbent.Makespan + opts.Transport*g.NumEdges() + 1)
@@ -176,15 +184,19 @@ func ILPScheduleContext(ctx context.Context, g *seqgraph.Graph, opts ILPOptions)
 	}
 
 	// diff_{ij} definition: diff >= |s_ik - s_jk| and diff <= 2 - s_ik - s_jk.
-	for key, d := range diff {
-		i, j := key[0], key[1]
-		for k := 0; k < opts.Devices; k++ {
-			m.AddLE(fmt.Sprintf("dge1_%d_%d_%d", i, j, k),
-				*milp.NewExpr(0).Add(assign[i][k], 1).Add(assign[j][k], -1).Add(d, -1), 0)
-			m.AddLE(fmt.Sprintf("dge2_%d_%d_%d", i, j, k),
-				*milp.NewExpr(0).Add(assign[j][k], 1).Add(assign[i][k], -1).Add(d, -1), 0)
-			m.AddLE(fmt.Sprintf("dle_%d_%d_%d", i, j, k),
-				*milp.NewExpr(0).Add(d, 1).Add(assign[i][k], 1).Add(assign[j][k], 1), 2)
+	// Iterated in pair order (not map order) so the constraint layout — and
+	// with it the solver's pivot trajectory — is identical run to run.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := diff[[2]int{i, j}]
+			for k := 0; k < opts.Devices; k++ {
+				m.AddLE(fmt.Sprintf("dge1_%d_%d_%d", i, j, k),
+					*milp.NewExpr(0).Add(assign[i][k], 1).Add(assign[j][k], -1).Add(d, -1), 0)
+				m.AddLE(fmt.Sprintf("dge2_%d_%d_%d", i, j, k),
+					*milp.NewExpr(0).Add(assign[j][k], 1).Add(assign[i][k], -1).Add(d, -1), 0)
+				m.AddLE(fmt.Sprintf("dle_%d_%d_%d", i, j, k),
+					*milp.NewExpr(0).Add(d, 1).Add(assign[i][k], 1).Add(assign[j][k], 1), 2)
+			}
 		}
 	}
 
@@ -255,11 +267,14 @@ func ILPScheduleContext(ctx context.Context, g *seqgraph.Graph, opts ILPOptions)
 		Iterations: sol.Iterations,
 		Runtime:    time.Since(startT),
 		ModelStats: m.Stats(),
+		Solver:     sol.Stats,
+		Winner:     "ilp",
 	}
 	if !sol.Feasible() {
 		// Fall back to the list schedule (best effort), as the paper falls
 		// back to the solver's best incumbent at the time limit.
 		info.Objective = alpha*float64(incumbent.Makespan) + beta*float64(incumbent.StorageTime())
+		info.Winner = "list"
 		return incumbent, info, nil
 	}
 	info.Objective = sol.Objective
@@ -274,6 +289,7 @@ func ILPScheduleContext(ctx context.Context, g *seqgraph.Graph, opts ILPOptions)
 	scoreRec := alpha*float64(schedule.Makespan) + beta*float64(schedule.StorageTime())
 	scoreInc := alpha*float64(incumbent.Makespan) + beta*float64(incumbent.StorageTime())
 	if scoreInc < scoreRec {
+		info.Winner = "list"
 		return incumbent, info, nil
 	}
 	return schedule, info, nil

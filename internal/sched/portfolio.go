@@ -71,7 +71,9 @@ func PortfolioSchedule(ctx context.Context, g *seqgraph.Graph, opts ILPOptions) 
 		return nil, nil, list.err
 	}
 	if score(list.s) < score(ilp.s) {
-		return list.s, ilp.info, nil
+		info := *ilp.info
+		info.Winner = "list"
+		return list.s, &info, nil
 	}
 	return ilp.s, ilp.info, nil
 }

@@ -47,8 +47,67 @@ func (r *Result) ChipDimensions() (afterSynthesis, afterDevices, compressed stri
 	return p.AfterSynthesis.String(), p.AfterDevices.String(), p.Compressed.String()
 }
 
-// Summary renders the headline numbers in the paper's Table 2 column order.
+// Summary renders the headline numbers in the paper's Table 2 column order,
+// plus the MILP solver diagnostics when the exact engine ran.
 func (r *Result) Summary() string { return r.inner.Summary() }
+
+// SolverStats reports the exact scheduling engine's MILP solver diagnostics:
+// how the sparse warm-started branch-and-bound search went, sized against
+// the formulation it solved. It is nil-safe to format with %+v.
+type SolverStats struct {
+	// Status is the solver verdict ("optimal", "time-limit", ...).
+	Status string
+	// Objective is the solved α·tE + β·Σu objective value.
+	Objective float64
+	// Nodes and Iterations count branch-and-bound nodes and simplex pivots.
+	Nodes, Iterations int
+	// WarmStartRate is the fraction of node relaxations served by a
+	// dual-simplex warm start from the parent basis, in [0, 1].
+	WarmStartRate float64
+	// Gap is the relative MIP gap at termination: 0 for a proven optimum,
+	// -1 when no dual bound survived.
+	Gap float64
+	// PresolveFixedCols, PresolveRemovedRows and PresolveTightenedBounds
+	// report the root presolve reductions.
+	PresolveFixedCols, PresolveRemovedRows, PresolveTightenedBounds int
+	// Workers is the branch-and-bound worker pool size.
+	Workers int
+	// Runtime is the wall-clock solve time (the paper's t_s column).
+	Runtime time.Duration
+	// ModelVars and ModelConstraints size the formulation before presolve.
+	ModelVars, ModelConstraints int
+	// Winner names the engine whose schedule was kept: "ilp" or "list".
+	Winner string
+}
+
+// SolverStats returns the exact engine's solver diagnostics, or nil when the
+// heuristic list scheduler produced the result (no ILP ran).
+func (r *Result) SolverStats() *SolverStats {
+	info := r.inner.SchedInfo
+	if info == nil {
+		return nil
+	}
+	return &SolverStats{
+		Status:                  info.Status.String(),
+		Objective:               info.Objective,
+		Nodes:                   info.Solver.Nodes,
+		Iterations:              info.Solver.SimplexIters,
+		WarmStartRate:           info.Solver.WarmStartRate(),
+		Gap:                     info.Solver.Gap,
+		PresolveFixedCols:       info.Solver.Presolve.FixedCols,
+		PresolveRemovedRows:     info.Solver.Presolve.RemovedRows,
+		PresolveTightenedBounds: info.Solver.Presolve.TightenedBounds,
+		Workers:                 info.Solver.Workers,
+		Runtime:                 info.Runtime,
+		ModelVars:               info.ModelStats.Vars,
+		ModelConstraints:        info.ModelStats.Constraints,
+		Winner:                  info.Winner,
+	}
+}
+
+// SolverSummary renders the solver diagnostics in one line, or "" when no
+// ILP ran.
+func (r *Result) SolverSummary() string { return r.inner.SolverSummary() }
 
 // Stage names of the synthesis pipeline, in execution order.
 const (

@@ -138,17 +138,21 @@ func TestSynthesizeBatchCancellation(t *testing.T) {
 }
 
 func TestSynthesizeContextCancelledMidILP(t *testing.T) {
-	a, opts, err := Benchmark("PCR")
-	if err != nil {
-		t.Fatal(err)
+	// PCR itself now solves to proven optimality in milliseconds, so the
+	// cancellation must land on a model the solver genuinely chews on: a
+	// 14-operation random assay at four devices is at the exact-ILP size cap
+	// and keeps branch and bound busy for far longer than the test window.
+	a := RandomAssay(14, 3, 1)
+	opts := Options{
+		Devices: 4, Transport: 10, GridRows: 6, GridCols: 6,
+		Engine:       ILPEngine,
+		ILPTimeLimit: time.Minute, // cancellation, not the limit, must end it
 	}
-	opts.Engine = ILPEngine
-	opts.ILPTimeLimit = time.Minute // cancellation, not the limit, must end it
 	ctx, cancel := context.WithCancel(context.Background())
 	const after = 50 * time.Millisecond
 	time.AfterFunc(after, cancel)
 	start := time.Now()
-	_, err = SynthesizeContext(ctx, a, opts)
+	_, err := SynthesizeContext(ctx, a, opts)
 	elapsed := time.Since(start)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
