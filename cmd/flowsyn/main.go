@@ -107,6 +107,11 @@ func main() {
 			sv.ModelVars, sv.ModelConstraints,
 			sv.Nodes, sv.Iterations, 100*sv.WarmStartRate, gapString(sv.Gap),
 			sv.PresolveFixedCols, sv.PresolveRemovedRows)
+		if sv.Kernel != "" {
+			fmt.Printf("kernel: %s | %d refactorizations, %d updates (%d rejected), fill %.2f | node propagation: %d tightenings, %d prunes\n",
+				sv.Kernel, sv.Refactorizations, sv.FTUpdates, sv.FTUpdatesRejected,
+				sv.FillRatio, sv.PropagationTightenings, sv.PropagationPrunes)
+		}
 	}
 	if *doVerify {
 		fmt.Println("verified: all invariants hold (precedence, exclusivity, storage, metrics, sim agreement)")

@@ -44,6 +44,15 @@ type benchSolver struct {
 	PresolveRows  int     `json:"presolve_rows"`
 	Workers       int     `json:"workers"`
 	Winner        string  `json:"winner"`
+
+	// Basis-factorization kernel and node-propagation diagnostics (PR 4).
+	Kernel           string  `json:"kernel,omitempty"`
+	Refactorizations int     `json:"refactorizations"`
+	FTUpdates        int     `json:"ft_updates"`
+	FTRejected       int     `json:"ft_rejected"`
+	FillRatio        float64 `json:"fill_ratio"`
+	PropTightenings  int     `json:"prop_tightenings"`
+	PropPrunes       int     `json:"prop_prunes"`
 }
 
 // benchFile is the schema of the machine-readable benchmark artifact; the
@@ -112,15 +121,22 @@ func runBenchJSON(ctx context.Context, path, assays, notes string) error {
 			}
 			if sv := res.SolverStats(); sv != nil {
 				run.Solver = &benchSolver{
-					Status:        sv.Status,
-					Nodes:         sv.Nodes,
-					Iterations:    sv.Iterations,
-					WarmStartRate: sv.WarmStartRate,
-					Gap:           sv.Gap,
-					PresolveCols:  sv.PresolveFixedCols,
-					PresolveRows:  sv.PresolveRemovedRows,
-					Workers:       sv.Workers,
-					Winner:        sv.Winner,
+					Status:           sv.Status,
+					Nodes:            sv.Nodes,
+					Iterations:       sv.Iterations,
+					WarmStartRate:    sv.WarmStartRate,
+					Gap:              sv.Gap,
+					PresolveCols:     sv.PresolveFixedCols,
+					PresolveRows:     sv.PresolveRemovedRows,
+					Workers:          sv.Workers,
+					Winner:           sv.Winner,
+					Kernel:           sv.Kernel,
+					Refactorizations: sv.Refactorizations,
+					FTUpdates:        sv.FTUpdates,
+					FTRejected:       sv.FTUpdatesRejected,
+					FillRatio:        sv.FillRatio,
+					PropTightenings:  sv.PropagationTightenings,
+					PropPrunes:       sv.PropagationPrunes,
 				}
 			}
 			out.Runs = append(out.Runs, run)
@@ -135,5 +151,87 @@ func runBenchJSON(ctx context.Context, path, assays, notes string) error {
 		return err
 	}
 	fmt.Printf("wrote %d benchmark runs to %s\n", len(out.Runs), path)
+	return nil
+}
+
+// benchRegressLimit is the wall-clock regression factor the baseline check
+// tolerates: CI machines differ from the machine that recorded the
+// checked-in baseline, so only a >3× slowdown of a proven-optimal exact
+// solve counts as a regression.
+const benchRegressLimit = 3.0
+
+// checkBenchRegression compares a fresh -bench-json emission against a
+// checked-in baseline (e.g. BENCH_pr3.json). For every exact-ILP run the
+// baseline proved optimal, the fresh run must reach the identical makespan
+// and stay within benchRegressLimit of the baseline wall time; a heuristic
+// run changing its makespan also fails, since those are fully deterministic.
+func checkBenchRegression(freshPath, baselinePath string) error {
+	read := func(path string) (*benchFile, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var f benchFile
+		if err := json.Unmarshal(data, &f); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return &f, nil
+	}
+	fresh, err := read(freshPath)
+	if err != nil {
+		return err
+	}
+	base, err := read(baselinePath)
+	if err != nil {
+		return err
+	}
+	freshRuns := make(map[[2]string]*benchRun, len(fresh.Runs))
+	for i := range fresh.Runs {
+		r := &fresh.Runs[i]
+		freshRuns[[2]string{r.Assay, r.Engine}] = r
+	}
+	var failures []string
+	checked := 0
+	for i := range base.Runs {
+		b := &base.Runs[i]
+		f, ok := freshRuns[[2]string{b.Assay, b.Engine}]
+		if !ok {
+			continue
+		}
+		switch {
+		case b.Engine == "exact-ilp" && b.Solver != nil && b.Solver.Status == "optimal":
+			checked++
+			if f.Makespan != b.Makespan {
+				failures = append(failures, fmt.Sprintf(
+					"%s/%s: proven-optimal makespan changed %d -> %d",
+					b.Assay, b.Engine, b.Makespan, f.Makespan))
+			}
+			if f.WallMS > benchRegressLimit*b.WallMS {
+				failures = append(failures, fmt.Sprintf(
+					"%s/%s: wall time regressed %.3fms -> %.3fms (>%gx)",
+					b.Assay, b.Engine, b.WallMS, f.WallMS, benchRegressLimit))
+			}
+		case b.Engine == "heuristic":
+			checked++
+			if f.Makespan != b.Makespan {
+				failures = append(failures, fmt.Sprintf(
+					"%s/%s: deterministic heuristic makespan changed %d -> %d",
+					b.Assay, b.Engine, b.Makespan, f.Makespan))
+			}
+		}
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "bench-regression: "+f)
+		}
+		return fmt.Errorf("%d benchmark regression(s) against %s", len(failures), baselinePath)
+	}
+	if checked == 0 {
+		// A gate that matched nothing is not a passing gate: renamed engines,
+		// a dropped assay, or an over-narrow -bench-assays filter would
+		// otherwise keep CI green while checking nothing at all.
+		return fmt.Errorf("no fresh run matched any baseline run in %s; the regression gate checked nothing", baselinePath)
+	}
+	fmt.Printf("bench-regression: %d runs checked against %s, no regressions\n", checked, baselinePath)
 	return nil
 }

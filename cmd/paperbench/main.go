@@ -36,16 +36,17 @@ import (
 
 func main() {
 	var (
-		table2      = flag.Bool("table2", false, "reproduce Table 2")
-		fig8        = flag.Bool("fig8", false, "reproduce Fig. 8 (edge/valve ratios)")
-		fig9        = flag.Bool("fig9", false, "reproduce Fig. 9 (storage optimization)")
-		fig10       = flag.Bool("fig10", false, "reproduce Fig. 10 (dedicated storage baseline)")
-		fig11       = flag.Bool("fig11", false, "reproduce Fig. 11 (execution snapshots)")
-		all         = flag.Bool("all", false, "reproduce everything")
-		workers     = flag.Int("j", 1, "parallel synthesis workers (0 = GOMAXPROCS)")
-		benchJSON   = flag.String("bench-json", "", "write machine-readable per-assay per-engine benchmark results (wall-clock, solver nodes/iterations, makespan) to this JSON file")
-		benchAssays = flag.String("bench-assays", "", "comma-separated assay subset for -bench-json (default: all benchmarks)")
-		benchNotes  = flag.String("bench-notes", "", "free-form note embedded in the -bench-json output")
+		table2        = flag.Bool("table2", false, "reproduce Table 2")
+		fig8          = flag.Bool("fig8", false, "reproduce Fig. 8 (edge/valve ratios)")
+		fig9          = flag.Bool("fig9", false, "reproduce Fig. 9 (storage optimization)")
+		fig10         = flag.Bool("fig10", false, "reproduce Fig. 10 (dedicated storage baseline)")
+		fig11         = flag.Bool("fig11", false, "reproduce Fig. 11 (execution snapshots)")
+		all           = flag.Bool("all", false, "reproduce everything")
+		workers       = flag.Int("j", 1, "parallel synthesis workers (0 = GOMAXPROCS)")
+		benchJSON     = flag.String("bench-json", "", "write machine-readable per-assay per-engine benchmark results (wall-clock, solver nodes/iterations, makespan) to this JSON file")
+		benchAssays   = flag.String("bench-assays", "", "comma-separated assay subset for -bench-json (default: all benchmarks)")
+		benchNotes    = flag.String("bench-notes", "", "free-form note embedded in the -bench-json output")
+		benchBaseline = flag.String("bench-baseline", "", "compare the fresh -bench-json emission against this baseline file and exit nonzero on a perf or makespan regression")
 	)
 	flag.BoolVar(&verifyResults, "verify", false,
 		"re-check every result with the independent invariant checker")
@@ -65,6 +66,12 @@ func main() {
 		if err := runBenchJSON(ctx, *benchJSON, *benchAssays, *benchNotes); err != nil {
 			fmt.Fprintf(os.Stderr, "bench-json: %v\n", err)
 			if ctx.Err() == nil {
+				os.Exit(1)
+			}
+		}
+		if *benchBaseline != "" && ctx.Err() == nil {
+			if err := checkBenchRegression(*benchJSON, *benchBaseline); err != nil {
+				fmt.Fprintf(os.Stderr, "bench-baseline: %v\n", err)
 				os.Exit(1)
 			}
 		}

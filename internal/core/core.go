@@ -223,6 +223,20 @@ func (r *Result) SolverSummary() string {
 	if p := info.Solver.Presolve; p.FixedCols > 0 || p.RemovedRows > 0 {
 		s += fmt.Sprintf(", presolve -%dc/-%dr", p.FixedCols, p.RemovedRows)
 	}
+	if f := info.Solver.Factor; f.Kernel != "" {
+		s += fmt.Sprintf(", kernel %s (%d refactor, %d updates", f.Kernel, f.Refactorizations, f.Updates)
+		if f.UpdatesRejected > 0 {
+			s += fmt.Sprintf(", %d rejected", f.UpdatesRejected)
+		}
+		if f.FillRatio > 0 {
+			s += fmt.Sprintf(", fill %.2f", f.FillRatio)
+		}
+		s += ")"
+	}
+	if info.Solver.PropagationTightenings > 0 || info.Solver.PropagationPrunes > 0 {
+		s += fmt.Sprintf(", prop %dt/%dp",
+			info.Solver.PropagationTightenings, info.Solver.PropagationPrunes)
+	}
 	if info.Winner != "" {
 		s += ", winner " + info.Winner
 	}

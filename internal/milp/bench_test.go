@@ -153,6 +153,37 @@ func BenchmarkBranchBoundNodeThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkKernelIVDScale measures one cold LP solve of the
+// scheduling-shaped relaxation at IVD scale (~1000 rows — the size the
+// ROADMAP named as the dense kernel's binding cost) under each
+// basis-factorization kernel. The sparse-LU rows are the ones the default
+// crossover actually serves at this size.
+func BenchmarkKernelIVDScale(b *testing.B) {
+	for _, size := range []struct{ n, k int }{{20, 4}, {30, 5}} {
+		m := schedLikeLP(size.n, size.k, true)
+		in, st := compile(m, false)
+		if st == StatusInfeasible {
+			b.Fatal("fixture infeasible")
+		}
+		for _, kernel := range []struct {
+			name string
+			kk   kernelKind
+		}{{"dense", kernelDense}, {"sparse-lu", kernelSparseLU}} {
+			b.Run(fmt.Sprintf("rows=%d/%s", in.m, kernel.name), func(b *testing.B) {
+				var pivots int
+				for i := 0; i < b.N; i++ {
+					s := newStateKernel(in, kernel.kk)
+					if st := s.solveCold(); st != StatusOptimal {
+						b.Fatalf("cold solve: %v", st)
+					}
+					pivots = s.iters
+				}
+				b.ReportMetric(float64(pivots), "pivots")
+			})
+		}
+	}
+}
+
 // BenchmarkMILPSchedModel solves the full mixed-integer scheduling-shaped
 // model end to end, the closest in-package proxy for the paper's PCR solve.
 func BenchmarkMILPSchedModel(b *testing.B) {

@@ -83,6 +83,11 @@ type bbShared struct {
 
 	nodes, lpIters, warm, cold int
 
+	// Worker-merged diagnostics: factorization kernel counters and the
+	// node-level propagation tallies (flushed once per worker at exit).
+	factor                 FactorStats
+	propTighten, propPrune int
+
 	// lostLB is the smallest bound of any subtree dropped without a full
 	// proof: pruned by the Gap option, or abandoned when the search stopped.
 	// It caps the global dual bound alongside the open queue.
@@ -232,6 +237,9 @@ func SolveContext(ctx context.Context, m *Model, opts SolveOptions) (*Solution, 
 	stats.SimplexIters = sh.lpIters
 	stats.WarmStarts = sh.warm
 	stats.ColdStarts = sh.cold
+	stats.Factor = sh.factor
+	stats.PropagationTightenings = sh.propTighten
+	stats.PropagationPrunes = sh.propPrune
 
 	if sh.rootUnbounded {
 		return &Solution{Status: StatusUnbounded, Nodes: sh.nodes, Iterations: sh.lpIters, Stats: stats}, nil
@@ -330,10 +338,20 @@ type bbWorker struct {
 	intVars []Var
 	id      int
 	st      *simplexState
+
+	// Local propagation tallies, merged into bbShared at exit.
+	propTighten, propPrune int
 }
 
 func (w *bbWorker) run() {
 	sh := w.sh
+	defer func() {
+		sh.mu.Lock()
+		sh.factor.merge(w.st.fac.snapshot())
+		sh.propTighten += w.propTighten
+		sh.propPrune += w.propPrune
+		sh.mu.Unlock()
+	}()
 	for {
 		sh.mu.Lock()
 		for {
@@ -405,6 +423,17 @@ func (w *bbWorker) processSubtree(node *bbNode) {
 	st := w.st
 	if !w.applyChanges(node.changes) {
 		return
+	}
+	// Node-level propagation: replay the presolve's activity-based bound
+	// tightening under this node's branching decisions. The root (no
+	// changes) was already propagated to a fixpoint at compile time.
+	if len(node.changes) > 0 {
+		n, ok := propagateBounds(w.in, st.lo, st.hi)
+		w.propTighten += n
+		if !ok {
+			w.propPrune++
+			return
+		}
 	}
 
 	var status Status
@@ -489,7 +518,15 @@ func (w *bbWorker) processSubtree(node *bbNode) {
 			return
 		}
 		st.lo[c], st.hi[c] = nlo, nhi
-		status, warmed = w.solveRelax(st.dual)
+		// Propagate the dive bound change too; the dual warm start then
+		// starts from every implied tightening at once.
+		n, ok := propagateBounds(w.in, st.lo, st.hi)
+		w.propTighten += n
+		if !ok {
+			w.propPrune++
+			return
+		}
+		status, warmed = w.solveRelax(func() Status { return st.dual(st.warmLimit()) })
 	}
 }
 

@@ -52,6 +52,22 @@ type instance struct {
 	varCol []int  // model variable id -> structural column, -1 if eliminated
 	fixed  []float64
 
+	// Row-major mirror of the matrix (CSR over structural columns), built
+	// only for MILP compiles: node-level bound propagation sweeps rows after
+	// every branch. Nil for pure LP instances.
+	rowPtr []int32
+	rowCol []int32
+	rowVal []float64
+
+	// pert is a deterministic tiny cost perturbation, one entry per column,
+	// layered onto c while a simplex loop runs and removed again before the
+	// exact optimality cleanup. The paper's formulations are pathologically
+	// dual degenerate — only the makespan and storage columns carry cost, so
+	// nearly every reduced cost ties at zero and an unperturbed dual simplex
+	// shuffles zero-progress pivots; distinct perturbed costs make every
+	// dual step strictly improving.
+	pert []float64
+
 	flip float64 // +1 minimize, -1 maximize (already folded into c)
 	pre  PresolveStats
 }
@@ -142,7 +158,37 @@ func compile(m *Model, integral bool) (*instance, Status) {
 	if co.infeas {
 		return &instance{pre: co.pre, flip: flipOf(m)}, StatusInfeasible
 	}
-	return co.build(), StatusUnknown
+	in := co.build()
+	if integral {
+		in.buildRows()
+	}
+	return in, StatusUnknown
+}
+
+// buildRows derives the CSR mirror from the CSC matrix for the node-level
+// propagator.
+func (in *instance) buildRows() {
+	nnz := int(in.colPtr[in.nStruct])
+	in.rowPtr = make([]int32, in.m+1)
+	in.rowCol = make([]int32, nnz)
+	in.rowVal = make([]float64, nnz)
+	for p := 0; p < nnz; p++ {
+		in.rowPtr[in.rowIdx[p]+1]++
+	}
+	for i := 0; i < in.m; i++ {
+		in.rowPtr[i+1] += in.rowPtr[i]
+	}
+	cursor := make([]int32, in.m)
+	copy(cursor, in.rowPtr[:in.m])
+	for j := 0; j < in.nStruct; j++ {
+		for p := in.colPtr[j]; p < in.colPtr[j+1]; p++ {
+			i := in.rowIdx[p]
+			q := cursor[i]
+			in.rowCol[q] = int32(j)
+			in.rowVal[q] = in.val[p]
+			cursor[i] = q + 1
+		}
+	}
 }
 
 func flipOf(m *Model) float64 {
@@ -451,6 +497,13 @@ func (co *compiler) build() *instance {
 		if col := varCol[t.Var.id]; col >= 0 {
 			in.c[col] += in.flip * t.Coef
 		}
+	}
+	in.pert = make([]float64, len(in.c))
+	for j := range in.pert {
+		// Golden-ratio hashing spreads the perturbations over [0.5, 1.5)
+		// with no two columns alike, deterministically per column index.
+		xi := 0.5 + math.Mod(float64(j+1)*0.6180339887498949, 1)
+		in.pert[j] = pertScale * xi * (1 + math.Abs(in.c[j]))
 	}
 	return in
 }

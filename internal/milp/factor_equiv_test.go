@@ -1,0 +1,277 @@
+package milp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The kernel equivalence harness: the dense-inverse and sparse-LU kernels
+// must be interchangeable behind the basisFactorization interface. Every
+// test here runs both kernels side by side on the same bases — sched-shaped
+// LPs and seeded random models — and asserts that ftran/btran answers agree
+// to tight tolerance and full solves reach identical optimal objectives.
+
+// equivTol is the agreement tolerance between kernels, scaled by magnitude.
+const equivTol = 1e-9
+
+func maxAbs(v []float64) float64 {
+	m := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+func assertVecsEqual(t *testing.T, what string, a, b []float64) {
+	t.Helper()
+	scale := 1 + math.Max(maxAbs(a), maxAbs(b))
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > equivTol*scale {
+			t.Fatalf("%s: kernels disagree at %d: dense %v vs sparse-lu %v (scale %g)",
+				what, i, a[i], b[i], scale)
+		}
+	}
+}
+
+// randomFeasibleLP builds a seeded LP that is feasible by construction, large
+// enough for a meaningful basis (structural columns plus slacks).
+func randomFeasibleLP(seed int64, nVars, nCons int) *Model {
+	r := rand.New(rand.NewSource(seed))
+	m := NewModel()
+	vars := make([]Var, nVars)
+	point := make([]float64, nVars)
+	for i := range vars {
+		vars[i] = m.NewContinuous(fmt.Sprintf("v%d", i), 0, 50)
+		point[i] = float64(r.Intn(20))
+	}
+	for c := 0; c < nCons; c++ {
+		e := NewExpr(0)
+		lhs := 0.0
+		for i, v := range vars {
+			if r.Intn(3) != 0 {
+				continue // keep the matrix sparse
+			}
+			coef := float64(r.Intn(9) - 4)
+			if coef == 0 {
+				continue
+			}
+			e.Add(v, coef)
+			lhs += coef * point[i]
+		}
+		m.AddLE(fmt.Sprintf("c%d", c), *e, lhs+float64(r.Intn(6)))
+	}
+	obj := NewExpr(0)
+	for _, v := range vars {
+		obj.Add(v, float64(r.Intn(7)-2))
+	}
+	m.SetObjective(*obj, Minimize)
+	return m
+}
+
+// equivModels is the shared fixture set: the sched-shaped LPs at the sizes
+// the paper's formulations compile to, plus seeded random sparse models.
+func equivModels() map[string]*Model {
+	return map[string]*Model{
+		"sched_n6_k2":  schedLikeLP(6, 2, true),
+		"sched_n10_k3": schedLikeLP(10, 3, true),
+		"sched_n14_k4": schedLikeLP(14, 4, true),
+		"rand_42":      randomFeasibleLP(42, 40, 60),
+		"rand_7":       randomFeasibleLP(7, 30, 45),
+	}
+}
+
+// solvedDenseState cold-solves the instance with the dense kernel, yielding
+// a realistic (optimal) basis to compare factorizations on.
+func solvedDenseState(t *testing.T, in *instance) *simplexState {
+	t.Helper()
+	s := newStateKernel(in, kernelDense)
+	if st := s.solveCold(); st != StatusOptimal {
+		t.Fatalf("dense cold solve: %v", st)
+	}
+	return s
+}
+
+// TestKernelEquivalenceFactorize refactorizes the dense kernel's optimal
+// basis with the sparse LU kernel and compares every solve query the simplex
+// issues: per-column FTRAN, dense FTRAN/BTRAN, and inverse rows.
+func TestKernelEquivalenceFactorize(t *testing.T) {
+	for name, model := range equivModels() {
+		t.Run(name, func(t *testing.T) {
+			in, decided := compile(model, false)
+			if decided == StatusInfeasible {
+				t.Fatal("fixture infeasible")
+			}
+			s := solvedDenseState(t, in)
+			if !s.fac.refactorize() {
+				t.Fatal("dense refactorize failed")
+			}
+			lu := newLUFactor(in, s.basic, nil)
+			if !lu.refactorize() {
+				t.Fatal("sparse-lu refactorize failed")
+			}
+
+			m := in.m
+			wd, wl := make([]float64, m), make([]float64, m)
+			for j := 0; j < in.n; j++ {
+				s.fac.ftranColumn(j, wd)
+				lu.ftranColumn(j, wl)
+				assertVecsEqual(t, fmt.Sprintf("ftranColumn(%d)", j), wd, wl)
+			}
+			for r := 0; r < m; r++ {
+				s.fac.btranRow(r, wd)
+				lu.btranRow(r, wl)
+				assertVecsEqual(t, fmt.Sprintf("btranRow(%d)", r), wd, wl)
+			}
+			rng := rand.New(rand.NewSource(99))
+			cb := make([]float64, m)
+			rhs := make([]float64, m)
+			for trial := 0; trial < 5; trial++ {
+				for i := range cb {
+					cb[i] = float64(rng.Intn(21) - 10)
+					rhs[i] = float64(rng.Intn(21) - 10)
+				}
+				s.fac.btranDense(cb, wd)
+				lu.btranDense(cb, wl)
+				assertVecsEqual(t, "btranDense", wd, wl)
+				s.fac.ftranDense(rhs, wd)
+				lu.ftranDense(rhs, wl)
+				assertVecsEqual(t, "ftranDense", wd, wl)
+			}
+			if lu.snapshot().FillRatio <= 0 {
+				t.Error("sparse-lu reported no fill ratio after refactorize")
+			}
+		})
+	}
+}
+
+// TestKernelEquivalenceUpdates drives both kernels through the same sequence
+// of basis changes — eta updates on the dense side, Forrest–Tomlin on the
+// sparse side — re-checking agreement after every update.
+func TestKernelEquivalenceUpdates(t *testing.T) {
+	for name, model := range equivModels() {
+		t.Run(name, func(t *testing.T) {
+			in, decided := compile(model, false)
+			if decided == StatusInfeasible {
+				t.Fatal("fixture infeasible")
+			}
+			s := solvedDenseState(t, in)
+			if !s.fac.refactorize() {
+				t.Fatal("dense refactorize failed")
+			}
+			// Both kernels share one basis array so the replayed pivots stay
+			// in lockstep by construction.
+			lu := newLUFactor(in, s.basic, nil)
+			if !lu.refactorize() {
+				t.Fatal("sparse-lu refactorize failed")
+			}
+
+			m := in.m
+			inBasis := make([]bool, in.n)
+			for _, c := range s.basic {
+				inBasis[c] = true
+			}
+			wd, wl := make([]float64, m), make([]float64, m)
+			rng := rand.New(rand.NewSource(5))
+			updates := 0
+			for attempt := 0; attempt < 200 && updates < 25; attempt++ {
+				q := rng.Intn(in.n)
+				if inBasis[q] {
+					continue
+				}
+				s.fac.ftranColumn(q, wd)
+				lu.ftranColumn(q, wl)
+				assertVecsEqual(t, fmt.Sprintf("ftranColumn(%d) pre-update", q), wd, wl)
+				// Pivot on the largest-magnitude row for stability.
+				r, best := -1, 1e-4
+				for i := 0; i < m; i++ {
+					if a := math.Abs(wd[i]); a > best {
+						r, best = i, a
+					}
+				}
+				if r < 0 {
+					continue
+				}
+				if !s.fac.update(r, wd) {
+					t.Fatalf("dense update rejected (pivot %g)", wd[r])
+				}
+				if !lu.update(r, wl) {
+					t.Fatalf("sparse-lu update rejected (pivot %g)", wl[r])
+				}
+				inBasis[s.basic[r]] = false
+				inBasis[q] = true
+				s.basic[r] = int32(q)
+				updates++
+
+				for trial := 0; trial < 3; trial++ {
+					j := rng.Intn(in.n)
+					s.fac.ftranColumn(j, wd)
+					lu.ftranColumn(j, wl)
+					assertVecsEqual(t, fmt.Sprintf("ftranColumn(%d) after %d updates", j, updates), wd, wl)
+					rr := rng.Intn(m)
+					s.fac.btranRow(rr, wd)
+					lu.btranRow(rr, wl)
+					assertVecsEqual(t, fmt.Sprintf("btranRow(%d) after %d updates", rr, updates), wd, wl)
+				}
+			}
+			if updates < 10 {
+				t.Fatalf("only %d basis updates exercised", updates)
+			}
+			if got := lu.snapshot().Updates; got != updates {
+				t.Errorf("sparse-lu counted %d updates, want %d", got, updates)
+			}
+		})
+	}
+}
+
+// TestKernelEquivalenceFullSolve solves every fixture once per kernel and
+// asserts the proven optimal objectives coincide.
+func TestKernelEquivalenceFullSolve(t *testing.T) {
+	for name, model := range equivModels() {
+		t.Run(name, func(t *testing.T) {
+			in, decided := compile(model, false)
+			if decided == StatusInfeasible {
+				t.Fatal("fixture infeasible")
+			}
+			objs := make(map[kernelKind]float64)
+			for _, kk := range []kernelKind{kernelDense, kernelSparseLU} {
+				s := newStateKernel(in, kk)
+				if st := s.solveCold(); st != StatusOptimal {
+					t.Fatalf("kernel %v: cold solve %v", kk, st)
+				}
+				x := s.extract()
+				obj, _ := model.Objective()
+				objs[kk] = obj.Eval(x)
+			}
+			if d := math.Abs(objs[kernelDense] - objs[kernelSparseLU]); d > 1e-6*(1+math.Abs(objs[kernelDense])) {
+				t.Errorf("optimal objectives diverge: dense %v vs sparse-lu %v",
+					objs[kernelDense], objs[kernelSparseLU])
+			}
+		})
+	}
+}
+
+// TestKernelAutoCrossover pins the newState kernel choice to the row-count
+// crossover.
+func TestKernelAutoCrossover(t *testing.T) {
+	small, decided := compile(schedLikeLP(6, 2, true), false)
+	if decided == StatusInfeasible {
+		t.Fatal("fixture infeasible")
+	}
+	if k := newState(small).fac.kind(); k != "dense" {
+		t.Errorf("small model (%d rows) picked %q, want dense", small.m, k)
+	}
+	big, decided := compile(schedLikeLP(14, 4, true), false)
+	if decided == StatusInfeasible {
+		t.Fatal("fixture infeasible")
+	}
+	if big.m < sparseKernelMinRows {
+		t.Fatalf("fixture too small for crossover: %d rows", big.m)
+	}
+	if k := newState(big).fac.kind(); k != "sparse-lu" {
+		t.Errorf("large model (%d rows) picked %q, want sparse-lu", big.m, k)
+	}
+}

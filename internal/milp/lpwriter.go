@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"strconv"
 	"strings"
 )
 
@@ -35,8 +36,8 @@ func WriteLP(w io.Writer, m *Model) error {
 			name = fmt.Sprintf("c%d", i)
 		}
 		rhs := c.RHS - c.Expr.Offset()
-		if _, err := fmt.Fprintf(w, " %s: %s %s %g\n",
-			sanitizeLPName(name), lpExpr(m, withoutOffset(c.Expr)), c.Rel, rhs); err != nil {
+		if _, err := fmt.Fprintf(w, " %s: %s %s %s\n",
+			sanitizeLPName(name), lpExpr(m, withoutOffset(c.Expr)), c.Rel, lpFloat(rhs)); err != nil {
 			return err
 		}
 	}
@@ -51,11 +52,11 @@ func WriteLP(w io.Writer, m *Model) error {
 		case math.IsInf(lo, -1) && math.IsInf(hi, 1):
 			fmt.Fprintf(w, " %s free\n", name)
 		case math.IsInf(lo, -1):
-			fmt.Fprintf(w, " -inf <= %s <= %g\n", name, hi)
+			fmt.Fprintf(w, " -inf <= %s <= %s\n", name, lpFloat(hi))
 		case math.IsInf(hi, 1):
-			fmt.Fprintf(w, " %s >= %g\n", name, lo)
+			fmt.Fprintf(w, " %s >= %s\n", name, lpFloat(lo))
 		default:
-			fmt.Fprintf(w, " %g <= %s <= %g\n", lo, name, hi)
+			fmt.Fprintf(w, " %s <= %s <= %s\n", lpFloat(lo), name, lpFloat(hi))
 		}
 	}
 	var bins, gens []string
@@ -82,6 +83,16 @@ func withoutOffset(e Expr) Expr {
 	c := e.Clone()
 	c.offset = 0
 	return c
+}
+
+// lpFloat renders a coefficient, bound or right-hand side with full
+// round-trip precision ('g', 17 significant digits), so a solver reading the
+// exported file reproduces this solver's arithmetic bit for bit. The default
+// %g formatting rounds to shortest-looking decimals and silently perturbs
+// the model — exactly the class of drift the per-pair big-M formulation can
+// no longer afford.
+func lpFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', 17, 64)
 }
 
 // lpVarName returns the variable's declared name, or a synthetic xN, made
@@ -136,16 +147,16 @@ func lpExpr(m *Model, e Expr) string {
 		} else {
 			b.WriteString(" + ")
 		}
-		fmt.Fprintf(&b, "%g %s", math.Abs(coef), lpVarName(m, v))
+		fmt.Fprintf(&b, "%s %s", lpFloat(math.Abs(coef)), lpVarName(m, v))
 	}
 	if first {
 		b.WriteString("0")
 	}
 	if off := e.Offset(); off != 0 {
 		if off > 0 {
-			fmt.Fprintf(&b, " + %g", off)
+			fmt.Fprintf(&b, " + %s", lpFloat(off))
 		} else {
-			fmt.Fprintf(&b, " - %g", -off)
+			fmt.Fprintf(&b, " - %s", lpFloat(-off))
 		}
 	}
 	return b.String()

@@ -1,6 +1,7 @@
 package milp
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -134,4 +135,44 @@ func TestSumPanicsOnLengthMismatch(t *testing.T) {
 	m := NewModel()
 	v := m.NewContinuous("v", 0, 1)
 	Sum([]Var{v}, []float64{1, 2})
+}
+
+// TestWriteLPRoundTripPrecision pins the 'g'/17 round-trip coefficient
+// formatting: an exported model must carry enough digits that parsing the
+// text back yields bit-identical float64 values, so external solvers
+// reproduce this solver's arithmetic exactly.
+func TestWriteLPRoundTripPrecision(t *testing.T) {
+	m := NewModel()
+	x := m.NewContinuous("x", 0.1, 1.0/3)
+	m.AddLE("c", *NewExpr(0).Add(x, 0.1), 123456.789000001)
+	m.SetObjective(*NewExpr(0).Add(x, 1.0/3), Minimize)
+
+	var b strings.Builder
+	if err := WriteLP(&b, m); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"0.10000000000000001", // 0.1 exactly as stored
+		"0.33333333333333331", // 1/3 exactly as stored
+		"123456.78900000099",  // RHS with sub-%g digits preserved
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("export missing round-trip literal %q in:\n%s", want, out)
+		}
+	}
+	// Each emitted literal must parse back to the exact stored value.
+	for lit, val := range map[string]float64{
+		"0.10000000000000001": 0.1,
+		"0.33333333333333331": 1.0 / 3,
+		"123456.78900000099":  123456.789000001,
+	} {
+		got, err := strconv.ParseFloat(lit, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != val {
+			t.Errorf("literal %s parses to %v, want %v", lit, got, val)
+		}
+	}
 }

@@ -1,0 +1,659 @@
+package milp
+
+import "math"
+
+// Sparse LU tuning constants.
+const (
+	// markowitzThreshold is the relative threshold-pivoting bound u: within a
+	// candidate column, an entry qualifies as pivot only if its magnitude is
+	// at least u times the column's largest, trading sparsity against element
+	// growth (Markowitz 1957; Duff, Erisman & Reid).
+	markowitzThreshold = 0.1
+	// luPivotFloor is the absolute magnitude below which an entry never
+	// pivots; matches the dense kernel's singularity floor.
+	luPivotFloor = 1e-10
+	// luPivotCols caps how many lowest-count candidate columns one Markowitz
+	// search examines (Suhl & Suhl settle for 4); a full scan over every
+	// active column runs only when none of them holds an eligible entry.
+	luPivotCols = 4
+	// ftRelTol rejects a Forrest–Tomlin update whose eliminated diagonal is
+	// smaller than this times the spike's largest magnitude — the classic
+	// stability escape hatch that forces a refactorization instead of
+	// poisoning the factors.
+	ftRelTol = 1e-9
+)
+
+// luFactor is the sparse kernel: B is held as P·L·U with permutations
+// implied by the pivot-order arrays, L as a sequence of column eta
+// operations over original row indices, and U as its off-diagonal nonzeros
+// mirrored row- and column-wise (column ids are basis positions, row ids
+// constraint rows; triangularity is relative to the pivot order, never the
+// raw indices). Refactorization is a right-looking elimination with
+// Markowitz-threshold pivoting; basis changes are absorbed by Forrest–Tomlin
+// updates, which replace the leaving column of U with the entering spike,
+// cyclically shift its pivot position to the end, and restore triangularity
+// with one row eta — so between refactorizations every solve stays a pair of
+// sparse triangular passes plus the accumulated etas.
+type luFactor struct {
+	in    *instance
+	basic []int32 // shared with the owning simplexState
+	abort func() bool
+	m     int
+
+	// L: eta operations in elimination order, work[lrow] -= lval·work[lpiv].
+	lrow, lpiv []int32
+	lval       []float64
+
+	// U off-diagonal entries, mirrored; diag is keyed by column id.
+	ucolInd [][]int32
+	ucolVal [][]float64
+	urowInd [][]int32
+	urowVal [][]float64
+	diag    []float64
+
+	// Pivot order: position k eliminated row prow[k] against column pcol[k].
+	prow, pcol     []int32
+	posRow, posCol []int32
+
+	// Forrest–Tomlin row etas, applied after L in update order:
+	// work[retaRow] -= Σ retaVal·work[retaInd] over the eta's slice.
+	retaRow []int32
+	retaPtr []int32
+	retaInd []int32
+	retaVal []float64
+
+	nUpdates int
+
+	// spike caches the partial FTRAN (after L and the row etas, before the
+	// U solve) of the column last passed to ftranColumn — exactly the
+	// Forrest–Tomlin spike should that column enter the basis.
+	spike   []float64
+	spikeOK bool
+
+	// solve scratch.
+	work    []float64
+	lastRow []float64 // dense FT elimination row, keyed by column id
+	muInd   []int32
+	muVal   []float64
+
+	// refactorization working storage (reused across calls).
+	fRowInd    [][]int32
+	fRowVal    [][]float64
+	fColRows   [][]int32
+	fColCnt    []int32
+	fRowActive []bool
+	fColActive []bool
+	fScratch   []float64
+	fInPiv     []bool
+	fVisited   []bool
+	fCand      []int32
+
+	st FactorStats
+}
+
+func newLUFactor(in *instance, basic []int32, abort func() bool) *luFactor {
+	m := in.m
+	f := &luFactor{
+		in:    in,
+		basic: basic,
+		abort: abort,
+		m:     m,
+
+		ucolInd: make([][]int32, m),
+		ucolVal: make([][]float64, m),
+		urowInd: make([][]int32, m),
+		urowVal: make([][]float64, m),
+		diag:    make([]float64, m),
+		prow:    make([]int32, m),
+		pcol:    make([]int32, m),
+		posRow:  make([]int32, m),
+		posCol:  make([]int32, m),
+
+		spike:   make([]float64, m),
+		work:    make([]float64, m),
+		lastRow: make([]float64, m),
+
+		fRowInd:    make([][]int32, m),
+		fRowVal:    make([][]float64, m),
+		fColRows:   make([][]int32, m),
+		fColCnt:    make([]int32, m),
+		fRowActive: make([]bool, m),
+		fColActive: make([]bool, m),
+		fScratch:   make([]float64, m),
+		fInPiv:     make([]bool, m),
+		fVisited:   make([]bool, m),
+
+		retaPtr: []int32{0},
+		st:      FactorStats{Kernel: "sparse-lu"},
+	}
+	f.installIdentity()
+	return f
+}
+
+func (f *luFactor) kind() string          { return "sparse-lu" }
+func (f *luFactor) updates() int          { return f.nUpdates }
+func (f *luFactor) snapshot() FactorStats { return f.st }
+
+// resetFactors drops L, U and every pending eta.
+func (f *luFactor) resetFactors() {
+	f.lrow, f.lpiv, f.lval = f.lrow[:0], f.lpiv[:0], f.lval[:0]
+	for c := 0; c < f.m; c++ {
+		f.ucolInd[c] = f.ucolInd[c][:0]
+		f.ucolVal[c] = f.ucolVal[c][:0]
+		f.urowInd[c] = f.urowInd[c][:0]
+		f.urowVal[c] = f.urowVal[c][:0]
+	}
+	f.retaRow = f.retaRow[:0]
+	f.retaPtr = append(f.retaPtr[:0], 0)
+	f.retaInd, f.retaVal = f.retaInd[:0], f.retaVal[:0]
+	f.nUpdates = 0
+	f.spikeOK = false
+}
+
+// installIdentity installs the trivial factorization of the all-slack basis:
+// no L etas, a diagonal-only U, and the natural pivot order.
+func (f *luFactor) installIdentity() {
+	f.resetFactors()
+	for k := 0; k < f.m; k++ {
+		f.diag[k] = 1
+		f.prow[k], f.pcol[k] = int32(k), int32(k)
+		f.posRow[k], f.posCol[k] = int32(k), int32(k)
+	}
+}
+
+// scatterColumn spreads instance column j into the row-indexed dense vector.
+func (f *luFactor) scatterColumn(j int, out []float64) {
+	in := f.in
+	if j >= in.nStruct {
+		out[j-in.nStruct] = 1
+		return
+	}
+	for p := in.colPtr[j]; p < in.colPtr[j+1]; p++ {
+		out[in.rowIdx[p]] = in.val[p]
+	}
+}
+
+// applyL runs the L etas and the Forrest–Tomlin row etas over a row-indexed
+// vector, completing the "lower" half of an FTRAN.
+func (f *luFactor) applyL(w []float64) {
+	for k := range f.lrow {
+		if v := w[f.lpiv[k]]; v != 0 {
+			w[f.lrow[k]] -= f.lval[k] * v
+		}
+	}
+	for e := range f.retaRow {
+		acc := 0.0
+		for p := f.retaPtr[e]; p < f.retaPtr[e+1]; p++ {
+			if v := w[f.retaInd[p]]; v != 0 {
+				acc += f.retaVal[p] * v
+			}
+		}
+		w[f.retaRow[e]] -= acc
+	}
+}
+
+// solveU back-substitutes U over the row-indexed vector w, writing the
+// result indexed by basis position into out. w is consumed.
+func (f *luFactor) solveU(w, out []float64) {
+	for k := f.m - 1; k >= 0; k-- {
+		c := f.pcol[k]
+		v := w[f.prow[k]] / f.diag[c]
+		out[c] = v
+		if v != 0 {
+			ind, val := f.ucolInd[c], f.ucolVal[c]
+			for idx, rr := range ind {
+				w[rr] -= val[idx] * v
+			}
+		}
+	}
+}
+
+func (f *luFactor) ftranColumn(j int, out []float64) {
+	m := f.m
+	if m == 0 {
+		return
+	}
+	w := f.work
+	for i := range w {
+		w[i] = 0
+	}
+	f.scatterColumn(j, w)
+	f.applyL(w)
+	copy(f.spike, w)
+	f.spikeOK = true
+	f.solveU(w, out)
+}
+
+func (f *luFactor) ftranDense(rhs, out []float64) {
+	if f.m == 0 {
+		return
+	}
+	w := f.work
+	copy(w, rhs[:f.m])
+	f.applyL(w)
+	f.solveU(w, out)
+}
+
+// btranInto solves Bᵀ·out = cb with cb read through the get callback (dense
+// slice or unit vector), sharing the transposed-solve spine of btranDense
+// and btranRow.
+func (f *luFactor) btranInto(get func(c int32) float64, out []float64) {
+	m := f.m
+	if m == 0 {
+		return
+	}
+	w := f.work
+	// Uᵀ forward pass in pivot order: every off-diagonal entry of column c
+	// lies at an earlier position, so its w value is final when read.
+	for k := 0; k < m; k++ {
+		c := f.pcol[k]
+		acc := get(c)
+		ind, val := f.ucolInd[c], f.ucolVal[c]
+		for idx, rr := range ind {
+			if v := w[rr]; v != 0 {
+				acc -= val[idx] * v
+			}
+		}
+		w[f.prow[k]] = acc / f.diag[c]
+	}
+	// Transposed row etas in reverse update order.
+	for e := len(f.retaRow) - 1; e >= 0; e-- {
+		if v := w[f.retaRow[e]]; v != 0 {
+			for p := f.retaPtr[e]; p < f.retaPtr[e+1]; p++ {
+				w[f.retaInd[p]] -= f.retaVal[p] * v
+			}
+		}
+	}
+	// Lᵀ in reverse elimination order.
+	for k := len(f.lrow) - 1; k >= 0; k-- {
+		if v := w[f.lrow[k]]; v != 0 {
+			w[f.lpiv[k]] -= f.lval[k] * v
+		}
+	}
+	copy(out[:m], w)
+}
+
+func (f *luFactor) btranDense(cb, out []float64) {
+	f.btranInto(func(c int32) float64 { return cb[c] }, out)
+}
+
+func (f *luFactor) btranRow(r int, out []float64) {
+	f.btranInto(func(c int32) float64 {
+		if int(c) == r {
+			return 1
+		}
+		return 0
+	}, out)
+}
+
+// update absorbs the basis change that replaces basis position r with the
+// column whose spike ftranColumn just cached. Following Forrest–Tomlin, the
+// leaving column of U is replaced by the spike, its pivot position cycles to
+// the end of the order, and the leaving pivot row — now the bottom row — is
+// eliminated against the diagonals it crosses, yielding one row eta and the
+// new bottom-right diagonal. The elimination is computed read-only first so
+// a rejected update (vanishing diagonal) leaves the factors untouched for
+// the caller's refactorize-and-retry path.
+func (f *luFactor) update(r int, w []float64) bool {
+	_ = w // the dense kernel pivots on w; FT consumes the cached spike
+	if !f.spikeOK {
+		return false
+	}
+	f.spikeOK = false
+	m := f.m
+	t := int(f.posCol[r])
+	rr := int(f.prow[t])
+	s := f.spike
+
+	// Phase 1 (read-only): eliminate the displaced pivot row against the
+	// shifted positions, collecting multipliers and the new diagonal.
+	last := f.lastRow
+	rInd, rVal := f.urowInd[rr], f.urowVal[rr]
+	for idx, cc := range rInd {
+		last[cc] = rVal[idx]
+	}
+	f.muInd, f.muVal = f.muInd[:0], f.muVal[:0]
+	d := s[rr]
+	smax := 0.0
+	for _, v := range s {
+		if av := math.Abs(v); av > smax {
+			smax = av
+		}
+	}
+	for k := t + 1; k < m; k++ {
+		ck := f.pcol[k]
+		piv := last[ck]
+		last[ck] = 0
+		if piv == 0 {
+			continue
+		}
+		rk := f.prow[k]
+		mu := piv / f.diag[ck]
+		f.muInd = append(f.muInd, rk)
+		f.muVal = append(f.muVal, mu)
+		rI, rV := f.urowInd[rk], f.urowVal[rk]
+		for idx, cc := range rI {
+			last[cc] -= mu * rV[idx]
+		}
+		d -= mu * s[rk]
+	}
+	if math.Abs(d) < luPivotFloor || math.Abs(d) < ftRelTol*smax {
+		// Unstable elimination: leave the (still valid) factors alone. The
+		// lastRow scratch is already zero again — every surviving position
+		// was visited and cleared above, and fills land on later positions.
+		f.st.UpdatesRejected++
+		return false
+	}
+
+	// Phase 2 (commit): drop the leaving column and the displaced row,
+	// append the row eta, insert the spike column, and cycle the order.
+	for _, rv := range f.ucolInd[r] {
+		f.removeRowEntry(int(rv), int32(r))
+	}
+	f.ucolInd[r], f.ucolVal[r] = f.ucolInd[r][:0], f.ucolVal[r][:0]
+	for _, cc := range f.urowInd[rr] {
+		f.removeColEntry(cc, int32(rr))
+	}
+	f.urowInd[rr], f.urowVal[rr] = f.urowInd[rr][:0], f.urowVal[rr][:0]
+
+	if len(f.muInd) > 0 {
+		f.retaRow = append(f.retaRow, int32(rr))
+		f.retaInd = append(f.retaInd, f.muInd...)
+		f.retaVal = append(f.retaVal, f.muVal...)
+		f.retaPtr = append(f.retaPtr, int32(len(f.retaInd)))
+	}
+
+	for i, v := range s {
+		if v == 0 || i == rr {
+			continue
+		}
+		f.ucolInd[r] = append(f.ucolInd[r], int32(i))
+		f.ucolVal[r] = append(f.ucolVal[r], v)
+		f.urowInd[i] = append(f.urowInd[i], int32(r))
+		f.urowVal[i] = append(f.urowVal[i], v)
+	}
+	f.diag[r] = d
+
+	for k := t; k < m-1; k++ {
+		f.prow[k], f.pcol[k] = f.prow[k+1], f.pcol[k+1]
+		f.posRow[f.prow[k]], f.posCol[f.pcol[k]] = int32(k), int32(k)
+	}
+	f.prow[m-1], f.pcol[m-1] = int32(rr), int32(r)
+	f.posRow[rr], f.posCol[r] = int32(m-1), int32(m-1)
+
+	f.nUpdates++
+	f.st.Updates++
+	return true
+}
+
+// removeRowEntry deletes column c from U row rw (swap-delete).
+func (f *luFactor) removeRowEntry(rw int, c int32) {
+	ind, val := f.urowInd[rw], f.urowVal[rw]
+	for idx := range ind {
+		if ind[idx] == c {
+			last := len(ind) - 1
+			ind[idx], val[idx] = ind[last], val[last]
+			f.urowInd[rw], f.urowVal[rw] = ind[:last], val[:last]
+			return
+		}
+	}
+}
+
+// removeColEntry deletes row rw from U column c (swap-delete).
+func (f *luFactor) removeColEntry(c, rw int32) {
+	ind, val := f.ucolInd[c], f.ucolVal[c]
+	for idx := range ind {
+		if ind[idx] == rw {
+			last := len(ind) - 1
+			ind[idx], val[idx] = ind[last], val[last]
+			f.ucolInd[c], f.ucolVal[c] = ind[:last], val[:last]
+			return
+		}
+	}
+}
+
+// refactorize runs the right-looking Markowitz-threshold elimination on the
+// current basis. Returns false on a numerically singular basis or a
+// mid-factorization abort.
+func (f *luFactor) refactorize() bool {
+	m := f.m
+	f.resetFactors()
+	f.st.Refactorizations++
+	if m == 0 {
+		return true
+	}
+	basisNnz := f.buildWorking()
+
+	for k := 0; k < m; k++ {
+		if k&15 == 0 && f.abort != nil && f.abort() {
+			return false
+		}
+		pr, pc, pv, ok := f.selectPivot()
+		if !ok {
+			return false
+		}
+		f.eliminate(k, pr, pc, pv)
+	}
+
+	nnzLU := len(f.lval) + m
+	for c := 0; c < m; c++ {
+		nnzLU += len(f.ucolInd[c])
+	}
+	if basisNnz > 0 {
+		if ratio := float64(nnzLU) / float64(basisNnz); ratio > f.st.FillRatio {
+			f.st.FillRatio = ratio
+		}
+	}
+	return true
+}
+
+// buildWorking assembles the active working matrix from the basis columns
+// and returns its nonzero count.
+func (f *luFactor) buildWorking() int {
+	in := f.in
+	m := f.m
+	for i := 0; i < m; i++ {
+		f.fRowInd[i] = f.fRowInd[i][:0]
+		f.fRowVal[i] = f.fRowVal[i][:0]
+		f.fColRows[i] = f.fColRows[i][:0]
+		f.fColCnt[i] = 0
+		f.fRowActive[i] = true
+		f.fColActive[i] = true
+	}
+	nnz := 0
+	add := func(rw int32, c int32, v float64) {
+		f.fRowInd[rw] = append(f.fRowInd[rw], c)
+		f.fRowVal[rw] = append(f.fRowVal[rw], v)
+		f.fColRows[c] = append(f.fColRows[c], rw)
+		f.fColCnt[c]++
+		nnz++
+	}
+	for c := 0; c < m; c++ {
+		j := int(f.basic[c])
+		if j >= in.nStruct {
+			add(int32(j-in.nStruct), int32(c), 1)
+			continue
+		}
+		for p := in.colPtr[j]; p < in.colPtr[j+1]; p++ {
+			add(in.rowIdx[p], int32(c), in.val[p])
+		}
+	}
+	return nnz
+}
+
+// entryValue scans row rw for column c; explicit zeros count as present.
+func (f *luFactor) entryValue(rw int32, c int32) float64 {
+	ind := f.fRowInd[rw]
+	for idx := range ind {
+		if ind[idx] == c {
+			return f.fRowVal[rw][idx]
+		}
+	}
+	return 0
+}
+
+// selectPivot runs the Markowitz-threshold search: examine the lowest-count
+// active columns (up to luPivotCols of them), admit entries within
+// markowitzThreshold of their column's magnitude, and pick the admitted
+// entry minimizing (rowCount−1)·(colCount−1), larger magnitude breaking
+// ties. Falls back to a full column scan when the low-count columns offer
+// nothing, and reports failure — a singular basis — when no column does.
+func (f *luFactor) selectPivot() (int32, int32, float64, bool) {
+	m := f.m
+	// Gather the luPivotCols active columns with the smallest counts.
+	f.fCand = f.fCand[:0]
+	for c := 0; c < m; c++ {
+		if !f.fColActive[c] {
+			continue
+		}
+		if f.fColCnt[c] == 0 {
+			return 0, 0, 0, false // structurally singular
+		}
+		cnt := f.fColCnt[c]
+		pos := len(f.fCand)
+		if pos < luPivotCols {
+			f.fCand = append(f.fCand, int32(c))
+		} else if cnt < f.fColCnt[f.fCand[luPivotCols-1]] {
+			pos = luPivotCols - 1
+			f.fCand[pos] = int32(c)
+		} else {
+			continue
+		}
+		for pos > 0 && f.fColCnt[f.fCand[pos]] < f.fColCnt[f.fCand[pos-1]] {
+			f.fCand[pos], f.fCand[pos-1] = f.fCand[pos-1], f.fCand[pos]
+			pos--
+		}
+	}
+	if pr, pc, pv, ok := f.bestInColumns(f.fCand); ok {
+		return pr, pc, pv, true
+	}
+	// Rare fallback: every low-count column was numerically hopeless; scan
+	// all active columns before declaring the basis singular.
+	f.fCand = f.fCand[:0]
+	for c := 0; c < m; c++ {
+		if f.fColActive[c] {
+			f.fCand = append(f.fCand, int32(c))
+		}
+	}
+	return f.bestInColumns(f.fCand)
+}
+
+// bestInColumns applies the threshold test and Markowitz cost over the given
+// candidate columns.
+func (f *luFactor) bestInColumns(cols []int32) (int32, int32, float64, bool) {
+	bestRow, bestCol := int32(-1), int32(-1)
+	bestVal := 0.0
+	bestCost := math.Inf(1)
+	for _, c := range cols {
+		colMax := 0.0
+		for _, rw := range f.fColRows[c] {
+			if !f.fRowActive[rw] {
+				continue
+			}
+			if av := math.Abs(f.entryValue(rw, c)); av > colMax {
+				colMax = av
+			}
+		}
+		if colMax < luPivotFloor {
+			continue
+		}
+		thresh := markowitzThreshold * colMax
+		if thresh < luPivotFloor {
+			thresh = luPivotFloor
+		}
+		ccnt := float64(f.fColCnt[c] - 1)
+		for _, rw := range f.fColRows[c] {
+			if !f.fRowActive[rw] {
+				continue
+			}
+			v := f.entryValue(rw, c)
+			if math.Abs(v) < thresh {
+				continue
+			}
+			cost := float64(len(f.fRowInd[rw])-1) * ccnt
+			if cost < bestCost || (cost == bestCost && math.Abs(v) > math.Abs(bestVal)) {
+				bestRow, bestCol, bestVal, bestCost = rw, c, v, cost
+			}
+		}
+		if bestCost == 0 {
+			break
+		}
+	}
+	return bestRow, bestCol, bestVal, bestRow >= 0
+}
+
+// eliminate performs elimination step k on pivot (pr, pc) with value pv: the
+// pivot row's remainder becomes U row k, and every other active row holding
+// column pc is updated, recording its multiplier as an L eta.
+func (f *luFactor) eliminate(k int, pr, pc int32, pv float64) {
+	f.prow[k], f.pcol[k] = pr, pc
+	f.posRow[pr], f.posCol[pc] = int32(k), int32(k)
+	f.diag[pc] = pv
+
+	// The pivot row's surviving entries are final U entries; spread them
+	// into the scratch for the row updates below.
+	rInd, rVal := f.fRowInd[pr], f.fRowVal[pr]
+	for idx, cc := range rInd {
+		if cc == pc {
+			continue
+		}
+		v := rVal[idx]
+		f.ucolInd[cc] = append(f.ucolInd[cc], pr)
+		f.ucolVal[cc] = append(f.ucolVal[cc], v)
+		f.urowInd[pr] = append(f.urowInd[pr], cc)
+		f.urowVal[pr] = append(f.urowVal[pr], v)
+		f.fColCnt[cc]--
+		f.fScratch[cc] = v
+		f.fInPiv[cc] = true
+	}
+	f.fRowActive[pr] = false
+	f.fColActive[pc] = false
+
+	for _, rw := range f.fColRows[pc] {
+		if !f.fRowActive[rw] {
+			continue
+		}
+		// Extract and remove this row's pivot-column entry.
+		ind, val := f.fRowInd[rw], f.fRowVal[rw]
+		vi := 0.0
+		for idx := range ind {
+			if ind[idx] == pc {
+				vi = val[idx]
+				last := len(ind) - 1
+				ind[idx], val[idx] = ind[last], val[last]
+				f.fRowInd[rw], f.fRowVal[rw] = ind[:last], val[:last]
+				break
+			}
+		}
+		if vi == 0 {
+			continue // explicit zero from earlier cancellation
+		}
+		l := vi / pv
+		f.lrow = append(f.lrow, rw)
+		f.lpiv = append(f.lpiv, pr)
+		f.lval = append(f.lval, l)
+		// row rw -= l · (pivot row remainder), fills appended.
+		ind, val = f.fRowInd[rw], f.fRowVal[rw]
+		for idx, cc := range ind {
+			if f.fInPiv[cc] {
+				val[idx] -= l * f.fScratch[cc]
+				f.fVisited[cc] = true
+			}
+		}
+		for idx, cc := range f.urowInd[pr] {
+			if f.fVisited[cc] {
+				f.fVisited[cc] = false
+				continue
+			}
+			fillV := -l * f.urowVal[pr][idx]
+			f.fRowInd[rw] = append(f.fRowInd[rw], cc)
+			f.fRowVal[rw] = append(f.fRowVal[rw], fillV)
+			f.fColRows[cc] = append(f.fColRows[cc], rw)
+			f.fColCnt[cc]++
+		}
+	}
+	for _, cc := range f.urowInd[pr] {
+		f.fInPiv[cc] = false
+		f.fScratch[cc] = 0
+	}
+}

@@ -1,0 +1,256 @@
+package milp
+
+import (
+	"math"
+	"testing"
+)
+
+// Numerical stress cases for the sparse LU kernel: near-singular and
+// ill-conditioned bases, the classic Beale cycling example under the devex
+// pricing, and the refactorize-and-retry fallback when a Forrest–Tomlin
+// update is rejected.
+
+// denseInstance builds a bare instance whose structural columns are the
+// given dense columns (plus the implicit slack identity), enough for
+// kernel-level tests.
+func denseInstance(cols [][]float64) *instance {
+	m := len(cols[0])
+	nStruct := len(cols)
+	in := &instance{
+		m:       m,
+		nStruct: nStruct,
+		n:       nStruct + m,
+		b:       make([]float64, m),
+		c:       make([]float64, nStruct+m),
+		lo:      make([]float64, nStruct+m),
+		hi:      make([]float64, nStruct+m),
+		intCol:  make([]bool, nStruct),
+		colPtr:  make([]int32, nStruct+1),
+	}
+	for j, col := range cols {
+		for i, v := range col {
+			if v != 0 {
+				in.rowIdx = append(in.rowIdx, int32(i))
+				in.val = append(in.val, v)
+			}
+		}
+		in.colPtr[j+1] = int32(len(in.rowIdx))
+	}
+	return in
+}
+
+// applyBasis multiplies the basis matrix (columns basic of in) by x.
+func applyBasis(in *instance, basic []int32, x []float64) []float64 {
+	out := make([]float64, in.m)
+	for pos, jj := range basic {
+		j := int(jj)
+		v := x[pos]
+		if v == 0 {
+			continue
+		}
+		if j >= in.nStruct {
+			out[j-in.nStruct] += v
+			continue
+		}
+		for p := in.colPtr[j]; p < in.colPtr[j+1]; p++ {
+			out[in.rowIdx[p]] += in.val[p] * v
+		}
+	}
+	return out
+}
+
+func structuralBasis(m int) []int32 {
+	basic := make([]int32, m)
+	for i := range basic {
+		basic[i] = int32(i)
+	}
+	return basic
+}
+
+// TestLUSingularBasis: an exactly repeated column must fail factorization,
+// just as the dense kernel's Gauss-Jordan does.
+func TestLUSingularBasis(t *testing.T) {
+	dup := []float64{1, 2, 3}
+	in := denseInstance([][]float64{dup, {4, 5, 6}, dup})
+	lu := newLUFactor(in, structuralBasis(3), nil)
+	if lu.refactorize() {
+		t.Fatal("sparse-lu factorized an exactly singular basis")
+	}
+	dense := newDenseFactor(in, structuralBasis(3), nil)
+	if dense.refactorize() {
+		t.Fatal("dense kernel factorized an exactly singular basis")
+	}
+}
+
+// TestLUNearSingularBasis: columns differing below the pivot floor are
+// numerically singular and must be rejected rather than poison the factors.
+func TestLUNearSingularBasis(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{1, 2, 3 + 1e-13}
+	in := denseInstance([][]float64{a, {4, 5, 6}, b})
+	lu := newLUFactor(in, structuralBasis(3), nil)
+	if lu.refactorize() {
+		t.Fatal("sparse-lu accepted a basis singular to working precision")
+	}
+}
+
+// TestLUIllConditionedResidual factorizes an 8×8 Hilbert basis (condition
+// number ~1e10) and checks the forward/backward solve residuals stay small —
+// threshold pivoting must keep the elimination backward stable.
+func TestLUIllConditionedResidual(t *testing.T) {
+	const n = 8
+	cols := make([][]float64, n)
+	for j := 0; j < n; j++ {
+		cols[j] = make([]float64, n)
+		for i := 0; i < n; i++ {
+			cols[j][i] = 1 / float64(i+j+1)
+		}
+	}
+	in := denseInstance(cols)
+	basic := structuralBasis(n)
+	lu := newLUFactor(in, basic, nil)
+	if !lu.refactorize() {
+		t.Fatal("refactorize failed on the Hilbert basis")
+	}
+	x := make([]float64, n)
+	for j := 0; j < n; j++ {
+		lu.ftranColumn(j, x)
+		bx := applyBasis(in, basic, x)
+		for i := 0; i < n; i++ {
+			want := cols[j][i]
+			if math.Abs(bx[i]-want) > 1e-8*(1+math.Abs(want)) {
+				t.Fatalf("ftran residual too large: col %d row %d: B·x=%v want %v", j, i, bx[i], want)
+			}
+		}
+	}
+}
+
+// TestLUFTUpdateRejected drives a Forrest–Tomlin update into a vanishing
+// eliminated diagonal (the spike misses the displaced pivot row entirely)
+// and asserts the kernel rejects it while leaving the factors intact.
+func TestLUFTUpdateRejected(t *testing.T) {
+	in := denseInstance([][]float64{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}})
+	lu := newLUFactor(in, structuralBasis(3), nil)
+	if !lu.refactorize() {
+		t.Fatal("refactorize failed on the identity basis")
+	}
+	w := make([]float64, 3)
+	// Entering column e_0 replacing basis position 1: the elimination
+	// diagonal is the spike's component on the displaced pivot row — zero.
+	lu.ftranColumn(0, w)
+	r := 1
+	if lu.update(r, w) {
+		t.Fatal("update accepted a zero elimination diagonal")
+	}
+	if got := lu.snapshot().UpdatesRejected; got != 1 {
+		t.Fatalf("UpdatesRejected = %d, want 1", got)
+	}
+	// The factors must still answer for the untouched basis.
+	for j := 0; j < 3; j++ {
+		lu.ftranColumn(j, w)
+		for i := 0; i < 3; i++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(w[i]-want) > 1e-12 {
+				t.Fatalf("factors corrupted after rejected update: ftran(%d)[%d] = %v", j, i, w[i])
+			}
+		}
+	}
+}
+
+// TestLUPivotRetryAfterRejectedUpdate exercises the solver-level fallback:
+// when the kernel rejects an update, simplexState.pivot refactorizes the
+// pre-pivot basis, recomputes the entering column, and retries.
+func TestLUPivotRetryAfterRejectedUpdate(t *testing.T) {
+	in, decided := compile(schedLikeLP(10, 3, true), false)
+	if decided == StatusInfeasible {
+		t.Fatal("fixture infeasible")
+	}
+	s := newStateKernel(in, kernelSparseLU)
+	if st := s.solveCold(); st != StatusOptimal {
+		t.Fatalf("cold solve: %v", st)
+	}
+	lu := s.fac.(*luFactor)
+	// Pick any nonbasic column with a usable pivot row.
+	q, r := -1, -1
+	for j := 0; j < in.n && q < 0; j++ {
+		if s.stat[j] == nbBasic {
+			continue
+		}
+		s.ftran(j)
+		for i := 0; i < in.m; i++ {
+			if math.Abs(s.w[i]) > 0.5 {
+				q, r = j, i
+				break
+			}
+		}
+	}
+	if q < 0 {
+		t.Fatal("no pivotable nonbasic column found")
+	}
+	s.ftran(q)
+	refactsBefore := lu.snapshot().Refactorizations
+	// Invalidate the cached spike so the first update attempt is rejected;
+	// pivot must recover through its refactorize-and-retry path.
+	lu.spikeOK = false
+	if !s.pivot(q, r, nbLower) {
+		t.Fatal("pivot failed to recover from a rejected update")
+	}
+	if got := lu.snapshot().Refactorizations; got != refactsBefore+1 {
+		t.Fatalf("Refactorizations = %d, want %d (one retry refresh)", got, refactsBefore+1)
+	}
+	if int(s.basic[r]) != q {
+		t.Fatalf("basis row %d holds %d after pivot, want %d", r, s.basic[r], q)
+	}
+}
+
+// TestLUWarmStartFallbackOnSingularBasis checks the warm-start contract the
+// branch-and-bound workers rely on: a singular inherited basis makes
+// solveWarm report statusNumFail, and the subsequent cold solve recovers.
+func TestLUWarmStartFallbackOnSingularBasis(t *testing.T) {
+	in, decided := compile(schedLikeLP(10, 3, true), false)
+	if decided == StatusInfeasible {
+		t.Fatal("fixture infeasible")
+	}
+	s := newStateKernel(in, kernelSparseLU)
+	if st := s.solveCold(); st != StatusOptimal {
+		t.Fatalf("cold solve: %v", st)
+	}
+	// Corrupt the basis: duplicate one basic column over another slot.
+	s.basic[1] = s.basic[0]
+	if st := s.solveWarm(); st != statusNumFail {
+		t.Fatalf("solveWarm on singular basis = %v, want numerical failure", st)
+	}
+	if st := s.solveCold(); st != StatusOptimal {
+		t.Fatalf("cold-solve fallback: %v", st)
+	}
+}
+
+// TestBealeCyclingTerminates solves Beale's classic cycling LP — the
+// standard counterexample that loops forever under naive Dantzig pricing
+// with careless tie-breaking — and expects the proven optimum −0.05. The
+// devex pricing plus the Bland fallback must terminate on it.
+func TestBealeCyclingTerminates(t *testing.T) {
+	m := NewModel()
+	x1 := m.NewContinuous("x1", 0, Inf)
+	x2 := m.NewContinuous("x2", 0, Inf)
+	x3 := m.NewContinuous("x3", 0, Inf)
+	x4 := m.NewContinuous("x4", 0, Inf)
+	m.AddLE("r1", *NewExpr(0).Add(x1, 0.25).Add(x2, -60).Add(x3, -1.0/25).Add(x4, 9), 0)
+	m.AddLE("r2", *NewExpr(0).Add(x1, 0.5).Add(x2, -90).Add(x3, -1.0/50).Add(x4, 3), 0)
+	m.AddLE("r3", VarExpr(x3), 1)
+	m.SetObjective(*NewExpr(0).Add(x1, -0.75).Add(x2, 150).Add(x3, -0.02).Add(x4, 6), Minimize)
+
+	sol, err := SolveLP(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	if !almostEq(sol.Objective, -0.05, 1e-9) {
+		t.Errorf("objective = %v, want -0.05", sol.Objective)
+	}
+}

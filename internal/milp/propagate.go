@@ -1,0 +1,145 @@
+package milp
+
+import "math"
+
+// nodePropRounds caps the per-node propagation sweeps. Branching changes one
+// bound, so most of the fixpoint is reached in a sweep or two; the root
+// presolve already ran the full preMaxRounds fixpoint.
+const nodePropRounds = 3
+
+// propagateBounds re-runs activity-based bound propagation on the compiled
+// instance under the working bounds lo/hi (the root bounds plus a node's
+// branching decisions), tightening integer-column bounds in place. It is the
+// node-level counterpart of the root presolve: after each branch the new
+// bound ripples through the rows instead of waiting for the simplex to
+// discover its consequences one pivot at a time.
+//
+// The derived bounds use integrality rounding, so they are implied for every
+// integer-feasible point of the subproblem but may cut LP-relaxation points;
+// that keeps the node's relaxation bound valid for the subtree while making
+// it strictly tighter. Returns the number of tightenings applied and ok =
+// false when some row proves the subproblem has no integer-feasible point —
+// the node can then be pruned without solving its relaxation at all.
+func propagateBounds(in *instance, lo, hi []float64) (int, bool) {
+	if in.rowPtr == nil || in.m == 0 {
+		return 0, true
+	}
+	tightened := 0
+	for round := 0; round < nodePropRounds; round++ {
+		changed := false
+		for i := 0; i < in.m; i++ {
+			// The slack bounds encode the row relation (branching never
+			// touches them): Σ a_ij·x_j must land in [b−hiS, b−loS].
+			sCol := in.nStruct + i
+			lb, ub := in.b[i]-hi[sCol], in.b[i]-lo[sCol]
+
+			// Activity bounds with infinite-contribution counting.
+			var minA, maxA float64
+			minInf, maxInf := 0, 0
+			for p := in.rowPtr[i]; p < in.rowPtr[i+1]; p++ {
+				j, a := in.rowCol[p], in.rowVal[p]
+				l, h := lo[j], hi[j]
+				if a < 0 {
+					l, h = h, l
+				}
+				if math.IsInf(l, 0) {
+					minInf++
+				} else {
+					minA += a * l
+				}
+				if math.IsInf(h, 0) {
+					maxInf++
+				} else {
+					maxA += a * h
+				}
+			}
+			if minInf == 0 && !math.IsInf(ub, 1) && minA > ub+preViolTol*(1+math.Abs(ub)) {
+				return tightened, false
+			}
+			if maxInf == 0 && !math.IsInf(lb, -1) && maxA < lb-preViolTol*(1+math.Abs(lb)) {
+				return tightened, false
+			}
+
+			// Implied integer bounds from both row sides, mirroring the root
+			// presolve's visitRow but rounding through integrality.
+			for p := in.rowPtr[i]; p < in.rowPtr[i+1]; p++ {
+				j, a := int(in.rowCol[p]), in.rowVal[p]
+				if !in.intCol[j] {
+					continue
+				}
+				if !math.IsInf(ub, 1) {
+					if rest, ok := restActivity(minA, minInf, a, lo, hi, j, true); ok {
+						implied := (ub - rest) / a
+						var n int
+						var feas bool
+						if a > 0 {
+							n, feas = tightenIntHi(lo, hi, j, implied)
+						} else {
+							n, feas = tightenIntLo(lo, hi, j, implied)
+						}
+						if !feas {
+							return tightened, false
+						}
+						if n > 0 {
+							tightened += n
+							changed = true
+						}
+					}
+				}
+				if !math.IsInf(lb, -1) {
+					if rest, ok := restActivity(maxA, maxInf, a, lo, hi, j, false); ok {
+						implied := (lb - rest) / a
+						var n int
+						var feas bool
+						if a > 0 {
+							n, feas = tightenIntLo(lo, hi, j, implied)
+						} else {
+							n, feas = tightenIntHi(lo, hi, j, implied)
+						}
+						if !feas {
+							return tightened, false
+						}
+						if n > 0 {
+							tightened += n
+							changed = true
+						}
+					}
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return tightened, true
+}
+
+// tightenIntHi lowers hi[j] to floor(v) when that is a genuine improvement.
+// Working bounds of integer columns are integral (root presolve rounded
+// them, branching floors/ceils), so improvements come in whole steps and a
+// half-unit margin separates signal from float noise. Returns the number of
+// tightenings (0 or 1) and feasibility.
+func tightenIntHi(lo, hi []float64, j int, v float64) (int, bool) {
+	v = math.Floor(v + intRoundTol)
+	if math.IsInf(v, 1) || v >= hi[j]-0.5 {
+		return 0, true
+	}
+	if v < lo[j]-0.5 {
+		return 0, false
+	}
+	hi[j] = v
+	return 1, true
+}
+
+// tightenIntLo raises lo[j] to ceil(v); the mirror of tightenIntHi.
+func tightenIntLo(lo, hi []float64, j int, v float64) (int, bool) {
+	v = math.Ceil(v - intRoundTol)
+	if math.IsInf(v, -1) || v <= lo[j]+0.5 {
+		return 0, true
+	}
+	if v > hi[j]+0.5 {
+		return 0, false
+	}
+	lo[j] = v
+	return 1, true
+}

@@ -82,7 +82,8 @@ type Solution struct {
 	// Stats.SimplexIters.
 	Iterations int
 	// Stats carries the full solver diagnostics (warm-start rate, presolve
-	// reductions, MIP gap, worker count).
+	// reductions, MIP gap, worker count, factorization kernel, node
+	// propagation).
 	Stats SolveStats
 }
 
@@ -107,10 +108,19 @@ const (
 	pivotEps   = 1e-9
 	feasEps    = 1e-7
 	redCostEps = 1e-9
-	// refactorEvery bounds the number of product-form (eta) updates applied
-	// to the basis inverse before a fresh factorization, for numerical
-	// hygiene.
+	// refactorEvery bounds the number of basis updates (eta or
+	// Forrest–Tomlin) applied before a fresh factorization, for numerical
+	// hygiene and to keep the sparse kernel's eta file short.
 	refactorEvery = 64
+	// devexResetLimit is the reference-weight ceiling: when any devex weight
+	// outgrows it, the reference framework is re-anchored at the current
+	// basis (all weights back to 1), as Forrest–Goldfarb prescribe.
+	devexResetLimit = 1e7
+	// pertScale sizes the anti-degeneracy cost perturbation (see
+	// instance.pert). Large against redCostEps so perturbed reduced costs
+	// break ties decisively, small against real objective coefficients so
+	// the exact cleanup after a perturbed run is a handful of pivots.
+	pertScale = 1e-6
 )
 
 // Nonbasic / basic status of a column.
@@ -121,12 +131,25 @@ const (
 	nbFree       // nonbasic free variable, parked at zero
 )
 
+// kernelKind selects the basis-factorization kernel of a simplexState.
+type kernelKind int
+
+const (
+	// kernelAuto picks dense below sparseKernelMinRows rows, sparse LU above.
+	kernelAuto kernelKind = iota
+	// kernelDense forces the dense-inverse kernel.
+	kernelDense
+	// kernelSparseLU forces the sparse LU kernel.
+	kernelSparseLU
+)
+
 // simplexState is one worker's in-place solver over an instance: working
-// bounds (mutated by branch and bound), the current basis with a dense basis
-// inverse maintained by eta updates and periodic refactorization, and scratch
-// vectors. It implements a bounded-variable primal simplex (two-phase, no
-// artificial columns) and a bounded-variable dual simplex used for warm
-// starts after bound changes.
+// bounds (mutated by branch and bound), the current basis behind a pluggable
+// basisFactorization kernel, and scratch vectors. It implements a
+// bounded-variable primal simplex (two-phase, no artificial columns) and a
+// bounded-variable dual simplex used for warm starts after bound changes,
+// both priced by devex reference weights with a Bland fallback against
+// cycling.
 type simplexState struct {
 	in     *instance
 	lo, hi []float64 // working bounds, length n
@@ -134,35 +157,60 @@ type simplexState struct {
 	pos    []int32   // length n: basis row of column, -1 when nonbasic
 	stat   []int8    // length n
 
-	binv      []float64 // m×m row-major basis inverse
-	xB        []float64 // basic variable values
-	y, d      []float64 // duals / reduced costs scratch
-	w         []float64 // FTRAN result
-	rowBuf    []float64
-	cbBuf     []float64
-	factorBuf []float64
+	fac basisFactorization
 
-	iters       int
-	sinceFactor int
-	ctx         context.Context
+	xB     []float64 // basic variable values
+	y, d   []float64 // duals / reduced costs scratch
+	w      []float64 // FTRAN result
+	rho    []float64 // BTRAN pivot row scratch
+	rowBuf []float64
+	cbBuf  []float64
+
+	gamma []float64 // primal devex reference weights, length n
+	rowW  []float64 // dual devex row weights, length m
+
+	// pertOn layers the instance's anti-degeneracy cost perturbation onto
+	// every cost lookup; the optimizing loops run perturbed, then switch it
+	// off and finish to exact optimality before reporting StatusOptimal.
+	pertOn bool
+
+	iters int
+	ctx   context.Context
 }
 
 func newState(in *instance) *simplexState {
+	return newStateKernel(in, kernelAuto)
+}
+
+func newStateKernel(in *instance, kk kernelKind) *simplexState {
 	s := &simplexState{
-		in:        in,
-		lo:        append([]float64(nil), in.lo...),
-		hi:        append([]float64(nil), in.hi...),
-		basic:     make([]int32, in.m),
-		pos:       make([]int32, in.n),
-		stat:      make([]int8, in.n),
-		binv:      make([]float64, in.m*in.m),
-		xB:        make([]float64, in.m),
-		y:         make([]float64, in.m),
-		d:         make([]float64, in.n),
-		w:         make([]float64, in.m),
-		rowBuf:    make([]float64, in.m),
-		cbBuf:     make([]float64, in.m),
-		factorBuf: make([]float64, in.m*in.m),
+		in:     in,
+		lo:     append([]float64(nil), in.lo...),
+		hi:     append([]float64(nil), in.hi...),
+		basic:  make([]int32, in.m),
+		pos:    make([]int32, in.n),
+		stat:   make([]int8, in.n),
+		xB:     make([]float64, in.m),
+		y:      make([]float64, in.m),
+		d:      make([]float64, in.n),
+		w:      make([]float64, in.m),
+		rho:    make([]float64, in.m),
+		rowBuf: make([]float64, in.m),
+		cbBuf:  make([]float64, in.m),
+		gamma:  make([]float64, in.n),
+		rowW:   make([]float64, in.m),
+	}
+	if kk == kernelAuto {
+		if in.m >= sparseKernelMinRows {
+			kk = kernelSparseLU
+		} else {
+			kk = kernelDense
+		}
+	}
+	if kk == kernelSparseLU {
+		s.fac = newLUFactor(in, s.basic, s.aborted)
+	} else {
+		s.fac = newDenseFactor(in, s.basic, s.aborted)
 	}
 	return s
 }
@@ -178,10 +226,25 @@ func (s *simplexState) callLimit() int {
 	return 300*(s.in.m+s.in.n) + 1000
 }
 
+// warmLimit is the pivot budget of a warm-started dual repair. On heavily
+// degenerate models (the big-M scheduling LPs have flat optimal faces) a
+// warm start from the parent basis can shuffle thousands of zero-progress
+// pivots where a cold solve walks in directly, so a stalled repair is cut
+// off early — solveRelax then falls back to the cold path, which measured
+// orders of magnitude cheaper exactly when this limit fires (IVD: ~10⁴
+// stalled warm pivots against 88 cold ones per node).
+func (s *simplexState) warmLimit() int {
+	l := (s.in.m + s.in.n) / 4
+	if l < 150 {
+		l = 150
+	}
+	return l
+}
+
 // aborted reports whether the solve context has fired. It is checked every
-// pivot: a context Err read costs nanoseconds against the O(m²) pivot, and
-// on large models a single pivot can take milliseconds, so coarser checks
-// would make cancellation sluggish.
+// pivot: a context Err read costs nanoseconds against the cost of a pivot,
+// and on large models a single pivot can take milliseconds, so coarser
+// checks would make cancellation sluggish.
 func (s *simplexState) aborted() bool {
 	return s.ctx != nil && s.ctx.Err() != nil
 }
@@ -202,8 +265,7 @@ func (s *simplexState) nbValue(j int) float64 {
 // nonbasic statuses: x_B = B⁻¹(b − N·x_N).
 func (s *simplexState) computeXB() {
 	in := s.in
-	m := in.m
-	if m == 0 {
+	if in.m == 0 {
 		return
 	}
 	r := s.rowBuf
@@ -224,62 +286,20 @@ func (s *simplexState) computeXB() {
 			r[j-in.nStruct] -= xj
 		}
 	}
-	for i := 0; i < m; i++ {
-		row := s.binv[i*m : (i+1)*m]
-		v := 0.0
-		for k, rk := range r {
-			if rk != 0 {
-				v += row[k] * rk
-			}
-		}
-		s.xB[i] = v
-	}
+	s.fac.ftranDense(r, s.xB)
 }
 
 // ftran computes w = B⁻¹·A_j for column j.
 func (s *simplexState) ftran(j int) {
-	in := s.in
-	m := in.m
-	for i := range s.w {
-		s.w[i] = 0
-	}
-	if m == 0 {
-		return
-	}
-	if j >= in.nStruct {
-		r := j - in.nStruct
-		for i := 0; i < m; i++ {
-			s.w[i] = s.binv[i*m+r]
-		}
-		return
-	}
-	for p := in.colPtr[j]; p < in.colPtr[j+1]; p++ {
-		r, v := int(in.rowIdx[p]), in.val[p]
-		for i := 0; i < m; i++ {
-			s.w[i] += v * s.binv[i*m+r]
-		}
-	}
+	s.fac.ftranColumn(j, s.w)
 }
 
 // computeDuals fills y = cBᵀ·B⁻¹ from per-row basic costs cb and the reduced
 // cost d_j = cost(j) − y·A_j for every nonbasic column.
 func (s *simplexState) computeDuals(cb []float64, cost func(int) float64) {
 	in := s.in
-	m := in.m
-	for k := 0; k < m; k++ {
-		s.y[k] = 0
-	}
-	for i := 0; i < m; i++ {
-		cbi := cb[i]
-		if cbi == 0 {
-			continue
-		}
-		row := s.binv[i*m : (i+1)*m]
-		for k, v := range row {
-			if v != 0 {
-				s.y[k] += cbi * v
-			}
-		}
+	if in.m > 0 {
+		s.fac.btranDense(cb, s.y)
 	}
 	for j := 0; j < in.n; j++ {
 		if s.stat[j] == nbBasic {
@@ -290,139 +310,118 @@ func (s *simplexState) computeDuals(cb []float64, cost func(int) float64) {
 	}
 }
 
-func (s *simplexState) objCost(j int) float64 { return s.in.c[j] }
+func (s *simplexState) objCost(j int) float64 {
+	if s.pertOn {
+		return s.in.c[j] + s.in.pert[j]
+	}
+	return s.in.c[j]
+}
 
 func zeroCost(int) float64 { return 0 }
 
-// factorize rebuilds the dense basis inverse from the current basis by
-// Gauss-Jordan elimination with partial pivoting. Returns false on a
-// (numerically) singular basis.
-func (s *simplexState) factorize() bool {
+// devexReset re-anchors the primal reference framework at the current basis:
+// every column's weight returns to 1.
+func (s *simplexState) devexReset() {
+	for j := range s.gamma {
+		s.gamma[j] = 1
+	}
+}
+
+// devexUpdatePrimal refreshes the primal devex weights after the choice of
+// entering column q and leaving basis row r (s.w holds B⁻¹·A_q). Following
+// Forrest–Goldfarb, every nonbasic column's weight rises to
+// (α_rj/α_rq)²·γ_q when that exceeds its current weight, and the leaving
+// column re-enters the nonbasic set with weight max(γ_q/α_rq², 1). Must run
+// before the pivot mutates the basis.
+func (s *simplexState) devexUpdatePrimal(q, r int) {
+	alphaQ := s.w[r]
+	if alphaQ == 0 {
+		return
+	}
 	in := s.in
-	m := in.m
-	s.sinceFactor = 0
-	if m == 0 {
-		return true
-	}
-	a := s.factorBuf
-	for i := range a {
-		a[i] = 0
-	}
-	for k := 0; k < m; k++ {
-		j := int(s.basic[k])
-		if j >= in.nStruct {
-			a[(j-in.nStruct)*m+k] = 1
+	gq := s.gamma[q]
+	inv2 := 1 / (alphaQ * alphaQ)
+	s.fac.btranRow(r, s.rho)
+	maxW := 1.0
+	for j := 0; j < in.n; j++ {
+		if s.stat[j] == nbBasic || j == q {
 			continue
 		}
-		for p := in.colPtr[j]; p < in.colPtr[j+1]; p++ {
-			a[int(in.rowIdx[p])*m+k] = in.val[p]
+		aj := in.colDot(s.rho, j)
+		if aj == 0 {
+			continue
+		}
+		if cand := aj * aj * inv2 * gq; cand > s.gamma[j] {
+			s.gamma[j] = cand
+		}
+		if s.gamma[j] > maxW {
+			maxW = s.gamma[j]
 		}
 	}
-	binv := s.binv
-	for i := range binv {
-		binv[i] = 0
+	gl := gq * inv2
+	if gl < 1 {
+		gl = 1
 	}
-	for i := 0; i < m; i++ {
-		binv[i*m+i] = 1
-	}
-	for k := 0; k < m; k++ {
-		// A full factorization is O(m³); honor cancellation mid-way on large
-		// bases (the false return cascades into a prompt iteration-limit).
-		if k&7 == 0 && s.aborted() {
-			return false
-		}
-		// Partial pivoting over rows k..m-1 of column k.
-		p, best := -1, 1e-10
-		for i := k; i < m; i++ {
-			if v := math.Abs(a[i*m+k]); v > best {
-				p, best = i, v
-			}
-		}
-		if p < 0 {
-			return false
-		}
-		if p != k {
-			swapRows(a, m, p, k)
-			swapRows(binv, m, p, k)
-		}
-		inv := 1 / a[k*m+k]
-		scaleRow(a, m, k, inv)
-		scaleRow(binv, m, k, inv)
-		for i := 0; i < m; i++ {
-			if i == k {
-				continue
-			}
-			f := a[i*m+k]
-			if f == 0 {
-				continue
-			}
-			axpyRow(a, m, i, k, -f)
-			axpyRow(binv, m, i, k, -f)
-		}
-	}
-	return true
-}
-
-func swapRows(a []float64, m, i, j int) {
-	ri, rj := a[i*m:(i+1)*m], a[j*m:(j+1)*m]
-	for k := range ri {
-		ri[k], rj[k] = rj[k], ri[k]
+	s.gamma[int(s.basic[r])] = gl
+	s.gamma[q] = 1
+	if maxW > devexResetLimit {
+		s.devexReset()
 	}
 }
 
-func scaleRow(a []float64, m, i int, f float64) {
-	ri := a[i*m : (i+1)*m]
-	for k := range ri {
-		ri[k] *= f
+// devexUpdateDual refreshes the dual row weights after the pivot on basis
+// row r with s.w = B⁻¹·A_q: the mirrored Forrest–Goldfarb update over rows.
+func (s *simplexState) devexUpdateDual(r int) {
+	wr := s.w[r]
+	if wr == 0 {
+		return
 	}
-}
-
-func axpyRow(a []float64, m, i, j int, f float64) {
-	ri, rj := a[i*m:(i+1)*m], a[j*m:(j+1)*m]
-	for k := range rj {
-		if rj[k] != 0 {
-			ri[k] += f * rj[k]
-		}
-	}
-}
-
-// etaUpdate applies the product-form update of the basis inverse for a pivot
-// on basis row r with entering column q, where w = B⁻¹·A_q must already be in
-// s.w. Returns false when the pivot element is numerically unusable.
-func (s *simplexState) etaUpdate(r int) bool {
-	m := s.in.m
-	piv := s.w[r]
-	if math.Abs(piv) < 1e-11 {
-		return false
-	}
-	inv := 1 / piv
-	rowR := s.binv[r*m : (r+1)*m]
-	for k := range rowR {
-		rowR[k] *= inv
-	}
-	for i := 0; i < m; i++ {
+	gr := s.rowW[r]
+	inv2 := 1 / (wr * wr)
+	maxW := 1.0
+	for i := range s.rowW {
 		if i == r {
 			continue
 		}
-		f := s.w[i]
-		if f == 0 {
+		wi := s.w[i]
+		if wi == 0 {
 			continue
 		}
-		rowI := s.binv[i*m : (i+1)*m]
-		for k, v := range rowR {
-			if v != 0 {
-				rowI[k] -= f * v
-			}
+		if cand := wi * wi * inv2 * gr; cand > s.rowW[i] {
+			s.rowW[i] = cand
+		}
+		if s.rowW[i] > maxW {
+			maxW = s.rowW[i]
 		}
 	}
-	return true
+	gl := gr * inv2
+	if gl < 1 {
+		gl = 1
+	}
+	s.rowW[r] = gl
+	if maxW > devexResetLimit {
+		for i := range s.rowW {
+			s.rowW[i] = 1
+		}
+	}
 }
 
 // pivot replaces basis row r with column q (w already FTRANed) and marks the
-// leaving column nonbasic at leaveStat. Returns false on numerical failure.
+// leaving column nonbasic at leaveStat. A rejected kernel update (tiny eta
+// pivot, unstable Forrest–Tomlin elimination) triggers one
+// refactorize-recompute-retry round before giving up. Returns false on
+// numerical failure.
 func (s *simplexState) pivot(q, r int, leaveStat int8) bool {
-	if !s.etaUpdate(r) {
-		return false
+	if !s.fac.update(r, s.w) {
+		// Refresh the factorization of the pre-pivot basis, recompute the
+		// entering column against it, and retry the update once.
+		if !s.fac.refactorize() {
+			return false
+		}
+		s.fac.ftranColumn(q, s.w)
+		if !s.fac.update(r, s.w) {
+			return false
+		}
 	}
 	old := int(s.basic[r])
 	s.stat[old] = leaveStat
@@ -431,22 +430,22 @@ func (s *simplexState) pivot(q, r int, leaveStat int8) bool {
 	s.pos[q] = int32(r)
 	s.stat[q] = nbBasic
 	s.iters++
-	s.sinceFactor++
-	if s.sinceFactor >= refactorEvery {
-		if !s.factorize() {
+	if s.fac.updates() >= refactorEvery {
+		if !s.fac.refactorize() {
 			return false
 		}
 	}
 	return true
 }
 
-// priceEntering picks the entering column from the current reduced costs.
-// Returns the column and the movement direction (+1 away from the lower
-// bound, -1 away from the upper bound), or -1 when no candidate improves.
-// Under Bland's rule the lowest-index eligible column is returned, which
-// guarantees termination on degenerate models.
+// priceEntering picks the entering column from the current reduced costs by
+// devex pricing: the eligible column maximizing d_j²/γ_j against the
+// reference weights. Returns the column and the movement direction (+1 away
+// from the lower bound, -1 away from the upper bound), or -1 when no
+// candidate improves. Under Bland's rule the lowest-index eligible column is
+// returned instead, which guarantees termination on degenerate models.
 func (s *simplexState) priceEntering(bland bool) (int, float64) {
-	bestJ, bestScore, bestDir := -1, redCostEps, 0.0
+	bestJ, bestScore, bestDir := -1, 0.0, 0.0
 	for j := 0; j < s.in.n; j++ {
 		var dir float64
 		switch s.stat[j] {
@@ -471,7 +470,7 @@ func (s *simplexState) priceEntering(bland bool) (int, float64) {
 		if bland {
 			return j, dir
 		}
-		if sc := math.Abs(s.d[j]); sc > bestScore {
+		if sc := s.d[j] * s.d[j] / s.gamma[j]; sc > bestScore {
 			bestJ, bestScore, bestDir = j, sc, dir
 		}
 	}
@@ -548,8 +547,9 @@ func (s *simplexState) primalRatio(q int, dir float64, phase1, bland bool) (floa
 }
 
 // applyPrimalStep performs the chosen primal step: a bound flip of the
-// entering column or a basis change. Returns false on numerical failure.
-func (s *simplexState) applyPrimalStep(q, leave int, leaveStat int8) bool {
+// entering column or a basis change with its devex weight maintenance.
+// Returns false on numerical failure.
+func (s *simplexState) applyPrimalStep(q, leave int, leaveStat int8, bland bool) bool {
 	if leave < 0 {
 		if s.stat[q] == nbLower {
 			s.stat[q] = nbUpper
@@ -558,6 +558,9 @@ func (s *simplexState) applyPrimalStep(q, leave int, leaveStat int8) bool {
 		}
 		s.iters++
 		return true
+	}
+	if !bland {
+		s.devexUpdatePrimal(q, leave)
 	}
 	return s.pivot(q, leave, leaveStat)
 }
@@ -593,6 +596,7 @@ func (s *simplexState) primalPhase1() Status {
 	start := s.iters
 	limit := s.callLimit()
 	blandAt := 4*(s.in.m+s.in.n) + 50
+	s.devexReset()
 	for {
 		if s.iters-start > limit || s.aborted() {
 			return StatusIterLimit
@@ -614,37 +618,55 @@ func (s *simplexState) primalPhase1() Status {
 			// improving ray is a numerical contradiction.
 			return statusNumFail
 		}
-		if !s.applyPrimalStep(q, leave, leaveStat) {
+		if !s.applyPrimalStep(q, leave, leaveStat, bland) {
 			return statusNumFail
 		}
 	}
 }
 
 // primalPhase2 optimizes the real objective from a primal-feasible basis.
+// The loop prices the perturbed costs first; at the perturbed optimum it
+// drops the perturbation and keeps iterating, so the basis it reports
+// StatusOptimal from is exactly optimal for the true objective.
 func (s *simplexState) primalPhase2() Status {
 	start := s.iters
 	limit := s.callLimit()
 	blandAt := 4*(s.in.m+s.in.n) + 50
+	s.devexReset()
+	s.pertOn = true
+	defer func() { s.pertOn = false }()
 	for {
 		if s.iters-start > limit || s.aborted() {
 			return StatusIterLimit
 		}
 		s.computeXB()
 		for i := 0; i < s.in.m; i++ {
-			s.cbBuf[i] = s.in.c[s.basic[i]]
+			s.cbBuf[i] = s.objCost(int(s.basic[i]))
 		}
 		s.computeDuals(s.cbBuf, s.objCost)
 		bland := s.iters-start > blandAt
 		q, dir := s.priceEntering(bland)
 		if q < 0 {
-			return StatusOptimal
+			if !s.pertOn {
+				return StatusOptimal
+			}
+			// Perturbed optimum reached: switch to the exact costs and let
+			// the loop finish the (usually empty) remainder.
+			s.pertOn = false
+			continue
 		}
 		s.ftran(q)
 		t, leave, leaveStat := s.primalRatio(q, dir, false, bland)
 		if math.IsInf(t, 1) {
+			if s.pertOn {
+				// A ray that only improves the perturbed objective is not
+				// proof of unboundedness; re-examine with exact costs.
+				s.pertOn = false
+				continue
+			}
 			return StatusUnbounded
 		}
-		if !s.applyPrimalStep(q, leave, leaveStat) {
+		if !s.applyPrimalStep(q, leave, leaveStat, bland) {
 			return statusNumFail
 		}
 	}
@@ -653,40 +675,59 @@ func (s *simplexState) primalPhase2() Status {
 // dual runs the bounded-variable dual simplex from the current basis, which
 // must be dual feasible (reduced costs consistent with the nonbasic
 // statuses). It restores primal feasibility bound violation by bound
-// violation; when none remains the basis is optimal. StatusInfeasible means
-// the subproblem has no feasible point (the usual warm-start outcome for a
-// pruned branch-and-bound child).
-func (s *simplexState) dual() Status {
+// violation; when none remains the basis is optimal. The leaving row is
+// picked by dual devex — the largest violation scaled by the row reference
+// weights — which steers repeated warm starts away from the same degenerate
+// rows. StatusInfeasible means the subproblem has no feasible point (the
+// usual warm-start outcome for a pruned branch-and-bound child).
+func (s *simplexState) dual(budget int) Status {
 	in := s.in
 	m := in.m
 	start := s.iters
-	limit := s.callLimit()
+	limit := budget
+	if limit <= 0 {
+		limit = s.callLimit()
+	}
 	blandAt := 4*(m+in.n) + 50
+	for i := range s.rowW {
+		s.rowW[i] = 1
+	}
+	s.pertOn = true
+	defer func() { s.pertOn = false }()
 	for {
 		if s.iters-start > limit || s.aborted() {
 			return StatusIterLimit
 		}
 		s.computeXB()
-		// Leaving row: the most violated basic variable.
+		// Leaving row: the devex-scaled most violated basic variable.
 		r, below := -1, false
-		worst := feasEps
+		best := 0.0
 		for i := 0; i < m; i++ {
 			bcol := int(s.basic[i])
-			if v := s.lo[bcol] - s.xB[i]; v > worst {
-				r, below, worst = i, true, v
+			if v := s.lo[bcol] - s.xB[i]; v > feasEps {
+				if sc := v * v / s.rowW[i]; sc > best {
+					r, below, best = i, true, sc
+				}
 			}
-			if v := s.xB[i] - s.hi[bcol]; v > worst {
-				r, below, worst = i, false, v
+			if v := s.xB[i] - s.hi[bcol]; v > feasEps {
+				if sc := v * v / s.rowW[i]; sc > best {
+					r, below, best = i, false, sc
+				}
 			}
 		}
 		if r < 0 {
-			return StatusOptimal
+			// Primal feasible. The trajectory priced perturbed costs, so the
+			// vertex may be a hair off the exact optimum; the exact-cost
+			// primal phase 2 certifies (and if needed finishes) it.
+			s.pertOn = false
+			return s.primalPhase2()
 		}
 		for i := 0; i < m; i++ {
-			s.cbBuf[i] = in.c[s.basic[i]]
+			s.cbBuf[i] = s.objCost(int(s.basic[i]))
 		}
 		s.computeDuals(s.cbBuf, s.objCost)
-		rho := s.binv[r*m : (r+1)*m]
+		s.fac.btranRow(r, s.rho)
+		rho := s.rho
 		bland := s.iters-start > blandAt
 		// Entering column: the dual ratio test over columns that can move
 		// x_B[r] toward its violated bound while keeping the reduced costs
@@ -746,6 +787,9 @@ func (s *simplexState) dual() Status {
 		if below {
 			leaveStat = nbLower
 		}
+		if !bland {
+			s.devexUpdateDual(r)
+		}
 		if !s.pivot(q, r, leaveStat) {
 			return statusNumFail
 		}
@@ -791,14 +835,7 @@ func (s *simplexState) installSlackBasis(byCost bool) bool {
 		s.stat[col] = nbBasic
 		s.pos[col] = int32(i)
 	}
-	// The slack basis inverse is the identity.
-	for i := range s.binv {
-		s.binv[i] = 0
-	}
-	for i := 0; i < m; i++ {
-		s.binv[i*m+i] = 1
-	}
-	s.sinceFactor = 0
+	s.fac.installIdentity()
 	return dualOK
 }
 
@@ -818,7 +855,7 @@ func pickBound(loF, hiF bool) int8 {
 // paper's fully-bounded formulations), otherwise a two-phase primal.
 func (s *simplexState) solveCold() Status {
 	if s.installSlackBasis(true) {
-		st := s.dual()
+		st := s.dual(0)
 		if st != statusNumFail {
 			return st
 		}
@@ -842,13 +879,13 @@ func (s *simplexState) ctxStatus(st Status) Status {
 }
 
 // solveWarm re-solves after bound changes from an inherited basis: refactor
-// the basis inverse and clean up primal feasibility with the dual simplex.
-// The caller falls back to solveCold when it reports statusNumFail.
+// the basis and clean up primal feasibility with the dual simplex. The
+// caller falls back to solveCold when it reports statusNumFail.
 func (s *simplexState) solveWarm() Status {
-	if !s.factorize() {
+	if !s.fac.refactorize() {
 		return statusNumFail
 	}
-	return s.dual()
+	return s.dual(s.warmLimit())
 }
 
 // extract maps the current basic solution back to model-variable space,
@@ -906,7 +943,13 @@ func solveLPContext(ctx context.Context, m *Model) (*Solution, error) {
 	sol := &Solution{
 		Status:     status,
 		Iterations: s.iters,
-		Stats:      SolveStats{SimplexIters: s.iters, Presolve: in.pre, ColdStarts: 1, Workers: 1},
+		Stats: SolveStats{
+			SimplexIters: s.iters,
+			Presolve:     in.pre,
+			ColdStarts:   1,
+			Workers:      1,
+			Factor:       s.fac.snapshot(),
+		},
 	}
 	sol.Stats.Gap = -1
 	switch status {

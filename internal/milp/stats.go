@@ -14,6 +14,38 @@ type PresolveStats struct {
 	TightenedBounds int
 }
 
+// FactorStats reports basis-factorization kernel diagnostics, aggregated
+// across every simplex state a solve used (one per branch-and-bound worker).
+type FactorStats struct {
+	// Kernel names the basis kernel: "dense" (explicit inverse with eta
+	// updates) or "sparse-lu" (Markowitz LU with Forrest–Tomlin updates).
+	Kernel string
+	// Refactorizations counts from-scratch basis factorizations.
+	Refactorizations int
+	// Updates counts successful basis-change updates (eta or
+	// Forrest–Tomlin).
+	Updates int
+	// UpdatesRejected counts updates the kernel refused for stability; each
+	// forces a refactorization.
+	UpdatesRejected int
+	// FillRatio is the peak (L+U nonzeros)/(basis nonzeros) the sparse
+	// kernel observed; 0 for the dense kernel, whose inverse is always full.
+	FillRatio float64
+}
+
+// merge folds another kernel's counters into s (counters add, fill peaks).
+func (s *FactorStats) merge(o FactorStats) {
+	if s.Kernel == "" {
+		s.Kernel = o.Kernel
+	}
+	s.Refactorizations += o.Refactorizations
+	s.Updates += o.Updates
+	s.UpdatesRejected += o.UpdatesRejected
+	if o.FillRatio > s.FillRatio {
+		s.FillRatio = o.FillRatio
+	}
+}
+
 // SolveStats carries the solver diagnostics of one Solve/SolveLP call. It is
 // threaded through the scheduling and architecture ILP layers up to the
 // pipeline result so reports and CLIs can show how the solve went.
@@ -37,6 +69,17 @@ type SolveStats struct {
 	// optimum and -1 when no bound information survived (e.g. no feasible
 	// point, or the search aborted before any relaxation finished).
 	Gap float64
+	// Factor reports the basis-factorization kernel diagnostics: which
+	// kernel ran, how often it refactorized, and how many eta /
+	// Forrest–Tomlin updates it absorbed (and rejected) between refreshes.
+	Factor FactorStats
+	// PropagationTightenings counts integer-bound tightenings derived by
+	// node-level bound propagation — the presolve reductions re-run after
+	// each branch instead of at the root only.
+	PropagationTightenings int
+	// PropagationPrunes counts nodes proven integer-infeasible by
+	// propagation alone, pruned before their LP relaxation was ever solved.
+	PropagationPrunes int
 }
 
 // WarmStartRate is the fraction of node relaxations served by a warm start,

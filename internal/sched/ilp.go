@@ -14,7 +14,12 @@ import (
 // MaxExactOps is the largest operation count for which the exact ILP is
 // attempted; larger assays return the list-scheduler incumbent as the
 // time-limit best effort (the paper's own solver capped out from RA30 on).
-const MaxExactOps = 14
+// The cap sat at 14 while the solver kept a dense basis inverse; the sparse
+// LU kernel with Forrest–Tomlin updates, devex pricing, node-level bound
+// propagation, and the tightened formulation below (time-window variable
+// bounds, per-pair big-M, capacity and critical-path bounds on tE) push the
+// exactly solvable range to 20 operations — see BENCH_pr4.json.
+const MaxExactOps = 20
 
 // ILPOptions configures the exact scheduling-and-binding formulation.
 type ILPOptions struct {
@@ -130,11 +135,92 @@ func ILPScheduleContext(ctx context.Context, g *seqgraph.Graph, opts ILPOptions)
 			Winner:    "list",
 		}, nil
 	}
+	sm := buildSchedModel(g, opts, incumbent, alpha, beta)
+
+	startT := time.Now()
+	sol, err := milp.SolveContext(ctx, sm.m, milp.SolveOptions{TimeLimit: limit, Incumbent: sm.warm})
+	if err != nil {
+		return nil, nil, fmt.Errorf("sched: solving scheduling ILP: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		// The caller cancelled the whole synthesis: propagate instead of
+		// falling back to the best-effort incumbent.
+		return nil, nil, err
+	}
+	info := &ILPInfo{
+		Status:     sol.Status,
+		Nodes:      sol.Nodes,
+		Iterations: sol.Iterations,
+		Runtime:    time.Since(startT),
+		ModelStats: sm.m.Stats(),
+		Solver:     sol.Stats,
+		Winner:     "ilp",
+	}
+	if !sol.Feasible() {
+		// Fall back to the list schedule (best effort), as the paper falls
+		// back to the solver's best incumbent at the time limit.
+		info.Objective = alpha*float64(incumbent.Makespan) + beta*float64(incumbent.StorageTime())
+		info.Winner = "list"
+		return incumbent, info, nil
+	}
+	info.Objective = sol.Objective
+
+	schedule := reconstruct(g, opts, sol, sm.ts, sm.assign)
+	if err := schedule.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("sched: ILP reconstruction invalid: %w", err)
+	}
+	// Keep whichever of {reconstructed, incumbent} scores better on the
+	// paper's objective, since reconstruction re-times with the stricter
+	// transport semantics.
+	scoreRec := alpha*float64(schedule.Makespan) + beta*float64(schedule.StorageTime())
+	scoreInc := alpha*float64(incumbent.Makespan) + beta*float64(incumbent.StorageTime())
+	if scoreInc < scoreRec {
+		info.Winner = "list"
+		return incumbent, info, nil
+	}
+	return schedule, info, nil
+}
+
+// schedModel bundles the built scheduling-and-binding formulation with the
+// variable handles reconstruction and the warm start need.
+type schedModel struct {
+	m       *milp.Model
+	ts, te  []milp.Var
+	assign  [][]milp.Var
+	diff    map[[2]int]milp.Var
+	order   map[[2]int]milp.Var
+	storage []milp.Var
+	tE      milp.Var
+	warm    []float64
+}
+
+// buildSchedModel lowers the paper's Table 1 formulation — tightened with
+// time-window variable bounds, per-pair big-M coefficients, and capacity /
+// critical-path lower bounds on the makespan — into a MILP model, plus the
+// incumbent-derived warm start when opts.WarmStart is set.
+func buildSchedModel(g *seqgraph.Graph, opts ILPOptions, incumbent *Schedule, alpha, beta float64) *schedModel {
 	horizon := float64(incumbent.Makespan + opts.Transport*g.NumEdges() + 1)
-	bigM := horizon + float64(opts.Transport)
 
 	n := g.NumOps()
 	m := milp.NewModel()
+
+	// Head/tail time windows from pure-duration longest paths: es_i is the
+	// earliest start of operation i, tail_i the least remaining work from
+	// its start to the end of the assay. They tighten the ts/te variable
+	// boxes and shrink every big-M below to the pair it guards, which is
+	// what lifts the LP relaxation from near-vacuous to useful — without
+	// them the solver branched big-M disjunctions against a bound that never
+	// moved (the old IVD time-limit failure mode).
+	es, tail := timeWindows(g)
+	// Two valid lower bounds on the makespan: the critical path, and the
+	// device-capacity bound ⌈Σ durations / |D|⌉ (ops on one device never
+	// overlap, so total work fits under |D|·tE).
+	tELo := math.Ceil(float64(g.TotalWork()) / float64(opts.Devices))
+	for i := 0; i < n; i++ {
+		if cp := es[i] + tail[i]; cp > tELo {
+			tELo = cp
+		}
+	}
 
 	// Variables.
 	ts := make([]milp.Var, n)
@@ -142,14 +228,25 @@ func ILPScheduleContext(ctx context.Context, g *seqgraph.Graph, opts ILPOptions)
 	assign := make([][]milp.Var, n) // assign[i][k] = s_{i,k}
 	for i := 0; i < n; i++ {
 		op := g.Op(seqgraph.OpID(i))
-		ts[i] = m.NewContinuous(fmt.Sprintf("ts_%s", op.Name), 0, horizon)
-		te[i] = m.NewContinuous(fmt.Sprintf("te_%s", op.Name), 0, horizon)
+		dur := float64(op.Duration)
+		tsHi := math.Max(es[i], horizon-tail[i])
+		ts[i] = m.NewContinuous(fmt.Sprintf("ts_%s", op.Name), es[i], tsHi)
+		te[i] = m.NewContinuous(fmt.Sprintf("te_%s", op.Name), es[i]+dur, tsHi+dur)
 		assign[i] = make([]milp.Var, opts.Devices)
 		for k := 0; k < opts.Devices; k++ {
 			assign[i][k] = m.NewBinary(fmt.Sprintf("s_%s_d%d", op.Name, k))
 		}
 	}
-	tE := m.NewContinuous("tE", 0, horizon)
+	tE := m.NewContinuous("tE", tELo, horizon)
+	// Per-pair big-M coefficients from the time windows: the smallest
+	// constants that still deactivate their constraints.
+	teHi := func(i int) float64 {
+		return math.Max(es[i], horizon-tail[i]) + float64(g.Op(seqgraph.OpID(i)).Duration)
+	}
+	pairM := func(i, j int) float64 {
+		// Bounds te_i − ts_j over the boxes: the M deactivating te_i ≤ ts_j.
+		return math.Max(0, teHi(i)-es[j])
+	}
 
 	pairIdx := func(i, j int) (int, int) {
 		if i > j {
@@ -201,7 +298,8 @@ func ILPScheduleContext(ctx context.Context, g *seqgraph.Graph, opts ILPOptions)
 	}
 
 	// (3) Precedence with transport: ts_j - te_i >= uc·diff_{ij}, plus the
-	// storage terms u_{i,j} >= (ts_j - te_i) - M(1 - diff_{ij}).
+	// storage terms u_{i,j} >= (ts_j - te_i) - M(1 - diff_{ij}) with M the
+	// largest gap the time windows admit for this edge.
 	storage := make([]milp.Var, 0, g.NumEdges())
 	for _, e := range g.Edges() {
 		i, j := int(e.Parent), int(e.Child)
@@ -211,25 +309,28 @@ func ILPScheduleContext(ctx context.Context, g *seqgraph.Graph, opts ILPOptions)
 			*milp.NewExpr(0).Add(ts[j], 1).Add(te[i], -1).Add(d, -float64(opts.Transport)), 0)
 		// u >= (ts_j - te_i) - M(1 - diff):
 		// u - ts_j + te_i - M·diff >= -M.
-		u := m.NewContinuous(fmt.Sprintf("u_%d_%d", i, j), 0, horizon)
+		mS := math.Max(0, math.Max(es[j], horizon-tail[j])-(es[i]+float64(g.Op(e.Parent).Duration)))
+		u := m.NewContinuous(fmt.Sprintf("u_%d_%d", i, j), 0, mS)
 		m.AddGE(fmt.Sprintf("stor_%d_%d", i, j),
-			*milp.NewExpr(0).Add(u, 1).Add(ts[j], -1).Add(te[i], 1).Add(d, -bigM), -bigM)
+			*milp.NewExpr(0).Add(u, 1).Add(ts[j], -1).Add(te[i], 1).Add(d, -mS), -mS)
 		storage = append(storage, u)
 	}
 
-	// (4) Non-overlap on shared devices via order binaries.
+	// (4) Non-overlap on shared devices via order binaries, each side guarded
+	// by its own pair-tight M.
 	order := make(map[[2]int]milp.Var)
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			d := diff[[2]int{i, j}]
 			y := m.NewBinary(fmt.Sprintf("y_%d_%d", i, j))
 			order[[2]int{i, j}] = y
+			mA, mB := pairM(i, j), pairM(j, i)
 			// te_i <= ts_j + M(1-y) + M·diff
 			m.AddLE(fmt.Sprintf("no1_%d_%d", i, j),
-				*milp.NewExpr(0).Add(te[i], 1).Add(ts[j], -1).Add(y, bigM).Add(d, -bigM), bigM)
+				*milp.NewExpr(0).Add(te[i], 1).Add(ts[j], -1).Add(y, mA).Add(d, -mA), mA)
 			// te_j <= ts_i + M·y + M·diff
 			m.AddLE(fmt.Sprintf("no2_%d_%d", i, j),
-				*milp.NewExpr(0).Add(te[j], 1).Add(ts[i], -1).Add(y, -bigM).Add(d, -bigM), 0)
+				*milp.NewExpr(0).Add(te[j], 1).Add(ts[i], -1).Add(y, -mB).Add(d, -mB), 0)
 		}
 	}
 
@@ -245,72 +346,96 @@ func ILPScheduleContext(ctx context.Context, g *seqgraph.Graph, opts ILPOptions)
 	}
 	m.SetObjective(*obj, milp.Minimize)
 
-	// Warm start from the list schedule.
+	// Warm start: the list-scheduler incumbent, challenged by a greedy
+	// critical-path-first schedule built directly on the model semantics.
+	// The better (feasible) incumbent wins; a tight incumbent is what lets
+	// branch and bound prove optimality early — when it matches the root
+	// relaxation bound, the whole tree collapses at the root.
 	var warm []float64
 	if opts.WarmStart {
 		warm = buildWarmStart(m, g, incumbent, ts, te, assign, diff, order, storage, tE)
+		gs, ge, gdev, gmk := greedyModelSchedule(g, opts, tail)
+		gx := warmVector(m, g, gs, ge, gdev, gmk, ts, te, assign, diff, order, storage, tE)
+		if gok, gobj := milp.CheckFeasible(m, gx); gok {
+			if wok, wobj := milp.CheckFeasible(m, warm); !wok || gobj < wobj {
+				warm = gx
+			}
+		}
 	}
 
-	startT := time.Now()
-	sol, err := milp.SolveContext(ctx, m, milp.SolveOptions{TimeLimit: limit, Incumbent: warm})
-	if err != nil {
-		return nil, nil, fmt.Errorf("sched: solving scheduling ILP: %w", err)
+	return &schedModel{
+		m: m, ts: ts, te: te, assign: assign,
+		diff: diff, order: order, storage: storage, tE: tE, warm: warm,
 	}
-	if err := ctx.Err(); err != nil {
-		// The caller cancelled the whole synthesis: propagate instead of
-		// falling back to the best-effort incumbent.
-		return nil, nil, err
-	}
-	info := &ILPInfo{
-		Status:     sol.Status,
-		Nodes:      sol.Nodes,
-		Iterations: sol.Iterations,
-		Runtime:    time.Since(startT),
-		ModelStats: m.Stats(),
-		Solver:     sol.Stats,
-		Winner:     "ilp",
-	}
-	if !sol.Feasible() {
-		// Fall back to the list schedule (best effort), as the paper falls
-		// back to the solver's best incumbent at the time limit.
-		info.Objective = alpha*float64(incumbent.Makespan) + beta*float64(incumbent.StorageTime())
-		info.Winner = "list"
-		return incumbent, info, nil
-	}
-	info.Objective = sol.Objective
-
-	schedule := reconstruct(g, opts, sol, ts, assign)
-	if err := schedule.Validate(); err != nil {
-		return nil, nil, fmt.Errorf("sched: ILP reconstruction invalid: %w", err)
-	}
-	// Keep whichever of {reconstructed, incumbent} scores better on the
-	// paper's objective, since reconstruction re-times with the stricter
-	// transport semantics.
-	scoreRec := alpha*float64(schedule.Makespan) + beta*float64(schedule.StorageTime())
-	scoreInc := alpha*float64(incumbent.Makespan) + beta*float64(incumbent.StorageTime())
-	if scoreInc < scoreRec {
-		info.Winner = "list"
-		return incumbent, info, nil
-	}
-	return schedule, info, nil
 }
 
-// buildWarmStart converts the incumbent list schedule into a full variable
-// assignment satisfying every big-M constraint of the model.
-func buildWarmStart(m *milp.Model, g *seqgraph.Graph, inc *Schedule,
-	ts, te []milp.Var, assign [][]milp.Var,
-	diff, order map[[2]int]milp.Var, storage []milp.Var, tE milp.Var) []float64 {
-
-	x := make([]float64, m.NumVars())
+// greedyModelSchedule list-schedules the assay directly on the ILP model's
+// semantics: ready operations by longest tail first (LPT on independent
+// operations), each onto the device reaching the earliest start, transport
+// charged only across devices. Unlike the storage-aware list scheduler it
+// ignores flush/fetch slots — the model has none — so it often reaches a
+// strictly better model makespan (on IVD it finds the perfect device
+// partition the paper's objective asks for).
+func greedyModelSchedule(g *seqgraph.Graph, opts ILPOptions, tail []float64) (start, end, dev []int, mk int) {
 	n := g.NumOps()
+	start = make([]int, n)
+	end = make([]int, n)
+	rawDev := make([]int, n)
+	done := make([]bool, n)
+	indeg := make([]int, n)
+	for i := range indeg {
+		indeg[i] = len(g.Parents(seqgraph.OpID(i)))
+	}
+	devFree := make([]int, opts.Devices)
+	for placed := 0; placed < n; placed++ {
+		pick := -1
+		for i := 0; i < n; i++ {
+			if done[i] || indeg[i] > 0 {
+				continue
+			}
+			if pick < 0 || tail[i] > tail[pick] {
+				pick = i
+			}
+		}
+		bestD, bestS := 0, int(^uint(0)>>1)
+		for k := 0; k < opts.Devices; k++ {
+			s := devFree[k]
+			for _, p := range g.Parents(seqgraph.OpID(pick)) {
+				arr := end[p]
+				if rawDev[p] != k {
+					arr += opts.Transport
+				}
+				if arr > s {
+					s = arr
+				}
+			}
+			if s < bestS {
+				bestD, bestS = k, s
+			}
+		}
+		rawDev[pick], start[pick] = bestD, bestS
+		end[pick] = bestS + g.Op(seqgraph.OpID(pick)).Duration
+		devFree[bestD] = end[pick]
+		done[pick] = true
+		if end[pick] > mk {
+			mk = end[pick]
+		}
+		for _, c := range g.Children(seqgraph.OpID(pick)) {
+			indeg[c]--
+		}
+	}
+	return start, end, relabelByFirstUse(n, rawDev), mk
+}
 
-	// Relabel devices by first use so the symmetry-breaking constraints
-	// s_{i,k} = 0 for k > i hold.
+// relabelByFirstUse renames devices in order of their first-using operation
+// id, which is exactly what the model's symmetry-breaking rows s_{i,k} = 0
+// for k > i require: after relabeling, the device of operation i is at most
+// the index of its first user, which is at most i.
+func relabelByFirstUse(n int, rawDev []int) []int {
 	firstUse := make(map[int]int) // device -> first op id using it
 	for i := 0; i < n; i++ {
-		d := inc.Assignments[i].Device
-		if _, seen := firstUse[d]; !seen {
-			firstUse[d] = i
+		if _, seen := firstUse[rawDev[i]]; !seen {
+			firstUse[rawDev[i]] = i
 		}
 	}
 	olds := make([]int, 0, len(firstUse))
@@ -322,39 +447,99 @@ func buildWarmStart(m *milp.Model, g *seqgraph.Graph, inc *Schedule,
 	for newIdx, old := range olds {
 		relabel[old] = newIdx
 	}
-	dev := func(i int) int { return relabel[inc.Assignments[i].Device] }
-
+	dev := make([]int, n)
 	for i := 0; i < n; i++ {
-		a := inc.Assignments[i]
-		x[ts[i].ID()] = float64(a.Start)
-		x[te[i].ID()] = float64(a.End)
-		x[assign[i][dev(i)].ID()] = 1
+		dev[i] = relabel[rawDev[i]]
 	}
-	x[tE.ID()] = float64(inc.Makespan)
+	return dev
+}
+
+// warmVector assembles a model-variable assignment from per-op integer times
+// and a device binding already relabeled for the symmetry-breaking rows.
+func warmVector(m *milp.Model, g *seqgraph.Graph, start, end, dev []int, mk int,
+	ts, te []milp.Var, assign [][]milp.Var,
+	diff, order map[[2]int]milp.Var, storage []milp.Var, tE milp.Var) []float64 {
+
+	x := make([]float64, m.NumVars())
+	n := g.NumOps()
+	for i := 0; i < n; i++ {
+		x[ts[i].ID()] = float64(start[i])
+		x[te[i].ID()] = float64(end[i])
+		x[assign[i][dev[i]].ID()] = 1
+	}
+	x[tE.ID()] = float64(mk)
 	for key, d := range diff {
 		i, j := key[0], key[1]
-		if dev(i) != dev(j) {
+		if dev[i] != dev[j] {
 			x[d.ID()] = 1
 		}
 	}
 	for key, y := range order {
 		i, j := key[0], key[1]
-		if dev(i) == dev(j) {
-			if inc.Assignments[i].End <= inc.Assignments[j].Start {
-				x[y.ID()] = 1
-			} // else y=0 encodes j before i
-		}
+		if dev[i] == dev[j] && end[i] <= start[j] {
+			x[y.ID()] = 1
+		} // else y=0 encodes j before i
 	}
 	for idx, e := range g.Edges() {
 		i, j := int(e.Parent), int(e.Child)
-		if dev(i) != dev(j) {
-			gap := inc.Assignments[j].Start - inc.Assignments[i].End
-			if gap > 0 {
+		if dev[i] != dev[j] {
+			if gap := start[j] - end[i]; gap > 0 {
 				x[storage[idx].ID()] = float64(gap)
 			}
 		}
 	}
 	return x
+}
+
+// timeWindows computes, per operation, the earliest start es (the longest
+// pure-duration ancestor path) and the tail (the operation's duration plus
+// the longest pure-duration descendant path). Both ignore transport, so they
+// bound every feasible schedule of the ILP model. g must be a validated DAG.
+func timeWindows(g *seqgraph.Graph) (es, tail []float64) {
+	n := g.NumOps()
+	es = make([]float64, n)
+	tail = make([]float64, n)
+	topo, err := g.TopoOrder()
+	if err != nil {
+		// Validate ran before any caller; an error here means the graph
+		// mutated mid-solve, which nothing upstream permits.
+		panic(fmt.Sprintf("sched: time windows on invalid graph: %v", err))
+	}
+	for _, id := range topo {
+		for _, p := range g.Parents(id) {
+			if v := es[p] + float64(g.Op(p).Duration); v > es[id] {
+				es[id] = v
+			}
+		}
+	}
+	for k := len(topo) - 1; k >= 0; k-- {
+		id := topo[k]
+		tail[id] = float64(g.Op(id).Duration)
+		for _, c := range g.Children(id) {
+			if v := float64(g.Op(id).Duration) + tail[c]; v > tail[id] {
+				tail[id] = v
+			}
+		}
+	}
+	return es, tail
+}
+
+// buildWarmStart converts the incumbent list schedule into a full variable
+// assignment satisfying every big-M constraint of the model.
+func buildWarmStart(m *milp.Model, g *seqgraph.Graph, inc *Schedule,
+	ts, te []milp.Var, assign [][]milp.Var,
+	diff, order map[[2]int]milp.Var, storage []milp.Var, tE milp.Var) []float64 {
+
+	n := g.NumOps()
+	start := make([]int, n)
+	end := make([]int, n)
+	rawDev := make([]int, n)
+	for i := 0; i < n; i++ {
+		a := inc.Assignments[i]
+		start[i], end[i], rawDev[i] = a.Start, a.End, a.Device
+	}
+	return warmVector(m, g, start, end, relabelByFirstUse(n, rawDev), inc.Makespan,
+		ts, te, assign, diff, order, storage, tE)
 }
 
 // reconstruct re-times the ILP's binding and per-device order with the exact

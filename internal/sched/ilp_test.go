@@ -135,3 +135,48 @@ func TestILPBetaZeroMode(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestILPIVDProvesOptimal pins the headline capability this solver
+// generation added: the IVD benchmark (12 independent mixing operations on
+// two devices) was a 20-second time-limit fallback with an 83% gap under the
+// dense-kernel solver; with the sparse LU kernel, the tightened formulation
+// and the greedy model warm start it must prove optimality at the root in
+// well under a second.
+func TestILPIVDProvesOptimal(t *testing.T) {
+	b, err := assay.Get("IVD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, info, err := ILPSchedule(b.Graph, ILPOptions{
+		Devices: b.Devices, Transport: b.Transport,
+		TimeLimit: 10 * time.Second, WarmStart: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Status != milp.StatusOptimal {
+		t.Fatalf("status = %v (gap %.4f), want optimal", info.Status, info.Solver.Gap)
+	}
+	if info.Solver.Gap != 0 {
+		t.Errorf("gap = %v, want 0 for a full proof", info.Solver.Gap)
+	}
+	// The model optimum is the perfect 270 s device partition; the realized
+	// schedule pays the stricter flush semantics on top.
+	if info.Objective != 27000 {
+		t.Errorf("model objective = %v, want 27000 (tE = 270)", info.Objective)
+	}
+	if s.Makespan != 295 {
+		t.Errorf("realized makespan = %d, want 295", s.Makespan)
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("schedule invalid: %v", err)
+	}
+}
+
+// TestMaxExactOpsRaised documents the raised exact-size cap; lowering it
+// again is a regression the ROADMAP cares about.
+func TestMaxExactOpsRaised(t *testing.T) {
+	if MaxExactOps < 20 {
+		t.Fatalf("MaxExactOps = %d, want >= 20", MaxExactOps)
+	}
+}

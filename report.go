@@ -70,6 +70,22 @@ type SolverStats struct {
 	// PresolveFixedCols, PresolveRemovedRows and PresolveTightenedBounds
 	// report the root presolve reductions.
 	PresolveFixedCols, PresolveRemovedRows, PresolveTightenedBounds int
+	// Kernel names the basis-factorization kernel the simplex ran on:
+	// "dense" (explicit inverse with eta updates) below the row-count
+	// crossover, "sparse-lu" (Markowitz LU with Forrest–Tomlin updates)
+	// above it.
+	Kernel string
+	// Refactorizations, FTUpdates and FTUpdatesRejected count from-scratch
+	// basis factorizations, accepted basis-change updates, and updates the
+	// kernel refused for stability (each forcing a refactorization).
+	Refactorizations, FTUpdates, FTUpdatesRejected int
+	// FillRatio is the peak LU fill-in — (L+U nonzeros)/(basis nonzeros) —
+	// the sparse kernel observed; 0 under the dense kernel.
+	FillRatio float64
+	// PropagationTightenings and PropagationPrunes report node-level bound
+	// propagation: integer-bound tightenings derived after branching, and
+	// nodes pruned infeasible before their relaxation was solved.
+	PropagationTightenings, PropagationPrunes int
 	// Workers is the branch-and-bound worker pool size.
 	Workers int
 	// Runtime is the wall-clock solve time (the paper's t_s column).
@@ -97,6 +113,13 @@ func (r *Result) SolverStats() *SolverStats {
 		PresolveFixedCols:       info.Solver.Presolve.FixedCols,
 		PresolveRemovedRows:     info.Solver.Presolve.RemovedRows,
 		PresolveTightenedBounds: info.Solver.Presolve.TightenedBounds,
+		Kernel:                  info.Solver.Factor.Kernel,
+		Refactorizations:        info.Solver.Factor.Refactorizations,
+		FTUpdates:               info.Solver.Factor.Updates,
+		FTUpdatesRejected:       info.Solver.Factor.UpdatesRejected,
+		FillRatio:               info.Solver.Factor.FillRatio,
+		PropagationTightenings:  info.Solver.PropagationTightenings,
+		PropagationPrunes:       info.Solver.PropagationPrunes,
 		Workers:                 info.Solver.Workers,
 		Runtime:                 info.Runtime,
 		ModelVars:               info.ModelStats.Vars,
