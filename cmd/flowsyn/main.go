@@ -44,6 +44,7 @@ func main() {
 		layoutSVG = flag.String("layout-svg", "", "write the compressed physical layout to this SVG file")
 		compare   = flag.Bool("compare-dedicated", false, "also report the dedicated-storage baseline (Fig. 10)")
 		doVerify  = flag.Bool("verify", false, "re-check the result with the independent invariant checker")
+		progress  = flag.Bool("progress", false, "print live pipeline progress (stages, solver incumbents) while synthesizing")
 	)
 	flag.Parse()
 
@@ -91,7 +92,32 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	res, err := flowsyn.SynthesizeContext(ctx, a, opts)
+	// The one-shot CLI runs on the same session API as the flowsynd daemon:
+	// a single-worker Solver whose ticket exposes the progress stream and
+	// the per-job service metrics.
+	solver := flowsyn.New(flowsyn.Config{Workers: 1, QueueDepth: 1, CacheEntries: -1})
+	defer solver.Close()
+	ticket, err := solver.Submit(ctx, flowsyn.Job{Assay: a, Options: opts})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *progress {
+		for e := range ticket.Events() {
+			switch e.Kind {
+			case flowsyn.ProgressStageStart:
+				fmt.Printf("progress: %s...\n", e.Stage)
+			case flowsyn.ProgressStageEnd:
+				fmt.Printf("progress: %s done in %v\n", e.Stage, e.Duration.Round(time.Microsecond))
+			case flowsyn.ProgressIncumbent:
+				fmt.Printf("progress: incumbent makespan %d (objective %.0f, node %d)\n", e.Makespan, e.Objective, e.Nodes)
+			case flowsyn.ProgressSolver:
+				fmt.Printf("progress: solver finished: makespan %d, %d nodes, gap %s\n", e.Makespan, e.Nodes, gapString(e.Gap))
+			case flowsyn.ProgressFailed:
+				fmt.Printf("progress: failed: %s\n", e.Err)
+			}
+		}
+	}
+	res, err := ticket.Wait(ctx)
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			log.Fatal("interrupted")
@@ -112,6 +138,17 @@ func main() {
 				sv.Kernel, sv.Refactorizations, sv.FTUpdates, sv.FTUpdatesRejected,
 				sv.FillRatio, sv.PropagationTightenings, sv.PropagationPrunes)
 		}
+	}
+	if js := res.JobStats(); js != nil {
+		cache := "miss"
+		switch {
+		case js.CacheHit:
+			cache = "hit"
+		case js.ScheduleCacheHit:
+			cache = "schedule-hit"
+		}
+		fmt.Printf("service: queue %v, runtime %v, cache %s, %d progress events\n",
+			js.QueueWait.Round(time.Microsecond), js.Runtime.Round(time.Microsecond), cache, js.Events)
 	}
 	if *doVerify {
 		fmt.Println("verified: all invariants hold (precedence, exclusivity, storage, metrics, sim agreement)")

@@ -1,0 +1,89 @@
+// Command flowsynd is the flowsyn synthesis daemon: a long-lived HTTP/JSON
+// service wrapping one flowsyn.Solver session — bounded worker pool,
+// content-addressed result and schedule caches, per-job progress streams and
+// incremental re-synthesis — behind submit/status/result/stream endpoints.
+//
+// Usage:
+//
+//	flowsynd -addr :8080 -workers 4
+//
+// Submit a benchmark job and follow it:
+//
+//	curl -s localhost:8080/v1/jobs -d '{"benchmark":"PCR"}'
+//	curl -N localhost:8080/v1/jobs/job-1/stream
+//	curl -s localhost:8080/v1/jobs/job-1/result
+//
+// On SIGTERM/SIGINT the daemon drains gracefully: new submissions are
+// refused with 503 while queued and running jobs finish (bounded by
+// -drain-timeout), then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"flowsyn"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	log.SetPrefix("flowsynd: ")
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 0, "synthesis worker pool size (0 = GOMAXPROCS)")
+		queueDepth   = flag.Int("queue", 256, "submit queue depth (backpressure bound)")
+		cacheEntries = flag.Int("cache", 512, "result/schedule cache entries each (negative disables)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs on shutdown")
+	)
+	flag.Parse()
+
+	solver := flowsyn.New(flowsyn.Config{
+		Workers:      *workers,
+		QueueDepth:   *queueDepth,
+		CacheEntries: *cacheEntries,
+	})
+	srv := newServer(solver)
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.handler()}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s (workers=%d queue=%d cache=%d)", *addr, *workers, *queueDepth, *cacheEntries)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-stop:
+		log.Printf("received %v, draining (timeout %s)", sig, *drainTimeout)
+	case err := <-errCh:
+		log.Fatalf("serve: %v", err)
+	}
+
+	// Drain: refuse new jobs, let the HTTP layer finish in-flight requests
+	// (streams included), then drain the solver's queue and workers.
+	srv.beginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("http shutdown: %v", err)
+	}
+	done := make(chan struct{})
+	go func() {
+		solver.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+		log.Printf("drained cleanly")
+	case <-ctx.Done():
+		log.Printf("drain timeout exceeded, exiting with jobs in flight")
+	}
+}

@@ -1,0 +1,540 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flowsyn"
+)
+
+// server exposes one flowsyn.Solver session over HTTP/JSON:
+//
+//	POST /v1/jobs                      submit a synthesis job
+//	GET  /v1/jobs/{id}                 job status + service metrics
+//	GET  /v1/jobs/{id}/result          finished result document
+//	GET  /v1/jobs/{id}/stream          progress events as SSE
+//	POST /v1/jobs/{id}/resynthesize    incremental re-synthesis of an edit
+//	GET  /v1/stats                     session counters
+//	GET  /healthz                      liveness + drain state
+type server struct {
+	solver   *flowsyn.Solver
+	started  time.Time
+	draining atomic.Bool
+	nextID   atomic.Uint64
+
+	mu sync.Mutex
+	// jobs is bounded: once more than maxJobs records are tracked, the
+	// oldest finished ones are evicted (running jobs are never dropped), so
+	// a long-lived daemon does not pin every result ever produced.
+	jobs    map[string]*jobRecord
+	order   []string // insertion order, for eviction
+	maxJobs int
+}
+
+// jobRecord tracks one submitted job and replays its progress events to any
+// number of stream subscribers, late ones included.
+type jobRecord struct {
+	id     string
+	name   string
+	ticket *flowsyn.Ticket
+
+	mu      sync.Mutex
+	events  []flowsyn.Progress
+	changed chan struct{} // replaced on every append; closed to broadcast
+	ended   bool
+}
+
+// defaultMaxJobs bounds the tracked-job history of one daemon process.
+const defaultMaxJobs = 1024
+
+func newServer(solver *flowsyn.Solver) *server {
+	return &server{
+		solver:  solver,
+		started: time.Now(),
+		jobs:    make(map[string]*jobRecord),
+		maxJobs: defaultMaxJobs,
+	}
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("POST /v1/jobs/{id}/resynthesize", s.handleResynthesize)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+// beginDrain stops accepting new jobs; in-flight and queued ones finish.
+func (s *server) beginDrain() { s.draining.Store(true) }
+
+// jobRequest is the submit payload: a built-in benchmark or an inline assay
+// document, plus optional option overrides.
+type jobRequest struct {
+	Name string `json:"name,omitempty"`
+	// Benchmark selects a built-in assay (PCR, IVD, CPA, RA30, RA70, RA100)
+	// together with its paper options; Assay carries an inline sequencing
+	// graph in the stable assay JSON schema. Exactly one must be set.
+	Benchmark string          `json:"benchmark,omitempty"`
+	Assay     json.RawMessage `json:"assay,omitempty"`
+	Options   *jobOptions     `json:"options,omitempty"`
+}
+
+// jobOptions mirrors flowsyn.Options with JSON-friendly field encodings;
+// nil/omitted fields keep the benchmark or library defaults.
+type jobOptions struct {
+	Devices        *int   `json:"devices,omitempty"`
+	Transport      *int   `json:"transport,omitempty"`
+	GridRows       *int   `json:"grid_rows,omitempty"`
+	GridCols       *int   `json:"grid_cols,omitempty"`
+	Objective      string `json:"objective,omitempty"` // "time+storage" (default) | "time"
+	Engine         string `json:"engine,omitempty"`    // "auto" (default) | "heuristic" | "exact-ilp"
+	ILPTimeLimitMS *int64 `json:"ilp_time_limit_ms,omitempty"`
+	ModelIO        *bool  `json:"model_io,omitempty"`
+	Verify         *bool  `json:"verify,omitempty"`
+}
+
+func (o *jobOptions) apply(base flowsyn.Options) (flowsyn.Options, error) {
+	if o == nil {
+		return base, nil
+	}
+	if o.Devices != nil {
+		base.Devices = *o.Devices
+	}
+	if o.Transport != nil {
+		base.Transport = *o.Transport
+	}
+	if o.GridRows != nil {
+		base.GridRows = *o.GridRows
+	}
+	if o.GridCols != nil {
+		base.GridCols = *o.GridCols
+	}
+	switch o.Objective {
+	case "", "time+storage":
+	case "time":
+		base.Objective = flowsyn.MinimizeTimeOnly
+	default:
+		return base, fmt.Errorf("unknown objective %q (want \"time+storage\" or \"time\")", o.Objective)
+	}
+	switch o.Engine {
+	case "", "auto":
+	case "heuristic":
+		base.Engine = flowsyn.HeuristicEngine
+	case "exact-ilp":
+		base.Engine = flowsyn.ILPEngine
+	default:
+		return base, fmt.Errorf("unknown engine %q (want \"auto\", \"heuristic\" or \"exact-ilp\")", o.Engine)
+	}
+	if o.ILPTimeLimitMS != nil {
+		base.ILPTimeLimit = time.Duration(*o.ILPTimeLimitMS) * time.Millisecond
+	}
+	if o.ModelIO != nil {
+		base.ModelIO = *o.ModelIO
+	}
+	if o.Verify != nil {
+		base.Verify = *o.Verify
+	}
+	return base, nil
+}
+
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "daemon draining, not accepting jobs")
+		return
+	}
+	var req jobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: "+err.Error())
+		return
+	}
+	rec, status, err := s.submit(req)
+	if err != nil {
+		writeError(w, status, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, s.submitResponse(rec))
+}
+
+func (s *server) submitResponse(rec *jobRecord) map[string]any {
+	return map[string]any{
+		"id":     rec.id,
+		"name":   rec.name,
+		"status": "/v1/jobs/" + rec.id,
+		"result": "/v1/jobs/" + rec.id + "/result",
+		"stream": "/v1/jobs/" + rec.id + "/stream",
+	}
+}
+
+func (s *server) submit(req jobRequest) (*jobRecord, int, error) {
+	var (
+		a    *flowsyn.Assay
+		opts flowsyn.Options
+		err  error
+	)
+	switch {
+	case req.Benchmark != "" && len(req.Assay) > 0:
+		return nil, http.StatusBadRequest, errors.New("set either benchmark or assay, not both")
+	case req.Benchmark != "":
+		a, opts, err = flowsyn.Benchmark(req.Benchmark)
+		if err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+	case len(req.Assay) > 0:
+		a, err = flowsyn.ReadAssay(bytes.NewReader(req.Assay))
+		if err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+	default:
+		return nil, http.StatusBadRequest, errors.New("missing assay: set benchmark or assay")
+	}
+	if opts, err = req.Options.apply(opts); err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	ticket, err := s.solver.Submit(context.Background(), flowsyn.Job{Name: req.Name, Assay: a, Options: opts})
+	if err != nil {
+		return nil, submitErrorStatus(err), err
+	}
+	return s.track(ticket), 0, nil
+}
+
+func submitErrorStatus(err error) int {
+	var oe *flowsyn.OptionError
+	switch {
+	case errors.As(err, &oe):
+		return http.StatusBadRequest
+	case errors.Is(err, flowsyn.ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, flowsyn.ErrSolverClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// track registers a ticket and starts its event pump.
+func (s *server) track(ticket *flowsyn.Ticket) *jobRecord {
+	rec := &jobRecord{
+		id:      fmt.Sprintf("job-%d", s.nextID.Add(1)),
+		name:    ticket.Name(),
+		ticket:  ticket,
+		changed: make(chan struct{}),
+	}
+	s.mu.Lock()
+	s.jobs[rec.id] = rec
+	s.order = append(s.order, rec.id)
+	s.evictLocked()
+	s.mu.Unlock()
+	go rec.pump()
+	return rec
+}
+
+// evictLocked drops the oldest finished records once the history bound is
+// exceeded. Running or queued jobs are never dropped — they stay addressable
+// until they terminate and age out.
+func (s *server) evictLocked() {
+	if len(s.jobs) <= s.maxJobs {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		rec := s.jobs[id]
+		finished := false
+		select {
+		case <-rec.ticket.Done():
+			finished = true
+		default:
+		}
+		if finished && len(s.jobs) > s.maxJobs {
+			delete(s.jobs, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// pump drains the ticket's event stream into the replay buffer.
+func (r *jobRecord) pump() {
+	for e := range r.ticket.Events() {
+		r.mu.Lock()
+		r.events = append(r.events, e)
+		close(r.changed)
+		r.changed = make(chan struct{})
+		r.mu.Unlock()
+	}
+	r.mu.Lock()
+	r.ended = true
+	close(r.changed)
+	r.changed = make(chan struct{})
+	r.mu.Unlock()
+}
+
+func (s *server) record(r *http.Request) *jobRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[r.PathValue("id")]
+}
+
+// state summarizes a job's lifecycle for the status document.
+func (r *jobRecord) state() string {
+	select {
+	case <-r.ticket.Done():
+		if _, err := r.ticket.Result(); err != nil {
+			return "failed"
+		}
+		return "done"
+	default:
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, e := range r.events {
+		if e.Kind != flowsyn.ProgressQueued {
+			return "running"
+		}
+	}
+	return "queued"
+}
+
+func jobStatsJSON(js flowsyn.JobStats) map[string]any {
+	return map[string]any{
+		"queue_wait_ms":      float64(js.QueueWait.Microseconds()) / 1e3,
+		"runtime_ms":         float64(js.Runtime.Microseconds()) / 1e3,
+		"cache_hit":          js.CacheHit,
+		"schedule_cache_hit": js.ScheduleCacheHit,
+		"coalesced":          js.Coalesced,
+		"events":             js.Events,
+		"dropped_events":     js.DroppedEvents,
+		"reused_ops":         js.ReusedOps,
+		"edited_ops":         js.EditedOps,
+	}
+}
+
+func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	rec := s.record(r)
+	if rec == nil {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	doc := map[string]any{
+		"id":    rec.id,
+		"name":  rec.name,
+		"state": rec.state(),
+	}
+	if res, err := rec.ticket.Result(); err == nil {
+		doc["summary"] = res.Summary()
+		doc["stats"] = jobStatsJSON(rec.ticket.Stats())
+	} else if !errors.Is(err, flowsyn.ErrJobPending) {
+		doc["error"] = err.Error()
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
+	rec := s.record(r)
+	if rec == nil {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	res, err := rec.ticket.Result()
+	switch {
+	case errors.Is(err, flowsyn.ErrJobPending):
+		writeError(w, http.StatusConflict, "job still "+rec.state())
+		return
+	case err != nil:
+		writeJSON(w, http.StatusInternalServerError, map[string]any{
+			"id": rec.id, "state": "failed", "error": err.Error(),
+		})
+		return
+	}
+	dr, de, dp := res.ChipDimensions()
+	doc := map[string]any{
+		"id":               rec.id,
+		"name":             rec.name,
+		"state":            "done",
+		"summary":          res.Summary(),
+		"makespan_s":       res.Makespan(),
+		"stores":           res.StoreCount(),
+		"storage_capacity": res.StorageCapacity(),
+		"transports":       res.Transports(),
+		"channel_segments": res.ChannelSegments(),
+		"valves":           res.Valves(),
+		"edge_ratio":       res.EdgeRatio(),
+		"valve_ratio":      res.ValveRatio(),
+		"dimensions":       map[string]string{"after_synthesis": dr, "after_devices": de, "compressed": dp},
+		"verified":         res.Verified(),
+		"stats":            jobStatsJSON(rec.ticket.Stats()),
+	}
+	var stages []map[string]any
+	for _, st := range res.StageTimings() {
+		stages = append(stages, map[string]any{
+			"stage": st.Name, "ms": float64(st.Duration.Microseconds()) / 1e3,
+		})
+	}
+	doc["stage_timings"] = stages
+	if sv := res.SolverStats(); sv != nil {
+		doc["solver"] = map[string]any{
+			"status":          sv.Status,
+			"objective":       sv.Objective,
+			"nodes":           sv.Nodes,
+			"iterations":      sv.Iterations,
+			"warm_start_rate": sv.WarmStartRate,
+			"gap":             sv.Gap,
+			"kernel":          sv.Kernel,
+			"workers":         sv.Workers,
+			"runtime_ms":      float64(sv.Runtime.Microseconds()) / 1e3,
+			"winner":          sv.Winner,
+		}
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// handleStream serves the job's progress events as server-sent events,
+// replaying the full history for late subscribers and following live until
+// the terminal done/failed event.
+func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
+	rec := s.record(r)
+	if rec == nil {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	idx := 0
+	for {
+		rec.mu.Lock()
+		pending := rec.events[idx:]
+		ch := rec.changed
+		ended := rec.ended
+		rec.mu.Unlock()
+
+		for _, e := range pending {
+			data, err := json.Marshal(map[string]any{
+				"seq":       e.Seq,
+				"kind":      e.Kind,
+				"time":      e.Time.UTC().Format(time.RFC3339Nano),
+				"stage":     e.Stage,
+				"ms":        float64(e.Duration.Microseconds()) / 1e3,
+				"makespan":  e.Makespan,
+				"objective": e.Objective,
+				"nodes":     e.Nodes,
+				"gap":       e.Gap,
+				"error":     e.Err,
+			})
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Kind, data)
+		}
+		idx += len(pending)
+		fl.Flush()
+		if ended && len(pending) == 0 {
+			return
+		}
+		if !ended && len(pending) == 0 {
+			select {
+			case <-ch:
+			case <-r.Context().Done():
+				return
+			}
+		}
+	}
+}
+
+func (s *server) handleResynthesize(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "daemon draining, not accepting jobs")
+		return
+	}
+	rec := s.record(r)
+	if rec == nil {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	var req struct {
+		Assay json.RawMessage `json:"assay"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: "+err.Error())
+		return
+	}
+	if len(req.Assay) == 0 {
+		writeError(w, http.StatusBadRequest, "missing edited assay")
+		return
+	}
+	edited, err := flowsyn.ReadAssay(bytes.NewReader(req.Assay))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ticket, err := s.solver.Resynthesize(context.Background(), rec.ticket, edited)
+	if err != nil {
+		status := http.StatusConflict // prior unfinished/failed
+		if errors.Is(err, flowsyn.ErrQueueFull) || errors.Is(err, flowsyn.ErrSolverClosed) {
+			status = submitErrorStatus(err)
+		}
+		writeError(w, status, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, s.submitResponse(s.track(ticket)))
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.solver.Stats()
+	s.mu.Lock()
+	tracked := len(s.jobs)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_s":            time.Since(s.started).Seconds(),
+		"draining":            s.draining.Load(),
+		"jobs_tracked":        tracked,
+		"submitted":           st.Submitted,
+		"completed":           st.Completed,
+		"failed":              st.Failed,
+		"result_cache_hits":   st.ResultCacheHits,
+		"result_cache_misses": st.ResultCacheMisses,
+		"schedule_cache_hits": st.ScheduleCacheHits,
+		"schedule_solves":     st.ScheduleSolves,
+		"coalesced":           st.Coalesced,
+		"in_flight":           st.InFlight,
+		"queued":              st.Queued,
+		"events_dropped":      st.EventsDropped,
+	})
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":       true,
+		"draining": s.draining.Load(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, doc any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(doc)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]any{"error": strings.TrimSpace(msg)})
+}

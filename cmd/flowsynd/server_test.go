@@ -1,0 +1,415 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"flowsyn"
+)
+
+func newTestServer(t *testing.T) (*server, *httptest.Server) {
+	t.Helper()
+	solver := flowsyn.New(flowsyn.Config{Workers: 2})
+	srv := newServer(solver)
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(func() {
+		ts.Close()
+		solver.Close()
+	})
+	return srv, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, map[string]any) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, decodeBody(t, resp)
+}
+
+func getJSON(t *testing.T, url string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, decodeBody(t, resp)
+}
+
+func decodeBody(t *testing.T, resp *http.Response) map[string]any {
+	t.Helper()
+	defer resp.Body.Close()
+	var doc map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("decoding %s body: %v", resp.Request.URL, err)
+	}
+	return doc
+}
+
+// TestDaemonSubmitStreamResult is the end-to-end acceptance path: submit PCR,
+// follow the SSE progress stream to the terminal event, then fetch the
+// finished result document.
+func TestDaemonSubmitStreamResult(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	resp, doc := postJSON(t, ts.URL+"/v1/jobs", map[string]any{"benchmark": "PCR"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d: %v", resp.StatusCode, doc)
+	}
+	id, _ := doc["id"].(string)
+	if id == "" {
+		t.Fatalf("submit response without id: %v", doc)
+	}
+
+	// Follow the stream until the terminal event.
+	streamResp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer streamResp.Body.Close()
+	if ct := streamResp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("stream content type %q", ct)
+	}
+	var kinds []string
+	var lastData map[string]any
+	scanner := bufio.NewScanner(streamResp.Body)
+	deadline := time.After(2 * time.Minute)
+	lines := make(chan string)
+	go func() {
+		defer close(lines)
+		for scanner.Scan() {
+			lines <- scanner.Text()
+		}
+	}()
+	terminal := false
+scan:
+	for {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				break scan
+			}
+			switch {
+			case strings.HasPrefix(line, "event: "):
+				kind := strings.TrimPrefix(line, "event: ")
+				kinds = append(kinds, kind)
+				terminal = kind == flowsyn.ProgressDone || kind == flowsyn.ProgressFailed
+			case strings.HasPrefix(line, "data: "):
+				lastData = map[string]any{}
+				if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &lastData); err != nil {
+					t.Fatalf("bad SSE data %q: %v", line, err)
+				}
+				if terminal {
+					break scan
+				}
+			}
+		case <-deadline:
+			t.Fatalf("stream did not terminate; kinds so far: %v", kinds)
+		}
+	}
+	if len(kinds) < 3 {
+		t.Fatalf("only %d stream events: %v", len(kinds), kinds)
+	}
+	if kinds[0] != flowsyn.ProgressQueued {
+		t.Errorf("first stream event %q, want queued", kinds[0])
+	}
+	if last := kinds[len(kinds)-1]; last != flowsyn.ProgressDone {
+		t.Fatalf("terminal stream event %q: %v", last, lastData)
+	}
+	if mk, _ := lastData["makespan"].(float64); mk <= 0 {
+		t.Errorf("done event carries no makespan: %v", lastData)
+	}
+
+	// Status: done, with summary and service stats.
+	resp, status := getJSON(t, ts.URL+"/v1/jobs/"+id)
+	if resp.StatusCode != http.StatusOK || status["state"] != "done" {
+		t.Fatalf("status %d %v", resp.StatusCode, status)
+	}
+	if _, ok := status["summary"].(string); !ok {
+		t.Errorf("status without summary: %v", status)
+	}
+
+	// Result document.
+	resp, result := getJSON(t, ts.URL+"/v1/jobs/"+id+"/result")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result status %d: %v", resp.StatusCode, result)
+	}
+	if mk, _ := result["makespan_s"].(float64); mk <= 0 {
+		t.Errorf("result without makespan: %v", result)
+	}
+	if _, ok := result["stats"].(map[string]any); !ok {
+		t.Errorf("result without service stats: %v", result)
+	}
+
+	// A second identical submission is served from cache.
+	_, doc2 := postJSON(t, ts.URL+"/v1/jobs", map[string]any{"benchmark": "PCR"})
+	id2, _ := doc2["id"].(string)
+	waitForState(t, ts.URL, id2, "done")
+	_, res2 := getJSON(t, ts.URL+"/v1/jobs/"+id2+"/result")
+	stats2, _ := res2["stats"].(map[string]any)
+	if hit, _ := stats2["cache_hit"].(bool); !hit {
+		t.Errorf("repeated submission missed the cache: %v", stats2)
+	}
+
+	// Session counters reflect the cache hit.
+	_, sessionStats := getJSON(t, ts.URL+"/v1/stats")
+	if hits, _ := sessionStats["result_cache_hits"].(float64); hits < 1 {
+		t.Errorf("session stats report no cache hits: %v", sessionStats)
+	}
+}
+
+func waitForState(t *testing.T, base, id, want string) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		_, doc := getJSON(t, base+"/v1/jobs/"+id)
+		if doc["state"] == want || doc["state"] == "failed" {
+			if doc["state"] != want {
+				t.Fatalf("job %s reached %v, want %s: %v", id, doc["state"], want, doc)
+			}
+			return doc
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %s", id, want)
+	return nil
+}
+
+func TestDaemonInlineAssayAndOptions(t *testing.T) {
+	_, ts := newTestServer(t)
+	assayJSON := map[string]any{
+		"name": "custom",
+		"operations": []map[string]any{
+			{"name": "mix1", "duration": 30, "inputs": 2},
+			{"name": "heat1", "kind": "heat", "duration": 60},
+		},
+		"edges": [][2]string{{"mix1", "heat1"}},
+	}
+	resp, doc := postJSON(t, ts.URL+"/v1/jobs", map[string]any{
+		"name":  "custom-run",
+		"assay": assayJSON,
+		"options": map[string]any{
+			"devices": 2, "engine": "heuristic", "grid_rows": 4, "grid_cols": 4,
+		},
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d: %v", resp.StatusCode, doc)
+	}
+	id, _ := doc["id"].(string)
+	waitForState(t, ts.URL, id, "done")
+	_, result := getJSON(t, ts.URL+"/v1/jobs/"+id+"/result")
+	if result["name"] != "custom-run" {
+		t.Errorf("name %v", result["name"])
+	}
+}
+
+func TestDaemonResynthesize(t *testing.T) {
+	_, ts := newTestServer(t)
+	_, doc := postJSON(t, ts.URL+"/v1/jobs", map[string]any{
+		"benchmark": "PCR",
+		"options":   map[string]any{"engine": "heuristic"},
+	})
+	id, _ := doc["id"].(string)
+	waitForState(t, ts.URL, id, "done")
+
+	// Edit PCR: serialize the benchmark, tweak one duration via the JSON.
+	a, _, err := flowsyn.Benchmark("PCR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := a.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var edited map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &edited); err != nil {
+		t.Fatal(err)
+	}
+	ops := edited["operations"].([]any)
+	first := ops[0].(map[string]any)
+	first["duration"] = first["duration"].(float64) + 25
+
+	resp, rdoc := postJSON(t, ts.URL+"/v1/jobs/"+id+"/resynthesize", map[string]any{"assay": edited})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("resynthesize status %d: %v", resp.StatusCode, rdoc)
+	}
+	rid, _ := rdoc["id"].(string)
+	waitForState(t, ts.URL, rid, "done")
+	_, result := getJSON(t, ts.URL+"/v1/jobs/"+rid+"/result")
+	stats, _ := result["stats"].(map[string]any)
+	if reused, _ := stats["reused_ops"].(float64); reused == 0 {
+		t.Errorf("resynthesis reused nothing: %v", stats)
+	}
+}
+
+func TestDaemonResynthesizeErrorPaths(t *testing.T) {
+	srv, ts := newTestServer(t)
+	_, doc := postJSON(t, ts.URL+"/v1/jobs", map[string]any{
+		"benchmark": "PCR",
+		"options":   map[string]any{"engine": "heuristic"},
+	})
+	id, _ := doc["id"].(string)
+	waitForState(t, ts.URL, id, "done")
+
+	if resp, _ := postJSON(t, ts.URL+"/v1/jobs/nope/resynthesize", map[string]any{"assay": map[string]any{}}); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job resynthesize: %d", resp.StatusCode)
+	}
+	if resp, _ := postJSON(t, ts.URL+"/v1/jobs/"+id+"/resynthesize", map[string]any{}); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing assay: %d", resp.StatusCode)
+	}
+	if resp, _ := postJSON(t, ts.URL+"/v1/jobs/"+id+"/resynthesize", map[string]any{"assay": map[string]any{"name": "empty"}}); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid assay: %d", resp.StatusCode)
+	}
+	srv.beginDrain()
+	if resp, _ := postJSON(t, ts.URL+"/v1/jobs/"+id+"/resynthesize", map[string]any{"assay": map[string]any{}}); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("draining resynthesize: %d", resp.StatusCode)
+	}
+}
+
+func TestDaemonFullOptionSurface(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, doc := postJSON(t, ts.URL+"/v1/jobs", map[string]any{
+		"benchmark": "PCR",
+		"options": map[string]any{
+			"devices": 2, "transport": 8, "grid_rows": 5, "grid_cols": 5,
+			"objective": "time", "engine": "heuristic",
+			"ilp_time_limit_ms": 5000, "model_io": false, "verify": true,
+		},
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %v", resp.StatusCode, doc)
+	}
+	id, _ := doc["id"].(string)
+	waitForState(t, ts.URL, id, "done")
+	_, result := getJSON(t, ts.URL+"/v1/jobs/"+id+"/result")
+	if result["verified"] != true {
+		t.Errorf("verify option not honored: %v", result["verified"])
+	}
+	if resp, _ := postJSON(t, ts.URL+"/v1/jobs", map[string]any{
+		"benchmark": "PCR", "options": map[string]any{"objective": "fastest"},
+	}); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad objective: %d", resp.StatusCode)
+	}
+}
+
+func TestDaemonErrorPaths(t *testing.T) {
+	srv, ts := newTestServer(t)
+
+	cases := []struct {
+		name   string
+		body   any
+		status int
+	}{
+		{"empty body", map[string]any{}, http.StatusBadRequest},
+		{"unknown benchmark", map[string]any{"benchmark": "NOPE"}, http.StatusBadRequest},
+		{"both sources", map[string]any{"benchmark": "PCR", "assay": map[string]any{"name": "x"}}, http.StatusBadRequest},
+		{"bad engine", map[string]any{"benchmark": "PCR", "options": map[string]any{"engine": "quantum"}}, http.StatusBadRequest},
+		{"bad options", map[string]any{"benchmark": "PCR", "options": map[string]any{"devices": -1}}, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, doc := postJSON(t, ts.URL+"/v1/jobs", c.body)
+		if resp.StatusCode != c.status {
+			t.Errorf("%s: status %d, want %d (%v)", c.name, resp.StatusCode, c.status, doc)
+		}
+		if _, ok := doc["error"].(string); !ok {
+			t.Errorf("%s: no error message: %v", c.name, doc)
+		}
+	}
+
+	if resp, _ := getJSON(t, ts.URL+"/v1/jobs/nope"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job status %d", resp.StatusCode)
+	}
+	if resp, _ := getJSON(t, ts.URL+"/v1/jobs/nope/result"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job result %d", resp.StatusCode)
+	}
+
+	// Health and drain.
+	resp, health := getJSON(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK || health["ok"] != true {
+		t.Fatalf("health %d %v", resp.StatusCode, health)
+	}
+	srv.beginDrain()
+	resp, _ = postJSON(t, ts.URL+"/v1/jobs", map[string]any{"benchmark": "PCR"})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("draining submit status %d, want 503", resp.StatusCode)
+	}
+	_, health = getJSON(t, ts.URL+"/healthz")
+	if health["draining"] != true {
+		t.Errorf("health does not report draining: %v", health)
+	}
+}
+
+// TestDaemonJobHistoryBounded submits more jobs than the tracking bound and
+// checks the oldest finished records are evicted while recent ones survive.
+func TestDaemonJobHistoryBounded(t *testing.T) {
+	srv, ts := newTestServer(t)
+	srv.maxJobs = 2
+
+	var ids []string
+	for i := 0; i < 5; i++ {
+		_, doc := postJSON(t, ts.URL+"/v1/jobs", map[string]any{
+			"benchmark": "PCR",
+			"options":   map[string]any{"engine": "heuristic", "grid_rows": 4 + i, "grid_cols": 4 + i},
+		})
+		id, _ := doc["id"].(string)
+		if id == "" {
+			t.Fatalf("submit %d: %v", i, doc)
+		}
+		ids = append(ids, id)
+		waitForState(t, ts.URL, id, "done")
+	}
+
+	srv.mu.Lock()
+	tracked := len(srv.jobs)
+	srv.mu.Unlock()
+	if tracked > srv.maxJobs+1 {
+		t.Errorf("tracking %d jobs, bound is %d", tracked, srv.maxJobs)
+	}
+	// The newest job must still be addressable; the oldest must be gone.
+	if resp, _ := getJSON(t, ts.URL+"/v1/jobs/"+ids[len(ids)-1]); resp.StatusCode != http.StatusOK {
+		t.Errorf("newest job evicted (status %d)", resp.StatusCode)
+	}
+	if resp, _ := getJSON(t, ts.URL+"/v1/jobs/"+ids[0]); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("oldest finished job still tracked (status %d)", resp.StatusCode)
+	}
+}
+
+// TestDaemonLateStreamSubscriber fetches the stream only after the job is
+// done: the replay buffer must serve the full history.
+func TestDaemonLateStreamSubscriber(t *testing.T) {
+	_, ts := newTestServer(t)
+	_, doc := postJSON(t, ts.URL+"/v1/jobs", map[string]any{
+		"benchmark": "PCR",
+		"options":   map[string]any{"engine": "heuristic"},
+	})
+	id, _ := doc["id"].(string)
+	waitForState(t, ts.URL, id, "done")
+
+	resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s/stream", ts.URL, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var kinds []string
+	scanner := bufio.NewScanner(resp.Body)
+	for scanner.Scan() {
+		if line := scanner.Text(); strings.HasPrefix(line, "event: ") {
+			kinds = append(kinds, strings.TrimPrefix(line, "event: "))
+		}
+	}
+	if len(kinds) == 0 || kinds[0] != flowsyn.ProgressQueued || kinds[len(kinds)-1] != flowsyn.ProgressDone {
+		t.Errorf("late replay kinds: %v", kinds)
+	}
+}

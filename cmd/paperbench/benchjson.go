@@ -55,15 +55,36 @@ type benchSolver struct {
 	PropPrunes       int     `json:"prop_prunes"`
 }
 
+// benchCacheRun measures the session Solver's caches on one assay: a cold
+// solve, an identical cached resolve, and a grid sweep sharing the schedule
+// cache. The baseline gate fails loudly when the cache stops paying for
+// itself (see checkCacheRuns).
+type benchCacheRun struct {
+	Assay string `json:"assay"`
+	// ColdMS is the first solve's wall-clock; CachedMS the identical
+	// resubmission's.
+	ColdMS   float64 `json:"cold_ms"`
+	CachedMS float64 `json:"cached_ms"`
+	// CacheHit reports the resubmission was served from the result cache.
+	CacheHit bool `json:"cache_hit"`
+	// SweepPoints grid sizes were explored on the same session performing
+	// SweepScheduleSolves full scheduling solves (SweepScheduleHits served
+	// from the schedule cache).
+	SweepPoints         int   `json:"sweep_points"`
+	SweepScheduleSolves int64 `json:"sweep_schedule_solves"`
+	SweepScheduleHits   int64 `json:"sweep_schedule_hits"`
+}
+
 // benchFile is the schema of the machine-readable benchmark artifact; the
 // perf trajectory across PRs compares these files.
 type benchFile struct {
-	Schema     string     `json:"schema"`
-	Generated  string     `json:"generated"`
-	GoVersion  string     `json:"go"`
-	GOMAXPROCS int        `json:"gomaxprocs"`
-	Notes      string     `json:"notes,omitempty"`
-	Runs       []benchRun `json:"runs"`
+	Schema     string          `json:"schema"`
+	Generated  string          `json:"generated"`
+	GoVersion  string          `json:"go"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	Notes      string          `json:"notes,omitempty"`
+	Runs       []benchRun      `json:"runs"`
+	CacheRuns  []benchCacheRun `json:"cache_runs,omitempty"`
 }
 
 // runBenchJSON synthesizes every requested assay once per engine, collecting
@@ -142,6 +163,16 @@ func runBenchJSON(ctx context.Context, path, assays, notes string) error {
 			out.Runs = append(out.Runs, run)
 		}
 	}
+	for _, name := range names {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		cr, err := runCacheBench(ctx, name)
+		if err != nil {
+			return fmt.Errorf("%s/cache: %w", name, err)
+		}
+		out.CacheRuns = append(out.CacheRuns, cr)
+	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err
@@ -152,6 +183,60 @@ func runBenchJSON(ctx context.Context, path, assays, notes string) error {
 	}
 	fmt.Printf("wrote %d benchmark runs to %s\n", len(out.Runs), path)
 	return nil
+}
+
+// runCacheBench measures the session Solver's caches on one benchmark: a
+// cold solve, an identical resubmission (result cache) and a 4-point grid
+// sweep (schedule cache), all on one session.
+func runCacheBench(ctx context.Context, name string) (benchCacheRun, error) {
+	a, opts, err := flowsyn.Benchmark(name)
+	if err != nil {
+		return benchCacheRun{}, err
+	}
+	opts.ILPTimeLimit = 20 * time.Second
+	s := flowsyn.New(flowsyn.Config{Workers: 1})
+	defer s.Close()
+
+	solve := func() (*flowsyn.Result, time.Duration, error) {
+		start := time.Now()
+		t, err := s.Submit(ctx, flowsyn.Job{Name: name, Assay: a, Options: opts})
+		if err != nil {
+			return nil, 0, err
+		}
+		res, err := t.Wait(ctx)
+		return res, time.Since(start), err
+	}
+	_, cold, err := solve()
+	if err != nil {
+		return benchCacheRun{}, err
+	}
+	cachedRes, cached, err := solve()
+	if err != nil {
+		return benchCacheRun{}, err
+	}
+	cr := benchCacheRun{
+		Assay:    name,
+		ColdMS:   float64(cold.Microseconds()) / 1e3,
+		CachedMS: float64(cached.Microseconds()) / 1e3,
+		CacheHit: cachedRes.JobStats() != nil && cachedRes.JobStats().CacheHit,
+	}
+
+	before := s.Stats()
+	sweep, err := s.ExploreGrids(ctx, a, opts, flowsyn.GridRange{
+		MinSize: opts.GridRows, MaxSize: opts.GridRows + 3, Concurrency: 1,
+	})
+	if err != nil {
+		return benchCacheRun{}, err
+	}
+	after := s.Stats()
+	for _, p := range sweep {
+		if p.Err == nil {
+			cr.SweepPoints++
+		}
+	}
+	cr.SweepScheduleSolves = after.ScheduleSolves - before.ScheduleSolves
+	cr.SweepScheduleHits = after.ScheduleCacheHits - before.ScheduleCacheHits
+	return cr, nil
 }
 
 // benchRegressLimit is the wall-clock regression factor the baseline check
@@ -220,11 +305,38 @@ func checkBenchRegression(freshPath, baselinePath string) error {
 			}
 		}
 	}
+	// The cache gate is self-relative (cached vs cold on the same machine in
+	// the same run), so it applies to the fresh emission whether or not the
+	// baseline predates the session Solver.
+	cacheChecked := 0
+	for i := range fresh.CacheRuns {
+		cr := &fresh.CacheRuns[i]
+		cacheChecked++
+		if !cr.CacheHit {
+			failures = append(failures, fmt.Sprintf(
+				"%s/cache: identical resubmission missed the result cache", cr.Assay))
+		}
+		// A cached resolve re-running a meaningful fraction of the pipeline
+		// is a regression; sub-millisecond colds are below timer noise.
+		if cr.CachedMS > 0.5*cr.ColdMS && cr.CachedMS > 1.0 {
+			failures = append(failures, fmt.Sprintf(
+				"%s/cache: cached resolve %.3fms vs cold %.3fms (cache stopped paying)",
+				cr.Assay, cr.CachedMS, cr.ColdMS))
+		}
+		if cr.SweepPoints > 1 && cr.SweepScheduleSolves >= int64(cr.SweepPoints) {
+			failures = append(failures, fmt.Sprintf(
+				"%s/cache: grid sweep ran %d schedule solves for %d points (schedule cache dead)",
+				cr.Assay, cr.SweepScheduleSolves, cr.SweepPoints))
+		}
+	}
 	if len(failures) > 0 {
 		for _, f := range failures {
 			fmt.Fprintln(os.Stderr, "bench-regression: "+f)
 		}
 		return fmt.Errorf("%d benchmark regression(s) against %s", len(failures), baselinePath)
+	}
+	if cacheChecked == 0 {
+		return fmt.Errorf("fresh emission carries no cache runs; the cache gate checked nothing")
 	}
 	if checked == 0 {
 		// A gate that matched nothing is not a passing gate: renamed engines,
@@ -232,6 +344,7 @@ func checkBenchRegression(freshPath, baselinePath string) error {
 		// otherwise keep CI green while checking nothing at all.
 		return fmt.Errorf("no fresh run matched any baseline run in %s; the regression gate checked nothing", baselinePath)
 	}
-	fmt.Printf("bench-regression: %d runs checked against %s, no regressions\n", checked, baselinePath)
+	fmt.Printf("bench-regression: %d runs + %d cache runs checked against %s, no regressions\n",
+		checked, cacheChecked, baselinePath)
 	return nil
 }

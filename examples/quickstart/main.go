@@ -1,5 +1,6 @@
-// Quickstart: synthesize a biochip for the PCR assay with one function call
-// and print what came out.
+// Quickstart: open a solver session, submit the PCR assay as a job, watch
+// its progress stream, and print what came out — the same API the flowsynd
+// daemon serves over HTTP.
 //
 // Run with:
 //
@@ -7,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,7 +24,29 @@ func main() {
 	}
 	fmt.Printf("input: %v\n", assay)
 
-	res, err := flowsyn.Synthesize(assay, opts)
+	// A Solver session owns a worker pool and a content-addressed result
+	// cache; it serves any number of jobs until closed. One-shot callers
+	// can still use flowsyn.Synthesize, which wraps an ephemeral session.
+	solver := flowsyn.New(flowsyn.Config{Workers: 2})
+	defer solver.Close()
+
+	ticket, err := solver.Submit(context.Background(), flowsyn.Job{Assay: assay, Options: opts})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The ticket streams progress while the job runs: queueing, pipeline
+	// stages, and each improving incumbent of the exact solve.
+	for e := range ticket.Events() {
+		switch e.Kind {
+		case flowsyn.ProgressStageEnd:
+			fmt.Printf("  %-8s %v\n", e.Stage, e.Duration)
+		case flowsyn.ProgressIncumbent:
+			fmt.Printf("  incumbent makespan %d s (node %d)\n", e.Makespan, e.Nodes)
+		}
+	}
+
+	res, err := ticket.Wait(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -33,6 +57,17 @@ func main() {
 
 	dr, de, dp := res.ChipDimensions()
 	fmt.Printf("layout: %s after synthesis, %s with devices, %s compressed\n", dr, de, dp)
+
+	// Submitting the identical job again is answered from the result cache.
+	again, err := solver.Submit(context.Background(), flowsyn.Job{Assay: assay, Options: opts})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res2, err := again.Wait(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("resubmitted: cache hit = %v in %v\n", res2.JobStats().CacheHit, res2.JobStats().Runtime)
 
 	fmt.Println("\nschedule:")
 	fmt.Print(res.GanttChart())

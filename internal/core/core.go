@@ -75,6 +75,77 @@ type Options struct {
 	Verify bool
 	// Phys sets the physical design rules.
 	Phys phys.Options
+	// Warm, if non-nil, is a prior schedule of this (possibly edited) assay.
+	// The exact engines feed it to the MILP as an additional warm-start
+	// candidate after re-timing (sched.RetimeLike); the heuristic engine
+	// races the re-timed schedule against the list scheduler and keeps the
+	// better result. This is the incremental re-synthesis hook.
+	Warm *sched.Schedule
+	// Progress, if non-nil, receives pipeline progress events: stage
+	// enter/exit and every improving incumbent of an exact solve. It is
+	// called synchronously from the pipeline and from MILP solver workers,
+	// so implementations must be fast and non-blocking.
+	Progress func(ProgressEvent)
+}
+
+// Progress event kinds.
+const (
+	// EventStageStart marks a pipeline stage beginning.
+	EventStageStart = "stage-start"
+	// EventStageEnd marks a pipeline stage finishing, with its duration.
+	EventStageEnd = "stage-end"
+	// EventIncumbent reports an improving incumbent of the exact schedule
+	// solve: its model makespan, objective and node count.
+	EventIncumbent = "incumbent"
+	// EventSolver summarizes a finished exact solve: final makespan,
+	// objective, node count and MIP gap.
+	EventSolver = "solver"
+)
+
+// ProgressEvent is one observation of a running synthesis pipeline.
+type ProgressEvent struct {
+	// Kind is one of the Event* constants.
+	Kind string
+	// Stage names the pipeline stage the event belongs to.
+	Stage string
+	// Duration is the stage wall-clock time (EventStageEnd only).
+	Duration time.Duration
+	// Makespan, Objective and Nodes describe the incumbent
+	// (EventIncumbent) or the finished solve (EventSolver).
+	Makespan  int
+	Objective float64
+	Nodes     int
+	// Gap is the relative MIP gap at termination (EventSolver only): 0 for
+	// a proven optimum, -1 when no dual bound survived.
+	Gap float64
+}
+
+// ServiceMetrics carries the per-job service-mode diagnostics of a result
+// produced through a solver session (internal/service): how long the job
+// queued, whether it was served from the content-addressed caches, and how
+// much of a prior schedule an incremental re-synthesis reused. Nil on
+// results synthesized outside a session.
+type ServiceMetrics struct {
+	// QueueWait is the time between job submission and a worker picking the
+	// job up; Runtime is the job's wall-clock time inside its worker
+	// (near zero on a cache hit).
+	QueueWait, Runtime time.Duration
+	// CacheHit reports that the complete result came from the full-result
+	// cache (no stage ran).
+	CacheHit bool
+	// ScheduleCacheHit reports that the schedule stage was served from the
+	// schedule cache (only bind/arch/phys ran).
+	ScheduleCacheHit bool
+	// Coalesced reports that the job waited on an identical in-flight
+	// solve instead of starting its own (counted as a cache hit).
+	Coalesced bool
+	// Events counts the progress events emitted for the job; Dropped counts
+	// events discarded because the subscriber fell behind.
+	Events, Dropped int
+	// ReusedOps and EditedOps summarize an incremental re-synthesis: how
+	// many operations of the edited assay kept a prior binding, and how
+	// many were added, removed or changed. Both zero outside Resynthesize.
+	ReusedOps, EditedOps int
 }
 
 func (o *Options) defaults() error {
@@ -101,6 +172,18 @@ func (o *Options) defaults() error {
 	return nil
 }
 
+// Normalized returns the options with the documented defaults applied — the
+// form the pipeline actually runs, and the form the service layer hashes into
+// its cache keys (so an explicit Transport of 10 and the default 10 key
+// identically). It errors exactly when SynthesizeContext would reject the
+// options up front.
+func (o Options) Normalized() (Options, error) {
+	if err := o.defaults(); err != nil {
+		return Options{}, err
+	}
+	return o, nil
+}
+
 // Result is the complete output of the synthesis flow for one assay.
 type Result struct {
 	// Schedule is the scheduling-and-binding result (Section 3.1).
@@ -122,6 +205,9 @@ type Result struct {
 	SchedulingTime time.Duration
 	// Verified reports that the verify stage ran and found no violation.
 	Verified bool
+	// Service carries per-job queue/cache/progress metrics when the result
+	// was produced through a solver session; nil otherwise.
+	Service *ServiceMetrics
 }
 
 // StageDuration returns the recorded wall-clock of the named stage (zero when
@@ -201,17 +287,27 @@ func (r *Result) Summary() string {
 		r.Physical.AfterDevices,
 		r.Physical.Compressed,
 	)
-	if sv := r.SolverSummary(); sv != "" {
+	// The service fragment (queue wait, cache provenance) is deliberately
+	// excluded here: Summary is the deterministic paper-table line, byte
+	// identical for one result however it was produced or served.
+	if sv := r.solverSummary(false); sv != "" {
 		s += " | " + sv
 	}
 	return s
 }
 
 // SolverSummary renders the exact engine's solver diagnostics in one line,
-// or "" when the heuristic engine scheduled (no ILP ran).
-func (r *Result) SolverSummary() string {
+// followed by the per-job service metrics (queue wait, cache provenance)
+// when the result came through a solver session. It returns "" when the
+// heuristic engine scheduled (no ILP ran) outside a session.
+func (r *Result) SolverSummary() string { return r.solverSummary(true) }
+
+func (r *Result) solverSummary(withService bool) string {
 	info := r.SchedInfo
 	if info == nil {
+		if withService && r.Service != nil {
+			return r.Service.summary()
+		}
 		return ""
 	}
 	s := fmt.Sprintf("ilp %s: %d nodes, %d pivots, warm %.0f%%",
@@ -239,6 +335,28 @@ func (r *Result) SolverSummary() string {
 	}
 	if info.Winner != "" {
 		s += ", winner " + info.Winner
+	}
+	if m := r.Service; withService && m != nil {
+		s += ", " + m.summary()
+	}
+	return s
+}
+
+// summary renders the service-mode metrics in one fragment of the solver
+// line, e.g. "svc queue 1.2ms cache schedule-hit".
+func (m *ServiceMetrics) summary() string {
+	cache := "miss"
+	switch {
+	case m.CacheHit && m.Coalesced:
+		cache = "hit (coalesced)"
+	case m.CacheHit:
+		cache = "hit"
+	case m.ScheduleCacheHit:
+		cache = "schedule-hit"
+	}
+	s := fmt.Sprintf("svc queue %s cache %s", m.QueueWait.Round(time.Microsecond), cache)
+	if m.ReusedOps > 0 || m.EditedOps > 0 {
+		s += fmt.Sprintf(" resynth %d reused/%d edited", m.ReusedOps, m.EditedOps)
 	}
 	return s
 }

@@ -56,6 +56,17 @@ type stageState struct {
 	graph *seqgraph.Graph
 	opts  Options
 	res   *Result
+	// pre, when non-nil, injects an already-solved schedule: the schedule
+	// stage installs it instead of running an engine (the service layer's
+	// schedule-cache path).
+	pre *preSchedule
+}
+
+// preSchedule is a schedule solved by an earlier pipeline run, injected by
+// SynthesizeWithSchedule.
+type preSchedule struct {
+	s    *sched.Schedule
+	info *sched.ILPInfo
 }
 
 // stage is one named step of the synthesis pipeline. Each stage reads and
@@ -84,6 +95,10 @@ func pipeline(opts Options) []stage {
 // mode) at sizes where the ILP is worth attempting, instead of the former
 // sequential try-ILP-then-fall-back pass.
 func runScheduleStage(ctx context.Context, st *stageState) error {
+	if st.pre != nil {
+		st.res.Schedule, st.res.SchedInfo = st.pre.s, st.pre.info
+		return nil
+	}
 	opts := st.opts
 	g := st.graph
 	beta := 0.0 // 0 means default (storage-aware) inside ILPOptions
@@ -96,6 +111,18 @@ func runScheduleStage(ctx context.Context, st *stageState) error {
 		Beta:      beta,
 		TimeLimit: opts.ILPTimeLimit,
 		WarmStart: true,
+		Warm:      opts.Warm,
+	}
+	if progress := opts.Progress; progress != nil {
+		ilpOpts.Progress = func(e sched.ProgressEvent) {
+			progress(ProgressEvent{
+				Kind:      EventIncumbent,
+				Stage:     StageSchedule,
+				Makespan:  e.Makespan,
+				Objective: e.Objective,
+				Nodes:     e.Nodes,
+			})
+		}
 	}
 	switch {
 	case opts.Engine == ExactILP:
@@ -119,7 +146,37 @@ func runScheduleStage(ctx context.Context, st *stageState) error {
 		if err != nil {
 			return err
 		}
+		// Incremental re-synthesis on the heuristic path: a prior schedule,
+		// re-timed on the current graph, replaces the list result when it
+		// scores better on the configured objective.
+		if opts.Warm != nil {
+			if ws, werr := sched.RetimeLike(g, opts.Warm, opts.Devices, opts.Transport); werr == nil {
+				if sched.ObjectiveScore(ws, opts.Mode) < sched.ObjectiveScore(s, opts.Mode) {
+					s = ws
+				}
+			}
+		}
 		st.res.Schedule = s
+	}
+	if progress := opts.Progress; progress != nil {
+		if info := st.res.SchedInfo; info != nil {
+			// Final solver summary: nodes and the MIP gap the search ended
+			// with, alongside the schedule actually kept.
+			progress(ProgressEvent{
+				Kind:      EventSolver,
+				Stage:     StageSchedule,
+				Makespan:  st.res.Schedule.Makespan,
+				Objective: info.Objective,
+				Nodes:     info.Solver.Nodes,
+				Gap:       info.Solver.Gap,
+			})
+		} else {
+			progress(ProgressEvent{
+				Kind:     EventIncumbent,
+				Stage:    StageSchedule,
+				Makespan: st.res.Schedule.Makespan,
+			})
+		}
 	}
 	return nil
 }
@@ -179,16 +236,34 @@ func runVerifyStage(ctx context.Context, st *stageState) error {
 // context down to the MILP branch-and-bound loop) with ctx.Err() wrapped in
 // the stage error.
 func SynthesizeContext(ctx context.Context, g *seqgraph.Graph, opts Options) (*Result, error) {
+	return synthesize(ctx, g, opts, nil)
+}
+
+// SynthesizeWithSchedule runs the pipeline with an already-solved schedule:
+// the schedule stage installs s (and its solver diagnostics, which may be
+// nil) instead of running an engine, and only bind, arch, phys and the
+// optional verify stage execute. This is the service layer's schedule-cache
+// path — a grid sweep over one assay re-solves the expensive MILP exactly
+// once. s must be a valid schedule of g under opts' device and transport
+// parameters; the bind stage re-validates it.
+func SynthesizeWithSchedule(ctx context.Context, g *seqgraph.Graph, opts Options, s *sched.Schedule, info *sched.ILPInfo) (*Result, error) {
+	return synthesize(ctx, g, opts, &preSchedule{s: s, info: info})
+}
+
+func synthesize(ctx context.Context, g *seqgraph.Graph, opts Options, pre *preSchedule) (*Result, error) {
 	if err := opts.defaults(); err != nil {
 		return nil, err
 	}
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
-	st := &stageState{graph: g, opts: opts, res: &Result{}}
+	st := &stageState{graph: g, opts: opts, res: &Result{}, pre: pre}
 	for _, sg := range pipeline(opts) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
+		}
+		if opts.Progress != nil {
+			opts.Progress(ProgressEvent{Kind: EventStageStart, Stage: sg.name})
 		}
 		start := time.Now()
 		if err := sg.run(ctx, st); err != nil {
@@ -198,6 +273,9 @@ func SynthesizeContext(ctx context.Context, g *seqgraph.Graph, opts Options) (*R
 		st.res.Stages = append(st.res.Stages, StageTiming{Name: sg.name, Duration: d})
 		if sg.name == StageSchedule {
 			st.res.SchedulingTime = d
+		}
+		if opts.Progress != nil {
+			opts.Progress(ProgressEvent{Kind: EventStageEnd, Stage: sg.name, Duration: d})
 		}
 	}
 	return st.res, nil

@@ -30,6 +30,14 @@ type SolveOptions struct {
 	IntFeasTol float64
 	// Logger, if non-nil, receives periodic progress lines.
 	Logger func(format string, args ...any)
+	// OnIncumbent, if non-nil, is invoked whenever the search installs an
+	// improving integral incumbent — including the initial Incumbent warm
+	// start — with a copy of the assignment (indexed by Var.ID), its
+	// objective value in the model's sense, and the node count at that
+	// moment. It is called synchronously from solver workers while internal
+	// locks are held: implementations must be fast and must not call back
+	// into the solver.
+	OnIncumbent func(x []float64, objective float64, nodes int)
 	// Workers bounds the parallel branch-and-bound worker pool. Zero selects
 	// min(GOMAXPROCS, 8); one recovers a fully sequential search.
 	Workers int
@@ -182,6 +190,9 @@ func SolveContext(ctx context.Context, m *Model, opts SolveOptions) (*Solution, 
 		if ok, obj := checkFeasible(m, opts.Incumbent, opts.IntFeasTol); ok {
 			sh.best = append([]float64(nil), opts.Incumbent...)
 			sh.bestObj = dirSign * obj
+			if opts.OnIncumbent != nil {
+				opts.OnIncumbent(append([]float64(nil), sh.best...), obj, 0)
+			}
 		}
 	}
 
@@ -602,6 +613,9 @@ func (w *bbWorker) foundIncumbent(x []float64, lb float64) {
 		sh.best = x
 		if w.opts.Logger != nil {
 			w.opts.Logger("milp: incumbent %.6g at node %d", w.dirSign*lb, sh.nodes)
+		}
+		if w.opts.OnIncumbent != nil {
+			w.opts.OnIncumbent(append([]float64(nil), x...), w.dirSign*lb, sh.nodes)
 		}
 	}
 }

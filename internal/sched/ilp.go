@@ -38,6 +38,40 @@ type ILPOptions struct {
 	// WarmStart seeds branch and bound with a list-scheduler incumbent.
 	// Strongly recommended; enabled by Synthesize-level callers.
 	WarmStart bool
+	// Warm, if non-nil, is a prior schedule of this assay — possibly of an
+	// edited version of it. Its device binding and per-device order are
+	// re-timed on the current graph (RetimeLike) and the result, when it
+	// beats the list-scheduler incumbent on the objective, seeds the solve
+	// instead: the incremental re-synthesis hook of the service layer.
+	Warm *Schedule
+	// Progress, if non-nil, receives one event per improving incumbent the
+	// exact solve installs (including the warm start). It is called
+	// synchronously from solver workers; implementations must be fast and
+	// non-blocking.
+	Progress func(ProgressEvent)
+}
+
+// ProgressEvent reports one improving incumbent of the exact solve.
+type ProgressEvent struct {
+	// Makespan is the incumbent's model makespan tE in seconds.
+	Makespan int
+	// Objective is α·tE + β·Σu at the incumbent.
+	Objective float64
+	// Nodes counts the branch-and-bound nodes expanded when it was found
+	// (0 for the initial warm start).
+	Nodes int
+}
+
+// ObjectiveScore ranks a schedule under the paper's objective (6) with the
+// default weights (α=100, β=1; β=0 under TimeOnly) — the single source of
+// truth for every default-weight comparison: the heuristic-path warm-start
+// race in core, the service layer, and tests.
+func ObjectiveScore(s *Schedule, mode Mode) float64 {
+	alpha, beta := ILPOptions{}.weights()
+	if mode == TimeOnly {
+		beta = 0
+	}
+	return alpha*float64(s.Makespan) + beta*float64(s.StorageTime())
 }
 
 // weights normalizes the objective weights of the paper's objective (6):
@@ -123,22 +157,48 @@ func ILPScheduleContext(ctx context.Context, g *seqgraph.Graph, opts ILPOptions)
 	if err != nil {
 		return nil, nil, err
 	}
+	// Incremental re-synthesis: a prior schedule's binding and order,
+	// re-timed on the (possibly edited) graph, replaces the list incumbent
+	// when it scores better — the unchanged prefix of the assay then enters
+	// the solve with its proven structure instead of a cold heuristic guess.
+	score := func(s *Schedule) float64 {
+		return alpha*float64(s.Makespan) + beta*float64(s.StorageTime())
+	}
+	if opts.Warm != nil {
+		if ws, werr := RetimeLike(g, opts.Warm, opts.Devices, opts.Transport); werr == nil && score(ws) < score(incumbent) {
+			incumbent = ws
+		}
+	}
 
 	// The dense in-repo simplex handles the exact formulation up to roughly
 	// IVD size (the paper's own Gurobi runs hit their 30-minute cap from
 	// RA30 upward, Table 2 column t_s). Beyond that the list-scheduler
 	// incumbent is returned directly as the best-effort result.
 	if n := g.NumOps(); n > MaxExactOps {
+		if opts.Progress != nil {
+			opts.Progress(ProgressEvent{Makespan: incumbent.Makespan, Objective: score(incumbent)})
+		}
 		return incumbent, &ILPInfo{
 			Status:    milp.StatusTimeLimit,
-			Objective: alpha*float64(incumbent.Makespan) + beta*float64(incumbent.StorageTime()),
-			Winner:    "list",
+			Objective: score(incumbent),
+			// No solve ran, so no dual bound exists: Gap -1 ("n/a"), not the
+			// zero value's proven-optimum claim.
+			Solver: milp.SolveStats{Gap: -1},
+			Winner: "list",
 		}, nil
 	}
 	sm := buildSchedModel(g, opts, incumbent, alpha, beta)
 
+	solveOpts := milp.SolveOptions{TimeLimit: limit, Incumbent: sm.warm}
+	if opts.Progress != nil {
+		tEID := sm.tE.ID()
+		progress := opts.Progress
+		solveOpts.OnIncumbent = func(x []float64, obj float64, nodes int) {
+			progress(ProgressEvent{Makespan: int(math.Round(x[tEID])), Objective: obj, Nodes: nodes})
+		}
+	}
 	startT := time.Now()
-	sol, err := milp.SolveContext(ctx, sm.m, milp.SolveOptions{TimeLimit: limit, Incumbent: sm.warm})
+	sol, err := milp.SolveContext(ctx, sm.m, solveOpts)
 	if err != nil {
 		return nil, nil, fmt.Errorf("sched: solving scheduling ILP: %w", err)
 	}
@@ -570,19 +630,106 @@ func reconstruct(g *seqgraph.Graph, opts ILPOptions, sol *milp.Solution,
 		}
 		return ids[a] < ids[b]
 	})
+	return retimeOrdered(g, opts.Devices, opts.Transport, binding, ids)
+}
 
-	outLen := (opts.Transport + 1) / 2
-	fetchLen := opts.Transport - outLen
+// RetimeLike re-schedules g by reusing a prior schedule's device binding and
+// execution order wherever an operation (matched by name) still exists: the
+// unchanged part of an edited assay keeps its proven binding, while edited or
+// new operations are appended after it, bound to a parent's device when one
+// is known. Timing is re-derived from scratch with the exact transport
+// semantics, so the result is valid for the current graph whatever was edited
+// — durations, dependencies, additions and removals included.
+//
+// This is the incremental re-synthesis primitive: the service layer feeds the
+// result back into the exact solve as a warm start (ILPOptions.Warm) or
+// races it against the list scheduler for heuristic engines.
+func RetimeLike(g *seqgraph.Graph, prior *Schedule, devices, transport int) (*Schedule, error) {
+	if devices < 1 {
+		return nil, fmt.Errorf("sched: need at least one device, got %d", devices)
+	}
+	if transport < 1 {
+		return nil, fmt.Errorf("sched: transport time must be >= 1, got %d", transport)
+	}
+	topo, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	priorByName := make(map[string]Assignment, len(prior.Assignments))
+	for _, a := range prior.Assignments {
+		priorByName[prior.Graph.Op(a.Op).Name] = a
+	}
+	n := g.NumOps()
+	binding := make([]int, n)
+	prio := make([]int, n)
+	known := make([]bool, n)
+	maxPrio := 0
+	for i := 0; i < n; i++ {
+		if pa, ok := priorByName[g.Op(seqgraph.OpID(i)).Name]; ok && pa.Device < devices {
+			binding[i], prio[i], known[i] = pa.Device, pa.Start, true
+			if pa.Start > maxPrio {
+				maxPrio = pa.Start
+			}
+		}
+	}
+	// New or re-deviced operations: schedule after the reused prefix, on a
+	// parent's device when one is bound (avoiding a gratuitous transport),
+	// else spread round-robin.
+	next := 0
+	for _, id := range topo {
+		i := int(id)
+		if known[i] {
+			continue
+		}
+		prio[i] = maxPrio + 1
+		binding[i] = -1
+		for _, p := range g.Parents(id) {
+			if binding[p] >= 0 {
+				binding[i] = binding[p]
+				break
+			}
+		}
+		if binding[i] < 0 {
+			binding[i] = next % devices
+			next++
+		}
+	}
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		if prio[ids[a]] != prio[ids[b]] {
+			return prio[ids[a]] < prio[ids[b]]
+		}
+		return ids[a] < ids[b]
+	})
+	s := retimeOrdered(g, devices, transport, binding, ids)
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("sched: retimed schedule invalid: %w", err)
+	}
+	return s, nil
+}
+
+// retimeOrdered greedily re-times a complete device binding along a global
+// priority order with the exact transport semantics (direct pass, flush,
+// fetch slots) shared with the list scheduler. Operations are placed
+// first-ready-first along ids, so any order is safe even when it interleaves
+// devices non-topologically.
+func retimeOrdered(g *seqgraph.Graph, devices, transport int, binding []int, ids []int) *Schedule {
+	n := g.NumOps()
+	outLen := (transport + 1) / 2
+	fetchLen := transport - outLen
 	s := &Schedule{
 		Graph:         g,
-		Devices:       opts.Devices,
-		Transport:     opts.Transport,
+		Devices:       devices,
+		Transport:     transport,
 		Assignments:   make([]Assignment, n),
 		DepartOffsets: make(map[seqgraph.Edge]int),
 	}
 	departCount := make([]int, n)
-	deviceFree := make([]int, opts.Devices)
-	lastOp := make([]seqgraph.OpID, opts.Devices)
+	deviceFree := make([]int, devices)
+	lastOp := make([]seqgraph.OpID, devices)
 	for d := range lastOp {
 		lastOp[d] = -1
 	}
@@ -629,7 +776,7 @@ func reconstruct(g *seqgraph.Graph, opts ILPOptions, sol *milp.Solution,
 		for _, p := range g.Parents(seqgraph.OpID(op)) {
 			arr := s.Assignments[p].End
 			if p != direct {
-				arr += departCount[p]*opts.Transport + opts.Transport
+				arr += departCount[p]*transport + transport
 				fetches++
 			}
 			if arr > maxArr {
@@ -647,7 +794,7 @@ func reconstruct(g *seqgraph.Graph, opts ILPOptions, sol *milp.Solution,
 			if p == direct {
 				continue
 			}
-			s.DepartOffsets[seqgraph.Edge{Parent: p, Child: seqgraph.OpID(op)}] = departCount[p] * opts.Transport
+			s.DepartOffsets[seqgraph.Edge{Parent: p, Child: seqgraph.OpID(op)}] = departCount[p] * transport
 			departCount[p]++
 		}
 		lastOp[k] = seqgraph.OpID(op)

@@ -1,6 +1,9 @@
 package seqgraph
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -38,7 +41,12 @@ func kindFromString(s string) (OpKind, error) {
 	}
 }
 
-// MarshalJSON renders the graph in the stable assay JSON schema.
+// MarshalJSON renders the graph in the stable assay JSON schema, in
+// canonical form: operations sorted by name and edges sorted by (parent,
+// child) name pair. Two graphs describing the same assay therefore serialize
+// to identical bytes regardless of the order their operations and edges were
+// inserted — the property the content-addressed result cache keys on (see
+// Fingerprint).
 func (g *Graph) MarshalJSON() ([]byte, error) {
 	jg := jsonGraph{Name: g.Name}
 	for _, op := range g.ops {
@@ -49,10 +57,70 @@ func (g *Graph) MarshalJSON() ([]byte, error) {
 			Inputs:   op.Inputs,
 		})
 	}
+	sort.SliceStable(jg.Operations, func(i, j int) bool {
+		return jg.Operations[i].Name < jg.Operations[j].Name
+	})
 	for _, e := range g.edges {
 		jg.Edges = append(jg.Edges, [2]string{g.ops[e.Parent].Name, g.ops[e.Child].Name})
 	}
+	sort.Slice(jg.Edges, func(i, j int) bool {
+		if jg.Edges[i][0] != jg.Edges[j][0] {
+			return jg.Edges[i][0] < jg.Edges[j][0]
+		}
+		return jg.Edges[i][1] < jg.Edges[j][1]
+	})
 	return json.MarshalIndent(jg, "", "  ")
+}
+
+// Fingerprint returns a content hash (hex-encoded SHA-256) of the graph's
+// canonical JSON form: identical for the same assay regardless of
+// op-insertion order, different for any structural change. It is the
+// assay half of the service layer's cache keys.
+//
+// The JSON schema references operations by name, so graphs with duplicate
+// operation names (expressible programmatically, not in JSON) would alias
+// under the canonical form; those fall back to an ID-based digest that is
+// insertion-order-dependent but never collides two distinct graphs.
+func Fingerprint(g *Graph) string {
+	names := make(map[string]struct{}, len(g.ops))
+	unique := true
+	for _, op := range g.ops {
+		if _, dup := names[op.Name]; dup {
+			unique = false
+			break
+		}
+		names[op.Name] = struct{}{}
+	}
+	h := sha256.New()
+	if unique {
+		data, err := g.MarshalJSON()
+		if err == nil {
+			h.Write(data)
+			return hex.EncodeToString(h.Sum(nil))
+		}
+		// fall through to the structural digest; MarshalJSON on a validated
+		// graph cannot fail, but a wrong hash must never be possible.
+	}
+	// Structural digest over IDs: exact, but sensitive to insertion order.
+	var buf [8]byte
+	writeInt := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	io.WriteString(h, g.Name)
+	writeInt(len(g.ops))
+	for _, op := range g.ops {
+		io.WriteString(h, op.Name)
+		writeInt(int(op.Kind))
+		writeInt(op.Duration)
+		writeInt(op.Inputs)
+	}
+	writeInt(len(g.edges))
+	for _, e := range g.edges {
+		writeInt(int(e.Parent))
+		writeInt(int(e.Child))
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // UnmarshalJSON parses the assay JSON schema. Operation names must be unique

@@ -1,0 +1,136 @@
+package seqgraph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// shuffledPair builds the same diamond assay twice with different op- and
+// edge-insertion orders.
+func shuffledPair(t *testing.T) (*Graph, *Graph) {
+	t.Helper()
+	fwd := New("canon")
+	fa := fwd.MustAddOperation("a", Mix, 30, 2)
+	fb := fwd.MustAddOperation("b", Dilute, 20, 1)
+	fc := fwd.MustAddOperation("c", Heat, 40, 0)
+	fd := fwd.MustAddOperation("d", Detect, 10, 0)
+	fwd.MustAddDependency(fa, fb)
+	fwd.MustAddDependency(fa, fc)
+	fwd.MustAddDependency(fb, fd)
+	fwd.MustAddDependency(fc, fd)
+
+	rev := New("canon")
+	rd := rev.MustAddOperation("d", Detect, 10, 0)
+	rc := rev.MustAddOperation("c", Heat, 40, 0)
+	rb := rev.MustAddOperation("b", Dilute, 20, 1)
+	ra := rev.MustAddOperation("a", Mix, 30, 2)
+	rev.MustAddDependency(rc, rd)
+	rev.MustAddDependency(rb, rd)
+	rev.MustAddDependency(ra, rc)
+	rev.MustAddDependency(ra, rb)
+	return fwd, rev
+}
+
+// TestCanonicalWriteOrderIndependent is the cache-key property: the written
+// JSON of a graph must not depend on the order its operations and edges were
+// inserted.
+func TestCanonicalWriteOrderIndependent(t *testing.T) {
+	fwd, rev := shuffledPair(t)
+	var a, b bytes.Buffer
+	if err := Write(&a, fwd); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&b, rev); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("canonical form depends on insertion order:\n--- fwd ---\n%s\n--- rev ---\n%s", a.Bytes(), b.Bytes())
+	}
+
+	// Round trip through the canonical form preserves the graph.
+	back, err := Read(bytes.NewReader(a.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphsEqual(t, fwd, back)
+
+	// And writing the round-tripped graph is a fixed point.
+	var again bytes.Buffer
+	if err := Write(&again, back); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), again.Bytes()) {
+		t.Error("canonical write is not a fixed point")
+	}
+}
+
+func TestFingerprintStability(t *testing.T) {
+	fwd, rev := shuffledPair(t)
+	if Fingerprint(fwd) != Fingerprint(rev) {
+		t.Errorf("fingerprint depends on insertion order: %s vs %s", Fingerprint(fwd), Fingerprint(rev))
+	}
+
+	// Any structural change must move the hash.
+	mutations := map[string]func() *Graph{
+		"renamed op": func() *Graph {
+			g := fwd.Clone()
+			g.ops[0].Name = "a2"
+			return g
+		},
+		"changed duration": func() *Graph {
+			g := fwd.Clone()
+			g.ops[1].Duration++
+			return g
+		},
+		"changed kind": func() *Graph {
+			g := fwd.Clone()
+			g.ops[2].Kind = Mix
+			return g
+		},
+		"changed inputs": func() *Graph {
+			g := fwd.Clone()
+			g.ops[0].Inputs++
+			return g
+		},
+		"extra op": func() *Graph {
+			g := fwd.Clone()
+			g.MustAddOperation("e", Mix, 5, 0)
+			return g
+		},
+		"extra edge": func() *Graph {
+			g := fwd.Clone()
+			g.MustAddDependency(0, 3)
+			return g
+		},
+		"renamed assay": func() *Graph {
+			g := fwd.Clone()
+			g.Name = "other"
+			return g
+		},
+	}
+	base := Fingerprint(fwd)
+	for label, mutate := range mutations {
+		if Fingerprint(mutate()) == base {
+			t.Errorf("%s: fingerprint unchanged", label)
+		}
+	}
+}
+
+// TestFingerprintDuplicateNames exercises the ID-based fallback: duplicate op
+// names are unserializable by name, but two distinct graphs must still never
+// share a fingerprint.
+func TestFingerprintDuplicateNames(t *testing.T) {
+	build := func(d1, d2 int) *Graph {
+		g := New("dup")
+		a := g.MustAddOperation("x", Mix, d1, 1)
+		b := g.MustAddOperation("x", Mix, d2, 1)
+		g.MustAddDependency(a, b)
+		return g
+	}
+	if Fingerprint(build(10, 20)) == Fingerprint(build(10, 30)) {
+		t.Error("distinct duplicate-name graphs share a fingerprint")
+	}
+	if Fingerprint(build(10, 20)) != Fingerprint(build(10, 20)) {
+		t.Error("identical duplicate-name graphs disagree")
+	}
+}

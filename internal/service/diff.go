@@ -1,0 +1,93 @@
+package service
+
+import (
+	"sort"
+	"strings"
+
+	"flowsyn/internal/seqgraph"
+)
+
+// GraphDiff summarizes how an edited assay differs from its prior version,
+// matching operations by name.
+type GraphDiff struct {
+	// Unchanged counts operations present in both versions with identical
+	// attributes (kind, duration, inputs) and identical parent sets — the
+	// prefix whose prior binding an incremental re-synthesis can reuse.
+	Unchanged int
+	// Changed counts operations present in both versions whose attributes
+	// or parent sets differ.
+	Changed int
+	// Added and Removed count operations present in only one version.
+	Added, Removed int
+	// EdgeDelta counts dependency edges present in exactly one version.
+	EdgeDelta int
+}
+
+// Identical reports a structurally unchanged assay.
+func (d GraphDiff) Identical() bool {
+	return d.Changed == 0 && d.Added == 0 && d.Removed == 0 && d.EdgeDelta == 0
+}
+
+// opShape is the per-operation comparison key of DiffGraphs.
+type opShape struct {
+	kind             seqgraph.OpKind
+	duration, inputs int
+	parents          string // sorted parent names, newline-joined
+}
+
+func shapes(g *seqgraph.Graph) map[string]opShape {
+	out := make(map[string]opShape, g.NumOps())
+	for _, op := range g.Operations() {
+		names := make([]string, 0, len(g.Parents(op.ID)))
+		for _, p := range g.Parents(op.ID) {
+			names = append(names, g.Op(p).Name)
+		}
+		sort.Strings(names)
+		out[op.Name] = opShape{
+			kind: op.Kind, duration: op.Duration, inputs: op.Inputs,
+			parents: strings.Join(names, "\n"),
+		}
+	}
+	return out
+}
+
+// DiffGraphs compares two assay versions by operation name.
+func DiffGraphs(old, edited *seqgraph.Graph) GraphDiff {
+	var d GraphDiff
+	oldShapes, newShapes := shapes(old), shapes(edited)
+	for name, ns := range newShapes {
+		os, ok := oldShapes[name]
+		switch {
+		case !ok:
+			d.Added++
+		case os == ns:
+			d.Unchanged++
+		default:
+			d.Changed++
+		}
+	}
+	for name := range oldShapes {
+		if _, ok := newShapes[name]; !ok {
+			d.Removed++
+		}
+	}
+	edgeSet := func(g *seqgraph.Graph) map[[2]string]bool {
+		out := make(map[[2]string]bool, g.NumEdges())
+		for _, e := range g.Edges() {
+			out[[2]string{g.Op(e.Parent).Name, g.Op(e.Child).Name}] = true
+		}
+		return out
+	}
+	oldEdges, newEdges := edgeSet(old), edgeSet(edited)
+	for e := range newEdges {
+		if !oldEdges[e] {
+			d.EdgeDelta++
+		}
+	}
+	for e := range oldEdges {
+		if !newEdges[e] {
+			d.EdgeDelta++
+		}
+	}
+	return d
+}

@@ -1,0 +1,437 @@
+// Package service implements long-lived synthesis solver sessions on top of
+// the core pipeline: a bounded worker pool serving submitted jobs, a
+// content-addressed full-result cache and a schedule cache keyed by the
+// canonical assay fingerprint (internal/seqgraph.Fingerprint) plus the
+// semantic synthesis options, single-flight deduplication of identical
+// in-flight solves, per-job progress event streams, and incremental
+// re-synthesis of edited assays via the scheduler's warm-start hook.
+//
+// The schedule cache is what makes design-space exploration cheap: the
+// expensive scheduling-and-binding solve depends only on the assay and the
+// device/transport/engine options, not on the connection grid, so a grid
+// sweep over one assay re-solves the MILP exactly once and re-runs only the
+// architectural and physical stages per grid size.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"flowsyn/internal/core"
+	"flowsyn/internal/sched"
+	"flowsyn/internal/seqgraph"
+)
+
+// Errors returned by Submit and ticket accessors.
+var (
+	// ErrClosed reports a Submit to a solver that has been closed.
+	ErrClosed = errors.New("service: solver closed")
+	// ErrQueueFull reports that the bounded submit queue is at capacity;
+	// the caller should retry later (backpressure, not failure).
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrPending reports a Result call on a ticket that has not finished.
+	ErrPending = errors.New("service: job still pending")
+)
+
+// Config sizes a Solver session.
+type Config struct {
+	// Workers is the synthesis worker pool size; 0 or negative selects
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// QueueDepth bounds the submit queue; Submit returns ErrQueueFull when
+	// it is exceeded. 0 selects 256.
+	QueueDepth int
+	// CacheEntries bounds each of the result and schedule LRU caches.
+	// 0 selects 512; negative disables caching entirely.
+	CacheEntries int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 256
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 512
+	}
+	return c
+}
+
+// Job is one synthesis request: an assay graph plus the synthesis options.
+type Job struct {
+	// Name labels the job in results and events; defaults to the assay name.
+	Name string
+	// Graph is the assay to synthesize.
+	Graph *seqgraph.Graph
+	// Options configures the pipeline. Progress and Warm are owned by the
+	// solver and must be left nil; the per-ticket event stream and
+	// Resynthesize provide those capabilities in session mode.
+	Options core.Options
+}
+
+// Stats is a snapshot of a solver session's counters.
+type Stats struct {
+	// Submitted, Completed and Failed count jobs over the session lifetime.
+	Submitted, Completed, Failed int64
+	// ResultHits and ResultMisses count full-result cache lookups; a hit
+	// serves the finished chip with no pipeline stage running.
+	ResultHits, ResultMisses int64
+	// ScheduleHits counts schedule-cache hits (bind/arch/phys re-ran on a
+	// cached schedule); ScheduleSolves counts schedule solves that actually
+	// executed an engine — the "full solves" a grid sweep avoids.
+	ScheduleHits, ScheduleSolves int64
+	// Coalesced counts jobs served by waiting on an identical in-flight
+	// solve instead of starting their own (also counted in ResultHits or
+	// ScheduleHits).
+	Coalesced int64
+	// InFlight and Queued describe the instantaneous pool state.
+	InFlight, Queued int
+	// EventsDropped counts progress events discarded because a ticket's
+	// subscriber fell behind its buffered stream.
+	EventsDropped int64
+}
+
+// flight is one in-flight solve other workers with the same key wait on.
+type flight struct {
+	done  chan struct{}
+	res   *core.Result // result-key flights
+	sched *schedEntry  // schedule-key flights
+	err   error
+}
+
+// schedEntry is a cached scheduling-and-binding solution.
+type schedEntry struct {
+	s    *sched.Schedule
+	info *sched.ILPInfo
+}
+
+// Solver is a long-lived synthesis session. Create one with New, submit jobs
+// with Submit (or Resynthesize), and Close it to drain.
+type Solver struct {
+	cfg   Config
+	queue chan *Ticket
+	wg    sync.WaitGroup
+
+	mu           sync.Mutex
+	closed       bool
+	nextID       uint64
+	stats        Stats
+	results      *lruCache
+	scheds       *lruCache
+	resultFlight map[string]*flight
+	schedFlight  map[string]*flight
+}
+
+// New starts a solver session with cfg's worker pool and caches.
+func New(cfg Config) *Solver {
+	cfg = cfg.withDefaults()
+	s := &Solver{
+		cfg:          cfg,
+		queue:        make(chan *Ticket, cfg.QueueDepth),
+		resultFlight: make(map[string]*flight),
+		schedFlight:  make(map[string]*flight),
+	}
+	if cfg.CacheEntries > 0 {
+		s.results = newLRUCache(cfg.CacheEntries)
+		s.scheds = newLRUCache(cfg.CacheEntries)
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for t := range s.queue {
+				s.runTicket(t)
+			}
+		}()
+	}
+	return s
+}
+
+// Submit validates and enqueues a job, returning its ticket immediately. The
+// job runs under ctx: cancelling it aborts the job (queued or mid-solve) with
+// ctx's error. Submit itself never blocks — a full queue returns
+// ErrQueueFull.
+func (s *Solver) Submit(ctx context.Context, job Job) (*Ticket, error) {
+	return s.submit(ctx, job, nil, core.ServiceMetrics{})
+}
+
+// Resynthesize submits an edited assay as an incremental re-synthesis of a
+// finished prior job: the prior schedule's binding seeds the new solve
+// through the scheduler's warm-start hook, and the unchanged part of the
+// assay keeps its proven structure. The prior ticket must have completed
+// successfully; options are inherited from the prior job unless the edited
+// job overrides them (zero Options means inherit).
+func (s *Solver) Resynthesize(ctx context.Context, prior *Ticket, job Job) (*Ticket, error) {
+	if prior == nil {
+		return nil, errors.New("service: resynthesize needs a prior ticket")
+	}
+	res, err := prior.Result()
+	if err != nil {
+		return nil, fmt.Errorf("service: resynthesize from unfinished or failed job: %w", err)
+	}
+	if job.Graph == nil {
+		return nil, errors.New("service: resynthesize needs an edited assay")
+	}
+	if job.Options.Devices == 0 {
+		// Zero options inherit the prior job's configuration.
+		job.Options = prior.opts
+	}
+	if job.Name == "" {
+		job.Name = prior.Name
+	}
+	d := DiffGraphs(prior.graph, job.Graph)
+	metrics := core.ServiceMetrics{
+		ReusedOps: d.Unchanged,
+		EditedOps: d.Changed + d.Added + d.Removed,
+	}
+	return s.submit(ctx, job, res.Schedule, metrics)
+}
+
+func (s *Solver) submit(ctx context.Context, job Job, warm *sched.Schedule, metrics core.ServiceMetrics) (*Ticket, error) {
+	if job.Graph == nil {
+		return nil, errors.New("service: job has no assay graph")
+	}
+	if err := job.Graph.Validate(); err != nil {
+		return nil, err
+	}
+	if job.Options.Progress != nil || job.Options.Warm != nil {
+		return nil, errors.New("service: job options must leave Progress and Warm nil (owned by the solver)")
+	}
+	opts, err := job.Options.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	if job.Name == "" {
+		job.Name = job.Graph.Name
+	}
+	fp := seqgraph.Fingerprint(job.Graph)
+	t := &Ticket{
+		Name:      job.Name,
+		ctx:       ctx,
+		graph:     job.Graph,
+		opts:      opts,
+		warm:      warm,
+		schedKey:  scheduleKey(fp, opts),
+		resultKey: resultKey(fp, opts),
+		metrics:   metrics,
+		submitted: time.Now(),
+		events:    make(chan Event, eventBuffer),
+		done:      make(chan struct{}),
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	s.nextID++
+	t.id = s.nextID
+	select {
+	case s.queue <- t:
+	default:
+		return nil, ErrQueueFull
+	}
+	s.stats.Submitted++
+	t.emit(Event{Kind: EventQueued})
+	return t, nil
+}
+
+// Close stops accepting jobs, drains the queue (every queued job still runs
+// to completion under its own context), and waits for the workers to exit.
+// Closing twice is a no-op.
+func (s *Solver) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// Stats returns a snapshot of the session counters.
+func (s *Solver) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Queued = len(s.queue)
+	return st
+}
+
+// runTicket executes one job inside a worker.
+func (s *Solver) runTicket(t *Ticket) {
+	s.mu.Lock()
+	s.stats.InFlight++
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.stats.InFlight--
+		s.mu.Unlock()
+	}()
+
+	t.metrics.QueueWait = time.Since(t.submitted)
+	t.emit(Event{Kind: EventStarted})
+	if err := t.ctx.Err(); err != nil {
+		s.fail(t, err)
+		return
+	}
+	start := time.Now()
+	res, err := s.resolve(t)
+	t.metrics.Runtime = time.Since(start)
+	if err != nil {
+		s.fail(t, err)
+		return
+	}
+	s.mu.Lock()
+	s.stats.Completed++
+	s.mu.Unlock()
+	t.finish(res)
+	// Count drops after the terminal event: its delivery may evict one last
+	// buffered event. The worker is the ticket's only mutator, so this read
+	// is safe; the session counter is monotonic either way.
+	s.mu.Lock()
+	s.stats.EventsDropped += int64(t.droppedEvents)
+	s.mu.Unlock()
+}
+
+func (s *Solver) fail(t *Ticket, err error) {
+	s.mu.Lock()
+	s.stats.Failed++
+	s.mu.Unlock()
+	t.fail(err)
+	s.mu.Lock()
+	s.stats.EventsDropped += int64(t.droppedEvents)
+	s.mu.Unlock()
+}
+
+// resolve serves the job from the full-result cache, an identical in-flight
+// solve, or a fresh pipeline run, in that order.
+func (s *Solver) resolve(t *Ticket) (*core.Result, error) {
+	if s.results == nil {
+		return s.solve(t)
+	}
+	for {
+		s.mu.Lock()
+		if v, ok := s.results.get(t.resultKey); ok {
+			s.stats.ResultHits++
+			s.mu.Unlock()
+			t.metrics.CacheHit = true
+			t.emit(Event{Kind: EventCacheHit})
+			return copyResult(v.(*core.Result)), nil
+		}
+		if fl, ok := s.resultFlight[t.resultKey]; ok {
+			s.mu.Unlock()
+			select {
+			case <-fl.done:
+			case <-t.ctx.Done():
+				return nil, t.ctx.Err()
+			}
+			if fl.err != nil {
+				// A leader aborted by its own caller (or failed) settles
+				// nothing for this job: retry, becoming the leader if the
+				// slot is still free.
+				continue
+			}
+			s.mu.Lock()
+			s.stats.ResultHits++
+			s.stats.Coalesced++
+			s.mu.Unlock()
+			t.metrics.CacheHit, t.metrics.Coalesced = true, true
+			t.emit(Event{Kind: EventCacheHit})
+			return copyResult(fl.res), nil
+		}
+		fl := &flight{done: make(chan struct{})}
+		s.resultFlight[t.resultKey] = fl
+		s.stats.ResultMisses++
+		s.mu.Unlock()
+
+		res, err := s.solve(t)
+		s.mu.Lock()
+		delete(s.resultFlight, t.resultKey)
+		if err == nil {
+			s.results.put(t.resultKey, res)
+		}
+		fl.res, fl.err = res, err
+		s.mu.Unlock()
+		close(fl.done)
+		if err != nil {
+			return nil, err
+		}
+		return copyResult(res), nil
+	}
+}
+
+// solve runs the pipeline, serving the schedule stage from the schedule
+// cache (or an identical in-flight schedule solve) when possible.
+func (s *Solver) solve(t *Ticket) (*core.Result, error) {
+	opts := t.opts
+	opts.Warm = t.warm
+	opts.Progress = t.emitCore
+	if s.scheds == nil {
+		return core.SynthesizeContext(t.ctx, t.graph, opts)
+	}
+	for {
+		s.mu.Lock()
+		if v, ok := s.scheds.get(t.schedKey); ok {
+			s.stats.ScheduleHits++
+			s.mu.Unlock()
+			t.metrics.ScheduleCacheHit = true
+			se := v.(*schedEntry)
+			return core.SynthesizeWithSchedule(t.ctx, t.graph, opts, se.s.Clone(), se.info)
+		}
+		if fl, ok := s.schedFlight[t.schedKey]; ok {
+			s.mu.Unlock()
+			select {
+			case <-fl.done:
+			case <-t.ctx.Done():
+				return nil, t.ctx.Err()
+			}
+			if fl.err != nil {
+				// The leader may have failed in a stage this job does not
+				// share (its grid, not the schedule): retry independently.
+				continue
+			}
+			s.mu.Lock()
+			s.stats.ScheduleHits++
+			s.stats.Coalesced++
+			s.mu.Unlock()
+			t.metrics.ScheduleCacheHit, t.metrics.Coalesced = true, true
+			return core.SynthesizeWithSchedule(t.ctx, t.graph, opts, fl.sched.s.Clone(), fl.sched.info)
+		}
+		fl := &flight{done: make(chan struct{})}
+		s.schedFlight[t.schedKey] = fl
+		s.stats.ScheduleSolves++
+		s.mu.Unlock()
+
+		res, err := core.SynthesizeContext(t.ctx, t.graph, opts)
+		s.mu.Lock()
+		delete(s.schedFlight, t.schedKey)
+		if err == nil {
+			fl.sched = &schedEntry{s: res.Schedule.Clone(), info: res.SchedInfo}
+			s.scheds.put(t.schedKey, fl.sched)
+		}
+		fl.err = err
+		s.mu.Unlock()
+		close(fl.done)
+		return res, err
+	}
+}
+
+// copyResult returns a shallow per-caller copy of a cached result so
+// mutating accessors (Verify's Verified flag, the Service metrics) never
+// race across jobs sharing one cache entry. The schedule, architecture and
+// layout are immutable after synthesis and stay shared.
+func copyResult(res *core.Result) *core.Result {
+	cp := *res
+	cp.Service = nil
+	return &cp
+}

@@ -1,0 +1,512 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"flowsyn/internal/assay"
+	"flowsyn/internal/core"
+	"flowsyn/internal/seqgraph"
+)
+
+// pcrJob returns a PCR synthesis job with the Table 2 options and the
+// heuristic engine (fast and fully deterministic for cache assertions).
+func pcrJob(t *testing.T) Job {
+	t.Helper()
+	b, err := assay.Get("PCR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Job{
+		Graph: b.Graph,
+		Options: core.Options{
+			Devices:   b.Devices,
+			Transport: b.Transport,
+			GridRows:  b.GridRows,
+			GridCols:  b.GridCols,
+			ModelIO:   b.ModelIO,
+			Engine:    core.Heuristic,
+		},
+	}
+}
+
+func mustWait(t *testing.T, tk *Ticket) *core.Result {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	res, err := tk.Wait(ctx)
+	if err != nil {
+		t.Fatalf("job %s: %v", tk.Name, err)
+	}
+	return res
+}
+
+func TestSolverCacheAccounting(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Close()
+	job := pcrJob(t)
+
+	first := mustWait(t, submitOK(t, s, job))
+	if first.Service == nil || first.Service.CacheHit {
+		t.Fatalf("first solve should be a cache miss, metrics %+v", first.Service)
+	}
+	second := mustWait(t, submitOK(t, s, job))
+	if second.Service == nil || !second.Service.CacheHit {
+		t.Fatalf("second identical solve should hit the result cache, metrics %+v", second.Service)
+	}
+	if first.Schedule.Makespan != second.Schedule.Makespan {
+		t.Errorf("cached makespan %d != cold %d", second.Schedule.Makespan, first.Schedule.Makespan)
+	}
+
+	// Same assay on a larger grid: full-result miss, schedule hit.
+	grid := job
+	grid.Options.GridRows, grid.Options.GridCols = 6, 6
+	third := mustWait(t, submitOK(t, s, grid))
+	if third.Service.CacheHit {
+		t.Error("different grid must not hit the full-result cache")
+	}
+	if !third.Service.ScheduleCacheHit {
+		t.Errorf("different grid should reuse the cached schedule, metrics %+v", third.Service)
+	}
+
+	st := s.Stats()
+	if st.Submitted != 3 || st.Completed != 3 || st.Failed != 0 {
+		t.Errorf("job counters: %+v", st)
+	}
+	if st.ResultHits != 1 || st.ResultMisses != 2 {
+		t.Errorf("result cache counters: %+v", st)
+	}
+	if st.ScheduleSolves != 1 || st.ScheduleHits != 1 {
+		t.Errorf("schedule cache counters: %+v", st)
+	}
+}
+
+func submitOK(t *testing.T, s *Solver, job Job) *Ticket {
+	t.Helper()
+	tk, err := s.Submit(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tk
+}
+
+// TestGridSweepSolvesOnce is the acceptance property: a grid exploration
+// performs one schedule solve however many grid points it visits.
+func TestGridSweepSolvesOnce(t *testing.T) {
+	s := New(Config{Workers: 4})
+	defer s.Close()
+	job := pcrJob(t)
+
+	const points = 5
+	tickets := make([]*Ticket, 0, points)
+	for size := 4; size < 4+points; size++ {
+		j := job
+		j.Name = fmt.Sprintf("PCR@%dx%d", size, size)
+		j.Options.GridRows, j.Options.GridCols = size, size
+		tickets = append(tickets, submitOK(t, s, j))
+	}
+	for _, tk := range tickets {
+		mustWait(t, tk)
+	}
+	st := s.Stats()
+	if st.ScheduleSolves >= points {
+		t.Errorf("grid sweep ran %d schedule solves for %d points; caching bought nothing", st.ScheduleSolves, points)
+	}
+	if st.ScheduleHits == 0 {
+		t.Error("grid sweep reported no schedule-cache hits")
+	}
+	if st.ScheduleSolves+st.ScheduleHits+st.ResultHits < points {
+		t.Errorf("accounting hole: %d solves + %d sched hits + %d result hits < %d jobs", st.ScheduleSolves, st.ScheduleHits, st.ResultHits, points)
+	}
+}
+
+// TestConcurrentSubmit hammers one solver from many goroutines with a mix of
+// identical and distinct jobs; run under -race this is the session-safety
+// test.
+func TestConcurrentSubmit(t *testing.T) {
+	s := New(Config{Workers: 4})
+	defer s.Close()
+	base := pcrJob(t)
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			j := base
+			j.Name = fmt.Sprintf("job-%d", i)
+			// Half the goroutines share a grid (identical jobs, exercising
+			// coalescing), half get distinct grids (schedule sharing).
+			if i%2 == 0 {
+				j.Options.GridRows, j.Options.GridCols = 5, 5
+			} else {
+				j.Options.GridRows, j.Options.GridCols = 5+i, 5+i
+			}
+			tk, err := s.Submit(context.Background(), j)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if _, err := tk.Wait(context.Background()); err != nil {
+				errs <- fmt.Errorf("%s: %w", j.Name, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	st := s.Stats()
+	if st.Completed != goroutines {
+		t.Errorf("completed %d of %d", st.Completed, goroutines)
+	}
+	if st.ScheduleSolves >= goroutines {
+		t.Errorf("no schedule sharing across %d concurrent jobs (%d solves)", goroutines, st.ScheduleSolves)
+	}
+}
+
+// TestProgressStreamOrdering checks the event protocol: seq strictly
+// increasing, queued→started first, stage brackets properly nested in
+// pipeline order, exactly one terminal event, terminal last.
+func TestProgressStreamOrdering(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	job := pcrJob(t)
+	job.Options.Engine = core.ExactILP
+	job.Options.ILPTimeLimit = 30 * time.Second
+	tk := submitOK(t, s, job)
+
+	var events []Event
+	for e := range tk.Events() {
+		events = append(events, e)
+	}
+	mustWait(t, tk)
+
+	if len(events) < 4 {
+		t.Fatalf("only %d events: %+v", len(events), events)
+	}
+	if events[0].Kind != EventQueued {
+		t.Errorf("first event %q, want queued", events[0].Kind)
+	}
+	if events[1].Kind != EventStarted {
+		t.Errorf("second event %q, want started", events[1].Kind)
+	}
+	last := events[len(events)-1]
+	if last.Kind != EventDone {
+		t.Errorf("last event %q, want done", last.Kind)
+	}
+	if last.Makespan <= 0 {
+		t.Errorf("done event carries no makespan: %+v", last)
+	}
+
+	sawIncumbent, sawSolver := false, false
+	var stageStack []string
+	var stagesSeen []string
+	for i, e := range events {
+		if i > 0 && e.Seq <= events[i-1].Seq {
+			t.Errorf("event %d: seq %d not increasing after %d", i, e.Seq, events[i-1].Seq)
+		}
+		switch e.Kind {
+		case EventStageStart:
+			stageStack = append(stageStack, e.Stage)
+			stagesSeen = append(stagesSeen, e.Stage)
+		case EventStageEnd:
+			if len(stageStack) == 0 || stageStack[len(stageStack)-1] != e.Stage {
+				t.Errorf("stage-end %q without matching start (stack %v)", e.Stage, stageStack)
+			} else {
+				stageStack = stageStack[:len(stageStack)-1]
+			}
+		case EventIncumbent:
+			sawIncumbent = true
+			if e.Makespan <= 0 {
+				t.Errorf("incumbent event without makespan: %+v", e)
+			}
+		case EventSolver:
+			sawSolver = true
+			// The solver summary is emitted inside the schedule stage.
+			if len(stageStack) != 1 || stageStack[0] != core.StageSchedule {
+				t.Errorf("solver event outside the schedule stage (stack %v)", stageStack)
+			}
+			if e.Makespan <= 0 || e.Gap < -1 {
+				t.Errorf("implausible solver summary: %+v", e)
+			}
+		case EventDone, EventFailed:
+			if i != len(events)-1 {
+				t.Errorf("terminal event at position %d of %d", i, len(events))
+			}
+		}
+	}
+	if len(stageStack) != 0 {
+		t.Errorf("unclosed stages: %v", stageStack)
+	}
+	wantStages := []string{core.StageSchedule, core.StageBind, core.StageArch, core.StagePhys}
+	if len(stagesSeen) != len(wantStages) {
+		t.Fatalf("stages %v, want %v", stagesSeen, wantStages)
+	}
+	for i := range wantStages {
+		if stagesSeen[i] != wantStages[i] {
+			t.Errorf("stage %d = %q, want %q", i, stagesSeen[i], wantStages[i])
+		}
+	}
+	if !sawIncumbent {
+		t.Error("exact solve emitted no incumbent event")
+	}
+	if !sawSolver {
+		t.Error("exact solve emitted no solver summary event")
+	}
+}
+
+// editedPCR returns the PCR graph with one mixing duration stretched and one
+// extra operation appended — a realistic local edit.
+func editedPCR(t *testing.T) *seqgraph.Graph {
+	t.Helper()
+	b, err := assay.Get("PCR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := b.Graph.Clone()
+	ops := g.Operations()
+	// Stretch the first operation's duration.
+	gg := seqgraph.New(g.Name)
+	ids := make(map[seqgraph.OpID]seqgraph.OpID, len(ops))
+	for _, op := range ops {
+		dur := op.Duration
+		if op.ID == 0 {
+			dur += 15
+		}
+		ids[op.ID] = gg.MustAddOperation(op.Name, op.Kind, dur, op.Inputs)
+	}
+	for _, e := range g.Edges() {
+		gg.MustAddDependency(ids[e.Parent], ids[e.Child])
+	}
+	// Append a detection step consuming the final product.
+	sinks := g.Sinks()
+	det := gg.MustAddOperation("detect_final", seqgraph.Detect, 12, 0)
+	gg.MustAddDependency(ids[sinks[len(sinks)-1]], det)
+	return gg
+}
+
+// TestResynthesizeMatchesColdSolve edits PCR and checks the incremental
+// re-synthesis returns a result exactly as good as solving the edited assay
+// from scratch, while reporting the reused prefix.
+func TestResynthesizeMatchesColdSolve(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exact solve in -short mode")
+	}
+	s := New(Config{Workers: 2})
+	defer s.Close()
+
+	job := pcrJob(t)
+	job.Options.Engine = core.ExactILP
+	job.Options.ILPTimeLimit = 30 * time.Second
+	prior := submitOK(t, s, job)
+	mustWait(t, prior)
+
+	edited := job
+	edited.Graph = editedPCR(t)
+	warm, err := s.Resynthesize(context.Background(), prior, edited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmRes := mustWait(t, warm)
+	if warmRes.Service.ReusedOps == 0 {
+		t.Errorf("resynthesis reports no reused operations: %+v", warmRes.Service)
+	}
+	if warmRes.Service.EditedOps == 0 {
+		t.Errorf("resynthesis reports no edited operations: %+v", warmRes.Service)
+	}
+
+	// Cold-solve the edited assay in a fresh session for comparison.
+	cold := New(Config{Workers: 1})
+	defer cold.Close()
+	coldRes := mustWait(t, submitOK(t, cold, edited))
+
+	if warmRes.Schedule.Makespan != coldRes.Schedule.Makespan {
+		t.Errorf("resynthesized makespan %d != cold makespan %d",
+			warmRes.Schedule.Makespan, coldRes.Schedule.Makespan)
+	}
+	if err := warmRes.Verify(); err != nil {
+		t.Errorf("resynthesized result fails verification: %v", err)
+	}
+}
+
+// TestResynthesizeIdenticalAssayHitsCache re-submits the unedited assay.
+func TestResynthesizeIdenticalAssayHitsCache(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	prior := submitOK(t, s, pcrJob(t))
+	mustWait(t, prior)
+
+	same := pcrJob(t)
+	tk, err := s.Resynthesize(context.Background(), prior, same)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustWait(t, tk)
+	if !res.Service.CacheHit {
+		t.Errorf("identical resynthesis should be a pure cache hit: %+v", res.Service)
+	}
+	if res.Service.EditedOps != 0 {
+		t.Errorf("identical assay reports %d edited ops", res.Service.EditedOps)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	if _, err := s.Submit(context.Background(), Job{}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	bad := pcrJob(t)
+	bad.Options.Devices = 0
+	if _, err := s.Submit(context.Background(), bad); err == nil {
+		t.Error("zero devices accepted")
+	}
+	hooked := pcrJob(t)
+	hooked.Options.Progress = func(core.ProgressEvent) {}
+	if _, err := s.Submit(context.Background(), hooked); err == nil {
+		t.Error("caller-owned Progress hook accepted")
+	}
+}
+
+func TestSubmitAfterCloseAndQueueFull(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 1})
+	job := pcrJob(t)
+	// Block the single worker with a cancellable job, then fill the queue.
+	ctx, cancel := context.WithCancel(context.Background())
+	first, err := s.Submit(ctx, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var overflow bool
+	var tickets []*Ticket
+	for i := 0; i < 50; i++ {
+		j := job
+		j.Options.GridRows = 4 + i%3
+		tk, err := s.Submit(context.Background(), j)
+		if err == ErrQueueFull {
+			overflow = true
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets = append(tickets, tk)
+	}
+	if !overflow {
+		t.Error("bounded queue never reported ErrQueueFull")
+	}
+	cancel()
+	for _, tk := range tickets {
+		tk.Wait(context.Background())
+	}
+	first.Wait(context.Background())
+	s.Close()
+	if _, err := s.Submit(context.Background(), job); err != ErrClosed {
+		t.Errorf("submit after close: %v, want ErrClosed", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestCancelledJobFails(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tk, err := s.Submit(ctx, pcrJob(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tk.Wait(context.Background()); err == nil {
+		t.Error("cancelled job reported success")
+	}
+	st := s.Stats()
+	if st.Failed != 1 {
+		t.Errorf("failed counter %d, want 1", st.Failed)
+	}
+}
+
+func TestTicketResultPending(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	tk := submitOK(t, s, pcrJob(t))
+	if _, err := tk.Result(); err != nil && err != ErrPending {
+		t.Errorf("pending result error: %v", err)
+	}
+	mustWait(t, tk)
+	if _, err := tk.Result(); err != nil {
+		t.Errorf("finished result error: %v", err)
+	}
+	if tk.Metrics().Events == 0 {
+		t.Error("finished ticket reports no events")
+	}
+	if tk.ID() == 0 {
+		t.Error("ticket has no id")
+	}
+}
+
+func TestDiffGraphs(t *testing.T) {
+	b, err := assay.Get("PCR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := DiffGraphs(b.Graph, b.Graph); !d.Identical() {
+		t.Errorf("self-diff not identical: %+v", d)
+	}
+	d := DiffGraphs(b.Graph, editedPCR(t))
+	if d.Identical() {
+		t.Error("edit not detected")
+	}
+	if d.Added != 1 {
+		t.Errorf("added = %d, want 1 (detect_final)", d.Added)
+	}
+	if d.Changed == 0 {
+		t.Error("duration change not detected")
+	}
+	if d.Unchanged == 0 {
+		t.Error("no unchanged prefix found")
+	}
+}
+
+func TestLRUCacheEviction(t *testing.T) {
+	c := newLRUCache(2)
+	c.put("a", 1)
+	c.put("b", 2)
+	c.get("a") // refresh a; b becomes the eviction candidate
+	c.put("c", 3)
+	if _, ok := c.get("b"); ok {
+		t.Error("lru kept the least recently used entry")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("lru evicted the refreshed entry")
+	}
+	if c.len() != 2 {
+		t.Errorf("len = %d, want 2", c.len())
+	}
+	c.put("a", 9)
+	if v, _ := c.get("a"); v != 9 {
+		t.Error("put did not overwrite")
+	}
+}
+
+func TestCachingDisabled(t *testing.T) {
+	s := New(Config{Workers: 1, CacheEntries: -1})
+	defer s.Close()
+	job := pcrJob(t)
+	mustWait(t, submitOK(t, s, job))
+	res := mustWait(t, submitOK(t, s, job))
+	if res.Service.CacheHit || res.Service.ScheduleCacheHit {
+		t.Errorf("cache disabled but hit reported: %+v", res.Service)
+	}
+	if st := s.Stats(); st.ResultHits != 0 || st.ScheduleHits != 0 {
+		t.Errorf("cache disabled but counters moved: %+v", st)
+	}
+}

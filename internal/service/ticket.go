@@ -1,0 +1,199 @@
+package service
+
+import (
+	"context"
+	"time"
+
+	"flowsyn/internal/core"
+	"flowsyn/internal/sched"
+	"flowsyn/internal/seqgraph"
+)
+
+// eventBuffer is the per-ticket progress stream capacity; events beyond a
+// slow subscriber's buffer are dropped (and counted) rather than stalling a
+// solver worker.
+const eventBuffer = 256
+
+// Event kinds of a ticket's progress stream, in the order they can occur.
+const (
+	// EventQueued is emitted once at submission.
+	EventQueued = "queued"
+	// EventStarted is emitted when a worker picks the job up.
+	EventStarted = "started"
+	// EventCacheHit is emitted when the finished result is served from the
+	// full-result cache or a coalesced in-flight solve.
+	EventCacheHit = "cache-hit"
+	// EventStageStart and EventStageEnd bracket each pipeline stage.
+	EventStageStart = core.EventStageStart
+	EventStageEnd   = core.EventStageEnd
+	// EventIncumbent reports an improving incumbent of the exact solve:
+	// its makespan, objective and branch-and-bound node count.
+	EventIncumbent = core.EventIncumbent
+	// EventSolver summarizes a finished exact solve, including the final
+	// MIP gap.
+	EventSolver = core.EventSolver
+	// EventDone and EventFailed terminate the stream.
+	EventDone   = "done"
+	EventFailed = "failed"
+)
+
+// Event is one observation in a ticket's progress stream.
+type Event struct {
+	// Seq numbers the events of one ticket from 1, monotonically; gaps mark
+	// events dropped past a slow subscriber.
+	Seq int
+	// Kind is one of the Event* constants.
+	Kind string
+	// Time stamps the emission.
+	Time time.Time
+	// Stage names the pipeline stage (stage and incumbent events).
+	Stage string
+	// Duration is the stage wall-clock time (EventStageEnd only).
+	Duration time.Duration
+	// Makespan, Objective and Nodes describe an incumbent (EventIncumbent),
+	// a finished solve (EventSolver), or the final result's makespan
+	// (EventDone).
+	Makespan  int
+	Objective float64
+	Nodes     int
+	// Gap is the relative MIP gap at termination (EventSolver only).
+	Gap float64
+	// Err carries the failure message (EventFailed only).
+	Err string
+}
+
+// Ticket is a handle to one submitted job: wait on it, read its result, and
+// stream its progress events.
+type Ticket struct {
+	// Name labels the job (defaulted to the assay name).
+	Name string
+
+	id        uint64
+	ctx       context.Context
+	graph     *seqgraph.Graph
+	opts      core.Options
+	warm      *sched.Schedule
+	schedKey  string
+	resultKey string
+	submitted time.Time
+
+	// metrics and droppedEvents are mutated only by the owning worker (and
+	// Submit, strictly before the ticket enters the queue).
+	metrics       core.ServiceMetrics
+	droppedEvents int
+	seq           int
+
+	events chan Event
+	done   chan struct{}
+	res    *core.Result
+	err    error
+}
+
+// ID returns the session-unique job id.
+func (t *Ticket) ID() uint64 { return t.id }
+
+// Done returns a channel closed when the job has finished (or failed).
+func (t *Ticket) Done() <-chan struct{} { return t.done }
+
+// Wait blocks until the job finishes or ctx is cancelled, then returns the
+// result. The job itself keeps running under its submission context when the
+// waiter's ctx ends first.
+func (t *Ticket) Wait(ctx context.Context) (*core.Result, error) {
+	select {
+	case <-t.done:
+		return t.res, t.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Result returns the finished result without blocking; ErrPending while the
+// job is still queued or running.
+func (t *Ticket) Result() (*core.Result, error) {
+	select {
+	case <-t.done:
+		return t.res, t.err
+	default:
+		return nil, ErrPending
+	}
+}
+
+// Events returns the job's progress stream. The channel is buffered and
+// closed after the terminal done/failed event; a subscriber that falls more
+// than the buffer behind loses intermediate events (visible as Seq gaps),
+// never the terminal one.
+func (t *Ticket) Events() <-chan Event { return t.events }
+
+// emit appends one event to the stream, stamping sequence and time. Called
+// only from the owning worker (or Submit before enqueueing), so sequencing
+// needs no lock. Non-terminal events are dropped when the buffer is full.
+func (t *Ticket) emit(e Event) {
+	t.seq++
+	e.Seq = t.seq
+	e.Time = time.Now()
+	terminal := e.Kind == EventDone || e.Kind == EventFailed
+	if terminal {
+		// Guarantee room for the terminal event by evicting the oldest
+		// buffered one if needed.
+		for {
+			select {
+			case t.events <- e:
+				return
+			default:
+				select {
+				case <-t.events:
+					t.droppedEvents++
+				default:
+				}
+			}
+		}
+	}
+	select {
+	case t.events <- e:
+	default:
+		t.droppedEvents++
+	}
+}
+
+// emitCore adapts a core pipeline progress event into the stream.
+func (t *Ticket) emitCore(e core.ProgressEvent) {
+	t.emit(Event{
+		Kind:      e.Kind,
+		Stage:     e.Stage,
+		Duration:  e.Duration,
+		Makespan:  e.Makespan,
+		Objective: e.Objective,
+		Nodes:     e.Nodes,
+		Gap:       e.Gap,
+	})
+}
+
+// finish installs the successful result and closes the ticket.
+func (t *Ticket) finish(res *core.Result) {
+	t.metrics.Events = t.seq + 1 // including the done event
+	t.metrics.Dropped = t.droppedEvents
+	m := t.metrics
+	res.Service = &m
+	t.res = res
+	t.emit(Event{Kind: EventDone, Makespan: res.Schedule.Makespan})
+	close(t.events)
+	close(t.done)
+}
+
+// fail installs the error and closes the ticket.
+func (t *Ticket) fail(err error) {
+	t.err = err
+	t.emit(Event{Kind: EventFailed, Err: err.Error()})
+	close(t.events)
+	close(t.done)
+}
+
+// Metrics returns the job's service metrics; valid once Done is closed.
+func (t *Ticket) Metrics() core.ServiceMetrics {
+	select {
+	case <-t.done:
+		return t.metrics
+	default:
+		return core.ServiceMetrics{}
+	}
+}

@@ -4,11 +4,11 @@ import (
 	"context"
 	"fmt"
 	"runtime"
-	"sync"
 	"time"
 )
 
-// Job is one (assay, options) synthesis request in a batch.
+// Job is one (assay, options) synthesis request — submitted to a Solver
+// session or run in a batch.
 type Job struct {
 	// Name labels the job in results and reports; defaults to the assay name.
 	Name string
@@ -43,12 +43,15 @@ type BatchOptions struct {
 	Verify bool
 }
 
-// SynthesizeBatch synthesizes many jobs concurrently on a worker pool and
-// returns one JobResult per job, in job order regardless of completion order
-// — results are deterministic under any Concurrency for deterministic
-// engines. Individual job failures are reported per result and do not stop
-// the batch; cancelling ctx stops workers promptly, marks unfinished jobs
-// with ctx.Err(), and returns ctx.Err().
+// SynthesizeBatch synthesizes many jobs concurrently and returns one
+// JobResult per job, in job order regardless of completion order — results
+// are deterministic under any Concurrency for deterministic engines. It is a
+// thin wrapper over an ephemeral Solver session sized to the batch: workers
+// form the session's pool, and identical or schedule-compatible jobs inside
+// one batch share the session caches. Individual job failures are reported
+// per result and do not stop the batch; cancelling ctx aborts queued and
+// running jobs promptly, marks unfinished jobs with ctx.Err(), and returns
+// ctx.Err().
 func SynthesizeBatch(ctx context.Context, jobs []Job, opts BatchOptions) ([]JobResult, error) {
 	workers := opts.Concurrency
 	if workers <= 0 {
@@ -72,35 +75,30 @@ func SynthesizeBatch(ctx context.Context, jobs []Job, opts BatchOptions) ([]JobR
 		return results, ctx.Err()
 	}
 
-	idxCh := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idxCh {
-				r := &results[i]
-				start := time.Now()
-				if r.Job.Assay == nil {
-					r.Err = fmt.Errorf("flowsyn: batch job %d (%s) has no assay", i, r.Job.Name)
-					continue
-				}
-				r.Result, r.Err = SynthesizeContext(ctx, r.Job.Assay, r.Job.Options)
-				r.Runtime = time.Since(start)
-			}
-		}()
-	}
+	s := New(Config{Workers: workers, QueueDepth: len(jobs)})
+	defer s.Close()
 
-feed:
-	for i := range jobs {
-		select {
-		case idxCh <- i:
-		case <-ctx.Done():
-			break feed
+	tickets := make([]*Ticket, len(jobs))
+	for i := range results {
+		if results[i].Job.Assay == nil {
+			results[i].Err = fmt.Errorf("flowsyn: batch job %d (%s) has no assay", i, results[i].Job.Name)
+			continue
 		}
+		t, err := s.Submit(ctx, results[i].Job)
+		if err != nil {
+			results[i].Err = err
+			continue
+		}
+		tickets[i] = t
 	}
-	close(idxCh)
-	wg.Wait()
+	for i, t := range tickets {
+		if t == nil {
+			continue
+		}
+		res, err := t.Wait(context.Background())
+		results[i].Result, results[i].Err = res, err
+		results[i].Runtime = t.Stats().Runtime
+	}
 
 	if err := ctx.Err(); err != nil {
 		for i := range results {
@@ -116,10 +114,23 @@ feed:
 // GridRange describes a square connection-grid sweep for ExploreGrids.
 type GridRange struct {
 	// MinSize and MaxSize bound the square grid sizes to explore,
-	// inclusive. Both must be >= 2.
+	// inclusive. Both must be >= 2 and MaxSize >= MinSize.
 	MinSize, MaxSize int
 	// Concurrency is the worker count, as in BatchOptions.
 	Concurrency int
+}
+
+// validate rejects degenerate sweeps with a typed *OptionError naming the
+// bad field.
+func (r GridRange) validate() error {
+	if r.MinSize < 2 {
+		return &OptionError{Field: "GridRange.MinSize", Value: r.MinSize, Reason: "grid sizes start at 2"}
+	}
+	if r.MaxSize < r.MinSize {
+		return &OptionError{Field: "GridRange.MaxSize", Value: r.MaxSize,
+			Reason: fmt.Sprintf("inverted range: MaxSize must be >= MinSize (%d)", r.MinSize)}
+	}
+	return nil
 }
 
 // GridResult is the outcome of synthesizing one grid size in a sweep.
@@ -133,30 +144,71 @@ type GridResult struct {
 	Err error
 }
 
-// ExploreGrids synthesizes the assay once per square grid size in r,
-// concurrently, and returns the outcomes ordered by ascending size — the
-// scenario sweep behind the paper's Fig. 8 resource-confinement claim. opts
-// carries the non-grid synthesis options; its GridRows/GridCols are
-// overridden per scenario.
+// ExploreGrids synthesizes the assay once per square grid size in r on an
+// ephemeral Solver session and returns the outcomes ordered by ascending
+// size — the scenario sweep behind the paper's Fig. 8 resource-confinement
+// claim. opts carries the non-grid synthesis options; its GridRows/GridCols
+// are overridden per scenario.
+//
+// Because the schedule depends on the assay and device options but not on
+// the grid, the session's schedule cache makes the sweep perform strictly
+// fewer full scheduling solves than grid points: the expensive solve runs
+// once and every further size re-runs only architectural and physical
+// design. Hold your own Solver and call its ExploreGrids to keep that cache
+// across sweeps.
 func ExploreGrids(ctx context.Context, a *Assay, opts Options, r GridRange) ([]GridResult, error) {
-	if r.MinSize < 2 || r.MaxSize < r.MinSize {
-		return nil, fmt.Errorf("flowsyn: invalid grid range [%d, %d]", r.MinSize, r.MaxSize)
+	if err := r.validate(); err != nil {
+		return nil, err
 	}
-	jobs := make([]Job, 0, r.MaxSize-r.MinSize+1)
-	for size := r.MinSize; size <= r.MaxSize; size++ {
+	workers := r.Concurrency
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if n := r.MaxSize - r.MinSize + 1; workers > n {
+		workers = n
+	}
+	s := New(Config{Workers: workers, QueueDepth: r.MaxSize - r.MinSize + 1})
+	defer s.Close()
+	return s.ExploreGrids(ctx, a, opts, r)
+}
+
+// ExploreGrids runs the grid sweep on this session, sharing its schedule and
+// result caches with every other job the session serves. See the package
+// function of the same name for semantics.
+func (s *Solver) ExploreGrids(ctx context.Context, a *Assay, opts Options, r GridRange) ([]GridResult, error) {
+	if err := r.validate(); err != nil {
+		return nil, err
+	}
+	if a == nil {
+		return nil, fmt.Errorf("flowsyn: no assay")
+	}
+	n := r.MaxSize - r.MinSize + 1
+	out := make([]GridResult, n)
+	tickets := make([]*Ticket, n)
+	for i := 0; i < n; i++ {
+		size := r.MinSize + i
+		out[i] = GridResult{Rows: size, Cols: size}
 		o := opts
 		o.GridRows, o.GridCols = size, size
-		jobs = append(jobs, Job{
+		t, err := s.Submit(ctx, Job{
 			Name:    fmt.Sprintf("%s@%dx%d", a.Name(), size, size),
 			Assay:   a,
 			Options: o,
 		})
+		if err != nil {
+			out[i].Err = err
+			continue
+		}
+		tickets[i] = t
 	}
-	batch, err := SynthesizeBatch(ctx, jobs, BatchOptions{Concurrency: r.Concurrency})
-	out := make([]GridResult, len(batch))
-	for i, b := range batch {
-		size := r.MinSize + i
-		out[i] = GridResult{Rows: size, Cols: size, Result: b.Result, Err: b.Err}
+	for i, t := range tickets {
+		if t == nil {
+			continue
+		}
+		out[i].Result, out[i].Err = t.Wait(context.Background())
 	}
-	return out, err
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
+	return out, nil
 }

@@ -1,0 +1,333 @@
+package flowsyn
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"flowsyn/internal/core"
+	"flowsyn/internal/service"
+)
+
+// Config sizes a Solver session created by New.
+type Config struct {
+	// Workers is the synthesis worker pool size; 0 selects
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// QueueDepth bounds the submit queue; Submit returns ErrQueueFull
+	// beyond it. 0 selects 256.
+	QueueDepth int
+	// CacheEntries bounds the content-addressed result and schedule caches
+	// (each). 0 selects 512; negative disables caching.
+	CacheEntries int
+}
+
+// Sentinel errors of the session API. Compare with errors.Is.
+var (
+	// ErrSolverClosed reports a Submit to a closed Solver.
+	ErrSolverClosed = service.ErrClosed
+	// ErrQueueFull reports that the bounded submit queue is at capacity;
+	// back off and retry.
+	ErrQueueFull = service.ErrQueueFull
+	// ErrJobPending reports a Ticket.Result call before the job finished.
+	ErrJobPending = service.ErrPending
+)
+
+// Solver is a long-lived synthesis session: a bounded worker pool with a
+// content-addressed result cache keyed by the canonical assay serialization
+// plus the synthesis options, a schedule cache shared across grid scenarios,
+// and per-job progress streams. One Solver serves many concurrent callers;
+// repeated and design-space-exploration requests are answered from cache
+// instead of re-solving.
+//
+// The one-shot entry points (Synthesize, SynthesizeBatch, ExploreGrids) are
+// thin wrappers that run an ephemeral session per call.
+type Solver struct {
+	inner *service.Solver
+}
+
+// New starts a solver session. Close it when done to drain the worker pool.
+func New(cfg Config) *Solver {
+	return &Solver{inner: service.New(service.Config{
+		Workers:      cfg.Workers,
+		QueueDepth:   cfg.QueueDepth,
+		CacheEntries: cfg.CacheEntries,
+	})}
+}
+
+// Submit validates and enqueues a synthesis job, returning its Ticket
+// immediately. The job runs under ctx: cancelling it aborts the job whether
+// queued or mid-solve. Options are validated eagerly — a bad field returns a
+// *OptionError before any work is queued.
+func (s *Solver) Submit(ctx context.Context, job Job) (*Ticket, error) {
+	if job.Assay == nil {
+		return nil, errors.New("flowsyn: job has no assay")
+	}
+	if err := job.Options.Validate(); err != nil {
+		return nil, err
+	}
+	inner, err := s.inner.Submit(ctx, service.Job{
+		Name:    job.Name,
+		Graph:   job.Assay.g,
+		Options: job.Options.internal(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Ticket{inner: inner}, nil
+}
+
+// Resynthesize submits an edited assay as an incremental re-synthesis of a
+// finished job: the sequencing graphs are diffed, the prior schedule's
+// binding is reused for the unchanged prefix, and the exact engines
+// warm-start the MILP from the prior solution. Options are inherited from
+// the prior job. The prior ticket must have completed successfully.
+func (s *Solver) Resynthesize(ctx context.Context, prior *Ticket, edited *Assay) (*Ticket, error) {
+	if prior == nil {
+		return nil, errors.New("flowsyn: resynthesize needs a prior ticket")
+	}
+	if edited == nil {
+		return nil, errors.New("flowsyn: resynthesize needs an edited assay")
+	}
+	inner, err := s.inner.Resynthesize(ctx, prior.inner, service.Job{Graph: edited.g})
+	if err != nil {
+		return nil, err
+	}
+	return &Ticket{inner: inner}, nil
+}
+
+// Stats returns a snapshot of the session counters.
+func (s *Solver) Stats() Stats {
+	st := s.inner.Stats()
+	return Stats{
+		Submitted:         st.Submitted,
+		Completed:         st.Completed,
+		Failed:            st.Failed,
+		ResultCacheHits:   st.ResultHits,
+		ResultCacheMisses: st.ResultMisses,
+		ScheduleCacheHits: st.ScheduleHits,
+		ScheduleSolves:    st.ScheduleSolves,
+		Coalesced:         st.Coalesced,
+		InFlight:          st.InFlight,
+		Queued:            st.Queued,
+		EventsDropped:     st.EventsDropped,
+	}
+}
+
+// Close stops accepting jobs, drains the queue (queued jobs still complete
+// under their own contexts) and waits for the workers to exit. Closing twice
+// is a no-op.
+func (s *Solver) Close() error { return s.inner.Close() }
+
+// Stats is a snapshot of a Solver session's counters.
+type Stats struct {
+	// Submitted, Completed and Failed count jobs over the session lifetime.
+	Submitted, Completed, Failed int64
+	// ResultCacheHits and ResultCacheMisses count full-result cache
+	// lookups; a hit serves the finished chip without running any stage.
+	ResultCacheHits, ResultCacheMisses int64
+	// ScheduleCacheHits counts jobs that reused a cached schedule (only the
+	// architectural and physical stages ran); ScheduleSolves counts
+	// scheduling solves that actually executed — the full solves a grid
+	// exploration avoids.
+	ScheduleCacheHits, ScheduleSolves int64
+	// Coalesced counts jobs served by waiting on an identical in-flight
+	// solve instead of starting their own.
+	Coalesced int64
+	// InFlight and Queued describe the instantaneous pool state.
+	InFlight, Queued int
+	// EventsDropped counts progress events discarded past slow subscribers.
+	EventsDropped int64
+}
+
+// Progress event kinds, in the order they can occur in a stream.
+const (
+	// ProgressQueued is emitted once at submission.
+	ProgressQueued = service.EventQueued
+	// ProgressStarted is emitted when a worker picks the job up.
+	ProgressStarted = service.EventStarted
+	// ProgressCacheHit is emitted when the finished result is served from
+	// the result cache or a coalesced identical in-flight solve.
+	ProgressCacheHit = service.EventCacheHit
+	// ProgressStageStart and ProgressStageEnd bracket each pipeline stage
+	// (StageSchedule, StageBind, StageArch, StagePhys, StageVerify).
+	ProgressStageStart = service.EventStageStart
+	ProgressStageEnd   = service.EventStageEnd
+	// ProgressIncumbent reports an improving incumbent of the exact solve:
+	// its makespan, objective and branch-and-bound node count.
+	ProgressIncumbent = service.EventIncumbent
+	// ProgressSolver summarizes a finished exact solve: final makespan,
+	// objective, node count and MIP gap.
+	ProgressSolver = service.EventSolver
+	// ProgressDone and ProgressFailed terminate every stream.
+	ProgressDone   = service.EventDone
+	ProgressFailed = service.EventFailed
+)
+
+// Progress is one observation in a job's event stream.
+type Progress struct {
+	// Seq numbers the events of one job from 1, monotonically; gaps mark
+	// events dropped past a slow subscriber.
+	Seq int
+	// Kind is one of the Progress* constants.
+	Kind string
+	// Time stamps the emission.
+	Time time.Time
+	// Stage names the pipeline stage (stage and incumbent events).
+	Stage string
+	// Duration is the stage wall-clock time (ProgressStageEnd only).
+	Duration time.Duration
+	// Makespan, Objective and Nodes describe an incumbent
+	// (ProgressIncumbent), a finished solve (ProgressSolver), or the final
+	// makespan (ProgressDone).
+	Makespan  int
+	Objective float64
+	Nodes     int
+	// Gap is the relative MIP gap at termination (ProgressSolver only): 0
+	// for a proven optimum, -1 when no dual bound survived.
+	Gap float64
+	// Err carries the failure message (ProgressFailed only).
+	Err string
+}
+
+// JobStats reports the per-job service diagnostics of a result produced
+// through a Solver session: queueing, cache usage and re-synthesis reuse.
+type JobStats struct {
+	// QueueWait is the time the job spent queued; Runtime its wall-clock
+	// time inside a worker (near zero on a cache hit).
+	QueueWait, Runtime time.Duration
+	// CacheHit reports the complete result came from the result cache;
+	// ScheduleCacheHit that only the schedule was reused; Coalesced that
+	// the job waited on an identical in-flight solve.
+	CacheHit, ScheduleCacheHit, Coalesced bool
+	// Events counts emitted progress events; DroppedEvents those lost past
+	// a slow subscriber.
+	Events, DroppedEvents int
+	// ReusedOps and EditedOps summarize an incremental re-synthesis (both
+	// zero outside Resynthesize).
+	ReusedOps, EditedOps int
+}
+
+// Ticket is the handle to one submitted job: wait on it, read its result,
+// and stream its progress events.
+type Ticket struct {
+	inner *service.Ticket
+
+	once   sync.Once
+	events chan Progress
+}
+
+// ID returns the session-unique job id.
+func (t *Ticket) ID() uint64 { return t.inner.ID() }
+
+// Name returns the job label.
+func (t *Ticket) Name() string { return t.inner.Name }
+
+// Done returns a channel closed when the job has finished or failed.
+func (t *Ticket) Done() <-chan struct{} { return t.inner.Done() }
+
+// Wait blocks until the job finishes or ctx is cancelled, then returns the
+// result. The job keeps running under its submission context if the waiter's
+// ctx ends first.
+func (t *Ticket) Wait(ctx context.Context) (*Result, error) {
+	res, err := t.inner.Wait(ctx)
+	if err != nil {
+		return nil, publicVerifyError(err)
+	}
+	return &Result{inner: res}, nil
+}
+
+// Result returns the finished result without blocking, or ErrJobPending
+// while the job is still queued or running.
+func (t *Ticket) Result() (*Result, error) {
+	res, err := t.inner.Result()
+	if err != nil {
+		return nil, publicVerifyError(err)
+	}
+	return &Result{inner: res}, nil
+}
+
+// Events returns the job's progress stream: buffered, closed after the
+// terminal done/failed event. A subscriber that falls far behind (or stops
+// reading) loses intermediate events — visible as Seq gaps — never the
+// terminal one; the forwarding goroutine itself never blocks on a stalled
+// subscriber, so abandoning the channel mid-stream leaks nothing.
+func (t *Ticket) Events() <-chan Progress {
+	t.once.Do(func() {
+		ch := make(chan Progress, 256)
+		go func() {
+			defer close(ch)
+			for e := range t.inner.Events() {
+				p := Progress{
+					Seq:       e.Seq,
+					Kind:      e.Kind,
+					Time:      e.Time,
+					Stage:     e.Stage,
+					Duration:  e.Duration,
+					Makespan:  e.Makespan,
+					Objective: e.Objective,
+					Nodes:     e.Nodes,
+					Gap:       e.Gap,
+					Err:       e.Err,
+				}
+				if p.Kind == ProgressDone || p.Kind == ProgressFailed {
+					// Guarantee delivery of the terminal event by evicting
+					// the oldest buffered one if the subscriber stalled.
+					for {
+						select {
+						case ch <- p:
+						default:
+							select {
+							case <-ch:
+								continue
+							default:
+								continue
+							}
+						}
+						break
+					}
+					continue
+				}
+				select {
+				case ch <- p:
+				default: // subscriber behind: drop, like the inner stream
+				}
+			}
+		}()
+		t.events = ch
+	})
+	return t.events
+}
+
+// jobStatsFrom maps the internal per-job metrics onto the public JobStats.
+func jobStatsFrom(m core.ServiceMetrics) JobStats {
+	return JobStats{
+		QueueWait:        m.QueueWait,
+		Runtime:          m.Runtime,
+		CacheHit:         m.CacheHit,
+		ScheduleCacheHit: m.ScheduleCacheHit,
+		Coalesced:        m.Coalesced,
+		Events:           m.Events,
+		DroppedEvents:    m.Dropped,
+		ReusedOps:        m.ReusedOps,
+		EditedOps:        m.EditedOps,
+	}
+}
+
+// Stats returns the job's service diagnostics; the zero value until Done.
+func (t *Ticket) Stats() JobStats {
+	return jobStatsFrom(t.inner.Metrics())
+}
+
+// JobStats reports the service diagnostics of a result synthesized through a
+// Solver session (every public entry point), or nil for a result built
+// directly by internal pipelines.
+func (r *Result) JobStats() *JobStats {
+	m := r.inner.Service
+	if m == nil {
+		return nil
+	}
+	js := jobStatsFrom(*m)
+	return &js
+}

@@ -1,0 +1,318 @@
+package flowsyn
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSolverSessionPublicAPI(t *testing.T) {
+	a, opts, err := Benchmark("PCR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Engine = HeuristicEngine
+
+	s := New(Config{Workers: 2})
+	defer s.Close()
+
+	tk, err := s.Submit(context.Background(), Job{Assay: a, Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tk.ID() == 0 || tk.Name() != "PCR" {
+		t.Errorf("ticket identity: id=%d name=%q", tk.ID(), tk.Name())
+	}
+	res, err := tk.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan() <= 0 {
+		t.Error("non-positive makespan")
+	}
+	js := res.JobStats()
+	if js == nil {
+		t.Fatal("session result without JobStats")
+	}
+	if js.CacheHit {
+		t.Error("first solve reported a cache hit")
+	}
+	if !strings.Contains(res.SolverSummary(), "svc queue") {
+		t.Errorf("SolverSummary misses service metrics: %q", res.SolverSummary())
+	}
+	if strings.Contains(res.Summary(), "svc queue") {
+		t.Errorf("Summary must stay deterministic, got %q", res.Summary())
+	}
+
+	// Second identical submit: result-cache hit with identical numbers.
+	tk2, err := s.Submit(context.Background(), Job{Assay: a, Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := tk2.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.JobStats().CacheHit {
+		t.Errorf("identical job missed the cache: %+v", res2.JobStats())
+	}
+	if res2.Summary() != res.Summary() {
+		t.Errorf("cached summary %q != cold %q", res2.Summary(), res.Summary())
+	}
+
+	st := s.Stats()
+	if st.Submitted != 2 || st.Completed != 2 || st.ResultCacheHits != 1 {
+		t.Errorf("session stats: %+v", st)
+	}
+
+	// Progress stream: terminal event last, done carries the makespan.
+	var last Progress
+	n := 0
+	for e := range tk2.Events() {
+		last = e
+		n++
+	}
+	if n == 0 || last.Kind != ProgressDone {
+		t.Errorf("stream ended with %q after %d events", last.Kind, n)
+	}
+	if last.Makespan != res2.Makespan() {
+		t.Errorf("done event makespan %d != result %d", last.Makespan, res2.Makespan())
+	}
+}
+
+func TestOptionsValidateTyped(t *testing.T) {
+	cases := []struct {
+		name  string
+		opts  Options
+		field string
+	}{
+		{"zero devices", Options{}, "Devices"},
+		{"negative transport", Options{Devices: 2, Transport: -1}, "Transport"},
+		{"1-row grid", Options{Devices: 2, GridRows: 1}, "GridRows"},
+		{"negative cols", Options{Devices: 2, GridCols: -4}, "GridCols"},
+		{"bad objective", Options{Devices: 2, Objective: Objective(9)}, "Objective"},
+		{"bad engine", Options{Devices: 2, Engine: Engine(9)}, "Engine"},
+		{"negative time limit", Options{Devices: 2, ILPTimeLimit: -time.Second}, "ILPTimeLimit"},
+	}
+	for _, c := range cases {
+		err := c.opts.Validate()
+		var oe *OptionError
+		if !errors.As(err, &oe) {
+			t.Errorf("%s: got %v, want *OptionError", c.name, err)
+			continue
+		}
+		if oe.Field != c.field {
+			t.Errorf("%s: field %q, want %q", c.name, oe.Field, c.field)
+		}
+		if !strings.Contains(oe.Error(), c.field) {
+			t.Errorf("%s: message %q does not name the field", c.name, oe.Error())
+		}
+	}
+	ok := Options{Devices: 2}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid options rejected: %v", err)
+	}
+
+	// The same eager validation guards the one-shot path.
+	a, _, err := Benchmark("PCR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var oe *OptionError
+	if _, err := Synthesize(a, Options{}); !errors.As(err, &oe) || oe.Field != "Devices" {
+		t.Errorf("Synthesize with zero devices: %v, want *OptionError on Devices", err)
+	}
+}
+
+func TestGridRangeValidation(t *testing.T) {
+	a, opts, err := Benchmark("PCR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Engine = HeuristicEngine
+	ctx := context.Background()
+
+	var oe *OptionError
+	if _, err := ExploreGrids(ctx, a, opts, GridRange{MinSize: 0, MaxSize: 5}); !errors.As(err, &oe) || oe.Field != "GridRange.MinSize" {
+		t.Errorf("zero MinSize: %v", err)
+	}
+	if _, err := ExploreGrids(ctx, a, opts, GridRange{MinSize: 6, MaxSize: 4}); !errors.As(err, &oe) || oe.Field != "GridRange.MaxSize" {
+		t.Errorf("inverted range: %v", err)
+	}
+}
+
+// TestExploreGridsUsesScheduleCache is the public acceptance check: a sweep
+// performs measurably fewer full scheduling solves than grid points, visible
+// in the session stats.
+func TestExploreGridsUsesScheduleCache(t *testing.T) {
+	a, opts, err := Benchmark("PCR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Engine = HeuristicEngine
+
+	s := New(Config{Workers: 4})
+	defer s.Close()
+	sweep, err := s.ExploreGrids(context.Background(), a, opts, GridRange{MinSize: 4, MaxSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := 0
+	for _, p := range sweep {
+		if p.Err == nil {
+			points++
+		}
+	}
+	if points < 3 {
+		t.Fatalf("only %d grid points synthesized", points)
+	}
+	st := s.Stats()
+	if st.ScheduleSolves >= int64(points) {
+		t.Errorf("%d schedule solves for %d grid points: cache bought nothing (stats %+v)", st.ScheduleSolves, points, st)
+	}
+	if st.ScheduleCacheHits == 0 {
+		t.Error("sweep reported no schedule-cache hits")
+	}
+	hits := 0
+	for _, p := range sweep {
+		if p.Err == nil && (p.Result.JobStats().ScheduleCacheHit || p.Result.JobStats().CacheHit) {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Error("no per-result cache provenance recorded")
+	}
+}
+
+func TestResynthesizePublic(t *testing.T) {
+	a, opts, err := Benchmark("PCR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Engine = HeuristicEngine
+
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	prior, err := s.Submit(context.Background(), Job{Assay: a, Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prior.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Local edit: stretch one operation of a rebuilt PCR.
+	edited := NewAssay("PCR")
+	type opRef struct{ op Op }
+	var ops []opRef
+	src, _, _ := Benchmark("PCR")
+	for _, o := range srcOps(src) {
+		dur := o.dur
+		if len(ops) == 0 {
+			dur += 20
+		}
+		op, err := edited.AddOperation(o.name, o.kind, dur, o.inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ops = append(ops, opRef{op})
+	}
+	for _, e := range srcEdges(src) {
+		if err := edited.AddDependency(ops[e[0]].op, ops[e[1]].op); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	tk, err := s.Resynthesize(context.Background(), prior, edited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tk.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	js := res.JobStats()
+	if js.ReusedOps == 0 {
+		t.Errorf("resynthesis reused nothing: %+v", js)
+	}
+	if js.EditedOps == 0 {
+		t.Errorf("resynthesis detected no edit: %+v", js)
+	}
+	if err := res.Verify(); err != nil {
+		t.Errorf("resynthesized result fails verification: %v", err)
+	}
+
+	// Resynthesize from an unfinished/failed ticket is rejected.
+	if _, err := s.Resynthesize(context.Background(), nil, edited); err == nil {
+		t.Error("nil prior accepted")
+	}
+	if _, err := s.Resynthesize(context.Background(), prior, nil); err == nil {
+		t.Error("nil edited assay accepted")
+	}
+}
+
+// srcOps / srcEdges expose a benchmark's structure for rebuilding edited
+// variants in tests.
+type srcOp struct {
+	name               string
+	kind               OpKind
+	dur, inputs, index int
+}
+
+func srcOps(a *Assay) []srcOp {
+	var out []srcOp
+	for _, op := range a.g.Operations() {
+		kind := Mix
+		switch op.Kind.String() {
+		case "dilute":
+			kind = Dilute
+		case "heat":
+			kind = Heat
+		case "detect":
+			kind = Detect
+		}
+		out = append(out, srcOp{name: op.Name, kind: kind, dur: op.Duration, inputs: op.Inputs, index: int(op.ID)})
+	}
+	return out
+}
+
+func srcEdges(a *Assay) [][2]int {
+	var out [][2]int
+	for _, e := range a.g.Edges() {
+		out = append(out, [2]int{int(e.Parent), int(e.Child)})
+	}
+	return out
+}
+
+func TestSolverClosedAndSentinels(t *testing.T) {
+	a, opts, err := Benchmark("PCR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Engine = HeuristicEngine
+	s := New(Config{Workers: 1})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(context.Background(), Job{Assay: a, Options: opts}); !errors.Is(err, ErrSolverClosed) {
+		t.Errorf("submit after close: %v, want ErrSolverClosed", err)
+	}
+
+	s2 := New(Config{Workers: 1})
+	defer s2.Close()
+	tk, err := s2.Submit(context.Background(), Job{Assay: a, Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tk.Result(); err != nil && !errors.Is(err, ErrJobPending) {
+		t.Errorf("pending result: %v, want ErrJobPending or success", err)
+	}
+	if _, err := tk.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tk.Result(); err != nil {
+		t.Errorf("finished result: %v", err)
+	}
+}

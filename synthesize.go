@@ -2,6 +2,7 @@ package flowsyn
 
 import (
 	"context"
+	"fmt"
 	"time"
 
 	"flowsyn/internal/core"
@@ -61,6 +62,52 @@ type Options struct {
 	Verify bool
 }
 
+// OptionError reports an invalid Options (or GridRange) field, named so
+// callers can surface precise configuration feedback. All public entry
+// points validate eagerly: a bad field fails before any work is queued
+// instead of surfacing as a late pipeline failure.
+type OptionError struct {
+	// Field names the offending field, e.g. "Devices" or "GridRange.MinSize".
+	Field string
+	// Value is the rejected value.
+	Value any
+	// Reason explains the constraint that was violated.
+	Reason string
+}
+
+// Error renders the validation failure.
+func (e *OptionError) Error() string {
+	return fmt.Sprintf("flowsyn: invalid %s %v: %s", e.Field, e.Value, e.Reason)
+}
+
+// Validate checks every Options field eagerly and returns a *OptionError
+// naming the first bad one, or nil. Zero values documented as defaults
+// (Transport, GridRows, GridCols, ILPTimeLimit) are valid.
+func (o Options) Validate() error {
+	if o.Devices < 1 {
+		return &OptionError{Field: "Devices", Value: o.Devices, Reason: "need at least one device"}
+	}
+	if o.Transport < 0 {
+		return &OptionError{Field: "Transport", Value: o.Transport, Reason: "transport time must be >= 1 (0 selects the default 10)"}
+	}
+	if o.GridRows < 0 || (o.GridRows > 0 && o.GridRows < 2) {
+		return &OptionError{Field: "GridRows", Value: o.GridRows, Reason: "connection grid needs at least 2 rows (0 selects the default 4)"}
+	}
+	if o.GridCols < 0 || (o.GridCols > 0 && o.GridCols < 2) {
+		return &OptionError{Field: "GridCols", Value: o.GridCols, Reason: "connection grid needs at least 2 columns (0 selects the default 4)"}
+	}
+	if o.Objective != MinimizeTimeAndStorage && o.Objective != MinimizeTimeOnly {
+		return &OptionError{Field: "Objective", Value: int(o.Objective), Reason: "unknown objective"}
+	}
+	if o.Engine != AutoEngine && o.Engine != HeuristicEngine && o.Engine != ILPEngine {
+		return &OptionError{Field: "Engine", Value: int(o.Engine), Reason: "unknown engine"}
+	}
+	if o.ILPTimeLimit < 0 {
+		return &OptionError{Field: "ILPTimeLimit", Value: o.ILPTimeLimit, Reason: "time limit must be >= 0 (0 selects the default 30s)"}
+	}
+	return nil
+}
+
 func (o Options) internal() core.Options {
 	mode := sched.TimeAndStorage
 	if o.Objective == MinimizeTimeOnly {
@@ -96,12 +143,23 @@ func Synthesize(a *Assay, opts Options) (*Result, error) {
 // SynthesizeContext is Synthesize bounded by a context. Cancelling ctx aborts
 // the pipeline promptly — every stage down to the MILP branch-and-bound loop
 // observes the context — and the returned error wraps ctx.Err().
+//
+// It is a thin wrapper over the session API: an ephemeral single-worker
+// Solver (no cache) runs the one job. Callers synthesizing the same or
+// related assays repeatedly should hold a Solver of their own (see New) to
+// benefit from the result and schedule caches.
 func SynthesizeContext(ctx context.Context, a *Assay, opts Options) (*Result, error) {
-	inner, err := core.SynthesizeContext(ctx, a.g, opts.internal())
-	if err != nil {
-		// A verify-stage rejection surfaces as the exported *VerifyError so
-		// callers can tell "the result is wrong" from "synthesis failed".
-		return nil, publicVerifyError(err)
+	if a == nil {
+		return nil, fmt.Errorf("flowsyn: no assay")
 	}
-	return &Result{inner: inner}, nil
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	s := New(Config{Workers: 1, QueueDepth: 1, CacheEntries: -1})
+	defer s.Close()
+	t, err := s.Submit(ctx, Job{Assay: a, Options: opts})
+	if err != nil {
+		return nil, err
+	}
+	return t.Wait(ctx)
 }
