@@ -138,6 +138,16 @@ func main() {
 				sv.Kernel, sv.Refactorizations, sv.FTUpdates, sv.FTUpdatesRejected,
 				sv.FillRatio, sv.PropagationTightenings, sv.PropagationPrunes)
 		}
+		if sv.CutsSeparated > 0 || sv.PseudoCostInits > 0 || sv.HeuristicIncumbents > 0 || sv.ReducedCostFixings > 0 {
+			fmt.Printf("cut-and-branch: %d cuts separated (%d rounds), %d applied, %d aged out | %d pseudo-cost probes, %d heuristic incumbents, %d reduced-cost fixings\n",
+				sv.CutsSeparated, sv.CutRounds, sv.CutsApplied, sv.CutsAgedOut,
+				sv.PseudoCostInits, sv.HeuristicIncumbents, sv.ReducedCostFixings)
+		}
+		if tot := sv.IncrementalPivots + sv.FullPricingPivots; tot > 0 {
+			fmt.Printf("pricing: %d incremental / %d full pivots (%.0f%% incremental)\n",
+				sv.IncrementalPivots, sv.FullPricingPivots,
+				100*float64(sv.IncrementalPivots)/float64(tot))
+		}
 	}
 	if js := res.JobStats(); js != nil {
 		cache := "miss"

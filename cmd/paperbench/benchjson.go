@@ -10,6 +10,9 @@ import (
 	"time"
 
 	"flowsyn"
+	"flowsyn/internal/assay"
+	"flowsyn/internal/milp"
+	"flowsyn/internal/sched"
 )
 
 // benchRun is one (assay, engine) measurement in the -bench-json output.
@@ -53,6 +56,36 @@ type benchSolver struct {
 	FillRatio        float64 `json:"fill_ratio"`
 	PropTightenings  int     `json:"prop_tightenings"`
 	PropPrunes       int     `json:"prop_prunes"`
+
+	// Cut-and-branch diagnostics (PR 6): root cutting planes, pseudo-cost
+	// reliability probes, node-heuristic incumbents, reduced-cost fixings,
+	// and the incremental-vs-full pricing pivot split.
+	CutsSeparated     int `json:"cuts_separated"`
+	CutsApplied       int `json:"cuts_applied"`
+	CutsAgedOut       int `json:"cuts_aged_out"`
+	CutRounds         int `json:"cut_rounds"`
+	PseudoCostInits   int `json:"pseudo_cost_inits"`
+	HeuristicIncumb   int `json:"heuristic_incumbents"`
+	RCFixings         int `json:"rc_fixings"`
+	IncrementalPivots int `json:"incremental_pivots"`
+	FullPricingPivots int `json:"full_pricing_pivots"`
+}
+
+// benchGapRun is one instance of the seeded random-DAG gap suite: a synthetic
+// assay DAG scheduled by the exact engine under the default benchmark time
+// limit. The suite tracks how often the cut-and-branch engine closes the
+// optimality gap outright; the baseline gate refuses regressions from proven
+// optimal back to a positive gap.
+type benchGapRun struct {
+	Ops    int     `json:"ops"`
+	Seed   int64   `json:"seed"`
+	Status string  `json:"status"`
+	Gap    float64 `json:"gap"`
+	Nodes  int     `json:"nodes"`
+	WallMS float64 `json:"wall_ms"`
+	Winner string  `json:"winner"`
+	// Optimal reports a full optimality proof (gap 0) inside the limit.
+	Optimal bool `json:"optimal"`
 }
 
 // benchCacheRun measures the session Solver's caches on one assay: a cold
@@ -85,6 +118,7 @@ type benchFile struct {
 	Notes      string          `json:"notes,omitempty"`
 	Runs       []benchRun      `json:"runs"`
 	CacheRuns  []benchCacheRun `json:"cache_runs,omitempty"`
+	GapRuns    []benchGapRun   `json:"gap_runs,omitempty"`
 }
 
 // runBenchJSON synthesizes every requested assay once per engine, collecting
@@ -158,6 +192,16 @@ func runBenchJSON(ctx context.Context, path, assays, notes string) error {
 					FillRatio:        sv.FillRatio,
 					PropTightenings:  sv.PropagationTightenings,
 					PropPrunes:       sv.PropagationPrunes,
+
+					CutsSeparated:     sv.CutsSeparated,
+					CutsApplied:       sv.CutsApplied,
+					CutsAgedOut:       sv.CutsAgedOut,
+					CutRounds:         sv.CutRounds,
+					PseudoCostInits:   sv.PseudoCostInits,
+					HeuristicIncumb:   sv.HeuristicIncumbents,
+					RCFixings:         sv.ReducedCostFixings,
+					IncrementalPivots: sv.IncrementalPivots,
+					FullPricingPivots: sv.FullPricingPivots,
 				}
 			}
 			out.Runs = append(out.Runs, run)
@@ -173,6 +217,11 @@ func runBenchJSON(ctx context.Context, path, assays, notes string) error {
 		}
 		out.CacheRuns = append(out.CacheRuns, cr)
 	}
+	gapRuns, err := runGapSuite(ctx)
+	if err != nil {
+		return err
+	}
+	out.GapRuns = gapRuns
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err
@@ -237,6 +286,51 @@ func runCacheBench(ctx context.Context, name string) (benchCacheRun, error) {
 	cr.SweepScheduleSolves = after.ScheduleSolves - before.ScheduleSolves
 	cr.SweepScheduleHits = after.ScheduleCacheHits - before.ScheduleCacheHits
 	return cr, nil
+}
+
+// gapSuiteLimit is the per-instance time limit of the seeded gap suite; it
+// matches the exact engine's 30-second default (ILPOptions.TimeLimit zero).
+const gapSuiteLimit = 30 * time.Second
+
+// gapGateMargin is the fraction of gapSuiteLimit a baseline run must have
+// closed within for the regression gate to require a fresh proof: instances
+// that barely made the limit on the recording machine would gate flakily on
+// slower hardware, so only comfortable proofs are binding.
+const gapGateMargin = 0.5
+
+// runGapSuite schedules the seeded random-DAG instances (16-20 operations,
+// two seeds each) with the exact engine and records whether each closed to a
+// full optimality proof. The instances are deterministic, so a fresh emission
+// is directly comparable with a checked-in baseline.
+func runGapSuite(ctx context.Context) ([]benchGapRun, error) {
+	var runs []benchGapRun
+	for ops := 16; ops <= 20; ops++ {
+		for seed := int64(1); seed <= 2; seed++ {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			g := assay.Random(ops, 3, seed)
+			start := time.Now()
+			_, info, err := sched.ILPScheduleContext(ctx, g, sched.ILPOptions{
+				Devices: 4, Transport: 10, WarmStart: true, TimeLimit: gapSuiteLimit,
+			})
+			wall := time.Since(start)
+			if err != nil {
+				return nil, fmt.Errorf("gap suite ops=%d seed=%d: %w", ops, seed, err)
+			}
+			runs = append(runs, benchGapRun{
+				Ops:     ops,
+				Seed:    seed,
+				Status:  info.Status.String(),
+				Gap:     info.Solver.Gap,
+				Nodes:   info.Solver.Nodes,
+				WallMS:  float64(wall.Microseconds()) / 1e3,
+				Winner:  info.Winner,
+				Optimal: info.Status == milp.StatusOptimal,
+			})
+		}
+	}
+	return runs, nil
 }
 
 // benchRegressLimit is the wall-clock regression factor the baseline check
@@ -305,6 +399,45 @@ func checkBenchRegression(freshPath, baselinePath string) error {
 			}
 		}
 	}
+	// Gap-suite gate: an instance the baseline proved optimal must stay
+	// proven optimal (a regression to a positive gap means the cut-and-branch
+	// engine lost proving power), and its wall time must stay within the same
+	// cross-machine regression factor as the assay runs. Baselines predating
+	// the gap suite carry no gap runs and skip the gate.
+	gapChecked := 0
+	freshGaps := make(map[[2]int64]*benchGapRun, len(fresh.GapRuns))
+	for i := range fresh.GapRuns {
+		r := &fresh.GapRuns[i]
+		freshGaps[[2]int64{int64(r.Ops), r.Seed}] = r
+	}
+	for i := range base.GapRuns {
+		b := &base.GapRuns[i]
+		// Only instances the baseline proved with comfortable margin are
+		// binding: a proof that barely made the recording machine's limit
+		// would flake on slower CI hardware.
+		if !b.Optimal || b.WallMS > gapGateMargin*float64(gapSuiteLimit.Milliseconds()) {
+			continue
+		}
+		f, ok := freshGaps[[2]int64{int64(b.Ops), b.Seed}]
+		if !ok {
+			failures = append(failures, fmt.Sprintf(
+				"gap ops=%d seed=%d: baseline-proven instance missing from fresh emission",
+				b.Ops, b.Seed))
+			continue
+		}
+		gapChecked++
+		if !f.Optimal {
+			failures = append(failures, fmt.Sprintf(
+				"gap ops=%d seed=%d: proven optimal regressed to gap %.4f (%s)",
+				b.Ops, b.Seed, f.Gap, f.Status))
+		}
+		if f.WallMS > benchRegressLimit*b.WallMS {
+			failures = append(failures, fmt.Sprintf(
+				"gap ops=%d seed=%d: wall time regressed %.3fms -> %.3fms (>%gx)",
+				b.Ops, b.Seed, b.WallMS, f.WallMS, benchRegressLimit))
+		}
+	}
+
 	// The cache gate is self-relative (cached vs cold on the same machine in
 	// the same run), so it applies to the fresh emission whether or not the
 	// baseline predates the session Solver.
@@ -344,7 +477,7 @@ func checkBenchRegression(freshPath, baselinePath string) error {
 		// otherwise keep CI green while checking nothing at all.
 		return fmt.Errorf("no fresh run matched any baseline run in %s; the regression gate checked nothing", baselinePath)
 	}
-	fmt.Printf("bench-regression: %d runs + %d cache runs checked against %s, no regressions\n",
-		checked, cacheChecked, baselinePath)
+	fmt.Printf("bench-regression: %d runs + %d cache runs + %d gap runs checked against %s, no regressions\n",
+		checked, cacheChecked, gapChecked, baselinePath)
 	return nil
 }

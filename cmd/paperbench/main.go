@@ -25,6 +25,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"text/tabwriter"
 	"time"
 
@@ -34,7 +36,13 @@ import (
 	"flowsyn/internal/sim"
 )
 
+// main defers to run so that profile teardown (registered with defer) runs on
+// every exit path; os.Exit would skip it.
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		table2        = flag.Bool("table2", false, "reproduce Table 2")
 		fig8          = flag.Bool("fig8", false, "reproduce Fig. 8 (edge/valve ratios)")
@@ -47,13 +55,46 @@ func main() {
 		benchAssays   = flag.String("bench-assays", "", "comma-separated assay subset for -bench-json (default: all benchmarks)")
 		benchNotes    = flag.String("bench-notes", "", "free-form note embedded in the -bench-json output")
 		benchBaseline = flag.String("bench-baseline", "", "compare the fresh -bench-json emission against this baseline file and exit nonzero on a perf or makespan regression")
+		cpuProfile    = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (inspect with go tool pprof)")
+		memProfile    = flag.String("memprofile", "", "write a heap profile taken at exit to this file (inspect with go tool pprof)")
 	)
 	flag.BoolVar(&verifyResults, "verify", false,
 		"re-check every result with the independent invariant checker")
 	flag.Parse()
 	if !*table2 && !*fig8 && !*fig9 && !*fig10 && !*fig11 && !*all && *benchJSON == "" {
 		flag.Usage()
-		os.Exit(2)
+		return 2
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -66,13 +107,13 @@ func main() {
 		if err := runBenchJSON(ctx, *benchJSON, *benchAssays, *benchNotes); err != nil {
 			fmt.Fprintf(os.Stderr, "bench-json: %v\n", err)
 			if ctx.Err() == nil {
-				os.Exit(1)
+				return 1
 			}
 		}
 		if *benchBaseline != "" && ctx.Err() == nil {
 			if err := checkBenchRegression(*benchJSON, *benchBaseline); err != nil {
 				fmt.Fprintf(os.Stderr, "bench-baseline: %v\n", err)
-				os.Exit(1)
+				return 1
 			}
 		}
 	}
@@ -93,8 +134,9 @@ func main() {
 	}
 	if ctx.Err() != nil {
 		fmt.Fprintln(os.Stderr, "paperbench: interrupted")
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // benchmarkJobs builds one synthesis job per benchmark with the Table 2

@@ -333,6 +333,26 @@ func (r *Result) solverSummary(withService bool) string {
 		s += fmt.Sprintf(", prop %dt/%dp",
 			info.Solver.PropagationTightenings, info.Solver.PropagationPrunes)
 	}
+	if c := info.Solver.Cuts; c.Gomory+c.Cover > 0 {
+		s += fmt.Sprintf(", cuts %dg/%dc (%d kept", c.Gomory, c.Cover, c.Applied)
+		if c.AgedOut > 0 {
+			s += fmt.Sprintf(", %d aged", c.AgedOut)
+		}
+		s += ")"
+	}
+	if info.Solver.PseudoCostInits > 0 {
+		s += fmt.Sprintf(", pc-init %d", info.Solver.PseudoCostInits)
+	}
+	if info.Solver.ReducedCostFixings > 0 {
+		s += fmt.Sprintf(", rc-fix %d", info.Solver.ReducedCostFixings)
+	}
+	if info.Solver.HeuristicIncumbents > 0 {
+		s += fmt.Sprintf(", heur %d", info.Solver.HeuristicIncumbents)
+	}
+	if tot := info.Solver.IncrementalPivots + info.Solver.FullPricingPivots; tot > 0 {
+		s += fmt.Sprintf(", incr-price %.0f%%",
+			100*float64(info.Solver.IncrementalPivots)/float64(tot))
+	}
 	if info.Winner != "" {
 		s += ", winner " + info.Winner
 	}

@@ -5,6 +5,7 @@ import (
 	"context"
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 )
@@ -41,6 +42,23 @@ type SolveOptions struct {
 	// Workers bounds the parallel branch-and-bound worker pool. Zero selects
 	// min(GOMAXPROCS, 8); one recovers a fully sequential search.
 	Workers int
+	// BranchPriority, if non-nil, ranks integer variables for branching: at
+	// each node only the fractional candidates of the highest priority class
+	// present compete on pseudo-cost scores. Higher values branch first. Use
+	// it to steer the search toward "master" decisions (e.g. assignment
+	// binaries that determine auxiliary indicators through propagation);
+	// integrality and optimality are unaffected — only the tree shape changes.
+	BranchPriority func(v Var) int
+	// ObjIntegral asserts that every integer-feasible point of the model
+	// attains an integral objective value (after continuous variables settle
+	// at their objective-minimal positions) — e.g. integer objective
+	// coefficients over integer variables, or a totally unimodular continuous
+	// block with integral data. The solver then rounds every node relaxation
+	// bound up to the next integer and strengthens the incumbent cutoff to
+	// bestObj-1, which both prunes harder and lets reduced-cost fixing bite:
+	// tiny fractional bound gaps become whole-unit proofs. Setting it on a
+	// model where the assertion fails can prune the true optimum.
+	ObjIntegral bool
 }
 
 // bbNode is one open subproblem: the bound changes accumulated from the root
@@ -53,6 +71,15 @@ type bbNode struct {
 	changes []bndChange
 	basic   []int32 // parent basis snapshot (nil for the root: cold solve)
 	stat    []int8
+
+	// Branching pedigree for pseudo-cost learning: the structural column the
+	// parent branched on to create this node (-1 for the root), the branch
+	// direction, and the fractional distance the branch moved (f down,
+	// 1-f up). The node's solved bound minus bound, scaled by bdist, is one
+	// per-unit degradation observation for (bcol, bup).
+	bcol  int32
+	bup   bool
+	bdist float64
 }
 
 // nodeHeap is a best-bound priority queue (ties broken by creation order so
@@ -91,10 +118,26 @@ type bbShared struct {
 
 	nodes, lpIters, warm, cold int
 
-	// Worker-merged diagnostics: factorization kernel counters and the
-	// node-level propagation tallies (flushed once per worker at exit).
+	// Worker-merged diagnostics: factorization kernel counters, the
+	// node-level propagation tallies, and the incremental-vs-full pricing
+	// pivot split (flushed once per worker at exit).
 	factor                 FactorStats
 	propTighten, propPrune int
+	incrPivots, fullPivots int
+	rcFixed                int
+
+	// Pseudo-cost tables, one entry per structural column: summed per-unit
+	// objective degradations and observation counts, split by branch
+	// direction. Totals feed the uninitialized-column fallback average.
+	pcDown, pcUp   []float64
+	pcDownN, pcUpN []int32
+	pcDownTot      float64
+	pcUpTot        float64
+	pcDownObs      int
+	pcUpObs        int
+	pcInits        int // reliability-initialization probes run
+	heurFound      int // incumbents installed by node heuristics
+	heurNext       int // node count gating the next heuristic dive
 
 	// lostLB is the smallest bound of any subtree dropped without a full
 	// proof: pruned by the Gap option, or abandoned when the search stopped.
@@ -213,7 +256,31 @@ func SolveContext(ctx context.Context, m *Model, opts SolveOptions) (*Solution, 
 		return finishAborted(abortStatus(ctx, solveCtx), sh, dirSign, stats), nil
 	}
 
-	sh.open = nodeHeap{{bound: math.Inf(-1)}}
+	// Root cutting planes: tighten the relaxation with Gomory mixed-integer
+	// and cover cuts before any branching. The cut loop also hands back the
+	// root optimum's basis, so the root node warm-starts like any other.
+	cutRes := rootCutLoop(solveCtx, in, opts.IntFeasTol)
+	in = cutRes.in
+	stats.Cuts = cutRes.stats
+	sh.lpIters += cutRes.iters
+	sh.incrPivots += cutRes.incr
+	sh.fullPivots += cutRes.full
+	if cutRes.status == StatusOptimal {
+		// The cut loop cold-solved the root relaxation; the root node then
+		// re-attaches to its basis as a warm start like any other node.
+		sh.cold++
+	}
+	root := &bbNode{bound: math.Inf(-1), bcol: -1}
+	if cutRes.basic != nil {
+		root.basic, root.stat = cutRes.basic, cutRes.stat
+	}
+
+	sh.pcDown = make([]float64, in.nStruct)
+	sh.pcUp = make([]float64, in.nStruct)
+	sh.pcDownN = make([]int32, in.nStruct)
+	sh.pcUpN = make([]int32, in.nStruct)
+
+	sh.open = nodeHeap{root}
 	obj, _ := m.Objective()
 
 	// A context abort must also wake workers parked on the condition
@@ -226,6 +293,16 @@ func SolveContext(ctx context.Context, m *Model, opts SolveOptions) (*Solution, 
 		sh.mu.Unlock()
 	}()
 
+	// Branching priorities are fixed for the whole solve; resolve the
+	// callback once so candidate filtering is an array lookup per node.
+	var prio []int
+	if opts.BranchPriority != nil {
+		prio = make([]int, m.NumVars())
+		for _, v := range intVars {
+			prio[v.id] = opts.BranchPriority(v)
+		}
+	}
+
 	var wg sync.WaitGroup
 	for wid := 0; wid < workers; wid++ {
 		wg.Add(1)
@@ -234,7 +311,7 @@ func SolveContext(ctx context.Context, m *Model, opts SolveOptions) (*Solution, 
 			w := &bbWorker{
 				sh: sh, in: in, m: m, obj: obj, opts: opts,
 				dirSign: dirSign, intVars: intVars, id: wid,
-				st: newState(in),
+				st: newState(in), prio: prio,
 			}
 			w.st.ctx = solveCtx
 			w.run()
@@ -251,6 +328,11 @@ func SolveContext(ctx context.Context, m *Model, opts SolveOptions) (*Solution, 
 	stats.Factor = sh.factor
 	stats.PropagationTightenings = sh.propTighten
 	stats.PropagationPrunes = sh.propPrune
+	stats.PseudoCostInits = sh.pcInits
+	stats.HeuristicIncumbents = sh.heurFound
+	stats.IncrementalPivots = sh.incrPivots
+	stats.FullPricingPivots = sh.fullPivots
+	stats.ReducedCostFixings = sh.rcFixed
 
 	if sh.rootUnbounded {
 		return &Solution{Status: StatusUnbounded, Nodes: sh.nodes, Iterations: sh.lpIters, Stats: stats}, nil
@@ -349,9 +431,17 @@ type bbWorker struct {
 	intVars []Var
 	id      int
 	st      *simplexState
+	prio    []int // resolved BranchPriority by var id; nil when unset
 
-	// Local propagation tallies, merged into bbShared at exit.
+	// heur is a second, lazily allocated simplex state the node heuristics
+	// (RINS, feasibility diving) scribble on, so the worker's main state and
+	// its live basis survive a dive untouched.
+	heur *simplexState
+
+	// Local propagation and reduced-cost-fixing tallies, merged into
+	// bbShared at exit.
 	propTighten, propPrune int
+	rcFixed                int
 }
 
 func (w *bbWorker) run() {
@@ -361,6 +451,14 @@ func (w *bbWorker) run() {
 		sh.factor.merge(w.st.fac.snapshot())
 		sh.propTighten += w.propTighten
 		sh.propPrune += w.propPrune
+		sh.rcFixed += w.rcFixed
+		sh.incrPivots += w.st.incrPivots
+		sh.fullPivots += w.st.fullPivots
+		if w.heur != nil {
+			sh.factor.merge(w.heur.fac.snapshot())
+			sh.incrPivots += w.heur.incrPivots
+			sh.fullPivots += w.heur.fullPivots
+		}
 		sh.mu.Unlock()
 	}()
 	for {
@@ -466,6 +564,7 @@ func (w *bbWorker) processSubtree(node *bbNode) {
 	depth := node.depth
 	changes := node.changes
 	curBound := node.bound
+	bcol, bup, bdist := node.bcol, node.bup, node.bdist
 	for {
 		iters := st.iters
 		st.iters = 0
@@ -474,6 +573,19 @@ func (w *bbWorker) processSubtree(node *bbNode) {
 		if status == StatusOptimal {
 			x = st.extract()
 			lb = w.dirSign * w.obj.Eval(x)
+			if w.opts.ObjIntegral {
+				// Every attainable objective in this subtree is integral, so
+				// the fractional relaxation bound rounds up for free.
+				if r := math.Ceil(lb - 1e-6); r > lb {
+					lb = r
+				}
+			}
+			if bcol >= 0 {
+				// The branch that created this node degraded the bound by
+				// lb-curBound over a fractional distance of bdist: one
+				// pseudo-cost observation.
+				w.recordPseudo(bcol, bup, bdist, lb-curBound)
+			}
 		}
 		if !w.accountNode(status, warmed, iters, depth, lb) {
 			return
@@ -481,26 +593,47 @@ func (w *bbWorker) processSubtree(node *bbNode) {
 		curBound = lb
 
 		// Optimal relaxation: check integrality, otherwise branch and dive.
-		branchVar, frac := Var{id: -1}, 0.0
-		for _, v := range w.intVars {
-			f := math.Abs(x[v.id] - math.Round(x[v.id]))
-			if f > w.opts.IntFeasTol && f > frac {
-				frac, branchVar = f, v
-			}
-		}
-		if branchVar.id == -1 {
+		cands := w.fracCandidates(x)
+		if len(cands) == 0 {
 			w.foundIncumbent(x, lb)
 			return
 		}
 
-		col := int32(w.in.varCol[branchVar.id])
-		xv := x[branchVar.id]
+		// Reduced-cost fixing against the incumbent cutoff: the current basis
+		// stays optimal (only far bounds move), the whole dive chain inherits
+		// the tightened box, and propagation sees the stronger activities.
+		w.rcFixed += w.rcFix(lb)
+
+		// The sibling must warm-start from this node's optimal basis, and
+		// reliability probes below pivot away from it — snapshot first.
+		sibBasic := append([]int32(nil), st.basic...)
+		sibStat := append([]int8(nil), st.stat...)
+
+		// Periodic primal heuristics: RINS against the incumbent plus a
+		// feasibility dive, run from this node's relaxation on the scratch
+		// state.
+		if w.claimHeuristicSlot() {
+			w.runHeuristics(x)
+		}
+
+		cands = w.filterPriority(cands)
+		w.reliabilityProbes(cands, lb, depth)
+		pick := w.selectBranch(cands)
+
+		col := pick.col
+		xv := pick.x
 		fl, ce := math.Floor(xv), math.Ceil(xv)
 		down := bndChange{col: col, lo: math.Inf(-1), hi: fl}
 		up := bndChange{col: col, lo: ce, hi: math.Inf(1)}
 		diveCh, pushCh := down, up
+		diveUp, pushUp := false, true
 		if xv-fl >= ce-xv {
 			diveCh, pushCh = up, down
+			diveUp, pushUp = true, false
+		}
+		diveDist, pushDist := xv-fl, ce-xv
+		if diveUp {
+			diveDist, pushDist = ce-xv, xv-fl
 		}
 
 		// The sibling gets a snapshot of this node's optimal basis to warm
@@ -509,8 +642,11 @@ func (w *bbWorker) processSubtree(node *bbNode) {
 			bound:   lb,
 			depth:   depth + 1,
 			changes: append(append([]bndChange(nil), changes...), pushCh),
-			basic:   append([]int32(nil), st.basic...),
-			stat:    append([]int8(nil), st.stat...),
+			basic:   sibBasic,
+			stat:    sibStat,
+			bcol:    col,
+			bup:     pushUp,
+			bdist:   pushDist,
 		}
 		sh := w.sh
 		sh.mu.Lock()
@@ -522,6 +658,7 @@ func (w *bbWorker) processSubtree(node *bbNode) {
 
 		changes = append(changes, diveCh)
 		depth++
+		bcol, bup, bdist = col, diveUp, diveDist
 		c := int(diveCh.col)
 		nlo := math.Max(st.lo[c], diveCh.lo)
 		nhi := math.Min(st.hi[c], diveCh.hi)
@@ -539,6 +676,249 @@ func (w *bbWorker) processSubtree(node *bbNode) {
 		}
 		status, warmed = w.solveRelax(func() Status { return st.dual(st.warmLimit()) })
 	}
+}
+
+// bbCand is one fractional branching candidate at a node.
+type bbCand struct {
+	v    Var
+	col  int32
+	x    float64 // relaxation value
+	frac float64 // x - floor(x), in (0, 1)
+}
+
+// fracCandidates lists the integer columns fractional at x.
+func (w *bbWorker) fracCandidates(x []float64) []bbCand {
+	var cands []bbCand
+	for _, v := range w.intVars {
+		col := w.in.varCol[v.id]
+		if col < 0 {
+			continue
+		}
+		xv := x[v.id]
+		f := xv - math.Floor(xv)
+		if math.Min(f, 1-f) > w.opts.IntFeasTol {
+			cands = append(cands, bbCand{v: v, col: int32(col), x: xv, frac: f})
+		}
+	}
+	return cands
+}
+
+// filterPriority keeps only the highest BranchPriority class among the
+// fractional candidates, so pseudo-cost scoring competes within that class.
+func (w *bbWorker) filterPriority(cands []bbCand) []bbCand {
+	if w.prio == nil || len(cands) < 2 {
+		return cands
+	}
+	best := w.prio[cands[0].v.id]
+	for _, c := range cands[1:] {
+		if p := w.prio[c.v.id]; p > best {
+			best = p
+		}
+	}
+	kept := cands[:0]
+	for _, c := range cands {
+		if w.prio[c.v.id] == best {
+			kept = append(kept, c)
+		}
+	}
+	return kept
+}
+
+// recordPseudo books one pseudo-cost observation: branching col in the given
+// direction over fractional distance dist degraded the relaxation bound by
+// delta.
+func (w *bbWorker) recordPseudo(col int32, up bool, dist, delta float64) {
+	if dist < 1e-9 {
+		return
+	}
+	if delta < 0 {
+		delta = 0 // numerical noise; bounds cannot improve downward
+	}
+	perUnit := delta / dist
+	sh := w.sh
+	sh.mu.Lock()
+	if up {
+		sh.pcUp[col] += perUnit
+		sh.pcUpN[col]++
+		sh.pcUpTot += perUnit
+		sh.pcUpObs++
+	} else {
+		sh.pcDown[col] += perUnit
+		sh.pcDownN[col]++
+		sh.pcDownTot += perUnit
+		sh.pcDownObs++
+	}
+	sh.mu.Unlock()
+}
+
+// rcFix tightens the worker state's bounds by reduced-cost fixing. At a
+// dual-feasible optimum with bound lb, any point of the subtree that improves
+// on the incumbent cutoff can move a nonbasic column away from its bound by
+// at most slack/|d_j|, where slack is the room between lb and the cutoff.
+// Integer columns round that radius down, so binaries with a large reduced
+// cost are fixed outright. Only the far bound of each nonbasic moves, so the
+// current basis stays primal and dual feasible and no re-solve is needed;
+// the dive chain and node propagation both inherit the tighter box. Returns
+// the number of bounds tightened.
+func (w *bbWorker) rcFix(lb float64) int {
+	sh := w.sh
+	sh.mu.Lock()
+	best := sh.bestObj
+	sh.mu.Unlock()
+	if math.IsInf(best, 1) {
+		return 0
+	}
+	cutoff := best - 1e-9
+	if w.opts.ObjIntegral {
+		cutoff = best - 1 + 1e-6
+	}
+	slack := cutoff - lb
+	if slack < 0 {
+		return 0
+	}
+	st := w.st
+	fixed := 0
+	for j, s := range st.stat {
+		isInt := j < w.in.nStruct && w.in.intCol[j]
+		switch s {
+		case nbLower:
+			d := st.d[j]
+			if d <= redCostEps {
+				continue
+			}
+			nhi := st.lo[j] + slack/d
+			if isInt {
+				nhi = st.lo[j] + math.Floor(slack/d+intRoundTol)
+			}
+			if nhi < st.hi[j]-1e-9 {
+				st.hi[j] = nhi
+				fixed++
+			}
+		case nbUpper:
+			d := st.d[j]
+			if d >= -redCostEps {
+				continue
+			}
+			nlo := st.hi[j] - slack/(-d)
+			if isInt {
+				nlo = st.hi[j] - math.Floor(slack/(-d)+intRoundTol)
+			}
+			if nlo > st.lo[j]+1e-9 {
+				st.lo[j] = nlo
+				fixed++
+			}
+		}
+	}
+	return fixed
+}
+
+// Reliability-branching parameters.
+const (
+	// relProbeDepth limits reliability probes to nodes near the root, where
+	// a bad branching choice costs the most.
+	relProbeDepth = 2
+	// relProbeCands caps probed candidates per node.
+	relProbeCands = 4
+	// relProbeBudget caps probes per solve (each candidate costs two).
+	relProbeBudget = 96
+	// probePivots is the dual-simplex budget of one strong-branching probe.
+	probePivots = 30
+)
+
+// reliabilityProbes initializes pseudo-costs for unreliable candidates with
+// truncated strong branching: bound the column as the branch would, run a
+// few dual pivots, and book the observed degradation. Probes leave the
+// working basis wherever they stop — dual feasibility does not depend on
+// variable bounds, so the subsequent dive solve simply continues from there;
+// only the bounds are restored.
+func (w *bbWorker) reliabilityProbes(cands []bbCand, lb float64, depth int) {
+	if depth > relProbeDepth {
+		return
+	}
+	sh := w.sh
+	var need []int
+	sh.mu.Lock()
+	if sh.pcInits < relProbeBudget {
+		for k, c := range cands {
+			if sh.pcDownN[c.col] == 0 || sh.pcUpN[c.col] == 0 {
+				need = append(need, k)
+			}
+		}
+	}
+	sh.mu.Unlock()
+	if len(need) == 0 {
+		return
+	}
+	sort.Slice(need, func(a, b int) bool {
+		da := math.Min(cands[need[a]].frac, 1-cands[need[a]].frac)
+		db := math.Min(cands[need[b]].frac, 1-cands[need[b]].frac)
+		if da != db {
+			return da > db // most fractional first
+		}
+		return cands[need[a]].col < cands[need[b]].col
+	})
+	if len(need) > relProbeCands {
+		need = need[:relProbeCands]
+	}
+	st := w.st
+	for _, k := range need {
+		c := cands[k]
+		sh.mu.Lock()
+		if sh.pcInits >= relProbeBudget || sh.stopped {
+			sh.mu.Unlock()
+			return
+		}
+		sh.pcInits += 2
+		sh.mu.Unlock()
+		col := int(c.col)
+		savedLo, savedHi := st.lo[col], st.hi[col]
+		st.hi[col] = math.Floor(c.x)
+		if st.dual(probePivots) == StatusOptimal {
+			px := st.extract()
+			w.recordPseudo(c.col, false, c.frac, w.dirSign*w.obj.Eval(px)-lb)
+		}
+		st.lo[col], st.hi[col] = savedLo, savedHi
+		st.lo[col] = math.Ceil(c.x)
+		if st.dual(probePivots) == StatusOptimal {
+			px := st.extract()
+			w.recordPseudo(c.col, true, 1-c.frac, w.dirSign*w.obj.Eval(px)-lb)
+		}
+		st.lo[col], st.hi[col] = savedLo, savedHi
+		if st.aborted() {
+			return
+		}
+	}
+}
+
+// selectBranch scores the candidates with the pseudo-cost product rule —
+// max(f_down·pc_down, eps) · max(f_up·pc_up, eps) — falling back to the
+// direction's global average for unobserved columns, and returns the best.
+func (w *bbWorker) selectBranch(cands []bbCand) bbCand {
+	sh := w.sh
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	avgDn, avgUp := 1.0, 1.0
+	if sh.pcDownObs > 0 {
+		avgDn = sh.pcDownTot / float64(sh.pcDownObs)
+	}
+	if sh.pcUpObs > 0 {
+		avgUp = sh.pcUpTot / float64(sh.pcUpObs)
+	}
+	best, bestScore := cands[0], -1.0
+	for _, c := range cands {
+		ed, eu := avgDn, avgUp
+		if n := sh.pcDownN[c.col]; n > 0 {
+			ed = sh.pcDown[c.col] / float64(n)
+		}
+		if n := sh.pcUpN[c.col]; n > 0 {
+			eu = sh.pcUp[c.col] / float64(n)
+		}
+		score := math.Max(c.frac*ed, 1e-6) * math.Max((1-c.frac)*eu, 1e-6)
+		if score > bestScore {
+			best, bestScore = c, score
+		}
+	}
+	return best
 }
 
 // accountNode books one solved relaxation with the coordinator and decides
@@ -599,8 +979,8 @@ func (w *bbWorker) accountNode(status Status, warmed bool, iters, depth int, lb 
 }
 
 // foundIncumbent installs an integral relaxation solution as the new
-// incumbent if it improves on the shared best.
-func (w *bbWorker) foundIncumbent(x []float64, lb float64) {
+// incumbent if it improves on the shared best. Returns whether it did.
+func (w *bbWorker) foundIncumbent(x []float64, lb float64) bool {
 	// Round the integer coordinates exactly.
 	for _, v := range w.intVars {
 		x[v.id] = math.Round(x[v.id])
@@ -617,7 +997,9 @@ func (w *bbWorker) foundIncumbent(x []float64, lb float64) {
 		if w.opts.OnIncumbent != nil {
 			w.opts.OnIncumbent(append([]float64(nil), x...), w.dirSign*lb, sh.nodes)
 		}
+		return true
 	}
+	return false
 }
 
 // checkFeasible verifies x against all constraints, bounds and integrality of

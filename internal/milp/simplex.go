@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Status reports the outcome of a solve.
@@ -169,10 +170,22 @@ type simplexState struct {
 	gamma []float64 // primal devex reference weights, length n
 	rowW  []float64 // dual devex row weights, length m
 
+	alphaBuf []float64 // pivot row α_rj over all columns, length n
+	flipBuf  []float64 // bound-flip rhs accumulator, length m
+	flipOut  []float64 // bound-flip FTRAN result, length m
+	flipCand []int32   // BFRT breakpoint candidates, capacity n
+
 	// pertOn layers the instance's anti-degeneracy cost perturbation onto
 	// every cost lookup; the optimizing loops run perturbed, then switch it
 	// off and finish to exact optimality before reporting StatusOptimal.
 	pertOn bool
+
+	// incrPivots counts pivots executed against incrementally maintained
+	// basic values and reduced costs (O(nnz) per pivot); fullPivots counts
+	// pivots that needed a from-scratch recompute first (loop entry, a
+	// refactorization, or a perturbation switch). Merged into
+	// SolveStats.IncrementalPivots / FullPricingPivots.
+	incrPivots, fullPivots int
 
 	iters int
 	ctx   context.Context
@@ -184,21 +197,25 @@ func newState(in *instance) *simplexState {
 
 func newStateKernel(in *instance, kk kernelKind) *simplexState {
 	s := &simplexState{
-		in:     in,
-		lo:     append([]float64(nil), in.lo...),
-		hi:     append([]float64(nil), in.hi...),
-		basic:  make([]int32, in.m),
-		pos:    make([]int32, in.n),
-		stat:   make([]int8, in.n),
-		xB:     make([]float64, in.m),
-		y:      make([]float64, in.m),
-		d:      make([]float64, in.n),
-		w:      make([]float64, in.m),
-		rho:    make([]float64, in.m),
-		rowBuf: make([]float64, in.m),
-		cbBuf:  make([]float64, in.m),
-		gamma:  make([]float64, in.n),
-		rowW:   make([]float64, in.m),
+		in:       in,
+		lo:       append([]float64(nil), in.lo...),
+		hi:       append([]float64(nil), in.hi...),
+		basic:    make([]int32, in.m),
+		pos:      make([]int32, in.n),
+		stat:     make([]int8, in.n),
+		xB:       make([]float64, in.m),
+		y:        make([]float64, in.m),
+		d:        make([]float64, in.n),
+		w:        make([]float64, in.m),
+		rho:      make([]float64, in.m),
+		rowBuf:   make([]float64, in.m),
+		cbBuf:    make([]float64, in.m),
+		gamma:    make([]float64, in.n),
+		rowW:     make([]float64, in.m),
+		alphaBuf: make([]float64, in.n),
+		flipBuf:  make([]float64, in.m),
+		flipOut:  make([]float64, in.m),
+		flipCand: make([]int32, 0, in.n),
 	}
 	if kk == kernelAuto {
 		if in.m >= sparseKernelMinRows {
@@ -226,19 +243,13 @@ func (s *simplexState) callLimit() int {
 	return 300*(s.in.m+s.in.n) + 1000
 }
 
-// warmLimit is the pivot budget of a warm-started dual repair. On heavily
-// degenerate models (the big-M scheduling LPs have flat optimal faces) a
-// warm start from the parent basis can shuffle thousands of zero-progress
-// pivots where a cold solve walks in directly, so a stalled repair is cut
-// off early — solveRelax then falls back to the cold path, which measured
-// orders of magnitude cheaper exactly when this limit fires (IVD: ~10⁴
-// stalled warm pivots against 88 cold ones per node).
+// warmLimit was the tight pivot budget of a warm-started dual repair, a
+// stall guard against degenerate shuffling. The bound-flipping ratio test
+// absorbs whole runs of boxed breakpoints in a single dual pivot, so warm
+// repairs now get the full call budget and the cold-solve escape fires only
+// on genuine numerical failure or budget exhaustion (solveRelax).
 func (s *simplexState) warmLimit() int {
-	l := (s.in.m + s.in.n) / 4
-	if l < 150 {
-		l = 150
-	}
-	return l
+	return 0 // 0 = callLimit; kept as a named hook for the dive/warm paths
 }
 
 // aborted reports whether the solve context has fired. It is checked every
@@ -332,7 +343,9 @@ func (s *simplexState) devexReset() {
 // Forrest–Goldfarb, every nonbasic column's weight rises to
 // (α_rj/α_rq)²·γ_q when that exceeds its current weight, and the leaving
 // column re-enters the nonbasic set with weight max(γ_q/α_rq², 1). Must run
-// before the pivot mutates the basis.
+// before the pivot mutates the basis. As a side effect the pivot row α_rj it
+// computes is left in alphaBuf (with α_rq at index q, 0 on basic columns) so
+// the caller's incremental reduced-cost update can reuse it for free.
 func (s *simplexState) devexUpdatePrimal(q, r int) {
 	alphaQ := s.w[r]
 	if alphaQ == 0 {
@@ -345,9 +358,11 @@ func (s *simplexState) devexUpdatePrimal(q, r int) {
 	maxW := 1.0
 	for j := 0; j < in.n; j++ {
 		if s.stat[j] == nbBasic || j == q {
+			s.alphaBuf[j] = 0
 			continue
 		}
 		aj := in.colDot(s.rho, j)
+		s.alphaBuf[j] = aj
 		if aj == 0 {
 			continue
 		}
@@ -358,6 +373,7 @@ func (s *simplexState) devexUpdatePrimal(q, r int) {
 			maxW = s.gamma[j]
 		}
 	}
+	s.alphaBuf[q] = alphaQ
 	gl := gq * inv2
 	if gl < 1 {
 		gl = 1
@@ -628,46 +644,126 @@ func (s *simplexState) primalPhase1() Status {
 // The loop prices the perturbed costs first; at the perturbed optimum it
 // drops the perturbation and keeps iterating, so the basis it reports
 // StatusOptimal from is exactly optimal for the true objective.
+//
+// Like dual, the loop maintains x_B and the reduced costs incrementally in
+// O(nnz) per pivot — x_B along the FTRANed entering column, d along the
+// pivot row that devexUpdatePrimal already computes for its weights — and
+// falls back to a from-scratch refresh at loop entry, after a
+// refactorization, under Bland's rule, and on the perturbation switch-off.
+// Termination claims (optimality, unboundedness) are only ever made from
+// freshly recomputed values.
 func (s *simplexState) primalPhase2() Status {
 	start := s.iters
 	limit := s.callLimit()
-	blandAt := 4*(s.in.m+s.in.n) + 50
+	m := s.in.m
+	blandAt := 4*(m+s.in.n) + 50
 	s.devexReset()
 	s.pertOn = true
 	defer func() { s.pertOn = false }()
+	refresh := true
 	for {
 		if s.iters-start > limit || s.aborted() {
 			return StatusIterLimit
 		}
-		s.computeXB()
-		for i := 0; i < s.in.m; i++ {
-			s.cbBuf[i] = s.objCost(int(s.basic[i]))
-		}
-		s.computeDuals(s.cbBuf, s.objCost)
 		bland := s.iters-start > blandAt
+		fresh := refresh || bland
+		if fresh {
+			s.computeXB()
+			for i := 0; i < m; i++ {
+				s.cbBuf[i] = s.objCost(int(s.basic[i]))
+			}
+			s.computeDuals(s.cbBuf, s.objCost)
+			refresh = false
+		}
 		q, dir := s.priceEntering(bland)
 		if q < 0 {
+			if !fresh {
+				// Incremental reduced costs claim optimality; certify against
+				// a clean recompute before believing it.
+				refresh = true
+				continue
+			}
 			if !s.pertOn {
 				return StatusOptimal
 			}
 			// Perturbed optimum reached: switch to the exact costs and let
 			// the loop finish the (usually empty) remainder.
 			s.pertOn = false
+			refresh = true
 			continue
 		}
 		s.ftran(q)
 		t, leave, leaveStat := s.primalRatio(q, dir, false, bland)
 		if math.IsInf(t, 1) {
+			if !fresh {
+				refresh = true
+				continue
+			}
 			if s.pertOn {
 				// A ray that only improves the perturbed objective is not
 				// proof of unboundedness; re-examine with exact costs.
 				s.pertOn = false
+				refresh = true
 				continue
 			}
 			return StatusUnbounded
 		}
-		if !s.applyPrimalStep(q, leave, leaveStat, bland) {
+		if leave < 0 {
+			// Bound flip of the entering column: x_B shifts along the column,
+			// the reduced costs are untouched.
+			for i := 0; i < m; i++ {
+				s.xB[i] -= dir * t * s.w[i]
+			}
+			if s.stat[q] == nbLower {
+				s.stat[q] = nbUpper
+			} else {
+				s.stat[q] = nbLower
+			}
+			s.iters++
+			if fresh {
+				s.fullPivots++
+			} else {
+				s.incrPivots++
+			}
+			continue
+		}
+		dq := s.d[q]
+		vq := s.nbValue(q)
+		bcol := int(s.basic[leave])
+		incrD := !bland
+		if incrD {
+			s.devexUpdatePrimal(q, leave) // also fills alphaBuf with the pivot row
+			incrD = s.alphaBuf[q] != 0
+		}
+		for i := 0; i < m; i++ {
+			s.xB[i] -= dir * t * s.w[i]
+		}
+		if !s.pivot(q, leave, leaveStat) {
 			return statusNumFail
+		}
+		s.xB[leave] = vq + dir*t
+		if incrD {
+			theta := dq / s.alphaBuf[q]
+			for j := 0; j < s.in.n; j++ {
+				if s.stat[j] == nbBasic || j == bcol {
+					continue
+				}
+				s.d[j] -= theta * s.alphaBuf[j]
+			}
+			s.d[bcol] = -theta
+			s.d[q] = 0
+		} else {
+			refresh = true
+		}
+		if fresh {
+			s.fullPivots++
+		} else {
+			s.incrPivots++
+		}
+		// A refactorization inside pivot invalidates the incremental drift
+		// budget; rebuild from the clean factors next round.
+		if s.fac.updates() == 0 {
+			refresh = true
 		}
 	}
 }
@@ -680,6 +776,16 @@ func (s *simplexState) primalPhase2() Status {
 // weights — which steers repeated warm starts away from the same degenerate
 // rows. StatusInfeasible means the subproblem has no feasible point (the
 // usual warm-start outcome for a pruned branch-and-bound child).
+//
+// Two perf structures distinguish it from a textbook loop. First, the
+// entering choice is a bound-flipping ratio test (Maros' BFRT): boxed
+// nonbasic columns whose breakpoints the dual step passes are flipped to
+// their opposite bound inside a single pivot, absorbing runs of degenerate
+// breakpoints that used to stall warm starts one zero-progress pivot at a
+// time. Second, the basic values and reduced costs are maintained
+// incrementally across pivots in O(nnz) — x_B by the pivot column, d by the
+// pivot row — with a from-scratch refresh only at loop entry, after a
+// refactorization, and on the perturbation switch-off.
 func (s *simplexState) dual(budget int) Status {
 	in := s.in
 	m := in.m
@@ -694,11 +800,20 @@ func (s *simplexState) dual(budget int) Status {
 	}
 	s.pertOn = true
 	defer func() { s.pertOn = false }()
+	refresh := true
 	for {
 		if s.iters-start > limit || s.aborted() {
 			return StatusIterLimit
 		}
-		s.computeXB()
+		fresh := refresh
+		if refresh {
+			s.computeXB()
+			for i := 0; i < m; i++ {
+				s.cbBuf[i] = s.objCost(int(s.basic[i]))
+			}
+			s.computeDuals(s.cbBuf, s.objCost)
+			refresh = false
+		}
 		// Leaving row: the devex-scaled most violated basic variable.
 		r, below := -1, false
 		best := 0.0
@@ -716,68 +831,41 @@ func (s *simplexState) dual(budget int) Status {
 			}
 		}
 		if r < 0 {
+			if !fresh {
+				// The incremental x_B says feasible; certify against a clean
+				// recompute before leaving the dual loop.
+				refresh = true
+				continue
+			}
 			// Primal feasible. The trajectory priced perturbed costs, so the
 			// vertex may be a hair off the exact optimum; the exact-cost
 			// primal phase 2 certifies (and if needed finishes) it.
 			s.pertOn = false
 			return s.primalPhase2()
 		}
-		for i := 0; i < m; i++ {
-			s.cbBuf[i] = s.objCost(int(s.basic[i]))
-		}
-		s.computeDuals(s.cbBuf, s.objCost)
 		s.fac.btranRow(r, s.rho)
-		rho := s.rho
 		bland := s.iters-start > blandAt
-		// Entering column: the dual ratio test over columns that can move
-		// x_B[r] toward its violated bound while keeping the reduced costs
-		// dual feasible; the smallest |d/alpha| binds.
-		q, bestTheta, bestAlpha := -1, 0.0, 0.0
+		// Pivot row over every column, shared by the ratio test, the reduced-
+		// cost update and the flip decisions. One O(nnz) sweep.
+		alpha := s.alphaBuf
 		for j := 0; j < in.n; j++ {
-			st := s.stat[j]
-			if st == nbBasic {
+			if s.stat[j] == nbBasic {
+				alpha[j] = 0
 				continue
 			}
-			alpha := in.colDot(rho, j)
-			if math.Abs(alpha) < feasEps {
-				continue
-			}
-			var ok bool
-			if below {
-				ok = (st == nbLower && alpha < 0) || (st == nbUpper && alpha > 0) || st == nbFree
-			} else {
-				ok = (st == nbLower && alpha > 0) || (st == nbUpper && alpha < 0) || st == nbFree
-			}
-			if !ok {
-				continue
-			}
-			dj := s.d[j]
-			switch st {
-			case nbLower: // dual feasibility means dj >= 0; clamp drift
-				if dj < 0 {
-					dj = 0
-				}
-			case nbUpper:
-				if dj > 0 {
-					dj = 0
-				}
-			}
-			theta := math.Abs(dj / alpha)
-			switch {
-			case q < 0 || theta < bestTheta-redCostEps:
-				q, bestTheta, bestAlpha = j, theta, alpha
-			case theta < bestTheta+redCostEps:
-				if bland {
-					if j < q {
-						q, bestTheta, bestAlpha = j, theta, alpha
-					}
-				} else if math.Abs(alpha) > math.Abs(bestAlpha) {
-					q, bestTheta, bestAlpha = j, theta, alpha
-				}
-			}
+			alpha[j] = in.colDot(s.rho, j)
 		}
-		if q < 0 {
-			return StatusInfeasible
+		bcol := int(s.basic[r])
+		delta := s.xB[r] - s.hi[bcol] // violation, positive magnitude below
+		if below {
+			delta = s.lo[bcol] - s.xB[r]
+		}
+		q, flips, st2 := s.dualRatioBFRT(below, delta, bland)
+		if st2 != StatusOptimal {
+			return st2 // infeasible (dual ray)
+		}
+		if len(flips) > 0 {
+			s.applyBoundFlips(flips)
 		}
 		s.ftran(q)
 		if math.Abs(s.w[r]) < 1e-9 {
@@ -790,9 +878,173 @@ func (s *simplexState) dual(budget int) Status {
 		if !bland {
 			s.devexUpdateDual(r)
 		}
+		// Incremental basic-value update: the leaving variable travels to its
+		// violated bound, everything else moves along B⁻¹·A_q.
+		target := s.hi[bcol]
+		if below {
+			target = s.lo[bcol]
+		}
+		tq := (s.xB[r] - target) / s.w[r]
+		vq := s.nbValue(q)
+		theta := s.d[q] / alpha[q]
+		for i := 0; i < m; i++ {
+			s.xB[i] -= tq * s.w[i]
+		}
 		if !s.pivot(q, r, leaveStat) {
 			return statusNumFail
 		}
+		s.xB[r] = vq + tq
+		// Incremental reduced-cost update along the pivot row: one dual step
+		// of size θ = d_q/α_rq. Flipped columns need no extra term — flips
+		// leave the duals untouched.
+		for j := 0; j < in.n; j++ {
+			if s.stat[j] == nbBasic || j == bcol {
+				continue
+			}
+			s.d[j] -= theta * alpha[j]
+		}
+		s.d[bcol] = -theta // tableau coefficient of the leaving column is 1
+		s.d[q] = 0
+		if fresh {
+			s.fullPivots++
+		} else {
+			s.incrPivots++
+		}
+		// A periodic refactorization inside pivot resets the update counter;
+		// refresh the incremental state against the clean factors.
+		refresh = s.fac.updates() == 0
+	}
+}
+
+// bndFlip records one bound-flipping ratio-test decision: nonbasic column
+// col moves to its opposite bound, changing its value by delta.
+type bndFlip struct {
+	col   int32
+	delta float64
+}
+
+// dualRatioBFRT runs the bound-flipping dual ratio test for a leaving row
+// whose basic variable violates by delta (> 0): admissible breakpoints are
+// sorted by dual ratio and consumed in order, flipping each boxed column
+// whose full range still leaves violation to absorb, until one column
+// becomes the entering variable. alphaBuf must hold the pivot row. Under
+// Bland's rule no flips are taken and the lowest-index minimum-ratio column
+// enters. Returns StatusInfeasible when the candidates run out with
+// violation left (a dual ray: the subproblem has no feasible point).
+func (s *simplexState) dualRatioBFRT(below bool, delta float64, bland bool) (int, []bndFlip, Status) {
+	in := s.in
+	alpha := s.alphaBuf
+	cand := s.flipCand[:0]
+	for j := 0; j < in.n; j++ {
+		st := s.stat[j]
+		if st == nbBasic {
+			continue
+		}
+		a := alpha[j]
+		if math.Abs(a) < feasEps {
+			continue
+		}
+		var ok bool
+		if below {
+			ok = (st == nbLower && a < 0) || (st == nbUpper && a > 0) || st == nbFree
+		} else {
+			ok = (st == nbLower && a > 0) || (st == nbUpper && a < 0) || st == nbFree
+		}
+		if ok {
+			cand = append(cand, int32(j))
+		}
+	}
+	s.flipCand = cand // keep the grown backing array
+	if len(cand) == 0 {
+		return -1, nil, StatusInfeasible
+	}
+	ratio := func(j int32) float64 {
+		dj := s.d[j]
+		switch s.stat[j] {
+		case nbLower: // dual feasibility means dj >= 0; clamp drift
+			if dj < 0 {
+				dj = 0
+			}
+		case nbUpper:
+			if dj > 0 {
+				dj = 0
+			}
+		}
+		return math.Abs(dj / alpha[j])
+	}
+	if bland {
+		// Plain Bland: minimum ratio, lowest index — guaranteed terminating,
+		// no long steps.
+		q := int32(-1)
+		bestTheta := 0.0
+		for _, j := range cand {
+			th := ratio(j)
+			switch {
+			case q < 0 || th < bestTheta-redCostEps:
+				q, bestTheta = j, th
+			case th < bestTheta+redCostEps && j < q:
+				q, bestTheta = j, th
+			}
+		}
+		return int(q), nil, StatusOptimal
+	}
+	sort.Slice(cand, func(a, b int) bool {
+		ta, tb := ratio(cand[a]), ratio(cand[b])
+		if ta != tb {
+			return ta < tb
+		}
+		// Equal ratios: prefer the larger pivot element for stability.
+		return math.Abs(alpha[cand[a]]) > math.Abs(alpha[cand[b]])
+	})
+	var flips []bndFlip
+	remaining := delta
+	for idx, j := range cand {
+		rng := s.hi[j] - s.lo[j]
+		// Flip capacity: how much of the violation this column's full range
+		// absorbs. The last candidate must enter (nothing left to flip to).
+		cap_ := math.Abs(alpha[j]) * rng
+		if idx == len(cand)-1 || math.IsInf(rng, 1) || cap_ >= remaining-feasEps {
+			return int(j), flips, StatusOptimal
+		}
+		dj := rng
+		if s.stat[j] == nbUpper {
+			dj = -rng
+		}
+		flips = append(flips, bndFlip{col: j, delta: dj})
+		remaining -= cap_
+	}
+	return -1, nil, StatusInfeasible // unreachable: loop always returns
+}
+
+// applyBoundFlips moves each flipped column to its opposite bound and
+// repairs the basic values with a single batched FTRAN: x_B loses
+// B⁻¹·(Σ A_j·Δ_j). Reduced costs are untouched — flips never change the
+// duals.
+func (s *simplexState) applyBoundFlips(flips []bndFlip) {
+	in := s.in
+	m := in.m
+	rhs := s.flipBuf
+	for i := range rhs[:m] {
+		rhs[i] = 0
+	}
+	for _, f := range flips {
+		j := int(f.col)
+		if s.stat[j] == nbLower {
+			s.stat[j] = nbUpper
+		} else {
+			s.stat[j] = nbLower
+		}
+		if j < in.nStruct {
+			for p := in.colPtr[j]; p < in.colPtr[j+1]; p++ {
+				rhs[in.rowIdx[p]] += in.val[p] * f.delta
+			}
+		} else {
+			rhs[j-in.nStruct] += f.delta
+		}
+	}
+	s.fac.ftranDense(rhs, s.flipOut)
+	for i := 0; i < m; i++ {
+		s.xB[i] -= s.flipOut[i]
 	}
 }
 

@@ -80,6 +80,27 @@ type SolveStats struct {
 	// PropagationPrunes counts nodes proven integer-infeasible by
 	// propagation alone, pruned before their LP relaxation was ever solved.
 	PropagationPrunes int
+	// Cuts reports the root cutting-plane loop: Gomory mixed-integer and
+	// cover cuts separated, rows finally applied, and cuts retired by
+	// activity-based aging.
+	Cuts CutStats
+	// PseudoCostInits counts reliability-initialization probes (truncated
+	// strong branches) run to seed the pseudo-cost tables.
+	PseudoCostInits int
+	// HeuristicIncumbents counts improving incumbents installed by the node
+	// heuristics (RINS and feasibility diving) rather than by the tree
+	// search itself.
+	HeuristicIncumbents int
+	// IncrementalPivots counts simplex pivots that priced incrementally
+	// maintained reduced costs and basic values (O(nnz) per pivot);
+	// FullPricingPivots counts the pivots that paid a from-scratch refresh
+	// (loop entries, refactorizations, Bland fallbacks).
+	IncrementalPivots int
+	// FullPricingPivots counts pivots priced from a full recompute.
+	FullPricingPivots int
+	// ReducedCostFixings counts variable bounds tightened by reduced-cost
+	// fixing against the incumbent cutoff at branch-and-bound nodes.
+	ReducedCostFixings int
 }
 
 // WarmStartRate is the fraction of node relaxations served by a warm start,

@@ -1,0 +1,72 @@
+package milp
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestMILPParallelStatsCoherent stress-tests the multi-worker aggregation of
+// the cut-and-branch counters under the race detector: several concurrent
+// Solves with a worker pool each, all on a model hard enough that cuts,
+// reliability probes, heuristics and reduced-cost fixing all fire. Every
+// worker tallies locally and merges under the shared mutex at exit; this test
+// pins the invariants that aggregation must preserve regardless of
+// interleaving.
+func TestMILPParallelStatsCoherent(t *testing.T) {
+	var wg sync.WaitGroup
+	for run := 0; run < 2; run++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m, _ := hardKnapsack(16)
+			sol, err := Solve(m, SolveOptions{Workers: 4})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if sol.Status != StatusOptimal {
+				t.Errorf("status = %v, want optimal", sol.Status)
+				return
+			}
+			st := sol.Stats
+			if st.Workers != 4 {
+				t.Errorf("Workers = %d, want 4", st.Workers)
+			}
+			// Every node relaxation was either warm- or cold-started; the root
+			// cut loop books one extra cold solve without a node when it ran
+			// to optimality. A lost or double-counted merge breaks this.
+			if got := st.WarmStarts + st.ColdStarts; got != st.Nodes && got != st.Nodes+1 {
+				t.Errorf("warm %d + cold %d = %d, want nodes %d or nodes+1",
+					st.WarmStarts, st.ColdStarts, got, st.Nodes)
+			}
+			// The pricing split partitions total pivots: nothing else
+			// increments SimplexIters once the search runs.
+			if got := st.IncrementalPivots + st.FullPricingPivots; got != st.SimplexIters {
+				t.Errorf("incremental %d + full %d pivots != simplex iters %d",
+					st.IncrementalPivots, st.FullPricingPivots, st.SimplexIters)
+			}
+			if st.Cuts.Applied > st.Cuts.Gomory+st.Cuts.Cover {
+				t.Errorf("applied %d cuts but only %d+%d separated",
+					st.Cuts.Applied, st.Cuts.Gomory, st.Cuts.Cover)
+			}
+			for name, v := range map[string]int{
+				"PseudoCostInits":        st.PseudoCostInits,
+				"HeuristicIncumbents":    st.HeuristicIncumbents,
+				"ReducedCostFixings":     st.ReducedCostFixings,
+				"PropagationTightenings": st.PropagationTightenings,
+				"PropagationPrunes":      st.PropagationPrunes,
+				"CutsAgedOut":            st.Cuts.AgedOut,
+			} {
+				if v < 0 {
+					t.Errorf("%s = %d, want >= 0", name, v)
+				}
+			}
+			// The hard knapsack needs real branching; reliability probes must
+			// have initialized at least one pseudo-cost pair.
+			if st.Nodes > 1 && st.PseudoCostInits == 0 {
+				t.Error("no pseudo-cost reliability probes despite branching")
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -17,9 +17,13 @@ import (
 // The cap sat at 14 while the solver kept a dense basis inverse; the sparse
 // LU kernel with Forrest–Tomlin updates, devex pricing, node-level bound
 // propagation, and the tightened formulation below (time-window variable
-// bounds, per-pair big-M, capacity and critical-path bounds on tE) push the
-// exactly solvable range to 20 operations — see BENCH_pr4.json.
-const MaxExactOps = 20
+// bounds, per-pair big-M, capacity and critical-path bounds on tE) pushed
+// the exactly solvable range to 20 operations (BENCH_pr4.json). Turning the
+// search into cut-and-branch — root Gomory/cover cutting planes, pseudo-cost
+// branching with reliability initialization, incremental pricing with a
+// bound-flipping dual ratio test, and RINS/diving node heuristics — lifts it
+// to 30; BENCH_pr6.json records the seeded random-DAG gap closure.
+const MaxExactOps = 30
 
 // ILPOptions configures the exact scheduling-and-binding formulation.
 type ILPOptions struct {
@@ -190,6 +194,33 @@ func ILPScheduleContext(ctx context.Context, g *seqgraph.Graph, opts ILPOptions)
 	sm := buildSchedModel(g, opts, incumbent, alpha, beta)
 
 	solveOpts := milp.SolveOptions{TimeLimit: limit, Incumbent: sm.warm}
+	// With integral objective weights the model's objective is integral at
+	// every integer-feasible point: once the binaries are fixed, the
+	// remaining ts/te/tE system is a difference-constraint (network) matrix
+	// with integral data — the storage columns are singletons appended to it,
+	// so the block stays totally unimodular and the continuous minimum lands
+	// on an integral vertex. That lets the solver round node bounds up and
+	// cut at incumbent-1, which is what turns near-optimal incumbents into
+	// optimality proofs.
+	if alpha == math.Trunc(alpha) && beta == math.Trunc(beta) {
+		solveOpts.ObjIntegral = true
+	}
+	// Branch on the master decisions first: device assignments determine the
+	// diff indicators through the dge/dle rows (node propagation fixes them
+	// as soon as both endpoints' assignments settle), and diff in turn gates
+	// storage and no-overlap. Ordering binaries resolve last — by then most
+	// are already forced. This steers the dual bound toward the storage term,
+	// which is exactly the part the LP relaxation underestimates.
+	prio := make(map[int]int)
+	for _, row := range sm.assign {
+		for _, v := range row {
+			prio[v.ID()] = 2
+		}
+	}
+	for _, v := range sm.diff {
+		prio[v.ID()] = 1
+	}
+	solveOpts.BranchPriority = func(v milp.Var) int { return prio[v.ID()] }
 	if opts.Progress != nil {
 		tEID := sm.tE.ID()
 		progress := opts.Progress
@@ -259,7 +290,15 @@ type schedModel struct {
 // critical-path lower bounds on the makespan — into a MILP model, plus the
 // incumbent-derived warm start when opts.WarmStart is set.
 func buildSchedModel(g *seqgraph.Graph, opts ILPOptions, incumbent *Schedule, alpha, beta float64) *schedModel {
-	horizon := float64(incumbent.Makespan + opts.Transport*g.NumEdges() + 1)
+	// Optimality-preserving horizon: some optimal schedule scores no worse
+	// than the incumbent, and α·tE never exceeds the full objective, so
+	// tE ≤ (α·mk + β·storage)/α holds for at least one optimum. Clamping the
+	// horizon there (instead of the old mk + transport·edges slack) excludes
+	// only schedules provably no better than the incumbent — and every
+	// big-M and ts/te window below scales with the horizon, so the clamp is
+	// what keeps the LP relaxation tight enough for optimality proofs.
+	horizon := float64(incumbent.Makespan) +
+		math.Floor(beta*float64(incumbent.StorageTime())/alpha)
 
 	n := g.NumOps()
 	m := milp.NewModel()
@@ -373,6 +412,14 @@ func buildSchedModel(g *seqgraph.Graph, opts ILPOptions, incumbent *Schedule, al
 		u := m.NewContinuous(fmt.Sprintf("u_%d_%d", i, j), 0, mS)
 		m.AddGE(fmt.Sprintf("stor_%d_%d", i, j),
 			*milp.NewExpr(0).Add(u, 1).Add(ts[j], -1).Add(te[i], 1).Add(d, -mS), -mS)
+		// Implied storage floor: a cross-device edge pays at least the
+		// transport time (diff=1 forces ts_j-te_i >= uc, hence u >= uc; diff=0
+		// asks nothing). The big-M above only activates at integral diff, so
+		// without this row the relaxation parks diff fractional and streams
+		// every sample for free — the storage term then never reaches the dual
+		// bound and near-optimal incumbents stay unproven.
+		m.AddGE(fmt.Sprintf("storlb_%d_%d", i, j),
+			*milp.NewExpr(0).Add(u, 1).Add(d, -float64(opts.Transport)), 0)
 		storage = append(storage, u)
 	}
 

@@ -86,6 +86,26 @@ type SolverStats struct {
 	// propagation: integer-bound tightenings derived after branching, and
 	// nodes pruned infeasible before their relaxation was solved.
 	PropagationTightenings, PropagationPrunes int
+	// CutsSeparated counts root cutting planes separated (Gomory
+	// mixed-integer plus knapsack covers), CutsApplied the cut rows the
+	// branch-and-bound instance finally carried, and CutsAgedOut the cuts
+	// retired by activity-based aging before the tree search.
+	CutsSeparated, CutsApplied, CutsAgedOut int
+	// CutRounds is the number of separate-apply-resolve rounds at the root.
+	CutRounds int
+	// PseudoCostInits counts reliability-initialization probes (truncated
+	// strong branches) seeding the pseudo-cost branching tables.
+	PseudoCostInits int
+	// HeuristicIncumbents counts improving incumbents found by the node
+	// heuristics (RINS and feasibility diving).
+	HeuristicIncumbents int
+	// IncrementalPivots and FullPricingPivots split simplex pivots by
+	// whether the iteration priced incrementally maintained reduced costs
+	// (O(nnz) per pivot) or paid a from-scratch refresh.
+	IncrementalPivots, FullPricingPivots int
+	// ReducedCostFixings counts variable bounds tightened by reduced-cost
+	// fixing against the incumbent cutoff at branch-and-bound nodes.
+	ReducedCostFixings int
 	// Workers is the branch-and-bound worker pool size.
 	Workers int
 	// Runtime is the wall-clock solve time (the paper's t_s column).
@@ -120,6 +140,15 @@ func (r *Result) SolverStats() *SolverStats {
 		FillRatio:               info.Solver.Factor.FillRatio,
 		PropagationTightenings:  info.Solver.PropagationTightenings,
 		PropagationPrunes:       info.Solver.PropagationPrunes,
+		CutsSeparated:           info.Solver.Cuts.Gomory + info.Solver.Cuts.Cover,
+		CutsApplied:             info.Solver.Cuts.Applied,
+		CutsAgedOut:             info.Solver.Cuts.AgedOut,
+		CutRounds:               info.Solver.Cuts.Rounds,
+		PseudoCostInits:         info.Solver.PseudoCostInits,
+		HeuristicIncumbents:     info.Solver.HeuristicIncumbents,
+		IncrementalPivots:       info.Solver.IncrementalPivots,
+		FullPricingPivots:       info.Solver.FullPricingPivots,
+		ReducedCostFixings:      info.Solver.ReducedCostFixings,
 		Workers:                 info.Solver.Workers,
 		Runtime:                 info.Runtime,
 		ModelVars:               info.ModelStats.Vars,
