@@ -11,6 +11,7 @@
 //	flowsyn -benchmark PCR
 //	flowsyn -assay my_assay.json -devices 3 -grid 5x5 -gantt
 //	flowsyn -benchmark RA30 -snapshot-dir out/   # writes Fig.11-style SVGs
+//	flowsyn -benchmark CPA -fault device:1@130   # fail device 1 at t=130, recover online
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
@@ -45,8 +47,17 @@ func main() {
 		compare   = flag.Bool("compare-dedicated", false, "also report the dedicated-storage baseline (Fig. 10)")
 		doVerify  = flag.Bool("verify", false, "re-check the result with the independent invariant checker")
 		progress  = flag.Bool("progress", false, "print live pipeline progress (stages, solver incumbents) while synthesizing")
+		faultSpec = flag.String("fault", "", "inject a mid-execution fault and recover the suffix online, as kind:index@time (device:1@130, channel:5@40, storage:5@40); renders show the recovered plan")
 	)
 	flag.Parse()
+
+	var fault flowsyn.Fault
+	if *faultSpec != "" {
+		var err error
+		if fault, err = parseFault(*faultSpec); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	var (
 		a    *flowsyn.Assay
@@ -164,6 +175,27 @@ func main() {
 		fmt.Println("verified: all invariants hold (precedence, exclusivity, storage, metrics, sim agreement)")
 	}
 
+	if *faultSpec != "" {
+		rt, err := solver.Recover(ctx, ticket, fault)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rec, err := rt.Wait(ctx)
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				log.Fatal("interrupted")
+			}
+			log.Fatal(err)
+		}
+		rs := rec.Recovery()
+		fmt.Printf("\nRecovery from %s:\n", rs.Fault)
+		fmt.Printf("  preserved %d ops and %d routes, re-planned %d transports\n",
+			rs.PreservedOps, rs.PreservedRoutes, rs.ReroutedTransports)
+		fmt.Printf("  makespan %d -> %d (%+d s)\n", rs.OldMakespan, rs.NewMakespan, rs.MakespanDelta)
+		// Everything rendered below shows the recovered plan.
+		res = rec
+	}
+
 	if *gantt {
 		fmt.Println("\nSchedule:")
 		fmt.Print(res.GanttChart())
@@ -217,4 +249,32 @@ func parseGrid(spec string) (rows, cols int, err error) {
 		return 0, 0, fmt.Errorf("invalid grid %q (want e.g. 4x4)", spec)
 	}
 	return rows, cols, nil
+}
+
+// parseFault reads a kind:index@time fault spec like "device:1@130".
+func parseFault(spec string) (flowsyn.Fault, error) {
+	var f flowsyn.Fault
+	head, at, ok := strings.Cut(spec, "@")
+	kind, idx, ok2 := strings.Cut(head, ":")
+	if !ok || !ok2 {
+		return f, fmt.Errorf("invalid fault %q (want kind:index@time, e.g. device:1@130)", spec)
+	}
+	n, err := strconv.Atoi(idx)
+	if err != nil {
+		return f, fmt.Errorf("invalid fault index %q: %v", idx, err)
+	}
+	if f.Time, err = strconv.Atoi(at); err != nil {
+		return f, fmt.Errorf("invalid fault time %q: %v", at, err)
+	}
+	switch kind {
+	case "device":
+		f.Kind, f.Device = flowsyn.DeviceFault, n
+	case "channel":
+		f.Kind, f.Channel = flowsyn.ChannelFault, n
+	case "storage":
+		f.Kind, f.Channel = flowsyn.StorageFault, n
+	default:
+		return f, fmt.Errorf("unknown fault kind %q (want device, channel or storage)", kind)
+	}
+	return f, nil
 }

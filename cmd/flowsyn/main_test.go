@@ -1,0 +1,48 @@
+package main
+
+import (
+	"testing"
+
+	"flowsyn"
+)
+
+func TestParseGrid(t *testing.T) {
+	rows, cols, err := parseGrid("5x7")
+	if err != nil || rows != 5 || cols != 7 {
+		t.Errorf("parseGrid(5x7) = %d,%d,%v", rows, cols, err)
+	}
+	if _, _, err := parseGrid("big"); err == nil {
+		t.Error("parseGrid accepted garbage")
+	}
+}
+
+func TestParseFault(t *testing.T) {
+	cases := []struct {
+		spec string
+		want flowsyn.Fault
+	}{
+		{"device:1@130", flowsyn.Fault{Kind: flowsyn.DeviceFault, Device: 1, Time: 130}},
+		{"channel:5@40", flowsyn.Fault{Kind: flowsyn.ChannelFault, Channel: 5, Time: 40}},
+		{"storage:5@40", flowsyn.Fault{Kind: flowsyn.StorageFault, Channel: 5, Time: 40}},
+	}
+	for _, c := range cases {
+		got, err := parseFault(c.spec)
+		if err != nil || got != c.want {
+			t.Errorf("parseFault(%q) = %+v, %v; want %+v", c.spec, got, err, c.want)
+		}
+	}
+	for _, bad := range []string{"", "device:1", "device@130", "meteor:1@130", "device:x@130", "device:1@now"} {
+		if _, err := parseFault(bad); err == nil {
+			t.Errorf("parseFault(%q) accepted", bad)
+		}
+	}
+}
+
+func TestGapString(t *testing.T) {
+	if s := gapString(-1); s != "n/a" {
+		t.Errorf("gapString(-1) = %q", s)
+	}
+	if s := gapString(0.051); s != "5.10%" {
+		t.Errorf("gapString(0.051) = %q", s)
+	}
+}

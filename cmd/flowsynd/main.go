@@ -13,9 +13,15 @@
 //	curl -N localhost:8080/v1/jobs/job-1/stream
 //	curl -s localhost:8080/v1/jobs/job-1/result
 //
-// On SIGTERM/SIGINT the daemon drains gracefully: new submissions are
-// refused with 503 while queued and running jobs finish (bounded by
-// -drain-timeout), then the process exits.
+// Inject a fault into a finished job and recover the remaining suffix
+// online:
+//
+//	curl -s localhost:8080/v1/jobs/job-1/recover -d '{"kind":"device","time":130,"device":2}'
+//
+// On SIGTERM/SIGINT the daemon drains: new submissions are refused with 503,
+// the server's job-lifetime context is cancelled — queued jobs fail promptly
+// and running solves abort at their next checkpoint — and the process exits
+// once the solver winds down (bounded by -drain-timeout).
 package main
 
 import (
@@ -67,8 +73,9 @@ func main() {
 		log.Fatalf("serve: %v", err)
 	}
 
-	// Drain: refuse new jobs, let the HTTP layer finish in-flight requests
-	// (streams included), then drain the solver's queue and workers.
+	// Drain: refuse new jobs and cancel the job-lifetime context so queued
+	// and running solver work winds down, let the HTTP layer finish in-flight
+	// requests (streams included), then close the solver.
 	srv.beginDrain()
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()

@@ -22,6 +22,7 @@ import (
 //	GET  /v1/jobs/{id}/result          finished result document
 //	GET  /v1/jobs/{id}/stream          progress events as SSE
 //	POST /v1/jobs/{id}/resynthesize    incremental re-synthesis of an edit
+//	POST /v1/jobs/{id}/recover         online recovery from an injected fault
 //	GET  /v1/stats                     session counters
 //	GET  /healthz                      liveness + drain state
 type server struct {
@@ -29,6 +30,13 @@ type server struct {
 	started  time.Time
 	draining atomic.Bool
 	nextID   atomic.Uint64
+
+	// ctx is the server's lifetime context: every solver job is submitted
+	// under it, so a drain cancels queued jobs and aborts running solves at
+	// their next checkpoint instead of pinning the process past its drain
+	// timeout.
+	ctx    context.Context
+	cancel context.CancelFunc
 
 	mu sync.Mutex
 	// jobs is bounded: once more than maxJobs records are tracked, the
@@ -56,11 +64,14 @@ type jobRecord struct {
 const defaultMaxJobs = 1024
 
 func newServer(solver *flowsyn.Solver) *server {
+	ctx, cancel := context.WithCancel(context.Background())
 	return &server{
 		solver:  solver,
 		started: time.Now(),
 		jobs:    make(map[string]*jobRecord),
 		maxJobs: defaultMaxJobs,
+		ctx:     ctx,
+		cancel:  cancel,
 	}
 }
 
@@ -71,13 +82,19 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
 	mux.HandleFunc("POST /v1/jobs/{id}/resynthesize", s.handleResynthesize)
+	mux.HandleFunc("POST /v1/jobs/{id}/recover", s.handleRecover)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	return mux
 }
 
-// beginDrain stops accepting new jobs; in-flight and queued ones finish.
-func (s *server) beginDrain() { s.draining.Store(true) }
+// beginDrain stops accepting new jobs and cancels the server's lifetime
+// context: queued jobs fail with context.Canceled at worker pickup and
+// running solves abort at their next cancellation checkpoint.
+func (s *server) beginDrain() {
+	s.draining.Store(true)
+	s.cancel()
+}
 
 // jobRequest is the submit payload: a built-in benchmark or an inline assay
 // document, plus optional option overrides.
@@ -202,7 +219,7 @@ func (s *server) submit(req jobRequest) (*jobRecord, int, error) {
 	if opts, err = req.Options.apply(opts); err != nil {
 		return nil, http.StatusBadRequest, err
 	}
-	ticket, err := s.solver.Submit(context.Background(), flowsyn.Job{Name: req.Name, Assay: a, Options: opts})
+	ticket, err := s.solver.Submit(s.ctx, flowsyn.Job{Name: req.Name, Assay: a, Options: opts})
 	if err != nil {
 		return nil, submitErrorStatus(err), err
 	}
@@ -376,6 +393,17 @@ func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
 		"verified":         res.Verified(),
 		"stats":            jobStatsJSON(rec.ticket.Stats()),
 	}
+	if rs := res.Recovery(); rs != nil {
+		doc["recovery"] = map[string]any{
+			"fault":               rs.Fault.String(),
+			"preserved_ops":       rs.PreservedOps,
+			"preserved_routes":    rs.PreservedRoutes,
+			"rerouted_transports": rs.ReroutedTransports,
+			"old_makespan_s":      rs.OldMakespan,
+			"new_makespan_s":      rs.NewMakespan,
+			"makespan_delta_s":    rs.MakespanDelta,
+		}
+	}
 	var stages []map[string]any
 	for _, st := range res.StageTimings() {
 		stages = append(stages, map[string]any{
@@ -485,10 +513,73 @@ func (s *server) handleResynthesize(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	ticket, err := s.solver.Resynthesize(context.Background(), rec.ticket, edited)
+	ticket, err := s.solver.Resynthesize(s.ctx, rec.ticket, edited)
 	if err != nil {
 		status := http.StatusConflict // prior unfinished/failed
 		if errors.Is(err, flowsyn.ErrQueueFull) || errors.Is(err, flowsyn.ErrSolverClosed) {
+			status = submitErrorStatus(err)
+		}
+		writeError(w, status, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, s.submitResponse(s.track(ticket)))
+}
+
+// faultRequest is the recover payload: one mid-execution fault to inject
+// into a finished job's execution.
+type faultRequest struct {
+	Kind    string `json:"kind"` // "device" | "channel" | "storage"
+	Time    int    `json:"time"` // injection instant, seconds from assay start
+	Device  int    `json:"device,omitempty"`
+	Channel int    `json:"channel,omitempty"`
+}
+
+func (f faultRequest) fault() (flowsyn.Fault, error) {
+	out := flowsyn.Fault{Time: f.Time, Device: f.Device, Channel: f.Channel}
+	switch f.Kind {
+	case "device":
+		out.Kind = flowsyn.DeviceFault
+	case "channel":
+		out.Kind = flowsyn.ChannelFault
+	case "storage":
+		out.Kind = flowsyn.StorageFault
+	default:
+		return out, fmt.Errorf("unknown fault kind %q (want \"device\", \"channel\" or \"storage\")", f.Kind)
+	}
+	return out, nil
+}
+
+// handleRecover injects a fault into a finished job's execution and submits
+// the online re-synthesis of its suffix (see flowsyn.Solver.Recover). The
+// response is a fresh trackable job; its result document carries a
+// "recovery" block with the preservation and makespan metrics.
+func (s *server) handleRecover(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "daemon draining, not accepting jobs")
+		return
+	}
+	rec := s.record(r)
+	if rec == nil {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	var req faultRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: "+err.Error())
+		return
+	}
+	fault, err := req.fault()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ticket, err := s.solver.Recover(s.ctx, rec.ticket, fault)
+	if err != nil {
+		status := http.StatusBadRequest // fault rejected against the prior plan
+		switch {
+		case errors.Is(err, flowsyn.ErrJobPending):
+			status = http.StatusConflict
+		case errors.Is(err, flowsyn.ErrQueueFull), errors.Is(err, flowsyn.ErrSolverClosed):
 			status = submitErrorStatus(err)
 		}
 		writeError(w, status, err.Error())

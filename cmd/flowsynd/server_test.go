@@ -351,6 +351,132 @@ func TestDaemonErrorPaths(t *testing.T) {
 	}
 }
 
+// TestDaemonRecover injects a device fault into a finished job through the
+// recover endpoint and checks the recovered job's result document carries the
+// recovery block, plus the endpoint's error paths.
+func TestDaemonRecover(t *testing.T) {
+	srv, ts := newTestServer(t)
+	_, doc := postJSON(t, ts.URL+"/v1/jobs", map[string]any{
+		"benchmark": "CPA",
+		"options":   map[string]any{"engine": "heuristic", "verify": true},
+	})
+	id, _ := doc["id"].(string)
+	waitForState(t, ts.URL, id, "done")
+	_, prior := getJSON(t, ts.URL+"/v1/jobs/"+id+"/result")
+	makespan := int(prior["makespan_s"].(float64))
+
+	resp, rdoc := postJSON(t, ts.URL+"/v1/jobs/"+id+"/recover", map[string]any{
+		"kind": "device", "time": makespan / 2, "device": 1,
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("recover status %d: %v", resp.StatusCode, rdoc)
+	}
+	rid, _ := rdoc["id"].(string)
+	waitForState(t, ts.URL, rid, "done")
+	_, result := getJSON(t, ts.URL+"/v1/jobs/"+rid+"/result")
+	recovery, ok := result["recovery"].(map[string]any)
+	if !ok {
+		t.Fatalf("recovered result without recovery block: %v", result)
+	}
+	if f, _ := recovery["fault"].(string); f != fmt.Sprintf("device 1 @ t=%d", makespan/2) {
+		t.Errorf("recovery fault %q", f)
+	}
+	if old, _ := recovery["old_makespan_s"].(float64); int(old) != makespan {
+		t.Errorf("recovery old makespan %v, prior had %d", recovery["old_makespan_s"], makespan)
+	}
+	if result["verified"] != true {
+		t.Errorf("recovery not verified: %v", result["verified"])
+	}
+	// An ordinary job's result document has no recovery block.
+	if _, ok := prior["recovery"]; ok {
+		t.Errorf("prior result carries a recovery block: %v", prior["recovery"])
+	}
+
+	// Error paths: unknown job, bad kind, fault the plan rejects, drain.
+	if resp, _ := postJSON(t, ts.URL+"/v1/jobs/nope/recover", map[string]any{"kind": "device"}); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job recover: %d", resp.StatusCode)
+	}
+	if resp, _ := postJSON(t, ts.URL+"/v1/jobs/"+id+"/recover", map[string]any{"kind": "meteor"}); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown fault kind: %d", resp.StatusCode)
+	}
+	if resp, _ := postJSON(t, ts.URL+"/v1/jobs/"+id+"/recover", map[string]any{"kind": "device", "device": 99}); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("out-of-range device: %d", resp.StatusCode)
+	}
+	srv.beginDrain()
+	if resp, _ := postJSON(t, ts.URL+"/v1/jobs/"+id+"/recover", map[string]any{"kind": "device"}); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("draining recover: %d", resp.StatusCode)
+	}
+}
+
+// TestDaemonDrainCancelsJobs is the regression test for jobs being submitted
+// under context.Background(): a drain must reach queued and running solver
+// work. One worker is pinned by a long exact solve, a second job queues
+// behind it; beginDrain cancels the server's job-lifetime context, so the
+// queued job must fail with context.Canceled instead of running to
+// completion.
+func TestDaemonDrainCancelsJobs(t *testing.T) {
+	solver := flowsyn.New(flowsyn.Config{Workers: 1})
+	srv := newServer(solver)
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(func() {
+		ts.Close()
+		solver.Close()
+	})
+
+	// Job A pins the single worker: RA30 exact is far beyond the
+	// exact-tractable size, so it solves until cancelled or timed out.
+	_, docA := postJSON(t, ts.URL+"/v1/jobs", map[string]any{
+		"benchmark": "RA30",
+		"options":   map[string]any{"engine": "exact-ilp", "ilp_time_limit_ms": 120000},
+	})
+	idA, _ := docA["id"].(string)
+	if idA == "" {
+		t.Fatalf("submit A: %v", docA)
+	}
+	// Job B queues behind it.
+	_, docB := postJSON(t, ts.URL+"/v1/jobs", map[string]any{
+		"benchmark": "PCR",
+		"options":   map[string]any{"engine": "heuristic"},
+	})
+	idB, _ := docB["id"].(string)
+	if idB == "" {
+		t.Fatalf("submit B: %v", docB)
+	}
+
+	// Wait until A is actually inside the worker, then drain.
+	deadline := time.Now().Add(time.Minute)
+	for {
+		_, st := getJSON(t, ts.URL+"/v1/jobs/"+idA)
+		if st["state"] == "running" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job A never started running: %v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	srv.beginDrain()
+
+	// Both jobs must observe the cancellation: B at worker pickup, A at the
+	// solver's next cancellation checkpoint.
+	for _, id := range []string{idB, idA} {
+		var st map[string]any
+		for time.Now().Before(deadline) {
+			_, st = getJSON(t, ts.URL+"/v1/jobs/"+id)
+			if st["state"] == "failed" || st["state"] == "done" {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		if st["state"] != "failed" {
+			t.Fatalf("job %s state %v after drain, want failed", id, st["state"])
+		}
+		if msg, _ := st["error"].(string); !strings.Contains(msg, "context canceled") {
+			t.Errorf("job %s failed with %q, want context.Canceled", id, msg)
+		}
+	}
+}
+
 // TestDaemonJobHistoryBounded submits more jobs than the tracking bound and
 // checks the oldest finished records are evicted while recent ones survive.
 func TestDaemonJobHistoryBounded(t *testing.T) {

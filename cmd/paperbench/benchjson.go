@@ -108,17 +108,42 @@ type benchCacheRun struct {
 	SweepScheduleHits   int64 `json:"sweep_schedule_hits"`
 }
 
+// benchRecoveryRun measures fault-tolerant online re-synthesis on one assay:
+// a mid-execution device fault is injected into a finished solve and the
+// suffix recovered via Solver.Recover, against the cold alternative of
+// re-synthesizing the whole assay from scratch on the masked chip (one device
+// fewer). The baseline gate is self-relative, like the cache gate: online
+// recovery losing to the cold restart means the splice stopped paying.
+type benchRecoveryRun struct {
+	Assay string `json:"assay"`
+	// Fault renders the injected fault, e.g. "device 1 @ t=130".
+	Fault string `json:"fault"`
+	// RecoverMS is the online recovery's wall-clock; ColdMS the full cold
+	// re-synthesis on the masked chip.
+	RecoverMS float64 `json:"recover_ms"`
+	ColdMS    float64 `json:"cold_ms"`
+	// PreservedOps counts executed operations the splice carried over.
+	PreservedOps int `json:"preserved_ops"`
+	// OldMakespan/NewMakespan/MakespanDelta report what the fault cost the
+	// recovered plan; ColdMakespan is the cold restart's for comparison.
+	OldMakespan   int `json:"old_makespan"`
+	NewMakespan   int `json:"new_makespan"`
+	MakespanDelta int `json:"makespan_delta"`
+	ColdMakespan  int `json:"cold_makespan"`
+}
+
 // benchFile is the schema of the machine-readable benchmark artifact; the
 // perf trajectory across PRs compares these files.
 type benchFile struct {
-	Schema     string          `json:"schema"`
-	Generated  string          `json:"generated"`
-	GoVersion  string          `json:"go"`
-	GOMAXPROCS int             `json:"gomaxprocs"`
-	Notes      string          `json:"notes,omitempty"`
-	Runs       []benchRun      `json:"runs"`
-	CacheRuns  []benchCacheRun `json:"cache_runs,omitempty"`
-	GapRuns    []benchGapRun   `json:"gap_runs,omitempty"`
+	Schema       string             `json:"schema"`
+	Generated    string             `json:"generated"`
+	GoVersion    string             `json:"go"`
+	GOMAXPROCS   int                `json:"gomaxprocs"`
+	Notes        string             `json:"notes,omitempty"`
+	Runs         []benchRun         `json:"runs"`
+	CacheRuns    []benchCacheRun    `json:"cache_runs,omitempty"`
+	GapRuns      []benchGapRun      `json:"gap_runs,omitempty"`
+	RecoveryRuns []benchRecoveryRun `json:"recovery_runs,omitempty"`
 }
 
 // runBenchJSON synthesizes every requested assay once per engine, collecting
@@ -217,6 +242,18 @@ func runBenchJSON(ctx context.Context, path, assays, notes string) error {
 		}
 		out.CacheRuns = append(out.CacheRuns, cr)
 	}
+	for _, name := range names {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		rr, ok, err := runRecoveryBench(ctx, name)
+		if err != nil {
+			return fmt.Errorf("%s/recovery: %w", name, err)
+		}
+		if ok {
+			out.RecoveryRuns = append(out.RecoveryRuns, rr)
+		}
+	}
 	gapRuns, err := runGapSuite(ctx)
 	if err != nil {
 		return err
@@ -288,6 +325,73 @@ func runCacheBench(ctx context.Context, name string) (benchCacheRun, error) {
 	return cr, nil
 }
 
+// runRecoveryBench injects one mid-execution device fault into a finished
+// synthesis of the benchmark and times the online recovery of its suffix
+// against a cold full re-synthesis on the masked chip (one device fewer, no
+// caches). Benchmarks with a single device cannot absorb a device fault and
+// are skipped (ok false).
+func runRecoveryBench(ctx context.Context, name string) (benchRecoveryRun, bool, error) {
+	a, opts, err := flowsyn.Benchmark(name)
+	if err != nil {
+		return benchRecoveryRun{}, false, err
+	}
+	if opts.Devices < 2 {
+		return benchRecoveryRun{}, false, nil
+	}
+	opts.ILPTimeLimit = 20 * time.Second
+	s := flowsyn.New(flowsyn.Config{Workers: 1, CacheEntries: -1})
+	defer s.Close()
+
+	prior, err := s.Submit(ctx, flowsyn.Job{Name: name, Assay: a, Options: opts})
+	if err != nil {
+		return benchRecoveryRun{}, false, err
+	}
+	res, err := prior.Wait(ctx)
+	if err != nil {
+		return benchRecoveryRun{}, false, err
+	}
+
+	fault := flowsyn.Fault{Kind: flowsyn.DeviceFault, Time: res.Makespan() / 2, Device: 1}
+	start := time.Now()
+	rt, err := s.Recover(ctx, prior, fault)
+	if err != nil {
+		return benchRecoveryRun{}, false, err
+	}
+	rec, err := rt.Wait(ctx)
+	recoverWall := time.Since(start)
+	if err != nil {
+		return benchRecoveryRun{}, false, err
+	}
+	stats := rec.Recovery()
+
+	// The cold alternative: forget the interrupted execution and re-run the
+	// whole assay from scratch on a chip without the failed device.
+	masked := opts
+	masked.Devices--
+	start = time.Now()
+	coldT, err := s.Submit(ctx, flowsyn.Job{Name: name + "-masked", Assay: a, Options: masked})
+	if err != nil {
+		return benchRecoveryRun{}, false, err
+	}
+	coldRes, err := coldT.Wait(ctx)
+	coldWall := time.Since(start)
+	if err != nil {
+		return benchRecoveryRun{}, false, err
+	}
+
+	return benchRecoveryRun{
+		Assay:         name,
+		Fault:         fault.String(),
+		RecoverMS:     float64(recoverWall.Microseconds()) / 1e3,
+		ColdMS:        float64(coldWall.Microseconds()) / 1e3,
+		PreservedOps:  stats.PreservedOps,
+		OldMakespan:   stats.OldMakespan,
+		NewMakespan:   stats.NewMakespan,
+		MakespanDelta: stats.MakespanDelta,
+		ColdMakespan:  coldRes.Makespan(),
+	}, true, nil
+}
+
 // gapSuiteLimit is the per-instance time limit of the seeded gap suite; it
 // matches the exact engine's 30-second default (ILPOptions.TimeLimit zero).
 const gapSuiteLimit = 30 * time.Second
@@ -338,6 +442,12 @@ func runGapSuite(ctx context.Context) ([]benchGapRun, error) {
 // checked-in baseline, so only a >3× slowdown of a proven-optimal exact
 // solve counts as a regression.
 const benchRegressLimit = 3.0
+
+// benchRecoverLimit is the self-relative factor online recovery may cost
+// versus the cold masked re-synthesis measured in the same emission before
+// the gate fails: the splice solves a strictly smaller problem, so parity is
+// expected and the margin only absorbs within-run timer jitter.
+const benchRecoverLimit = 1.25
 
 // checkBenchRegression compares a fresh -bench-json emission against a
 // checked-in baseline (e.g. BENCH_pr3.json). For every exact-ILP run the
@@ -462,6 +572,25 @@ func checkBenchRegression(freshPath, baselinePath string) error {
 				cr.Assay, cr.SweepScheduleSolves, cr.SweepPoints))
 		}
 	}
+	// The recovery gate is likewise self-relative: online recovery re-plans
+	// only the post-fault suffix while the cold restart re-plans everything,
+	// so a recovery meaningfully slower than the cold restart in the same run
+	// means the splice stopped paying. benchRecoverLimit leaves headroom for
+	// within-run timer jitter; sub-millisecond runs are below timer noise.
+	recoveryChecked := 0
+	for i := range fresh.RecoveryRuns {
+		rr := &fresh.RecoveryRuns[i]
+		recoveryChecked++
+		if rr.NewMakespan <= 0 {
+			failures = append(failures, fmt.Sprintf(
+				"%s/recovery: no recovered plan (makespan %d)", rr.Assay, rr.NewMakespan))
+		}
+		if rr.RecoverMS > benchRecoverLimit*rr.ColdMS && rr.RecoverMS > 1.0 {
+			failures = append(failures, fmt.Sprintf(
+				"%s/recovery: online recovery %.3fms vs cold re-synthesis %.3fms (>%gx, splice stopped paying)",
+				rr.Assay, rr.RecoverMS, rr.ColdMS, benchRecoverLimit))
+		}
+	}
 	if len(failures) > 0 {
 		for _, f := range failures {
 			fmt.Fprintln(os.Stderr, "bench-regression: "+f)
@@ -477,7 +606,7 @@ func checkBenchRegression(freshPath, baselinePath string) error {
 		// otherwise keep CI green while checking nothing at all.
 		return fmt.Errorf("no fresh run matched any baseline run in %s; the regression gate checked nothing", baselinePath)
 	}
-	fmt.Printf("bench-regression: %d runs + %d cache runs + %d gap runs checked against %s, no regressions\n",
-		checked, cacheChecked, gapChecked, baselinePath)
+	fmt.Printf("bench-regression: %d runs + %d cache runs + %d gap runs + %d recovery runs checked against %s, no regressions\n",
+		checked, cacheChecked, gapChecked, recoveryChecked, baselinePath)
 	return nil
 }

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBench(t *testing.T, dir, name string, f benchFile) string {
+	t.Helper()
+	data, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// goodBench returns a fresh emission that passes every self-relative gate and
+// matches the baseline runs.
+func goodBench() benchFile {
+	return benchFile{
+		Schema: "flowsyn-bench/v1",
+		Runs: []benchRun{
+			{Assay: "PCR", Engine: "heuristic", Makespan: 310, WallMS: 1.0},
+			{Assay: "PCR", Engine: "exact-ilp", Makespan: 310, WallMS: 2.0,
+				Solver: &benchSolver{Status: "optimal"}},
+		},
+		CacheRuns: []benchCacheRun{{
+			Assay: "PCR", ColdMS: 10, CachedMS: 0.1, CacheHit: true,
+			SweepPoints: 4, SweepScheduleSolves: 1, SweepScheduleHits: 3,
+		}},
+		RecoveryRuns: []benchRecoveryRun{{
+			Assay: "CPA", Fault: "device 1 @ t=345",
+			RecoverMS: 0.4, ColdMS: 0.6,
+			PreservedOps: 26, OldMakespan: 690, NewMakespan: 775,
+			MakespanDelta: 85, ColdMakespan: 810,
+		}},
+	}
+}
+
+func TestCheckBenchRegressionRecoveryGate(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.json", goodBench())
+
+	// A healthy emission passes.
+	fresh := writeBench(t, dir, "fresh.json", goodBench())
+	if err := checkBenchRegression(fresh, base); err != nil {
+		t.Fatalf("healthy emission flagged: %v", err)
+	}
+
+	// Online recovery meaningfully slower than the cold masked restart fails
+	// the self-relative gate.
+	slow := goodBench()
+	slow.RecoveryRuns[0].RecoverMS = 10
+	slow.RecoveryRuns[0].ColdMS = 1
+	fresh = writeBench(t, dir, "slow.json", slow)
+	if err := checkBenchRegression(fresh, base); err == nil || !strings.Contains(err.Error(), "regression") {
+		t.Errorf("slow recovery passed the gate: %v", err)
+	}
+
+	// A recovery that produced no plan fails.
+	empty := goodBench()
+	empty.RecoveryRuns[0].NewMakespan = 0
+	fresh = writeBench(t, dir, "empty.json", empty)
+	if err := checkBenchRegression(fresh, base); err == nil {
+		t.Error("empty recovery plan passed the gate")
+	}
+
+	// Sub-millisecond jitter does not flake the gate.
+	noisy := goodBench()
+	noisy.RecoveryRuns[0].RecoverMS = 0.9
+	noisy.RecoveryRuns[0].ColdMS = 0.2
+	fresh = writeBench(t, dir, "noisy.json", noisy)
+	if err := checkBenchRegression(fresh, base); err != nil {
+		t.Errorf("sub-millisecond recovery jitter flagged: %v", err)
+	}
+
+	// The existing gates still bite: a proven-optimal makespan change fails.
+	drift := goodBench()
+	drift.Runs[1].Makespan = 400
+	fresh = writeBench(t, dir, "drift.json", drift)
+	if err := checkBenchRegression(fresh, base); err == nil {
+		t.Error("proven-optimal makespan drift passed the gate")
+	}
+}

@@ -130,8 +130,17 @@ type router struct {
 	// objective (12) greedily.
 	reuseCost, newCost int
 	// bannedStorage excludes specific segments from storage selection; used
-	// while re-homing a ripped-up cache.
+	// while re-homing a ripped-up cache. (Transient — overwritten per rehome,
+	// which is why the fault masks below are separate fields.)
 	bannedStorage map[EdgeID]bool
+	// forbidden excludes failed segments from all new routing and storage;
+	// noCache excludes degraded segments from storage candidacy only. Both
+	// come from injected faults and hold for the whole synthesis.
+	forbidden map[EdgeID]bool
+	noCache   map[EdgeID]bool
+	// pinned marks route ids installed verbatim from a pre-fault execution:
+	// rip-up may never evict them.
+	pinned map[int]bool
 }
 
 // free reports whether switch node n is usable in window w; device nodes are
@@ -251,7 +260,7 @@ func (r *router) shortestTree(src NodeID, w interval, allowDevice NodeID, banEdg
 				continue
 			}
 			e := r.grid.EdgeBetween(it.node, nb)
-			if e == banEdge || !r.occ.edgeFree(e, w) || !r.free(nb, w) {
+			if e == banEdge || r.forbidden[e] || !r.occ.edgeFree(e, w) || !r.free(nb, w) {
 				continue
 			}
 			nd := it.dist + r.edgeCost(e)
@@ -351,7 +360,7 @@ func (r *router) routeStored(id int, t sched.Task, src, dst NodeID) (Route, erro
 	var cands []candidate
 	for e := 0; e < r.grid.NumEdges(); e++ {
 		eid := EdgeID(e)
-		if r.bannedStorage[eid] {
+		if r.bannedStorage[eid] || r.forbidden[eid] || r.noCache[eid] {
 			continue
 		}
 		if !r.occ.edgeFree(eid, spanW) {
@@ -456,6 +465,10 @@ func (r *router) ripUpAndRetry(id int, t sched.Task, src, dst NodeID, routes []R
 	}
 	var victims []victim
 	for j, route := range routes {
+		if r.pinned[j] {
+			// Executed before the fault: history cannot be re-routed.
+			continue
+		}
 		if overlaps(span(route.Task), tw) {
 			victims = append(victims, victim{j, route.Task.CacheDuration()})
 		}

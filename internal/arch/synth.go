@@ -28,6 +28,19 @@ type Options struct {
 	// IVD row). Dense assays that already saturate their grid should leave
 	// it off; the paper models no I/O transport.
 	ModelIO bool
+	// PinnedRoutes installs prior routes verbatim for the tasks they serve
+	// (matched exactly by task) instead of re-routing them: the executed
+	// prefix of a faulted run. Pinned routes are exempt from rip-up and from
+	// the forbidden-edge masks below — they were legal when they ran, before
+	// the fault existed. Requires FixedPlacement (the routes name concrete
+	// grid nodes).
+	PinnedRoutes []Route
+	// ForbiddenEdges closes channel segments to all new routing and storage
+	// (a failed valve pair).
+	ForbiddenEdges []EdgeID
+	// ForbiddenStorage closes channel segments to storage candidacy only (a
+	// degraded segment still transports but cannot hold a cache).
+	ForbiddenStorage []EdgeID
 }
 
 // Result is a synthesized chip architecture: the planar connection graph of
@@ -126,6 +139,34 @@ func SynthesizeContext(ctx context.Context, s *sched.Schedule, grid Grid, opts O
 	}
 	tasks := expectedTasks(s, internalTasks, ports)
 
+	pinnedByTask := make(map[sched.Task]Route, len(opts.PinnedRoutes))
+	for _, pr := range opts.PinnedRoutes {
+		pinnedByTask[pr.Task] = pr
+	}
+	if len(pinnedByTask) > 0 {
+		if opts.FixedPlacement == nil {
+			return nil, fmt.Errorf("arch: pinned routes require a fixed placement")
+		}
+		found := 0
+		for _, t := range tasks {
+			if _, ok := pinnedByTask[t]; ok {
+				found++
+			}
+		}
+		if found != len(pinnedByTask) {
+			return nil, fmt.Errorf("arch: %d pinned route(s) serve no task of the schedule",
+				len(pinnedByTask)-found)
+		}
+	}
+	forbidden := make(map[EdgeID]bool, len(opts.ForbiddenEdges))
+	for _, e := range opts.ForbiddenEdges {
+		forbidden[e] = true
+	}
+	noCache := make(map[EdgeID]bool, len(opts.ForbiddenStorage))
+	for _, e := range opts.ForbiddenStorage {
+		noCache[e] = true
+	}
+
 	// Candidate placements: the requested one, then fallbacks (a different
 	// strategy often unblocks a congested instance).
 	var placements [][]NodeID
@@ -192,6 +233,9 @@ func SynthesizeContext(ctx context.Context, s *sched.Schedule, grid Grid, opts O
 			used:      make(map[EdgeID]bool),
 			reuseCost: opts.ReuseCost,
 			newCost:   opts.NewCost,
+			forbidden: forbidden,
+			noCache:   noCache,
+			pinned:    make(map[int]bool, len(pinnedByTask)),
 		}
 		for _, p := range pos {
 			r.isDevice[p] = true
@@ -201,6 +245,15 @@ func SynthesizeContext(ctx context.Context, s *sched.Schedule, grid Grid, opts O
 		for i, t := range tasks {
 			if err := ctx.Err(); err != nil {
 				return nil, err
+			}
+			if pr, ok := pinnedByTask[t]; ok {
+				// An executed route survives the fault verbatim: reserve its
+				// resources so nothing re-planned collides with history, and
+				// shield it from rip-up.
+				r.applyReservations(i, pr)
+				r.pinned[i] = true
+				routes = append(routes, pr)
+				continue
 			}
 			src, dst := pos[t.From], pos[t.To]
 			route, err := r.routeTask(i, t, src, dst)

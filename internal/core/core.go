@@ -208,6 +208,9 @@ type Result struct {
 	// Service carries per-job queue/cache/progress metrics when the result
 	// was produced through a solver session; nil otherwise.
 	Service *ServiceMetrics
+	// Recovery summarizes the fault and splice when the result came from an
+	// online re-synthesis (Recover); nil for ordinary syntheses.
+	Recovery *Recovery
 }
 
 // StageDuration returns the recorded wall-clock of the named stage (zero when

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"flowsyn/internal/arch"
+	"flowsyn/internal/sched"
+	"flowsyn/internal/sim"
+	"flowsyn/internal/verify"
+)
+
+// Recovery summarizes an online re-synthesis: the injected fault, how much of
+// the interrupted execution survived the splice, and what the recovery cost
+// in makespan.
+type Recovery struct {
+	// Fault is the injected fault the recovery worked around.
+	Fault sim.Fault
+	// PreservedOps counts operations of the executed prefix carried over
+	// verbatim (same device, same window) — zero re-executed work.
+	PreservedOps int
+	// PreservedRoutes counts the executed internal transport routes carried
+	// over verbatim into the recovered architecture.
+	PreservedRoutes int
+	// ReroutedTransports counts the transportation routes planned fresh
+	// around the fault (suffix transports plus the wholesale re-planned I/O
+	// traffic).
+	ReroutedTransports int
+	// OldMakespan and NewMakespan are the assay completion times of the
+	// faulted plan and the recovered plan; MakespanDelta is their difference
+	// (>= 0 in practice: the recovery can only constrain the solution space).
+	OldMakespan, NewMakespan, MakespanDelta int
+}
+
+// String renders the recovery metrics in one line.
+func (r *Recovery) String() string {
+	return fmt.Sprintf("recover %s: %d ops preserved, %d routes preserved, %d transports re-planned, makespan %d -> %d (%+d)",
+		r.Fault, r.PreservedOps, r.PreservedRoutes, r.ReroutedTransports,
+		r.OldMakespan, r.NewMakespan, r.MakespanDelta)
+}
+
+// recoverState carries the recovery context between the pipeline stages: the
+// faulted result being recovered, the fault, the frozen execution prefix and
+// the scheduling pin derived from it.
+type recoverState struct {
+	prior  *Result
+	fault  sim.Fault
+	prefix *sim.Prefix
+	pin    *sched.Pin
+}
+
+// Recover re-synthesizes an interrupted execution around a fault injected at
+// fault.Time. See RecoverContext.
+func Recover(opts Options, prior *Result, fault sim.Fault) (*Result, error) {
+	return RecoverContext(context.Background(), opts, prior, fault)
+}
+
+// RecoverContext performs fault-tolerant online re-synthesis: it freezes
+// everything prior's execution had completed or in flight when the fault hit
+// (sim.ExecutionPrefix), pins that prefix — assignments, departure slots and
+// the internal routes that fed it — and re-synthesizes only the suffix on the
+// masked chip:
+//
+//   - sim.FaultDevice bans the failed chamber from all re-planned operations
+//     (its ports stay usable, so fluids already inside still transport out);
+//   - sim.FaultChannel bans the failed segment from all re-planned routing
+//     and storage;
+//   - sim.FaultStorage bans the degraded segment from storage candidacy only.
+//
+// The chip itself is immutable mid-run: device count, transport time, grid,
+// placement and the I/O model are taken from prior, whatever opts says; opts
+// contributes the engine choice, objective mode, time limit, physical-design
+// rules and the Verify/Progress hooks. The prior schedule warm-starts the
+// suffix solve. With opts.Verify set, the spliced plan is replayed end to end
+// by verify.CheckRecovery, which fails the recovery on any re-executed prefix
+// work, pre-fault suffix start, or fault-mask violation.
+//
+// The returned result is a complete synthesis of the same assay whose
+// Recovery field carries the splice metrics.
+func RecoverContext(ctx context.Context, opts Options, prior *Result, fault sim.Fault) (*Result, error) {
+	if prior == nil || prior.Schedule == nil || prior.Architecture == nil {
+		return nil, fmt.Errorf("core: recovery needs a prior result with a schedule and an architecture")
+	}
+	s0, a0 := prior.Schedule, prior.Architecture
+	// Pin the chip parameters to the interrupted execution.
+	opts.Devices = s0.Devices
+	opts.Transport = s0.Transport
+	opts.GridRows, opts.GridCols = a0.Grid.Rows, a0.Grid.Cols
+	opts.ModelIO = a0.Ports > 0
+	if err := opts.defaults(); err != nil {
+		return nil, err
+	}
+	if err := fault.Validate(s0, a0); err != nil {
+		return nil, err
+	}
+
+	prefix := sim.New(a0, s0).ExecutionPrefix(fault.Time)
+	pin := &sched.Pin{
+		Time:          fault.Time,
+		Assignments:   prefix.Assignments,
+		DepartOffsets: prefix.DepartOffsets,
+	}
+	if fault.Kind == sim.FaultDevice {
+		pin.Forbidden = map[int]bool{fault.Device: true}
+	}
+	if err := pin.Validate(s0.Graph, opts.Devices); err != nil {
+		return nil, err
+	}
+
+	st := &stageState{
+		graph: s0.Graph,
+		opts:  opts,
+		res:   &Result{},
+		rec:   &recoverState{prior: prior, fault: fault, prefix: prefix, pin: pin},
+	}
+	res, err := runPipeline(ctx, recoverPipeline(opts), st)
+	if err != nil {
+		return nil, err
+	}
+	res.Recovery = &Recovery{
+		Fault:           fault,
+		PreservedOps:    len(prefix.Assignments),
+		PreservedRoutes: len(prefix.Routes),
+		// Preserved routes are re-installed verbatim in the recovered
+		// architecture; everything beyond them was planned fresh.
+		ReroutedTransports: len(res.Architecture.Routes) - len(prefix.Routes),
+		OldMakespan:        s0.Makespan,
+		NewMakespan:        res.Schedule.Makespan,
+		MakespanDelta:      res.Schedule.Makespan - s0.Makespan,
+	}
+	return res, nil
+}
+
+// recoverPipeline returns the online-recovery stages: the schedule and arch
+// stages are replaced by prefix-pinning variants, and the verify stage (when
+// requested) replays the faulted execution end to end instead of only
+// checking the recovered plan in isolation.
+func recoverPipeline(opts Options) []stage {
+	stages := []stage{
+		{name: StageSchedule, run: runRecoverScheduleStage},
+		{name: StageBind, run: runBindStage},
+		{name: StageArch, run: runRecoverArchStage},
+		{name: StagePhys, run: runPhysStage},
+	}
+	if opts.Verify {
+		stages = append(stages, stage{name: StageVerify, run: runRecoverVerifyStage})
+	}
+	return stages
+}
+
+// runRecoverScheduleStage re-schedules the assay suffix under the prefix pin.
+// The exact engines receive the pin directly (pinned operations become
+// degenerate boxes, suffix starts are floored at the fault instant) with the
+// prior schedule as warm start; the heuristic engine races the pinned list
+// scheduler against the pinned re-timing of the prior schedule.
+func runRecoverScheduleStage(ctx context.Context, st *stageState) error {
+	opts, g, rc := st.opts, st.graph, st.rec
+	beta := 0.0 // 0 means default (storage-aware) inside ILPOptions
+	if opts.Mode == sched.TimeOnly {
+		beta = -1 // disables the storage term
+	}
+	exact := opts.Engine == ExactILP ||
+		(opts.Engine == Auto && g.NumOps() <= sched.MaxExactOps)
+	if exact {
+		s, info, err := sched.ILPScheduleContext(ctx, g, sched.ILPOptions{
+			Devices:   opts.Devices,
+			Transport: opts.Transport,
+			Beta:      beta,
+			TimeLimit: opts.ILPTimeLimit,
+			WarmStart: true,
+			Warm:      rc.prior.Schedule,
+			Pin:       rc.pin,
+			Progress:  scheduleProgress(opts),
+		})
+		if err != nil {
+			return err
+		}
+		st.res.Schedule, st.res.SchedInfo = s, info
+	} else {
+		s, err := sched.ListScheduleContext(ctx, g, sched.ListOptions{
+			Devices:   opts.Devices,
+			Transport: opts.Transport,
+			Mode:      opts.Mode,
+			Pin:       rc.pin,
+		})
+		if err != nil {
+			return err
+		}
+		// The prior schedule, re-timed around the pin, replaces the list
+		// result when it scores better on the configured objective — the
+		// suffix usually resembles what was already planned.
+		if ws, werr := sched.RetimePinned(g, rc.prior.Schedule, rc.pin, opts.Devices, opts.Transport); werr == nil {
+			if sched.ObjectiveScore(ws, opts.Mode) < sched.ObjectiveScore(s, opts.Mode) {
+				s = ws
+			}
+		}
+		st.res.Schedule = s
+	}
+	reportScheduleOutcome(opts, st.res)
+	return nil
+}
+
+// runRecoverArchStage re-routes the transportation workload on the prior
+// chip: placement is fixed to the prior device positions, the executed
+// internal routes are re-installed verbatim (shielded from rip-up), and the
+// failed resource is masked from everything planned fresh.
+func runRecoverArchStage(ctx context.Context, st *stageState) error {
+	rc := st.rec
+	a0 := rc.prior.Architecture
+	archOpts := arch.Options{
+		Strategy:       st.opts.Placement,
+		ModelIO:        st.opts.ModelIO,
+		FixedPlacement: append([]arch.NodeID(nil), a0.DevicePos...),
+		PinnedRoutes:   rc.prefix.Routes,
+	}
+	switch rc.fault.Kind {
+	case sim.FaultChannel:
+		archOpts.ForbiddenEdges = []arch.EdgeID{rc.fault.Edge}
+	case sim.FaultStorage:
+		archOpts.ForbiddenStorage = []arch.EdgeID{rc.fault.Edge}
+	}
+	var err error
+	st.res.Architecture, err = arch.SynthesizeContext(ctx, st.res.Schedule, a0.Grid, archOpts)
+	return err
+}
+
+// runRecoverVerifyStage replays the faulted execution end to end: the full
+// invariant suite on the recovered result plus the splice-point guarantees
+// (prefix preserved verbatim, suffix floored at the fault, masks honored,
+// devices unmoved).
+func runRecoverVerifyStage(ctx context.Context, st *stageState) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	rc := st.rec
+	if _, err := verify.CheckRecovery(rc.prior.Schedule, rc.prior.Architecture,
+		st.res.Schedule, st.res.Architecture, rc.fault); err != nil {
+		return err
+	}
+	st.res.Verified = true
+	return nil
+}

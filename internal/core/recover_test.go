@@ -1,0 +1,186 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"flowsyn/internal/arch"
+	"flowsyn/internal/assay"
+	"flowsyn/internal/sim"
+)
+
+// recoverFixture synthesizes the named benchmark with the heuristic engine
+// and returns the result to inject faults into.
+func recoverFixture(t *testing.T, name string) (*Result, Options) {
+	t.Helper()
+	b := assay.MustGet(name)
+	opts := Options{
+		Devices:   b.Devices,
+		Transport: b.Transport,
+		GridRows:  b.GridRows,
+		GridCols:  b.GridCols,
+		ModelIO:   b.ModelIO,
+		Engine:    Heuristic,
+	}
+	res, err := Synthesize(b.Graph, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, opts
+}
+
+func TestRecoverDeviceFault(t *testing.T) {
+	prior, opts := recoverFixture(t, "CPA")
+	opts.Verify = true
+	fault := sim.Fault{Kind: sim.FaultDevice, Time: prior.Schedule.Makespan / 2, Device: 0}
+	rec, err := Recover(opts, prior, fault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Verified {
+		t.Error("recovered result not marked verified")
+	}
+	r := rec.Recovery
+	if r == nil {
+		t.Fatal("no recovery metrics")
+	}
+	if r.Fault != fault {
+		t.Errorf("Recovery.Fault = %v, want %v", r.Fault, fault)
+	}
+	if r.OldMakespan != prior.Schedule.Makespan || r.NewMakespan != rec.Schedule.Makespan {
+		t.Errorf("makespans %d/%d, want %d/%d",
+			r.OldMakespan, r.NewMakespan, prior.Schedule.Makespan, rec.Schedule.Makespan)
+	}
+	if r.MakespanDelta != r.NewMakespan-r.OldMakespan {
+		t.Errorf("MakespanDelta = %d", r.MakespanDelta)
+	}
+	// Mid-execution fault on a busy benchmark: some work must have completed.
+	if r.PreservedOps == 0 {
+		t.Error("expected a non-empty executed prefix")
+	}
+	// Zero re-executed prefix work, re-checked directly on top of the
+	// verify stage.
+	for _, a := range prior.Schedule.Assignments {
+		if a.Start < fault.Time && rec.Schedule.Assignments[a.Op] != a {
+			t.Errorf("executed op %d re-planned", a.Op)
+		}
+	}
+	if !strings.Contains(r.String(), "ops preserved") {
+		t.Errorf("Recovery.String() = %q", r.String())
+	}
+}
+
+func TestRecoverChannelAndStorageFaults(t *testing.T) {
+	prior, opts := recoverFixture(t, "PCR")
+	opts.Verify = true
+	// Fail a segment a routed path actually uses, so the mask has teeth.
+	var edge arch.EdgeID
+	found := false
+	for _, rt := range prior.Architecture.Routes {
+		for _, e := range rt.Edges() {
+			edge, found = e, true
+			break
+		}
+		if found {
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no routed edges in the prior architecture")
+	}
+	for _, kind := range []sim.FaultKind{sim.FaultChannel, sim.FaultStorage} {
+		fault := sim.Fault{Kind: kind, Time: prior.Schedule.Makespan / 3, Edge: edge}
+		rec, err := Recover(opts, prior, fault)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if !rec.Verified {
+			t.Errorf("%v: recovered result not verified", kind)
+		}
+	}
+}
+
+// TestRecoverExactEngine drives the recovery splice through the exact MILP:
+// the pinned prefix becomes fixed variables and the prior plan warm-starts
+// the solve, so the spliced schedule must verify just like the heuristic one.
+func TestRecoverExactEngine(t *testing.T) {
+	b := assay.MustGet("PCR")
+	opts := Options{
+		Devices:   b.Devices,
+		Transport: b.Transport,
+		GridRows:  b.GridRows,
+		GridCols:  b.GridCols,
+		ModelIO:   b.ModelIO,
+		Engine:    ExactILP,
+		Verify:    true,
+	}
+	prior, err := Synthesize(b.Graph, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault := sim.Fault{Kind: sim.FaultStorage, Time: prior.Schedule.Makespan / 2,
+		Edge: prior.Architecture.UsedEdges[0]}
+	rec, err := Recover(opts, prior, fault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Verified {
+		t.Error("exact-engine recovery not verified")
+	}
+	if rec.SchedInfo == nil {
+		t.Error("exact-engine recovery carries no solver info")
+	}
+	for _, a := range prior.Schedule.Assignments {
+		if a.Start < fault.Time && rec.Schedule.Assignments[a.Op] != a {
+			t.Errorf("executed op %d re-planned by the exact engine", a.Op)
+		}
+	}
+}
+
+func TestRecoverFaultAtZeroAndAfterEnd(t *testing.T) {
+	prior, opts := recoverFixture(t, "CPA")
+	opts.Verify = true
+	// Fault at t=0: nothing executed, full re-synthesis on the masked chip.
+	rec, err := Recover(opts, prior, sim.Fault{Kind: sim.FaultDevice, Time: 0, Device: prior.Schedule.Devices - 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Recovery.PreservedOps != 0 {
+		t.Errorf("PreservedOps = %d at t=0", rec.Recovery.PreservedOps)
+	}
+	for _, a := range rec.Schedule.Assignments {
+		if a.Device == prior.Schedule.Devices-1 {
+			t.Errorf("op %d still on failed device", a.Op)
+		}
+	}
+	// Fault after the last start: the whole plan is pinned; recovery is the
+	// prior plan plus re-derived I/O routing.
+	late := sim.Fault{Kind: sim.FaultDevice, Time: prior.Schedule.Makespan + 1, Device: 0}
+	rec, err = Recover(opts, prior, late)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := rec.Recovery.PreservedOps, len(prior.Schedule.Assignments); got != want {
+		t.Errorf("PreservedOps = %d, want %d", got, want)
+	}
+	if rec.Schedule.Makespan != prior.Schedule.Makespan {
+		t.Errorf("fully-pinned recovery changed makespan %d -> %d",
+			prior.Schedule.Makespan, rec.Schedule.Makespan)
+	}
+}
+
+func TestRecoverRejectsBadInputs(t *testing.T) {
+	prior, opts := recoverFixture(t, "PCR")
+	if _, err := Recover(opts, nil, sim.Fault{}); err == nil {
+		t.Error("nil prior accepted")
+	}
+	if _, err := Recover(opts, prior, sim.Fault{Kind: sim.FaultDevice, Time: -1}); err == nil {
+		t.Error("negative fault time accepted")
+	}
+	if _, err := Recover(opts, prior, sim.Fault{Kind: sim.FaultDevice, Device: 99}); err == nil {
+		t.Error("out-of-range device accepted")
+	}
+	if _, err := Recover(opts, prior, sim.Fault{Kind: sim.FaultChannel, Edge: arch.EdgeID(1 << 20)}); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+}

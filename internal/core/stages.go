@@ -60,6 +60,9 @@ type stageState struct {
 	// stage installs it instead of running an engine (the service layer's
 	// schedule-cache path).
 	pre *preSchedule
+	// rec, when non-nil, marks an online re-synthesis: the recovery stages
+	// (recover.go) read the prior result, fault and executed prefix from it.
+	rec *recoverState
 }
 
 // preSchedule is a schedule solved by an earlier pipeline run, injected by
@@ -113,17 +116,7 @@ func runScheduleStage(ctx context.Context, st *stageState) error {
 		WarmStart: true,
 		Warm:      opts.Warm,
 	}
-	if progress := opts.Progress; progress != nil {
-		ilpOpts.Progress = func(e sched.ProgressEvent) {
-			progress(ProgressEvent{
-				Kind:      EventIncumbent,
-				Stage:     StageSchedule,
-				Makespan:  e.Makespan,
-				Objective: e.Objective,
-				Nodes:     e.Nodes,
-			})
-		}
-	}
+	ilpOpts.Progress = scheduleProgress(opts)
 	switch {
 	case opts.Engine == ExactILP:
 		s, info, err := sched.ILPScheduleContext(ctx, g, ilpOpts)
@@ -158,27 +151,53 @@ func runScheduleStage(ctx context.Context, st *stageState) error {
 		}
 		st.res.Schedule = s
 	}
-	if progress := opts.Progress; progress != nil {
-		if info := st.res.SchedInfo; info != nil {
-			// Final solver summary: nodes and the MIP gap the search ended
-			// with, alongside the schedule actually kept.
-			progress(ProgressEvent{
-				Kind:      EventSolver,
-				Stage:     StageSchedule,
-				Makespan:  st.res.Schedule.Makespan,
-				Objective: info.Objective,
-				Nodes:     info.Solver.Nodes,
-				Gap:       info.Solver.Gap,
-			})
-		} else {
-			progress(ProgressEvent{
-				Kind:     EventIncumbent,
-				Stage:    StageSchedule,
-				Makespan: st.res.Schedule.Makespan,
-			})
-		}
-	}
+	reportScheduleOutcome(opts, st.res)
 	return nil
+}
+
+// reportScheduleOutcome emits the closing progress event of a schedule stage:
+// the solver summary when an exact engine ran, the kept incumbent otherwise.
+func reportScheduleOutcome(opts Options, res *Result) {
+	progress := opts.Progress
+	if progress == nil {
+		return
+	}
+	if info := res.SchedInfo; info != nil {
+		// Final solver summary: nodes and the MIP gap the search ended
+		// with, alongside the schedule actually kept.
+		progress(ProgressEvent{
+			Kind:      EventSolver,
+			Stage:     StageSchedule,
+			Makespan:  res.Schedule.Makespan,
+			Objective: info.Objective,
+			Nodes:     info.Solver.Nodes,
+			Gap:       info.Solver.Gap,
+		})
+	} else {
+		progress(ProgressEvent{
+			Kind:     EventIncumbent,
+			Stage:    StageSchedule,
+			Makespan: res.Schedule.Makespan,
+		})
+	}
+}
+
+// scheduleProgress adapts the pipeline progress callback to the exact
+// engine's incumbent stream.
+func scheduleProgress(opts Options) func(sched.ProgressEvent) {
+	progress := opts.Progress
+	if progress == nil {
+		return nil
+	}
+	return func(e sched.ProgressEvent) {
+		progress(ProgressEvent{
+			Kind:      EventIncumbent,
+			Stage:     StageSchedule,
+			Makespan:  e.Makespan,
+			Objective: e.Objective,
+			Nodes:     e.Nodes,
+		})
+	}
 }
 
 // runBindStage re-checks the binding against the paper's constraints (Table
@@ -258,7 +277,15 @@ func synthesize(ctx context.Context, g *seqgraph.Graph, opts Options, pre *preSc
 		return nil, err
 	}
 	st := &stageState{graph: g, opts: opts, res: &Result{}, pre: pre}
-	for _, sg := range pipeline(opts) {
+	return runPipeline(ctx, pipeline(opts), st)
+}
+
+// runPipeline drives a stage list over the shared state, recording per-stage
+// wall-clock and emitting the stage progress events. It is shared between the
+// ordinary synthesis flow and the online recovery flow.
+func runPipeline(ctx context.Context, stages []stage, st *stageState) (*Result, error) {
+	opts := st.opts
+	for _, sg := range stages {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}

@@ -53,6 +53,13 @@ type ILPOptions struct {
 	// synchronously from solver workers; implementations must be fast and
 	// non-blocking.
 	Progress func(ProgressEvent)
+	// Pin, if non-nil, freezes an executed prefix for online recovery: pinned
+	// operations enter the formulation with fixed time boxes and assignment
+	// rows, forbidden devices are excluded for everything else, and no
+	// re-planned operation may start before the fault-detection instant.
+	// Device symmetry breaking is disabled (pinned bindings already name
+	// concrete devices) and reconstruction re-times only the suffix.
+	Pin *Pin
 }
 
 // ProgressEvent reports one improving incumbent of the exact solve.
@@ -156,7 +163,7 @@ func ILPScheduleContext(ctx context.Context, g *seqgraph.Graph, opts ILPOptions)
 
 	// Incumbent for warm start and horizon.
 	incumbent, err := ListScheduleContext(ctx, g, ListOptions{
-		Devices: opts.Devices, Transport: opts.Transport, Mode: TimeAndStorage,
+		Devices: opts.Devices, Transport: opts.Transport, Mode: TimeAndStorage, Pin: opts.Pin,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -165,11 +172,19 @@ func ILPScheduleContext(ctx context.Context, g *seqgraph.Graph, opts ILPOptions)
 	// re-timed on the (possibly edited) graph, replaces the list incumbent
 	// when it scores better — the unchanged prefix of the assay then enters
 	// the solve with its proven structure instead of a cold heuristic guess.
+	// Under a pin the retime is prefix-preserving instead.
 	score := func(s *Schedule) float64 {
 		return alpha*float64(s.Makespan) + beta*float64(s.StorageTime())
 	}
 	if opts.Warm != nil {
-		if ws, werr := RetimeLike(g, opts.Warm, opts.Devices, opts.Transport); werr == nil && score(ws) < score(incumbent) {
+		var ws *Schedule
+		var werr error
+		if opts.Pin != nil {
+			ws, werr = RetimePinned(g, opts.Warm, opts.Pin, opts.Devices, opts.Transport)
+		} else {
+			ws, werr = RetimeLike(g, opts.Warm, opts.Devices, opts.Transport)
+		}
+		if werr == nil && score(ws) < score(incumbent) {
 			incumbent = ws
 		}
 	}
@@ -321,6 +336,21 @@ func buildSchedModel(g *seqgraph.Graph, opts ILPOptions, incumbent *Schedule, al
 		}
 	}
 
+	// Pinned prefix: each pinned operation gets a degenerate [Start,Start]
+	// time box and a fixed assignment row below; everything else is floored
+	// at the fault-detection instant. Both tightenings stay inside the
+	// formula boxes (a feasible prior schedule has es_i ≤ Start_i ≤
+	// horizon − tail_i), so every big-M derived from the formula bounds
+	// remains valid.
+	var pinnedBy []*Assignment
+	if opts.Pin != nil {
+		pinnedBy = make([]*Assignment, n)
+		for idx := range opts.Pin.Assignments {
+			a := &opts.Pin.Assignments[idx]
+			pinnedBy[a.Op] = a
+		}
+	}
+
 	// Variables.
 	ts := make([]milp.Var, n)
 	te := make([]milp.Var, n)
@@ -328,9 +358,20 @@ func buildSchedModel(g *seqgraph.Graph, opts ILPOptions, incumbent *Schedule, al
 	for i := 0; i < n; i++ {
 		op := g.Op(seqgraph.OpID(i))
 		dur := float64(op.Duration)
+		tsLo := es[i]
 		tsHi := math.Max(es[i], horizon-tail[i])
-		ts[i] = m.NewContinuous(fmt.Sprintf("ts_%s", op.Name), es[i], tsHi)
-		te[i] = m.NewContinuous(fmt.Sprintf("te_%s", op.Name), es[i]+dur, tsHi+dur)
+		if pinnedBy != nil {
+			if a := pinnedBy[i]; a != nil {
+				tsLo, tsHi = float64(a.Start), float64(a.Start)
+			} else if ft := float64(opts.Pin.Time); ft > tsLo {
+				tsLo = ft
+				if tsHi < tsLo {
+					tsHi = tsLo
+				}
+			}
+		}
+		ts[i] = m.NewContinuous(fmt.Sprintf("ts_%s", op.Name), tsLo, tsHi)
+		te[i] = m.NewContinuous(fmt.Sprintf("te_%s", op.Name), tsLo+dur, tsHi+dur)
 		assign[i] = make([]milp.Var, opts.Devices)
 		for k := 0; k < opts.Devices; k++ {
 			assign[i][k] = m.NewBinary(fmt.Sprintf("s_%s_d%d", op.Name, k))
@@ -360,15 +401,31 @@ func buildSchedModel(g *seqgraph.Graph, opts ILPOptions, incumbent *Schedule, al
 		}
 	}
 
-	// (1) Uniqueness + device symmetry breaking.
+	// (1) Uniqueness + device symmetry breaking. Under a pin the symmetry
+	// rows are dropped (the pinned bindings already name concrete devices,
+	// and may legally violate the first-use numbering); pinned operations
+	// get their device fixed outright and forbidden devices are closed to
+	// the rest.
 	for i := 0; i < n; i++ {
 		e := milp.NewExpr(0)
 		for k := 0; k < opts.Devices; k++ {
 			e.Add(assign[i][k], 1)
 		}
 		m.AddEQ(fmt.Sprintf("uniq_%d", i), *e, 1)
-		for k := i + 1; k < opts.Devices; k++ {
-			m.AddEQ(fmt.Sprintf("sym_%d_%d", i, k), milp.VarExpr(assign[i][k]), 0)
+		if pinnedBy == nil {
+			for k := i + 1; k < opts.Devices; k++ {
+				m.AddEQ(fmt.Sprintf("sym_%d_%d", i, k), milp.VarExpr(assign[i][k]), 0)
+			}
+			continue
+		}
+		if a := pinnedBy[i]; a != nil {
+			m.AddEQ(fmt.Sprintf("pin_%d", i), milp.VarExpr(assign[i][a.Device]), 1)
+			continue
+		}
+		for k := 0; k < opts.Devices; k++ {
+			if opts.Pin.Forbidden[k] {
+				m.AddEQ(fmt.Sprintf("forbid_%d_%d", i, k), milp.VarExpr(assign[i][k]), 0)
+			}
 		}
 	}
 
@@ -460,12 +517,20 @@ func buildSchedModel(g *seqgraph.Graph, opts ILPOptions, incumbent *Schedule, al
 	// relaxation bound, the whole tree collapses at the root.
 	var warm []float64
 	if opts.WarmStart {
-		warm = buildWarmStart(m, g, incumbent, ts, te, assign, diff, order, storage, tE)
-		gs, ge, gdev, gmk := greedyModelSchedule(g, opts, tail)
-		gx := warmVector(m, g, gs, ge, gdev, gmk, ts, te, assign, diff, order, storage, tE)
-		if gok, gobj := milp.CheckFeasible(m, gx); gok {
-			if wok, wobj := milp.CheckFeasible(m, warm); !wok || gobj < wobj {
-				warm = gx
+		if opts.Pin != nil {
+			// The incumbent came from the pinned list scheduler: its binding
+			// must enter verbatim (relabeling would break the pin rows, and
+			// the symmetry rows relabeling serves are gone) and the greedy
+			// challenger knows nothing about pins.
+			warm = pinnedWarmStart(m, g, incumbent, ts, te, assign, diff, order, storage, tE)
+		} else {
+			warm = buildWarmStart(m, g, incumbent, ts, te, assign, diff, order, storage, tE)
+			gs, ge, gdev, gmk := greedyModelSchedule(g, opts, tail)
+			gx := warmVector(m, g, gs, ge, gdev, gmk, ts, te, assign, diff, order, storage, tE)
+			if gok, gobj := milp.CheckFeasible(m, gx); gok {
+				if wok, wobj := milp.CheckFeasible(m, warm); !wok || gobj < wobj {
+					warm = gx
+				}
 			}
 		}
 	}
@@ -649,6 +714,25 @@ func buildWarmStart(m *milp.Model, g *seqgraph.Graph, inc *Schedule,
 		ts, te, assign, diff, order, storage, tE)
 }
 
+// pinnedWarmStart is buildWarmStart for a pinned model: the incumbent's
+// binding enters verbatim (no first-use relabeling — the pin rows fix
+// concrete devices and the symmetry rows are absent).
+func pinnedWarmStart(m *milp.Model, g *seqgraph.Graph, inc *Schedule,
+	ts, te []milp.Var, assign [][]milp.Var,
+	diff, order map[[2]int]milp.Var, storage []milp.Var, tE milp.Var) []float64 {
+
+	n := g.NumOps()
+	start := make([]int, n)
+	end := make([]int, n)
+	dev := make([]int, n)
+	for i := 0; i < n; i++ {
+		a := inc.Assignments[i]
+		start[i], end[i], dev[i] = a.Start, a.End, a.Device
+	}
+	return warmVector(m, g, start, end, dev, inc.Makespan,
+		ts, te, assign, diff, order, storage, tE)
+}
+
 // reconstruct re-times the ILP's binding and per-device order with the exact
 // transport semantics (direct pass, flush, fetch slots) used by the list
 // scheduler, guaranteeing a valid integral schedule.
@@ -666,9 +750,18 @@ func reconstruct(g *seqgraph.Graph, opts ILPOptions, sol *milp.Solution,
 		}
 	}
 	// Global order by ILP start time (ties by ID), then greedy re-timing.
-	ids := make([]int, n)
-	for i := range ids {
-		ids[i] = i
+	// Under a pin only the suffix is re-timed: the pinned prefix is seeded
+	// verbatim, so its operations never enter the order.
+	var isPinned []bool
+	if opts.Pin != nil {
+		isPinned = opts.Pin.pinned(n)
+	}
+	ids := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if isPinned != nil && isPinned[i] {
+			continue
+		}
+		ids = append(ids, i)
 	}
 	sort.Slice(ids, func(a, b int) bool {
 		sa, sb := sol.Value(ts[ids[a]]), sol.Value(ts[ids[b]])
@@ -677,7 +770,7 @@ func reconstruct(g *seqgraph.Graph, opts ILPOptions, sol *milp.Solution,
 		}
 		return ids[a] < ids[b]
 	})
-	return retimeOrdered(g, opts.Devices, opts.Transport, binding, ids)
+	return retimePinned(g, opts.Devices, opts.Transport, binding, ids, opts.Pin)
 }
 
 // RetimeLike re-schedules g by reusing a prior schedule's device binding and
@@ -762,92 +855,7 @@ func RetimeLike(g *seqgraph.Graph, prior *Schedule, devices, transport int) (*Sc
 // priority order with the exact transport semantics (direct pass, flush,
 // fetch slots) shared with the list scheduler. Operations are placed
 // first-ready-first along ids, so any order is safe even when it interleaves
-// devices non-topologically.
+// devices non-topologically. It is the unpinned face of retimePinned.
 func retimeOrdered(g *seqgraph.Graph, devices, transport int, binding []int, ids []int) *Schedule {
-	n := g.NumOps()
-	outLen := (transport + 1) / 2
-	fetchLen := transport - outLen
-	s := &Schedule{
-		Graph:         g,
-		Devices:       devices,
-		Transport:     transport,
-		Assignments:   make([]Assignment, n),
-		DepartOffsets: make(map[seqgraph.Edge]int),
-	}
-	departCount := make([]int, n)
-	deviceFree := make([]int, devices)
-	lastOp := make([]seqgraph.OpID, devices)
-	for d := range lastOp {
-		lastOp[d] = -1
-	}
-	done := make([]bool, n)
-	pending := append([]int(nil), ids...)
-	for len(pending) > 0 {
-		// Pick the first pending op whose parents are all placed (the ILP
-		// order is topological on each device but the global order may
-		// interleave; this keeps reconstruction safe).
-		pick := -1
-		for idx, op := range pending {
-			ok := true
-			for _, p := range g.Parents(seqgraph.OpID(op)) {
-				if !done[p] {
-					ok = false
-					break
-				}
-			}
-			if ok {
-				pick = idx
-				break
-			}
-		}
-		op := pending[pick]
-		pending = append(pending[:pick], pending[pick+1:]...)
-
-		k := binding[op]
-		start := deviceFree[k]
-		direct := seqgraph.OpID(-1)
-		if lastOp[k] >= 0 {
-			for _, p := range g.Parents(seqgraph.OpID(op)) {
-				if p == lastOp[k] {
-					direct = p
-					break
-				}
-			}
-			if direct < 0 {
-				if v := s.Assignments[lastOp[k]].End + outLen; v > start {
-					start = v
-				}
-			}
-		}
-		fetches, maxArr := 0, 0
-		for _, p := range g.Parents(seqgraph.OpID(op)) {
-			arr := s.Assignments[p].End
-			if p != direct {
-				arr += departCount[p]*transport + transport
-				fetches++
-			}
-			if arr > maxArr {
-				maxArr = arr
-			}
-		}
-		start += fetches * fetchLen
-		if maxArr > start {
-			start = maxArr
-		}
-		dur := g.Op(seqgraph.OpID(op)).Duration
-		s.Assignments[op] = Assignment{Op: seqgraph.OpID(op), Device: k, Start: start, End: start + dur}
-		deviceFree[k] = start + dur
-		for _, p := range g.Parents(seqgraph.OpID(op)) {
-			if p == direct {
-				continue
-			}
-			s.DepartOffsets[seqgraph.Edge{Parent: p, Child: seqgraph.OpID(op)}] = departCount[p] * transport
-			departCount[p]++
-		}
-		lastOp[k] = seqgraph.OpID(op)
-		done[op] = true
-	}
-	s.computeMakespan()
-	Compact(s)
-	return s
+	return retimePinned(g, devices, transport, binding, ids, nil)
 }

@@ -37,6 +37,11 @@ type ListOptions struct {
 	Transport int
 	// Mode selects the optimization objective.
 	Mode Mode
+	// Pin, if non-nil, freezes an executed prefix for online recovery:
+	// pinned operations keep their windows, devices and departure slots
+	// verbatim, forbidden devices accept nothing new, and no re-planned
+	// operation starts (or sample departs) before the fault instant.
+	Pin *Pin
 }
 
 // ListSchedule builds a schedule with a storage-aware list scheduler.
@@ -101,25 +106,40 @@ func ListScheduleContext(ctx context.Context, g *seqgraph.Graph, opts ListOption
 		Assignments:   make([]Assignment, g.NumOps()),
 		DepartOffsets: make(map[seqgraph.Edge]int),
 	}
-	// departCount[p] counts transported consumers of p placed so far; the
-	// k-th departs k move-out slots after p ends.
-	departCount := make([]int, g.NumOps())
+	// nextDepart[p] is the absolute instant the next sub-sample may leave
+	// p's device: p's end, then one move-out slot later per transported
+	// consumer already placed. The recorded offset is nextDepart − end,
+	// which reduces to the classic k·u_c ladder when nothing is pinned.
+	nextDepart := make([]int, g.NumOps())
 	scheduled := make([]bool, g.NumOps())
-	remainingParents := make([]int, g.NumOps())
-	for _, e := range g.Edges() {
-		remainingParents[e.Child]++
-	}
-	var ready []seqgraph.OpID
-	for id := range scheduled {
-		if remainingParents[id] == 0 {
-			ready = append(ready, seqgraph.OpID(id))
-		}
-	}
 
 	deviceFree := make([]int, opts.Devices)
 	lastOp := make([]seqgraph.OpID, opts.Devices)
 	for d := range lastOp {
 		lastOp[d] = -1
+	}
+
+	floor, pinnedCount := 0, 0
+	if opts.Pin != nil {
+		if err := opts.Pin.Validate(g, opts.Devices); err != nil {
+			return nil, err
+		}
+		floor = opts.Pin.Time
+		pinnedCount = len(opts.Pin.Assignments)
+		opts.Pin.seed(s, scheduled, nextDepart, deviceFree, lastOp, opts.Transport)
+	}
+
+	remainingParents := make([]int, g.NumOps())
+	for _, e := range g.Edges() {
+		if !scheduled[e.Parent] {
+			remainingParents[e.Child]++
+		}
+	}
+	var ready []seqgraph.OpID
+	for id := range scheduled {
+		if !scheduled[id] && remainingParents[id] == 0 {
+			ready = append(ready, seqgraph.OpID(id))
+		}
 	}
 
 	// estimate computes the earliest start of op on device k and the number
@@ -142,6 +162,10 @@ func ListScheduleContext(ctx context.Context, g *seqgraph.Graph, opts ListOption
 				}
 			}
 		}
+		if start < floor {
+			// Recovery: nothing re-planned starts before the fault instant.
+			start = floor
+		}
 		maxArrival := 0
 		for _, p := range g.Parents(op) {
 			pa := s.Assignments[p]
@@ -149,7 +173,7 @@ func ListScheduleContext(ctx context.Context, g *seqgraph.Graph, opts ListOption
 			if p != directPassParent {
 				// The sub-sample departs after the parent's earlier
 				// consumers (serialized fan-out), then travels u_c.
-				arrival += departCount[p]*opts.Transport + opts.Transport
+				arrival = nextDepart[p] + opts.Transport
 				fetches++
 			}
 			if arrival > maxArrival {
@@ -173,7 +197,7 @@ func ListScheduleContext(ctx context.Context, g *seqgraph.Graph, opts ListOption
 		return f
 	}
 
-	for scheduledCount := 0; scheduledCount < g.NumOps(); scheduledCount++ {
+	for scheduledCount := pinnedCount; scheduledCount < g.NumOps(); scheduledCount++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -205,6 +229,9 @@ func ListScheduleContext(ctx context.Context, g *seqgraph.Graph, opts ListOption
 		// encodes with β.
 		bestDev, bestScore := -1, 0
 		for k := 0; k < opts.Devices; k++ {
+			if opts.Pin != nil && opts.Pin.Forbidden[k] {
+				continue
+			}
 			st, fe := estimate(op, k)
 			score := st
 			if opts.Mode == TimeAndStorage {
@@ -220,6 +247,7 @@ func ListScheduleContext(ctx context.Context, g *seqgraph.Graph, opts ListOption
 		s.Assignments[op] = Assignment{Op: op, Device: bestDev, Start: bestStart, End: bestStart + dur}
 		scheduled[op] = true
 		deviceFree[bestDev] = bestStart + dur
+		nextDepart[op] = bestStart + dur
 		// Record this op's departure slots from its parents.
 		directPass := seqgraph.OpID(-1)
 		if last := lastOp[bestDev]; last >= 0 {
@@ -234,8 +262,8 @@ func ListScheduleContext(ctx context.Context, g *seqgraph.Graph, opts ListOption
 			if p == directPass {
 				continue
 			}
-			s.DepartOffsets[seqgraph.Edge{Parent: p, Child: op}] = departCount[p] * opts.Transport
-			departCount[p]++
+			s.DepartOffsets[seqgraph.Edge{Parent: p, Child: op}] = nextDepart[p] - s.Assignments[p].End
+			nextDepart[p] += opts.Transport
 		}
 		lastOp[bestDev] = op
 		for _, c := range g.Children(op) {
@@ -248,8 +276,11 @@ func ListScheduleContext(ctx context.Context, g *seqgraph.Graph, opts ListOption
 
 	s.computeMakespan()
 	// Push operations late to shrink storage lifetimes (the heuristic
-	// counterpart of the paper's β·Σu objective term).
-	Compact(s)
+	// counterpart of the paper's β·Σu objective term). Compacting would move
+	// pinned windows, so recovery schedules keep the greedy placement.
+	if opts.Pin == nil {
+		Compact(s)
+	}
 	if err := s.Validate(); err != nil {
 		return nil, fmt.Errorf("sched: list scheduler produced invalid schedule: %w", err)
 	}

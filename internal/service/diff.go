@@ -2,6 +2,7 @@ package service
 
 import (
 	"sort"
+	"strconv"
 	"strings"
 
 	"flowsyn/internal/seqgraph"
@@ -51,8 +52,30 @@ func shapes(g *seqgraph.Graph) map[string]opShape {
 	return out
 }
 
-// DiffGraphs compares two assay versions by operation name.
+// uniqueNames reports whether every operation name in g is distinct — the
+// precondition for name-based matching (mirrors the duplicate detection of
+// seqgraph.Fingerprint).
+func uniqueNames(g *seqgraph.Graph) bool {
+	seen := make(map[string]struct{}, g.NumOps())
+	for _, op := range g.Operations() {
+		if _, dup := seen[op.Name]; dup {
+			return false
+		}
+		seen[op.Name] = struct{}{}
+	}
+	return true
+}
+
+// DiffGraphs compares two assay versions, matching operations by name. Names
+// are not required to be unique by the graph builder; when either version
+// repeats a name, name-based matching is ambiguous (shapes would silently
+// collapse the duplicates onto one key), so the diff falls back to matching
+// operations by ID — exact for the common append-only edit, conservative
+// otherwise.
 func DiffGraphs(old, edited *seqgraph.Graph) GraphDiff {
+	if !uniqueNames(old) || !uniqueNames(edited) {
+		return diffByID(old, edited)
+	}
 	var d GraphDiff
 	oldShapes, newShapes := shapes(old), shapes(edited)
 	for name, ns := range newShapes {
@@ -75,6 +98,56 @@ func DiffGraphs(old, edited *seqgraph.Graph) GraphDiff {
 		out := make(map[[2]string]bool, g.NumEdges())
 		for _, e := range g.Edges() {
 			out[[2]string{g.Op(e.Parent).Name, g.Op(e.Child).Name}] = true
+		}
+		return out
+	}
+	oldEdges, newEdges := edgeSet(old), edgeSet(edited)
+	for e := range newEdges {
+		if !oldEdges[e] {
+			d.EdgeDelta++
+		}
+	}
+	for e := range oldEdges {
+		if !newEdges[e] {
+			d.EdgeDelta++
+		}
+	}
+	return d
+}
+
+// diffByID is the duplicate-name fallback of DiffGraphs: operations are
+// matched positionally by ID, parent sets compared as ID sets.
+func diffByID(old, edited *seqgraph.Graph) GraphDiff {
+	var d GraphDiff
+	shapeAt := func(g *seqgraph.Graph, id seqgraph.OpID) opShape {
+		parents := make([]string, 0, len(g.Parents(id)))
+		for _, p := range g.Parents(id) {
+			parents = append(parents, strconv.Itoa(int(p)))
+		}
+		sort.Strings(parents)
+		op := g.Op(id)
+		return opShape{
+			kind: op.Kind, duration: op.Duration, inputs: op.Inputs,
+			parents: strings.Join(parents, "\n"),
+		}
+	}
+	common := old.NumOps()
+	if edited.NumOps() < common {
+		common = edited.NumOps()
+	}
+	for id := 0; id < common; id++ {
+		if shapeAt(old, seqgraph.OpID(id)) == shapeAt(edited, seqgraph.OpID(id)) {
+			d.Unchanged++
+		} else {
+			d.Changed++
+		}
+	}
+	d.Added = edited.NumOps() - common
+	d.Removed = old.NumOps() - common
+	edgeSet := func(g *seqgraph.Graph) map[seqgraph.Edge]bool {
+		out := make(map[seqgraph.Edge]bool, g.NumEdges())
+		for _, e := range g.Edges() {
+			out[e] = true
 		}
 		return out
 	}

@@ -1,0 +1,47 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"flowsyn/internal/core"
+	"flowsyn/internal/sim"
+)
+
+// recoverReq marks a ticket as an online-recovery job: re-synthesize the
+// suffix of prior's interrupted execution around the injected fault.
+type recoverReq struct {
+	prior *core.Result
+	fault sim.Fault
+}
+
+// Recover submits a fault-tolerant online re-synthesis of a finished prior
+// job: the fault is injected into its execution at fault.Time, everything the
+// chip had completed or in flight is frozen, and only the suffix is
+// re-planned on the masked chip (core.RecoverContext). The prior ticket must
+// have completed successfully.
+//
+// Recovery jobs deliberately bypass both the full-result and the schedule
+// cache in each direction: the fault instant and the executed prefix are
+// not part of the cache keys, and a spliced plan must never be served to (or
+// from) an ordinary synthesis of the same assay. Each recovery is a fresh
+// solve; the engine, objective and verification settings are inherited from
+// the prior job, while the chip itself (devices, transport, grid, I/O model)
+// is pinned to the interrupted execution.
+func (s *Solver) Recover(ctx context.Context, prior *Ticket, fault sim.Fault) (*Ticket, error) {
+	if prior == nil {
+		return nil, errors.New("service: recover needs a prior ticket")
+	}
+	res, err := prior.Result()
+	if err != nil {
+		return nil, fmt.Errorf("service: recover from unfinished or failed job: %w", err)
+	}
+	// Validate the fault at submission so a malformed request fails here,
+	// not inside a worker.
+	if err := fault.Validate(res.Schedule, res.Architecture); err != nil {
+		return nil, err
+	}
+	job := Job{Name: prior.Name, Graph: prior.graph, Options: prior.opts}
+	return s.submit(ctx, job, nil, core.ServiceMetrics{}, &recoverReq{prior: res, fault: fault})
+}

@@ -1,0 +1,113 @@
+package service
+
+import (
+	"context"
+	"testing"
+
+	"flowsyn/internal/seqgraph"
+	"flowsyn/internal/sim"
+)
+
+func TestSolverRecover(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Close()
+	job := pcrJob(t)
+	job.Options.Verify = true
+
+	prior := submitOK(t, s, job)
+	priorRes := mustWait(t, prior)
+
+	fault := sim.Fault{Kind: sim.FaultStorage, Time: priorRes.Schedule.Makespan / 2,
+		Edge: priorRes.Architecture.UsedEdges[0]}
+	tk, err := s.Recover(context.Background(), prior, fault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := mustWait(t, tk)
+	if rec.Recovery == nil {
+		t.Fatal("recovered result has no recovery metrics")
+	}
+	if rec.Recovery.Fault != fault {
+		t.Errorf("Recovery.Fault = %v, want %v", rec.Recovery.Fault, fault)
+	}
+	if !rec.Verified {
+		t.Error("recovery with Verify set not marked verified")
+	}
+	if rec.Service == nil || rec.Service.CacheHit || rec.Service.ScheduleCacheHit {
+		t.Errorf("recovery must bypass the caches, metrics %+v", rec.Service)
+	}
+
+	// A second identical recovery still bypasses both caches, and an
+	// ordinary re-submission of the assay is not served a spliced plan.
+	tk2, err := s.Recover(context.Background(), prior, fault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec2 := mustWait(t, tk2)
+	if rec2.Service.CacheHit || rec2.Service.ScheduleCacheHit {
+		t.Errorf("repeated recovery hit a cache, metrics %+v", rec2.Service)
+	}
+	plain := mustWait(t, submitOK(t, s, job))
+	if plain.Recovery != nil {
+		t.Error("ordinary synthesis served a recovery result")
+	}
+}
+
+func TestSolverRecoverValidation(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	if _, err := s.Recover(context.Background(), nil, sim.Fault{}); err == nil {
+		t.Error("nil prior accepted")
+	}
+	pending := submitOK(t, s, pcrJob(t))
+	res := mustWait(t, pending)
+	if _, err := s.Recover(context.Background(), pending, sim.Fault{Kind: sim.FaultDevice, Time: -1}); err == nil {
+		t.Error("invalid fault accepted")
+	}
+	if _, err := s.Recover(context.Background(), pending, sim.Fault{
+		Kind: sim.FaultChannel, Time: res.Schedule.Makespan, Edge: 1 << 20}); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+}
+
+func TestDiffGraphsDuplicateNames(t *testing.T) {
+	build := func(extra bool) *seqgraph.Graph {
+		g := seqgraph.New("dups")
+		a := g.MustAddOperation("mix", seqgraph.Mix, 10, 2)
+		b := g.MustAddOperation("mix", seqgraph.Mix, 20, 2) // duplicate name
+		g.MustAddDependency(a, b)
+		if extra {
+			c := g.MustAddOperation("detect", seqgraph.Detect, 5, 0)
+			g.MustAddDependency(b, c)
+		}
+		return g
+	}
+	old, edited := build(false), build(true)
+
+	// Name-based matching would collapse both "mix" operations onto one key
+	// and report a phantom change; the ID fallback sees the append-only edit.
+	d := DiffGraphs(old, edited)
+	if d.Unchanged != 2 || d.Changed != 0 || d.Added != 1 || d.Removed != 0 {
+		t.Errorf("diff = %+v, want 2 unchanged, 1 added", d)
+	}
+	if d.EdgeDelta != 1 {
+		t.Errorf("EdgeDelta = %d, want 1", d.EdgeDelta)
+	}
+	if !DiffGraphs(old, old).Identical() {
+		t.Error("identical duplicate-name graphs not reported identical")
+	}
+
+	// Unique names keep the richer name-based matching (reordering IDs is
+	// not a change there).
+	u1 := seqgraph.New("u1")
+	x := u1.MustAddOperation("a", seqgraph.Mix, 10, 2)
+	y := u1.MustAddOperation("b", seqgraph.Mix, 20, 2)
+	u1.MustAddDependency(x, y)
+	u2 := seqgraph.New("u2")
+	y2 := u2.MustAddOperation("b", seqgraph.Mix, 20, 2)
+	x2 := u2.MustAddOperation("a", seqgraph.Mix, 10, 2)
+	u2.MustAddDependency(x2, y2)
+	if d := DiffGraphs(u1, u2); !d.Identical() {
+		t.Errorf("ID-reordered unique-name graphs diffed as %+v", d)
+	}
+}

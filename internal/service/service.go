@@ -158,7 +158,7 @@ func New(cfg Config) *Solver {
 // ctx's error. Submit itself never blocks — a full queue returns
 // ErrQueueFull.
 func (s *Solver) Submit(ctx context.Context, job Job) (*Ticket, error) {
-	return s.submit(ctx, job, nil, core.ServiceMetrics{})
+	return s.submit(ctx, job, nil, core.ServiceMetrics{}, nil)
 }
 
 // Resynthesize submits an edited assay as an incremental re-synthesis of a
@@ -190,10 +190,10 @@ func (s *Solver) Resynthesize(ctx context.Context, prior *Ticket, job Job) (*Tic
 		ReusedOps: d.Unchanged,
 		EditedOps: d.Changed + d.Added + d.Removed,
 	}
-	return s.submit(ctx, job, res.Schedule, metrics)
+	return s.submit(ctx, job, res.Schedule, metrics, nil)
 }
 
-func (s *Solver) submit(ctx context.Context, job Job, warm *sched.Schedule, metrics core.ServiceMetrics) (*Ticket, error) {
+func (s *Solver) submit(ctx context.Context, job Job, warm *sched.Schedule, metrics core.ServiceMetrics, rec *recoverReq) (*Ticket, error) {
 	if job.Graph == nil {
 		return nil, errors.New("service: job has no assay graph")
 	}
@@ -217,6 +217,7 @@ func (s *Solver) submit(ctx context.Context, job Job, warm *sched.Schedule, metr
 		graph:     job.Graph,
 		opts:      opts,
 		warm:      warm,
+		rec:       rec,
 		schedKey:  scheduleKey(fp, opts),
 		resultKey: resultKey(fp, opts),
 		metrics:   metrics,
@@ -316,7 +317,9 @@ func (s *Solver) fail(t *Ticket, err error) {
 // resolve serves the job from the full-result cache, an identical in-flight
 // solve, or a fresh pipeline run, in that order.
 func (s *Solver) resolve(t *Ticket) (*core.Result, error) {
-	if s.results == nil {
+	// Recovery jobs never touch the caches: their plan depends on the fault
+	// and the executed prefix, neither of which is part of the cache keys.
+	if s.results == nil || t.rec != nil {
 		return s.solve(t)
 	}
 	for {
@@ -376,6 +379,13 @@ func (s *Solver) solve(t *Ticket) (*core.Result, error) {
 	opts := t.opts
 	opts.Warm = t.warm
 	opts.Progress = t.emitCore
+	if t.rec != nil {
+		// Online recovery: the prior result supplies the warm start and the
+		// chip parameters internally, and the schedule cache is bypassed (a
+		// pinned suffix solve is not a solve of the bare assay).
+		opts.Warm = nil
+		return core.RecoverContext(t.ctx, opts, t.rec.prior, t.rec.fault)
+	}
 	if s.scheds == nil {
 		return core.SynthesizeContext(t.ctx, t.graph, opts)
 	}

@@ -73,6 +73,7 @@ type Ticket struct {
 	graph     *seqgraph.Graph
 	opts      core.Options
 	warm      *sched.Schedule
+	rec       *recoverReq
 	schedKey  string
 	resultKey string
 	submitted time.Time

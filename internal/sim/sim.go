@@ -24,6 +24,12 @@ const (
 	Transporting
 	// Caching means the segment holds a stored fluid (distributed storage).
 	Caching
+	// Failed means the segment's valve pair broke (an injected FaultChannel):
+	// nothing may move through or be stored on it from the fault on.
+	Failed
+	// Degraded means the segment still transports but can no longer hold a
+	// cached sample (an injected FaultStorage).
+	Degraded
 )
 
 // String names the state.
@@ -35,6 +41,10 @@ func (s SegmentState) String() string {
 		return "transporting"
 	case Caching:
 		return "caching"
+	case Failed:
+		return "failed"
+	case Degraded:
+		return "degraded"
 	default:
 		return "unused"
 	}
@@ -42,8 +52,9 @@ func (s SegmentState) String() string {
 
 // Simulator replays a synthesis result over time.
 type Simulator struct {
-	res   *arch.Result
-	sched *sched.Schedule
+	res    *arch.Result
+	sched  *sched.Schedule
+	faults []Fault
 }
 
 // New builds a simulator for the given architecture and schedule.
@@ -55,6 +66,11 @@ func New(res *arch.Result, s *sched.Schedule) *Simulator {
 type Snapshot struct {
 	// Time is the snapshot instant in seconds.
 	Time int
+	// OutOfRange marks snapshots taken before the execution starts (t < 0)
+	// or after it fully drains (t > Horizon()): the segment map is still
+	// rendered (all idle, faults applied) but carries no execution state, and
+	// callers should not mistake it for a quiet moment mid-run.
+	OutOfRange bool
 	// Segment maps every grid edge to its state at Time.
 	Segment map[arch.EdgeID]SegmentState
 	// RunningOps lists operations executing at Time, in OpID order.
@@ -63,6 +79,28 @@ type Snapshot struct {
 	ActiveRoutes []int
 	// CachedSamples counts fluids held in channel storage at Time.
 	CachedSamples int
+	// FailedDevices lists devices failed by injected faults at Time.
+	FailedDevices []int
+}
+
+// Horizon is the instant the chip fully drains: the schedule makespan
+// extended by any route still moving fluid past it (with boundary I/O
+// modeled, the last product's move-out completes after its operation — and
+// with it the makespan — ends). Utilization and Timeline integrate to the
+// horizon, not the makespan, so those tail seconds are neither lost in
+// animations nor silently diluted out of the utilization denominator.
+func (sim *Simulator) Horizon() int {
+	h := sim.sched.Makespan
+	for _, route := range sim.res.Routes {
+		end := route.Task.Arrive
+		if route.Task.Kind == sched.Stored {
+			end = route.Task.FetchEnd
+		}
+		if end > h {
+			h = end
+		}
+	}
+	return h
 }
 
 // At computes the chip state at time t.
@@ -70,6 +108,9 @@ func (sim *Simulator) At(t int) *Snapshot {
 	snap := &Snapshot{
 		Time:    t,
 		Segment: make(map[arch.EdgeID]SegmentState, sim.res.Grid.NumEdges()),
+	}
+	if t < 0 || t > sim.Horizon() {
+		snap.OutOfRange = true
 	}
 	for _, e := range sim.res.UsedEdges {
 		snap.Segment[e] = Idle
@@ -116,6 +157,31 @@ func (sim *Simulator) At(t int) *Snapshot {
 		}
 	}
 	sort.Strings(snap.RunningOps)
+	// Injected faults overlay the replayed state from their detection
+	// instant on: a failed segment shows Failed whatever the original plan
+	// had it doing, a degraded one shows Degraded unless fluid is actively
+	// moving through it (it still transports, it just cannot hold a cache).
+	for _, f := range sim.faults {
+		if t < f.Time {
+			continue
+		}
+		switch f.Kind {
+		case FaultDevice:
+			snap.FailedDevices = append(snap.FailedDevices, f.Device)
+		case FaultChannel:
+			if _, built := snap.Segment[f.Edge]; built {
+				snap.Segment[f.Edge] = Failed
+			}
+		case FaultStorage:
+			if st, built := snap.Segment[f.Edge]; built && st != Transporting {
+				if st == Caching {
+					snap.CachedSamples--
+				}
+				snap.Segment[f.Edge] = Degraded
+			}
+		}
+	}
+	sort.Ints(snap.FailedDevices)
 	return snap
 }
 
@@ -123,13 +189,18 @@ func (sim *Simulator) At(t int) *Snapshot {
 // used over the whole execution — the efficiency argument of the paper's
 // Section 1 ("the efficiency of channels and valves is improved").
 type Utilization struct {
-	// Makespan is the simulated horizon.
+	// Makespan is the schedule makespan t^E.
 	Makespan int
+	// Horizon is the instant the chip fully drains — at least Makespan, and
+	// later when boundary I/O keeps moving the last product out past it. It
+	// is the denominator of MeanUtilization: dividing by the makespan alone
+	// over-counted executions whose busy seconds extend beyond it.
+	Horizon int
 	// BusySeconds maps each used edge to its total busy time.
 	BusySeconds map[arch.EdgeID]int
 	// TransportSeconds and CacheSeconds split the busy time by role.
 	TransportSeconds, CacheSeconds int
-	// MeanUtilization is mean(busy)/makespan over used edges, in [0,1].
+	// MeanUtilization is mean(busy)/horizon over used edges, in [0,1].
 	MeanUtilization float64
 }
 
@@ -137,6 +208,7 @@ type Utilization struct {
 func (sim *Simulator) Utilization() *Utilization {
 	u := &Utilization{
 		Makespan:    sim.sched.Makespan,
+		Horizon:     sim.Horizon(),
 		BusySeconds: make(map[arch.EdgeID]int, len(sim.res.UsedEdges)),
 	}
 	add := func(e arch.EdgeID, secs int) {
@@ -166,24 +238,26 @@ func (sim *Simulator) Utilization() *Utilization {
 		u.TransportSeconds += outD*(len(route.OutEdges)+1) + fetchD*(len(route.FetchEdges)+1)
 		u.CacheSeconds += cacheD
 	}
-	if len(sim.res.UsedEdges) > 0 && u.Makespan > 0 {
+	if len(sim.res.UsedEdges) > 0 && u.Horizon > 0 {
 		total := 0
 		for _, e := range sim.res.UsedEdges {
 			total += u.BusySeconds[e]
 		}
-		u.MeanUtilization = float64(total) / float64(len(sim.res.UsedEdges)*u.Makespan)
+		u.MeanUtilization = float64(total) / float64(len(sim.res.UsedEdges)*u.Horizon)
 	}
 	return u
 }
 
 // Timeline returns snapshots at every multiple of step across the execution
-// (always including t=0), for animations and reports.
+// (always including t=0), for animations and reports. It spans the full
+// drain horizon, so executions whose boundary I/O outlives the makespan are
+// animated to the end instead of being cut off mid-transport.
 func (sim *Simulator) Timeline(step int) []*Snapshot {
 	if step < 1 {
 		step = 1
 	}
 	var out []*Snapshot
-	for t := 0; t <= sim.sched.Makespan; t += step {
+	for t, h := 0, sim.Horizon(); t <= h; t += step {
 		out = append(out, sim.At(t))
 	}
 	return out

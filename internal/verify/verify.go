@@ -51,6 +51,7 @@ const (
 	InvChannelExclusive = "channel-exclusivity"
 	InvMetrics          = "metrics"
 	InvSimAgreement     = "sim-agreement"
+	InvRecovery         = "recovery"
 )
 
 // Violation is one broken invariant.

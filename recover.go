@@ -1,0 +1,217 @@
+package flowsyn
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"flowsyn/internal/arch"
+	"flowsyn/internal/sim"
+)
+
+// FaultKind classifies a mid-execution chip fault.
+type FaultKind int
+
+const (
+	// DeviceFault fails a device chamber: no re-planned operation may run on
+	// it. Its ports stay usable, so fluids already inside still transport
+	// out.
+	DeviceFault FaultKind = iota
+	// ChannelFault fails a channel segment: banned from all re-planned
+	// routing and storage.
+	ChannelFault
+	// StorageFault degrades a channel segment: it still transports but can
+	// no longer hold a cached fluid.
+	StorageFault
+)
+
+// String names the fault kind.
+func (k FaultKind) String() string {
+	switch k {
+	case ChannelFault:
+		return "channel"
+	case StorageFault:
+		return "storage"
+	default:
+		return "device"
+	}
+}
+
+// Fault is a mid-execution fault injected into a running assay at time Time.
+type Fault struct {
+	// Kind selects what failed.
+	Kind FaultKind
+	// Time is the injection instant in seconds from assay start. Everything
+	// the chip completed or had in flight before it is preserved by a
+	// recovery.
+	Time int
+	// Device is the failed device index (DeviceFault only).
+	Device int
+	// Channel is the failed channel-segment ID (ChannelFault and
+	// StorageFault). Segment IDs index the synthesis grid's edges — see
+	// Result.SnapshotASCII for where each segment sits.
+	Channel int
+}
+
+// String renders the fault like "device 2 @ t=130".
+func (f Fault) String() string {
+	if f.Kind == DeviceFault {
+		return fmt.Sprintf("device %d @ t=%d", f.Device, f.Time)
+	}
+	return fmt.Sprintf("%s %d @ t=%d", f.Kind, f.Channel, f.Time)
+}
+
+func (f Fault) internal() sim.Fault {
+	kind := sim.FaultDevice
+	switch f.Kind {
+	case ChannelFault:
+		kind = sim.FaultChannel
+	case StorageFault:
+		kind = sim.FaultStorage
+	}
+	return sim.Fault{Kind: kind, Time: f.Time, Device: f.Device, Edge: arch.EdgeID(f.Channel)}
+}
+
+func faultFrom(f sim.Fault) Fault {
+	kind := DeviceFault
+	switch f.Kind {
+	case sim.FaultChannel:
+		kind = ChannelFault
+	case sim.FaultStorage:
+		kind = StorageFault
+	}
+	return Fault{Kind: kind, Time: f.Time, Device: f.Device, Channel: int(f.Edge)}
+}
+
+// Recover submits a fault-tolerant online re-synthesis of a finished job:
+// fault is injected into its execution at fault.Time, every operation and
+// transport the chip had completed or in flight is frozen exactly as
+// executed, and only the remaining suffix is re-planned on the masked chip —
+// the failed resource excluded, devices unmoved, the prior plan warm-starting
+// the solve. The recovered result's Recovery method reports what was
+// preserved and what the fault cost in makespan.
+//
+// The prior ticket must have completed successfully. Recovery jobs bypass the
+// session caches in both directions (a spliced plan is specific to its fault
+// and is never served as, or from, an ordinary synthesis). The engine,
+// objective and verification settings are inherited from the prior job; with
+// Verify set, the spliced plan is replayed end to end and any re-executed
+// prefix work, pre-fault suffix start or mask violation fails the job with a
+// *VerifyError.
+func (s *Solver) Recover(ctx context.Context, prior *Ticket, fault Fault) (*Ticket, error) {
+	if prior == nil {
+		return nil, errors.New("flowsyn: recover needs a prior ticket")
+	}
+	if fault.Kind != DeviceFault && fault.Kind != ChannelFault && fault.Kind != StorageFault {
+		return nil, &OptionError{Field: "Fault.Kind", Value: int(fault.Kind), Reason: "unknown fault kind"}
+	}
+	if fault.Time < 0 {
+		return nil, &OptionError{Field: "Fault.Time", Value: fault.Time, Reason: "fault time must be >= 0"}
+	}
+	inner, err := s.inner.Recover(ctx, prior.inner, fault.internal())
+	if err != nil {
+		return nil, err
+	}
+	return &Ticket{inner: inner}, nil
+}
+
+// RecoveryStats summarizes a fault recovery: the injected fault, how much of
+// the interrupted execution the splice preserved, and the makespan cost.
+type RecoveryStats struct {
+	// Fault is the injected fault the recovery worked around.
+	Fault Fault
+	// PreservedOps counts operations carried over exactly as executed — zero
+	// re-executed work.
+	PreservedOps int
+	// PreservedRoutes counts executed transport routes carried over verbatim.
+	PreservedRoutes int
+	// ReroutedTransports counts transport routes planned fresh around the
+	// fault.
+	ReroutedTransports int
+	// OldMakespan and NewMakespan compare the faulted and recovered plans;
+	// MakespanDelta is their difference.
+	OldMakespan, NewMakespan, MakespanDelta int
+}
+
+// Recovery returns the fault-recovery summary of a result produced by
+// Solver.Recover, or nil for an ordinary synthesis.
+func (r *Result) Recovery() *RecoveryStats {
+	rec := r.inner.Recovery
+	if rec == nil {
+		return nil
+	}
+	return &RecoveryStats{
+		Fault:              faultFrom(rec.Fault),
+		PreservedOps:       rec.PreservedOps,
+		PreservedRoutes:    rec.PreservedRoutes,
+		ReroutedTransports: rec.ReroutedTransports,
+		OldMakespan:        rec.OldMakespan,
+		NewMakespan:        rec.NewMakespan,
+		MakespanDelta:      rec.MakespanDelta,
+	}
+}
+
+// sampleFaults derives FaultSamples deterministic single faults from a
+// synthesized result: injection instants spread evenly across the execution,
+// fault kinds cycling over the applicable ones (device faults need a second
+// device to absorb the work; segment faults need a routed chip).
+func sampleFaults(res *Result, samples int) []Fault {
+	devices := res.inner.Schedule.Devices
+	edges := res.inner.Architecture.UsedEdges
+	var kinds []FaultKind
+	if devices > 1 {
+		kinds = append(kinds, DeviceFault)
+	}
+	if len(edges) > 0 {
+		kinds = append(kinds, ChannelFault, StorageFault)
+	}
+	if len(kinds) == 0 {
+		return nil
+	}
+	out := make([]Fault, 0, samples)
+	for j := 0; j < samples; j++ {
+		f := Fault{
+			Kind: kinds[j%len(kinds)],
+			Time: res.Makespan() * (j + 1) / (samples + 1),
+		}
+		switch f.Kind {
+		case DeviceFault:
+			f.Device = j % devices
+		default:
+			f.Channel = int(edges[j%len(edges)])
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// exploreFaults runs the k-fault-tolerance axis of a grid sweep: for each
+// successfully synthesized grid point, FaultSamples single faults are
+// injected at spread instants and recovered; the counts land in the
+// GridResult.
+func (s *Solver) exploreFaults(ctx context.Context, out []GridResult, tickets []*Ticket, samples int) {
+	for i := range out {
+		if tickets[i] == nil || out[i].Err != nil || out[i].Result == nil {
+			continue
+		}
+		g := &out[i]
+		// Recoveries run submit-and-wait: the sweep session's queue is sized
+		// to the grid points, not to grid points × samples, and a recovery is
+		// one bounded solve — pipelining buys little here.
+		for _, f := range sampleFaults(g.Result, samples) {
+			g.FaultsInjected++
+			t, err := s.Recover(ctx, tickets[i], f)
+			if err != nil {
+				continue
+			}
+			res, err := t.Wait(context.Background())
+			if err != nil {
+				continue
+			}
+			g.FaultRecoveries++
+			if m := res.Makespan(); m > g.WorstRecoveryMakespan {
+				g.WorstRecoveryMakespan = m
+			}
+		}
+	}
+}

@@ -118,6 +118,14 @@ type GridRange struct {
 	MinSize, MaxSize int
 	// Concurrency is the worker count, as in BatchOptions.
 	Concurrency int
+	// FaultSamples, when positive, adds a fault-tolerance axis to the sweep:
+	// each successfully synthesized grid point is stress-tested with this
+	// many deterministic single faults (device, channel and storage kinds at
+	// instants spread across the execution), each recovered online via
+	// Solver.Recover. GridResult.FaultRecoveries counts the faults the grid
+	// size absorbed; a point where every injected fault recovers is
+	// fault-tolerant at this sampling density.
+	FaultSamples int
 }
 
 // validate rejects degenerate sweeps with a typed *OptionError naming the
@@ -129,6 +137,10 @@ func (r GridRange) validate() error {
 	if r.MaxSize < r.MinSize {
 		return &OptionError{Field: "GridRange.MaxSize", Value: r.MaxSize,
 			Reason: fmt.Sprintf("inverted range: MaxSize must be >= MinSize (%d)", r.MinSize)}
+	}
+	if r.FaultSamples < 0 {
+		return &OptionError{Field: "GridRange.FaultSamples", Value: r.FaultSamples,
+			Reason: "fault sample count must be >= 0"}
 	}
 	return nil
 }
@@ -142,6 +154,13 @@ type GridResult struct {
 	Result *Result
 	// Err is the synthesis error for this grid size.
 	Err error
+	// FaultsInjected and FaultRecoveries report the fault-tolerance axis
+	// (GridRange.FaultSamples): how many single faults were injected into
+	// this grid point's execution and how many were recovered online.
+	// WorstRecoveryMakespan is the largest recovered makespan observed (zero
+	// when no fault recovered). All zero when the axis is off.
+	FaultsInjected, FaultRecoveries int
+	WorstRecoveryMakespan           int
 }
 
 // ExploreGrids synthesizes the assay once per square grid size in r on an
@@ -206,6 +225,9 @@ func (s *Solver) ExploreGrids(ctx context.Context, a *Assay, opts Options, r Gri
 			continue
 		}
 		out[i].Result, out[i].Err = t.Wait(context.Background())
+	}
+	if r.FaultSamples > 0 && ctx.Err() == nil {
+		s.exploreFaults(ctx, out, tickets, r.FaultSamples)
 	}
 	if err := ctx.Err(); err != nil {
 		return out, err

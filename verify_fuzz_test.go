@@ -1,6 +1,7 @@
 package flowsyn
 
 import (
+	"context"
 	"errors"
 	"testing"
 )
@@ -56,6 +57,74 @@ func FuzzSynthesizeVerify(f *testing.F) {
 		}
 		if err := res.Verify(); err != nil {
 			t.Fatalf("re-verification failed: %v", err)
+		}
+	})
+}
+
+// FuzzRecoverVerify drives the fault-injection splice with fuzzer-chosen
+// assay shapes, fault kinds and injection instants, verification forced on.
+// A recovery may legitimately be rejected (a device fault with one device, an
+// unroutable mask) — but if it claims success, the splice-point checker
+// (verify.CheckRecovery, replaying the faulted execution end to end) must
+// accept it; a *VerifyError is always a bug.
+//
+// Run it as a smoke job with
+//
+//	go test -fuzz=FuzzRecoverVerify -fuzztime=30s -run='^$' .
+func FuzzRecoverVerify(f *testing.F) {
+	f.Add(int64(1), 10, 2, 3, 6, 0, 50)  // device fault mid-execution
+	f.Add(int64(42), 16, 3, 4, 5, 1, 10) // channel fault early
+	f.Add(int64(7), 8, 2, 2, 4, 2, 500)  // storage fault near/after the end
+	f.Add(int64(-3), 5, 1, 3, 4, 0, 0)   // fault at t=0: full re-synthesis
+	f.Fuzz(func(t *testing.T, seed int64, n, width, devices, grid, kind, at int) {
+		n = 1 + mod(n, 20)
+		width = 1 + mod(width, 4)
+		devices = 1 + mod(devices, 4)
+		grid = 4 + mod(grid, 3)
+
+		s := New(Config{Workers: 1, QueueDepth: 2, CacheEntries: -1})
+		defer s.Close()
+		prior, err := s.Submit(context.Background(), Job{
+			Assay: RandomAssay(n, width, seed),
+			Options: Options{
+				Devices: devices, GridRows: grid, GridCols: grid,
+				Engine: HeuristicEngine, Verify: true,
+			},
+		})
+		if err != nil {
+			t.Skip()
+		}
+		res, err := prior.Wait(context.Background())
+		if err != nil {
+			t.Skip() // congestion on a small grid: legitimate rejection
+		}
+
+		fault := Fault{Kind: FaultKind(mod(kind, 3)), Time: mod(at, res.Makespan()+10)}
+		switch fault.Kind {
+		case DeviceFault:
+			fault.Device = mod(at, devices)
+		default:
+			edges := res.inner.Architecture.UsedEdges
+			if len(edges) == 0 {
+				t.Skip()
+			}
+			fault.Channel = int(edges[mod(at, len(edges))])
+		}
+		tk, err := s.Recover(context.Background(), prior, fault)
+		if err != nil {
+			t.Skip() // e.g. device fault with every device in use
+		}
+		rec, err := tk.Wait(context.Background())
+		if err != nil {
+			var verr *VerifyError
+			if errors.As(err, &verr) {
+				t.Fatalf("n=%d width=%d devices=%d grid=%d fault=%v: spliced plan failed the recovery checker: %v",
+					n, width, devices, grid, fault, verr)
+			}
+			t.Skip() // unroutable mask: legitimate rejection
+		}
+		if !rec.Verified() {
+			t.Fatal("recovery verify stage did not run despite Options.Verify")
 		}
 	})
 }
