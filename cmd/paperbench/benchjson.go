@@ -69,6 +69,14 @@ type benchSolver struct {
 	RCFixings         int `json:"rc_fixings"`
 	IncrementalPivots int `json:"incremental_pivots"`
 	FullPricingPivots int `json:"full_pricing_pivots"`
+
+	// Storage-side dual-gap diagnostics (PR 8): conflict-graph clique cuts,
+	// lifted cover cuts, local-branching incumbents and the parallel
+	// separation wall-clock.
+	CliqueCuts        int     `json:"clique_cuts"`
+	LiftedCovers      int     `json:"lifted_covers"`
+	LocalBranchIncumb int     `json:"local_branching_incumbents"`
+	SeparationWallMS  float64 `json:"separation_wall_ms"`
 }
 
 // benchGapRun is one instance of the seeded random-DAG gap suite: a synthetic
@@ -227,6 +235,11 @@ func runBenchJSON(ctx context.Context, path, assays, notes string) error {
 					RCFixings:         sv.ReducedCostFixings,
 					IncrementalPivots: sv.IncrementalPivots,
 					FullPricingPivots: sv.FullPricingPivots,
+
+					CliqueCuts:        sv.CliqueCuts,
+					LiftedCovers:      sv.LiftedCovers,
+					LocalBranchIncumb: sv.LocalBranchingIncumbents,
+					SeparationWallMS:  float64(sv.SeparationWall.Microseconds()) / 1e3,
 				}
 			}
 			out.Runs = append(out.Runs, run)

@@ -336,12 +336,18 @@ func (r *Result) solverSummary(withService bool) string {
 		s += fmt.Sprintf(", prop %dt/%dp",
 			info.Solver.PropagationTightenings, info.Solver.PropagationPrunes)
 	}
-	if c := info.Solver.Cuts; c.Gomory+c.Cover > 0 {
-		s += fmt.Sprintf(", cuts %dg/%dc (%d kept", c.Gomory, c.Cover, c.Applied)
+	if c := info.Solver.Cuts; c.Gomory+c.Cover+c.Clique > 0 {
+		s += fmt.Sprintf(", cuts %dg/%dc/%dq (%d kept", c.Gomory, c.Cover, c.Clique, c.Applied)
+		if c.LiftedCover > 0 {
+			s += fmt.Sprintf(", %d lifted", c.LiftedCover)
+		}
 		if c.AgedOut > 0 {
 			s += fmt.Sprintf(", %d aged", c.AgedOut)
 		}
 		s += ")"
+	}
+	if w := info.Solver.SeparationWall; w > 0 {
+		s += fmt.Sprintf(", sep %s", w.Round(time.Microsecond))
 	}
 	if info.Solver.PseudoCostInits > 0 {
 		s += fmt.Sprintf(", pc-init %d", info.Solver.PseudoCostInits)
@@ -351,6 +357,9 @@ func (r *Result) solverSummary(withService bool) string {
 	}
 	if info.Solver.HeuristicIncumbents > 0 {
 		s += fmt.Sprintf(", heur %d", info.Solver.HeuristicIncumbents)
+	}
+	if info.Solver.LocalBranchingIncumbents > 0 {
+		s += fmt.Sprintf(", local-branch %d", info.Solver.LocalBranchingIncumbents)
 	}
 	if tot := info.Solver.IncrementalPivots + info.Solver.FullPricingPivots; tot > 0 {
 		s += fmt.Sprintf(", incr-price %.0f%%",

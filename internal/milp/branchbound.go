@@ -49,6 +49,14 @@ type SolveOptions struct {
 	// binaries that determine auxiliary indicators through propagation);
 	// integrality and optimality are unaffected — only the tree shape changes.
 	BranchPriority func(v Var) int
+	// Conflicts declares pairs of binary literals that cannot both be 1 in
+	// any integer-feasible point (domain knowledge the row structure alone
+	// does not expose, e.g. must-overlap operation pairs). They seed the
+	// root conflict graph, whose maximal-clique cuts tighten the relaxation;
+	// pairs over non-binary or presolve-eliminated variables are ignored.
+	// Declaring a pair that CAN jointly be 1 makes the clique cuts invalid
+	// and may prune the true optimum.
+	Conflicts [][2]ConflictLiteral
 	// ObjIntegral asserts that every integer-feasible point of the model
 	// attains an integral objective value (after continuous variables settle
 	// at their objective-minimal positions) — e.g. integer objective
@@ -135,9 +143,12 @@ type bbShared struct {
 	pcUpTot        float64
 	pcDownObs      int
 	pcUpObs        int
-	pcInits        int // reliability-initialization probes run
-	heurFound      int // incumbents installed by node heuristics
-	heurNext       int // node count gating the next heuristic dive
+	pcInits        int     // reliability-initialization probes run
+	heurFound      int     // incumbents installed by node heuristics
+	heurNext       int     // node count gating the next heuristic dive
+	lbFound        int     // incumbents installed by local branching
+	lbLastObj      float64 // bestObj at the last local-branching attempt
+	lbActive       bool    // a worker currently holds the local-branching slot
 
 	// lostLB is the smallest bound of any subtree dropped without a full
 	// proof: pruned by the Gap option, or abandoned when the search stopped.
@@ -227,7 +238,7 @@ func SolveContext(ctx context.Context, m *Model, opts SolveOptions) (*Solution, 
 		workers = min(runtime.GOMAXPROCS(0), 8)
 	}
 
-	sh := &bbShared{bestObj: math.Inf(1), lostLB: math.Inf(1)}
+	sh := &bbShared{bestObj: math.Inf(1), lostLB: math.Inf(1), lbLastObj: math.Inf(1)}
 	sh.cond = sync.NewCond(&sh.mu)
 	if opts.Incumbent != nil {
 		if ok, obj := checkFeasible(m, opts.Incumbent, opts.IntFeasTol); ok {
@@ -256,12 +267,14 @@ func SolveContext(ctx context.Context, m *Model, opts SolveOptions) (*Solution, 
 		return finishAborted(abortStatus(ctx, solveCtx), sh, dirSign, stats), nil
 	}
 
-	// Root cutting planes: tighten the relaxation with Gomory mixed-integer
-	// and cover cuts before any branching. The cut loop also hands back the
-	// root optimum's basis, so the root node warm-starts like any other.
-	cutRes := rootCutLoop(solveCtx, in, opts.IntFeasTol)
+	// Root cutting planes: tighten the relaxation with Gomory mixed-integer,
+	// lifted cover, and conflict-clique cuts before any branching. The cut
+	// loop also hands back the root optimum's basis, so the root node
+	// warm-starts like any other.
+	cutRes := rootCutLoop(solveCtx, in, opts.IntFeasTol, opts.Conflicts, workers)
 	in = cutRes.in
 	stats.Cuts = cutRes.stats
+	stats.SeparationWall = cutRes.sepWall
 	sh.lpIters += cutRes.iters
 	sh.incrPivots += cutRes.incr
 	sh.fullPivots += cutRes.full
@@ -330,6 +343,7 @@ func SolveContext(ctx context.Context, m *Model, opts SolveOptions) (*Solution, 
 	stats.PropagationPrunes = sh.propPrune
 	stats.PseudoCostInits = sh.pcInits
 	stats.HeuristicIncumbents = sh.heurFound
+	stats.LocalBranchingIncumbents = sh.lbFound
 	stats.IncrementalPivots = sh.incrPivots
 	stats.FullPricingPivots = sh.fullPivots
 	stats.ReducedCostFixings = sh.rcFixed
@@ -614,6 +628,13 @@ func (w *bbWorker) processSubtree(node *bbNode) {
 		// state.
 		if w.claimHeuristicSlot() {
 			w.runHeuristics(x)
+		}
+
+		// Local branching: whenever the incumbent has improved since the last
+		// attempt, one worker searches its Hamming-ball neighbourhood as a
+		// budgeted sub-MIP on a scratch state.
+		if inc, cutoff, ok := w.claimLocalBranchSlot(); ok {
+			w.runLocalBranch(inc, cutoff)
 		}
 
 		cands = w.filterPriority(cands)

@@ -1,0 +1,326 @@
+package milp
+
+import (
+	"math"
+	"sort"
+)
+
+// Conflict-graph parameters.
+const (
+	// conflictRowMax caps the entries of a row mined for pairwise conflicts:
+	// a dense row yields quadratically many candidate edges, and long rows
+	// are almost never packing-like anyway.
+	conflictRowMax = 48
+	// cliquePerRound bounds how many clique cuts one separation round emits.
+	cliquePerRound = 16
+	// conflictPairTol is the slack below which two complemented coefficients
+	// exceed a row's capacity and therefore conflict.
+	conflictPairTol = 1e-9
+)
+
+// ConflictLiteral names one binary literal of a conflict: the variable V
+// itself, or its complement 1-V when Neg is set.
+type ConflictLiteral struct {
+	V   Var
+	Neg bool
+}
+
+// conflictGraph is an undirected graph over binary-column literals in which
+// an edge states that the two literals cannot both be 1 in any
+// integer-feasible point. Literals are encoded as 2*col+negBit and mapped to
+// dense ids; adjacency is a bitset so clique growth tests are O(1) per
+// candidate. The graph is built once per solve from the base instance's rows
+// plus the caller-declared conflicts and reused by every separation round.
+type conflictGraph struct {
+	lits  []int32         // dense id -> literal code (2*col + neg)
+	litID map[int32]int32 // literal code -> dense id
+	adj   [][]uint64      // adjacency bitsets, one row per dense id
+	words int
+
+	// Separation scratch, reused across rounds.
+	val  []float64
+	ord  []int32
+	mask []uint64
+	used []bool
+}
+
+// litCode packs a structural column and a negation flag into a literal code.
+func litCode(col int32, neg bool) int32 {
+	c := col << 1
+	if neg {
+		c |= 1
+	}
+	return c
+}
+
+// ensureLit interns a literal code, growing the adjacency lazily (bitset rows
+// are (re)sized by finalize once all literals are known).
+func (cg *conflictGraph) ensureLit(code int32) int32 {
+	if id, ok := cg.litID[code]; ok {
+		return id
+	}
+	id := int32(len(cg.lits))
+	cg.lits = append(cg.lits, code)
+	cg.litID[code] = id
+	return id
+}
+
+// edge buffers one conflict edge during construction.
+type conflictEdge struct{ a, b int32 }
+
+// buildConflictGraph assembles the literal conflict graph of the base
+// instance: the caller-declared conflict pairs (mapped through presolve's
+// column renumbering; pairs touching an eliminated column are dropped) plus
+// pairwise conflicts mined from the rows — for every <=-form view of a row
+// over binary columns, two complemented coefficients whose sum exceeds the
+// complemented right-hand side cannot both be at 1. Returns nil when no
+// conflict exists (clique separation is then skipped outright).
+func buildConflictGraph(in *instance, conflicts [][2]ConflictLiteral) *conflictGraph {
+	cg := &conflictGraph{litID: make(map[int32]int32)}
+	var edges []conflictEdge
+
+	isBinary := func(col int32) bool {
+		return in.intCol[col] && in.lo[col] == 0 && in.hi[col] == 1
+	}
+	addEdge := func(a, b int32) {
+		if a == b {
+			return
+		}
+		edges = append(edges, conflictEdge{cg.ensureLit(a), cg.ensureLit(b)})
+	}
+
+	for _, pair := range conflicts {
+		ca := in.varCol[pair[0].V.id]
+		cb := in.varCol[pair[1].V.id]
+		if ca < 0 || cb < 0 || ca == cb {
+			continue // presolve eliminated a side, or degenerate pair
+		}
+		if !isBinary(int32(ca)) || !isBinary(int32(cb)) {
+			continue
+		}
+		addEdge(litCode(int32(ca), pair[0].Neg), litCode(int32(cb), pair[1].Neg))
+	}
+
+	// Row-derived conflicts. Each row yields up to two <=-form views
+	// (the >= direction is negated; equalities contribute both).
+	coef := make([]float64, 0, conflictRowMax)
+	cols := make([]int32, 0, conflictRowMax)
+	for i := 0; i < in.m; i++ {
+		nn := int(in.rowPtr[i+1] - in.rowPtr[i])
+		if nn < 2 || nn > conflictRowMax {
+			continue
+		}
+		slack := in.nStruct + i
+		le := in.lo[slack] == 0 && math.IsInf(in.hi[slack], 1)
+		ge := math.IsInf(in.lo[slack], -1) && in.hi[slack] == 0
+		eq := in.lo[slack] == 0 && in.hi[slack] == 0
+		if !le && !ge && !eq {
+			continue
+		}
+		binary := true
+		for p := in.rowPtr[i]; p < in.rowPtr[i+1]; p++ {
+			if !isBinary(in.rowCol[p]) {
+				binary = false
+				break
+			}
+		}
+		if !binary {
+			continue
+		}
+		for _, sign := range []float64{1, -1} {
+			if sign > 0 && !(le || eq) {
+				continue
+			}
+			if sign < 0 && !(ge || eq) {
+				continue
+			}
+			// Complement negative coefficients: a<0 on x becomes -a on 1-x,
+			// shifting the rhs. All complemented coefficients are positive, so
+			// the minimum contribution of the unfixed rest is 0 and any pair
+			// exceeding the rhs on its own is a genuine conflict.
+			rhs := sign * in.b[i]
+			coef = coef[:0]
+			cols = cols[:0]
+			for p := in.rowPtr[i]; p < in.rowPtr[i+1]; p++ {
+				a := sign * in.rowVal[p]
+				if a == 0 {
+					continue
+				}
+				if a < 0 {
+					rhs -= a
+					coef = append(coef, -a)
+					cols = append(cols, litCode(in.rowCol[p], true))
+				} else {
+					coef = append(coef, a)
+					cols = append(cols, litCode(in.rowCol[p], false))
+				}
+			}
+			for a := 0; a < len(coef); a++ {
+				for b := a + 1; b < len(coef); b++ {
+					if coef[a]+coef[b] > rhs+conflictPairTol {
+						addEdge(cols[a], cols[b])
+					}
+				}
+			}
+		}
+	}
+	if len(edges) == 0 {
+		return nil
+	}
+
+	n := len(cg.lits)
+	cg.words = (n + 63) / 64
+	cg.adj = make([][]uint64, n)
+	flat := make([]uint64, n*cg.words)
+	for i := range cg.adj {
+		cg.adj[i] = flat[i*cg.words : (i+1)*cg.words]
+	}
+	for _, e := range edges {
+		cg.adj[e.a][e.b>>6] |= 1 << (uint(e.b) & 63)
+		cg.adj[e.b][e.a>>6] |= 1 << (uint(e.a) & 63)
+	}
+	cg.val = make([]float64, n)
+	cg.ord = make([]int32, n)
+	cg.mask = make([]uint64, cg.words)
+	cg.used = make([]bool, n)
+	return cg
+}
+
+// litValue is the LP value of a dense literal at the structural point x.
+func (cg *conflictGraph) litValue(id int32, x []float64) float64 {
+	code := cg.lits[id]
+	v := x[code>>1]
+	if code&1 == 1 {
+		v = 1 - v
+	}
+	return math.Min(1, math.Max(0, v))
+}
+
+// separate finds violated clique cuts at the structural point x: for a
+// clique K of pairwise-conflicting literals, sum over K of the literal
+// values cannot exceed 1 at any integer-feasible point, so a fractional sum
+// beyond 1 is cut off by
+//
+//	sum_pos x_j - sum_neg x_j <= 1 - #neg.
+//
+// Cliques are grown greedily from high-value seeds (values descending,
+// literal code ascending on ties, so Workers=1 runs are byte-reproducible)
+// and extended to maximality with every remaining compatible literal — the
+// zero-value extension does not change the violation but strengthens the
+// cut. At most cliquePerRound cuts are returned.
+func (cg *conflictGraph) separate(x []float64) []*cutRow {
+	n := len(cg.lits)
+	for i := 0; i < n; i++ {
+		cg.val[i] = cg.litValue(int32(i), x)
+		cg.ord[i] = int32(i)
+		cg.used[i] = false
+	}
+	sort.Slice(cg.ord, func(a, b int) bool {
+		va, vb := cg.val[cg.ord[a]], cg.val[cg.ord[b]]
+		if va != vb {
+			return va > vb
+		}
+		return cg.lits[cg.ord[a]] < cg.lits[cg.ord[b]]
+	})
+
+	var cuts []*cutRow
+	var clique []int32
+	for _, seed := range cg.ord {
+		if len(cuts) >= cliquePerRound {
+			break
+		}
+		// A seed below the violation watershed cannot start a violated
+		// clique: every later member has a value no larger than it.
+		if cg.used[seed] || cg.val[seed] <= 0.5 {
+			continue
+		}
+		clique = clique[:0]
+		clique = append(clique, seed)
+		copy(cg.mask, cg.adj[seed])
+		sum := cg.val[seed]
+		for _, cand := range cg.ord {
+			if cand == seed || cg.mask[cand>>6]&(1<<(uint(cand)&63)) == 0 {
+				continue
+			}
+			clique = append(clique, cand)
+			sum += cg.val[cand]
+			for w := 0; w < cg.words; w++ {
+				cg.mask[w] &= cg.adj[cand][w]
+			}
+		}
+		if len(clique) < 2 || sum <= 1+cutMinEfficacy {
+			continue
+		}
+		cut := cg.cliqueCut(clique, x)
+		if cut == nil {
+			continue
+		}
+		for _, id := range clique {
+			cg.used[id] = true
+		}
+		cuts = append(cuts, cut)
+	}
+	return cuts
+}
+
+// cliqueCut lowers a literal clique into a <=-form cutRow over structural
+// columns, or nil when the cut fails the efficacy screen at x.
+func (cg *conflictGraph) cliqueCut(clique []int32, x []float64) *cutRow {
+	cut := &cutRow{rhs: 1}
+	for _, id := range clique {
+		code := cg.lits[id]
+		col := code >> 1
+		if code&1 == 1 {
+			cut.cols = append(cut.cols, col)
+			cut.coef = append(cut.coef, -1)
+			cut.rhs--
+		} else {
+			cut.cols = append(cut.cols, col)
+			cut.coef = append(cut.coef, 1)
+		}
+	}
+	// Sort by column and merge a pos/neg pair on the same column (their sum
+	// is constant 1); sameCut and extendWithCuts both expect sorted, unique
+	// support.
+	sort.Sort(&cutColSort{cut})
+	w := 0
+	for k := 0; k < len(cut.cols); k++ {
+		if w > 0 && cut.cols[w-1] == cut.cols[k] {
+			cut.coef[w-1] += cut.coef[k]
+			continue
+		}
+		cut.cols[w] = cut.cols[k]
+		cut.coef[w] = cut.coef[k]
+		w++
+	}
+	cut.cols = cut.cols[:w]
+	k := 0
+	for i := 0; i < w; i++ {
+		if cut.coef[i] == 0 {
+			continue
+		}
+		cut.cols[k] = cut.cols[i]
+		cut.coef[k] = cut.coef[i]
+		k++
+	}
+	cut.cols = cut.cols[:k]
+	cut.coef = cut.coef[:k]
+	if len(cut.cols) < 2 {
+		return nil
+	}
+	cut.norm = math.Sqrt(float64(len(cut.cols)))
+	if cut.violation(x) < cutMinEfficacy*cut.norm {
+		return nil
+	}
+	return cut
+}
+
+// cutColSort sorts a cutRow's parallel col/coef slices by column index.
+type cutColSort struct{ c *cutRow }
+
+func (s *cutColSort) Len() int           { return len(s.c.cols) }
+func (s *cutColSort) Less(i, j int) bool { return s.c.cols[i] < s.c.cols[j] }
+func (s *cutColSort) Swap(i, j int) {
+	s.c.cols[i], s.c.cols[j] = s.c.cols[j], s.c.cols[i]
+	s.c.coef[i], s.c.coef[j] = s.c.coef[j], s.c.coef[i]
+}

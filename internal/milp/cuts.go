@@ -4,6 +4,8 @@ import (
 	"context"
 	"math"
 	"sort"
+	"sync"
+	"time"
 )
 
 // Root cutting-plane parameters.
@@ -46,6 +48,9 @@ type cutRow struct {
 	// idle counts consecutive resolve rounds with positive slack; the pool
 	// retires the cut at cutAgeLimit.
 	idle int
+	// lifted marks a cover cut that carries at least one lifted non-cover
+	// coefficient (for the LiftedCover counter).
+	lifted bool
 }
 
 // violation returns coef·x - rhs at the structural point x (positive means
@@ -67,6 +72,11 @@ type CutStats struct {
 	Gomory int
 	// Cover counts knapsack-cover cuts separated.
 	Cover int
+	// LiftedCover counts the subset of Cover cuts that carried at least one
+	// sequence-independent lifted coefficient on a non-cover column.
+	LiftedCover int
+	// Clique counts conflict-graph clique cuts separated.
+	Clique int
 	// Applied is the number of cut rows the branch-and-bound instance
 	// finally carried.
 	Applied int
@@ -92,12 +102,26 @@ func isIntegralBound(v float64) bool {
 	return math.Abs(v-math.Round(v)) <= 1e-9
 }
 
-// cutSeparator owns the scratch buffers of one root separation pass.
+// coverItem is one binary column of a row's knapsack view, complemented to a
+// positive coefficient.
+type coverItem struct {
+	col  int32
+	a    float64 // complemented coefficient, > 0
+	z    float64 // complemented LP value in [0,1]
+	comp bool
+}
+
+// cutSeparator owns the scratch buffers of one separation family. The
+// buffers persist across root-cut rounds (retarget re-points the separator
+// at an extended instance without reallocating: extendWithCuts preserves
+// nStruct and base-row indexing, so every buffer stays correctly sized).
 type cutSeparator struct {
 	in    *instance
 	dense []float64 // structural-column accumulator
 	mark  []bool    // which dense entries are live
 	live  []int32
+	items []coverItem // cover-separation scratch
+	mu    []float64   // lifting function: mu[h] = sum of h largest cover coefs
 }
 
 func newCutSeparator(in *instance) *cutSeparator {
@@ -108,6 +132,9 @@ func newCutSeparator(in *instance) *cutSeparator {
 		live:  make([]int32, 0, in.nStruct),
 	}
 }
+
+// retarget points the separator at an extended sibling of its instance.
+func (cs *cutSeparator) retarget(in *instance) { cs.in = in }
 
 func (cs *cutSeparator) add(j int32, v float64) {
 	if !cs.mark[j] {
@@ -292,40 +319,64 @@ func (cs *cutSeparator) gomoryFromRow(st *simplexState, r int, x []float64) *cut
 	return cs.harvest(rhsGE, x)
 }
 
-// coverFromRow separates a knapsack-cover cut from base row i, or nil. The
-// row must be a <= row over binary structural columns only; negative
-// coefficients are complemented (y = 1-x) to reach knapsack form
-// sum a_j·z_j <= b', a_j > 0. A greedy minimal cover C (sum exceeding b')
-// yields sum_C z_j <= |C|-1, violated when the complemented LP values sum
-// close enough to |C|.
+// coverFromRow separates a (lifted) knapsack-cover cut from base row i, or
+// nil. The row's <= view (a >= row is negated; other relations are skipped)
+// is relaxed to a pure-binary knapsack: a non-binary column contributes its
+// minimum feasible amount, moved to the right-hand side (rows where that
+// minimum is unbounded are skipped); negative binary coefficients are
+// complemented (y = 1-x) to reach sum a_j·z_j <= b', a_j > 0. A greedy
+// minimal cover C (sum exceeding b') yields sum_C z_j <= |C|-1, which is
+// then strengthened sequence-independently: with mu_h the sum of the h
+// largest cover coefficients (capped at Sigma_C), a non-cover item of
+// weight a gets coefficient gamma = max{h : mu_h <= a}. Validity: take
+// lifted items T and S ⊆ C feasible together. mu is subadditive
+// (mu_{g+h} <= mu_g + mu_h), so sum_T a >= mu_G with G = sum_T gamma, and
+// sum_S a >= Sigma_C - mu_{|C|-|S|}. If G + |S| >= |C| the knapsack load is
+// >= mu_G + Sigma_C - mu_G = Sigma_C > b', a contradiction — so
+// G + |S| <= |C|-1 holds at every integer point.
 func (cs *cutSeparator) coverFromRow(i int, x []float64) *cutRow {
 	in := cs.in
 	slack := in.nStruct + i
-	if in.lo[slack] != 0 || !math.IsInf(in.hi[slack], 1) {
-		return nil // not a <= row
+	le := in.lo[slack] == 0 && math.IsInf(in.hi[slack], 1)
+	ge := math.IsInf(in.lo[slack], -1) && in.hi[slack] == 0
+	if !le && !ge {
+		return nil // equalities and ranges are not knapsack views
 	}
-	type item struct {
-		col  int32
-		a    float64 // complemented coefficient, > 0
-		z    float64 // complemented LP value in [0,1]
-		comp bool
+	sign := 1.0
+	if ge {
+		sign = -1
 	}
-	var items []item
-	bprime := in.b[i]
+	items := cs.items[:0]
+	bprime := sign * in.b[i]
 	for p := in.rowPtr[i]; p < in.rowPtr[i+1]; p++ {
 		j := in.rowCol[p]
-		a := in.rowVal[p]
+		a := sign * in.rowVal[p]
+		if a == 0 {
+			continue
+		}
 		if !in.intCol[j] || in.lo[j] != 0 || in.hi[j] != 1 {
-			return nil // cover cuts need a pure binary row
+			// Relax a non-binary column to its minimum feasible
+			// contribution; the remaining binary knapsack stays valid.
+			worst := a * in.lo[j]
+			if alt := a * in.hi[j]; alt < worst {
+				worst = alt
+			}
+			if math.IsInf(worst, 0) || math.IsNaN(worst) {
+				cs.items = items
+				return nil
+			}
+			bprime -= worst
+			continue
 		}
 		z := math.Min(1, math.Max(0, x[j]))
 		if a < 0 {
 			bprime -= a // complement: a·x = -|a| + |a|·(1-x)
-			items = append(items, item{col: j, a: -a, z: 1 - z, comp: true})
-		} else if a > 0 {
-			items = append(items, item{col: j, a: a, z: z, comp: false})
+			items = append(items, coverItem{col: j, a: -a, z: 1 - z, comp: true})
+		} else {
+			items = append(items, coverItem{col: j, a: a, z: z, comp: false})
 		}
 	}
+	cs.items = items
 	if len(items) < 2 || bprime < 0 {
 		return nil
 	}
@@ -353,27 +404,57 @@ func (cs *cutSeparator) coverFromRow(i int, x []float64) *cutRow {
 	if weight <= bprime+1e-9 {
 		return nil
 	}
-	cover := items[:size]
-	// Shrink to a minimal cover: drop members whose removal keeps coverage.
+	// Shrink to a minimal cover, swapping removed members past the end so
+	// they rejoin the lifting pool.
 	for k := size - 1; k >= 0 && size > 1; k-- {
-		if weight-cover[k].a > bprime+1e-9 {
-			weight -= cover[k].a
-			cover[k] = cover[size-1]
-			cover = cover[:size-1]
+		if weight-items[k].a > bprime+1e-9 {
+			weight -= items[k].a
+			items[k], items[size-1] = items[size-1], items[k]
 			size--
 		}
+	}
+	cover := items[:size]
+	// Lifting function mu over the cover (mu[h] = sum of h largest coefs,
+	// mu[size] = Sigma_C covers items heavier than every cover member).
+	cs.mu = append(cs.mu[:0], 0)
+	sort.Slice(cover, func(a, b int) bool { return cover[a].a > cover[b].a })
+	for _, it := range cover {
+		cs.mu = append(cs.mu, cs.mu[len(cs.mu)-1]+it.a)
 	}
 	lhs := 0.0
 	for _, it := range cover {
 		lhs += it.z
 	}
+	// Lift every non-cover item with gamma = max{h : mu_h <= a}.
+	cs.reset()
+	rhs := float64(size - 1)
+	lifted := false
+	for _, it := range items[size:] {
+		gamma := 0
+		for h := 1; h < len(cs.mu); h++ {
+			if cs.mu[h] <= it.a+1e-9 {
+				gamma = h
+			} else {
+				break
+			}
+		}
+		if gamma == 0 {
+			continue
+		}
+		lifted = true
+		lhs += float64(gamma) * it.z
+		if it.comp {
+			cs.add(it.col, -float64(gamma))
+			rhs -= float64(gamma)
+		} else {
+			cs.add(it.col, float64(gamma))
+		}
+	}
 	if lhs <= float64(size-1)+cutMinEfficacy {
 		return nil // not violated
 	}
-	// sum_C z <= |C|-1, un-complemented: complemented members contribute
-	// (1 - x_j).
-	cs.reset()
-	rhs := float64(size - 1)
+	// sum_C z + sum gamma·z <= |C|-1, un-complemented: complemented members
+	// contribute (1 - x_j).
 	for _, it := range cover {
 		if it.comp {
 			cs.add(it.col, -1)
@@ -383,11 +464,14 @@ func (cs *cutSeparator) coverFromRow(i int, x []float64) *cutRow {
 		}
 	}
 	sort.Slice(cs.live, func(a, b int) bool { return cs.live[a] < cs.live[b] })
-	cut := &cutRow{rhs: rhs, norm: math.Sqrt(float64(size))}
+	cut := &cutRow{rhs: rhs, lifted: lifted}
+	n2 := 0.0
 	for _, j := range cs.live {
 		cut.cols = append(cut.cols, j)
 		cut.coef = append(cut.coef, cs.dense[j])
+		n2 += cs.dense[j] * cs.dense[j]
 	}
+	cut.norm = math.Sqrt(n2)
 	if cut.violation(x) < cutMinEfficacy*cut.norm {
 		return nil
 	}
@@ -489,14 +573,15 @@ func extendWithCuts(base *instance, cuts []*cutRow) *instance {
 // and bound: the (possibly extended) instance, a warm-start basis for the
 // root node sized to it, and the counters.
 type cutLoopResult struct {
-	in     *instance
-	basic  []int32
-	stat   []int8
-	stats  CutStats
-	iters  int // simplex pivots spent cutting
-	incr   int // of which incrementally priced
-	full   int
-	status Status
+	in      *instance
+	basic   []int32
+	stat    []int8
+	stats   CutStats
+	iters   int // simplex pivots spent cutting
+	incr    int // of which incrementally priced
+	full    int
+	sepWall time.Duration // wall time inside the separation block
+	status  Status
 }
 
 // addIters accumulates one simplex state's pivot counters into the result.
@@ -508,13 +593,20 @@ func (r *cutLoopResult) addIters(st *simplexState) {
 
 // rootCutLoop runs the separate-apply-resolve loop at the root: solve the
 // relaxation, derive Gomory mixed-integer cuts from the fractional basis
-// rows and cover cuts from the binary <= rows, screen them, extend the
-// instance, and resolve, until no violated cut remains, the bound tails
-// off, or the round cap hits. Aging retires cuts that go slack in later
-// rounds. The returned status is StatusOptimal when a usable relaxation
-// optimum (and basis) is available; any other status means branch and bound
-// should start from the base instance as if no cutting had run.
-func rootCutLoop(ctx context.Context, base *instance, intTol float64) cutLoopResult {
+// rows, lifted cover cuts from the knapsack row views, and clique cuts from
+// the conflict graph, screen them, extend the instance, and resolve, until
+// no violated cut remains, the bound tails off, or the round cap hits.
+// Aging retires cuts that go slack in later rounds. The three families
+// separate concurrently when workers > 1 (the Gomory family owns the
+// simplex state exclusively — btranRow mutates scratch — so parallelism is
+// across families, never within one); each family keeps its own persistent
+// scratch separator so rounds stay allocation-lean, and the merged
+// candidate list is sorted deterministically before filtering so a
+// Workers=1 run is byte-reproducible. The returned status is StatusOptimal
+// when a usable relaxation optimum (and basis) is available; any other
+// status means branch and bound should start from the base instance as if
+// no cutting had run.
+func rootCutLoop(ctx context.Context, base *instance, intTol float64, conflicts [][2]ConflictLiteral, workers int) cutLoopResult {
 	res := cutLoopResult{in: base, status: StatusUnknown}
 	st := newState(base)
 	st.ctx = ctx
@@ -538,6 +630,21 @@ func rootCutLoop(ctx context.Context, base *instance, intTol float64) cutLoopRes
 	tails := 0
 	var pool []*cutRow // applied cuts, in instance row order
 	cur := base
+
+	// Persistent per-family separators and the conflict graph, built once
+	// and reused every round (the gomory separator retargets to the current
+	// extended instance; covers and cliques read the base rows only).
+	sepG := newCutSeparator(base)
+	sepC := newCutSeparator(base)
+	graph := buildConflictGraph(base, conflicts)
+	type scored struct {
+		cut *cutRow
+		eff float64
+		src int // source base row, for deterministic tie-breaks
+	}
+	var gmi []scored
+	var covers, cliques []*cutRow
+
 	for round := 0; round < maxCutRounds; round++ {
 		if ctx != nil && ctx.Err() != nil {
 			break
@@ -553,21 +660,67 @@ func rootCutLoop(ctx context.Context, base *instance, intTol float64) cutLoopRes
 		if !fractional {
 			break // root already integral; nothing to cut
 		}
-		sep := newCutSeparator(cur)
-		var fresh []*cutRow
-		// Gomory candidates from every fractional integer basis row, best
-		// violations first.
-		type scored struct {
-			cut *cutRow
-			eff float64
-		}
-		var gmi []scored
-		for r := 0; r < cur.m; r++ {
-			if c := sep.gomoryFromRow(st, r, x); c != nil {
-				gmi = append(gmi, scored{c, c.violation(x) / c.norm})
+		// Separate the three families, concurrently when workers allow.
+		// Each task owns its output slice and its scratch; st is touched by
+		// the Gomory task alone.
+		gmi = gmi[:0]
+		covers = covers[:0]
+		cliques = cliques[:0]
+		gomoryTask := func() {
+			sepG.retarget(cur)
+			for r := 0; r < cur.m; r++ {
+				if c := sepG.gomoryFromRow(st, r, x); c != nil {
+					gmi = append(gmi, scored{c, c.violation(x) / c.norm, r})
+				}
 			}
 		}
-		sort.Slice(gmi, func(a, b int) bool { return gmi[a].eff > gmi[b].eff })
+		coverTask := func() {
+			for i := 0; i < base.m && len(covers) < coverPerRound; i++ {
+				if c := sepC.coverFromRow(i, x); c != nil {
+					covers = append(covers, c)
+				}
+			}
+		}
+		cliqueTask := func() {
+			if graph != nil {
+				cliques = graph.separate(x)
+			}
+		}
+		sepStart := time.Now()
+		if workers <= 1 {
+			gomoryTask()
+			coverTask()
+			cliqueTask()
+		} else {
+			slots := workers
+			if slots > 3 {
+				slots = 3
+			}
+			sem := make(chan struct{}, slots)
+			var wg sync.WaitGroup
+			for _, task := range []func(){gomoryTask, coverTask, cliqueTask} {
+				wg.Add(1)
+				go func(f func()) {
+					defer wg.Done()
+					sem <- struct{}{}
+					f()
+					<-sem
+				}(task)
+			}
+			wg.Wait()
+		}
+		res.sepWall += time.Since(sepStart)
+
+		// Deterministic merge: gomory by (efficacy desc, source row asc),
+		// covers already in base-row order, cliques by (efficacy desc,
+		// lexicographic support asc).
+		var fresh []*cutRow
+		sort.Slice(gmi, func(a, b int) bool {
+			if gmi[a].eff != gmi[b].eff {
+				return gmi[a].eff > gmi[b].eff
+			}
+			return gmi[a].src < gmi[b].src
+		})
 		if len(gmi) > gmiPerRound {
 			gmi = gmi[:gmiPerRound]
 		}
@@ -575,16 +728,29 @@ func rootCutLoop(ctx context.Context, base *instance, intTol float64) cutLoopRes
 			fresh = append(fresh, s.cut)
 		}
 		res.stats.Gomory += len(gmi)
-		// Cover candidates from the base rows only (cut rows are not
-		// knapsacks).
-		covers := 0
-		for i := 0; i < base.m && covers < coverPerRound; i++ {
-			if c := sep.coverFromRow(i, x); c != nil {
-				fresh = append(fresh, c)
-				covers++
+		fresh = append(fresh, covers...)
+		res.stats.Cover += len(covers)
+		for _, c := range covers {
+			if c.lifted {
+				res.stats.LiftedCover++
 			}
 		}
-		res.stats.Cover += covers
+		sort.Slice(cliques, func(a, b int) bool {
+			ea := cliques[a].violation(x) / cliques[a].norm
+			eb := cliques[b].violation(x) / cliques[b].norm
+			if ea != eb {
+				return ea > eb
+			}
+			ca, cb := cliques[a].cols, cliques[b].cols
+			for k := 0; k < len(ca) && k < len(cb); k++ {
+				if ca[k] != cb[k] {
+					return ca[k] < cb[k]
+				}
+			}
+			return len(ca) < len(cb)
+		})
+		fresh = append(fresh, cliques...)
+		res.stats.Clique += len(cliques)
 		// Dedup against the pool.
 		w := 0
 	dedup:

@@ -88,7 +88,10 @@ func TestGomoryHandChecked(t *testing.T) {
 
 // TestCoverHandChecked separates a cover cut from the knapsack
 // 3a + 4b + 5c <= 6 at the fractional point (1, 0.9, 0): the greedy minimal
-// cover is {a, b} (3+4 > 6), giving a + b <= 1, violated by 0.9.
+// cover is {a, b} (3+4 > 6), giving a + b <= 1, violated by 0.9. The
+// non-cover column c (weight 5) lifts with gamma = 1 (mu_1 = 4 <= 5 < 7 =
+// mu_2), strengthening the cut to a + b + c <= 1 — valid because c = 1
+// leaves room for neither a nor b.
 func TestCoverHandChecked(t *testing.T) {
 	m := NewModel()
 	a := m.NewBinary("a")
@@ -109,8 +112,8 @@ func TestCoverHandChecked(t *testing.T) {
 	if cut == nil {
 		t.Fatal("no cover cut separated")
 	}
-	if len(cut.cols) != 2 {
-		t.Fatalf("cover support %v, want {a, b}", cut.cols)
+	if len(cut.cols) != 3 {
+		t.Fatalf("cover support %v, want {a, b} plus lifted c", cut.cols)
 	}
 	for k := range cut.cols {
 		if math.Abs(cut.coef[k]-1) > 1e-9 {
@@ -119,6 +122,9 @@ func TestCoverHandChecked(t *testing.T) {
 	}
 	if math.Abs(cut.rhs-1) > 1e-9 {
 		t.Errorf("rhs = %g, want 1", cut.rhs)
+	}
+	if !cut.lifted {
+		t.Error("cut not marked lifted despite the lifted c coefficient")
 	}
 	// Validity on every feasible binary assignment of the knapsack.
 	for bits := 0; bits < 8; bits++ {
@@ -194,7 +200,7 @@ func TestRootCutsValidOnAllIntegerPoints(t *testing.T) {
 	if decided != StatusUnknown {
 		t.Fatalf("compile decided the model outright: %v", decided)
 	}
-	res := rootCutLoop(context.Background(), base, 1e-6)
+	res := rootCutLoop(context.Background(), base, 1e-6, nil, 1)
 	if res.status != StatusOptimal {
 		t.Fatalf("root cut loop status = %v", res.status)
 	}

@@ -1,5 +1,7 @@
 package milp
 
+import "time"
+
 // PresolveStats summarizes what the root presolve pass removed from a model
 // before the simplex ever saw it.
 type PresolveStats struct {
@@ -80,10 +82,14 @@ type SolveStats struct {
 	// PropagationPrunes counts nodes proven integer-infeasible by
 	// propagation alone, pruned before their LP relaxation was ever solved.
 	PropagationPrunes int
-	// Cuts reports the root cutting-plane loop: Gomory mixed-integer and
-	// cover cuts separated, rows finally applied, and cuts retired by
-	// activity-based aging.
+	// Cuts reports the root cutting-plane loop: Gomory mixed-integer,
+	// (lifted) cover, and conflict-clique cuts separated, rows finally
+	// applied, and cuts retired by activity-based aging.
 	Cuts CutStats
+	// SeparationWall is the wall-clock time spent inside the root
+	// separation block (all cut families, summed over rounds; when families
+	// separate in parallel this is the per-round maximum, not the sum).
+	SeparationWall time.Duration
 	// PseudoCostInits counts reliability-initialization probes (truncated
 	// strong branches) run to seed the pseudo-cost tables.
 	PseudoCostInits int
@@ -91,6 +97,10 @@ type SolveStats struct {
 	// heuristics (RINS and feasibility diving) rather than by the tree
 	// search itself.
 	HeuristicIncumbents int
+	// LocalBranchingIncumbents counts improving incumbents found by the
+	// local-branching sub-MIP (a Hamming-ball neighbourhood of the current
+	// incumbent searched on a scratch simplex state).
+	LocalBranchingIncumbents int
 	// IncrementalPivots counts simplex pivots that priced incrementally
 	// maintained reduced costs and basic values (O(nnz) per pivot);
 	// FullPricingPivots counts the pivots that paid a from-scratch refresh

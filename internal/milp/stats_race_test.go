@@ -1,6 +1,7 @@
 package milp
 
 import (
+	"reflect"
 	"sync"
 	"testing"
 )
@@ -45,17 +46,28 @@ func TestMILPParallelStatsCoherent(t *testing.T) {
 				t.Errorf("incremental %d + full %d pivots != simplex iters %d",
 					st.IncrementalPivots, st.FullPricingPivots, st.SimplexIters)
 			}
-			if st.Cuts.Applied > st.Cuts.Gomory+st.Cuts.Cover {
-				t.Errorf("applied %d cuts but only %d+%d separated",
-					st.Cuts.Applied, st.Cuts.Gomory, st.Cuts.Cover)
+			if st.Cuts.Applied > st.Cuts.Gomory+st.Cuts.Cover+st.Cuts.Clique {
+				t.Errorf("applied %d cuts but only %d+%d+%d separated",
+					st.Cuts.Applied, st.Cuts.Gomory, st.Cuts.Cover, st.Cuts.Clique)
+			}
+			// Lifted covers are the subset of cover cuts that carried a lifted
+			// coefficient; they can never outnumber the covers themselves.
+			if st.Cuts.LiftedCover > st.Cuts.Cover {
+				t.Errorf("lifted covers %d > covers %d", st.Cuts.LiftedCover, st.Cuts.Cover)
+			}
+			if st.SeparationWall < 0 {
+				t.Errorf("SeparationWall = %v, want >= 0", st.SeparationWall)
 			}
 			for name, v := range map[string]int{
-				"PseudoCostInits":        st.PseudoCostInits,
-				"HeuristicIncumbents":    st.HeuristicIncumbents,
-				"ReducedCostFixings":     st.ReducedCostFixings,
-				"PropagationTightenings": st.PropagationTightenings,
-				"PropagationPrunes":      st.PropagationPrunes,
-				"CutsAgedOut":            st.Cuts.AgedOut,
+				"PseudoCostInits":          st.PseudoCostInits,
+				"HeuristicIncumbents":      st.HeuristicIncumbents,
+				"LocalBranchingIncumbents": st.LocalBranchingIncumbents,
+				"ReducedCostFixings":       st.ReducedCostFixings,
+				"PropagationTightenings":   st.PropagationTightenings,
+				"PropagationPrunes":        st.PropagationPrunes,
+				"CutsAgedOut":              st.Cuts.AgedOut,
+				"CliqueCuts":               st.Cuts.Clique,
+				"LiftedCovers":             st.Cuts.LiftedCover,
 			} {
 				if v < 0 {
 					t.Errorf("%s = %d, want >= 0", name, v)
@@ -69,4 +81,41 @@ func TestMILPParallelStatsCoherent(t *testing.T) {
 		}()
 	}
 	wg.Wait()
+}
+
+// TestMILPSequentialSeparationDeterministic pins the byte-reproducibility
+// contract of a Workers=1 solve on a separation-rich model (the companion of
+// TestMILPSequentialDeterministic's pure knapsack): two runs must walk the
+// same tree and produce identical solutions and counters. The
+// scheduling-shaped fixture exercises every separation family (its assignment
+// equalities mine conflict edges, the big-M rows feed Gomory and cover
+// separation), so the test guards the deterministic candidate ordering in the
+// root cut loop — an unsorted merge shows up here as diverging node or cut
+// counts.
+func TestMILPSequentialSeparationDeterministic(t *testing.T) {
+	solveOnce := func() (*Solution, SolveStats) {
+		m := schedLikeLP(6, 2, false)
+		sol, err := Solve(m, SolveOptions{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Status != StatusOptimal {
+			t.Fatalf("status = %v, want optimal", sol.Status)
+		}
+		st := sol.Stats
+		// Wall-clock time is the one legitimately nondeterministic counter.
+		st.SeparationWall = 0
+		return sol, st
+	}
+	a, sa := solveOnce()
+	b, sb := solveOnce()
+	if a.Objective != b.Objective {
+		t.Errorf("objective diverged: %v vs %v", a.Objective, b.Objective)
+	}
+	if !reflect.DeepEqual(a.X, b.X) {
+		t.Errorf("solution vectors diverged:\n  %v\n  %v", a.X, b.X)
+	}
+	if !reflect.DeepEqual(sa, sb) {
+		t.Errorf("stats diverged:\n  %+v\n  %+v", sa, sb)
+	}
 }

@@ -21,9 +21,12 @@ import (
 // the exactly solvable range to 20 operations (BENCH_pr4.json). Turning the
 // search into cut-and-branch — root Gomory/cover cutting planes, pseudo-cost
 // branching with reliability initialization, incremental pricing with a
-// bound-flipping dual ratio test, and RINS/diving node heuristics — lifts it
-// to 30; BENCH_pr6.json records the seeded random-DAG gap closure.
-const MaxExactOps = 30
+// bound-flipping dual ratio test, and RINS/diving node heuristics — lifted
+// it to 30 (BENCH_pr6.json). The storage-side dual-bound program — fixed
+// diff rows and conflict-graph clique cuts from must-overlap operation
+// pairs, lifted cover cuts, and local branching around the incumbent —
+// lifts it to 40; BENCH_pr8.json records the seeded random-DAG gap closure.
+const MaxExactOps = 40
 
 // ILPOptions configures the exact scheduling-and-binding formulation.
 type ILPOptions struct {
@@ -208,7 +211,7 @@ func ILPScheduleContext(ctx context.Context, g *seqgraph.Graph, opts ILPOptions)
 	}
 	sm := buildSchedModel(g, opts, incumbent, alpha, beta)
 
-	solveOpts := milp.SolveOptions{TimeLimit: limit, Incumbent: sm.warm}
+	solveOpts := milp.SolveOptions{TimeLimit: limit, Incumbent: sm.warm, Conflicts: sm.conflicts}
 	// With integral objective weights the model's objective is integral at
 	// every integer-feasible point: once the binaries are fixed, the
 	// remaining ts/te/tE system is a difference-constraint (network) matrix
@@ -298,6 +301,10 @@ type schedModel struct {
 	storage []milp.Var
 	tE      milp.Var
 	warm    []float64
+	// conflicts are binary-literal pairs that can never both hold, derived
+	// from must-overlap operation pairs; they seed the solver's conflict
+	// graph for clique separation.
+	conflicts [][2]milp.ConflictLiteral
 }
 
 // buildSchedModel lowers the paper's Table 1 formulation — tightened with
@@ -330,6 +337,50 @@ func buildSchedModel(g *seqgraph.Graph, opts ILPOptions, incumbent *Schedule, al
 	// device-capacity bound ⌈Σ durations / |D|⌉ (ops on one device never
 	// overlap, so total work fits under |D|·tE).
 	tELo := math.Ceil(float64(g.TotalWork()) / float64(opts.Devices))
+	// Under a pin the plain capacity bound is nearly vacuous: forbidden
+	// devices take no re-planned work, the executed prefix sits at fixed
+	// times, and no free operation starts before the fault instant. Each
+	// allowed device k first comes free at r_k = max(Time, last pinned end
+	// on k) — every pinned interval starts before Time, so at most one spans
+	// it — and the free work then packs serially per device, so some device
+	// finishes no earlier than the average (Σ r_k + Σ free durations)/|A|.
+	// This is what lets the recovery LP prove the suffix at the root instead
+	// of grinding the generic bound up node by node.
+	if opts.Pin != nil {
+		allowed := 0
+		avail := 0.0
+		for k := 0; k < opts.Devices; k++ {
+			if opts.Pin.Forbidden[k] {
+				continue
+			}
+			allowed++
+			r := float64(opts.Pin.Time)
+			for _, a := range opts.Pin.Assignments {
+				if a.Device == k && float64(a.End) > r {
+					r = float64(a.End)
+				}
+			}
+			avail += r
+		}
+		isPinned := opts.Pin.pinned(n)
+		freeWork := 0.0
+		for i := 0; i < n; i++ {
+			if !isPinned[i] {
+				freeWork += float64(g.Op(seqgraph.OpID(i)).Duration)
+			}
+		}
+		if allowed > 0 && freeWork > 0 {
+			if b := math.Ceil((avail + freeWork) / float64(allowed)); b > tELo {
+				tELo = b
+			}
+		}
+		// The schedule also never ends before the executed prefix does.
+		for _, a := range opts.Pin.Assignments {
+			if e := float64(a.End); e > tELo {
+				tELo = e
+			}
+		}
+	}
 	for i := 0; i < n; i++ {
 		if cp := es[i] + tail[i]; cp > tELo {
 			tELo = cp
@@ -351,9 +402,13 @@ func buildSchedModel(g *seqgraph.Graph, opts ILPOptions, incumbent *Schedule, al
 		}
 	}
 
-	// Variables.
+	// Variables. The effective per-op time boxes (after pin degeneracy and
+	// the fault-detection floor) are kept for must-overlap detection below.
 	ts := make([]milp.Var, n)
 	te := make([]milp.Var, n)
+	tsLoA := make([]float64, n)
+	tsHiA := make([]float64, n)
+	durA := make([]float64, n)
 	assign := make([][]milp.Var, n) // assign[i][k] = s_{i,k}
 	for i := 0; i < n; i++ {
 		op := g.Op(seqgraph.OpID(i))
@@ -370,6 +425,7 @@ func buildSchedModel(g *seqgraph.Graph, opts ILPOptions, incumbent *Schedule, al
 				}
 			}
 		}
+		tsLoA[i], tsHiA[i], durA[i] = tsLo, tsHi, dur
 		ts[i] = m.NewContinuous(fmt.Sprintf("ts_%s", op.Name), tsLo, tsHi)
 		te[i] = m.NewContinuous(fmt.Sprintf("te_%s", op.Name), tsLo+dur, tsHi+dur)
 		assign[i] = make([]milp.Var, opts.Devices)
@@ -378,14 +434,21 @@ func buildSchedModel(g *seqgraph.Graph, opts ILPOptions, incumbent *Schedule, al
 		}
 	}
 	tE := m.NewContinuous("tE", tELo, horizon)
-	// Per-pair big-M coefficients from the time windows: the smallest
-	// constants that still deactivate their constraints.
+	// Per-pair big-M coefficients from the effective time boxes: the smallest
+	// constants that still deactivate their constraints. Under a pin the
+	// effective boxes are far tighter than the formula windows (degenerate for
+	// the executed prefix, floored at the fault instant for the suffix), and
+	// since M only needs to cover the declared variable bounds, deriving it
+	// from tsLoA/tsHiA is both valid and what keeps the recovery LP tight —
+	// with formula-window Ms the pinned model branched ~1.8k nodes where the
+	// unpinned one proves at the root. Without a pin the boxes coincide with
+	// the formula windows, so unpinned models are bit-identical.
 	teHi := func(i int) float64 {
-		return math.Max(es[i], horizon-tail[i]) + float64(g.Op(seqgraph.OpID(i)).Duration)
+		return tsHiA[i] + durA[i]
 	}
 	pairM := func(i, j int) float64 {
 		// Bounds te_i − ts_j over the boxes: the M deactivating te_i ≤ ts_j.
-		return math.Max(0, teHi(i)-es[j])
+		return math.Max(0, teHi(i)-tsLoA[j])
 	}
 
 	pairIdx := func(i, j int) (int, int) {
@@ -453,6 +516,59 @@ func buildSchedModel(g *seqgraph.Graph, opts ILPOptions, incumbent *Schedule, al
 		}
 	}
 
+	// Must-overlap tightening: when two operations' effective time boxes
+	// force their execution intervals to intersect in every feasible point
+	// (earliest end beyond the other's latest start, both ways), they cannot
+	// share a device — on a shared device dle forces diff = 0 and the no1/no2
+	// disjunction then demands an impossible ordering. Fixing diff = 1
+	// outright is therefore valid at every integer point, and the derived
+	// conflict literals seed the solver's clique separation: per-device
+	// assignment pairs (s_ik, s_jk), and for every third operation p the
+	// complement pair (¬diff_pi, ¬diff_pj) — p co-located with both i and j
+	// would co-locate i and j. Cliques of mutually-overlapping observers
+	// force fractional assignments apart, which is what lets the
+	// u ≥ u_c·diff storage floors reach the root dual bound.
+	var conflicts [][2]milp.ConflictLiteral
+	adjacent := make(map[[2]int]bool, g.NumEdges())
+	for _, e := range g.Edges() {
+		a, b := pairIdx(int(e.Parent), int(e.Child))
+		adjacent[[2]int{a, b}] = true
+	}
+	mo := mustOverlapPairs(n, tsLoA, tsHiA, durA, func(i, j int) bool {
+		a, b := pairIdx(i, j)
+		return adjacent[[2]int{a, b}]
+	})
+	for _, pr := range mo {
+		i, j := pr[0], pr[1]
+		// Under a pin the executed prefix collapses to degenerate boxes, so
+		// prefix operations that ran concurrently always must-overlap — but
+		// their assignments are fixed by the pin rows, so the diff fixing and
+		// conflict literals would only bulk up the recovery model (and its
+		// conflict graph) without moving the dual bound. Keep the tightening
+		// for the free suffix only.
+		if pinnedBy != nil && (pinnedBy[i] != nil || pinnedBy[j] != nil) {
+			continue
+		}
+		d := diff[[2]int{i, j}]
+		m.AddEQ(fmt.Sprintf("mo_%d_%d", i, j), milp.VarExpr(d), 1)
+		for k := 0; k < opts.Devices; k++ {
+			conflicts = append(conflicts, [2]milp.ConflictLiteral{
+				{V: assign[i][k]}, {V: assign[j][k]},
+			})
+		}
+		for p := 0; p < n; p++ {
+			if p == i || p == j {
+				continue
+			}
+			a1, b1 := pairIdx(p, i)
+			a2, b2 := pairIdx(p, j)
+			conflicts = append(conflicts, [2]milp.ConflictLiteral{
+				{V: diff[[2]int{a1, b1}], Neg: true},
+				{V: diff[[2]int{a2, b2}], Neg: true},
+			})
+		}
+	}
+
 	// (3) Precedence with transport: ts_j - te_i >= uc·diff_{ij}, plus the
 	// storage terms u_{i,j} >= (ts_j - te_i) - M(1 - diff_{ij}) with M the
 	// largest gap the time windows admit for this edge.
@@ -465,7 +581,7 @@ func buildSchedModel(g *seqgraph.Graph, opts ILPOptions, incumbent *Schedule, al
 			*milp.NewExpr(0).Add(ts[j], 1).Add(te[i], -1).Add(d, -float64(opts.Transport)), 0)
 		// u >= (ts_j - te_i) - M(1 - diff):
 		// u - ts_j + te_i - M·diff >= -M.
-		mS := math.Max(0, math.Max(es[j], horizon-tail[j])-(es[i]+float64(g.Op(e.Parent).Duration)))
+		mS := math.Max(0, tsHiA[j]-(tsLoA[i]+durA[i]))
 		u := m.NewContinuous(fmt.Sprintf("u_%d_%d", i, j), 0, mS)
 		m.AddGE(fmt.Sprintf("stor_%d_%d", i, j),
 			*milp.NewExpr(0).Add(u, 1).Add(ts[j], -1).Add(te[i], 1).Add(d, -mS), -mS)
@@ -481,10 +597,44 @@ func buildSchedModel(g *seqgraph.Graph, opts ILPOptions, incumbent *Schedule, al
 	}
 
 	// (4) Non-overlap on shared devices via order binaries, each side guarded
-	// by its own pair-tight M.
+	// by its own pair-tight M. Pairs whose order is already decided get no
+	// binary and no disjunction at all: when j is a precedence descendant of i
+	// the prec-row chain forces te_i ≤ ts_j at every point of the relaxation,
+	// and when the effective boxes separate them (teHi(i) ≤ tsLo_j) the
+	// variable bounds do — either way the pair cannot overlap and the big-M
+	// disjunction would only hand the tree a free-to-branch binary. Under a
+	// pin this is what keeps the recovery model small: every executed-prefix
+	// pair and every prefix-vs-suffix pair across the fault instant is
+	// box-decided.
+	desc := make([][]uint64, n)
+	words := (n + 63) / 64
+	for i := range desc {
+		desc[i] = make([]uint64, words)
+	}
+	topo, err := g.TopoOrder()
+	if err != nil {
+		// Validate ran before any caller; an error here means the graph
+		// mutated mid-solve.
+		panic(err)
+	}
+	for t := n - 1; t >= 0; t-- {
+		i := int(topo[t])
+		for _, c := range g.Children(seqgraph.OpID(i)) {
+			desc[i][int(c)/64] |= 1 << (uint(c) % 64)
+			for w := 0; w < words; w++ {
+				desc[i][w] |= desc[int(c)][w]
+			}
+		}
+	}
+	ordered := func(i, j int) bool {
+		return desc[i][j/64]&(1<<(uint(j)%64)) != 0 || teHi(i) <= tsLoA[j]+1e-9
+	}
 	order := make(map[[2]int]milp.Var)
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
+			if ordered(i, j) || ordered(j, i) {
+				continue
+			}
 			d := diff[[2]int{i, j}]
 			y := m.NewBinary(fmt.Sprintf("y_%d_%d", i, j))
 			order[[2]int{i, j}] = y
@@ -538,7 +688,37 @@ func buildSchedModel(g *seqgraph.Graph, opts ILPOptions, incumbent *Schedule, al
 	return &schedModel{
 		m: m, ts: ts, te: te, assign: assign,
 		diff: diff, order: order, storage: storage, tE: tE, warm: warm,
+		conflicts: conflicts,
 	}
+}
+
+// mustOverlapPairs returns every pair (i, j), i < j, of operations whose
+// effective time boxes force their execution intervals to intersect in every
+// feasible point: with ee_i = tsLo_i + dur_i the earliest end and
+// ls_i = tsHi_i the latest start, the pair must overlap iff
+// ee_i > ls_j and ee_j > ls_i (then te_i ≥ ee_i > ls_j ≥ ts_j and
+// symmetrically, so the open intervals [ts, te) intersect). Zero-duration
+// operations never overlap anything; directly adjacent pairs (a precedence
+// edge in either direction) are skipped — a feasible model orders them, and
+// a box-forced overlap there would just mean the model is already
+// infeasible. Box-derived ancestors beyond direct edges can never satisfy
+// the test: a path from i to j gives tsLo_j ≥ ee_i, hence ls_j ≥ ee_i.
+func mustOverlapPairs(n int, tsLo, tsHi, dur []float64, adjacent func(i, j int) bool) [][2]int {
+	var pairs [][2]int
+	for i := 0; i < n; i++ {
+		if dur[i] <= 0 {
+			continue
+		}
+		for j := i + 1; j < n; j++ {
+			if dur[j] <= 0 || adjacent(i, j) {
+				continue
+			}
+			if tsLo[i]+dur[i] > tsHi[j] && tsLo[j]+dur[j] > tsHi[i] {
+				pairs = append(pairs, [2]int{i, j})
+			}
+		}
+	}
+	return pairs
 }
 
 // greedyModelSchedule list-schedules the assay directly on the ILP model's

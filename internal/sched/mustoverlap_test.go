@@ -1,0 +1,147 @@
+package sched
+
+import (
+	"sort"
+	"testing"
+)
+
+// moFixture runs mustOverlapPairs on parallel window/duration arrays with an
+// optional adjacency set (pairs i<j) and returns the detected pairs sorted.
+func moFixture(tsLo, tsHi, dur []float64, adj [][2]int) [][2]int {
+	norm := func(i, j int) [2]int {
+		if i > j {
+			return [2]int{j, i}
+		}
+		return [2]int{i, j}
+	}
+	adjacent := make(map[[2]int]bool, len(adj))
+	for _, e := range adj {
+		adjacent[norm(e[0], e[1])] = true
+	}
+	pairs := mustOverlapPairs(len(dur), tsLo, tsHi, dur, func(i, j int) bool {
+		return adjacent[norm(i, j)]
+	})
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a][0] != pairs[b][0] {
+			return pairs[a][0] < pairs[b][0]
+		}
+		return pairs[a][1] < pairs[b][1]
+	})
+	return pairs
+}
+
+func pairsEqual(a, b [][2]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMustOverlapPairs pins the box-based must-overlap test on hand-built
+// interval fixtures: op i surely runs within [tsLo_i + dur_i, tsHi_i + dur_i]
+// ending no earlier than tsLo_i + dur_i and starting no later than tsHi_i, so
+// two ops must overlap at every feasible point iff each one's earliest end
+// lies strictly past the other's latest start.
+func TestMustOverlapPairs(t *testing.T) {
+	cases := []struct {
+		name string
+		tsLo []float64
+		tsHi []float64
+		dur  []float64
+		adj  [][2]int
+		want [][2]int
+	}{
+		{
+			// Two tight windows forced on top of each other.
+			name: "forced-pair",
+			tsLo: []float64{0, 2},
+			tsHi: []float64{0, 5},
+			dur:  []float64{10, 10},
+			want: [][2]int{{0, 1}},
+		},
+		{
+			// Disjoint windows: op 1 may start long after op 0 must end.
+			name: "disjoint-windows",
+			tsLo: []float64{0, 20},
+			tsHi: []float64{0, 30},
+			dur:  []float64{10, 10},
+			want: nil,
+		},
+		{
+			// Three ops pinned to near-identical windows: every pair must
+			// overlap — the clique fixture.
+			name: "clique-of-three",
+			tsLo: []float64{0, 1, 2},
+			tsHi: []float64{2, 3, 4},
+			dur:  []float64{20, 20, 20},
+			want: [][2]int{{0, 1}, {0, 2}, {1, 2}},
+		},
+		{
+			// A chain with slack: each window starts where the previous one
+			// may still be running, but none is forced to — wide windows never
+			// must-overlap.
+			name: "chain-with-slack",
+			tsLo: []float64{0, 0, 0},
+			tsHi: []float64{100, 100, 100},
+			dur:  []float64{10, 10, 10},
+			want: nil,
+		},
+		{
+			// Graph-adjacent pairs are excluded even when their boxes force an
+			// overlap: the precedence rows already order them.
+			name: "adjacency-excluded",
+			tsLo: []float64{0, 2, 2},
+			tsHi: []float64{0, 5, 5},
+			dur:  []float64{10, 10, 10},
+			adj:  [][2]int{{0, 1}},
+			want: [][2]int{{0, 2}, {1, 2}},
+		},
+		{
+			// Zero-duration ops (degenerate pins) never force an overlap.
+			name: "zero-duration-excluded",
+			tsLo: []float64{0, 2},
+			tsHi: []float64{0, 5},
+			dur:  []float64{0, 10},
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := moFixture(tc.tsLo, tc.tsHi, tc.dur, tc.adj)
+			if !pairsEqual(got, tc.want) {
+				t.Errorf("mustOverlapPairs = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestMustOverlapBoundary pins the strict-inequality boundary: an earliest
+// end exactly equal to the other op's latest start allows the back-to-back
+// schedule, so the pair is NOT forced to overlap.
+func TestMustOverlapBoundary(t *testing.T) {
+	// ee_0 = 0+10 = 10 == ls_1 = 10: op 1 can start the instant op 0 ends.
+	got := moFixture(
+		[]float64{0, 8},
+		[]float64{0, 10},
+		[]float64{10, 10},
+		nil,
+	)
+	if len(got) != 0 {
+		t.Errorf("boundary pair reported as must-overlap: %v", got)
+	}
+	// Shrinking op 1's latest start below 10 forces the overlap.
+	got = moFixture(
+		[]float64{0, 8},
+		[]float64{0, 9.5},
+		[]float64{10, 10},
+		nil,
+	)
+	if !pairsEqual(got, [][2]int{{0, 1}}) {
+		t.Errorf("forced pair missed at the boundary: %v", got)
+	}
+}

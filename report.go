@@ -87,18 +87,29 @@ type SolverStats struct {
 	// nodes pruned infeasible before their relaxation was solved.
 	PropagationTightenings, PropagationPrunes int
 	// CutsSeparated counts root cutting planes separated (Gomory
-	// mixed-integer plus knapsack covers), CutsApplied the cut rows the
-	// branch-and-bound instance finally carried, and CutsAgedOut the cuts
-	// retired by activity-based aging before the tree search.
+	// mixed-integer, knapsack covers, and conflict-graph cliques),
+	// CutsApplied the cut rows the branch-and-bound instance finally
+	// carried, and CutsAgedOut the cuts retired by activity-based aging
+	// before the tree search.
 	CutsSeparated, CutsApplied, CutsAgedOut int
+	// CliqueCuts counts the conflict-graph clique cuts within CutsSeparated;
+	// LiftedCovers counts the cover cuts that carried at least one lifted
+	// non-cover coefficient.
+	CliqueCuts, LiftedCovers int
 	// CutRounds is the number of separate-apply-resolve rounds at the root.
 	CutRounds int
+	// SeparationWall is the wall-clock time spent separating cuts at the
+	// root (all families, summed over rounds).
+	SeparationWall time.Duration
 	// PseudoCostInits counts reliability-initialization probes (truncated
 	// strong branches) seeding the pseudo-cost branching tables.
 	PseudoCostInits int
 	// HeuristicIncumbents counts improving incumbents found by the node
 	// heuristics (RINS and feasibility diving).
 	HeuristicIncumbents int
+	// LocalBranchingIncumbents counts improving incumbents found by the
+	// local-branching sub-MIP around the shared incumbent.
+	LocalBranchingIncumbents int
 	// IncrementalPivots and FullPricingPivots split simplex pivots by
 	// whether the iteration priced incrementally maintained reduced costs
 	// (O(nnz) per pivot) or paid a from-scratch refresh.
@@ -124,36 +135,40 @@ func (r *Result) SolverStats() *SolverStats {
 		return nil
 	}
 	return &SolverStats{
-		Status:                  info.Status.String(),
-		Objective:               info.Objective,
-		Nodes:                   info.Solver.Nodes,
-		Iterations:              info.Solver.SimplexIters,
-		WarmStartRate:           info.Solver.WarmStartRate(),
-		Gap:                     info.Solver.Gap,
-		PresolveFixedCols:       info.Solver.Presolve.FixedCols,
-		PresolveRemovedRows:     info.Solver.Presolve.RemovedRows,
-		PresolveTightenedBounds: info.Solver.Presolve.TightenedBounds,
-		Kernel:                  info.Solver.Factor.Kernel,
-		Refactorizations:        info.Solver.Factor.Refactorizations,
-		FTUpdates:               info.Solver.Factor.Updates,
-		FTUpdatesRejected:       info.Solver.Factor.UpdatesRejected,
-		FillRatio:               info.Solver.Factor.FillRatio,
-		PropagationTightenings:  info.Solver.PropagationTightenings,
-		PropagationPrunes:       info.Solver.PropagationPrunes,
-		CutsSeparated:           info.Solver.Cuts.Gomory + info.Solver.Cuts.Cover,
-		CutsApplied:             info.Solver.Cuts.Applied,
-		CutsAgedOut:             info.Solver.Cuts.AgedOut,
-		CutRounds:               info.Solver.Cuts.Rounds,
-		PseudoCostInits:         info.Solver.PseudoCostInits,
-		HeuristicIncumbents:     info.Solver.HeuristicIncumbents,
-		IncrementalPivots:       info.Solver.IncrementalPivots,
-		FullPricingPivots:       info.Solver.FullPricingPivots,
-		ReducedCostFixings:      info.Solver.ReducedCostFixings,
-		Workers:                 info.Solver.Workers,
-		Runtime:                 info.Runtime,
-		ModelVars:               info.ModelStats.Vars,
-		ModelConstraints:        info.ModelStats.Constraints,
-		Winner:                  info.Winner,
+		Status:                   info.Status.String(),
+		Objective:                info.Objective,
+		Nodes:                    info.Solver.Nodes,
+		Iterations:               info.Solver.SimplexIters,
+		WarmStartRate:            info.Solver.WarmStartRate(),
+		Gap:                      info.Solver.Gap,
+		PresolveFixedCols:        info.Solver.Presolve.FixedCols,
+		PresolveRemovedRows:      info.Solver.Presolve.RemovedRows,
+		PresolveTightenedBounds:  info.Solver.Presolve.TightenedBounds,
+		Kernel:                   info.Solver.Factor.Kernel,
+		Refactorizations:         info.Solver.Factor.Refactorizations,
+		FTUpdates:                info.Solver.Factor.Updates,
+		FTUpdatesRejected:        info.Solver.Factor.UpdatesRejected,
+		FillRatio:                info.Solver.Factor.FillRatio,
+		PropagationTightenings:   info.Solver.PropagationTightenings,
+		PropagationPrunes:        info.Solver.PropagationPrunes,
+		CutsSeparated:            info.Solver.Cuts.Gomory + info.Solver.Cuts.Cover + info.Solver.Cuts.Clique,
+		CutsApplied:              info.Solver.Cuts.Applied,
+		CutsAgedOut:              info.Solver.Cuts.AgedOut,
+		CliqueCuts:               info.Solver.Cuts.Clique,
+		LiftedCovers:             info.Solver.Cuts.LiftedCover,
+		CutRounds:                info.Solver.Cuts.Rounds,
+		SeparationWall:           info.Solver.SeparationWall,
+		PseudoCostInits:          info.Solver.PseudoCostInits,
+		HeuristicIncumbents:      info.Solver.HeuristicIncumbents,
+		LocalBranchingIncumbents: info.Solver.LocalBranchingIncumbents,
+		IncrementalPivots:        info.Solver.IncrementalPivots,
+		FullPricingPivots:        info.Solver.FullPricingPivots,
+		ReducedCostFixings:       info.Solver.ReducedCostFixings,
+		Workers:                  info.Solver.Workers,
+		Runtime:                  info.Runtime,
+		ModelVars:                info.ModelStats.Vars,
+		ModelConstraints:         info.ModelStats.Constraints,
+		Winner:                   info.Winner,
 	}
 }
 
