@@ -106,7 +106,10 @@ func main() {
 	// The one-shot CLI runs on the same session API as the flowsynd daemon:
 	// a single-worker Solver whose ticket exposes the progress stream and
 	// the per-job service metrics.
-	solver := flowsyn.New(flowsyn.Config{Workers: 1, QueueDepth: 1, CacheEntries: -1})
+	solver, err := flowsyn.New(flowsyn.Config{Workers: 1, QueueDepth: 1, CacheEntries: -1})
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer solver.Close()
 	ticket, err := solver.Submit(ctx, flowsyn.Job{Assay: a, Options: opts})
 	if err != nil {

@@ -1,0 +1,250 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"flowsyn"
+)
+
+// TestMetricsEndpoint scrapes /metrics after one attributed job and checks
+// the Prometheus exposition carries the serve-path metric families.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	resp, doc := postJSON(t, ts.URL+"/v1/jobs", map[string]any{
+		"benchmark": "PCR", "tenant": "acme", "priority": 3,
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d: %v", resp.StatusCode, doc)
+	}
+	waitForState(t, ts.URL, doc["id"].(string), "done")
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", mresp.StatusCode)
+	}
+	if ct := mresp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	body, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	if len(text) == 0 {
+		t.Fatal("/metrics returned an empty body")
+	}
+	for _, want := range []string{
+		"flowsyn_jobs_submitted_total 1",
+		"flowsyn_jobs_completed_total 1",
+		"flowsyn_queue_depth",
+		`flowsyn_cache_hits_total{tier="store"}`,
+		"flowsyn_schedule_solves_total 1",
+		"flowsyn_store_puts_total",
+		"flowsyn_lease_waits_total",
+		`flowsyn_solve_wall_seconds_bucket{tier="cold",le="+Inf"} 1`,
+		`flowsyn_solve_wall_seconds_count{tier="cold"} 1`,
+		`flowsyn_tenant_admitted_total{tenant="acme"} 1`,
+		`flowsyn_tenant_completed_total{tenant="acme"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestSubmitAdmissionFields drives tenant/priority/deadline_ms through the
+// wire format and checks the stats document attributes the tenant.
+func TestSubmitAdmissionFields(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	resp, doc := postJSON(t, ts.URL+"/v1/jobs", map[string]any{
+		"benchmark":   "PCR",
+		"tenant":      "acme",
+		"priority":    5,
+		"deadline_ms": 60_000,
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d: %v", resp.StatusCode, doc)
+	}
+	waitForState(t, ts.URL, doc["id"].(string), "done")
+
+	_, stats := getJSON(t, ts.URL+"/v1/stats")
+	tenants, ok := stats["tenants"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats without tenants section: %v", stats)
+	}
+	acme, ok := tenants["acme"].(map[string]any)
+	if !ok {
+		t.Fatalf("tenant acme not attributed: %v", tenants)
+	}
+	if acme["admitted"] != float64(1) || acme["completed"] != float64(1) {
+		t.Errorf("tenant counters off: %v", acme)
+	}
+}
+
+func TestSubmitErrorStatusMapping(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{flowsyn.ErrQueueFull, http.StatusTooManyRequests},
+		{flowsyn.ErrTenantQuota, http.StatusTooManyRequests},
+		{fmt.Errorf("wrapped: %w", flowsyn.ErrTenantQuota), http.StatusTooManyRequests},
+		{flowsyn.ErrSolverClosed, http.StatusServiceUnavailable},
+		{fmt.Errorf("anything else"), http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		if got := submitErrorStatus(c.err); got != c.want {
+			t.Errorf("submitErrorStatus(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+// Overload statuses must carry an advisory Retry-After; client errors must
+// not.
+func TestWriteSubmitErrorRetryAfter(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	for _, status := range []int{http.StatusTooManyRequests, http.StatusServiceUnavailable} {
+		w := httptest.NewRecorder()
+		srv.writeSubmitError(w, status, "overloaded")
+		ra := w.Header().Get("Retry-After")
+		if ra == "" {
+			t.Fatalf("status %d: no Retry-After header", status)
+		}
+		secs, err := strconv.Atoi(ra)
+		if err != nil || secs < 1 || secs > 60 {
+			t.Errorf("status %d: Retry-After %q outside [1,60]", status, ra)
+		}
+	}
+
+	w := httptest.NewRecorder()
+	srv.writeSubmitError(w, http.StatusBadRequest, "bad options")
+	if ra := w.Header().Get("Retry-After"); ra != "" {
+		t.Errorf("400 carries Retry-After %q", ra)
+	}
+}
+
+// TestReplayBufferBounded exercises the SSE replay compaction: the buffer
+// never exceeds maxReplayEvents, dropped counts the aged-out prefix, and a
+// snapshot slice taken before compaction keeps its contents (stream readers
+// hold such snapshots outside the lock).
+func TestReplayBufferBounded(t *testing.T) {
+	rec := &jobRecord{}
+	total := maxReplayEvents + 44
+	var snapshot []flowsyn.Progress
+	for i := 0; i < total; i++ {
+		if i == maxReplayEvents {
+			snapshot = rec.events // full buffer, about to compact
+		}
+		rec.appendEvent(flowsyn.Progress{Seq: i})
+	}
+	if len(rec.events) != maxReplayEvents {
+		t.Fatalf("buffer len %d, want %d", len(rec.events), maxReplayEvents)
+	}
+	if rec.dropped != 44 {
+		t.Fatalf("dropped %d, want 44", rec.dropped)
+	}
+	if got := rec.events[0].Seq; got != 44 {
+		t.Errorf("front of buffer Seq %d, want 44", got)
+	}
+	if got := rec.events[len(rec.events)-1].Seq; got != total-1 {
+		t.Errorf("back of buffer Seq %d, want %d", got, total-1)
+	}
+	// The pre-compaction snapshot still reads 0..maxReplayEvents-1.
+	for i, e := range snapshot {
+		if e.Seq != i {
+			t.Fatalf("snapshot[%d].Seq = %d: compaction overwrote a reader's slice", i, e.Seq)
+		}
+	}
+}
+
+// TestReapFinished checks the janitor's eviction rule directly: finished
+// records past retention vanish, running records and fresh finishes stay.
+func TestReapFinished(t *testing.T) {
+	solver, err := flowsyn.New(flowsyn.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(solver, 50*time.Millisecond)
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(func() {
+		ts.Close()
+		solver.Close()
+	})
+
+	resp, doc := postJSON(t, ts.URL+"/v1/jobs", map[string]any{"benchmark": "PCR"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d: %v", resp.StatusCode, doc)
+	}
+	id := doc["id"].(string)
+	waitForState(t, ts.URL, id, "done")
+
+	// The pump marks the record ended shortly after the terminal event.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		srv.mu.Lock()
+		rec := srv.jobs[id]
+		srv.mu.Unlock()
+		rec.mu.Lock()
+		ended := rec.ended
+		rec.mu.Unlock()
+		if ended {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("record never marked ended")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// A synthetic still-running record must survive any horizon.
+	srv.mu.Lock()
+	srv.jobs["running"] = &jobRecord{id: "running"}
+	srv.order = append(srv.order, "running")
+	srv.mu.Unlock()
+
+	// Within retention: nothing reaped.
+	srv.reapFinished(time.Now())
+	if r, _ := getJSON(t, ts.URL+"/v1/jobs/"+id); r.StatusCode != http.StatusOK {
+		t.Fatalf("fresh finish reaped early: status %d", r.StatusCode)
+	}
+
+	// Far past retention: the finished record goes, the running one stays.
+	srv.reapFinished(time.Now().Add(time.Hour))
+	if r, _ := getJSON(t, ts.URL+"/v1/jobs/"+id); r.StatusCode != http.StatusNotFound {
+		t.Fatalf("finished record not reaped: status %d", r.StatusCode)
+	}
+	srv.mu.Lock()
+	_, stillThere := srv.jobs["running"]
+	srv.mu.Unlock()
+	if !stillThere {
+		t.Fatal("running record reaped")
+	}
+
+	// Retention <= 0 disables reaping entirely.
+	srv.mu.Lock()
+	srv.retention = 0
+	srv.jobs["done-forever"] = &jobRecord{id: "done-forever", ended: true}
+	srv.order = append(srv.order, "done-forever")
+	srv.mu.Unlock()
+	srv.reapFinished(time.Now().Add(24 * time.Hour))
+	srv.mu.Lock()
+	_, kept := srv.jobs["done-forever"]
+	srv.mu.Unlock()
+	if !kept {
+		t.Fatal("retention 0 should keep records forever")
+	}
+}

@@ -46,16 +46,26 @@ func main() {
 		workers      = flag.Int("workers", 0, "synthesis worker pool size (0 = GOMAXPROCS)")
 		queueDepth   = flag.Int("queue", 256, "submit queue depth (backpressure bound)")
 		cacheEntries = flag.Int("cache", 512, "result/schedule cache entries each (negative disables)")
+		storeDir     = flag.String("store-dir", "", "persistent solve store directory, shared across restarts and replicas (empty disables)")
+		jobTTL       = flag.Duration("job-ttl", 0, "evict jobs still queued after this long (0 disables)")
+		tenantQueue  = flag.Int("tenant-queue", 0, "per-tenant queued-job quota (0 disables)")
+		jobRetention = flag.Duration("job-retention", 10*time.Minute, "drop finished job records after this long (0 keeps until the count cap)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs on shutdown")
 	)
 	flag.Parse()
 
-	solver := flowsyn.New(flowsyn.Config{
-		Workers:      *workers,
-		QueueDepth:   *queueDepth,
-		CacheEntries: *cacheEntries,
+	solver, err := flowsyn.New(flowsyn.Config{
+		Workers:          *workers,
+		QueueDepth:       *queueDepth,
+		CacheEntries:     *cacheEntries,
+		StoreDir:         *storeDir,
+		JobTTL:           *jobTTL,
+		TenantQueueDepth: *tenantQueue,
 	})
-	srv := newServer(solver)
+	if err != nil {
+		log.Fatalf("open store: %v", err)
+	}
+	srv := newServer(solver, *jobRetention)
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.handler()}
 
 	errCh := make(chan error, 1)

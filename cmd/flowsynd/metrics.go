@@ -1,0 +1,132 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"flowsyn"
+)
+
+// handleMetrics serves the session counters in the Prometheus text exposition
+// format (hand-rolled: the repo carries no dependencies). Everything a fleet
+// dashboard needs to see the serve path working: queue depth, cache hits by
+// tier, store and lease traffic, solve wall histograms, per-tenant admission.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.solver.Stats()
+	s.mu.Lock()
+	tracked := len(s.jobs)
+	s.mu.Unlock()
+
+	var b strings.Builder
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", name, help, name, name, formatFloat(v))
+	}
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+
+	gauge("flowsyn_queue_depth", "Jobs currently queued for admission.", float64(st.Queued))
+	gauge("flowsyn_inflight_jobs", "Jobs currently running in the worker pool.", float64(st.InFlight))
+	gauge("flowsyn_tracked_jobs", "Job records held in the daemon history.", float64(tracked))
+	gauge("flowsyn_draining", "1 while the daemon is draining.", boolGauge(s.draining.Load()))
+	gauge("flowsyn_uptime_seconds", "Daemon uptime.", timeSinceStart(s))
+
+	counter("flowsyn_jobs_submitted_total", "Jobs admitted over the session lifetime.", st.Submitted)
+	counter("flowsyn_jobs_completed_total", "Jobs finished successfully.", st.Completed)
+	counter("flowsyn_jobs_failed_total", "Jobs that failed (including expiries).", st.Failed)
+	counter("flowsyn_jobs_expired_total", "Queued jobs evicted by TTL or deadline.", st.Expired)
+	counter("flowsyn_events_dropped_total", "Progress events dropped past slow subscribers.", st.EventsDropped)
+
+	fmt.Fprintf(&b, "# HELP flowsyn_cache_hits_total Jobs served warm, by tier.\n# TYPE flowsyn_cache_hits_total counter\n")
+	fmt.Fprintf(&b, "flowsyn_cache_hits_total{tier=\"result\"} %d\n", st.ResultCacheHits)
+	fmt.Fprintf(&b, "flowsyn_cache_hits_total{tier=\"schedule\"} %d\n", st.ScheduleCacheHits)
+	fmt.Fprintf(&b, "flowsyn_cache_hits_total{tier=\"store\"} %d\n", st.StoreHits)
+	fmt.Fprintf(&b, "flowsyn_cache_hits_total{tier=\"coalesced\"} %d\n", st.Coalesced)
+
+	counter("flowsyn_schedule_solves_total", "Cold scheduling-engine solves executed by this replica.", st.ScheduleSolves)
+	counter("flowsyn_store_puts_total", "Schedules written through to the persistent store.", st.StorePuts)
+	counter("flowsyn_store_errors_total", "Failed store operations (each degraded to a local solve).", st.StoreErrors)
+	counter("flowsyn_lease_waits_total", "Jobs that waited on another replica's single-flight lease.", st.LeaseWaits)
+	fmt.Fprintf(&b, "# HELP flowsyn_lease_wait_seconds_total Total time spent waiting on foreign leases.\n# TYPE flowsyn_lease_wait_seconds_total counter\nflowsyn_lease_wait_seconds_total %s\n",
+		formatFloat(st.LeaseWaitTotal.Seconds()))
+
+	writeWallHistogram(&b, "cold", st.ColdWall)
+	writeWallHistogram(&b, "warm", st.WarmWall)
+
+	if len(st.Tenants) > 0 {
+		names := make([]string, 0, len(st.Tenants))
+		for name := range st.Tenants {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(&b, "# HELP flowsyn_tenant_admitted_total Jobs admitted, per tenant.\n# TYPE flowsyn_tenant_admitted_total counter\n")
+		for _, name := range names {
+			fmt.Fprintf(&b, "flowsyn_tenant_admitted_total{tenant=%q} %d\n", tenantLabel(name), st.Tenants[name].Admitted)
+		}
+		fmt.Fprintf(&b, "# HELP flowsyn_tenant_rejected_total Submissions refused, per tenant and reason.\n# TYPE flowsyn_tenant_rejected_total counter\n")
+		for _, name := range names {
+			ts := st.Tenants[name]
+			fmt.Fprintf(&b, "flowsyn_tenant_rejected_total{tenant=%q,reason=\"quota\"} %d\n", tenantLabel(name), ts.RejectedQuota)
+			fmt.Fprintf(&b, "flowsyn_tenant_rejected_total{tenant=%q,reason=\"queue_full\"} %d\n", tenantLabel(name), ts.RejectedFull)
+		}
+		fmt.Fprintf(&b, "# HELP flowsyn_tenant_completed_total Jobs finished successfully, per tenant.\n# TYPE flowsyn_tenant_completed_total counter\n")
+		for _, name := range names {
+			fmt.Fprintf(&b, "flowsyn_tenant_completed_total{tenant=%q} %d\n", tenantLabel(name), st.Tenants[name].Completed)
+		}
+		fmt.Fprintf(&b, "# HELP flowsyn_tenant_failed_total Jobs failed, per tenant.\n# TYPE flowsyn_tenant_failed_total counter\n")
+		for _, name := range names {
+			fmt.Fprintf(&b, "flowsyn_tenant_failed_total{tenant=%q} %d\n", tenantLabel(name), st.Tenants[name].Failed)
+		}
+		fmt.Fprintf(&b, "# HELP flowsyn_tenant_queued Jobs currently queued, per tenant.\n# TYPE flowsyn_tenant_queued gauge\n")
+		for _, name := range names {
+			fmt.Fprintf(&b, "flowsyn_tenant_queued{tenant=%q} %d\n", tenantLabel(name), st.Tenants[name].Queued)
+		}
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprint(w, b.String())
+}
+
+// writeWallHistogram emits one solve-wall histogram in Prometheus cumulative
+// form, converted from the service's millisecond buckets to seconds.
+func writeWallHistogram(b *strings.Builder, tier string, h flowsyn.Histogram) {
+	name := "flowsyn_solve_wall_seconds"
+	fmt.Fprintf(b, "# HELP %s Job wall time inside a worker (%s path).\n# TYPE %s histogram\n", name, tier, name)
+	cum := int64(0)
+	for i, bound := range flowsyn.WallBucketsMS {
+		cum += h.Counts[i]
+		fmt.Fprintf(b, "%s_bucket{tier=%q,le=\"%s\"} %d\n", name, tier, formatFloat(bound/1000), cum)
+	}
+	cum += h.Counts[len(flowsyn.WallBucketsMS)]
+	fmt.Fprintf(b, "%s_bucket{tier=%q,le=\"+Inf\"} %d\n", name, tier, cum)
+	fmt.Fprintf(b, "%s_sum{tier=%q} %s\n", name, tier, formatFloat(h.SumMS/1000))
+	fmt.Fprintf(b, "%s_count{tier=%q} %d\n", name, tier, h.Count)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func boolGauge(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+func timeSinceStart(s *server) float64 {
+	return time.Since(s.started).Seconds()
+}
+
+// tenantLabel names the anonymous default tenant in label values.
+func tenantLabel(name string) string {
+	if name == "" {
+		return "default"
+	}
+	return name
+}

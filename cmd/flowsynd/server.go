@@ -30,6 +30,9 @@ type server struct {
 	started  time.Time
 	draining atomic.Bool
 	nextID   atomic.Uint64
+	// retention drops finished job records this long after they end (the
+	// count bound below still applies); 0 keeps them until the count cap.
+	retention time.Duration
 
 	// ctx is the server's lifetime context: every solver job is submitted
 	// under it, so a drain cancels queued jobs and aborts running solves at
@@ -54,25 +57,82 @@ type jobRecord struct {
 	name   string
 	ticket *flowsyn.Ticket
 
-	mu      sync.Mutex
+	mu sync.Mutex
+	// events is the bounded replay buffer: it holds the most recent
+	// maxReplayEvents, and dropped counts those aged out of the front, so a
+	// subscriber's absolute position keeps meaning (lost events appear as
+	// Seq gaps, exactly like the solver's own overflow behavior).
 	events  []flowsyn.Progress
+	dropped int
 	changed chan struct{} // replaced on every append; closed to broadcast
 	ended   bool
+	// finishedAt stamps the terminal event for retention-based eviction.
+	finishedAt time.Time
 }
 
 // defaultMaxJobs bounds the tracked-job history of one daemon process.
 const defaultMaxJobs = 1024
 
-func newServer(solver *flowsyn.Solver) *server {
+// maxReplayEvents bounds one job's SSE replay buffer: a long exact solve can
+// emit thousands of incumbent events, and an unbounded replay buffer times
+// the job history is an OOM waiting to happen.
+const maxReplayEvents = 256
+
+// reapInterval is how often the janitor scans for finished records past the
+// retention horizon.
+const reapInterval = 30 * time.Second
+
+func newServer(solver *flowsyn.Solver, retention time.Duration) *server {
 	ctx, cancel := context.WithCancel(context.Background())
-	return &server{
-		solver:  solver,
-		started: time.Now(),
-		jobs:    make(map[string]*jobRecord),
-		maxJobs: defaultMaxJobs,
-		ctx:     ctx,
-		cancel:  cancel,
+	s := &server{
+		solver:    solver,
+		started:   time.Now(),
+		retention: retention,
+		jobs:      make(map[string]*jobRecord),
+		maxJobs:   defaultMaxJobs,
+		ctx:       ctx,
+		cancel:    cancel,
 	}
+	go s.janitor()
+	return s
+}
+
+// janitor ages finished job records out of the history (server.retention)
+// until the server's lifetime context ends.
+func (s *server) janitor() {
+	t := time.NewTicker(reapInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-t.C:
+			s.reapFinished(time.Now())
+		}
+	}
+}
+
+// reapFinished drops finished records whose terminal event is older than the
+// retention horizon. Running or queued jobs are never dropped.
+func (s *server) reapFinished(now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.retention <= 0 {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		rec := s.jobs[id]
+		rec.mu.Lock()
+		stale := rec.ended && now.Sub(rec.finishedAt) > s.retention
+		rec.mu.Unlock()
+		if stale {
+			delete(s.jobs, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
 }
 
 func (s *server) handler() http.Handler {
@@ -84,6 +144,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs/{id}/resynthesize", s.handleResynthesize)
 	mux.HandleFunc("POST /v1/jobs/{id}/recover", s.handleRecover)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	return mux
 }
@@ -106,6 +167,14 @@ type jobRequest struct {
 	Benchmark string          `json:"benchmark,omitempty"`
 	Assay     json.RawMessage `json:"assay,omitempty"`
 	Options   *jobOptions     `json:"options,omitempty"`
+	// Tenant attributes the job for per-tenant quotas and admission
+	// accounting; Priority orders admission (higher first, 0 normal);
+	// DeadlineMS, if positive, sets the job deadline this many milliseconds
+	// from submission (earliest-deadline-first within a priority class, and
+	// the job expires if still queued past it).
+	Tenant     string `json:"tenant,omitempty"`
+	Priority   int    `json:"priority,omitempty"`
+	DeadlineMS int64  `json:"deadline_ms,omitempty"`
 }
 
 // jobOptions mirrors flowsyn.Options with JSON-friendly field encodings;
@@ -168,7 +237,7 @@ func (o *jobOptions) apply(base flowsyn.Options) (flowsyn.Options, error) {
 
 func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, "daemon draining, not accepting jobs")
+		s.writeSubmitError(w, http.StatusServiceUnavailable, "daemon draining, not accepting jobs")
 		return
 	}
 	var req jobRequest
@@ -178,7 +247,7 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	rec, status, err := s.submit(req)
 	if err != nil {
-		writeError(w, status, err.Error())
+		s.writeSubmitError(w, status, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusAccepted, s.submitResponse(rec))
@@ -219,7 +288,17 @@ func (s *server) submit(req jobRequest) (*jobRecord, int, error) {
 	if opts, err = req.Options.apply(opts); err != nil {
 		return nil, http.StatusBadRequest, err
 	}
-	ticket, err := s.solver.Submit(s.ctx, flowsyn.Job{Name: req.Name, Assay: a, Options: opts})
+	job := flowsyn.Job{
+		Name:     req.Name,
+		Assay:    a,
+		Options:  opts,
+		Tenant:   req.Tenant,
+		Priority: req.Priority,
+	}
+	if req.DeadlineMS > 0 {
+		job.Deadline = time.Now().Add(time.Duration(req.DeadlineMS) * time.Millisecond)
+	}
+	ticket, err := s.solver.Submit(s.ctx, job)
 	if err != nil {
 		return nil, submitErrorStatus(err), err
 	}
@@ -231,13 +310,41 @@ func submitErrorStatus(err error) int {
 	switch {
 	case errors.As(err, &oe):
 		return http.StatusBadRequest
-	case errors.Is(err, flowsyn.ErrQueueFull):
+	case errors.Is(err, flowsyn.ErrQueueFull), errors.Is(err, flowsyn.ErrTenantQuota):
 		return http.StatusTooManyRequests
 	case errors.Is(err, flowsyn.ErrSolverClosed):
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusBadRequest
 	}
+}
+
+// retryAfterSeconds estimates when admission pressure should have cleared:
+// the current queue times the observed mean cold solve wall, clamped to
+// [1s, 60s]. Advisory — clients may retry sooner.
+func (s *server) retryAfterSeconds() int {
+	st := s.solver.Stats()
+	avgMS := 100.0 // optimistic default before any cold solve finished
+	if st.ColdWall.Count > 0 {
+		avgMS = st.ColdWall.SumMS / float64(st.ColdWall.Count)
+	}
+	secs := int(float64(st.Queued)*avgMS/1000 + 0.5)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
+// writeSubmitError writes an admission failure, attaching Retry-After on
+// overload statuses (429/503) so well-behaved clients back off usefully.
+func (s *server) writeSubmitError(w http.ResponseWriter, status int, msg string) {
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSeconds()))
+	}
+	writeError(w, status, msg)
 }
 
 // track registers a ticket and starts its event pump.
@@ -282,20 +389,35 @@ func (s *server) evictLocked() {
 	s.order = kept
 }
 
-// pump drains the ticket's event stream into the replay buffer.
+// pump drains the ticket's event stream into the bounded replay buffer,
+// aging the oldest events out of the front once it is full.
 func (r *jobRecord) pump() {
 	for e := range r.ticket.Events() {
 		r.mu.Lock()
-		r.events = append(r.events, e)
+		r.appendEvent(e)
 		close(r.changed)
 		r.changed = make(chan struct{})
 		r.mu.Unlock()
 	}
 	r.mu.Lock()
 	r.ended = true
+	r.finishedAt = time.Now()
 	close(r.changed)
 	r.changed = make(chan struct{})
 	r.mu.Unlock()
+}
+
+// appendEvent adds one event to the bounded replay buffer, aging the oldest
+// out of the front once it is full. Compaction copies into a fresh backing
+// array so snapshot slices handed to stream readers outside the lock stay
+// valid. Caller holds r.mu.
+func (r *jobRecord) appendEvent(e flowsyn.Progress) {
+	r.events = append(r.events, e)
+	if len(r.events) > maxReplayEvents {
+		over := len(r.events) - maxReplayEvents
+		r.events = append(r.events[:0:0], r.events[over:]...)
+		r.dropped += over
+	}
 }
 
 func (s *server) record(r *http.Request) *jobRecord {
@@ -331,6 +453,8 @@ func jobStatsJSON(js flowsyn.JobStats) map[string]any {
 		"cache_hit":          js.CacheHit,
 		"schedule_cache_hit": js.ScheduleCacheHit,
 		"coalesced":          js.Coalesced,
+		"store_hit":          js.StoreHit,
+		"lease_wait_ms":      float64(js.LeaseWait.Microseconds()) / 1e3,
 		"events":             js.Events,
 		"dropped_events":     js.DroppedEvents,
 		"reused_ops":         js.ReusedOps,
@@ -446,10 +570,18 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 
+	// idx is the subscriber's absolute stream position; the replay buffer is
+	// bounded, so a slow subscriber may find its position aged out and skips
+	// forward (Seq gaps mark the lost events, as in the solver's own stream).
 	idx := 0
 	for {
 		rec.mu.Lock()
-		pending := rec.events[idx:]
+		start := idx - rec.dropped
+		if start < 0 {
+			idx = rec.dropped
+			start = 0
+		}
+		pending := rec.events[start:]
 		ch := rec.changed
 		ended := rec.ended
 		rec.mu.Unlock()
@@ -516,10 +648,10 @@ func (s *server) handleResynthesize(w http.ResponseWriter, r *http.Request) {
 	ticket, err := s.solver.Resynthesize(s.ctx, rec.ticket, edited)
 	if err != nil {
 		status := http.StatusConflict // prior unfinished/failed
-		if errors.Is(err, flowsyn.ErrQueueFull) || errors.Is(err, flowsyn.ErrSolverClosed) {
+		if errors.Is(err, flowsyn.ErrQueueFull) || errors.Is(err, flowsyn.ErrTenantQuota) || errors.Is(err, flowsyn.ErrSolverClosed) {
 			status = submitErrorStatus(err)
 		}
-		writeError(w, status, err.Error())
+		s.writeSubmitError(w, status, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusAccepted, s.submitResponse(s.track(ticket)))
@@ -579,10 +711,10 @@ func (s *server) handleRecover(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case errors.Is(err, flowsyn.ErrJobPending):
 			status = http.StatusConflict
-		case errors.Is(err, flowsyn.ErrQueueFull), errors.Is(err, flowsyn.ErrSolverClosed):
+		case errors.Is(err, flowsyn.ErrQueueFull), errors.Is(err, flowsyn.ErrTenantQuota), errors.Is(err, flowsyn.ErrSolverClosed):
 			status = submitErrorStatus(err)
 		}
-		writeError(w, status, err.Error())
+		s.writeSubmitError(w, status, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusAccepted, s.submitResponse(s.track(ticket)))
@@ -593,22 +725,49 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	tracked := len(s.jobs)
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"uptime_s":            time.Since(s.started).Seconds(),
-		"draining":            s.draining.Load(),
-		"jobs_tracked":        tracked,
-		"submitted":           st.Submitted,
-		"completed":           st.Completed,
-		"failed":              st.Failed,
-		"result_cache_hits":   st.ResultCacheHits,
-		"result_cache_misses": st.ResultCacheMisses,
-		"schedule_cache_hits": st.ScheduleCacheHits,
-		"schedule_solves":     st.ScheduleSolves,
-		"coalesced":           st.Coalesced,
-		"in_flight":           st.InFlight,
-		"queued":              st.Queued,
-		"events_dropped":      st.EventsDropped,
-	})
+	doc := map[string]any{
+		"uptime_s":             time.Since(s.started).Seconds(),
+		"draining":             s.draining.Load(),
+		"jobs_tracked":         tracked,
+		"submitted":            st.Submitted,
+		"completed":            st.Completed,
+		"failed":               st.Failed,
+		"expired":              st.Expired,
+		"result_cache_hits":    st.ResultCacheHits,
+		"result_cache_misses":  st.ResultCacheMisses,
+		"schedule_cache_hits":  st.ScheduleCacheHits,
+		"schedule_solves":      st.ScheduleSolves,
+		"store_hits":           st.StoreHits,
+		"store_puts":           st.StorePuts,
+		"store_errors":         st.StoreErrors,
+		"lease_waits":          st.LeaseWaits,
+		"lease_wait_total_ms":  float64(st.LeaseWaitTotal.Microseconds()) / 1e3,
+		"coalesced":            st.Coalesced,
+		"in_flight":            st.InFlight,
+		"queued":               st.Queued,
+		"events_dropped":       st.EventsDropped,
+		"cold_solves_observed": st.ColdWall.Count,
+		"warm_serves_observed": st.WarmWall.Count,
+	}
+	if len(st.Tenants) > 0 {
+		tenants := make(map[string]any, len(st.Tenants))
+		for name, ts := range st.Tenants {
+			if name == "" {
+				name = "default"
+			}
+			tenants[name] = map[string]any{
+				"admitted":       ts.Admitted,
+				"rejected_quota": ts.RejectedQuota,
+				"rejected_full":  ts.RejectedFull,
+				"completed":      ts.Completed,
+				"failed":         ts.Failed,
+				"expired":        ts.Expired,
+				"queued":         ts.Queued,
+			}
+		}
+		doc["tenants"] = tenants
+	}
+	writeJSON(w, http.StatusOK, doc)
 }
 
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {

@@ -16,8 +16,11 @@ import (
 
 func newTestServer(t *testing.T) (*server, *httptest.Server) {
 	t.Helper()
-	solver := flowsyn.New(flowsyn.Config{Workers: 2})
-	srv := newServer(solver)
+	solver, err := flowsyn.New(flowsyn.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(solver, 0)
 	ts := httptest.NewServer(srv.handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -415,8 +418,11 @@ func TestDaemonRecover(t *testing.T) {
 // queued job must fail with context.Canceled instead of running to
 // completion.
 func TestDaemonDrainCancelsJobs(t *testing.T) {
-	solver := flowsyn.New(flowsyn.Config{Workers: 1})
-	srv := newServer(solver)
+	solver, err := flowsyn.New(flowsyn.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(solver, 0)
 	ts := httptest.NewServer(srv.handler())
 	t.Cleanup(func() {
 		ts.Close()

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"flowsyn"
+)
+
+// buildEditedAssay renders the named built-in benchmark to its wire form and
+// stretches the first operation by one second. That is the canonical "small
+// protocol edit" of the incremental re-synthesis path: same shape, one
+// duration off, so the daemon diffs it against the seed job's graph and
+// re-solves only the affected suffix.
+func buildEditedAssay(benchmark string) (json.RawMessage, error) {
+	a, _, err := flowsyn.Benchmark(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := a.WriteJSON(&buf); err != nil {
+		return nil, err
+	}
+	var doc struct {
+		Name       string      `json:"name"`
+		Operations []jsonOp    `json:"operations"`
+		Edges      [][2]string `json:"edges"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		return nil, err
+	}
+	if len(doc.Operations) == 0 {
+		return nil, fmt.Errorf("benchmark %s has no operations", benchmark)
+	}
+	doc.Operations[0].Duration++
+	doc.Name += "-edited"
+	return json.Marshal(doc)
+}
+
+// benchmarkFault picks a recoverable fault for the named benchmark: a
+// device fault needs a second device to absorb the work, so single-device
+// assays (PCR) get a degraded-storage fault on a channel segment instead —
+// every benchmark grid has segments to spare.
+func benchmarkFault(benchmark string) (map[string]any, error) {
+	_, opts, err := flowsyn.Benchmark(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Devices >= 2 {
+		return map[string]any{"kind": "device", "device": 1}, nil
+	}
+	return map[string]any{"kind": "storage", "channel": 0}, nil
+}
+
+type jsonOp struct {
+	Name     string `json:"name"`
+	Kind     string `json:"kind,omitempty"`
+	Duration int    `json:"duration"`
+	Inputs   int    `json:"inputs,omitempty"`
+}

@@ -1,0 +1,598 @@
+// Command flowsynload is the fleet load harness: it drives a mixed workload
+// of cold, cached, resynthesize and recover jobs against one or more
+// flowsynd replicas, measures client-observed latency percentiles and
+// throughput, and checks the fleet-wide single-flight property — N replicas
+// sharing one persistent store must perform exactly one cold scheduling
+// solve per unique (assay, options) key.
+//
+// Usage (two replicas over one shared store):
+//
+//	flowsynd -addr :8080 -store-dir /tmp/fleet &
+//	flowsynd -addr :8081 -store-dir /tmp/fleet &
+//	flowsynload -replicas http://127.0.0.1:8080,http://127.0.0.1:8081 \
+//	    -n 200 -c 16 -unique 8 -check -bench-json BENCH.json
+//
+// With -bench-json the results land in the repo's bench artifact schema
+// (flowsyn-bench/v1) under "load_runs"; an existing file is merged, not
+// overwritten, so one artifact can carry paperbench and fleet numbers
+// together. -check exits non-zero when the single-flight property or the
+// warm-path speedup fails, which is how CI consumes it.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("flowsynload: ")
+	var (
+		replicas  = flag.String("replicas", "http://127.0.0.1:8080", "comma-separated flowsynd base URLs")
+		benchmark = flag.String("benchmark", "PCR", "built-in benchmark assay to drive")
+		unique    = flag.Int("unique", 8, "unique (assay, options) keys in the workload")
+		jobs      = flag.Int("n", 100, "mixed jobs to submit after seeding")
+		conc      = flag.Int("c", 8, "concurrent client workers")
+		resynth   = flag.Float64("resynth", 0.1, "fraction of mixed jobs that resynthesize an edit")
+		recover   = flag.Float64("recover", 0.1, "fraction of mixed jobs that inject and recover a fault")
+		seed      = flag.Int64("seed", 1, "workload shuffle seed")
+		timeout   = flag.Duration("timeout", 2*time.Minute, "per-job completion timeout")
+		benchJSON = flag.String("bench-json", "", "write (or merge into) a flowsyn-bench/v1 artifact")
+		notes     = flag.String("notes", "", "free-form notes recorded in the artifact")
+		check     = flag.Bool("check", false, "exit non-zero unless single-flight and warm-speedup hold")
+	)
+	flag.Parse()
+	os.Exit(run(runConfig{
+		replicas:  strings.Split(*replicas, ","),
+		benchmark: *benchmark,
+		unique:    *unique,
+		jobs:      *jobs,
+		conc:      *conc,
+		resynth:   *resynth,
+		recover:   *recover,
+		seed:      *seed,
+		timeout:   *timeout,
+		benchJSON: *benchJSON,
+		notes:     *notes,
+		check:     *check,
+	}))
+}
+
+type runConfig struct {
+	replicas  []string
+	benchmark string
+	unique    int
+	jobs      int
+	conc      int
+	resynth   float64
+	recover   float64
+	seed      int64
+	timeout   time.Duration
+	benchJSON string
+	notes     string
+	check     bool
+}
+
+// jobKind classifies one workload entry.
+type jobKind int
+
+const (
+	kindSubmit jobKind = iota
+	kindResynth
+	kindRecover
+)
+
+// workItem is one planned request of the mixed phase.
+type workItem struct {
+	kind    jobKind
+	key     int // unique-key index
+	replica int
+}
+
+// jobOutcome is one completed (or failed) job as the client observed it.
+type jobOutcome struct {
+	kind      jobKind
+	key       int
+	latencyMS float64 // client wall: submit to observed completion
+	warm      bool    // served from any cache/store/coalesce tier
+	failed    bool
+}
+
+// seedRef locates a key's seed job for resynthesize/recover follow-ups.
+type seedRef struct {
+	replica  int
+	id       string
+	makespan int
+}
+
+func run(cfg runConfig) int {
+	if cfg.unique < 1 || cfg.jobs < 0 || cfg.conc < 1 {
+		log.Print("need -unique >= 1, -n >= 0, -c >= 1")
+		return 2
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	fleet := newFleet(client, cfg.replicas, cfg.timeout, cfg.benchmark)
+
+	for i, base := range cfg.replicas {
+		if err := fleet.waitHealthy(i); err != nil {
+			log.Printf("replica %s not healthy: %v", base, err)
+			return 1
+		}
+	}
+
+	start := time.Now()
+	// Seed phase: run every unique key once through the fleet, round-robin.
+	// These are the fleet's cold solves (exactly one per key if the
+	// cross-replica single-flight works; the store serves the rest).
+	seeds := make([]seedRef, cfg.unique)
+	var outcomes []jobOutcome
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.conc)
+	for k := 0; k < cfg.unique; k++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(k int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			rep := k % len(fleet.replicas)
+			out, ref := fleet.submitAndWait(rep, cfg.benchmark, k)
+			mu.Lock()
+			outcomes = append(outcomes, out)
+			seeds[k] = ref
+			mu.Unlock()
+		}(k)
+	}
+	wg.Wait()
+
+	for k, ref := range seeds {
+		if ref.id == "" {
+			log.Printf("seed job for key %d failed; aborting", k)
+			return 1
+		}
+	}
+
+	// Mixed phase: a shuffled stream of repeats, edits and recoveries.
+	rng := rand.New(rand.NewSource(cfg.seed))
+	plan := make([]workItem, cfg.jobs)
+	resynthKeys := map[int]bool{}
+	for i := range plan {
+		it := workItem{key: rng.Intn(cfg.unique), replica: rng.Intn(len(fleet.replicas))}
+		switch r := rng.Float64(); {
+		case r < cfg.resynth:
+			it.kind = kindResynth
+			resynthKeys[it.key] = true
+		case r < cfg.resynth+cfg.recover:
+			it.kind = kindRecover
+		}
+		plan[i] = it
+	}
+	for _, it := range plan {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(it workItem) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			var out jobOutcome
+			switch it.kind {
+			case kindSubmit:
+				out, _ = fleet.submitAndWait(it.replica, cfg.benchmark, it.key)
+			case kindResynth:
+				out = fleet.resynthAndWait(seeds[it.key], it.key)
+			case kindRecover:
+				out = fleet.recoverAndWait(seeds[it.key], it.key)
+			}
+			mu.Lock()
+			outcomes = append(outcomes, out)
+			mu.Unlock()
+		}(it)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	// Fleet accounting: the single-flight property. Every unique key costs
+	// one engine solve, plus one per distinct edited key (an edit is a new
+	// fingerprint, legitimately cold the first time fleet-wide).
+	var fleetSolves int64
+	for i := range fleet.replicas {
+		st, err := fleet.stats(i)
+		if err != nil {
+			log.Printf("stats from %s: %v", fleet.replicas[i], err)
+			return 1
+		}
+		fleetSolves += st.ScheduleSolves
+	}
+	expected := int64(cfg.unique + len(resynthKeys))
+	singleFlight := fleetSolves == expected
+
+	rep := summarize(outcomes, wall, fleetSolves, expected, cfg)
+	printReport(rep, singleFlight)
+
+	if cfg.benchJSON != "" {
+		if err := writeBenchArtifact(cfg.benchJSON, rep, cfg.notes); err != nil {
+			log.Printf("bench artifact: %v", err)
+			return 1
+		}
+		log.Printf("wrote load_runs into %s", cfg.benchJSON)
+	}
+
+	if cfg.check {
+		fail := false
+		if !singleFlight {
+			log.Printf("CHECK FAILED: fleet performed %d cold solves, expected %d", fleetSolves, expected)
+			fail = true
+		}
+		if rep.FailedJobs > 0 {
+			log.Printf("CHECK FAILED: %d jobs failed", rep.FailedJobs)
+			fail = true
+		}
+		if rep.ColdP50MS > 1.0 && rep.CachedP50MS > rep.ColdP50MS/2 {
+			log.Printf("CHECK FAILED: cached p50 %.2fms not under half of cold p50 %.2fms",
+				rep.CachedP50MS, rep.ColdP50MS)
+			fail = true
+		}
+		if fail {
+			return 1
+		}
+		log.Print("all checks passed")
+	}
+	return 0
+}
+
+// loadRun is the artifact record of one harness run; it must stay
+// JSON-compatible with cmd/paperbench's benchLoadRun.
+type loadRun struct {
+	Fleet              []string `json:"fleet"`
+	Benchmark          string   `json:"benchmark"`
+	UniqueKeys         int      `json:"unique_keys"`
+	Jobs               int      `json:"jobs"`
+	Concurrency        int      `json:"concurrency"`
+	DurationMS         float64  `json:"duration_ms"`
+	ThroughputJPS      float64  `json:"throughput_jps"`
+	ColdJobs           int      `json:"cold_jobs"`
+	WarmJobs           int      `json:"warm_jobs"`
+	ResynthJobs        int      `json:"resynth_jobs"`
+	RecoverJobs        int      `json:"recover_jobs"`
+	FailedJobs         int      `json:"failed_jobs"`
+	P50MS              float64  `json:"p50_ms"`
+	P95MS              float64  `json:"p95_ms"`
+	P99MS              float64  `json:"p99_ms"`
+	ColdP50MS          float64  `json:"cold_p50_ms"`
+	ColdP95MS          float64  `json:"cold_p95_ms"`
+	ColdP99MS          float64  `json:"cold_p99_ms"`
+	CachedP50MS        float64  `json:"cached_p50_ms"`
+	CachedP95MS        float64  `json:"cached_p95_ms"`
+	CachedP99MS        float64  `json:"cached_p99_ms"`
+	FleetScheduleSolve int64    `json:"fleet_schedule_solves"`
+	ExpectedColdSolves int64    `json:"expected_cold_solves"`
+	SingleFlight       bool     `json:"single_flight"`
+	Notes              string   `json:"notes,omitempty"`
+}
+
+// summarize folds the raw outcomes into the artifact record.
+func summarize(outcomes []jobOutcome, wall time.Duration, fleetSolves, expected int64, cfg runConfig) loadRun {
+	var all, cold, cached []float64
+	rep := loadRun{
+		Fleet:              cfg.replicas,
+		Benchmark:          cfg.benchmark,
+		UniqueKeys:         cfg.unique,
+		Jobs:               len(outcomes),
+		Concurrency:        cfg.conc,
+		DurationMS:         float64(wall.Microseconds()) / 1e3,
+		FleetScheduleSolve: fleetSolves,
+		ExpectedColdSolves: expected,
+		SingleFlight:       fleetSolves == expected,
+	}
+	for _, o := range outcomes {
+		if o.failed {
+			rep.FailedJobs++
+			continue
+		}
+		all = append(all, o.latencyMS)
+		switch o.kind {
+		case kindResynth:
+			rep.ResynthJobs++
+		case kindRecover:
+			rep.RecoverJobs++
+		default:
+			if o.warm {
+				rep.WarmJobs++
+				cached = append(cached, o.latencyMS)
+			} else {
+				rep.ColdJobs++
+				cold = append(cold, o.latencyMS)
+			}
+		}
+	}
+	if wall > 0 {
+		rep.ThroughputJPS = float64(len(all)) / wall.Seconds()
+	}
+	rep.P50MS, rep.P95MS, rep.P99MS = percentile(all, 50), percentile(all, 95), percentile(all, 99)
+	rep.ColdP50MS, rep.ColdP95MS, rep.ColdP99MS = percentile(cold, 50), percentile(cold, 95), percentile(cold, 99)
+	rep.CachedP50MS, rep.CachedP95MS, rep.CachedP99MS = percentile(cached, 50), percentile(cached, 95), percentile(cached, 99)
+	return rep
+}
+
+// percentile returns the p-th percentile of values (nearest-rank), 0 when
+// empty.
+func percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	rank := int(p/100*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+func printReport(rep loadRun, singleFlight bool) {
+	log.Printf("fleet of %d, %d jobs (%d unique keys) in %.1fms: %.1f jobs/s",
+		len(rep.Fleet), rep.Jobs, rep.UniqueKeys, rep.DurationMS, rep.ThroughputJPS)
+	log.Printf("  cold %d (p50 %.2fms p95 %.2fms p99 %.2fms)", rep.ColdJobs, rep.ColdP50MS, rep.ColdP95MS, rep.ColdP99MS)
+	log.Printf("  warm %d (p50 %.2fms p95 %.2fms p99 %.2fms)", rep.WarmJobs, rep.CachedP50MS, rep.CachedP95MS, rep.CachedP99MS)
+	log.Printf("  resynth %d, recover %d, failed %d", rep.ResynthJobs, rep.RecoverJobs, rep.FailedJobs)
+	log.Printf("  fleet cold solves %d (expected %d): single-flight %v",
+		rep.FleetScheduleSolve, rep.ExpectedColdSolves, singleFlight)
+}
+
+// writeBenchArtifact merges the run into a flowsyn-bench/v1 file: existing
+// sections (runs, cache_runs, ...) are preserved, load_runs is replaced.
+func writeBenchArtifact(path string, rep loadRun, notes string) error {
+	rep.Notes = notes
+	doc := map[string]any{}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return fmt.Errorf("existing artifact %s unreadable: %w", path, err)
+		}
+	}
+	if _, ok := doc["schema"]; !ok {
+		doc["schema"] = "flowsyn-bench/v1"
+	}
+	doc["load_runs"] = []loadRun{rep}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// fleet is the HTTP client side of the harness.
+type fleet struct {
+	client    *http.Client
+	replicas  []string
+	timeout   time.Duration
+	benchmark string
+}
+
+func newFleet(client *http.Client, replicas []string, timeout time.Duration, benchmark string) *fleet {
+	for i := range replicas {
+		replicas[i] = strings.TrimRight(strings.TrimSpace(replicas[i]), "/")
+	}
+	return &fleet{client: client, replicas: replicas, timeout: timeout, benchmark: benchmark}
+}
+
+func (f *fleet) waitHealthy(i int) error {
+	deadline := time.Now().Add(f.timeout)
+	for {
+		resp, err := f.client.Get(f.replicas[i] + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err == nil {
+				return fmt.Errorf("status %d", resp.StatusCode)
+			}
+			return err
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// jobStatus is the slice of the daemon's status document the harness reads.
+type jobStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Error string `json:"error"`
+	Stats struct {
+		RuntimeMS        float64 `json:"runtime_ms"`
+		CacheHit         bool    `json:"cache_hit"`
+		ScheduleCacheHit bool    `json:"schedule_cache_hit"`
+		StoreHit         bool    `json:"store_hit"`
+		Coalesced        bool    `json:"coalesced"`
+	} `json:"stats"`
+	Summary string `json:"summary"`
+}
+
+type resultDoc struct {
+	MakespanS int `json:"makespan_s"`
+}
+
+type replicaStats struct {
+	ScheduleSolves int64 `json:"schedule_solves"`
+	StoreHits      int64 `json:"store_hits"`
+	StorePuts      int64 `json:"store_puts"`
+}
+
+// submitAndWait submits one unique-key job to a replica and polls it to
+// completion. The key lands in the synthesis options (a distinct transport
+// time per key), so every key is a distinct schedule-cache entry fleet-wide.
+func (f *fleet) submitAndWait(rep int, benchmark string, key int) (jobOutcome, seedRef) {
+	body := map[string]any{
+		"benchmark": benchmark,
+		"name":      fmt.Sprintf("load-k%d", key),
+		"tenant":    "flowsynload",
+		"options":   map[string]any{"transport": 11 + key},
+	}
+	out := jobOutcome{kind: kindSubmit, key: key}
+	start := time.Now()
+	id, err := f.post(rep, "/v1/jobs", body)
+	if err != nil {
+		out.failed = true
+		return out, seedRef{}
+	}
+	st, err := f.poll(rep, id)
+	out.latencyMS = float64(time.Since(start).Microseconds()) / 1e3
+	if err != nil || st.State != "done" {
+		out.failed = true
+		return out, seedRef{}
+	}
+	out.warm = st.Stats.CacheHit || st.Stats.ScheduleCacheHit || st.Stats.StoreHit || st.Stats.Coalesced
+	ref := seedRef{replica: rep, id: id}
+	if doc, err := f.result(rep, id); err == nil {
+		ref.makespan = doc.MakespanS
+	}
+	return out, ref
+}
+
+// resynthAndWait edits the seed job's assay (one operation runs a second
+// longer) and submits the incremental re-synthesis on the seed's replica.
+func (f *fleet) resynthAndWait(seed seedRef, key int) jobOutcome {
+	out := jobOutcome{kind: kindResynth, key: key}
+	assay, err := f.editedAssay()
+	if err != nil {
+		out.failed = true
+		return out
+	}
+	start := time.Now()
+	id, err := f.post(seed.replica, "/v1/jobs/"+seed.id+"/resynthesize", map[string]any{"assay": assay})
+	if err != nil {
+		out.failed = true
+		return out
+	}
+	st, err := f.poll(seed.replica, id)
+	out.latencyMS = float64(time.Since(start).Microseconds()) / 1e3
+	out.failed = err != nil || st.State != "done"
+	if !out.failed {
+		out.warm = st.Stats.CacheHit || st.Stats.ScheduleCacheHit || st.Stats.StoreHit || st.Stats.Coalesced
+	}
+	return out
+}
+
+// editedAssay builds the benchmark-with-one-edit document once per process
+// and caches it; every resynthesize request replays the same edit, so edits
+// of one key coalesce into a single extra cold solve fleet-wide.
+var editedAssayOnce struct {
+	sync.Once
+	doc json.RawMessage
+	err error
+}
+
+func (f *fleet) editedAssay() (json.RawMessage, error) {
+	editedAssayOnce.Do(func() {
+		editedAssayOnce.doc, editedAssayOnce.err = buildEditedAssay(f.benchmark)
+	})
+	return editedAssayOnce.doc, editedAssayOnce.err
+}
+
+// recoverAndWait injects a fault halfway through the seed job's execution
+// and waits for the online re-synthesis of the suffix. The fault kind is
+// chosen per benchmark (see benchmarkFault).
+func (f *fleet) recoverAndWait(seed seedRef, key int) jobOutcome {
+	out := jobOutcome{kind: kindRecover, key: key}
+	fault, err := benchmarkFault(f.benchmark)
+	if err != nil {
+		out.failed = true
+		return out
+	}
+	at := seed.makespan / 2
+	if at < 1 {
+		at = 1
+	}
+	body := map[string]any{"time": at}
+	for k, v := range fault {
+		body[k] = v
+	}
+	start := time.Now()
+	id, err := f.post(seed.replica, "/v1/jobs/"+seed.id+"/recover", body)
+	if err != nil {
+		out.failed = true
+		return out
+	}
+	st, err := f.poll(seed.replica, id)
+	out.latencyMS = float64(time.Since(start).Microseconds()) / 1e3
+	out.failed = err != nil || st.State != "done"
+	return out
+}
+
+func (f *fleet) post(rep int, path string, body any) (string, error) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return "", err
+	}
+	resp, err := f.client.Post(f.replicas[rep]+path, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		ID    string `json:"id"`
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return "", fmt.Errorf("%s: status %d: %s", path, resp.StatusCode, doc.Error)
+	}
+	return doc.ID, nil
+}
+
+func (f *fleet) poll(rep int, id string) (jobStatus, error) {
+	deadline := time.Now().Add(f.timeout)
+	for {
+		var st jobStatus
+		if err := f.getJSON(rep, "/v1/jobs/"+id, &st); err != nil {
+			return st, err
+		}
+		if st.State == "done" || st.State == "failed" {
+			return st, nil
+		}
+		if time.Now().After(deadline) {
+			return st, fmt.Errorf("job %s timed out in state %s", id, st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func (f *fleet) result(rep int, id string) (resultDoc, error) {
+	var doc resultDoc
+	err := f.getJSON(rep, "/v1/jobs/"+id+"/result", &doc)
+	return doc, err
+}
+
+func (f *fleet) stats(rep int) (replicaStats, error) {
+	var st replicaStats
+	err := f.getJSON(rep, "/v1/stats", &st)
+	return st, err
+}
+
+func (f *fleet) getJSON(rep int, path string, out any) error {
+	resp, err := f.client.Get(f.replicas[rep] + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: status %d", path, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestPercentile(t *testing.T) {
+	cases := []struct {
+		values []float64
+		p      float64
+		want   float64
+	}{
+		{nil, 50, 0},
+		{[]float64{7}, 50, 7},
+		{[]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 50, 5},
+		{[]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 95, 10},
+		{[]float64{10, 1, 5}, 99, 10}, // unsorted input
+		{[]float64{1, 2, 3, 4}, 1, 1}, // rank clamps at the floor
+	}
+	for _, c := range cases {
+		if got := percentile(c.values, c.p); got != c.want {
+			t.Errorf("percentile(%v, %v) = %v, want %v", c.values, c.p, got, c.want)
+		}
+	}
+	// percentile must not reorder the caller's slice.
+	values := []float64{3, 1, 2}
+	percentile(values, 50)
+	if values[0] != 3 || values[2] != 2 {
+		t.Errorf("input mutated: %v", values)
+	}
+}
+
+func TestSummarizeClassification(t *testing.T) {
+	outcomes := []jobOutcome{
+		{kind: kindSubmit, latencyMS: 100},           // cold
+		{kind: kindSubmit, latencyMS: 2, warm: true}, // warm
+		{kind: kindSubmit, latencyMS: 3, warm: true}, // warm
+		{kind: kindResynth, latencyMS: 50},           // neither population
+		{kind: kindRecover, latencyMS: 40},           // neither population
+		{kind: kindSubmit, failed: true},             // excluded entirely
+	}
+	cfg := runConfig{replicas: []string{"http://a"}, benchmark: "PCR", unique: 1, conc: 2}
+	rep := summarize(outcomes, 2*time.Second, 2, 2, cfg)
+
+	if rep.ColdJobs != 1 || rep.WarmJobs != 2 || rep.ResynthJobs != 1 || rep.RecoverJobs != 1 || rep.FailedJobs != 1 {
+		t.Fatalf("classification off: %+v", rep)
+	}
+	if rep.ColdP50MS != 100 {
+		t.Errorf("cold p50 = %v, want 100", rep.ColdP50MS)
+	}
+	if rep.CachedP50MS != 2 {
+		t.Errorf("cached p50 = %v, want 2", rep.CachedP50MS)
+	}
+	if !rep.SingleFlight || rep.FleetScheduleSolve != 2 {
+		t.Errorf("single-flight accounting off: %+v", rep)
+	}
+	// 5 completed jobs over 2 seconds.
+	if rep.ThroughputJPS != 2.5 {
+		t.Errorf("throughput = %v, want 2.5", rep.ThroughputJPS)
+	}
+}
+
+// The artifact writer must merge into an existing flowsyn-bench/v1 file,
+// preserving foreign sections, not clobber it.
+func TestWriteBenchArtifactMerges(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	existing := map[string]any{
+		"schema": "flowsyn-bench/v1",
+		"runs":   []any{map[string]any{"assay": "PCR"}},
+	}
+	data, _ := json.Marshal(existing)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := loadRun{Benchmark: "PCR", Jobs: 10, SingleFlight: true}
+	if err := writeBenchArtifact(path, rep, "smoke"); err != nil {
+		t.Fatal(err)
+	}
+
+	merged, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(merged, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc["schema"] != "flowsyn-bench/v1" {
+		t.Errorf("schema lost: %v", doc["schema"])
+	}
+	if _, ok := doc["runs"]; !ok {
+		t.Error("pre-existing runs section dropped")
+	}
+	loads, ok := doc["load_runs"].([]any)
+	if !ok || len(loads) != 1 {
+		t.Fatalf("load_runs = %v", doc["load_runs"])
+	}
+	lr := loads[0].(map[string]any)
+	if lr["notes"] != "smoke" || lr["single_flight"] != true {
+		t.Errorf("load run fields off: %v", lr)
+	}
+}
+
+func TestWriteBenchArtifactFreshFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := writeBenchArtifact(path, loadRun{Benchmark: "IVD"}, ""); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc["schema"] != "flowsyn-bench/v1" {
+		t.Errorf("fresh artifact missing schema: %v", doc["schema"])
+	}
+}
+
+func TestBuildEditedAssay(t *testing.T) {
+	doc, err := buildEditedAssay("PCR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var edited struct {
+		Name       string   `json:"name"`
+		Operations []jsonOp `json:"operations"`
+	}
+	if err := json.Unmarshal(doc, &edited); err != nil {
+		t.Fatal(err)
+	}
+	orig, err := buildEditedAssay("nope")
+	if err == nil {
+		t.Fatalf("unknown benchmark accepted: %s", orig)
+	}
+	if len(edited.Operations) == 0 {
+		t.Fatal("edited assay has no operations")
+	}
+	if edited.Name != "PCR-edited" {
+		t.Errorf("name = %q", edited.Name)
+	}
+}

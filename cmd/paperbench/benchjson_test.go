@@ -88,4 +88,111 @@ func TestCheckBenchRegressionRecoveryGate(t *testing.T) {
 	if err := checkBenchRegression(fresh, base); err == nil {
 		t.Error("proven-optimal makespan drift passed the gate")
 	}
+
+	// The recovery gate's absolute slack absorbs scheduler hiccups on
+	// millisecond-scale solves: 3ms vs 1.5ms is over the 1.25x factor but
+	// under factor+2ms.
+	jitter := goodBench()
+	jitter.RecoveryRuns[0].RecoverMS = 3
+	jitter.RecoveryRuns[0].ColdMS = 1.5
+	fresh = writeBench(t, dir, "jitter.json", jitter)
+	if err := checkBenchRegression(fresh, base); err != nil {
+		t.Errorf("millisecond-scale recovery jitter flagged despite slack: %v", err)
+	}
+}
+
+// goodLoadRun passes every clause of the fleet-load gate.
+func goodLoadRun() benchLoadRun {
+	return benchLoadRun{
+		Fleet:      []string{"http://a", "http://b"},
+		Benchmark:  "PCR",
+		UniqueKeys: 8, Jobs: 100, Concurrency: 8,
+		ColdJobs: 8, WarmJobs: 80,
+		ColdP50MS: 40, CachedP50MS: 2,
+		FleetScheduleSolve: 10, ExpectedColdSolves: 10,
+		SingleFlight: true,
+	}
+}
+
+func TestCheckBenchRegressionLoadGate(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.json", goodBench())
+
+	healthy := goodBench()
+	healthy.LoadRuns = []benchLoadRun{goodLoadRun()}
+	fresh := writeBench(t, dir, "healthy.json", healthy)
+	if err := checkBenchRegression(fresh, base); err != nil {
+		t.Fatalf("healthy load run flagged: %v", err)
+	}
+
+	// A broken single-flight (two replicas both solved a key) fails.
+	dup := healthy
+	dup.LoadRuns = []benchLoadRun{goodLoadRun()}
+	dup.LoadRuns[0].FleetScheduleSolve = 12
+	dup.LoadRuns[0].SingleFlight = false
+	fresh = writeBench(t, dir, "dup.json", dup)
+	if err := checkBenchRegression(fresh, base); err == nil || !strings.Contains(err.Error(), "regression") {
+		t.Errorf("broken single-flight passed the gate: %v", err)
+	}
+
+	// A warm path no faster than cold fails once cold is above timer noise.
+	slowWarm := healthy
+	slowWarm.LoadRuns = []benchLoadRun{goodLoadRun()}
+	slowWarm.LoadRuns[0].CachedP50MS = 30
+	fresh = writeBench(t, dir, "slowwarm.json", slowWarm)
+	if err := checkBenchRegression(fresh, base); err == nil {
+		t.Error("slow warm path passed the gate")
+	}
+
+	// Sub-millisecond cold solves are exempt from the speedup clause.
+	tiny := healthy
+	tiny.LoadRuns = []benchLoadRun{goodLoadRun()}
+	tiny.LoadRuns[0].ColdP50MS = 0.8
+	tiny.LoadRuns[0].CachedP50MS = 0.7
+	fresh = writeBench(t, dir, "tiny.json", tiny)
+	if err := checkBenchRegression(fresh, base); err != nil {
+		t.Errorf("sub-millisecond load run flagged: %v", err)
+	}
+
+	// Failed jobs fail the gate.
+	failed := healthy
+	failed.LoadRuns = []benchLoadRun{goodLoadRun()}
+	failed.LoadRuns[0].FailedJobs = 3
+	fresh = writeBench(t, dir, "failed.json", failed)
+	if err := checkBenchRegression(fresh, base); err == nil {
+		t.Error("failed jobs passed the gate")
+	}
+}
+
+// TestCheckBenchFile covers the standalone -bench-check mode: self-relative
+// gates only, no baseline, and an artifact checking nothing is an error.
+func TestCheckBenchFile(t *testing.T) {
+	dir := t.TempDir()
+
+	loadOnly := benchFile{
+		Schema:   "flowsyn-bench/v1",
+		LoadRuns: []benchLoadRun{goodLoadRun()},
+	}
+	path := writeBench(t, dir, "load.json", loadOnly)
+	if err := checkBenchFile(path); err != nil {
+		t.Fatalf("load-only artifact flagged: %v", err)
+	}
+
+	broken := loadOnly
+	broken.LoadRuns = []benchLoadRun{goodLoadRun()}
+	broken.LoadRuns[0].SingleFlight = false
+	path = writeBench(t, dir, "broken.json", broken)
+	if err := checkBenchFile(path); err == nil {
+		t.Error("broken single-flight passed -bench-check")
+	}
+
+	empty := benchFile{Schema: "flowsyn-bench/v1"}
+	path = writeBench(t, dir, "empty.json", empty)
+	if err := checkBenchFile(path); err == nil || !strings.Contains(err.Error(), "checked nothing") {
+		t.Errorf("empty artifact did not fail the checked-nothing guard: %v", err)
+	}
+
+	if err := checkBenchFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing artifact passed -bench-check")
+	}
 }

@@ -55,15 +55,23 @@ func run() int {
 		benchAssays   = flag.String("bench-assays", "", "comma-separated assay subset for -bench-json (default: all benchmarks)")
 		benchNotes    = flag.String("bench-notes", "", "free-form note embedded in the -bench-json output")
 		benchBaseline = flag.String("bench-baseline", "", "compare the fresh -bench-json emission against this baseline file and exit nonzero on a perf or makespan regression")
+		benchCheck    = flag.String("bench-check", "", "run only the self-relative gates (cache, recovery, fleet load) on this existing artifact and exit nonzero on failure; no fresh emission")
 		cpuProfile    = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (inspect with go tool pprof)")
 		memProfile    = flag.String("memprofile", "", "write a heap profile taken at exit to this file (inspect with go tool pprof)")
 	)
 	flag.BoolVar(&verifyResults, "verify", false,
 		"re-check every result with the independent invariant checker")
 	flag.Parse()
-	if !*table2 && !*fig8 && !*fig9 && !*fig10 && !*fig11 && !*all && *benchJSON == "" {
+	if !*table2 && !*fig8 && !*fig9 && !*fig10 && !*fig11 && !*all && *benchJSON == "" && *benchCheck == "" {
 		flag.Usage()
 		return 2
+	}
+	if *benchCheck != "" {
+		if err := checkBenchFile(*benchCheck); err != nil {
+			fmt.Fprintf(os.Stderr, "bench-check: %v\n", err)
+			return 1
+		}
+		return 0
 	}
 
 	if *cpuProfile != "" {

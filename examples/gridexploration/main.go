@@ -31,7 +31,10 @@ func main() {
 		log.Fatal(err)
 	}
 
-	solver := flowsyn.New(flowsyn.Config{Workers: 4})
+	solver, err := flowsyn.New(flowsyn.Config{Workers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer solver.Close()
 
 	sweep, err := solver.ExploreGrids(context.Background(), assay, opts, flowsyn.GridRange{

@@ -27,7 +27,10 @@ func main() {
 	// A Solver session owns a worker pool and a content-addressed result
 	// cache; it serves any number of jobs until closed. One-shot callers
 	// can still use flowsyn.Synthesize, which wraps an ephemeral session.
-	solver := flowsyn.New(flowsyn.Config{Workers: 2})
+	solver, err := flowsyn.New(flowsyn.Config{Workers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer solver.Close()
 
 	ticket, err := solver.Submit(context.Background(), flowsyn.Job{Assay: assay, Options: opts})

@@ -139,6 +139,12 @@ type ServiceMetrics struct {
 	// Coalesced reports that the job waited on an identical in-flight
 	// solve instead of starting its own (counted as a cache hit).
 	Coalesced bool
+	// StoreHit reports that the schedule was loaded from the fleet's
+	// persistent store (another replica's — or a previous life's — solve).
+	StoreHit bool
+	// LeaseWait is the time spent waiting on another replica's cross-fleet
+	// single-flight lease before this job could be served.
+	LeaseWait time.Duration
 	// Events counts the progress events emitted for the job; Dropped counts
 	// events discarded because the subscriber fell behind.
 	Events, Dropped int
@@ -385,8 +391,13 @@ func (m *ServiceMetrics) summary() string {
 		cache = "hit"
 	case m.ScheduleCacheHit:
 		cache = "schedule-hit"
+	case m.StoreHit:
+		cache = "store-hit"
 	}
 	s := fmt.Sprintf("svc queue %s cache %s", m.QueueWait.Round(time.Microsecond), cache)
+	if m.LeaseWait > 0 {
+		s += fmt.Sprintf(" lease-wait %s", m.LeaseWait.Round(time.Microsecond))
+	}
 	if m.ReusedOps > 0 || m.EditedOps > 0 {
 		s += fmt.Sprintf(" resynth %d reused/%d edited", m.ReusedOps, m.EditedOps)
 	}

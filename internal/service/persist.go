@@ -1,0 +1,178 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"flowsyn/internal/milp"
+	"flowsyn/internal/sched"
+	"flowsyn/internal/seqgraph"
+)
+
+// The persistent store tier keeps the expensive solve artifact — the
+// scheduling-and-binding solution — under the semantic schedule key, so a
+// fleet of replicas (and every restart) pays each cold engine solve exactly
+// once. Schedules are serialized by operation *name*, not OpID: two replicas
+// can build the same canonical assay with different insertion orders, and the
+// fingerprint guarantees name-level identity, not ID-level. Graphs with
+// duplicate operation names fall outside that guarantee and skip the store.
+
+// schedPayload is the persisted form of one schedule-cache entry.
+type schedPayload struct {
+	Assay     string         `json:"assay"`
+	Devices   int            `json:"devices"`
+	Transport int            `json:"transport"`
+	Makespan  int            `json:"makespan"`
+	Ops       []opAssignment `json:"ops"`
+	Departs   []departEntry  `json:"departs,omitempty"`
+	Info      *infoPayload   `json:"info,omitempty"`
+}
+
+// opAssignment places one operation, referenced by name.
+type opAssignment struct {
+	Op     string `json:"op"`
+	Device int    `json:"device"`
+	Start  int    `json:"start"`
+	End    int    `json:"end"`
+}
+
+// departEntry is one fan-out departure offset, referenced by edge names.
+type departEntry struct {
+	Parent string `json:"parent"`
+	Child  string `json:"child"`
+	Offset int    `json:"offset"`
+}
+
+// infoPayload preserves the headline solver diagnostics of the original
+// solve. The full milp.SolveStats (pivot counts, cut families, kernel
+// internals) describe the machine that solved, not the artifact, and are
+// deliberately dropped.
+type infoPayload struct {
+	Status     int     `json:"status"`
+	Objective  float64 `json:"objective"`
+	Nodes      int     `json:"nodes"`
+	Iterations int     `json:"iterations"`
+	RuntimeUS  int64   `json:"runtime_us"`
+	Winner     string  `json:"winner"`
+}
+
+// hasDuplicateNames reports whether the graph's op names alias; such graphs
+// cannot round-trip through the name-keyed payload and skip the store.
+func hasDuplicateNames(g *seqgraph.Graph) bool {
+	seen := make(map[string]struct{}, g.NumOps())
+	for _, op := range g.Operations() {
+		if _, dup := seen[op.Name]; dup {
+			return true
+		}
+		seen[op.Name] = struct{}{}
+	}
+	return false
+}
+
+// encodeSchedEntry serializes a schedule-cache entry for the store. The
+// emission is deterministic (ops in OpID order, departs sorted by edge name)
+// so identical solves publish identical bytes.
+func encodeSchedEntry(se *schedEntry) ([]byte, error) {
+	s := se.s
+	g := s.Graph
+	p := schedPayload{
+		Assay:     g.Name,
+		Devices:   s.Devices,
+		Transport: s.Transport,
+		Makespan:  s.Makespan,
+		Ops:       make([]opAssignment, 0, len(s.Assignments)),
+	}
+	for _, a := range s.Assignments {
+		p.Ops = append(p.Ops, opAssignment{
+			Op: g.Op(a.Op).Name, Device: a.Device, Start: a.Start, End: a.End,
+		})
+	}
+	for e, off := range s.DepartOffsets {
+		p.Departs = append(p.Departs, departEntry{
+			Parent: g.Op(e.Parent).Name, Child: g.Op(e.Child).Name, Offset: off,
+		})
+	}
+	sort.Slice(p.Departs, func(i, j int) bool {
+		if p.Departs[i].Parent != p.Departs[j].Parent {
+			return p.Departs[i].Parent < p.Departs[j].Parent
+		}
+		return p.Departs[i].Child < p.Departs[j].Child
+	})
+	if info := se.info; info != nil {
+		p.Info = &infoPayload{
+			Status:     int(info.Status),
+			Objective:  info.Objective,
+			Nodes:      info.Nodes,
+			Iterations: info.Iterations,
+			RuntimeUS:  info.Runtime.Microseconds(),
+			Winner:     info.Winner,
+		}
+	}
+	return json.Marshal(p)
+}
+
+// decodeSchedEntry rebuilds a schedule-cache entry against the submitting
+// job's own graph. Any inconsistency — unknown or missing op names, window
+// or precedence violations — fails the decode, and the caller treats the
+// entry as a miss and re-solves; a damaged store can cost work, never
+// correctness.
+func decodeSchedEntry(payload []byte, g *seqgraph.Graph) (*schedEntry, error) {
+	var p schedPayload
+	if err := json.Unmarshal(payload, &p); err != nil {
+		return nil, err
+	}
+	if len(p.Ops) != g.NumOps() {
+		return nil, fmt.Errorf("service: stored schedule has %d ops, assay has %d", len(p.Ops), g.NumOps())
+	}
+	byName := make(map[string]seqgraph.OpID, g.NumOps())
+	for _, op := range g.Operations() {
+		byName[op.Name] = op.ID
+	}
+	s := &sched.Schedule{
+		Graph:       g,
+		Devices:     p.Devices,
+		Transport:   p.Transport,
+		Makespan:    p.Makespan,
+		Assignments: make([]sched.Assignment, g.NumOps()),
+	}
+	seen := make(map[seqgraph.OpID]bool, g.NumOps())
+	for _, oa := range p.Ops {
+		id, ok := byName[oa.Op]
+		if !ok {
+			return nil, fmt.Errorf("service: stored schedule names unknown op %q", oa.Op)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("service: stored schedule assigns op %q twice", oa.Op)
+		}
+		seen[id] = true
+		s.Assignments[id] = sched.Assignment{Op: id, Device: oa.Device, Start: oa.Start, End: oa.End}
+	}
+	if len(p.Departs) > 0 {
+		s.DepartOffsets = make(map[seqgraph.Edge]int, len(p.Departs))
+		for _, d := range p.Departs {
+			pid, pok := byName[d.Parent]
+			cid, cok := byName[d.Child]
+			if !pok || !cok {
+				return nil, fmt.Errorf("service: stored schedule departs unknown edge %s->%s", d.Parent, d.Child)
+			}
+			s.DepartOffsets[seqgraph.Edge{Parent: pid, Child: cid}] = d.Offset
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("service: stored schedule invalid for this assay: %w", err)
+	}
+	se := &schedEntry{s: s}
+	if p.Info != nil {
+		se.info = &sched.ILPInfo{
+			Status:     milp.Status(p.Info.Status),
+			Objective:  p.Info.Objective,
+			Nodes:      p.Info.Nodes,
+			Iterations: p.Info.Iterations,
+			Runtime:    time.Duration(p.Info.RuntimeUS) * time.Microsecond,
+			Winner:     p.Info.Winner,
+		}
+	}
+	return se, nil
+}

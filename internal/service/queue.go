@@ -1,0 +1,63 @@
+package service
+
+import (
+	"container/heap"
+	"time"
+)
+
+// admitQueue is the priority admission queue replacing the old FIFO channel:
+// jobs are served highest priority class first, earliest deadline next
+// (deadline-less jobs sort after any deadline), submission order last — so a
+// latency-sensitive tenant's work overtakes bulk traffic without starving it
+// (equal-priority bulk jobs still run strictly FIFO).
+//
+// It is a plain container/heap under the Solver mutex; Submit pushes,
+// workers pop under the same lock that guards admission quotas.
+type admitQueue struct {
+	items []*Ticket
+}
+
+func (q *admitQueue) Len() int { return len(q.items) }
+
+func (q *admitQueue) Less(i, j int) bool {
+	a, b := q.items[i], q.items[j]
+	if a.priority != b.priority {
+		return a.priority > b.priority
+	}
+	ad, bd := a.deadline, b.deadline
+	switch {
+	case ad.IsZero() && !bd.IsZero():
+		return false
+	case !ad.IsZero() && bd.IsZero():
+		return true
+	case !ad.Equal(bd):
+		return ad.Before(bd)
+	}
+	return a.id < b.id
+}
+
+func (q *admitQueue) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
+
+func (q *admitQueue) Push(x any) { q.items = append(q.items, x.(*Ticket)) }
+
+func (q *admitQueue) Pop() any {
+	old := q.items
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	q.items = old[:n-1]
+	return t
+}
+
+func (q *admitQueue) push(t *Ticket) { heap.Push(q, t) }
+
+func (q *admitQueue) pop() *Ticket { return heap.Pop(q).(*Ticket) }
+
+// expired reports whether t should be evicted instead of run: it outlived
+// the queue TTL, or its caller-set deadline has already passed.
+func (t *Ticket) expired(now time.Time, ttl time.Duration) bool {
+	if ttl > 0 && now.Sub(t.submitted) > ttl {
+		return true
+	}
+	return !t.deadline.IsZero() && now.After(t.deadline)
+}

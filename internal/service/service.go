@@ -1,22 +1,30 @@
 // Package service implements long-lived synthesis solver sessions on top of
-// the core pipeline: a bounded worker pool serving submitted jobs, a
-// content-addressed full-result cache and a schedule cache keyed by the
-// canonical assay fingerprint (internal/seqgraph.Fingerprint) plus the
-// semantic synthesis options, single-flight deduplication of identical
-// in-flight solves, per-job progress event streams, and incremental
-// re-synthesis of edited assays via the scheduler's warm-start hook.
+// the core pipeline: a bounded worker pool behind a priority- and
+// tenant-aware admission queue, a content-addressed full-result cache and a
+// schedule cache keyed by the canonical assay fingerprint
+// (internal/seqgraph.Fingerprint) plus the semantic synthesis options,
+// single-flight deduplication of identical in-flight solves, an optional
+// persistent store tier shared across replicas (internal/store) with
+// cross-replica single-flight leases, per-job progress event streams, and
+// incremental re-synthesis of edited assays via the scheduler's warm-start
+// hook.
 //
 // The schedule cache is what makes design-space exploration cheap: the
 // expensive scheduling-and-binding solve depends only on the assay and the
 // device/transport/engine options, not on the connection grid, so a grid
 // sweep over one assay re-solves the MILP exactly once and re-runs only the
-// architectural and physical stages per grid size.
+// architectural and physical stages per grid size. The persistent tier
+// extends the same economics across process restarts and replica fleets: it
+// write-through-backs the schedule cache, and a replica that misses both
+// in-memory caches either loads the fleet's prior solve or takes the
+// fleet-wide lease and becomes the one replica solving that key cold.
 package service
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
 	"time"
@@ -24,6 +32,7 @@ import (
 	"flowsyn/internal/core"
 	"flowsyn/internal/sched"
 	"flowsyn/internal/seqgraph"
+	"flowsyn/internal/store"
 )
 
 // Errors returned by Submit and ticket accessors.
@@ -33,6 +42,12 @@ var (
 	// ErrQueueFull reports that the bounded submit queue is at capacity;
 	// the caller should retry later (backpressure, not failure).
 	ErrQueueFull = errors.New("service: job queue full")
+	// ErrTenantQuota reports that the submitting tenant has reached its
+	// per-tenant queued-job quota; other tenants' capacity is unaffected.
+	ErrTenantQuota = errors.New("service: tenant queue quota exceeded")
+	// ErrExpired reports a queued job evicted before it ran: it outlived
+	// the queue TTL, or its deadline passed while it waited.
+	ErrExpired = errors.New("service: job expired in queue")
 	// ErrPending reports a Result call on a ticket that has not finished.
 	ErrPending = errors.New("service: job still pending")
 )
@@ -42,12 +57,25 @@ type Config struct {
 	// Workers is the synthesis worker pool size; 0 or negative selects
 	// runtime.GOMAXPROCS(0).
 	Workers int
-	// QueueDepth bounds the submit queue; Submit returns ErrQueueFull when
-	// it is exceeded. 0 selects 256.
+	// QueueDepth bounds the admission queue; Submit returns ErrQueueFull
+	// when it is exceeded. 0 selects 256.
 	QueueDepth int
 	// CacheEntries bounds each of the result and schedule LRU caches.
-	// 0 selects 512; negative disables caching entirely.
+	// 0 selects 512; negative disables caching entirely, including the
+	// persistent tier consult (an explicitly cache-less session never
+	// serves stale work, even from a shared store).
 	CacheEntries int
+	// Store, if non-nil, is the persistent artifact store shared by the
+	// replica fleet: the schedule cache writes through to it, cold lookups
+	// consult it before solving, and cross-replica single-flight leases
+	// are taken on it. A nil Store degrades to local-only single-flight.
+	Store store.Store
+	// JobTTL evicts jobs that sit queued longer than this (failed with
+	// ErrExpired when a worker finally reaches them). 0 disables.
+	JobTTL time.Duration
+	// TenantQueue caps the queued jobs of any single tenant; Submit
+	// returns ErrTenantQuota beyond it. 0 disables per-tenant quotas.
+	TenantQueue int
 }
 
 func (c Config) withDefaults() Config {
@@ -73,19 +101,80 @@ type Job struct {
 	// solver and must be left nil; the per-ticket event stream and
 	// Resynthesize provide those capabilities in session mode.
 	Options core.Options
+	// Tenant attributes the job to a client for quotas and admission
+	// accounting; empty means the anonymous default tenant.
+	Tenant string
+	// Priority orders admission: higher classes are served first, equal
+	// classes by earliest Deadline, then FIFO. 0 is the normal class;
+	// negative classes yield to all normal traffic.
+	Priority int
+	// Deadline, if set, orders the job within its priority class
+	// (earliest first) and evicts it (ErrExpired) if it is still queued
+	// when the deadline passes.
+	Deadline time.Time
+}
+
+// TenantStats counts one tenant's admission outcomes.
+type TenantStats struct {
+	// Admitted counts accepted submissions; RejectedQuota and RejectedFull
+	// count submissions refused by the per-tenant quota and the global
+	// queue bound respectively.
+	Admitted, RejectedQuota, RejectedFull int64
+	// Completed, Failed and Expired count terminal outcomes.
+	Completed, Failed, Expired int64
+	// Queued is the tenant's instantaneous queued-job count.
+	Queued int
+}
+
+// WallBucketsMS are the solve-wall histogram bucket upper bounds in
+// milliseconds; the last bucket of a Histogram is the overflow (+Inf).
+var WallBucketsMS = []float64{1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// Histogram is a fixed-bucket latency histogram (bounds WallBucketsMS plus
+// overflow). It is a value type: Stats snapshots copy it wholesale.
+type Histogram struct {
+	// Counts holds one non-cumulative count per WallBucketsMS bound, plus
+	// the overflow bucket last.
+	Counts [14]int64
+	// SumMS and Count aggregate all observations.
+	SumMS float64
+	Count int64
+}
+
+func (h *Histogram) observe(ms float64) {
+	h.Count++
+	h.SumMS += ms
+	for i, b := range WallBucketsMS {
+		if ms <= b {
+			h.Counts[i]++
+			return
+		}
+	}
+	h.Counts[len(WallBucketsMS)]++
 }
 
 // Stats is a snapshot of a solver session's counters.
 type Stats struct {
-	// Submitted, Completed and Failed count jobs over the session lifetime.
-	Submitted, Completed, Failed int64
+	// Submitted, Completed and Failed count jobs over the session lifetime;
+	// Expired counts jobs evicted from the queue (TTL or deadline), a
+	// subset of Failed.
+	Submitted, Completed, Failed, Expired int64
 	// ResultHits and ResultMisses count full-result cache lookups; a hit
 	// serves the finished chip with no pipeline stage running.
 	ResultHits, ResultMisses int64
 	// ScheduleHits counts schedule-cache hits (bind/arch/phys re-ran on a
 	// cached schedule); ScheduleSolves counts schedule solves that actually
-	// executed an engine — the "full solves" a grid sweep avoids.
+	// executed an engine — the "cold solves" a fleet minimizes.
 	ScheduleHits, ScheduleSolves int64
+	// StoreHits counts schedules loaded from the persistent tier (another
+	// replica's — or a previous life's — solve reused); StorePuts counts
+	// write-throughs, StoreErrors failed store operations (each degrades
+	// to a local solve, never a job failure).
+	StoreHits, StorePuts, StoreErrors int64
+	// LeaseWaits counts jobs that waited on another replica's
+	// single-flight lease; LeaseWaitTotal accumulates that waiting time.
+	LeaseWaits     int64
+	LeaseWaitTotal time.Duration
 	// Coalesced counts jobs served by waiting on an identical in-flight
 	// solve instead of starting their own (also counted in ResultHits or
 	// ScheduleHits).
@@ -95,6 +184,13 @@ type Stats struct {
 	// EventsDropped counts progress events discarded because a ticket's
 	// subscriber fell behind its buffered stream.
 	EventsDropped int64
+	// ColdWall observes the wall time of jobs that ran a scheduling engine
+	// (or a recovery splice); WarmWall those served from any warm tier
+	// (result cache, schedule cache, store, coalesced flight).
+	ColdWall, WarmWall Histogram
+	// Tenants snapshots per-tenant admission counters, keyed by tenant
+	// name ("" is the anonymous default tenant).
+	Tenants map[string]TenantStats
 }
 
 // flight is one in-flight solve other workers with the same key wait on.
@@ -111,17 +207,25 @@ type schedEntry struct {
 	info *sched.ILPInfo
 }
 
+// leasePollInterval is how often a replica waiting on another replica's
+// single-flight lease re-checks the store for the published entry.
+const leasePollInterval = 5 * time.Millisecond
+
 // Solver is a long-lived synthesis session. Create one with New, submit jobs
 // with Submit (or Resynthesize), and Close it to drain.
 type Solver struct {
 	cfg   Config
-	queue chan *Ticket
+	store store.Store
+	owner string
 	wg    sync.WaitGroup
 
 	mu           sync.Mutex
+	cond         *sync.Cond
+	queue        admitQueue
 	closed       bool
 	nextID       uint64
 	stats        Stats
+	tenants      map[string]*TenantStats
 	results      *lruCache
 	scheds       *lruCache
 	resultFlight map[string]*flight
@@ -131,23 +235,29 @@ type Solver struct {
 // New starts a solver session with cfg's worker pool and caches.
 func New(cfg Config) *Solver {
 	cfg = cfg.withDefaults()
+	host, _ := os.Hostname()
 	s := &Solver{
 		cfg:          cfg,
-		queue:        make(chan *Ticket, cfg.QueueDepth),
+		store:        cfg.Store,
+		owner:        fmt.Sprintf("%s/%d", host, os.Getpid()),
+		tenants:      make(map[string]*TenantStats),
 		resultFlight: make(map[string]*flight),
 		schedFlight:  make(map[string]*flight),
 	}
+	s.cond = sync.NewCond(&s.mu)
 	if cfg.CacheEntries > 0 {
 		s.results = newLRUCache(cfg.CacheEntries)
 		s.scheds = newLRUCache(cfg.CacheEntries)
+	} else {
+		// An explicitly cache-less session does not consult the shared
+		// store either; see Config.CacheEntries.
+		s.store = nil
 	}
 	for w := 0; w < cfg.Workers; w++ {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			for t := range s.queue {
-				s.runTicket(t)
-			}
+			s.worker()
 		}()
 	}
 	return s
@@ -155,8 +265,8 @@ func New(cfg Config) *Solver {
 
 // Submit validates and enqueues a job, returning its ticket immediately. The
 // job runs under ctx: cancelling it aborts the job (queued or mid-solve) with
-// ctx's error. Submit itself never blocks — a full queue returns
-// ErrQueueFull.
+// ctx's error. Submit itself never blocks — a full queue returns ErrQueueFull
+// and a tenant over its quota ErrTenantQuota.
 func (s *Solver) Submit(ctx context.Context, job Job) (*Ticket, error) {
 	return s.submit(ctx, job, nil, core.ServiceMetrics{}, nil)
 }
@@ -184,6 +294,9 @@ func (s *Solver) Resynthesize(ctx context.Context, prior *Ticket, job Job) (*Tic
 	}
 	if job.Name == "" {
 		job.Name = prior.Name
+	}
+	if job.Tenant == "" {
+		job.Tenant = prior.tenant
 	}
 	d := DiffGraphs(prior.graph, job.Graph)
 	metrics := core.ServiceMetrics{
@@ -218,6 +331,10 @@ func (s *Solver) submit(ctx context.Context, job Job, warm *sched.Schedule, metr
 		opts:      opts,
 		warm:      warm,
 		rec:       rec,
+		tenant:    job.Tenant,
+		priority:  job.Priority,
+		deadline:  job.Deadline,
+		storeOK:   !hasDuplicateNames(job.Graph),
 		schedKey:  scheduleKey(fp, opts),
 		resultKey: resultKey(fp, opts),
 		metrics:   metrics,
@@ -231,16 +348,35 @@ func (s *Solver) submit(ctx context.Context, job Job, warm *sched.Schedule, metr
 	if s.closed {
 		return nil, ErrClosed
 	}
-	s.nextID++
-	t.id = s.nextID
-	select {
-	case s.queue <- t:
-	default:
+	ts := s.tenant(job.Tenant)
+	if s.queue.Len() >= s.cfg.QueueDepth {
+		ts.RejectedFull++
 		return nil, ErrQueueFull
 	}
+	if s.cfg.TenantQueue > 0 && ts.Queued >= s.cfg.TenantQueue {
+		ts.RejectedQuota++
+		return nil, ErrTenantQuota
+	}
+	s.nextID++
+	t.id = s.nextID
+	s.queue.push(t)
+	ts.Queued++
+	ts.Admitted++
 	s.stats.Submitted++
 	t.emit(Event{Kind: EventQueued})
+	s.cond.Signal()
 	return t, nil
+}
+
+// tenant returns the (lazily created) counter record of one tenant; the
+// caller holds s.mu.
+func (s *Solver) tenant(name string) *TenantStats {
+	ts, ok := s.tenants[name]
+	if !ok {
+		ts = &TenantStats{}
+		s.tenants[name] = ts
+	}
+	return ts
 }
 
 // Close stops accepting jobs, drains the queue (every queued job still runs
@@ -253,7 +389,7 @@ func (s *Solver) Close() error {
 		return nil
 	}
 	s.closed = true
-	close(s.queue)
+	s.cond.Broadcast()
 	s.mu.Unlock()
 	s.wg.Wait()
 	return nil
@@ -264,21 +400,47 @@ func (s *Solver) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := s.stats
-	st.Queued = len(s.queue)
+	st.Queued = s.queue.Len()
+	st.Tenants = make(map[string]TenantStats, len(s.tenants))
+	for name, ts := range s.tenants {
+		st.Tenants[name] = *ts
+	}
 	return st
+}
+
+// worker pops admitted jobs in priority order until the solver closes and
+// the queue drains.
+func (s *Solver) worker() {
+	for {
+		s.mu.Lock()
+		for s.queue.Len() == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if s.queue.Len() == 0 {
+			s.mu.Unlock()
+			return
+		}
+		t := s.queue.pop()
+		ts := s.tenant(t.tenant)
+		ts.Queued--
+		if t.expired(time.Now(), s.cfg.JobTTL) {
+			s.stats.Expired++
+			ts.Expired++
+			s.mu.Unlock()
+			s.fail(t, fmt.Errorf("%w (queued %s)", ErrExpired, time.Since(t.submitted).Round(time.Millisecond)))
+			continue
+		}
+		s.stats.InFlight++
+		s.mu.Unlock()
+		s.runTicket(t)
+		s.mu.Lock()
+		s.stats.InFlight--
+		s.mu.Unlock()
+	}
 }
 
 // runTicket executes one job inside a worker.
 func (s *Solver) runTicket(t *Ticket) {
-	s.mu.Lock()
-	s.stats.InFlight++
-	s.mu.Unlock()
-	defer func() {
-		s.mu.Lock()
-		s.stats.InFlight--
-		s.mu.Unlock()
-	}()
-
 	t.metrics.QueueWait = time.Since(t.submitted)
 	t.emit(Event{Kind: EventStarted})
 	if err := t.ctx.Err(); err != nil {
@@ -292,8 +454,16 @@ func (s *Solver) runTicket(t *Ticket) {
 		s.fail(t, err)
 		return
 	}
+	warm := t.metrics.CacheHit || t.metrics.ScheduleCacheHit || t.metrics.StoreHit
 	s.mu.Lock()
 	s.stats.Completed++
+	s.tenant(t.tenant).Completed++
+	ms := float64(t.metrics.Runtime.Microseconds()) / 1e3
+	if warm {
+		s.stats.WarmWall.observe(ms)
+	} else {
+		s.stats.ColdWall.observe(ms)
+	}
 	s.mu.Unlock()
 	t.finish(res)
 	// Count drops after the terminal event: its delivery may evict one last
@@ -307,6 +477,7 @@ func (s *Solver) runTicket(t *Ticket) {
 func (s *Solver) fail(t *Ticket, err error) {
 	s.mu.Lock()
 	s.stats.Failed++
+	s.tenant(t.tenant).Failed++
 	s.mu.Unlock()
 	t.fail(err)
 	s.mu.Lock()
@@ -374,7 +545,8 @@ func (s *Solver) resolve(t *Ticket) (*core.Result, error) {
 }
 
 // solve runs the pipeline, serving the schedule stage from the schedule
-// cache (or an identical in-flight schedule solve) when possible.
+// cache, an identical in-flight schedule solve, or the fleet's persistent
+// store when possible.
 func (s *Solver) solve(t *Ticket) (*core.Result, error) {
 	opts := t.opts
 	opts.Warm = t.warm
@@ -419,21 +591,141 @@ func (s *Solver) solve(t *Ticket) (*core.Result, error) {
 		}
 		fl := &flight{done: make(chan struct{})}
 		s.schedFlight[t.schedKey] = fl
-		s.stats.ScheduleSolves++
 		s.mu.Unlock()
 
-		res, err := core.SynthesizeContext(t.ctx, t.graph, opts)
+		res, se, err := s.obtainSchedule(t, opts)
 		s.mu.Lock()
 		delete(s.schedFlight, t.schedKey)
 		if err == nil {
-			fl.sched = &schedEntry{s: res.Schedule.Clone(), info: res.SchedInfo}
-			s.scheds.put(t.schedKey, fl.sched)
+			fl.sched = se
+			s.scheds.put(t.schedKey, se)
 		}
 		fl.err = err
 		s.mu.Unlock()
 		close(fl.done)
 		return res, err
 	}
+}
+
+// obtainSchedule produces the schedule entry for t's key as the local
+// single-flight leader: from the persistent store if another replica (or a
+// previous life of this one) already solved it, otherwise by running the
+// engine under the fleet-wide lease and writing the solution through. Store
+// trouble of any kind degrades to a local solve.
+func (s *Solver) obtainSchedule(t *Ticket, opts core.Options) (*core.Result, *schedEntry, error) {
+	if s.store == nil || !t.storeOK {
+		return s.engineSolve(t, opts)
+	}
+	var waitStart time.Time
+	for {
+		if se, ok := s.storeGet(t); ok {
+			s.settleLeaseWait(t, waitStart)
+			t.metrics.StoreHit = true
+			t.emit(Event{Kind: EventStoreHit})
+			res, err := core.SynthesizeWithSchedule(t.ctx, t.graph, opts, se.s.Clone(), se.info)
+			return res, se, err
+		}
+		lease, err := s.store.Claim(t.schedKey, s.owner)
+		if err == nil {
+			// Won the fleet-wide claim. Re-check the entry: a racer may have
+			// published between our miss and the claim.
+			if se, ok := s.storeGet(t); ok {
+				lease.Release()
+				s.settleLeaseWait(t, waitStart)
+				t.metrics.StoreHit = true
+				t.emit(Event{Kind: EventStoreHit})
+				res, rerr := core.SynthesizeWithSchedule(t.ctx, t.graph, opts, se.s.Clone(), se.info)
+				return res, se, rerr
+			}
+			s.settleLeaseWait(t, waitStart)
+			res, se, serr := s.engineSolve(t, opts)
+			if serr == nil {
+				s.storePut(t.schedKey, se)
+			}
+			lease.Release()
+			return res, se, serr
+		}
+		if !errors.Is(err, store.ErrLeaseHeld) {
+			// Backend broken (permissions, disk full, network): solve
+			// locally, count the degradation, keep serving.
+			s.mu.Lock()
+			s.stats.StoreErrors++
+			s.mu.Unlock()
+			s.settleLeaseWait(t, waitStart)
+			return s.engineSolve(t, opts)
+		}
+		// Another replica holds the lease: wait for its entry to land (or
+		// its lease to expire, making the key claimable above).
+		if waitStart.IsZero() {
+			waitStart = time.Now()
+			s.mu.Lock()
+			s.stats.LeaseWaits++
+			s.mu.Unlock()
+		}
+		select {
+		case <-t.ctx.Done():
+			s.settleLeaseWait(t, waitStart)
+			return nil, nil, t.ctx.Err()
+		case <-time.After(leasePollInterval):
+		}
+	}
+}
+
+// settleLeaseWait accounts the time t spent waiting on a foreign lease.
+func (s *Solver) settleLeaseWait(t *Ticket, waitStart time.Time) {
+	if waitStart.IsZero() {
+		return
+	}
+	wait := time.Since(waitStart)
+	t.metrics.LeaseWait += wait
+	s.mu.Lock()
+	s.stats.LeaseWaitTotal += wait
+	s.mu.Unlock()
+}
+
+// storeGet loads and decodes t's schedule entry from the persistent tier.
+func (s *Solver) storeGet(t *Ticket) (*schedEntry, bool) {
+	payload, err := s.store.Get(t.schedKey)
+	if err != nil {
+		return nil, false
+	}
+	se, err := decodeSchedEntry(payload, t.graph)
+	if err != nil {
+		// Damaged or incompatible entry: a miss, re-solved and re-published.
+		return nil, false
+	}
+	s.mu.Lock()
+	s.stats.StoreHits++
+	s.mu.Unlock()
+	return se, true
+}
+
+// storePut writes a solved schedule through to the persistent tier.
+func (s *Solver) storePut(key string, se *schedEntry) {
+	payload, err := encodeSchedEntry(se)
+	if err == nil {
+		err = s.store.Put(key, payload)
+	}
+	s.mu.Lock()
+	if err != nil {
+		s.stats.StoreErrors++
+	} else {
+		s.stats.StorePuts++
+	}
+	s.mu.Unlock()
+}
+
+// engineSolve runs the full cold pipeline — the one path that executes a
+// scheduling engine.
+func (s *Solver) engineSolve(t *Ticket, opts core.Options) (*core.Result, *schedEntry, error) {
+	s.mu.Lock()
+	s.stats.ScheduleSolves++
+	s.mu.Unlock()
+	res, err := core.SynthesizeContext(t.ctx, t.graph, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, &schedEntry{s: res.Schedule.Clone(), info: res.SchedInfo}, nil
 }
 
 // copyResult returns a shallow per-caller copy of a cached result so

@@ -23,6 +23,9 @@ const (
 	// EventCacheHit is emitted when the finished result is served from the
 	// full-result cache or a coalesced in-flight solve.
 	EventCacheHit = "cache-hit"
+	// EventStoreHit is emitted when the schedule is loaded from the fleet's
+	// persistent store instead of being solved here.
+	EventStoreHit = "store-hit"
 	// EventStageStart and EventStageEnd bracket each pipeline stage.
 	EventStageStart = core.EventStageStart
 	EventStageEnd   = core.EventStageEnd
@@ -74,6 +77,10 @@ type Ticket struct {
 	opts      core.Options
 	warm      *sched.Schedule
 	rec       *recoverReq
+	tenant    string
+	priority  int
+	deadline  time.Time
+	storeOK   bool
 	schedKey  string
 	resultKey string
 	submitted time.Time

@@ -1,0 +1,303 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func openTestDisk(t *testing.T, opts DiskOptions) *Disk {
+	t.Helper()
+	d, err := OpenDisk(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDiskRoundTrip(t *testing.T) {
+	d := openTestDisk(t, DiskOptions{})
+	key := "sched|abc123|d4|u10|m0|e0|tl0"
+	payload := []byte(`{"makespan":42}`)
+
+	if _, err := d.Get(key); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get on empty store: want ErrNotFound, got %v", err)
+	}
+	if err := d.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("round trip: got %s want %s", got, payload)
+	}
+	// A different key with the same payload is an independent entry.
+	if _, err := d.Get(key + "|other"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unrelated key: want ErrNotFound, got %v", err)
+	}
+}
+
+func TestDiskSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	d1, err := OpenDisk(dir, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d1.Put("k", []byte(`1`)); err != nil {
+		t.Fatal(err)
+	}
+	d1.Close()
+
+	d2, err := OpenDisk(dir, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := d2.Get("k"); err != nil || string(got) != "1" {
+		t.Fatalf("after reopen: got %s, %v", got, err)
+	}
+}
+
+// Corrupt and truncated entries — a replica crashed mid-write before the
+// rename, or the disk ate the file — must read as misses, never as errors
+// that could fail a job.
+func TestDiskCorruptEntryIsMiss(t *testing.T) {
+	d := openTestDisk(t, DiskOptions{})
+	key := "corrupt-key"
+	if err := d.Put(key, []byte(`{"ok":true}`)); err != nil {
+		t.Fatal(err)
+	}
+	path := d.entryPath(key)
+
+	for name, garbage := range map[string][]byte{
+		"truncated": []byte(`{"version":"flowsyn-store/v1","key":"corrupt-`),
+		"not-json":  []byte("\x00\x01garbage"),
+		"empty":     {},
+	} {
+		if err := os.WriteFile(path, garbage, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Get(key); !errors.Is(err, ErrNotFound) {
+			t.Errorf("%s entry: want ErrNotFound, got %v", name, err)
+		}
+	}
+}
+
+func TestDiskVersionMismatchIsMiss(t *testing.T) {
+	d := openTestDisk(t, DiskOptions{})
+	key := "versioned-key"
+	if err := d.Put(key, []byte(`{"ok":true}`)); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the entry as a future store version: this replica must not
+	// trust it.
+	env := envelope{Version: "flowsyn-store/v999", Key: key, Payload: json.RawMessage(`{"ok":true}`)}
+	data, _ := json.Marshal(env)
+	if err := os.WriteFile(d.entryPath(key), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Get(key); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("version mismatch: want ErrNotFound, got %v", err)
+	}
+}
+
+func TestDiskKeyMismatchIsMiss(t *testing.T) {
+	d := openTestDisk(t, DiskOptions{})
+	if err := d.Put("key-a", []byte(`{"a":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate an aliasing bug: key-b's entry file carrying key-a's envelope.
+	data, err := os.ReadFile(d.entryPath("key-a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Dir(d.entryPath("key-b")), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(d.entryPath("key-b"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Get("key-b"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("foreign envelope: want ErrNotFound, got %v", err)
+	}
+}
+
+// Concurrent writers on one key must never produce a torn read: every Get
+// during the storm sees a complete envelope from one writer or another.
+func TestDiskConcurrentWritersOneKey(t *testing.T) {
+	d := openTestDisk(t, DiskOptions{})
+	const key = "contended"
+	const writers = 8
+	const rounds = 25
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				payload := fmt.Sprintf(`{"writer":%d,"round":%d}`, w, i)
+				if err := d.Put(key, []byte(payload)); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	var readerWG sync.WaitGroup
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			payload, err := d.Get(key)
+			if errors.Is(err, ErrNotFound) {
+				continue // nothing published yet
+			}
+			if err != nil {
+				t.Errorf("get: %v", err)
+				return
+			}
+			var doc struct{ Writer, Round int }
+			if err := json.Unmarshal(payload, &doc); err != nil {
+				t.Errorf("torn read: %s: %v", payload, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	readerWG.Wait()
+
+	payload, err := d.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct{ Writer, Round int }
+	if err := json.Unmarshal(payload, &doc); err != nil {
+		t.Fatalf("final entry unreadable: %v", err)
+	}
+	if doc.Round != rounds-1 {
+		t.Fatalf("final entry is not a last-round write: %+v", doc)
+	}
+}
+
+func TestDiskClaimExcludes(t *testing.T) {
+	d := openTestDisk(t, DiskOptions{})
+	l1, err := d.Claim("k", "replica-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Claim("k", "replica-2"); !errors.Is(err, ErrLeaseHeld) {
+		t.Fatalf("second claim: want ErrLeaseHeld, got %v", err)
+	}
+	l1.Release()
+	l2, err := d.Claim("k", "replica-2")
+	if err != nil {
+		t.Fatalf("claim after release: %v", err)
+	}
+	l2.Release()
+	l2.Release() // idempotent
+}
+
+// A crashed claimant stops heartbeating; its lease must become stealable
+// after the TTL so the key cannot wedge the fleet.
+func TestDiskLeaseExpiryAfterCrash(t *testing.T) {
+	d := openTestDisk(t, DiskOptions{LeaseTTL: 50 * time.Millisecond})
+	// Simulate the crash by writing a lease file directly (no heartbeat
+	// goroutine behind it).
+	doc, _ := json.Marshal(leaseDoc{
+		Owner:   "crashed-replica",
+		Expires: time.Now().Add(50 * time.Millisecond).UTC().Format(time.RFC3339Nano),
+	})
+	path := d.leasePath("k")
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, doc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Claim("k", "live-replica"); !errors.Is(err, ErrLeaseHeld) {
+		t.Fatalf("live lease: want ErrLeaseHeld, got %v", err)
+	}
+	time.Sleep(80 * time.Millisecond)
+	l, err := d.Claim("k", "live-replica")
+	if err != nil {
+		t.Fatalf("expired lease not stolen: %v", err)
+	}
+	l.Release()
+}
+
+// A corrupt lease file (crash mid-write) counts as expired and is stolen.
+func TestDiskCorruptLeaseIsStolen(t *testing.T) {
+	d := openTestDisk(t, DiskOptions{})
+	path := d.leasePath("k")
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := d.Claim("k", "replica")
+	if err != nil {
+		t.Fatalf("corrupt lease not stolen: %v", err)
+	}
+	l.Release()
+}
+
+// A live claimant's heartbeat keeps pushing the expiry horizon, so a lease
+// with a short TTL stays held well past it while the owner lives.
+func TestDiskHeartbeatKeepsLeaseAlive(t *testing.T) {
+	d := openTestDisk(t, DiskOptions{LeaseTTL: 60 * time.Millisecond})
+	l, err := d.Claim("k", "replica-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Release()
+	deadline := time.Now().Add(200 * time.Millisecond) // > 3 TTLs
+	for time.Now().Before(deadline) {
+		if _, err := d.Claim("k", "replica-2"); !errors.Is(err, ErrLeaseHeld) {
+			t.Fatalf("lease lost while owner alive: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Exactly one of many racing claimants may win a cold key.
+func TestDiskClaimRace(t *testing.T) {
+	d := openTestDisk(t, DiskOptions{})
+	const racers = 16
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var winners []Lease
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			l, err := d.Claim("k", fmt.Sprintf("replica-%d", i))
+			if err == nil {
+				mu.Lock()
+				winners = append(winners, l)
+				mu.Unlock()
+			} else if !errors.Is(err, ErrLeaseHeld) {
+				t.Errorf("claim: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if len(winners) != 1 {
+		t.Fatalf("want exactly 1 winner, got %d", len(winners))
+	}
+	winners[0].Release()
+}

@@ -1,0 +1,61 @@
+// Package store implements the persistent, shared artifact store of the
+// distributed serve path: a content-addressed key/value store for solve
+// artifacts (canonical assay fingerprint + semantic options on the key side,
+// versioned JSON envelopes on the value side) plus cross-replica single-flight
+// leases, so a fleet of flowsynd replicas sharing one store performs each
+// expensive solve exactly once and every restart starts warm.
+//
+// The reference backend is Disk: a sharded directory tree with atomic
+// write-then-rename publication, tolerant of corrupt or truncated entries
+// (they read as misses, never as errors that fail a job). The Store and Lease
+// interfaces are deliberately tiny so network backends (redis, S3) can plug
+// in behind the same service-layer wiring.
+package store
+
+import (
+	"errors"
+	"time"
+)
+
+// Errors returned by Store implementations. Compare with errors.Is.
+var (
+	// ErrNotFound reports a Get miss: no entry, a corrupt/truncated entry,
+	// or an entry written by an incompatible store version.
+	ErrNotFound = errors.New("store: entry not found")
+	// ErrLeaseHeld reports a Claim on a key whose lease is live in another
+	// owner; the caller should wait for the entry to appear or for the
+	// lease to expire.
+	ErrLeaseHeld = errors.New("store: lease held by another owner")
+)
+
+// Store is a persistent content-addressed artifact store shared by every
+// replica of a fleet.
+type Store interface {
+	// Get returns the payload stored under key, or ErrNotFound. Damaged or
+	// version-incompatible entries are misses, not errors.
+	Get(key string) ([]byte, error)
+	// Put durably publishes payload under key. Concurrent writers of one
+	// key are safe; last writer wins atomically (readers never observe a
+	// partial entry).
+	Put(key string, payload []byte) error
+	// Claim takes the cross-replica single-flight lease on key: the caller
+	// becomes the fleet-wide solver for that key until it calls Release or
+	// crashes (the lease then expires after its TTL despite heartbeats
+	// having kept it alive while the owner lived). A live lease held
+	// elsewhere returns ErrLeaseHeld.
+	Claim(key, owner string) (Lease, error)
+	// Close releases backend resources. The store must not be used after.
+	Close() error
+}
+
+// Lease is a held single-flight claim. The implementation heartbeats it in
+// the background so it only expires when the owner actually died.
+type Lease interface {
+	// Release ends the claim and stops the heartbeat. Idempotent.
+	Release()
+}
+
+// DefaultLeaseTTL is the lease expiry horizon: a crashed claimant's key
+// becomes stealable after this long without a heartbeat. Heartbeats refresh
+// the lease every TTL/3, so a live owner never expires.
+const DefaultLeaseTTL = 10 * time.Second

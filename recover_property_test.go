@@ -70,7 +70,7 @@ func TestPropertyFaultRecovery(t *testing.T) {
 	if !testing.Short() && len(cases) < 50 {
 		t.Fatalf("sweep covers %d assays, want >= 50", len(cases))
 	}
-	s := New(Config{QueueDepth: 2 * len(cases)})
+	s, _ := New(Config{QueueDepth: 2 * len(cases)})
 	defer s.Close()
 	ctx := context.Background()
 
@@ -149,7 +149,7 @@ func TestPropertyFaultRecovery(t *testing.T) {
 // TestSolverRecoverPublicAPI exercises the session recovery surface end to
 // end: ticket lifecycle, progress stream, validation errors.
 func TestSolverRecoverPublicAPI(t *testing.T) {
-	s := New(Config{Workers: 2})
+	s, _ := New(Config{Workers: 2})
 	defer s.Close()
 	assay, opts, err := Benchmark("CPA")
 	if err != nil {

@@ -16,6 +16,16 @@ type Job struct {
 	Assay *Assay
 	// Options configures the synthesis flow for this job.
 	Options Options
+	// Tenant attributes the job to a client for admission quotas and
+	// accounting (Config.TenantQueueDepth); empty means the anonymous
+	// default tenant.
+	Tenant string
+	// Priority orders admission: higher classes are served first, equal
+	// classes by earliest Deadline, then FIFO. 0 is the normal class.
+	Priority int
+	// Deadline, if set, orders the job within its priority class and evicts
+	// it with ErrJobExpired if still queued when the deadline passes.
+	Deadline time.Time
 }
 
 // JobResult pairs one batch job with its outcome. Exactly one of Result and
@@ -75,7 +85,10 @@ func SynthesizeBatch(ctx context.Context, jobs []Job, opts BatchOptions) ([]JobR
 		return results, ctx.Err()
 	}
 
-	s := New(Config{Workers: workers, QueueDepth: len(jobs)})
+	s, err := New(Config{Workers: workers, QueueDepth: len(jobs)})
+	if err != nil {
+		return nil, err
+	}
 	defer s.Close()
 
 	tickets := make([]*Ticket, len(jobs))
@@ -186,7 +199,10 @@ func ExploreGrids(ctx context.Context, a *Assay, opts Options, r GridRange) ([]G
 	if n := r.MaxSize - r.MinSize + 1; workers > n {
 		workers = n
 	}
-	s := New(Config{Workers: workers, QueueDepth: r.MaxSize - r.MinSize + 1})
+	s, err := New(Config{Workers: workers, QueueDepth: r.MaxSize - r.MinSize + 1})
+	if err != nil {
+		return nil, err
+	}
 	defer s.Close()
 	return s.ExploreGrids(ctx, a, opts, r)
 }

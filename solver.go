@@ -8,6 +8,7 @@ import (
 
 	"flowsyn/internal/core"
 	"flowsyn/internal/service"
+	"flowsyn/internal/store"
 )
 
 // Config sizes a Solver session created by New.
@@ -19,8 +20,24 @@ type Config struct {
 	// beyond it. 0 selects 256.
 	QueueDepth int
 	// CacheEntries bounds the content-addressed result and schedule caches
-	// (each). 0 selects 512; negative disables caching.
+	// (each). 0 selects 512; negative disables caching (including the
+	// persistent store tier).
 	CacheEntries int
+	// StoreDir, if non-empty, opens a persistent disk store rooted there and
+	// write-through-backs the schedule cache with it: restarts start warm,
+	// and N replicas sharing the directory perform each cold solve exactly
+	// once fleet-wide (cross-replica single-flight leases).
+	StoreDir string
+	// LeaseTTL is the cross-replica single-flight lease expiry horizon (a
+	// crashed replica's claim becomes stealable after this long); 0 selects
+	// the store default (10s). Ignored without StoreDir.
+	LeaseTTL time.Duration
+	// JobTTL evicts jobs still queued after this long (they fail with
+	// ErrJobExpired). 0 disables queue-age eviction.
+	JobTTL time.Duration
+	// TenantQueueDepth caps the queued jobs of any single tenant; Submit
+	// returns ErrTenantQuota beyond it. 0 disables per-tenant quotas.
+	TenantQueueDepth int
 }
 
 // Sentinel errors of the session API. Compare with errors.Is.
@@ -30,6 +47,12 @@ var (
 	// ErrQueueFull reports that the bounded submit queue is at capacity;
 	// back off and retry.
 	ErrQueueFull = service.ErrQueueFull
+	// ErrTenantQuota reports that the submitting tenant is at its queued-job
+	// quota (Config.TenantQueueDepth); other tenants are unaffected.
+	ErrTenantQuota = service.ErrTenantQuota
+	// ErrJobExpired reports a queued job evicted before running: it outlived
+	// Config.JobTTL, or its deadline passed while it waited.
+	ErrJobExpired = service.ErrExpired
 	// ErrJobPending reports a Ticket.Result call before the job finished.
 	ErrJobPending = service.ErrPending
 )
@@ -48,12 +71,25 @@ type Solver struct {
 }
 
 // New starts a solver session. Close it when done to drain the worker pool.
-func New(cfg Config) *Solver {
+// It fails only when Config.StoreDir names a persistent store that cannot be
+// opened.
+func New(cfg Config) (*Solver, error) {
+	var st store.Store
+	if cfg.StoreDir != "" {
+		disk, err := store.OpenDisk(cfg.StoreDir, store.DiskOptions{LeaseTTL: cfg.LeaseTTL})
+		if err != nil {
+			return nil, err
+		}
+		st = disk
+	}
 	return &Solver{inner: service.New(service.Config{
 		Workers:      cfg.Workers,
 		QueueDepth:   cfg.QueueDepth,
 		CacheEntries: cfg.CacheEntries,
-	})}
+		Store:        st,
+		JobTTL:       cfg.JobTTL,
+		TenantQueue:  cfg.TenantQueueDepth,
+	})}, nil
 }
 
 // Submit validates and enqueues a synthesis job, returning its Ticket
@@ -68,9 +104,12 @@ func (s *Solver) Submit(ctx context.Context, job Job) (*Ticket, error) {
 		return nil, err
 	}
 	inner, err := s.inner.Submit(ctx, service.Job{
-		Name:    job.Name,
-		Graph:   job.Assay.g,
-		Options: job.Options.internal(),
+		Name:     job.Name,
+		Graph:    job.Assay.g,
+		Options:  job.Options.internal(),
+		Tenant:   job.Tenant,
+		Priority: job.Priority,
+		Deadline: job.Deadline,
 	})
 	if err != nil {
 		return nil, err
@@ -100,19 +139,34 @@ func (s *Solver) Resynthesize(ctx context.Context, prior *Ticket, edited *Assay)
 // Stats returns a snapshot of the session counters.
 func (s *Solver) Stats() Stats {
 	st := s.inner.Stats()
-	return Stats{
+	out := Stats{
 		Submitted:         st.Submitted,
 		Completed:         st.Completed,
 		Failed:            st.Failed,
+		Expired:           st.Expired,
 		ResultCacheHits:   st.ResultHits,
 		ResultCacheMisses: st.ResultMisses,
 		ScheduleCacheHits: st.ScheduleHits,
 		ScheduleSolves:    st.ScheduleSolves,
+		StoreHits:         st.StoreHits,
+		StorePuts:         st.StorePuts,
+		StoreErrors:       st.StoreErrors,
+		LeaseWaits:        st.LeaseWaits,
+		LeaseWaitTotal:    st.LeaseWaitTotal,
 		Coalesced:         st.Coalesced,
 		InFlight:          st.InFlight,
 		Queued:            st.Queued,
 		EventsDropped:     st.EventsDropped,
+		ColdWall:          Histogram(st.ColdWall),
+		WarmWall:          Histogram(st.WarmWall),
 	}
+	if len(st.Tenants) > 0 {
+		out.Tenants = make(map[string]TenantStats, len(st.Tenants))
+		for name, ts := range st.Tenants {
+			out.Tenants[name] = TenantStats(ts)
+		}
+	}
+	return out
 }
 
 // Close stops accepting jobs, drains the queue (queued jobs still complete
@@ -122,16 +176,26 @@ func (s *Solver) Close() error { return s.inner.Close() }
 
 // Stats is a snapshot of a Solver session's counters.
 type Stats struct {
-	// Submitted, Completed and Failed count jobs over the session lifetime.
-	Submitted, Completed, Failed int64
+	// Submitted, Completed and Failed count jobs over the session lifetime;
+	// Expired counts jobs evicted from the queue (JobTTL or deadline), a
+	// subset of Failed.
+	Submitted, Completed, Failed, Expired int64
 	// ResultCacheHits and ResultCacheMisses count full-result cache
 	// lookups; a hit serves the finished chip without running any stage.
 	ResultCacheHits, ResultCacheMisses int64
 	// ScheduleCacheHits counts jobs that reused a cached schedule (only the
 	// architectural and physical stages ran); ScheduleSolves counts
 	// scheduling solves that actually executed — the full solves a grid
-	// exploration avoids.
+	// exploration avoids and a fleet performs exactly once per unique key.
 	ScheduleCacheHits, ScheduleSolves int64
+	// StoreHits counts schedules loaded from the persistent store tier;
+	// StorePuts write-throughs; StoreErrors failed store operations (each
+	// degrades to a local solve, never a job failure).
+	StoreHits, StorePuts, StoreErrors int64
+	// LeaseWaits counts jobs that waited on another replica's single-flight
+	// lease; LeaseWaitTotal accumulates that waiting time.
+	LeaseWaits     int64
+	LeaseWaitTotal time.Duration
 	// Coalesced counts jobs served by waiting on an identical in-flight
 	// solve instead of starting their own.
 	Coalesced int64
@@ -139,7 +203,25 @@ type Stats struct {
 	InFlight, Queued int
 	// EventsDropped counts progress events discarded past slow subscribers.
 	EventsDropped int64
+	// ColdWall observes the wall time of jobs that ran a scheduling engine;
+	// WarmWall of jobs served from any warm tier (result cache, schedule
+	// cache, persistent store, coalesced flight).
+	ColdWall, WarmWall Histogram
+	// Tenants snapshots per-tenant admission counters, keyed by tenant name
+	// ("" is the anonymous default tenant). Nil before the first submit.
+	Tenants map[string]TenantStats
 }
+
+// WallBucketsMS are the Histogram bucket upper bounds in milliseconds; the
+// last Counts slot is the overflow bucket.
+var WallBucketsMS = service.WallBucketsMS
+
+// Histogram is a fixed-bucket solve-wall latency histogram (bounds
+// WallBucketsMS plus overflow).
+type Histogram service.Histogram
+
+// TenantStats counts one tenant's admission outcomes.
+type TenantStats service.TenantStats
 
 // Progress event kinds, in the order they can occur in a stream.
 const (
@@ -150,6 +232,9 @@ const (
 	// ProgressCacheHit is emitted when the finished result is served from
 	// the result cache or a coalesced identical in-flight solve.
 	ProgressCacheHit = service.EventCacheHit
+	// ProgressStoreHit is emitted when the schedule is loaded from the
+	// fleet's persistent store instead of being solved by this replica.
+	ProgressStoreHit = service.EventStoreHit
 	// ProgressStageStart and ProgressStageEnd bracket each pipeline stage
 	// (StageSchedule, StageBind, StageArch, StagePhys, StageVerify).
 	ProgressStageStart = service.EventStageStart
@@ -199,8 +284,12 @@ type JobStats struct {
 	QueueWait, Runtime time.Duration
 	// CacheHit reports the complete result came from the result cache;
 	// ScheduleCacheHit that only the schedule was reused; Coalesced that
-	// the job waited on an identical in-flight solve.
-	CacheHit, ScheduleCacheHit, Coalesced bool
+	// the job waited on an identical in-flight solve; StoreHit that the
+	// schedule came from the fleet's persistent store.
+	CacheHit, ScheduleCacheHit, Coalesced, StoreHit bool
+	// LeaseWait is the time spent waiting on another replica's cross-fleet
+	// single-flight lease.
+	LeaseWait time.Duration
 	// Events counts emitted progress events; DroppedEvents those lost past
 	// a slow subscriber.
 	Events, DroppedEvents int
@@ -308,6 +397,8 @@ func jobStatsFrom(m core.ServiceMetrics) JobStats {
 		CacheHit:         m.CacheHit,
 		ScheduleCacheHit: m.ScheduleCacheHit,
 		Coalesced:        m.Coalesced,
+		StoreHit:         m.StoreHit,
+		LeaseWait:        m.LeaseWait,
 		Events:           m.Events,
 		DroppedEvents:    m.Dropped,
 		ReusedOps:        m.ReusedOps,

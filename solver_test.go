@@ -15,7 +15,7 @@ func TestSolverSessionPublicAPI(t *testing.T) {
 	}
 	opts.Engine = HeuristicEngine
 
-	s := New(Config{Workers: 2})
+	s, _ := New(Config{Workers: 2})
 	defer s.Close()
 
 	tk, err := s.Submit(context.Background(), Job{Assay: a, Options: opts})
@@ -153,7 +153,7 @@ func TestExploreGridsUsesScheduleCache(t *testing.T) {
 	}
 	opts.Engine = HeuristicEngine
 
-	s := New(Config{Workers: 4})
+	s, _ := New(Config{Workers: 4})
 	defer s.Close()
 	sweep, err := s.ExploreGrids(context.Background(), a, opts, GridRange{MinSize: 4, MaxSize: 8})
 	if err != nil {
@@ -193,7 +193,7 @@ func TestResynthesizePublic(t *testing.T) {
 	}
 	opts.Engine = HeuristicEngine
 
-	s := New(Config{Workers: 1})
+	s, _ := New(Config{Workers: 1})
 	defer s.Close()
 	prior, err := s.Submit(context.Background(), Job{Assay: a, Options: opts})
 	if err != nil {
@@ -292,7 +292,7 @@ func TestSolverClosedAndSentinels(t *testing.T) {
 		t.Fatal(err)
 	}
 	opts.Engine = HeuristicEngine
-	s := New(Config{Workers: 1})
+	s, _ := New(Config{Workers: 1})
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -300,7 +300,7 @@ func TestSolverClosedAndSentinels(t *testing.T) {
 		t.Errorf("submit after close: %v, want ErrSolverClosed", err)
 	}
 
-	s2 := New(Config{Workers: 1})
+	s2, _ := New(Config{Workers: 1})
 	defer s2.Close()
 	tk, err := s2.Submit(context.Background(), Job{Assay: a, Options: opts})
 	if err != nil {

@@ -155,7 +155,8 @@ func SynthesizeContext(ctx context.Context, a *Assay, opts Options) (*Result, er
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-	s := New(Config{Workers: 1, QueueDepth: 1, CacheEntries: -1})
+	// New cannot fail without a StoreDir.
+	s, _ := New(Config{Workers: 1, QueueDepth: 1, CacheEntries: -1})
 	defer s.Close()
 	t, err := s.Submit(ctx, Job{Assay: a, Options: opts})
 	if err != nil {

@@ -82,7 +82,7 @@ func FuzzRecoverVerify(f *testing.F) {
 		devices = 1 + mod(devices, 4)
 		grid = 4 + mod(grid, 3)
 
-		s := New(Config{Workers: 1, QueueDepth: 2, CacheEntries: -1})
+		s, _ := New(Config{Workers: 1, QueueDepth: 2, CacheEntries: -1})
 		defer s.Close()
 		prior, err := s.Submit(context.Background(), Job{
 			Assay: RandomAssay(n, width, seed),
