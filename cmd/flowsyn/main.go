@@ -45,6 +45,9 @@ func main() {
 		snapDir   = flag.String("snapshot-dir", "", "write SVG snapshots of interesting execution moments to this directory")
 		layoutSVG = flag.String("layout-svg", "", "write the compressed physical layout to this SVG file")
 		compare   = flag.Bool("compare-dedicated", false, "also report the dedicated-storage baseline (Fig. 10)")
+		storageF  = flag.String("storage", "distributed", "storage strategy: distributed (paper), dedicated (single unit behind a serialized port) or hybrid (bounded channel cache in front of the unit)")
+		cacheSlot = flag.Int("cache-slots", 0, "hybrid cache slots (0 selects the default 2)")
+		eviction  = flag.String("eviction", "lru", "hybrid cache eviction policy: lru or earliest-next-fetch")
 		doVerify  = flag.Bool("verify", false, "re-check the result with the independent invariant checker")
 		progress  = flag.Bool("progress", false, "print live pipeline progress (stages, solver incumbents) while synthesizing")
 		faultSpec = flag.String("fault", "", "inject a mid-execution fault and recover the suffix online, as kind:index@time (device:1@130, channel:5@40, storage:5@40); renders show the recovered plan")
@@ -95,6 +98,13 @@ func main() {
 	if *timeOnly {
 		opts.Objective = flowsyn.MinimizeTimeOnly
 	}
+	policy, err := flowsyn.ParseStoragePolicy(*storageF)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts.Storage = policy
+	opts.CacheSlots = *cacheSlot
+	opts.Eviction = *eviction
 	opts.Verify = *doVerify
 
 	// An interrupt cancels the synthesis cleanly: the pipeline observes the
@@ -141,6 +151,10 @@ func main() {
 	fmt.Printf("%s: %s\n", a.Name(), res.Summary())
 	fmt.Printf("stores=%d peak-capacity=%d channel-utilization=%.1f%%\n",
 		res.StoreCount(), res.StorageCapacity(), 100*res.ChannelUtilization())
+	if res.StoragePolicy() != flowsyn.DistributedStorage {
+		fmt.Printf("storage: %s | %d unit stores, %d cells, %d unit valves, %d s port queue delay\n",
+			res.StoragePolicy(), res.UnitStoreCount(), res.UnitCells(), res.UnitValves(), res.UnitQueueDelay())
+	}
 	if sv := res.SolverStats(); sv != nil {
 		fmt.Printf("solver: %s in %v | model %dv/%dc | %d nodes, %d pivots, warm-start %.0f%%, gap %s | presolve -%d cols -%d rows\n",
 			sv.Status, sv.Runtime.Round(time.Millisecond),

@@ -189,6 +189,9 @@ type jobOptions struct {
 	ILPTimeLimitMS *int64 `json:"ilp_time_limit_ms,omitempty"`
 	ModelIO        *bool  `json:"model_io,omitempty"`
 	Verify         *bool  `json:"verify,omitempty"`
+	Storage        string `json:"storage,omitempty"`     // "distributed" (default) | "dedicated" | "hybrid"
+	CacheSlots     *int   `json:"cache_slots,omitempty"` // hybrid channel-cache slots (0 = default)
+	Eviction       string `json:"eviction,omitempty"`    // hybrid eviction: "lru" | "earliest-next-fetch"
 }
 
 func (o *jobOptions) apply(base flowsyn.Options) (flowsyn.Options, error) {
@@ -231,6 +234,19 @@ func (o *jobOptions) apply(base flowsyn.Options) (flowsyn.Options, error) {
 	}
 	if o.Verify != nil {
 		base.Verify = *o.Verify
+	}
+	if o.Storage != "" {
+		pol, err := flowsyn.ParseStoragePolicy(o.Storage)
+		if err != nil {
+			return base, err
+		}
+		base.Storage = pol
+	}
+	if o.CacheSlots != nil {
+		base.CacheSlots = *o.CacheSlots
+	}
+	if o.Eviction != "" {
+		base.Eviction = o.Eviction
 	}
 	return base, nil
 }
@@ -516,6 +532,15 @@ func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
 		"dimensions":       map[string]string{"after_synthesis": dr, "after_devices": de, "compressed": dp},
 		"verified":         res.Verified(),
 		"stats":            jobStatsJSON(rec.ticket.Stats()),
+	}
+	if pol := res.StoragePolicy(); pol != flowsyn.DistributedStorage {
+		doc["storage"] = map[string]any{
+			"strategy":           pol.String(),
+			"unit_stores":        res.UnitStoreCount(),
+			"unit_cells":         res.UnitCells(),
+			"unit_valves":        res.UnitValves(),
+			"port_queue_delay_s": res.UnitQueueDelay(),
+		}
 	}
 	if rs := res.Recovery(); rs != nil {
 		doc["recovery"] = map[string]any{

@@ -79,6 +79,35 @@ type benchSolver struct {
 	SeparationWallMS  float64 `json:"separation_wall_ms"`
 }
 
+// benchStrategyRun is one cell of the storage-strategy head-to-head matrix:
+// the benchmark synthesized from scratch under one storage strategy (the
+// Fig. 10 comparison done by synthesis, not by re-timing the distributed
+// schedule). Every cell runs with verification forced on; Verified echoes the
+// checker's confirmation so the artifact is self-certifying.
+type benchStrategyRun struct {
+	Assay    string `json:"assay"`
+	Strategy string `json:"strategy"`
+	Engine   string `json:"engine"`
+
+	Makespan int `json:"makespan"`
+	// StorageTime is the total channel-storage time Σu_c the schedule pays
+	// (the paper's storage term of objective (6)).
+	StorageTime int `json:"storage_time"`
+	Stores      int `json:"stores"`
+	// UnitStores counts the stores routed through the dedicated unit;
+	// QueueDelay is the port-contention wait those stores accumulated.
+	UnitStores int `json:"unit_stores"`
+	QueueDelay int `json:"queue_delay"`
+
+	Segments   int `json:"segments"`
+	Valves     int `json:"valves"`
+	UnitCells  int `json:"unit_cells"`
+	UnitValves int `json:"unit_valves"`
+
+	WallMS   float64 `json:"wall_ms"`
+	Verified bool    `json:"verified"`
+}
+
 // benchGapRun is one instance of the seeded random-DAG gap suite: a synthetic
 // assay DAG scheduled by the exact engine under the default benchmark time
 // limit. The suite tracks how often the cut-and-branch engine closes the
@@ -182,6 +211,7 @@ type benchFile struct {
 	GOMAXPROCS   int                `json:"gomaxprocs"`
 	Notes        string             `json:"notes,omitempty"`
 	Runs         []benchRun         `json:"runs"`
+	StrategyRuns []benchStrategyRun `json:"strategy_runs,omitempty"`
 	CacheRuns    []benchCacheRun    `json:"cache_runs,omitempty"`
 	GapRuns      []benchGapRun      `json:"gap_runs,omitempty"`
 	RecoveryRuns []benchRecoveryRun `json:"recovery_runs,omitempty"`
@@ -189,8 +219,9 @@ type benchFile struct {
 }
 
 // runBenchJSON synthesizes every requested assay once per engine, collecting
-// wall-clock and solver statistics, and writes the JSON artifact.
-func runBenchJSON(ctx context.Context, path, assays, notes string) error {
+// wall-clock and solver statistics, and writes the JSON artifact. strategies,
+// when non-empty, additionally emits the storage-strategy head-to-head matrix.
+func runBenchJSON(ctx context.Context, path, assays, notes, strategies string) error {
 	names := flowsyn.BenchmarkNames()
 	if assays != "" {
 		names = nil
@@ -279,6 +310,13 @@ func runBenchJSON(ctx context.Context, path, assays, notes string) error {
 			out.Runs = append(out.Runs, run)
 		}
 	}
+	if strategies != "" {
+		sr, err := runStrategyMatrix(ctx, names, strategies)
+		if err != nil {
+			return err
+		}
+		out.StrategyRuns = sr
+	}
 	for _, name := range names {
 		if ctx.Err() != nil {
 			return ctx.Err()
@@ -316,6 +354,66 @@ func runBenchJSON(ctx context.Context, path, assays, notes string) error {
 	}
 	fmt.Printf("wrote %d benchmark runs to %s\n", len(out.Runs), path)
 	return nil
+}
+
+// runStrategyMatrix synthesizes each benchmark from scratch under every
+// requested storage strategy — the Fig. 10 head-to-head by synthesis, not
+// re-timing. Every cell runs the deterministic heuristic engine (so the
+// checked-in artifact is byte-stable) with verification forced on: a cell
+// whose strategy-aware invariants fail aborts the emission.
+func runStrategyMatrix(ctx context.Context, names []string, strategies string) ([]benchStrategyRun, error) {
+	var policies []flowsyn.StoragePolicy
+	for _, s := range strings.Split(strategies, ",") {
+		if s = strings.TrimSpace(s); s == "" {
+			continue
+		}
+		pol, err := flowsyn.ParseStoragePolicy(s)
+		if err != nil {
+			return nil, fmt.Errorf("-strategies: %w", err)
+		}
+		policies = append(policies, pol)
+	}
+	if len(policies) == 0 {
+		return nil, fmt.Errorf("-strategies: no strategies given")
+	}
+	var runs []benchStrategyRun
+	for _, name := range names {
+		for _, pol := range policies {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			a, opts, err := flowsyn.Benchmark(name)
+			if err != nil {
+				return nil, err
+			}
+			opts.Engine = flowsyn.HeuristicEngine
+			opts.Storage = pol
+			opts.Verify = true
+			start := time.Now()
+			res, err := flowsyn.SynthesizeContext(ctx, a, opts)
+			wall := time.Since(start)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", name, pol, err)
+			}
+			runs = append(runs, benchStrategyRun{
+				Assay:       name,
+				Strategy:    pol.String(),
+				Engine:      "heuristic",
+				Makespan:    res.Makespan(),
+				StorageTime: res.StorageCapacity(),
+				Stores:      res.StoreCount(),
+				UnitStores:  res.UnitStoreCount(),
+				QueueDelay:  res.UnitQueueDelay(),
+				Segments:    res.ChannelSegments(),
+				Valves:      res.Valves(),
+				UnitCells:   res.UnitCells(),
+				UnitValves:  res.UnitValves(),
+				WallMS:      float64(wall.Microseconds()) / 1e3,
+				Verified:    res.Verified(),
+			})
+		}
+	}
+	return runs, nil
 }
 
 // runCacheBench measures the session Solver's caches on one benchmark: a
@@ -623,8 +721,29 @@ func checkBenchRegression(freshPath, baselinePath string) error {
 		}
 	}
 
-	cacheChecked, recoveryChecked, loadChecked, selfFailures := selfRelativeGates(fresh)
+	cacheChecked, recoveryChecked, loadChecked, strategyChecked, selfFailures := selfRelativeGates(fresh)
 	failures = append(failures, selfFailures...)
+	// Strategy-matrix baseline gate: the matrix runs the deterministic
+	// heuristic engine, so any makespan drift against a baseline that carries
+	// the same (assay, strategy) cell is a real behavior change.
+	freshStrats := make(map[[2]string]*benchStrategyRun, len(fresh.StrategyRuns))
+	for i := range fresh.StrategyRuns {
+		r := &fresh.StrategyRuns[i]
+		freshStrats[[2]string{r.Assay, r.Strategy}] = r
+	}
+	for i := range base.StrategyRuns {
+		b := &base.StrategyRuns[i]
+		f, ok := freshStrats[[2]string{b.Assay, b.Strategy}]
+		if !ok {
+			continue
+		}
+		strategyChecked++
+		if f.Makespan != b.Makespan {
+			failures = append(failures, fmt.Sprintf(
+				"%s/%s: deterministic strategy makespan changed %d -> %d",
+				b.Assay, b.Strategy, b.Makespan, f.Makespan))
+		}
+	}
 	if len(failures) > 0 {
 		for _, f := range failures {
 			fmt.Fprintln(os.Stderr, "bench-regression: "+f)
@@ -640,8 +759,8 @@ func checkBenchRegression(freshPath, baselinePath string) error {
 		// otherwise keep CI green while checking nothing at all.
 		return fmt.Errorf("no fresh run matched any baseline run in %s; the regression gate checked nothing", baselinePath)
 	}
-	fmt.Printf("bench-regression: %d runs + %d cache runs + %d gap runs + %d recovery runs + %d load runs checked against %s, no regressions\n",
-		checked, cacheChecked, gapChecked, recoveryChecked, loadChecked, baselinePath)
+	fmt.Printf("bench-regression: %d runs + %d cache runs + %d gap runs + %d recovery runs + %d load runs + %d strategy runs checked against %s, no regressions\n",
+		checked, cacheChecked, gapChecked, recoveryChecked, loadChecked, strategyChecked, baselinePath)
 	return nil
 }
 
@@ -650,7 +769,40 @@ func checkBenchRegression(freshPath, baselinePath string) error {
 // emission (cached vs cold, recovery vs cold restart, warm vs cold fleet
 // percentiles), so they bind on any machine regardless of what hardware
 // recorded the checked-in baseline.
-func selfRelativeGates(fresh *benchFile) (cacheChecked, recoveryChecked, loadChecked int, failures []string) {
+func selfRelativeGates(fresh *benchFile) (cacheChecked, recoveryChecked, loadChecked, strategyChecked int, failures []string) {
+	// The strategy-matrix gate restates the paper's thesis as an invariant:
+	// synthesized under the same engine, distributed channel storage must
+	// never lose to the dedicated storage unit on a benchmark assay (the unit
+	// only adds port serialization and transport legs). Every cell must also
+	// carry the verifier's confirmation — an unverified cell means the
+	// emission lost its strategy-aware invariant checking.
+	dist := make(map[string]*benchStrategyRun)
+	ded := make(map[string]*benchStrategyRun)
+	for i := range fresh.StrategyRuns {
+		sr := &fresh.StrategyRuns[i]
+		strategyChecked++
+		if !sr.Verified {
+			failures = append(failures, fmt.Sprintf(
+				"%s/%s: strategy run not verified", sr.Assay, sr.Strategy))
+		}
+		switch sr.Strategy {
+		case "distributed":
+			dist[sr.Assay] = sr
+		case "dedicated":
+			ded[sr.Assay] = sr
+		}
+	}
+	for assay, d := range dist {
+		u, ok := ded[assay]
+		if !ok {
+			continue
+		}
+		if d.Makespan > u.Makespan {
+			failures = append(failures, fmt.Sprintf(
+				"%s/strategy: distributed makespan %d lost to dedicated %d (paper's Fig. 10 inverted)",
+				assay, d.Makespan, u.Makespan))
+		}
+	}
 	for i := range fresh.CacheRuns {
 		cr := &fresh.CacheRuns[i]
 		cacheChecked++
@@ -713,7 +865,7 @@ func selfRelativeGates(fresh *benchFile) (cacheChecked, recoveryChecked, loadChe
 				lr.Benchmark, lr.CachedP50MS, lr.ColdP50MS))
 		}
 	}
-	return cacheChecked, recoveryChecked, loadChecked, failures
+	return cacheChecked, recoveryChecked, loadChecked, strategyChecked, failures
 }
 
 // checkBenchFile runs only the self-relative gates on an existing artifact
@@ -728,17 +880,17 @@ func checkBenchFile(path string) error {
 	if err := json.Unmarshal(data, &f); err != nil {
 		return fmt.Errorf("%s: %w", path, err)
 	}
-	cacheChecked, recoveryChecked, loadChecked, failures := selfRelativeGates(&f)
+	cacheChecked, recoveryChecked, loadChecked, strategyChecked, failures := selfRelativeGates(&f)
 	if len(failures) > 0 {
 		for _, msg := range failures {
 			fmt.Fprintln(os.Stderr, "bench-check: "+msg)
 		}
 		return fmt.Errorf("%d failure(s) in %s", len(failures), path)
 	}
-	if cacheChecked+recoveryChecked+loadChecked == 0 {
-		return fmt.Errorf("%s carries no cache, recovery or load runs; the gate checked nothing", path)
+	if cacheChecked+recoveryChecked+loadChecked+strategyChecked == 0 {
+		return fmt.Errorf("%s carries no cache, recovery, load or strategy runs; the gate checked nothing", path)
 	}
-	fmt.Printf("bench-check: %d cache runs + %d recovery runs + %d load runs checked in %s, no failures\n",
-		cacheChecked, recoveryChecked, loadChecked, path)
+	fmt.Printf("bench-check: %d cache runs + %d recovery runs + %d load runs + %d strategy runs checked in %s, no failures\n",
+		cacheChecked, recoveryChecked, loadChecked, strategyChecked, path)
 	return nil
 }

@@ -54,6 +54,7 @@ func run() int {
 		benchJSON     = flag.String("bench-json", "", "write machine-readable per-assay per-engine benchmark results (wall-clock, solver nodes/iterations, makespan) to this JSON file")
 		benchAssays   = flag.String("bench-assays", "", "comma-separated assay subset for -bench-json (default: all benchmarks)")
 		benchNotes    = flag.String("bench-notes", "", "free-form note embedded in the -bench-json output")
+		strategies    = flag.String("strategies", "", "comma-separated storage strategies (distributed,dedicated,hybrid) to synthesize head-to-head into the -bench-json strategy_runs matrix; every cell is verified")
 		benchBaseline = flag.String("bench-baseline", "", "compare the fresh -bench-json emission against this baseline file and exit nonzero on a perf or makespan regression")
 		benchCheck    = flag.String("bench-check", "", "run only the self-relative gates (cache, recovery, fleet load) on this existing artifact and exit nonzero on failure; no fresh emission")
 		cpuProfile    = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (inspect with go tool pprof)")
@@ -112,7 +113,7 @@ func run() int {
 	// lands, instead of spraying per-assay cancellation errors for every
 	// remaining figure.
 	if *benchJSON != "" {
-		if err := runBenchJSON(ctx, *benchJSON, *benchAssays, *benchNotes); err != nil {
+		if err := runBenchJSON(ctx, *benchJSON, *benchAssays, *benchNotes, *strategies); err != nil {
 			fmt.Fprintf(os.Stderr, "bench-json: %v\n", err)
 			if ctx.Err() == nil {
 				return 1

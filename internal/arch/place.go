@@ -77,6 +77,46 @@ func candidateNodes(g Grid) []NodeID {
 	return nodes
 }
 
+// PlaceUnit chooses a grid node for the dedicated storage unit given the
+// already-placed devices (and ports). Every store and fetch travels between a
+// device and the unit, so the unit takes the free node minimizing its total
+// Manhattan distance to the devices — with the same adjacency and corner
+// penalties as device placement, since a unit glued onto a device port would
+// monopolize one of the device's few access channels. Deterministic: ties
+// break by the candidate order (central, switch-parity-first).
+func PlaceUnit(g Grid, placed []NodeID) (NodeID, error) {
+	taken := make(map[NodeID]bool, len(placed))
+	for _, p := range placed {
+		taken[p] = true
+	}
+	const adjacencyPenalty = 100000
+	const cornerPenalty = 50000
+	best, bestCost := NodeID(-1), 1<<30
+	for _, site := range candidateNodes(g) {
+		if taken[site] {
+			continue
+		}
+		c := 0
+		if len(g.Neighbors(site, nil)) < 3 {
+			c += cornerPenalty
+		}
+		for _, p := range placed {
+			d := g.Manhattan(site, p)
+			c += d
+			if d == 1 {
+				c += adjacencyPenalty
+			}
+		}
+		if c < bestCost {
+			best, bestCost = site, c
+		}
+	}
+	if best < 0 {
+		return -1, fmt.Errorf("arch: no free node left for the storage unit on %s grid", g)
+	}
+	return best, nil
+}
+
 // PlacePorts chooses grid nodes for the chip's input and output ports given
 // the already-placed devices. Ports sit on the boundary (fluids enter and
 // leave the chip there) on non-corner nodes (corners have only two incident

@@ -124,7 +124,11 @@ type router struct {
 	grid     Grid
 	occ      *occupancy
 	isDevice map[NodeID]bool
-	used     map[EdgeID]bool // edges already used at least once
+	// unit is the dedicated storage unit's node (-1 without one). It is
+	// device-like: registered in isDevice, so paths terminate at it but never
+	// pass through, and unit tasks route their store and fetch legs to/from it.
+	unit NodeID
+	used map[EdgeID]bool // edges already used at least once
 	// reuseCost/newCost price an edge traversal; newCost > reuseCost makes
 	// the router prefer already-used segments, minimizing the paper's
 	// objective (12) greedily.
@@ -172,6 +176,11 @@ func (r *router) applyReservations(id int, route Route) {
 	t := route.Task
 	if t.Kind == sched.Direct {
 		r.reservePath(id, route.OutNodes, route.OutEdges, interval{t.Depart, t.Arrive})
+	} else if t.Unit {
+		// The fluid waits in the unit, not on the grid: only the two transport
+		// legs occupy channel resources.
+		r.reservePath(id, route.OutNodes, route.OutEdges, interval{t.OutStart, t.OutEnd})
+		r.reservePath(id, route.FetchNodes, route.FetchEdges, interval{t.FetchStart, t.FetchEnd})
 	} else {
 		outW := interval{t.OutStart, t.OutEnd}
 		cacheW := interval{t.OutEnd, t.FetchStart}
@@ -424,10 +433,48 @@ func (r *router) routeStored(id int, t sched.Task, src, dst NodeID) (Route, erro
 		t.Edge, cacheW.Start, cacheW.End)
 }
 
+// routeUnit finds and reserves the two transport legs of a unit-stored task:
+// the store leg from the source device into the storage unit during
+// [OutStart, OutEnd), and the fetch leg from the unit to the destination
+// device during [FetchStart, FetchEnd). Between the two the fluid sits in a
+// unit cell, claiming no grid resource.
+func (r *router) routeUnit(id int, t sched.Task, src, dst NodeID) (Route, error) {
+	if r.unit < 0 {
+		return Route{}, fmt.Errorf("arch: unit task %v but no storage unit placed", t.Edge)
+	}
+	outW := interval{t.OutStart, t.OutEnd}
+	fetchW := interval{t.FetchStart, t.FetchEnd}
+	dOut, peOut, pnOut := r.shortestTree(src, outW, r.unit, -1)
+	if dOut[r.unit] >= unreachable {
+		return Route{}, fmt.Errorf("arch: no conflict-free store leg %v->unit %v during [%d,%d)",
+			src, r.unit, outW.Start, outW.End)
+	}
+	on, oe := walkBack(r.unit, peOut, pnOut)
+	dFetch, peFetch, pnFetch := r.shortestTree(r.unit, fetchW, dst, -1)
+	if dFetch[dst] >= unreachable {
+		return Route{}, fmt.Errorf("arch: no conflict-free fetch leg unit %v->%v during [%d,%d)",
+			r.unit, dst, fetchW.Start, fetchW.End)
+	}
+	fn, fe := walkBack(dst, peFetch, pnFetch)
+	route := Route{
+		Task:        t,
+		OutNodes:    on,
+		OutEdges:    oe,
+		StorageEdge: -1,
+		FetchNodes:  fn,
+		FetchEdges:  fe,
+	}
+	r.applyReservations(id, route)
+	return route, nil
+}
+
 // routeTask dispatches on the task kind.
 func (r *router) routeTask(id int, t sched.Task, src, dst NodeID) (Route, error) {
 	if t.Kind == sched.Direct {
 		return r.routeDirect(id, t, src, dst)
+	}
+	if t.Unit {
+		return r.routeUnit(id, t, src, dst)
 	}
 	return r.routeStored(id, t, src, dst)
 }
@@ -513,6 +560,12 @@ func (r *router) ripUpAndRetry(id int, t sched.Task, src, dst NodeID, routes []R
 	// segment (their previous one is banned so they cannot land back in t's
 	// way); direct transports take whatever conflict-free path remains.
 	rehome := func(j int, old Route) (Route, error) {
+		if old.Task.Unit {
+			// The unit node is fixed; re-homing just finds alternate legs.
+			vSrc := old.OutNodes[0]
+			vDst := old.FetchNodes[len(old.FetchNodes)-1]
+			return r.routeUnit(j, old.Task, vSrc, vDst)
+		}
 		if old.Task.Kind == sched.Stored {
 			r.bannedStorage = map[EdgeID]bool{old.StorageEdge: true}
 			vSrc, vDst := old.OutNodes[0], old.FetchNodes[len(old.FetchNodes)-1]

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"flowsyn/internal/dedicated"
 	"flowsyn/internal/sched"
 )
 
@@ -66,6 +67,19 @@ type Result struct {
 	// terminates at a switch (device-internal valves are not counted,
 	// matching the paper's accounting).
 	NumValves int
+	// StorageUnit is the grid node hosting the dedicated storage unit, or -1
+	// when the schedule stores nothing in a unit (distributed strategy, or a
+	// strategy schedule that never overflowed). The unit node is device-like:
+	// routes terminate at it but never pass through it, and its segment
+	// endpoints carry no counted network valve — the unit's own valve cost is
+	// reported separately in UnitValves.
+	StorageUnit NodeID
+	// UnitCells is the peak number of fluids resident in the unit at once
+	// (the cell count its multiplexer must address); zero without a unit.
+	UnitCells int
+	// UnitValves is the mux-tree valve cost of the unit itself (two log₂
+	// trees plus the port pair), reported separately from NumValves.
+	UnitValves int
 	// EdgeRatio and ValveRatio compare against the full connection grid
 	// (Fig. 8).
 	EdgeRatio, ValveRatio float64
@@ -82,14 +96,15 @@ func (r *Result) UsedEdgeSet() map[EdgeID]bool {
 	return set
 }
 
-// IsDeviceNode reports whether n hosts a device.
+// IsDeviceNode reports whether n hosts a device (or the dedicated storage
+// unit, which is device-like for routing and valve accounting).
 func (r *Result) IsDeviceNode(n NodeID) bool {
 	for _, p := range r.DevicePos {
 		if p == n {
 			return true
 		}
 	}
-	return false
+	return r.StorageUnit >= 0 && n == r.StorageUnit
 }
 
 // Switches returns the used grid nodes that act as switches (touched by at
@@ -139,9 +154,30 @@ func SynthesizeContext(ctx context.Context, s *sched.Schedule, grid Grid, opts O
 	}
 	tasks := expectedTasks(s, internalTasks, ports)
 
+	// A schedule that routed fluids through the dedicated unit (dedicated or
+	// hybrid storage strategy) needs a unit node on the chip; the need is
+	// derived from the tasks themselves, so no extra option exists to get out
+	// of sync with the schedule.
+	needUnit := false
+	for _, t := range tasks {
+		if t.Unit {
+			needUnit = true
+			break
+		}
+	}
+
 	pinnedByTask := make(map[sched.Task]Route, len(opts.PinnedRoutes))
 	for _, pr := range opts.PinnedRoutes {
 		pinnedByTask[pr.Task] = pr
+	}
+	// Pinned unit routes name the concrete unit node they already used; the
+	// re-synthesis must keep the unit there so history stays valid.
+	pinnedUnit := NodeID(-1)
+	for _, pr := range opts.PinnedRoutes {
+		if pr.Task.Unit && len(pr.OutNodes) > 0 {
+			pinnedUnit = pr.OutNodes[len(pr.OutNodes)-1]
+			break
+		}
 	}
 	if len(pinnedByTask) > 0 {
 		if opts.FixedPlacement == nil {
@@ -220,16 +256,33 @@ func SynthesizeContext(ctx context.Context, s *sched.Schedule, grid Grid, opts O
 	var (
 		routes   []Route
 		pos      []NodeID
+		unitNode NodeID
 		r        *router
 		lastErr  error
 		routedOK bool
 	)
 	for _, candidate := range placements {
 		pos = candidate
+		unitNode = -1
+		if needUnit {
+			if pinnedUnit >= 0 {
+				unitNode = pinnedUnit
+			} else {
+				un, err := PlaceUnit(grid, pos)
+				if err != nil {
+					if lastErr == nil {
+						lastErr = err
+					}
+					continue
+				}
+				unitNode = un
+			}
+		}
 		r = &router{
 			grid:      grid,
 			occ:       newOccupancy(),
-			isDevice:  make(map[NodeID]bool, len(pos)),
+			isDevice:  make(map[NodeID]bool, len(pos)+1),
+			unit:      unitNode,
 			used:      make(map[EdgeID]bool),
 			reuseCost: opts.ReuseCost,
 			newCost:   opts.NewCost,
@@ -239,6 +292,11 @@ func SynthesizeContext(ctx context.Context, s *sched.Schedule, grid Grid, opts O
 		}
 		for _, p := range pos {
 			r.isDevice[p] = true
+		}
+		if unitNode >= 0 {
+			// Device-like: routes terminate at the unit, never pass through it,
+			// and cached fluids cannot park on its access segments' node.
+			r.isDevice[unitNode] = true
 		}
 		routes = make([]Route, 0, len(tasks))
 		routedOK = true
@@ -280,11 +338,16 @@ func SynthesizeContext(ctx context.Context, s *sched.Schedule, grid Grid, opts O
 	}
 
 	res := &Result{
-		Grid:      grid,
-		DevicePos: pos,
-		Ports:     ports,
-		Routes:    routes,
-		Runtime:   time.Since(start),
+		Grid:        grid,
+		DevicePos:   pos,
+		Ports:       ports,
+		Routes:      routes,
+		StorageUnit: unitNode,
+		Runtime:     time.Since(start),
+	}
+	if unitNode >= 0 {
+		res.UnitCells = s.UnitCells()
+		res.UnitValves = dedicated.UnitValves(res.UnitCells)
 	}
 	// Used edges come from the final routes (rip-up may orphan edges the
 	// router touched transiently).
@@ -300,10 +363,15 @@ func SynthesizeContext(ctx context.Context, s *sched.Schedule, grid Grid, opts O
 	sort.Slice(res.UsedEdges, func(i, j int) bool { return res.UsedEdges[i] < res.UsedEdges[j] })
 	res.NumEdges = len(res.UsedEdges)
 	// Port endpoints carry valves (a port is a gated opening); only valves
-	// inside true devices are excluded from n_v, as in the paper.
-	trueDevices := make(map[NodeID]bool, s.Devices)
+	// inside true devices are excluded from n_v, as in the paper. The storage
+	// unit is device-like too: its internal mux valves are priced separately
+	// in UnitValves, not double-counted as network valves.
+	trueDevices := make(map[NodeID]bool, s.Devices+1)
 	for _, p := range pos[:s.Devices] {
 		trueDevices[p] = true
+	}
+	if unitNode >= 0 {
+		trueDevices[unitNode] = true
 	}
 	res.NumValves = countValves(grid, res.UsedEdges, trueDevices)
 
@@ -412,6 +480,48 @@ func (r *Result) Validate() error {
 			for _, n := range route.OutNodes {
 				if !r.IsDeviceNode(n) {
 					nodeClaims[n] = append(nodeClaims[n], claim{w, fmt.Sprintf("direct %d", i)})
+				}
+			}
+			continue
+		}
+		if t.Unit {
+			// A unit-stored fluid claims no channel segment while resident:
+			// the store leg ends at the unit node and the fetch leg departs
+			// from it, each occupying only its own transport window.
+			if route.StorageEdge != -1 {
+				return fmt.Errorf("arch: unit route %d carries a storage edge", i)
+			}
+			if r.StorageUnit < 0 {
+				return fmt.Errorf("arch: unit route %d but no storage unit placed", i)
+			}
+			if err := checkPath(route.OutNodes, route.OutEdges); err != nil {
+				return err
+			}
+			if err := checkPath(route.FetchNodes, route.FetchEdges); err != nil {
+				return err
+			}
+			if route.OutNodes[len(route.OutNodes)-1] != r.StorageUnit {
+				return fmt.Errorf("arch: unit route %d store leg does not reach the unit", i)
+			}
+			if route.FetchNodes[0] != r.StorageUnit {
+				return fmt.Errorf("arch: unit route %d fetch leg does not start at the unit", i)
+			}
+			outW := interval{t.OutStart, t.OutEnd}
+			fetchW := interval{t.FetchStart, t.FetchEnd}
+			for _, e := range route.OutEdges {
+				edgeClaims[e] = append(edgeClaims[e], claim{outW, fmt.Sprintf("out %d", i)})
+			}
+			for _, n := range route.OutNodes {
+				if !r.IsDeviceNode(n) {
+					nodeClaims[n] = append(nodeClaims[n], claim{outW, fmt.Sprintf("out %d", i)})
+				}
+			}
+			for _, e := range route.FetchEdges {
+				edgeClaims[e] = append(edgeClaims[e], claim{fetchW, fmt.Sprintf("fetch %d", i)})
+			}
+			for _, n := range route.FetchNodes {
+				if !r.IsDeviceNode(n) {
+					nodeClaims[n] = append(nodeClaims[n], claim{fetchW, fmt.Sprintf("fetch %d", i)})
 				}
 			}
 			continue

@@ -20,6 +20,7 @@ import (
 	"flowsyn/internal/sched"
 	"flowsyn/internal/seqgraph"
 	"flowsyn/internal/sim"
+	"flowsyn/internal/storage"
 	"flowsyn/internal/verify"
 )
 
@@ -59,6 +60,12 @@ type Options struct {
 	GridRows, GridCols int
 	// Mode selects the scheduling objective (storage-aware by default).
 	Mode sched.Mode
+	// Storage selects the storage strategy both scheduling engines plan
+	// under: distributed channel storage (the zero value — the paper's
+	// method), a dedicated storage unit, or a hybrid bounded channel cache in
+	// front of the unit. The strategy also drives architecture (unit
+	// placement and port routing) and the verify stage's strategy invariants.
+	Storage storage.Config
 	// Engine selects the scheduling engine.
 	Engine Engine
 	// ILPTimeLimit caps the exact scheduler (zero: 30 s).
@@ -175,6 +182,9 @@ func (o *Options) defaults() error {
 		// stage runs (the arch stage would reject them anyway).
 		return fmt.Errorf("core: connection grid must be at least 2x2, got %dx%d", o.GridRows, o.GridCols)
 	}
+	if err := o.Storage.Validate(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -209,6 +219,9 @@ type Result struct {
 	// SchedulingTime is the wall-clock scheduling time (t_s in Table 2),
 	// equal to the StageSchedule entry of Stages.
 	SchedulingTime time.Duration
+	// Storage records the storage strategy the result was synthesized under
+	// (the zero value is distributed channel storage).
+	Storage storage.Config
 	// Verified reports that the verify stage ran and found no violation.
 	Verified bool
 	// Service carries per-job queue/cache/progress metrics when the result
@@ -242,12 +255,14 @@ func (r *Result) Simulator() *sim.Simulator {
 
 // Verify re-checks the result from first principles with the independent
 // invariant checker (internal/verify): scheduling constraints, route cover
-// and exclusivity, metric recomputation, and the simulator cross-check. It
-// returns a *verify.Error describing every violation, or nil; on success the
-// result is marked Verified.
+// and exclusivity, storage-strategy invariants (port exclusivity, cache
+// capacity, eviction legality under the recorded strategy), metric
+// recomputation, and the simulator cross-check. It returns a *verify.Error
+// describing every violation, or nil; on success the result is marked
+// Verified.
 func (r *Result) Verify() error {
 	r.Verified = false
-	rep, err := verify.CheckAll(r.Schedule, r.Architecture)
+	rep, err := verify.CheckAllStrategy(r.Schedule, r.Architecture, storage.New(r.Storage))
 	if err != nil {
 		return err
 	}

@@ -6,7 +6,9 @@ import (
 
 	"flowsyn/internal/arch"
 	"flowsyn/internal/sched"
+	"flowsyn/internal/seqgraph"
 	"flowsyn/internal/sim"
+	"flowsyn/internal/storage"
 	"flowsyn/internal/verify"
 )
 
@@ -87,6 +89,10 @@ func RecoverContext(ctx context.Context, opts Options, prior *Result, fault sim.
 	opts.Transport = s0.Transport
 	opts.GridRows, opts.GridCols = a0.Grid.Rows, a0.Grid.Cols
 	opts.ModelIO = a0.Ports > 0
+	// The storage strategy is part of the chip too: a dedicated unit (or its
+	// absence) is physical, so the recovery keeps the strategy the prior
+	// result was synthesized under.
+	opts.Storage = prior.Storage
 	if err := opts.defaults(); err != nil {
 		return nil, err
 	}
@@ -100,6 +106,17 @@ func RecoverContext(ctx context.Context, opts Options, prior *Result, fault sim.
 		Assignments:   prefix.Assignments,
 		DepartOffsets: prefix.DepartOffsets,
 	}
+	// Unit port grants of executed edges are frozen with the prefix: their
+	// store and fetch completed before the fault, so the re-planned schedule
+	// reproduces them verbatim and keeps their port time reserved.
+	for e, w := range s0.UnitWindows {
+		if prefix.Pinned(e.Child) {
+			if pin.UnitWindows == nil {
+				pin.UnitWindows = make(map[seqgraph.Edge]sched.UnitWindow)
+			}
+			pin.UnitWindows[e] = w
+		}
+	}
 	if fault.Kind == sim.FaultDevice {
 		pin.Forbidden = map[int]bool{fault.Device: true}
 	}
@@ -110,7 +127,7 @@ func RecoverContext(ctx context.Context, opts Options, prior *Result, fault sim.
 	st := &stageState{
 		graph: s0.Graph,
 		opts:  opts,
-		res:   &Result{},
+		res:   &Result{Storage: opts.Storage},
 		rec:   &recoverState{prior: prior, fault: fault, prefix: prefix, pin: pin},
 	}
 	res, err := runPipeline(ctx, recoverPipeline(opts), st)
@@ -159,6 +176,7 @@ func runRecoverScheduleStage(ctx context.Context, st *stageState) error {
 	if opts.Mode == sched.TimeOnly {
 		beta = -1 // disables the storage term
 	}
+	model := storage.New(opts.Storage)
 	exact := opts.Engine == ExactILP ||
 		(opts.Engine == Auto && g.NumOps() <= sched.MaxExactOps)
 	if exact {
@@ -170,6 +188,7 @@ func runRecoverScheduleStage(ctx context.Context, st *stageState) error {
 			WarmStart: true,
 			Warm:      rc.prior.Schedule,
 			Pin:       rc.pin,
+			Storage:   model,
 			Progress:  scheduleProgress(opts),
 		})
 		if err != nil {
@@ -182,6 +201,7 @@ func runRecoverScheduleStage(ctx context.Context, st *stageState) error {
 			Transport: opts.Transport,
 			Mode:      opts.Mode,
 			Pin:       rc.pin,
+			Storage:   model,
 		})
 		if err != nil {
 			return err
@@ -189,7 +209,7 @@ func runRecoverScheduleStage(ctx context.Context, st *stageState) error {
 		// The prior schedule, re-timed around the pin, replaces the list
 		// result when it scores better on the configured objective — the
 		// suffix usually resembles what was already planned.
-		if ws, werr := sched.RetimePinned(g, rc.prior.Schedule, rc.pin, opts.Devices, opts.Transport); werr == nil {
+		if ws, werr := sched.RetimePinnedWith(g, rc.prior.Schedule, rc.pin, opts.Devices, opts.Transport, model); werr == nil {
 			if sched.ObjectiveScore(ws, opts.Mode) < sched.ObjectiveScore(s, opts.Mode) {
 				s = ws
 			}

@@ -9,6 +9,7 @@ import (
 	"flowsyn/internal/phys"
 	"flowsyn/internal/sched"
 	"flowsyn/internal/seqgraph"
+	"flowsyn/internal/storage"
 )
 
 // Stage names, in pipeline order.
@@ -46,9 +47,12 @@ type Binding struct {
 	// Transports counts device-to-device transportation tasks (direct and
 	// stored).
 	Transports int
-	// Stored counts the tasks that cache their fluid in a channel segment —
-	// the paper's distributed storage events.
+	// Stored counts the tasks that park their fluid somewhere — in a channel
+	// segment or in the dedicated unit — the paper's storage events.
 	Stored int
+	// Unit counts the Stored tasks routed through the dedicated storage unit
+	// (always zero under the distributed strategy).
+	Unit int
 }
 
 // stageState carries intermediate products between pipeline stages.
@@ -108,6 +112,7 @@ func runScheduleStage(ctx context.Context, st *stageState) error {
 	if opts.Mode == sched.TimeOnly {
 		beta = -1 // disables the storage term
 	}
+	model := storage.New(opts.Storage)
 	ilpOpts := sched.ILPOptions{
 		Devices:   opts.Devices,
 		Transport: opts.Transport,
@@ -115,6 +120,7 @@ func runScheduleStage(ctx context.Context, st *stageState) error {
 		TimeLimit: opts.ILPTimeLimit,
 		WarmStart: true,
 		Warm:      opts.Warm,
+		Storage:   model,
 	}
 	ilpOpts.Progress = scheduleProgress(opts)
 	switch {
@@ -135,6 +141,7 @@ func runScheduleStage(ctx context.Context, st *stageState) error {
 			Devices:   opts.Devices,
 			Transport: opts.Transport,
 			Mode:      opts.Mode,
+			Storage:   model,
 		})
 		if err != nil {
 			return err
@@ -143,7 +150,7 @@ func runScheduleStage(ctx context.Context, st *stageState) error {
 		// re-timed on the current graph, replaces the list result when it
 		// scores better on the configured objective.
 		if opts.Warm != nil {
-			if ws, werr := sched.RetimeLike(g, opts.Warm, opts.Devices, opts.Transport); werr == nil {
+			if ws, werr := sched.RetimeLikeWith(g, opts.Warm, opts.Devices, opts.Transport, model); werr == nil {
 				if sched.ObjectiveScore(ws, opts.Mode) < sched.ObjectiveScore(s, opts.Mode) {
 					s = ws
 				}
@@ -212,6 +219,9 @@ func runBindStage(_ context.Context, st *stageState) error {
 	for _, t := range tasks {
 		if t.Kind == sched.Stored {
 			st.res.Binding.Stored++
+			if t.Unit {
+				st.res.Binding.Unit++
+			}
 		}
 	}
 	return nil
@@ -276,7 +286,7 @@ func synthesize(ctx context.Context, g *seqgraph.Graph, opts Options, pre *preSc
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
-	st := &stageState{graph: g, opts: opts, res: &Result{}, pre: pre}
+	st := &stageState{graph: g, opts: opts, res: &Result{Storage: opts.Storage}, pre: pre}
 	return runPipeline(ctx, pipeline(opts), st)
 }
 

@@ -56,11 +56,6 @@ type Result struct {
 	Starts []int
 }
 
-// port serializes accesses to the storage unit.
-type port struct {
-	busy []sched.Task // unused; kept simple below
-}
-
 // intervalList tracks booked port windows in non-decreasing grant order.
 type intervalList struct {
 	windows [][2]int
@@ -95,6 +90,19 @@ func (l *intervalList) grant(t, length int) int {
 // but every store and every fetch is a full-u_c transport that must win the
 // unit's single port. The returned makespan is therefore never smaller than
 // the distributed schedule's.
+//
+// Determinism of simultaneous accesses: the replay processes operations in
+// original start order (ties by OpID), places each operation's flush before
+// its fetches, and walks fetches in the graph's parent order. A store and a
+// fetch requested at the same instant therefore serialize in that fixed
+// order through the earliest-fit port grants — two replays of the same
+// schedule always produce identical timings.
+//
+// Cell accounting tracks actual unit residency during the replay: a fluid
+// occupies a cell from the instant it arrives in the unit until its last
+// fetch departs (or the makespan, for flushed fluids nobody fetches). A
+// schedule with no stored fluids therefore reports 0 cells and 0 unit
+// valves.
 func Execute(s *sched.Schedule) (*Result, error) {
 	g := s.Graph
 	n := g.NumOps()
@@ -127,6 +135,14 @@ func Execute(s *sched.Schedule) (*Result, error) {
 	end := make([]int, n)
 	done := make([]bool, n)
 	pending := append([]seqgraph.OpID(nil), order...)
+
+	// Unit residency per product: enter is the instant the fluid arrives in
+	// its cell, exit the instant its last fetch departs.
+	type residency struct {
+		enter, exit      int
+		entered, fetched bool
+	}
+	resid := make([]residency, n)
 
 	for len(pending) > 0 {
 		pick := -1
@@ -167,6 +183,10 @@ func Execute(s *sched.Schedule) (*Result, error) {
 				if v := grantT + uc; v > start {
 					start = v
 				}
+				if r := &resid[last]; !r.entered {
+					r.entered = true
+					r.enter = grantT + uc
+				}
 			}
 		}
 
@@ -195,6 +215,17 @@ func Execute(s *sched.Schedule) (*Result, error) {
 			if v := grantT + uc; v > start {
 				start = v
 			}
+			r := &resid[p]
+			if !r.entered {
+				// Never flushed: the fluid traveled straight from its device
+				// into the unit after its producer finished.
+				r.entered = true
+				r.enter = end[p] + uc
+			}
+			r.fetched = true
+			if grantT > r.exit {
+				r.exit = grantT
+			}
 		}
 
 		dur := g.Op(op).Duration
@@ -208,9 +239,40 @@ func Execute(s *sched.Schedule) (*Result, error) {
 		}
 	}
 
-	res.Cells = s.StorageCapacity()
-	if res.Cells < 1 && res.Accesses > 0 {
-		res.Cells = 1
+	// Peak simultaneous residents over the tracked residency intervals. A
+	// flushed fluid nobody fetches (a displaced final product) occupies its
+	// cell until the end of the replay.
+	type event struct{ t, delta int }
+	var evs []event
+	for i := range resid {
+		r := resid[i]
+		if !r.entered {
+			continue
+		}
+		exit := r.exit
+		if !r.fetched {
+			exit = res.Makespan
+		}
+		if exit <= r.enter {
+			// A fetch the port happened to grant before the fluid's arrival
+			// window: the model's store side never held it, so it occupies
+			// no cell.
+			continue
+		}
+		evs = append(evs, event{r.enter, +1}, event{exit, -1})
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].t != evs[j].t {
+			return evs[i].t < evs[j].t
+		}
+		return evs[i].delta < evs[j].delta // exits before entries at ties
+	})
+	cur := 0
+	for _, e := range evs {
+		cur += e.delta
+		if cur > res.Cells {
+			res.Cells = cur
+		}
 	}
 	res.UnitValves = UnitValves(res.Cells)
 	return res, nil

@@ -63,6 +63,14 @@ type ILPOptions struct {
 	// Device symmetry breaking is disabled (pinned bindings already name
 	// concrete devices) and reconstruction re-times only the suffix.
 	Pin *Pin
+	// Storage selects the storage strategy (nil = distributed channels).
+	// The incumbent, the warm retimes and the reconstruction all run under
+	// the model, so the returned schedule is strategy-feasible; for the
+	// dedicated-unit strategy the formulation is additionally tightened
+	// with the strategy's storage rows (doubled transport on cross-device
+	// edges, a port-capacity bound on tE), so the exact solve optimizes
+	// under port contention rather than relaxing it away.
+	Storage StorageModel
 }
 
 // ProgressEvent reports one improving incumbent of the exact solve.
@@ -167,6 +175,7 @@ func ILPScheduleContext(ctx context.Context, g *seqgraph.Graph, opts ILPOptions)
 	// Incumbent for warm start and horizon.
 	incumbent, err := ListScheduleContext(ctx, g, ListOptions{
 		Devices: opts.Devices, Transport: opts.Transport, Mode: TimeAndStorage, Pin: opts.Pin,
+		Storage: opts.Storage,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -183,9 +192,9 @@ func ILPScheduleContext(ctx context.Context, g *seqgraph.Graph, opts ILPOptions)
 		var ws *Schedule
 		var werr error
 		if opts.Pin != nil {
-			ws, werr = RetimePinned(g, opts.Warm, opts.Pin, opts.Devices, opts.Transport)
+			ws, werr = RetimePinnedWith(g, opts.Warm, opts.Pin, opts.Devices, opts.Transport, opts.Storage)
 		} else {
-			ws, werr = RetimeLike(g, opts.Warm, opts.Devices, opts.Transport)
+			ws, werr = RetimeLikeWith(g, opts.Warm, opts.Devices, opts.Transport, opts.Storage)
 		}
 		if werr == nil && score(ws) < score(incumbent) {
 			incumbent = ws
@@ -572,13 +581,27 @@ func buildSchedModel(g *seqgraph.Graph, opts ILPOptions, incumbent *Schedule, al
 	// (3) Precedence with transport: ts_j - te_i >= uc·diff_{ij}, plus the
 	// storage terms u_{i,j} >= (ts_j - te_i) - M(1 - diff_{ij}) with M the
 	// largest gap the time windows admit for this edge.
+	//
+	// Strategy storage rows: under the dedicated-unit strategy every
+	// cross-device fluid transits the unit — a full-u_c store through the
+	// port plus a full-u_c fetch back out — so the cross-device gap
+	// coefficient doubles, the storage floor doubles with it, and the
+	// single port must fit all those 2·u_c access windows disjointly
+	// within [0, tE]. These rows are generated through the strategy, which
+	// is what makes the exact solve optimize under port contention instead
+	// of relaxing it to free channel caching.
+	edgeUC := float64(opts.Transport)
+	dedicatedUnit := opts.Storage != nil && opts.Storage.Serialized() && opts.Storage.ChannelSlots() == 0
+	if dedicatedUnit {
+		edgeUC = 2 * float64(opts.Transport)
+	}
 	storage := make([]milp.Var, 0, g.NumEdges())
 	for _, e := range g.Edges() {
 		i, j := int(e.Parent), int(e.Child)
 		a, b := pairIdx(i, j)
 		d := diff[[2]int{a, b}]
 		m.AddGE(fmt.Sprintf("prec_%d_%d", i, j),
-			*milp.NewExpr(0).Add(ts[j], 1).Add(te[i], -1).Add(d, -float64(opts.Transport)), 0)
+			*milp.NewExpr(0).Add(ts[j], 1).Add(te[i], -1).Add(d, -edgeUC), 0)
 		// u >= (ts_j - te_i) - M(1 - diff):
 		// u - ts_j + te_i - M·diff >= -M.
 		mS := math.Max(0, tsHiA[j]-(tsLoA[i]+durA[i]))
@@ -592,8 +615,20 @@ func buildSchedModel(g *seqgraph.Graph, opts ILPOptions, incumbent *Schedule, al
 		// every sample for free — the storage term then never reaches the dual
 		// bound and near-optimal incumbents stay unproven.
 		m.AddGE(fmt.Sprintf("storlb_%d_%d", i, j),
-			*milp.NewExpr(0).Add(u, 1).Add(d, -float64(opts.Transport)), 0)
+			*milp.NewExpr(0).Add(u, 1).Add(d, -edgeUC), 0)
 		storage = append(storage, u)
+	}
+	if dedicatedUnit && g.NumEdges() > 0 {
+		// Port capacity: each cross-device edge's store+fetch occupy the
+		// unit's only port for 2·u_c, all windows pairwise disjoint and
+		// contained in [0, tE].
+		pe := milp.NewExpr(0)
+		for _, e := range g.Edges() {
+			a, b := pairIdx(int(e.Parent), int(e.Child))
+			pe.Add(diff[[2]int{a, b}], 2*float64(opts.Transport))
+		}
+		pe.Add(tE, -1)
+		m.AddLE("port_cap", *pe, 0)
 	}
 
 	// (4) Non-overlap on shared devices via order binaries, each side guarded
@@ -950,7 +985,7 @@ func reconstruct(g *seqgraph.Graph, opts ILPOptions, sol *milp.Solution,
 		}
 		return ids[a] < ids[b]
 	})
-	return retimePinned(g, opts.Devices, opts.Transport, binding, ids, opts.Pin)
+	return retimePinned(g, opts.Devices, opts.Transport, binding, ids, opts.Pin, opts.Storage)
 }
 
 // RetimeLike re-schedules g by reusing a prior schedule's device binding and
@@ -965,6 +1000,13 @@ func reconstruct(g *seqgraph.Graph, opts ILPOptions, sol *milp.Solution,
 // result back into the exact solve as a warm start (ILPOptions.Warm) or
 // races it against the list scheduler for heuristic engines.
 func RetimeLike(g *seqgraph.Graph, prior *Schedule, devices, transport int) (*Schedule, error) {
+	return RetimeLikeWith(g, prior, devices, transport, nil)
+}
+
+// RetimeLikeWith is RetimeLike under a storage model: the re-derived timing
+// routes stored fluids per the model, so the result is feasible for that
+// strategy. A nil model is the distributed behavior.
+func RetimeLikeWith(g *seqgraph.Graph, prior *Schedule, devices, transport int, storage StorageModel) (*Schedule, error) {
 	if devices < 1 {
 		return nil, fmt.Errorf("sched: need at least one device, got %d", devices)
 	}
@@ -1024,7 +1066,7 @@ func RetimeLike(g *seqgraph.Graph, prior *Schedule, devices, transport int) (*Sc
 		}
 		return ids[a] < ids[b]
 	})
-	s := retimeOrdered(g, devices, transport, binding, ids)
+	s := retimeOrdered(g, devices, transport, binding, ids, storage)
 	if err := s.Validate(); err != nil {
 		return nil, fmt.Errorf("sched: retimed schedule invalid: %w", err)
 	}
@@ -1036,6 +1078,6 @@ func RetimeLike(g *seqgraph.Graph, prior *Schedule, devices, transport int) (*Sc
 // fetch slots) shared with the list scheduler. Operations are placed
 // first-ready-first along ids, so any order is safe even when it interleaves
 // devices non-topologically. It is the unpinned face of retimePinned.
-func retimeOrdered(g *seqgraph.Graph, devices, transport int, binding []int, ids []int) *Schedule {
-	return retimePinned(g, devices, transport, binding, ids, nil)
+func retimeOrdered(g *seqgraph.Graph, devices, transport int, binding []int, ids []int, storage StorageModel) *Schedule {
+	return retimePinned(g, devices, transport, binding, ids, nil, storage)
 }

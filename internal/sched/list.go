@@ -42,6 +42,13 @@ type ListOptions struct {
 	// verbatim, forbidden devices accept nothing new, and no re-planned
 	// operation starts (or sample departs) before the fault instant.
 	Pin *Pin
+	// Storage selects where intermediate fluids wait (nil = the paper's
+	// distributed channel storage, bit-identical to the historical
+	// behavior). Dedicated/hybrid models route stored fluids through a
+	// port-serialized storage unit, and the scheduler optimizes placements
+	// under that contention instead of degrading a distributed schedule
+	// after the fact.
+	Storage StorageModel
 }
 
 // ListSchedule builds a schedule with a storage-aware list scheduler.
@@ -119,6 +126,8 @@ func ListScheduleContext(ctx context.Context, g *seqgraph.Graph, opts ListOption
 		lastOp[d] = -1
 	}
 
+	st := newStorageState(opts.Storage, opts.Transport)
+
 	floor, pinnedCount := 0, 0
 	if opts.Pin != nil {
 		if err := opts.Pin.Validate(g, opts.Devices); err != nil {
@@ -127,6 +136,11 @@ func ListScheduleContext(ctx context.Context, g *seqgraph.Graph, opts ListOption
 		floor = opts.Pin.Time
 		pinnedCount = len(opts.Pin.Assignments)
 		opts.Pin.seed(s, scheduled, nextDepart, deviceFree, lastOp, opts.Transport)
+		if st.active() {
+			for e, w := range opts.Pin.UnitWindows {
+				st.seedUnit(e, w)
+			}
+		}
 	}
 
 	remainingParents := make([]int, g.NumOps())
@@ -142,9 +156,12 @@ func ListScheduleContext(ctx context.Context, g *seqgraph.Graph, opts ListOption
 		}
 	}
 
-	// estimate computes the earliest start of op on device k and the number
-	// of cached inputs that need a fetch slot there.
-	estimate := func(op seqgraph.OpID, k int) (start, fetches int) {
+	// place computes the earliest start of op on device k and the number of
+	// cached inputs that need a fetch slot there. With commit set it also
+	// books the storage-side state (unit port windows, channel residents)
+	// under the storage model; estimates only peek. For the distributed
+	// model both paths reduce to the historical arithmetic.
+	place := func(op seqgraph.OpID, k int, commit bool) (start, fetches int) {
 		start = deviceFree[k]
 		last := lastOp[k]
 		directPassParent := seqgraph.OpID(-1)
@@ -167,14 +184,25 @@ func ListScheduleContext(ctx context.Context, g *seqgraph.Graph, opts ListOption
 			start = floor
 		}
 		maxArrival := 0
+		var plans []parentPlan
 		for _, p := range g.Parents(op) {
 			pa := s.Assignments[p]
 			arrival := pa.End
 			if p != directPassParent {
 				// The sub-sample departs after the parent's earlier
-				// consumers (serialized fan-out), then travels u_c.
-				arrival = nextDepart[p] + opts.Transport
-				fetches++
+				// consumers (serialized fan-out), then travels u_c — or, on
+				// the unit path, waits for the port's store+fetch grants.
+				plan := st.planParent(seqgraph.Edge{Parent: p, Child: op}, nextDepart[p], start)
+				if commit {
+					plan = st.commitParent(plan, start)
+				}
+				arrival = plan.arrival
+				if !plan.unit {
+					fetches++
+				}
+				if commit {
+					plans = append(plans, plan)
+				}
 			}
 			if arrival > maxArrival {
 				maxArrival = arrival
@@ -183,6 +211,9 @@ func ListScheduleContext(ctx context.Context, g *seqgraph.Graph, opts ListOption
 		start += fetches * fetchLen
 		if maxArrival > start {
 			start = maxArrival
+		}
+		if commit {
+			start = st.commitResidents(plans, start)
 		}
 		return start, fetches
 	}
@@ -232,16 +263,16 @@ func ListScheduleContext(ctx context.Context, g *seqgraph.Graph, opts ListOption
 			if opts.Pin != nil && opts.Pin.Forbidden[k] {
 				continue
 			}
-			st, fe := estimate(op, k)
-			score := st
+			est, fe := place(op, k, false)
+			score := est
 			if opts.Mode == TimeAndStorage {
-				score = st + fe*opts.Transport
+				score = est + fe*opts.Transport
 			}
 			if bestDev == -1 || score < bestScore {
 				bestDev, bestScore = k, score
 			}
 		}
-		bestStart, _ := estimate(op, bestDev)
+		bestStart, _ := place(op, bestDev, true)
 
 		dur := g.Op(op).Duration
 		s.Assignments[op] = Assignment{Op: op, Device: bestDev, Start: bestStart, End: bestStart + dur}
@@ -274,11 +305,14 @@ func ListScheduleContext(ctx context.Context, g *seqgraph.Graph, opts ListOption
 		}
 	}
 
+	st.install(s)
 	s.computeMakespan()
 	// Push operations late to shrink storage lifetimes (the heuristic
 	// counterpart of the paper's β·Σu objective term). Compacting would move
 	// pinned windows, so recovery schedules keep the greedy placement.
-	if opts.Pin == nil {
+	// Strategy schedules keep theirs too: delaying a producer would slide
+	// past its already-granted unit store window.
+	if opts.Pin == nil && !st.active() {
 		Compact(s)
 	}
 	if err := s.Validate(); err != nil {

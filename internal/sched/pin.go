@@ -27,6 +27,11 @@ type Pin struct {
 	// consumers: those transports completed before Time, so re-deriving the
 	// schedule's task set must reproduce them byte-identically.
 	DepartOffsets map[seqgraph.Edge]int
+	// UnitWindows preserves the dedicated-unit port grants of edges into
+	// pinned consumers (dedicated/hybrid storage strategies): those
+	// store/fetch transports completed before Time, so the re-planned
+	// schedule reproduces them verbatim and keeps their port time reserved.
+	UnitWindows map[seqgraph.Edge]UnitWindow
 	// Forbidden marks devices that accept no re-planned operations (a failed
 	// chamber). Pinned assignments on a forbidden device stay: the fault
 	// cannot undo work the device already did.
@@ -87,6 +92,15 @@ func (p *Pin) Validate(g *seqgraph.Graph, devices int) error {
 				g.Op(e.Parent).Name, g.Op(e.Child).Name)
 		}
 	}
+	for e := range p.UnitWindows {
+		if int(e.Parent) < 0 || int(e.Parent) >= n || int(e.Child) < 0 || int(e.Child) >= n {
+			return fmt.Errorf("sched: pin unit window on unknown edge %d->%d", e.Parent, e.Child)
+		}
+		if !seen[e.Child] {
+			return fmt.Errorf("sched: pin unit window on edge %s->%s whose consumer is not pinned",
+				g.Op(e.Parent).Name, g.Op(e.Child).Name)
+		}
+	}
 	free := 0
 	for k := 0; k < devices; k++ {
 		if !p.Forbidden[k] {
@@ -143,6 +157,14 @@ func (p *Pin) seed(s *Schedule, done []bool, nextDepart, deviceFree []int, lastO
 // transport semantics. This is the recovery counterpart of RetimeLike: the
 // prior plan's proven structure survives the fault wherever it legally can.
 func RetimePinned(g *seqgraph.Graph, prior *Schedule, pin *Pin, devices, transport int) (*Schedule, error) {
+	return RetimePinnedWith(g, prior, pin, devices, transport, nil)
+}
+
+// RetimePinnedWith is RetimePinned under a storage model: the re-derived
+// timing routes stored fluids per the model (unit port grants, bounded
+// channel cache), so the result is feasible for that strategy. A nil model
+// is the distributed behavior.
+func RetimePinnedWith(g *seqgraph.Graph, prior *Schedule, pin *Pin, devices, transport int, storage StorageModel) (*Schedule, error) {
 	if devices < 1 {
 		return nil, fmt.Errorf("sched: need at least one device, got %d", devices)
 	}
@@ -203,7 +225,7 @@ func RetimePinned(g *seqgraph.Graph, prior *Schedule, pin *Pin, devices, transpo
 		}
 		return ids[a] < ids[b]
 	})
-	s := retimePinned(g, devices, transport, binding, ids, pin)
+	s := retimePinned(g, devices, transport, binding, ids, pin, storage)
 	if err := s.Validate(); err != nil {
 		return nil, fmt.Errorf("sched: pinned retime invalid: %w", err)
 	}
@@ -216,8 +238,12 @@ func RetimePinned(g *seqgraph.Graph, prior *Schedule, pin *Pin, devices, transpo
 // first-ready-first along ids, so any order is safe even when it interleaves
 // devices non-topologically. With a non-nil pin, the pinned prefix is
 // installed verbatim first, ids must cover exactly the unpinned operations,
-// and every placement (and departure) is floored at the pin time.
-func retimePinned(g *seqgraph.Graph, devices, transport int, binding []int, ids []int, pin *Pin) *Schedule {
+// and every placement (and departure) is floored at the pin time. With a
+// non-distributed storage model, stored fluids are routed per the model
+// (unit port grants, bounded channel cache) so the result is
+// strategy-feasible — this is what makes ILP reconstruction and warm-start
+// retiming honor the strategy.
+func retimePinned(g *seqgraph.Graph, devices, transport int, binding []int, ids []int, pin *Pin, storage StorageModel) *Schedule {
 	n := g.NumOps()
 	outLen := (transport + 1) / 2
 	fetchLen := transport - outLen
@@ -240,10 +266,16 @@ func retimePinned(g *seqgraph.Graph, devices, transport int, binding []int, ids 
 		lastOp[d] = -1
 	}
 	done := make([]bool, n)
+	st := newStorageState(storage, transport)
 	floor := 0
 	if pin != nil {
 		floor = pin.Time
 		pin.seed(s, done, nextDepart, deviceFree, lastOp, transport)
+		if st.active() {
+			for e, w := range pin.UnitWindows {
+				st.seedUnit(e, w)
+			}
+		}
 	}
 	pending := append([]int(nil), ids...)
 	for len(pending) > 0 {
@@ -287,11 +319,17 @@ func retimePinned(g *seqgraph.Graph, devices, transport int, binding []int, ids 
 			start = floor
 		}
 		fetches, maxArr := 0, 0
+		var plans []parentPlan
 		for _, p := range g.Parents(seqgraph.OpID(op)) {
 			arr := s.Assignments[p].End
 			if p != direct {
-				arr = nextDepart[p] + transport
-				fetches++
+				plan := st.planParent(seqgraph.Edge{Parent: p, Child: seqgraph.OpID(op)}, nextDepart[p], start)
+				plan = st.commitParent(plan, start)
+				arr = plan.arrival
+				if !plan.unit {
+					fetches++
+				}
+				plans = append(plans, plan)
 			}
 			if arr > maxArr {
 				maxArr = arr
@@ -301,6 +339,7 @@ func retimePinned(g *seqgraph.Graph, devices, transport int, binding []int, ids 
 		if maxArr > start {
 			start = maxArr
 		}
+		start = st.commitResidents(plans, start)
 		dur := g.Op(seqgraph.OpID(op)).Duration
 		s.Assignments[op] = Assignment{Op: seqgraph.OpID(op), Device: k, Start: start, End: start + dur}
 		deviceFree[k] = start + dur
@@ -315,10 +354,12 @@ func retimePinned(g *seqgraph.Graph, devices, transport int, binding []int, ids 
 		lastOp[k] = seqgraph.OpID(op)
 		done[op] = true
 	}
+	st.install(s)
 	s.computeMakespan()
-	if pin == nil {
-		// Compacting would move pinned windows; recovery schedules keep the
-		// greedy placement instead.
+	if pin == nil && !st.active() {
+		// Compacting would move pinned windows (or slide producers past
+		// their granted unit store windows); recovery and strategy
+		// schedules keep the greedy placement instead.
 		Compact(s)
 	}
 	return s

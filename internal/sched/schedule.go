@@ -54,6 +54,15 @@ type Schedule struct {
 	// edge, the departure delay in seconds after the parent's end; missing
 	// edges depart immediately. Populated by the schedulers.
 	DepartOffsets map[seqgraph.Edge]int
+	// UnitWindows holds, per edge stored in the dedicated storage unit, the
+	// granted port windows (dedicated and hybrid storage strategies; empty
+	// for distributed channel storage). Populated by the schedulers when a
+	// StorageModel routes fluids through the unit.
+	UnitWindows map[seqgraph.Edge]UnitWindow
+	// UnitQueueDelay is the total time fluids waited for the dedicated
+	// unit's port beyond their earliest possible store/fetch instants — the
+	// contention cost the distributed strategy avoids by construction.
+	UnitQueueDelay int
 }
 
 // DepartOffset returns the departure delay of edge e after its parent ends.
@@ -139,6 +148,49 @@ func (s *Schedule) Validate() error {
 			}
 		}
 	}
+	if err := s.validateUnitWindows(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// validateUnitWindows checks the dedicated-unit side of the schedule: every
+// unit-stored edge's store must start after its parent ends, its fetch must
+// fit a full transport before the consumer starts with a full store transport
+// before it, and all port windows must be pairwise disjoint (one port).
+func (s *Schedule) validateUnitWindows() error {
+	if len(s.UnitWindows) == 0 {
+		return nil
+	}
+	g := s.Graph
+	uc := s.Transport
+	var wins [][2]int
+	for e, w := range s.UnitWindows {
+		if int(e.Parent) >= len(s.Assignments) || int(e.Child) >= len(s.Assignments) {
+			return fmt.Errorf("sched: unit window on unknown edge %d->%d", e.Parent, e.Child)
+		}
+		p, c := s.Assignments[e.Parent], s.Assignments[e.Child]
+		if w.StoreStart < p.End {
+			return fmt.Errorf("sched: unit store of %s->%s starts %d before parent ends %d",
+				g.Op(e.Parent).Name, g.Op(e.Child).Name, w.StoreStart, p.End)
+		}
+		if w.FetchStart < w.StoreStart+uc {
+			return fmt.Errorf("sched: unit fetch of %s->%s at %d overlaps its store at %d (u_c %d)",
+				g.Op(e.Parent).Name, g.Op(e.Child).Name, w.FetchStart, w.StoreStart, uc)
+		}
+		if w.FetchStart+uc > c.Start {
+			return fmt.Errorf("sched: unit fetch of %s->%s ends %d after child starts %d",
+				g.Op(e.Parent).Name, g.Op(e.Child).Name, w.FetchStart+uc, c.Start)
+		}
+		wins = append(wins, [2]int{w.StoreStart, w.StoreStart + uc}, [2]int{w.FetchStart, w.FetchStart + uc})
+	}
+	sort.Slice(wins, func(i, j int) bool { return wins[i][0] < wins[j][0] })
+	for i := 1; i < len(wins); i++ {
+		if wins[i][0] < wins[i-1][1] {
+			return fmt.Errorf("sched: unit port windows [%d,%d) and [%d,%d) overlap",
+				wins[i-1][0], wins[i-1][1], wins[i][0], wins[i][1])
+		}
+	}
 	return nil
 }
 
@@ -160,16 +212,23 @@ func (s *Schedule) StorageTime() int {
 // mutation tests of internal/verify.
 func (s *Schedule) Clone() *Schedule {
 	out := &Schedule{
-		Graph:       s.Graph,
-		Devices:     s.Devices,
-		Transport:   s.Transport,
-		Assignments: append([]Assignment(nil), s.Assignments...),
-		Makespan:    s.Makespan,
+		Graph:          s.Graph,
+		Devices:        s.Devices,
+		Transport:      s.Transport,
+		Assignments:    append([]Assignment(nil), s.Assignments...),
+		Makespan:       s.Makespan,
+		UnitQueueDelay: s.UnitQueueDelay,
 	}
 	if s.DepartOffsets != nil {
 		out.DepartOffsets = make(map[seqgraph.Edge]int, len(s.DepartOffsets))
 		for e, d := range s.DepartOffsets {
 			out.DepartOffsets[e] = d
+		}
+	}
+	if s.UnitWindows != nil {
+		out.UnitWindows = make(map[seqgraph.Edge]UnitWindow, len(s.UnitWindows))
+		for e, w := range s.UnitWindows {
+			out.UnitWindows[e] = w
 		}
 	}
 	return out

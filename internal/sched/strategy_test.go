@@ -1,0 +1,186 @@
+package sched
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"flowsyn/internal/assay"
+	"flowsyn/internal/seqgraph"
+)
+
+// testModel is a minimal StorageModel for scheduling tests; it mirrors the
+// strategies internal/storage builds without importing that package (the
+// import points the other way).
+type testModel struct {
+	name       string
+	serialized bool
+	slots      int
+	evict      string
+}
+
+func (m testModel) Name() string         { return m.name }
+func (m testModel) Serialized() bool     { return m.serialized }
+func (m testModel) ChannelSlots() int    { return m.slots }
+func (m testModel) EvictionName() string { return m.evict }
+
+func dedicatedModel() testModel {
+	return testModel{name: "dedicated", serialized: true, slots: 0}
+}
+
+func hybridModel(slots int, evict string) testModel {
+	return testModel{name: "hybrid", serialized: true, slots: slots, evict: evict}
+}
+
+// TestListScheduleDedicatedValid: list schedules planned through the
+// dedicated-unit model validate end to end — including the unit-window
+// invariants (store after parent, fetch a full u_c after store, fetch
+// complete before the consumer, all port windows pairwise disjoint).
+func TestListScheduleDedicatedValid(t *testing.T) {
+	for _, name := range assay.Names() {
+		b := assay.MustGet(name)
+		s, err := ListSchedule(b.Graph, ListOptions{
+			Devices: b.Devices, Transport: b.Transport,
+			Mode: TimeAndStorage, Storage: dedicatedModel(),
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if s.UnitQueueDelay < 0 {
+			t.Errorf("%s: negative queue delay %d", name, s.UnitQueueDelay)
+		}
+		// A unit window on a same-device edge is only legitimate when the
+		// fluid was displaced: some other operation must run on that device
+		// between producer and consumer (otherwise direct hand-over needs no
+		// storage at all, let alone the unit).
+		for e := range s.UnitWindows {
+			if s.Device(e.Parent) != s.Device(e.Child) {
+				continue
+			}
+			d := s.Device(e.Parent)
+			displaced := false
+			for _, a := range s.Assignments {
+				if a.Device == d && a.Op != e.Parent && a.Op != e.Child &&
+					a.Start >= s.End(e.Parent) && a.End <= s.Start(e.Child) {
+					displaced = true
+					break
+				}
+			}
+			if !displaced {
+				t.Errorf("%s: unit window on same-device edge %d->%d with direct hand-over", name, e.Parent, e.Child)
+			}
+		}
+	}
+}
+
+// TestDedicatedNeverBeatsDistributed: the unit only adds constraints — port
+// serialization, full-u_c store and fetch journeys, the chamber-readiness
+// floor — so the dedicated makespan must never beat the distributed one on
+// the same assay. This is the paper's Fig. 10 direction, as a structural
+// property of the list scheduler.
+func TestDedicatedNeverBeatsDistributed(t *testing.T) {
+	check := func(name string, g *seqgraph.Graph, devices, uc int) {
+		dist, err := ListSchedule(g, ListOptions{Devices: devices, Transport: uc, Mode: TimeAndStorage})
+		if err != nil {
+			t.Fatalf("%s distributed: %v", name, err)
+		}
+		ded, err := ListSchedule(g, ListOptions{
+			Devices: devices, Transport: uc, Mode: TimeAndStorage, Storage: dedicatedModel(),
+		})
+		if err != nil {
+			t.Fatalf("%s dedicated: %v", name, err)
+		}
+		if ded.Makespan < dist.Makespan {
+			t.Errorf("%s: dedicated makespan %d beats distributed %d — the unit should never win",
+				name, ded.Makespan, dist.Makespan)
+		}
+	}
+	for _, name := range assay.Names() {
+		b := assay.MustGet(name)
+		check(name, b.Graph, b.Devices, b.Transport)
+	}
+	for seed := int64(1); seed <= 20; seed++ {
+		g := assay.Random(6+int(seed)%12, 3, seed)
+		check(g.Name, g, 3, 10)
+	}
+}
+
+// TestStrategyScheduleDeterministic: repeated plans through a serialized
+// model are bit-identical — port grants, queue delays, windows and all.
+func TestStrategyScheduleDeterministic(t *testing.T) {
+	b := assay.MustGet("RA30")
+	for _, m := range []testModel{dedicatedModel(), hybridModel(1, "lru"), hybridModel(2, "earliest-next-fetch")} {
+		first, err := ListSchedule(b.Graph, ListOptions{
+			Devices: b.Devices, Transport: b.Transport, Mode: TimeAndStorage, Storage: m,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", m.name, err)
+		}
+		second, err := ListSchedule(b.Graph, ListOptions{
+			Devices: b.Devices, Transport: b.Transport, Mode: TimeAndStorage, Storage: m,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", m.name, err)
+		}
+		if !reflect.DeepEqual(first, second) {
+			t.Errorf("%s/%s: two plans of the same assay differ", m.name, m.evict)
+		}
+	}
+}
+
+// TestHybridSlotBound: with a single channel slot, at most one stored fluid
+// may reside in the channels at any instant — everything else must have been
+// demoted to the unit (visible as unit windows) or fetched out first.
+func TestHybridSlotBound(t *testing.T) {
+	for _, evict := range []string{"lru", "earliest-next-fetch"} {
+		b := assay.MustGet("RA30")
+		s, err := ListSchedule(b.Graph, ListOptions{
+			Devices: b.Devices, Transport: b.Transport,
+			Mode: TimeAndStorage, Storage: hybridModel(1, evict),
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", evict, err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s: %v", evict, err)
+		}
+		// Channel residents: cross-device stored edges without a unit window,
+		// occupying their channel from parent end to consumer start. An
+		// event sweep over those intervals must never exceed the slot bound.
+		type event struct{ t, delta int }
+		var evs []event
+		g := s.Graph
+		for _, e := range g.Edges() {
+			p, c := s.Assignments[e.Parent], s.Assignments[e.Child]
+			if p.Device == c.Device {
+				continue
+			}
+			if _, unit := s.UnitWindows[e]; unit {
+				continue
+			}
+			if c.Start-p.End <= s.Transport {
+				continue // pure transport, nothing lingers
+			}
+			evs = append(evs, event{p.End, +1}, event{c.Start, -1})
+		}
+		sort.Slice(evs, func(i, j int) bool {
+			if evs[i].t != evs[j].t {
+				return evs[i].t < evs[j].t
+			}
+			return evs[i].delta < evs[j].delta // exits before entries at ties
+		})
+		cur, peak := 0, 0
+		for _, e := range evs {
+			cur += e.delta
+			if cur > peak {
+				peak = cur
+			}
+		}
+		if peak > 1 {
+			t.Errorf("%s: %d stored fluids resided in channels at once with a 1-slot cache", evict, peak)
+		}
+	}
+}

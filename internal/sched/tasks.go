@@ -56,6 +56,13 @@ type Task struct {
 	// Kind selects which window set below is meaningful.
 	Kind TaskKind
 
+	// Unit marks a Stored task whose fluid waits in the dedicated storage
+	// unit instead of a channel segment (dedicated/hybrid strategies): the
+	// store transport runs [OutStart, OutEnd), the fluid occupies a unit
+	// cell during [OutEnd, FetchStart), and the fetch transport runs
+	// [FetchStart, FetchEnd). Unit tasks claim no storage channel.
+	Unit bool
+
 	// Direct tasks: the path from From to To is live during [Depart, Arrive).
 	Depart, Arrive int
 
@@ -79,8 +86,12 @@ func (t Task) String() string {
 	if t.Kind == Direct {
 		return fmt.Sprintf("direct %d->%d [%d,%d)", t.From, t.To, t.Depart, t.Arrive)
 	}
-	return fmt.Sprintf("stored %d->%d out[%d,%d) cache[%d,%d) fetch[%d,%d)",
-		t.From, t.To, t.OutStart, t.OutEnd, t.OutEnd, t.FetchStart, t.FetchStart, t.FetchEnd)
+	where := "cache"
+	if t.Unit {
+		where = "unit"
+	}
+	return fmt.Sprintf("stored %d->%d out[%d,%d) %s[%d,%d) fetch[%d,%d)",
+		t.From, t.To, t.OutStart, t.OutEnd, where, t.OutEnd, t.FetchStart, t.FetchStart, t.FetchEnd)
 }
 
 // Tasks derives all transportation requirements of the schedule.
@@ -118,6 +129,19 @@ func (s *Schedule) Tasks() []Task {
 	storedByChild := make(map[seqgraph.OpID][]int) // child -> task indices
 	for _, e := range g.Edges() {
 		p, c := s.Assignments[e.Parent], s.Assignments[e.Child]
+		if w, ok := s.UnitWindows[e]; ok {
+			// The scheduler routed this fluid through the dedicated unit:
+			// its windows are the granted port transports, full u_c each —
+			// no squeeze and no sibling staggering (the port timeline
+			// already serializes every access).
+			tasks = append(tasks, Task{
+				Edge: e, From: p.Device, To: c.Device,
+				Kind: Stored, Unit: true,
+				OutStart: w.StoreStart, OutEnd: w.StoreStart + s.Transport,
+				FetchStart: w.FetchStart, FetchEnd: w.FetchStart + s.Transport,
+			})
+			continue
+		}
 		sameDev := p.Device == c.Device
 		if sameDev && !intervening(p.Device, p.End, c.Start) {
 			continue // result stays inside the device
@@ -311,6 +335,47 @@ func (s *Schedule) StorageCapacity() int {
 			return evs[i].t < evs[j].t
 		}
 		return evs[i].delta < evs[j].delta // fetch before store at equal time
+	})
+	cur, max := 0, 0
+	for _, e := range evs {
+		cur += e.delta
+		if cur > max {
+			max = cur
+		}
+	}
+	return max
+}
+
+// UnitCells returns the peak number of fluids resident in the dedicated
+// storage unit simultaneously — the cell count its mux must address. Zero
+// for distributed schedules and for strategy schedules that never stored.
+func (s *Schedule) UnitCells() int {
+	return s.storagePeak(func(t Task) bool { return t.Unit })
+}
+
+// ChannelPeak returns the peak number of fluids cached in channel segments
+// simultaneously (excluding the dedicated unit) — the quantity a hybrid
+// strategy's slot bound constrains.
+func (s *Schedule) ChannelPeak() int {
+	return s.storagePeak(func(t Task) bool { return !t.Unit })
+}
+
+func (s *Schedule) storagePeak(keep func(Task) bool) int {
+	type event struct {
+		t, delta int
+	}
+	var evs []event
+	for _, t := range s.Tasks() {
+		if t.Kind != Stored || !keep(t) {
+			continue
+		}
+		evs = append(evs, event{t.OutEnd, +1}, event{t.FetchStart, -1})
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].t != evs[j].t {
+			return evs[i].t < evs[j].t
+		}
+		return evs[i].delta < evs[j].delta
 	})
 	cur, max := 0, 0
 	for _, e := range evs {

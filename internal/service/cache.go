@@ -60,8 +60,9 @@ func (c *lruCache) len() int { return c.order.Len() }
 // opts must be normalized (core.Options.Normalized) so defaults key
 // identically to their explicit values.
 func scheduleKey(fingerprint string, opts core.Options) string {
-	return fmt.Sprintf("sched|%s|d%d|u%d|m%d|e%d|tl%d",
-		fingerprint, opts.Devices, opts.Transport, opts.Mode, opts.Engine, opts.ILPTimeLimit)
+	return fmt.Sprintf("sched|%s|d%d|u%d|m%d|e%d|tl%d|st:%s",
+		fingerprint, opts.Devices, opts.Transport, opts.Mode, opts.Engine, opts.ILPTimeLimit,
+		opts.Storage.Key())
 }
 
 // resultKey identifies a complete synthesis: the schedule key plus every

@@ -27,7 +27,14 @@ type schedPayload struct {
 	Makespan  int            `json:"makespan"`
 	Ops       []opAssignment `json:"ops"`
 	Departs   []departEntry  `json:"departs,omitempty"`
-	Info      *infoPayload   `json:"info,omitempty"`
+	// Storage is the strategy discriminator (storage.Config.Key()) the
+	// schedule was solved under; UnitWindows and QueueDelay carry the
+	// dedicated-unit port grants for serialized strategies. The store key
+	// already separates strategies, so Storage here is a defensive echo.
+	Storage     string            `json:"storage,omitempty"`
+	UnitWindows []unitWindowEntry `json:"unit_windows,omitempty"`
+	QueueDelay  int               `json:"queue_delay,omitempty"`
+	Info        *infoPayload      `json:"info,omitempty"`
 }
 
 // opAssignment places one operation, referenced by name.
@@ -43,6 +50,14 @@ type departEntry struct {
 	Parent string `json:"parent"`
 	Child  string `json:"child"`
 	Offset int    `json:"offset"`
+}
+
+// unitWindowEntry is one dedicated-unit port grant, referenced by edge names.
+type unitWindowEntry struct {
+	Parent string `json:"parent"`
+	Child  string `json:"child"`
+	Store  int    `json:"store"`
+	Fetch  int    `json:"fetch"`
 }
 
 // infoPayload preserves the headline solver diagnostics of the original
@@ -99,6 +114,20 @@ func encodeSchedEntry(se *schedEntry) ([]byte, error) {
 			return p.Departs[i].Parent < p.Departs[j].Parent
 		}
 		return p.Departs[i].Child < p.Departs[j].Child
+	})
+	p.Storage = se.storage
+	p.QueueDelay = s.UnitQueueDelay
+	for e, w := range s.UnitWindows {
+		p.UnitWindows = append(p.UnitWindows, unitWindowEntry{
+			Parent: g.Op(e.Parent).Name, Child: g.Op(e.Child).Name,
+			Store: w.StoreStart, Fetch: w.FetchStart,
+		})
+	}
+	sort.Slice(p.UnitWindows, func(i, j int) bool {
+		if p.UnitWindows[i].Parent != p.UnitWindows[j].Parent {
+			return p.UnitWindows[i].Parent < p.UnitWindows[j].Parent
+		}
+		return p.UnitWindows[i].Child < p.UnitWindows[j].Child
 	})
 	if info := se.info; info != nil {
 		p.Info = &infoPayload{
@@ -160,10 +189,22 @@ func decodeSchedEntry(payload []byte, g *seqgraph.Graph) (*schedEntry, error) {
 			s.DepartOffsets[seqgraph.Edge{Parent: pid, Child: cid}] = d.Offset
 		}
 	}
+	if len(p.UnitWindows) > 0 {
+		s.UnitWindows = make(map[seqgraph.Edge]sched.UnitWindow, len(p.UnitWindows))
+		for _, w := range p.UnitWindows {
+			pid, pok := byName[w.Parent]
+			cid, cok := byName[w.Child]
+			if !pok || !cok {
+				return nil, fmt.Errorf("service: stored schedule grants unit window on unknown edge %s->%s", w.Parent, w.Child)
+			}
+			s.UnitWindows[seqgraph.Edge{Parent: pid, Child: cid}] = sched.UnitWindow{StoreStart: w.Store, FetchStart: w.Fetch}
+		}
+	}
+	s.UnitQueueDelay = p.QueueDelay
 	if err := s.Validate(); err != nil {
 		return nil, fmt.Errorf("service: stored schedule invalid for this assay: %w", err)
 	}
-	se := &schedEntry{s: s}
+	se := &schedEntry{s: s, storage: p.Storage}
 	if p.Info != nil {
 		se.info = &sched.ILPInfo{
 			Status:     milp.Status(p.Info.Status),

@@ -205,6 +205,9 @@ type flight struct {
 type schedEntry struct {
 	s    *sched.Schedule
 	info *sched.ILPInfo
+	// storage echoes the strategy discriminator (storage.Config.Key()) the
+	// schedule was solved under; persisted with the entry.
+	storage string
 }
 
 // leasePollInterval is how often a replica waiting on another replica's
@@ -725,7 +728,7 @@ func (s *Solver) engineSolve(t *Ticket, opts core.Options) (*core.Result, *sched
 	if err != nil {
 		return nil, nil, err
 	}
-	return res, &schedEntry{s: res.Schedule.Clone(), info: res.SchedInfo}, nil
+	return res, &schedEntry{s: res.Schedule.Clone(), info: res.SchedInfo, storage: opts.Storage.Key()}, nil
 }
 
 // copyResult returns a shallow per-caller copy of a cached result so

@@ -1,0 +1,115 @@
+package service
+
+import (
+	"testing"
+
+	"flowsyn/internal/storage"
+)
+
+// dedicatedPCRJob is pcrJob solved under the dedicated-unit strategy.
+func dedicatedPCRJob(t *testing.T) Job {
+	t.Helper()
+	job := pcrJob(t)
+	job.Options.Storage = storage.Config{Policy: storage.Dedicated}
+	return job
+}
+
+// TestStrategyMissesDistributedCache is the satellite fix this PR guards: a
+// resubmission that differs only in storage strategy must NOT be served from
+// the distributed entry — the strategy is part of the schedule's identity.
+func TestStrategyMissesDistributedCache(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+
+	dist := mustWait(t, submitOK(t, s, pcrJob(t)))
+	ded := mustWait(t, submitOK(t, s, dedicatedPCRJob(t)))
+	if st := s.Stats(); st.ScheduleSolves != 2 {
+		t.Errorf("two strategies performed %d schedule solves, want 2 (cache key must separate them)",
+			st.ScheduleSolves)
+	}
+	if len(dist.Schedule.UnitWindows) != 0 {
+		t.Errorf("distributed schedule carries %d unit windows", len(dist.Schedule.UnitWindows))
+	}
+	if len(ded.Schedule.UnitWindows) == 0 {
+		t.Error("dedicated PCR schedule carries no unit windows — the strategy did not reach the engine")
+	}
+}
+
+// TestStoreKeySeparatesStrategies: two sessions over one persistent store,
+// solving the same assay under different strategies, must publish two store
+// entries and never serve one strategy's schedule for the other.
+func TestStoreKeySeparatesStrategies(t *testing.T) {
+	dir := t.TempDir()
+
+	s1 := New(Config{Workers: 1, Store: openFleetStore(t, dir)})
+	dist := mustWait(t, submitOK(t, s1, pcrJob(t)))
+	s1.Close()
+
+	s2 := New(Config{Workers: 1, Store: openFleetStore(t, dir)})
+	defer s2.Close()
+	ded := mustWait(t, submitOK(t, s2, dedicatedPCRJob(t)))
+	if ded.Service.StoreHit {
+		t.Error("dedicated submission was wrongly served from the distributed store entry")
+	}
+	if st := s2.Stats(); st.ScheduleSolves != 1 {
+		t.Errorf("dedicated solve over a distributed-only store ran %d solves, want 1", st.ScheduleSolves)
+	}
+	if ded.Schedule.Makespan < dist.Schedule.Makespan {
+		t.Errorf("dedicated makespan %d beats distributed %d", ded.Schedule.Makespan, dist.Schedule.Makespan)
+	}
+
+	// A third session resubmitting the dedicated job must now hit the store
+	// and get the unit windows back intact.
+	s3 := New(Config{Workers: 1, Store: openFleetStore(t, dir)})
+	defer s3.Close()
+	warm := mustWait(t, submitOK(t, s3, dedicatedPCRJob(t)))
+	if !warm.Service.StoreHit {
+		t.Fatal("dedicated resubmission missed the store")
+	}
+	if len(warm.Schedule.UnitWindows) != len(ded.Schedule.UnitWindows) {
+		t.Errorf("store round-trip lost unit windows: got %d want %d",
+			len(warm.Schedule.UnitWindows), len(ded.Schedule.UnitWindows))
+	}
+	for e, w := range ded.Schedule.UnitWindows {
+		if got := warm.Schedule.UnitWindows[e]; got != w {
+			t.Errorf("edge %d->%d window round-trip: got %+v want %+v", e.Parent, e.Child, got, w)
+		}
+	}
+	if warm.Schedule.UnitQueueDelay != ded.Schedule.UnitQueueDelay {
+		t.Errorf("queue delay round-trip: got %d want %d",
+			warm.Schedule.UnitQueueDelay, ded.Schedule.UnitQueueDelay)
+	}
+}
+
+// TestSchedPayloadRoundTripStrategy: the serialized-strategy payload fields
+// (storage echo, unit windows, queue delay) survive encode/decode.
+func TestSchedPayloadRoundTripStrategy(t *testing.T) {
+	job := dedicatedPCRJob(t)
+	s := New(Config{Workers: 1, CacheEntries: -1})
+	res := mustWait(t, submitOK(t, s, job))
+	s.Close()
+
+	se := &schedEntry{s: res.Schedule, storage: job.Options.Storage.Key()}
+	payload, err := encodeSchedEntry(se)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeSchedEntry(payload, job.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.storage != "dedicated" {
+		t.Errorf("storage echo: got %q want %q", got.storage, "dedicated")
+	}
+	if len(got.s.UnitWindows) != len(res.Schedule.UnitWindows) {
+		t.Fatalf("unit windows: got %d want %d", len(got.s.UnitWindows), len(res.Schedule.UnitWindows))
+	}
+	for e, w := range res.Schedule.UnitWindows {
+		if got.s.UnitWindows[e] != w {
+			t.Errorf("edge %d->%d: got %+v want %+v", e.Parent, e.Child, got.s.UnitWindows[e], w)
+		}
+	}
+	if got.s.UnitQueueDelay != res.Schedule.UnitQueueDelay {
+		t.Errorf("queue delay: got %d want %d", got.s.UnitQueueDelay, res.Schedule.UnitQueueDelay)
+	}
+}

@@ -79,6 +79,9 @@ type Snapshot struct {
 	ActiveRoutes []int
 	// CachedSamples counts fluids held in channel storage at Time.
 	CachedSamples int
+	// UnitSamples counts fluids resident in the dedicated storage unit at
+	// Time (always zero for distributed-strategy schedules).
+	UnitSamples int
 	// FailedDevices lists devices failed by injected faults at Time.
 	FailedDevices []int
 }
@@ -123,6 +126,25 @@ func (sim *Simulator) At(t int) *Snapshot {
 			if in(task.Depart, task.Arrive) {
 				active = true
 				for _, e := range route.OutEdges {
+					snap.Segment[e] = Transporting
+				}
+			}
+		} else if task.Unit {
+			// The fluid waits in the dedicated unit between its two transport
+			// legs; no channel segment caches it.
+			if in(task.OutStart, task.OutEnd) {
+				active = true
+				for _, e := range route.OutEdges {
+					snap.Segment[e] = Transporting
+				}
+			}
+			if in(task.OutEnd, task.FetchStart) {
+				active = true
+				snap.UnitSamples++
+			}
+			if in(task.FetchStart, task.FetchEnd) {
+				active = true
+				for _, e := range route.FetchEdges {
 					snap.Segment[e] = Transporting
 				}
 			}
@@ -200,6 +222,9 @@ type Utilization struct {
 	BusySeconds map[arch.EdgeID]int
 	// TransportSeconds and CacheSeconds split the busy time by role.
 	TransportSeconds, CacheSeconds int
+	// UnitSeconds is the total fluid-seconds spent inside the dedicated
+	// storage unit (not channel time — the unit is off the grid).
+	UnitSeconds int
 	// MeanUtilization is mean(busy)/horizon over used edges, in [0,1].
 	MeanUtilization float64
 }
@@ -233,6 +258,12 @@ func (sim *Simulator) Utilization() *Utilization {
 		}
 		for _, e := range route.FetchEdges {
 			add(e, fetchD)
+		}
+		if t.Unit {
+			// The waiting happens inside the unit; no channel holds the fluid.
+			u.TransportSeconds += outD*len(route.OutEdges) + fetchD*len(route.FetchEdges)
+			u.UnitSeconds += cacheD
+			continue
 		}
 		add(route.StorageEdge, outD+cacheD+fetchD)
 		u.TransportSeconds += outD*(len(route.OutEdges)+1) + fetchD*(len(route.FetchEdges)+1)

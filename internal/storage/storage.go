@@ -1,0 +1,241 @@
+// Package storage is the pluggable storage-strategy subsystem: it answers
+// the paper's "transport or store?" question three different ways and lets
+// the rest of the pipeline synthesize each answer head to head.
+//
+//   - Distributed: the paper's own method — intermediate fluids wait in the
+//     transportation channels around the devices; unlimited concurrent
+//     segments, no extra valves beyond the network's own.
+//   - Dedicated: the Fig. 1(c) baseline from Tseng & Li's "Storage and
+//     Caching" companion paper — one storage unit with addressable cells
+//     behind a single serialized port. Every stored fluid pays a full-u_c
+//     store plus a full-u_c fetch through that port, and the unit charges a
+//     mux-tree valve cost for its cells.
+//   - Hybrid: a bounded set of channel segments acting as a cache in front
+//     of the unit, with pluggable eviction (LRU or earliest-next-fetch);
+//     overflow and evictions go to the unit.
+//
+// A Strategy implements sched.StorageModel, so both scheduling engines plan
+// storage through it; architecture synthesis, verification and the bench
+// matrix consume the same Strategy for placement, invariants and costs.
+package storage
+
+import (
+	"fmt"
+	"strings"
+
+	"flowsyn/internal/dedicated"
+	"flowsyn/internal/sched"
+)
+
+// Policy selects a storage strategy.
+type Policy int
+
+const (
+	// Distributed is the paper's distributed channel storage (default).
+	Distributed Policy = iota
+	// Dedicated is a single storage unit behind a serialized port.
+	Dedicated
+	// Hybrid caches fluids in a bounded set of channel segments backed by
+	// the dedicated unit.
+	Hybrid
+)
+
+// String names the policy (also used in cache keys and CLI flags).
+func (p Policy) String() string {
+	switch p {
+	case Dedicated:
+		return "dedicated"
+	case Hybrid:
+		return "hybrid"
+	default:
+		return "distributed"
+	}
+}
+
+// ParsePolicy converts a CLI/API spelling into a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "distributed", "channels", "channel":
+		return Distributed, nil
+	case "dedicated", "unit":
+		return Dedicated, nil
+	case "hybrid", "cache":
+		return Hybrid, nil
+	}
+	return Distributed, fmt.Errorf("storage: unknown policy %q (want distributed, dedicated or hybrid)", s)
+}
+
+// Eviction selects which cached fluid the hybrid strategy demotes to the
+// unit when its channel slots run out.
+type Eviction int
+
+const (
+	// LRU demotes the resident that has been cached longest (earliest
+	// departure from its producer).
+	LRU Eviction = iota
+	// EarliestNextFetch demotes the resident whose consumer fetches
+	// soonest: it would leave the cache first anyway, so its stay in the
+	// unit is the shortest possible.
+	EarliestNextFetch
+)
+
+// String names the eviction policy.
+func (e Eviction) String() string {
+	if e == EarliestNextFetch {
+		return "earliest-next-fetch"
+	}
+	return "lru"
+}
+
+// ParseEviction converts a CLI/API spelling into an Eviction.
+func ParseEviction(s string) (Eviction, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "lru":
+		return LRU, nil
+	case "earliest-next-fetch", "enf", "next-fetch":
+		return EarliestNextFetch, nil
+	}
+	return LRU, fmt.Errorf("storage: unknown eviction policy %q (want lru or earliest-next-fetch)", s)
+}
+
+// DefaultCacheSlots is the hybrid cache bound used when none is given.
+const DefaultCacheSlots = 2
+
+// Config selects and parameterizes a strategy. The zero value is the
+// distributed strategy (today's behavior).
+type Config struct {
+	// Policy picks the strategy.
+	Policy Policy
+	// CacheSlots bounds the hybrid channel cache (ignored otherwise);
+	// zero means DefaultCacheSlots.
+	CacheSlots int
+	// Eviction picks the hybrid cache's eviction policy.
+	Eviction Eviction
+}
+
+// Validate rejects nonsensical configurations.
+func (c Config) Validate() error {
+	if c.Policy < Distributed || c.Policy > Hybrid {
+		return fmt.Errorf("storage: unknown policy %d", c.Policy)
+	}
+	if c.CacheSlots < 0 {
+		return fmt.Errorf("storage: negative cache slots %d", c.CacheSlots)
+	}
+	if c.Eviction < LRU || c.Eviction > EarliestNextFetch {
+		return fmt.Errorf("storage: unknown eviction policy %d", c.Eviction)
+	}
+	return nil
+}
+
+// Key returns a short deterministic discriminator for cache keys: schedules
+// under different strategies are different artifacts and must never collide
+// in the service's schedule cache or the persistent store.
+func (c Config) Key() string {
+	switch c.Policy {
+	case Dedicated:
+		return "dedicated"
+	case Hybrid:
+		return fmt.Sprintf("hybrid:%d:%s", c.slots(), c.Eviction)
+	default:
+		return "distributed"
+	}
+}
+
+func (c Config) slots() int {
+	if c.CacheSlots == 0 {
+		return DefaultCacheSlots
+	}
+	return c.CacheSlots
+}
+
+// Strategy is one storage policy, plugged into scheduling (via
+// sched.StorageModel: candidate generation and per-instant occupancy
+// accounting happen inside the engines through that interface), plus the
+// cost-model surface the rest of the pipeline needs: store/fetch journey
+// cost and valve-cost accounting.
+type Strategy interface {
+	sched.StorageModel
+
+	// Config returns the configuration the strategy was built from.
+	Config() Config
+	// UsesUnit reports whether schedules under this strategy may route
+	// fluids through the dedicated unit (and architectures must place one).
+	UsesUnit() bool
+	// StoreFetchCost returns the minimum seconds a stored fluid spends in
+	// transit between producer and consumer under this strategy, given
+	// transport time u_c: 2·u_c through the unit's port, u_c through a
+	// channel segment.
+	StoreFetchCost(transport int) int
+	// UnitValves returns the valve cost of a dedicated unit holding the
+	// given number of cells (0 when the strategy has no unit, or for zero
+	// cells: no fluid ever resided, so no unit is instantiated).
+	UnitValves(cells int) int
+}
+
+// New builds the strategy for a config. Invalid configs fall back to their
+// nearest valid interpretation (callers wanting errors use Config.Validate).
+func New(c Config) Strategy {
+	switch c.Policy {
+	case Dedicated:
+		return dedicatedStrategy{cfg: c}
+	case Hybrid:
+		return hybridStrategy{cfg: c}
+	default:
+		return distributedStrategy{cfg: c}
+	}
+}
+
+// distributedStrategy is the paper's distributed channel storage: unlimited
+// channel slots, no unit, no extra valves. Its StorageModel keeps both
+// engines on their historical bit-identical code path.
+type distributedStrategy struct{ cfg Config }
+
+func (distributedStrategy) Name() string              { return "distributed" }
+func (distributedStrategy) Serialized() bool          { return false }
+func (distributedStrategy) ChannelSlots() int         { return -1 }
+func (distributedStrategy) EvictionName() string      { return "" }
+func (s distributedStrategy) Config() Config          { return s.cfg }
+func (distributedStrategy) UsesUnit() bool            { return false }
+func (distributedStrategy) StoreFetchCost(uc int) int { return uc }
+func (distributedStrategy) UnitValves(int) int        { return 0 }
+
+// dedicatedStrategy stores every fluid in the dedicated unit: zero channel
+// slots, all accesses serialized through the unit's port.
+type dedicatedStrategy struct{ cfg Config }
+
+func (dedicatedStrategy) Name() string              { return "dedicated" }
+func (dedicatedStrategy) Serialized() bool          { return true }
+func (dedicatedStrategy) ChannelSlots() int         { return 0 }
+func (dedicatedStrategy) EvictionName() string      { return "" }
+func (s dedicatedStrategy) Config() Config          { return s.cfg }
+func (dedicatedStrategy) UsesUnit() bool            { return true }
+func (dedicatedStrategy) StoreFetchCost(uc int) int { return 2 * uc }
+func (dedicatedStrategy) UnitValves(cells int) int {
+	if cells < 1 {
+		return 0
+	}
+	return dedicated.UnitValves(cells)
+}
+
+// hybridStrategy caches fluids in a bounded set of channel segments and
+// overflows (or evicts) into the dedicated unit.
+type hybridStrategy struct{ cfg Config }
+
+func (hybridStrategy) Name() string           { return "hybrid" }
+func (hybridStrategy) Serialized() bool       { return true }
+func (s hybridStrategy) ChannelSlots() int    { return s.cfg.slots() }
+func (s hybridStrategy) EvictionName() string { return s.cfg.Eviction.String() }
+func (s hybridStrategy) Config() Config       { return s.cfg }
+func (hybridStrategy) UsesUnit() bool         { return true }
+func (hybridStrategy) StoreFetchCost(uc int) int {
+	// Best case a cache hit (one channel journey); the worst case pays the
+	// unit's 2·u_c. Planning uses the optimistic bound; the schedulers
+	// charge the real cost per placement.
+	return uc
+}
+func (hybridStrategy) UnitValves(cells int) int {
+	if cells < 1 {
+		return 0
+	}
+	return dedicated.UnitValves(cells)
+}

@@ -48,6 +48,9 @@ type Accounting struct {
 	windows map[arch.EdgeID][]roleWindow
 	// caches holds every caching window, for the cached-fluid count.
 	caches []roleWindow
+	// unitCaches holds every unit-residency window (fluids waiting inside the
+	// dedicated storage unit, off the grid), for the unit-resident count.
+	unitCaches []roleWindow
 	// horizon is the last instant anything can still be live on the chip:
 	// the end of the latest claim (transports may outlive the makespan, e.g.
 	// product unloading).
@@ -75,6 +78,20 @@ func NewAccounting(a *arch.Result) *Accounting {
 		if t.Kind == sched.Direct {
 			for _, e := range route.OutEdges {
 				add(e, roleWindow{t.Depart, t.Arrive, RoleTransporting})
+			}
+			continue
+		}
+		if t.Unit {
+			// Unit-stored: two transport legs, residency inside the unit (off
+			// the grid, so no segment ever shows RoleCaching for it).
+			for _, e := range route.OutEdges {
+				add(e, roleWindow{t.OutStart, t.OutEnd, RoleTransporting})
+			}
+			for _, e := range route.FetchEdges {
+				add(e, roleWindow{t.FetchStart, t.FetchEnd, RoleTransporting})
+			}
+			if t.OutEnd < t.FetchStart {
+				ac.unitCaches = append(ac.unitCaches, roleWindow{t.OutEnd, t.FetchStart, RoleCaching})
 			}
 			continue
 		}
@@ -117,6 +134,18 @@ func (ac *Accounting) At(t int) (states map[arch.EdgeID]SegmentRole, cached int)
 	return states, cached
 }
 
+// UnitAt returns the number of fluids resident in the dedicated storage unit
+// at time t.
+func (ac *Accounting) UnitAt(t int) int {
+	n := 0
+	for _, w := range ac.unitCaches {
+		if t >= w.start && t < w.end {
+			n++
+		}
+	}
+	return n
+}
+
 // StatesAt recomputes the role of every built channel segment at time t,
 // plus the number of cached fluids. One-shot convenience around Accounting.
 func StatesAt(a *arch.Result, t int) (states map[arch.EdgeID]SegmentRole, cached int) {
@@ -155,6 +184,10 @@ func CheckSim(s *sched.Schedule, a *arch.Result) error {
 		if snap.CachedSamples != cached {
 			r.addf(InvSimAgreement, "t=%d: simulator reports %d cached fluids, checker %d",
 				t, snap.CachedSamples, cached)
+		}
+		if unit := ac.UnitAt(t); snap.UnitSamples != unit {
+			r.addf(InvSimAgreement, "t=%d: simulator reports %d unit residents, checker %d",
+				t, snap.UnitSamples, unit)
 		}
 		if len(snap.Segment) != len(states) {
 			r.addf(InvSimAgreement, "t=%d: simulator tracks %d segments, checker %d",

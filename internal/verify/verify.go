@@ -52,6 +52,7 @@ const (
 	InvMetrics          = "metrics"
 	InvSimAgreement     = "sim-agreement"
 	InvRecovery         = "recovery"
+	InvStorageStrategy  = "storage-strategy"
 )
 
 // Violation is one broken invariant.
@@ -101,8 +102,12 @@ type Report struct {
 	// (internal tasks only, matching core's Binding summary).
 	Transports, Stored int
 	// PeakStorage is the recomputed maximum number of simultaneously cached
-	// fluids.
+	// fluids (channel segments only; unit residents are counted separately).
 	PeakStorage int
+	// UnitStored counts the Stored tasks routed through the dedicated storage
+	// unit; PeakUnit is the recomputed maximum number of simultaneous unit
+	// residents (the cell count the unit's multiplexer must address).
+	UnitStored, PeakUnit int
 	// NumEdges and NumValves are the recomputed architecture metrics (zero
 	// when no architecture was checked).
 	NumEdges, NumValves int
@@ -232,7 +237,7 @@ func (r *Report) checkSchedule(s *sched.Schedule) bool {
 func (r *Report) checkTasks(s *sched.Schedule) {
 	g := s.Graph
 	type cacheEvent struct{ t, delta int }
-	var events []cacheEvent
+	var events, unitEvents []cacheEvent
 	for _, t := range s.Tasks() {
 		r.Transports++
 		p, c := s.Assignments[t.Edge.Parent], s.Assignments[t.Edge.Child]
@@ -278,6 +283,13 @@ func (r *Report) checkTasks(s *sched.Schedule) {
 			if t.OutStart >= t.FetchEnd {
 				r.addf(InvTaskWindows, "stored task %s has an empty live span [%d,%d)", name, t.OutStart, t.FetchEnd)
 			}
+			if t.Unit {
+				// The fluid waits inside the dedicated unit, not in a channel:
+				// it counts toward unit residency, not channel storage.
+				r.UnitStored++
+				unitEvents = append(unitEvents, cacheEvent{t.OutEnd, +1}, cacheEvent{t.FetchStart, -1})
+				continue
+			}
 			events = append(events, cacheEvent{t.OutEnd, +1}, cacheEvent{t.FetchStart, -1})
 		default:
 			r.addf(InvTaskWindows, "task %s has unknown kind %d", name, t.Kind)
@@ -286,19 +298,42 @@ func (r *Report) checkTasks(s *sched.Schedule) {
 
 	// Peak storage demand, recomputed with an event sweep (fetches release
 	// before stores claim at equal instants, as in the paper's accounting).
-	sort.Slice(events, func(i, j int) bool {
-		if events[i].t != events[j].t {
-			return events[i].t < events[j].t
+	peak := func(evs []cacheEvent) int {
+		sort.Slice(evs, func(i, j int) bool {
+			if evs[i].t != evs[j].t {
+				return evs[i].t < evs[j].t
+			}
+			return evs[i].delta < evs[j].delta
+		})
+		cur, max := 0, 0
+		for _, e := range evs {
+			cur += e.delta
+			if cur > max {
+				max = cur
+			}
 		}
-		return events[i].delta < events[j].delta
-	})
-	cur := 0
-	for _, e := range events {
-		cur += e.delta
-		if cur > r.PeakStorage {
-			r.PeakStorage = cur
-		}
+		return max
 	}
+	r.PeakStorage = peak(events)
+	r.PeakUnit = peak(unitEvents)
+}
+
+// unitValves recomputes the mux-tree valve cost of a dedicated unit with the
+// given cell count: two log₂-depth multiplexer trees at two valves per level
+// plus the two port valves (re-implemented here, independent of
+// internal/dedicated, per this package's philosophy).
+func unitValves(cells int) int {
+	if cells < 1 {
+		return 0
+	}
+	if cells == 1 {
+		return 2
+	}
+	levels := 0
+	for n := 1; n < cells; n *= 2 {
+		levels++
+	}
+	return 4*levels + 2
 }
 
 // checkArchitecture verifies that the routed architecture realizes exactly
@@ -328,6 +363,15 @@ func (r *Report) checkArchitecture(s *sched.Schedule, a *arch.Result) {
 		}
 		seenNode[n] = d
 	}
+	if a.StorageUnit >= 0 {
+		if int(a.StorageUnit) >= grid.NumNodes() {
+			r.addf(InvStorage, "storage unit placed outside the %s grid (node %d)", grid, a.StorageUnit)
+			return
+		}
+		if d, dup := seenNode[a.StorageUnit]; dup {
+			r.addf(InvStorage, "storage unit shares grid node %d with device %d", a.StorageUnit, d)
+		}
+	}
 
 	// Route cover: the routes must realize the expected workload one-to-one,
 	// in order, between the right device nodes.
@@ -337,9 +381,14 @@ func (r *Report) checkArchitecture(s *sched.Schedule, a *arch.Result) {
 		return
 	}
 	used := a.UsedEdgeSet()
-	isDevice := make(map[arch.NodeID]bool, len(a.DevicePos))
+	isDevice := make(map[arch.NodeID]bool, len(a.DevicePos)+1)
 	for _, n := range a.DevicePos {
 		isDevice[n] = true
+	}
+	if a.StorageUnit >= 0 {
+		// The unit node is device-like: routes terminate at it and its
+		// occupancy is governed by the unit's port windows, not switch claims.
+		isDevice[a.StorageUnit] = true
 	}
 
 	// Claims gather every (resource, window, fluid) reservation for the
@@ -412,6 +461,40 @@ func (r *Report) checkArchitecture(s *sched.Schedule, a *arch.Result) {
 					i, route.OutNodes[0], route.OutNodes[len(route.OutNodes)-1], src, dst)
 			}
 			claimPath(i, route.OutNodes, route.OutEdges, t.Depart, t.Arrive)
+			continue
+		}
+
+		if t.Unit {
+			// Unit-stored route: store leg into the unit node, residency off
+			// the grid, fetch leg out of it. No storage segment may be claimed.
+			if route.StorageEdge != -1 {
+				r.addf(InvStorage, "unit route %d claims storage segment %d", i, route.StorageEdge)
+			}
+			if a.StorageUnit < 0 {
+				r.addf(InvStorage, "route %d stores in the unit but the chip has no storage unit", i)
+				continue
+			}
+			okOut := checkPath(i, "store", route.OutNodes, route.OutEdges)
+			okFetch := checkPath(i, "fetch", route.FetchNodes, route.FetchEdges)
+			if !okOut || !okFetch {
+				continue
+			}
+			if route.OutNodes[0] != src {
+				r.addf(InvRouteCover, "route %d stores from node %d, expected device node %d", i, route.OutNodes[0], src)
+			}
+			if end := route.OutNodes[len(route.OutNodes)-1]; end != a.StorageUnit {
+				r.addf(InvStorage, "route %d store leg ends at node %d, not the storage unit %d", i, end, a.StorageUnit)
+			}
+			if route.FetchNodes[0] != a.StorageUnit {
+				r.addf(InvStorage, "route %d fetch leg starts at node %d, not the storage unit %d",
+					i, route.FetchNodes[0], a.StorageUnit)
+			}
+			if route.FetchNodes[len(route.FetchNodes)-1] != dst {
+				r.addf(InvRouteCover, "route %d fetches to node %d, expected device node %d",
+					i, route.FetchNodes[len(route.FetchNodes)-1], dst)
+			}
+			claimPath(i, route.OutNodes, route.OutEdges, t.OutStart, t.OutEnd)
+			claimPath(i, route.FetchNodes, route.FetchEdges, t.FetchStart, t.FetchEnd)
 			continue
 		}
 
@@ -526,11 +609,15 @@ func (r *Report) checkArchitecture(s *sched.Schedule, a *arch.Result) {
 	}
 
 	// Valve count: one valve per used-segment endpoint terminating at a
-	// switch or port; only endpoints inside true devices carry no counted
+	// switch or port; only endpoints inside true devices (and the storage
+	// unit, whose internal valves are priced separately) carry no counted
 	// valve (the paper's n_v accounting).
-	trueDevice := make(map[arch.NodeID]bool, s.Devices)
+	trueDevice := make(map[arch.NodeID]bool, s.Devices+1)
 	for _, n := range a.DevicePos[:len(a.DevicePos)-a.Ports] {
 		trueDevice[n] = true
+	}
+	if a.StorageUnit >= 0 {
+		trueDevice[a.StorageUnit] = true
 	}
 	countValves := func(edges []arch.EdgeID) int {
 		n := 0
@@ -559,6 +646,20 @@ func (r *Report) checkArchitecture(s *sched.Schedule, a *arch.Result) {
 	if totalValves := countValves(all); totalValves > 0 {
 		if want := ratio(r.NumValves, totalValves); !closeEnough(a.ValveRatio, want) {
 			r.addf(InvMetrics, "reported valve ratio %.4f, recomputed %.4f", a.ValveRatio, want)
+		}
+	}
+
+	// Unit metrics: the reported cell count must match the recomputed peak
+	// residency, and the unit's valve cost must follow the mux-tree formula.
+	if r.UnitStored > 0 && a.StorageUnit < 0 {
+		r.addf(InvStorage, "%d unit-stored tasks but no storage unit placed", r.UnitStored)
+	}
+	if a.StorageUnit >= 0 {
+		if a.UnitCells != r.PeakUnit {
+			r.addf(InvMetrics, "reported %d unit cells, recomputed %d", a.UnitCells, r.PeakUnit)
+		}
+		if want := unitValves(r.PeakUnit); a.UnitValves != want {
+			r.addf(InvMetrics, "reported %d unit valves, recomputed %d", a.UnitValves, want)
 		}
 	}
 }

@@ -26,6 +26,29 @@ func (r *Result) StoreCount() int { return r.inner.Schedule.StoreCount() }
 // StorageCapacity returns the peak number of simultaneously cached fluids.
 func (r *Result) StorageCapacity() int { return r.inner.Schedule.StorageCapacity() }
 
+// StoragePolicy returns the storage strategy the result was synthesized
+// under.
+func (r *Result) StoragePolicy() StoragePolicy {
+	return StoragePolicy(r.inner.Storage.Policy)
+}
+
+// UnitStoreCount returns how many stored fluids were routed through the
+// dedicated storage unit (0 under the distributed strategy).
+func (r *Result) UnitStoreCount() int { return r.inner.Binding.Unit }
+
+// UnitQueueDelay returns the total seconds stored fluids waited for the
+// dedicated unit's serialized port beyond the earliest instants they could
+// have moved (0 under the distributed strategy).
+func (r *Result) UnitQueueDelay() int { return r.inner.Schedule.UnitQueueDelay }
+
+// UnitCells returns the cell count of the dedicated storage unit — the peak
+// number of fluids resident in it at once (0 when no unit is placed).
+func (r *Result) UnitCells() int { return r.inner.Architecture.UnitCells }
+
+// UnitValves returns the mux-tree valve cost of the dedicated storage unit,
+// reported separately from Valves (0 when no unit is placed).
+func (r *Result) UnitValves() int { return r.inner.Architecture.UnitValves }
+
 // ChannelSegments returns n_e: the number of channel segments in the chip.
 func (r *Result) ChannelSegments() int { return r.inner.Architecture.NumEdges }
 

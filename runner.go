@@ -131,6 +131,12 @@ type GridRange struct {
 	MinSize, MaxSize int
 	// Concurrency is the worker count, as in BatchOptions.
 	Concurrency int
+	// Strategies, when non-empty, adds a storage-strategy axis to the sweep:
+	// every grid size is synthesized once per listed strategy (in the given
+	// order), overriding Options.Storage per scenario. Hybrid entries take
+	// their cache bound and eviction policy from the base Options. Empty means
+	// the single strategy in Options.Storage.
+	Strategies []StoragePolicy
 	// FaultSamples, when positive, adds a fault-tolerance axis to the sweep:
 	// each successfully synthesized grid point is stress-tested with this
 	// many deterministic single faults (device, channel and storage kinds at
@@ -155,6 +161,11 @@ func (r GridRange) validate() error {
 		return &OptionError{Field: "GridRange.FaultSamples", Value: r.FaultSamples,
 			Reason: "fault sample count must be >= 0"}
 	}
+	for _, p := range r.Strategies {
+		if p != DistributedStorage && p != DedicatedStorage && p != HybridStorage {
+			return &OptionError{Field: "GridRange.Strategies", Value: int(p), Reason: "unknown storage policy"}
+		}
+	}
 	return nil
 }
 
@@ -162,6 +173,9 @@ func (r GridRange) validate() error {
 type GridResult struct {
 	// Rows and Cols are the explored connection-grid dimensions.
 	Rows, Cols int
+	// Storage is the storage strategy this scenario synthesized under
+	// (relevant when GridRange.Strategies swept more than one).
+	Storage StoragePolicy
 	// Result is the synthesized chip, nil when Err is set (e.g. when the
 	// assay does not route on a grid this small).
 	Result *Result
@@ -176,11 +190,13 @@ type GridResult struct {
 	WorstRecoveryMakespan           int
 }
 
-// ExploreGrids synthesizes the assay once per square grid size in r on an
+// ExploreGrids synthesizes the assay once per square grid size in r (times
+// one scenario per storage strategy when r.Strategies sweeps several) on an
 // ephemeral Solver session and returns the outcomes ordered by ascending
-// size — the scenario sweep behind the paper's Fig. 8 resource-confinement
-// claim. opts carries the non-grid synthesis options; its GridRows/GridCols
-// are overridden per scenario.
+// size, then strategy order — the scenario sweep behind the paper's Fig. 8
+// resource-confinement claim. opts carries the non-grid synthesis options;
+// its GridRows/GridCols (and Storage, under a strategy sweep) are overridden
+// per scenario.
 //
 // Because the schedule depends on the assay and device options but not on
 // the grid, the session's schedule cache makes the sweep perform strictly
@@ -196,10 +212,11 @@ func ExploreGrids(ctx context.Context, a *Assay, opts Options, r GridRange) ([]G
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if n := r.MaxSize - r.MinSize + 1; workers > n {
-		workers = n
+	jobs := (r.MaxSize - r.MinSize + 1) * max(1, len(r.Strategies))
+	if workers > jobs {
+		workers = jobs
 	}
-	s, err := New(Config{Workers: workers, QueueDepth: r.MaxSize - r.MinSize + 1})
+	s, err := New(Config{Workers: workers, QueueDepth: jobs})
 	if err != nil {
 		return nil, err
 	}
@@ -217,16 +234,27 @@ func (s *Solver) ExploreGrids(ctx context.Context, a *Assay, opts Options, r Gri
 	if a == nil {
 		return nil, fmt.Errorf("flowsyn: no assay")
 	}
-	n := r.MaxSize - r.MinSize + 1
+	strategies := r.Strategies
+	if len(strategies) == 0 {
+		strategies = []StoragePolicy{opts.Storage}
+	}
+	sizes := r.MaxSize - r.MinSize + 1
+	n := sizes * len(strategies)
 	out := make([]GridResult, n)
 	tickets := make([]*Ticket, n)
 	for i := 0; i < n; i++ {
-		size := r.MinSize + i
-		out[i] = GridResult{Rows: size, Cols: size}
+		size := r.MinSize + i/len(strategies)
+		pol := strategies[i%len(strategies)]
+		out[i] = GridResult{Rows: size, Cols: size, Storage: pol}
 		o := opts
 		o.GridRows, o.GridCols = size, size
+		o.Storage = pol
+		name := fmt.Sprintf("%s@%dx%d", a.Name(), size, size)
+		if len(strategies) > 1 {
+			name += "@" + pol.String()
+		}
 		t, err := s.Submit(ctx, Job{
-			Name:    fmt.Sprintf("%s@%dx%d", a.Name(), size, size),
+			Name:    name,
 			Assay:   a,
 			Options: o,
 		})

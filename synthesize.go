@@ -7,6 +7,7 @@ import (
 
 	"flowsyn/internal/core"
 	"flowsyn/internal/sched"
+	"flowsyn/internal/storage"
 )
 
 // Objective selects the scheduling objective, matching the two
@@ -19,6 +20,35 @@ const (
 	// MinimizeTimeOnly is the β = 0 baseline.
 	MinimizeTimeOnly
 )
+
+// StoragePolicy selects where intermediate fluids wait between their
+// producer and consumer operations.
+type StoragePolicy int
+
+const (
+	// DistributedStorage is the paper's method (default): fluids wait in the
+	// transportation channels around the devices.
+	DistributedStorage StoragePolicy = StoragePolicy(storage.Distributed)
+	// DedicatedStorage stores every fluid in a single storage unit behind a
+	// serialized port; each stored fluid pays a full store plus a full fetch
+	// transport through that port, and the unit charges mux-tree valves for
+	// its cells.
+	DedicatedStorage StoragePolicy = StoragePolicy(storage.Dedicated)
+	// HybridStorage caches fluids in a bounded set of channel segments in
+	// front of the dedicated unit, with a pluggable eviction policy
+	// (Options.CacheSlots and Options.Eviction).
+	HybridStorage StoragePolicy = StoragePolicy(storage.Hybrid)
+)
+
+// String names the policy as the CLI flags spell it.
+func (p StoragePolicy) String() string { return storage.Policy(p).String() }
+
+// ParseStoragePolicy converts a CLI spelling ("distributed", "dedicated",
+// "hybrid", plus aliases "channels", "unit", "cache") into a StoragePolicy.
+func ParseStoragePolicy(s string) (StoragePolicy, error) {
+	p, err := storage.ParsePolicy(s)
+	return StoragePolicy(p), err
+}
 
 // Engine selects the scheduling engine.
 type Engine int
@@ -54,6 +84,17 @@ type Options struct {
 	// boundary ports during architectural synthesis. Leave it off for dense
 	// assays that already saturate their connection grid.
 	ModelIO bool
+	// Storage selects the storage strategy: distributed channel storage (the
+	// paper's method, default), a dedicated storage unit, or a hybrid channel
+	// cache in front of the unit. Both scheduling engines, architectural
+	// synthesis and verification honor the strategy end to end.
+	Storage StoragePolicy
+	// CacheSlots bounds the hybrid strategy's channel cache (0 selects the
+	// default 2). Ignored by the other strategies.
+	CacheSlots int
+	// Eviction picks the hybrid cache's eviction policy: "lru" (default) or
+	// "earliest-next-fetch". Ignored by the other strategies.
+	Eviction string
 	// Verify appends a verification stage to the pipeline: the finished
 	// result is re-checked from first principles by an independent invariant
 	// checker (precedence with transport latencies, device and channel
@@ -105,7 +146,27 @@ func (o Options) Validate() error {
 	if o.ILPTimeLimit < 0 {
 		return &OptionError{Field: "ILPTimeLimit", Value: o.ILPTimeLimit, Reason: "time limit must be >= 0 (0 selects the default 30s)"}
 	}
+	if o.Storage != DistributedStorage && o.Storage != DedicatedStorage && o.Storage != HybridStorage {
+		return &OptionError{Field: "Storage", Value: int(o.Storage), Reason: "unknown storage policy"}
+	}
+	if o.CacheSlots < 0 {
+		return &OptionError{Field: "CacheSlots", Value: o.CacheSlots, Reason: "cache slots must be >= 0 (0 selects the default 2)"}
+	}
+	if _, err := storage.ParseEviction(o.Eviction); err != nil {
+		return &OptionError{Field: "Eviction", Value: o.Eviction, Reason: "unknown eviction policy (want lru or earliest-next-fetch)"}
+	}
 	return nil
+}
+
+// storageConfig maps the public storage fields onto the internal subsystem's
+// config. Validate has already rejected bad spellings.
+func (o Options) storageConfig() storage.Config {
+	ev, _ := storage.ParseEviction(o.Eviction)
+	return storage.Config{
+		Policy:     storage.Policy(o.Storage),
+		CacheSlots: o.CacheSlots,
+		Eviction:   ev,
+	}
 }
 
 func (o Options) internal() core.Options {
@@ -129,6 +190,7 @@ func (o Options) internal() core.Options {
 		Engine:       engine,
 		ILPTimeLimit: o.ILPTimeLimit,
 		ModelIO:      o.ModelIO,
+		Storage:      o.storageConfig(),
 		Verify:       o.Verify,
 	}
 }

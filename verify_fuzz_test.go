@@ -7,20 +7,28 @@ import (
 )
 
 // FuzzSynthesizeVerify drives the whole pipeline with fuzzer-chosen assay
-// shapes and synthesis options, verification forced on. Synthesis may
-// legitimately fail (e.g. the connection grid is too small for the traffic
-// the schedule generates) — but if it claims success, the independent
+// shapes and synthesis options — including the storage strategy (distributed
+// channels, dedicated unit, hybrid cache with fuzzed slot count and eviction
+// policy), verification forced on. Synthesis may legitimately fail (e.g. the
+// connection grid is too small for the traffic the schedule generates, or a
+// unit port window is unroutable) — but if it claims success, the independent
 // invariant checker must accept the result; a *VerifyError is always a bug.
 //
 // Run it as a smoke job with
 //
 //	go test -fuzz=FuzzSynthesizeVerify -fuzztime=30s -run='^$' .
 func FuzzSynthesizeVerify(f *testing.F) {
-	f.Add(int64(1), 8, 2, 3, 6, 10, false)
-	f.Add(int64(42), 20, 3, 4, 5, 7, true)
-	f.Add(int64(7), 12, 4, 2, 4, 12, false)
-	f.Add(int64(-3), 1, 1, 1, 4, 1, true)
-	f.Fuzz(func(t *testing.T, seed int64, n, width, devices, grid, transport int, timeOnly bool) {
+	f.Add(int64(1), 8, 2, 3, 6, 10, false, 0, 0)
+	f.Add(int64(42), 20, 3, 4, 5, 7, true, 0, 0)
+	f.Add(int64(7), 12, 4, 2, 4, 12, false, 0, 0)
+	f.Add(int64(-3), 1, 1, 1, 4, 1, true, 0, 0)
+	// Dedicated-unit and hybrid-cache seeds: the last exercises the eviction
+	// path hard — a wide 18-op assay on 2 devices with a single cache slot
+	// forces repeated demotions from the channel cache into the unit.
+	f.Add(int64(9), 14, 3, 3, 6, 8, false, 1, 0)
+	f.Add(int64(11), 18, 4, 2, 6, 9, false, 2, 0)
+	f.Add(int64(13), 18, 4, 2, 6, 9, false, 2, 1)
+	f.Fuzz(func(t *testing.T, seed int64, n, width, devices, grid, transport int, timeOnly bool, storage, slotsEvict int) {
 		// Clamp the fuzzed shape into ranges where a single synthesis stays
 		// fast on one core; the heuristic engine keeps each execution in the
 		// low milliseconds.
@@ -37,6 +45,20 @@ func FuzzSynthesizeVerify(f *testing.F) {
 			GridCols:  grid,
 			Engine:    HeuristicEngine,
 			Verify:    true,
+			Storage:   StoragePolicy(mod(storage, 3)),
+		}
+		if opts.Storage == HybridStorage {
+			opts.CacheSlots = 1 + mod(slotsEvict, 3)
+			if mod(slotsEvict, 2) == 0 {
+				opts.Eviction = "lru"
+			} else {
+				opts.Eviction = "earliest-next-fetch"
+			}
+		}
+		if opts.Storage != DistributedStorage {
+			// The storage objective is the one the serialized strategies
+			// model; keep their arms on it.
+			timeOnly = false
 		}
 		if timeOnly {
 			opts.Objective = MinimizeTimeOnly
@@ -45,8 +67,8 @@ func FuzzSynthesizeVerify(f *testing.F) {
 		if err != nil {
 			var verr *VerifyError
 			if errors.As(err, &verr) {
-				t.Fatalf("n=%d width=%d devices=%d grid=%d transport=%d timeOnly=%v: synthesized result failed verification: %v",
-					n, width, devices, grid, transport, timeOnly, verr)
+				t.Fatalf("n=%d width=%d devices=%d grid=%d transport=%d timeOnly=%v storage=%s slots=%d: synthesized result failed verification: %v",
+					n, width, devices, grid, transport, timeOnly, opts.Storage, opts.CacheSlots, verr)
 			}
 			// Any other failure (routing congestion, infeasible options) is a
 			// legitimate rejection, not a correctness bug.
